@@ -1,0 +1,70 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every fig*_ binary accepts:
+//   --reps N      repetitions per sweep point (fresh instance per rep)
+//   --seed S      base seed
+//   --solvers A,B comma-separated solver subset
+//   --paper       full paper-scale parameters (defaults are sized so the
+//                 whole bench suite finishes in minutes on a laptop)
+//   --csv         additionally dump each table as CSV to stdout
+
+#ifndef GEACC_BENCH_BENCH_COMMON_H_
+#define GEACC_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace geacc::bench {
+
+struct CommonFlags {
+  int reps = 1;
+  int64_t seed = 42;
+  std::string solvers;  // empty = bench-specific default
+  bool paper = false;
+  bool csv = false;
+  int threads = 1;
+
+  void Register(FlagSet& flags) {
+    flags.AddInt("reps", &reps, "repetitions per sweep point");
+    flags.AddInt("seed", &seed, "base seed");
+    flags.AddString("solvers", &solvers,
+                    "comma-separated solver subset (default: per bench)");
+    flags.AddBool("paper", &paper,
+                  "use full paper-scale parameters (slower)");
+    flags.AddBool("csv", &csv, "also dump tables as CSV");
+    flags.AddInt("threads", &threads,
+                 "parallel (point × rep) workers; wall times get noisy "
+                 "above 1");
+  }
+
+  std::vector<std::string> SolverList(
+      const std::vector<std::string>& fallback) const {
+    if (solvers.empty()) return fallback;
+    std::vector<std::string> list;
+    for (const std::string& name : Split(solvers, ',')) {
+      if (!name.empty()) list.push_back(name);
+    }
+    return list;
+  }
+};
+
+inline void EmitSweep(const SweepConfig& config, const SweepResult& result,
+                      const std::string& x_title, bool csv) {
+  PrintSweepTables(config, result, x_title, std::cout);
+  if (csv) {
+    for (const char* metric : {"max_sum", "seconds", "memory_mb"}) {
+      std::cout << "csv:" << metric << "\n";
+      MetricTable(result, metric, config.title, x_title)
+          .WriteCsv(std::cout);
+    }
+  }
+}
+
+}  // namespace geacc::bench
+
+#endif  // GEACC_BENCH_BENCH_COMMON_H_

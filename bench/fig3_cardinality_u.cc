@@ -1,0 +1,39 @@
+// Fig. 3, column 2: MaxSum / time / memory vs |U| ∈ {100, 200, 500, 1000,
+// 2000, 5000}; all other parameters Table III defaults (|V| = 100).
+//
+// Expected shape (paper): same patterns as varying |V| — MaxSum grows and
+// saturates (event capacity binds), Greedy dominates on every metric.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  geacc::bench::CommonFlags common;
+  geacc::FlagSet flags;
+  common.Register(flags);
+  flags.Parse(argc, argv);
+
+  geacc::SweepConfig config;
+  config.title = "Fig 3 col 2: varying |U|";
+  config.solvers =
+      common.SolverList({"greedy", "mincostflow", "random-v", "random-u"});
+  config.repetitions = common.reps;
+  config.threads = common.threads;
+  config.seed = static_cast<uint64_t>(common.seed);
+
+  std::vector<geacc::SweepPoint> points;
+  for (const int num_users : {100, 200, 500, 1000, 2000, 5000}) {
+    points.push_back({std::to_string(num_users), [num_users](uint64_t seed) {
+                        geacc::SyntheticConfig synth;
+                        synth.num_users = num_users;
+                        synth.seed = seed;
+                        return geacc::GenerateSynthetic(synth);
+                      }});
+  }
+
+  const geacc::SweepResult result = geacc::RunSweep(config, points);
+  geacc::bench::EmitSweep(config, result, "|U|", common.csv);
+  return 0;
+}

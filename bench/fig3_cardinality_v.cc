@@ -1,0 +1,43 @@
+// Fig. 3, column 1: MaxSum / time / memory vs |V| ∈ {20, 50, 100, 200,
+// 500}; all other parameters Table III defaults (|U| = 1000, d = 20,
+// c_v ~ U[1,50], c_u ~ U[1,4], ρ = 0.25).
+//
+// Expected shape (paper): Greedy wins MaxSum everywhere at baseline cost;
+// MinCostFlow beats the random baselines on MaxSum but is orders of
+// magnitude slower; MaxSum grows with |V| with a flattening slope as user
+// capacity saturates.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  geacc::bench::CommonFlags common;
+  geacc::FlagSet flags;
+  common.Register(flags);
+  flags.Parse(argc, argv);
+
+  geacc::SweepConfig config;
+  config.title = "Fig 3 col 1: varying |V|";
+  config.solvers =
+      common.SolverList({"greedy", "mincostflow", "random-v", "random-u"});
+  config.repetitions = common.reps;
+  config.threads = common.threads;
+  config.seed = static_cast<uint64_t>(common.seed);
+
+  std::vector<geacc::SweepPoint> points;
+  for (const int num_events : {20, 50, 100, 200, 500}) {
+    points.push_back(
+        {std::to_string(num_events), [num_events](uint64_t seed) {
+           geacc::SyntheticConfig synth;  // Table III defaults
+           synth.num_events = num_events;
+           synth.seed = seed;
+           return geacc::GenerateSynthetic(synth);
+         }});
+  }
+
+  const geacc::SweepResult result = geacc::RunSweep(config, points);
+  geacc::bench::EmitSweep(config, result, "|V|", common.csv);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 3, column 4: MaxSum / time / memory vs conflict density
+// ρ = |CF| / (|V|(|V|-1)/2) ∈ {0, 0.25, 0.5, 0.75, 1}; all other
+// parameters Table III defaults.
+//
+// Expected shape (paper): at ρ = 0 MinCostFlow-GEACC edges out Greedy
+// (it is optimal there); MaxSum decreases as ρ grows; ρ barely affects
+// running time.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  geacc::bench::CommonFlags common;
+  geacc::FlagSet flags;
+  common.Register(flags);
+  flags.Parse(argc, argv);
+
+  geacc::SweepConfig config;
+  config.title = "Fig 3 col 4: varying conflict density";
+  config.solvers =
+      common.SolverList({"greedy", "mincostflow", "random-v", "random-u"});
+  config.repetitions = common.reps;
+  config.threads = common.threads;
+  config.seed = static_cast<uint64_t>(common.seed);
+
+  std::vector<geacc::SweepPoint> points;
+  for (const double density : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    points.push_back(
+        {geacc::StrFormat("%.2f", density), [density](uint64_t seed) {
+           geacc::SyntheticConfig synth;
+           synth.conflict_density = density;
+           synth.seed = seed;
+           return geacc::GenerateSynthetic(synth);
+         }});
+  }
+
+  const geacc::SweepResult result = geacc::RunSweep(config, points);
+  geacc::bench::EmitSweep(config, result, "rho", common.csv);
+  return 0;
+}

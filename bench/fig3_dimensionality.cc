@@ -1,0 +1,39 @@
+// Fig. 3, column 3: MaxSum / time / memory vs d ∈ {2, 5, 10, 15, 20};
+// all other parameters Table III defaults.
+//
+// Expected shape (paper): MaxSum decreases with d (the attribute space gets
+// sparser, average distances grow); d barely affects time and memory.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  geacc::bench::CommonFlags common;
+  geacc::FlagSet flags;
+  common.Register(flags);
+  flags.Parse(argc, argv);
+
+  geacc::SweepConfig config;
+  config.title = "Fig 3 col 3: varying dimensionality d";
+  config.solvers =
+      common.SolverList({"greedy", "mincostflow", "random-v", "random-u"});
+  config.repetitions = common.reps;
+  config.threads = common.threads;
+  config.seed = static_cast<uint64_t>(common.seed);
+
+  std::vector<geacc::SweepPoint> points;
+  for (const int dim : {2, 5, 10, 15, 20}) {
+    points.push_back({std::to_string(dim), [dim](uint64_t seed) {
+                        geacc::SyntheticConfig synth;
+                        synth.dim = dim;
+                        synth.seed = seed;
+                        return geacc::GenerateSynthetic(synth);
+                      }});
+  }
+
+  const geacc::SweepResult result = geacc::RunSweep(config, points);
+  geacc::bench::EmitSweep(config, result, "d", common.csv);
+  return 0;
+}

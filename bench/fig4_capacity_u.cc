@@ -1,0 +1,42 @@
+// Fig. 4, column 2: MaxSum / time / memory vs user capacity, c_u ~
+// Uniform[1, max c_u] with max c_u ∈ {2, 4, 6, 8, 10}; other parameters
+// Table III defaults.
+//
+// Expected shape (paper): similar to varying c_v — MaxSum grows with the
+// extra user capacity, MinCostFlow's cost tracks the larger flow amount —
+// with some fluctuation because consecutive max c_u values are close.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  geacc::bench::CommonFlags common;
+  geacc::FlagSet flags;
+  common.Register(flags);
+  flags.Parse(argc, argv);
+
+  geacc::SweepConfig config;
+  config.title = "Fig 4 col 2: varying max user capacity";
+  config.solvers =
+      common.SolverList({"greedy", "mincostflow", "random-v", "random-u"});
+  config.repetitions = common.reps;
+  config.threads = common.threads;
+  config.seed = static_cast<uint64_t>(common.seed);
+
+  std::vector<geacc::SweepPoint> points;
+  for (const int max_cu : {2, 4, 6, 8, 10}) {
+    points.push_back({std::to_string(max_cu), [max_cu](uint64_t seed) {
+                        geacc::SyntheticConfig synth;
+                        synth.user_capacity = geacc::DistributionSpec::Uniform(
+                            1.0, static_cast<double>(max_cu));
+                        synth.seed = seed;
+                        return geacc::GenerateSynthetic(synth);
+                      }});
+  }
+
+  const geacc::SweepResult result = geacc::RunSweep(config, points);
+  geacc::bench::EmitSweep(config, result, "max c_u", common.csv);
+  return 0;
+}

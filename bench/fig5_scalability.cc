@@ -1,0 +1,58 @@
+// Fig. 5 a–b: scalability of Greedy-GEACC. |V| ∈ {100, 200, 500, 1000}
+// as separate series, |U| swept up to 100K, max c_v = 200 (paper setting;
+// other parameters Table III defaults).
+//
+// Expected shape (paper): time and memory grow near-linearly in the data
+// size; Greedy handles |V| = 1000 × |U| = 100K comfortably.
+//
+// Default run uses |U| ∈ {10K, 50K, 100K} and |V| ∈ {100, 500, 1000};
+// --paper enables the full grid (|U| ∈ {10K, 25K, 50K, 75K, 100K}).
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gen/synthetic.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  geacc::bench::CommonFlags common;
+  geacc::FlagSet flags;
+  common.Register(flags);
+  flags.Parse(argc, argv);
+
+  const std::vector<int> event_counts =
+      common.paper ? std::vector<int>{100, 200, 500, 1000}
+                   : std::vector<int>{100, 500, 1000};
+  const std::vector<int> user_counts =
+      common.paper ? std::vector<int>{10'000, 25'000, 50'000, 75'000, 100'000}
+                   : std::vector<int>{10'000, 50'000, 100'000};
+
+  for (const int num_events : event_counts) {
+    geacc::SweepConfig config;
+    config.title =
+        geacc::StrFormat("Fig 5 a-b: Greedy scalability, |V| = %d",
+                         num_events);
+    config.solvers = common.SolverList({"greedy"});
+    config.repetitions = common.reps;
+    config.threads = common.threads;
+    config.seed = static_cast<uint64_t>(common.seed);
+
+    std::vector<geacc::SweepPoint> points;
+    for (const int num_users : user_counts) {
+      points.push_back(
+          {std::to_string(num_users), [num_events, num_users](uint64_t seed) {
+             geacc::SyntheticConfig synth;
+             synth.num_events = num_events;
+             synth.num_users = num_users;
+             synth.event_capacity =
+                 geacc::DistributionSpec::Uniform(1.0, 200.0);
+             synth.seed = seed;
+             return geacc::GenerateSynthetic(synth);
+           }});
+    }
+
+    const geacc::SweepResult result = geacc::RunSweep(config, points);
+    geacc::bench::EmitSweep(config, result, "|U|", common.csv);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Microbenchmarks: workload generation throughput (synthetic Table III
+// instances and the EBSN simulator).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/distributions.h"
+#include "gen/ebsn.h"
+#include "gen/synthetic.h"
+
+namespace geacc {
+namespace {
+
+void BM_GenerateSynthetic(benchmark::State& state) {
+  SyntheticConfig config;
+  config.num_events = static_cast<int>(state.range(0));
+  config.num_users = static_cast<int>(state.range(1));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(GenerateSynthetic(config).num_users());
+  }
+}
+BENCHMARK(BM_GenerateSynthetic)->Args({100, 1000})->Args({500, 10000});
+
+void BM_GenerateEbsn(benchmark::State& state) {
+  EbsnConfig config = EbsnCityPreset("vancouver");
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(GenerateEbsn(config).num_users());
+  }
+}
+BENCHMARK(BM_GenerateEbsn);
+
+void BM_ZipfSampler(benchmark::State& state) {
+  const Sampler sampler(DistributionSpec::Zipf(1.3, 10000.0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSampler);
+
+void BM_ConflictGraphRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ConflictGraph::Random(n, density, rng).num_conflict_pairs());
+  }
+}
+BENCHMARK(BM_ConflictGraphRandom)->Args({100, 25})->Args({500, 25})
+    ->Args({100, 90});
+
+}  // namespace
+}  // namespace geacc

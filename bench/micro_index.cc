@@ -1,0 +1,97 @@
+// Microbenchmarks: k-NN index substrate — build cost and incremental
+// cursor advances for linear scan vs kd-tree, at low and high
+// dimensionality (the kd-tree pays off at low d and degrades toward a
+// scan at the paper's default d = 20).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/attributes.h"
+#include "core/similarity.h"
+#include "index/knn_index.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+AttributeMatrix RandomPoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  AttributeMatrix points(n, dim);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      points.Set(i, j, rng.UniformReal(0.0, 10000.0));
+    }
+  }
+  return points;
+}
+
+void BM_IndexBuild(benchmark::State& state, const std::string& name) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const AttributeMatrix points = RandomPoints(n, dim, 3);
+  const EuclideanSimilarity sim(10000.0);
+  for (auto _ : state) {
+    const auto index = MakeIndex(name, points, sim);
+    benchmark::DoNotOptimize(index->num_points());
+  }
+}
+
+// First 32 cursor advances (what Greedy-GEACC's frontiers mostly do).
+void BM_CursorAdvance32(benchmark::State& state, const std::string& name) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const AttributeMatrix points = RandomPoints(n, dim, 3);
+  const AttributeMatrix queries = RandomPoints(16, dim, 4);
+  const EuclideanSimilarity sim(10000.0);
+  const auto index = MakeIndex(name, points, sim);
+  int q = 0;
+  for (auto _ : state) {
+    auto cursor = index->CreateCursor(queries.Row(q));
+    q = (q + 1) % queries.rows();
+    for (int i = 0; i < 32; ++i) {
+      benchmark::DoNotOptimize(cursor->Next());
+    }
+  }
+}
+
+// Full enumeration (deep cursors, the Fig. 5 scalability stress).
+void BM_CursorDrain(benchmark::State& state, const std::string& name) {
+  const int n = static_cast<int>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  const AttributeMatrix points = RandomPoints(n, dim, 3);
+  const EuclideanSimilarity sim(10000.0);
+  const auto index = MakeIndex(name, points, sim);
+  for (auto _ : state) {
+    auto cursor = index->CreateCursor(points.Row(0));
+    while (cursor->Next()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void RegisterAll() {
+  for (const char* name : {"linear", "kdtree", "vafile", "idistance"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_IndexBuild/") + name).c_str(),
+        [name](benchmark::State& s) { BM_IndexBuild(s, name); })
+        ->Args({10000, 2})
+        ->Args({10000, 20});
+    benchmark::RegisterBenchmark(
+        (std::string("BM_CursorAdvance32/") + name).c_str(),
+        [name](benchmark::State& s) { BM_CursorAdvance32(s, name); })
+        ->Args({10000, 2})
+        ->Args({10000, 20});
+    benchmark::RegisterBenchmark(
+        (std::string("BM_CursorDrain/") + name).c_str(),
+        [name](benchmark::State& s) { BM_CursorDrain(s, name); })
+        ->Args({10000, 2})
+        ->Args({10000, 20});
+  }
+}
+
+const bool kRegistered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,46 @@
+// Microbenchmarks: similarity kernels across dimensionality (the innermost
+// loop of every solver).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/similarity.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+void FillRandom(std::vector<double>& v, Rng& rng) {
+  for (double& x : v) x = rng.UniformReal(0.0, 100.0);
+}
+
+void BM_Similarity(benchmark::State& state, const std::string& name) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto sim = MakeSimilarity(name, name == "rbf" ? 25.0 : 100.0);
+  Rng rng(1);
+  std::vector<double> a(dim), b(dim);
+  FillRandom(a, rng);
+  FillRandom(b, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->Compute(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RegisterAll() {
+  for (const char* name : {"euclidean", "cosine", "rbf", "dot"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Similarity/") + name).c_str(),
+        [name](benchmark::State& state) { BM_Similarity(state, name); })
+        ->Arg(2)
+        ->Arg(20)
+        ->Arg(100);
+  }
+}
+
+const bool kRegistered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,87 @@
+// Microbenchmarks: solver cost on Table III-shaped instances, including
+// the DESIGN.md ablations — heap-frontier Greedy vs sort-all Greedy
+// (identical output, different cost) and Prune-GEACC with its warm start
+// and event ordering toggled.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "algo/solvers.h"
+#include "gen/synthetic.h"
+
+namespace geacc {
+namespace {
+
+Instance MediumInstance(int events, int users, uint64_t seed) {
+  SyntheticConfig config;
+  config.num_events = events;
+  config.num_users = users;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+void BM_Solver(benchmark::State& state, const std::string& name) {
+  const int events = static_cast<int>(state.range(0));
+  const int users = static_cast<int>(state.range(1));
+  const Instance instance = MediumInstance(events, users, 5);
+  const auto solver = CreateSolver(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->Solve(instance).arrangement.size());
+  }
+}
+
+// Prune-GEACC ablations on an exactly-solvable size.
+void BM_PruneAblation(benchmark::State& state, bool greedy_seed,
+                      bool ordering) {
+  SyntheticConfig config;
+  config.num_events = 4;
+  config.num_users = 10;
+  config.event_capacity = DistributionSpec::Uniform(1.0, 10.0);
+  config.user_capacity = DistributionSpec::Uniform(1.0, 2.0);
+  config.seed = 9;
+  const Instance instance = GenerateSynthetic(config);
+  SolverOptions options;
+  options.enable_greedy_seed = greedy_seed;
+  options.enable_event_ordering = ordering;
+  // Ablated configurations can blow up; cap so the bench stays bounded
+  // (the capped counter still ranks the configurations).
+  options.max_search_invocations = 20'000'000;
+  const auto solver = CreateSolver("prune", options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->Solve(instance).stats.search_invocations);
+  }
+}
+
+void RegisterAll() {
+  for (const char* name :
+       {"greedy", "greedy-sortall", "mincostflow", "random-v", "random-u"}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        (std::string("BM_Solver/") + name).c_str(),
+        [name](benchmark::State& s) { BM_Solver(s, name); });
+    bench->Args({20, 200})->Args({100, 1000});
+    if (std::string(name) != "mincostflow") bench->Args({200, 5000});
+  }
+  benchmark::RegisterBenchmark("BM_PruneAblation/seed_on_order_on",
+                               [](benchmark::State& s) {
+                                 BM_PruneAblation(s, true, true);
+                               });
+  benchmark::RegisterBenchmark("BM_PruneAblation/seed_off_order_on",
+                               [](benchmark::State& s) {
+                                 BM_PruneAblation(s, false, true);
+                               });
+  benchmark::RegisterBenchmark("BM_PruneAblation/seed_on_order_off",
+                               [](benchmark::State& s) {
+                                 BM_PruneAblation(s, true, false);
+                               });
+  benchmark::RegisterBenchmark("BM_PruneAblation/seed_off_order_off",
+                               [](benchmark::State& s) {
+                                 BM_PruneAblation(s, false, false);
+                               });
+}
+
+const bool kRegistered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace geacc

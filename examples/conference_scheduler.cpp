@@ -1,0 +1,103 @@
+// Conference session assignment — GEACC beyond social events.
+//
+// A two-day conference runs parallel sessions in rooms of limited size.
+// Attendees have topical interest profiles; sessions in the same time slot
+// conflict. The organizer wants a registration plan maximizing total
+// interest: exactly the GEACC problem with slot-derived conflicts. The
+// example also demonstrates the exact solver on a small program and the
+// interpretation of the approximation guarantee.
+//
+//   ./build/examples/conference_scheduler [--attendees N] [--seed S]
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "algo/solvers.h"
+#include "core/instance.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+// Topics: systems, theory, ML, databases (d = 4 interest dimensions).
+struct Session {
+  const char* title;
+  int slot;      // sessions in the same slot conflict
+  int room_size;
+  std::vector<double> topics;  // affinity to each topic, in [0, 10]
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int attendees = 12;
+  int64_t seed = 7;
+  geacc::FlagSet flags;
+  flags.AddInt("attendees", &attendees, "number of attendees");
+  flags.AddInt("seed", &seed, "random seed for attendee profiles");
+  flags.Parse(argc, argv);
+
+  const std::vector<Session> program = {
+      {"Storage Engines", 0, 4, {9, 1, 1, 8}},
+      {"Complexity Zoo", 0, 3, {1, 9, 2, 1}},
+      {"LLM Serving", 0, 4, {6, 1, 9, 3}},
+      {"Query Optimizers", 1, 4, {4, 3, 2, 9}},
+      {"Approximation Algos", 1, 3, {1, 9, 3, 3}},
+      {"Vector Databases", 2, 5, {5, 1, 7, 9}},
+      {"Consensus Protocols", 2, 4, {9, 4, 1, 4}},
+  };
+
+  geacc::InstanceBuilder builder;
+  builder.SetSimilarity(std::make_unique<geacc::EuclideanSimilarity>(10.0));
+  std::vector<geacc::EventId> sessions;
+  for (const Session& session : program) {
+    sessions.push_back(builder.AddEvent(session.topics, session.room_size));
+  }
+  // Same-slot sessions conflict.
+  for (size_t a = 0; a < program.size(); ++a) {
+    for (size_t b = a + 1; b < program.size(); ++b) {
+      if (program[a].slot == program[b].slot) {
+        builder.AddConflict(sessions[a], sessions[b]);
+      }
+    }
+  }
+  // Attendees: random interest profiles; each can attend one session per
+  // slot, i.e. capacity = number of slots.
+  geacc::Rng rng(static_cast<uint64_t>(seed));
+  for (int i = 0; i < attendees; ++i) {
+    std::vector<double> profile(4);
+    for (double& x : profile) x = rng.UniformReal(0.0, 10.0);
+    builder.AddUser(profile, /*capacity=*/3);
+  }
+  const geacc::Instance instance = builder.Build();
+
+  std::printf("Conference: %zu sessions in 3 slots, %d attendees\n\n",
+              program.size(), attendees);
+
+  const auto exact = geacc::CreateSolver("prune")->Solve(instance);
+  const auto greedy = geacc::CreateSolver("greedy")->Solve(instance);
+  const double optimal_sum = exact.arrangement.MaxSum(instance);
+  const double greedy_sum = greedy.arrangement.MaxSum(instance);
+  std::printf("optimal total interest: %.3f (Prune-GEACC, %lld search "
+              "nodes)\n",
+              optimal_sum, (long long)exact.stats.search_invocations);
+  std::printf("greedy  total interest: %.3f = %.1f%% of optimal "
+              "(guarantee: >= %.1f%% since max c_u = %d)\n\n",
+              greedy_sum, 100.0 * greedy_sum / optimal_sum,
+              100.0 / (1 + instance.max_user_capacity()),
+              instance.max_user_capacity());
+
+  // Print the optimal per-session rosters.
+  std::vector<std::vector<geacc::UserId>> rosters(program.size());
+  for (const auto& [v, u] : exact.arrangement.SortedPairs()) {
+    rosters[v].push_back(u);
+  }
+  for (size_t v = 0; v < program.size(); ++v) {
+    std::printf("slot %d  %-22s (%zu/%d seats):", program[v].slot,
+                program[v].title, rosters[v].size(), program[v].room_size);
+    for (const geacc::UserId u : rosters[v]) std::printf(" a%d", u);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the paper's Table I example end to end.
+//
+// Builds a tiny GEACC instance with InstanceBuilder (three sport events,
+// five users, one conflicting pair), runs every solver, and prints the
+// arrangements. The optimal MaxSum is 4.39; MinCostFlow-GEACC finds 4.13
+// and Greedy-GEACC 4.28, exactly as in the paper's Examples 1–3.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "algo/solvers.h"
+#include "core/instance.h"
+
+namespace {
+
+void PrintArrangement(const geacc::Instance& instance,
+                      const geacc::Solver& solver) {
+  const geacc::SolveResult result = solver.Solve(instance);
+  std::printf("%-12s MaxSum = %.2f  pairs =", solver.Name().c_str(),
+              result.arrangement.MaxSum(instance));
+  for (const auto& [v, u] : result.arrangement.SortedPairs()) {
+    std::printf(" {v%d,u%d}", v + 1, u + 1);  // 1-based, as in the paper
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Attribute vectors are normally what defines interest; for this demo we
+  // replicate Table I's interestingness values directly: event attributes
+  // hold the table row, user attributes one-hot select a column, and the
+  // inner-product similarity reads the entry.
+  geacc::InstanceBuilder builder;
+  builder.SetSimilarity(std::make_unique<geacc::DotSimilarity>());
+  const auto one_hot = [](int i) {
+    std::vector<double> attrs(5, 0.0);
+    attrs[i] = 1.0;
+    return attrs;
+  };
+  const geacc::EventId hiking =
+      builder.AddEvent({0.93, 0.43, 0.84, 0.64, 0.65}, /*capacity=*/5);
+  builder.AddEvent({0.00, 0.35, 0.19, 0.21, 0.40}, /*capacity=*/3);
+  const geacc::EventId basketball =
+      builder.AddEvent({0.86, 0.57, 0.78, 0.79, 0.68}, /*capacity=*/2);
+  const int user_capacities[] = {3, 1, 1, 2, 3};
+  for (int u = 0; u < 5; ++u) {
+    builder.AddUser(one_hot(u), user_capacities[u]);
+  }
+  // The hiking trip and the basketball game overlap in time (Example 1):
+  // no user can attend both.
+  builder.AddConflict(hiking, basketball);
+  const geacc::Instance instance = builder.Build();
+
+  std::printf("GEACC quickstart — %s\n\n", instance.DebugString().c_str());
+  for (const char* name :
+       {"greedy", "mincostflow", "prune", "random-v", "random-u"}) {
+    PrintArrangement(instance, *geacc::CreateSolver(name));
+  }
+  std::printf(
+      "\nExpected from the paper: optimum 4.39 (prune), mincostflow 4.13, "
+      "greedy 4.28.\n");
+  return 0;
+}

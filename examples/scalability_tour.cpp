@@ -1,0 +1,55 @@
+// Scalability tour: Greedy-GEACC on growing Table III-style workloads.
+//
+// Reproduces the spirit of the paper's Fig. 5a–b interactively: generates
+// synthetic instances of increasing size, runs Greedy-GEACC, and reports
+// time / memory / matching quality so a user can gauge capacity planning
+// for their own deployment. Compare with bench/fig5_scalability for the
+// full figure.
+//
+//   ./build/examples/scalability_tour [--max_users 50000] [--seed S]
+
+#include <cstdio>
+#include <vector>
+
+#include "algo/solvers.h"
+#include "gen/synthetic.h"
+#include "util/flags.h"
+#include "util/memory.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  int64_t max_users = 50'000;
+  int64_t seed = 1;
+  geacc::FlagSet flags;
+  flags.AddInt("max_users", &max_users, "largest |U| to attempt");
+  flags.AddInt("seed", &seed, "base seed");
+  flags.Parse(argc, argv);
+
+  std::printf("%10s %8s %12s %10s %12s %12s %10s\n", "|U|", "|V|", "pairs",
+              "MaxSum", "solve (s)", "gen (s)", "solver mem");
+  for (int64_t users = 1000; users <= max_users; users *= 5) {
+    const int events = static_cast<int>(users / 100);  // paper's 100:1000
+    geacc::SyntheticConfig config;
+    config.num_events = events;
+    config.num_users = static_cast<int>(users);
+    config.event_capacity = geacc::DistributionSpec::Uniform(1.0, 50.0);
+    config.seed = static_cast<uint64_t>(seed);
+
+    geacc::WallTimer gen_timer;
+    const geacc::Instance instance = geacc::GenerateSynthetic(config);
+    const double gen_seconds = gen_timer.Seconds();
+
+    const auto solver = geacc::CreateSolver("greedy");
+    const geacc::SolveResult result = solver->Solve(instance);
+    std::printf("%10lld %8d %12lld %10.1f %12.3f %12.3f %10s\n",
+                (long long)users, events,
+                (long long)result.arrangement.size(),
+                result.arrangement.MaxSum(instance),
+                result.stats.wall_seconds, gen_seconds,
+                geacc::HumanBytes(result.stats.logical_peak_bytes).c_str());
+  }
+  std::printf("\nRSS high-water mark: %s\n",
+              geacc::HumanBytes(geacc::PeakRssBytes()).c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "algo/brute_force_solver.h"
+
+#include <vector>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace geacc {
+namespace {
+
+struct Pair {
+  EventId v;
+  UserId u;
+  double similarity;
+};
+
+class BruteForce {
+ public:
+  BruteForce(const Instance& instance, const SolverOptions& options,
+             SolverStats* stats)
+      : instance_(instance), options_(options), stats_(stats) {
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      for (UserId u = 0; u < instance.num_users(); ++u) {
+        const double sim = instance.Similarity(v, u);
+        if (sim > 0.0) pairs_.push_back({v, u, sim});
+      }
+    }
+    event_capacity_.resize(instance.num_events());
+    user_capacity_.resize(instance.num_users());
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      event_capacity_[v] = instance.event_capacity(v);
+    }
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      user_capacity_[u] = instance.user_capacity(u);
+    }
+    user_events_.resize(instance.num_users());
+    best_pairs_.clear();
+  }
+
+  Arrangement Run() {
+    Recurse(0);
+    Arrangement best(instance_.num_events(), instance_.num_users());
+    for (const size_t index : best_pairs_) {
+      best.Add(pairs_[index].v, pairs_[index].u);
+    }
+    return best;
+  }
+
+ private:
+  void Recurse(size_t position) {
+    ++stats_->search_invocations;
+    if (options_.max_search_invocations > 0 &&
+        stats_->search_invocations >= options_.max_search_invocations) {
+      stats_->search_truncated = true;
+      return;
+    }
+    if (position == pairs_.size()) {
+      ++stats_->complete_searches;
+      if (current_sum_ > best_sum_) {
+        best_sum_ = current_sum_;
+        best_pairs_ = current_pairs_;
+      }
+      return;
+    }
+    const Pair& pair = pairs_[position];
+    // Branch: include, if feasible.
+    if (event_capacity_[pair.v] > 0 && user_capacity_[pair.u] > 0 &&
+        !Conflicts(pair.v, pair.u)) {
+      --event_capacity_[pair.v];
+      --user_capacity_[pair.u];
+      user_events_[pair.u].push_back(pair.v);
+      current_pairs_.push_back(position);
+      current_sum_ += pair.similarity;
+      Recurse(position + 1);
+      current_sum_ -= pair.similarity;
+      current_pairs_.pop_back();
+      user_events_[pair.u].pop_back();
+      ++event_capacity_[pair.v];
+      ++user_capacity_[pair.u];
+    }
+    // Branch: exclude.
+    Recurse(position + 1);
+  }
+
+  bool Conflicts(EventId v, UserId u) const {
+    for (const EventId w : user_events_[u]) {
+      if (instance_.conflicts().AreConflicting(v, w)) return true;
+    }
+    return false;
+  }
+
+  const Instance& instance_;
+  const SolverOptions& options_;
+  SolverStats* stats_;
+  std::vector<Pair> pairs_;
+  std::vector<int> event_capacity_;
+  std::vector<int> user_capacity_;
+  std::vector<std::vector<EventId>> user_events_;
+  std::vector<size_t> current_pairs_;
+  std::vector<size_t> best_pairs_;
+  double current_sum_ = 0.0;
+  double best_sum_ = -1.0;  // the empty matching (sum 0) is a candidate
+};
+
+}  // namespace
+
+SolveResult BruteForceSolver::Solve(const Instance& instance) const {
+  WallTimer timer;
+  SolverStats stats;
+  BruteForce search(instance, options_, &stats);
+  Arrangement best = search.Run();
+  stats.wall_seconds = timer.Seconds();
+  return {std::move(best), stats};
+}
+
+}  // namespace geacc

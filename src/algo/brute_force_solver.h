@@ -1,0 +1,34 @@
+// Independent brute-force reference solver (tests only, exponential).
+//
+// Enumerates include/exclude decisions over the positive-similarity pairs
+// in plain (event, user) id order, with none of Prune-GEACC's machinery —
+// no bound, no event ordering, no greedy seed, separate code path. Its
+// purpose is cross-checking: Prune-GEACC and this solver are implemented
+// independently, so agreement on random instances is strong evidence both
+// are correct.
+
+#ifndef GEACC_ALGO_BRUTE_FORCE_SOLVER_H_
+#define GEACC_ALGO_BRUTE_FORCE_SOLVER_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/solver.h"
+
+namespace geacc {
+
+class BruteForceSolver final : public Solver {
+ public:
+  explicit BruteForceSolver(SolverOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "bruteforce"; }
+  SolveResult Solve(const Instance& instance) const override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_ALGO_BRUTE_FORCE_SOLVER_H_

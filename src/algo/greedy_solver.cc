@@ -1,0 +1,164 @@
+#include "algo/greedy_solver.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "index/knn_index.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace geacc {
+namespace {
+
+// Heap entry ordered by (similarity desc, event asc, user asc) so pops are
+// deterministic under similarity ties.
+struct PairEntry {
+  double similarity;
+  EventId v;
+  UserId u;
+
+  bool operator<(const PairEntry& other) const {
+    if (similarity != other.similarity) return similarity < other.similarity;
+    if (v != other.v) return v > other.v;
+    return u > other.u;
+  }
+};
+
+// Mutable solve-state shared by the helper lambdas.
+struct GreedyState {
+  std::vector<int> event_capacity;
+  std::vector<int> user_capacity;
+  std::vector<std::unique_ptr<NnCursor>> event_cursors;  // over users
+  std::vector<std::unique_ptr<NnCursor>> user_cursors;   // over events
+  std::priority_queue<PairEntry> heap;
+  std::unordered_set<uint64_t> pushed;  // pairs ever pushed into the heap
+};
+
+}  // namespace
+
+SolveResult GreedySolver::Solve(const Instance& instance) const {
+  WallTimer timer;
+  SolverStats stats;
+  const int num_events = instance.num_events();
+  const int num_users = instance.num_users();
+  Arrangement matching(num_events, num_users);
+  if (num_events == 0 || num_users == 0) {
+    stats.wall_seconds = timer.Seconds();
+    return {std::move(matching), stats};
+  }
+
+  const std::unique_ptr<KnnIndex> user_index = MakeIndex(
+      options_.index, instance.user_attributes(), instance.similarity());
+  const std::unique_ptr<KnnIndex> event_index = MakeIndex(
+      options_.index, instance.event_attributes(), instance.similarity());
+  GEACC_CHECK(user_index != nullptr && event_index != nullptr)
+      << "unknown index '" << options_.index << "'";
+
+  GreedyState state;
+  state.event_capacity.resize(num_events);
+  state.user_capacity.resize(num_users);
+  for (EventId v = 0; v < num_events; ++v) {
+    state.event_capacity[v] = instance.event_capacity(v);
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    state.user_capacity[u] = instance.user_capacity(u);
+  }
+  state.event_cursors.resize(num_events);
+  state.user_cursors.resize(num_users);
+  for (EventId v = 0; v < num_events; ++v) {
+    state.event_cursors[v] =
+        user_index->CreateCursor(instance.event_attributes().Row(v));
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    state.user_cursors[u] =
+        event_index->CreateCursor(instance.user_attributes().Row(u));
+  }
+
+  const ConflictGraph& conflicts = instance.conflicts();
+  // True iff v conflicts with an event already matched to u.
+  auto conflicts_with_matched = [&](EventId v, UserId u) {
+    for (const EventId w : matching.EventsOf(u)) {
+      if (conflicts.AreConflicting(v, w)) return true;
+    }
+    return false;
+  };
+
+  auto push_pair = [&](EventId v, UserId u, double similarity) {
+    if (!state.pushed.insert(PairKey(v, u)).second) return;  // already in H
+    state.heap.push({similarity, v, u});
+    ++stats.heap_pushes;
+  };
+
+  // Advances an event's cursor to its next feasible unvisited user and
+  // pushes the pair. Feasibility at skip time is permanent (capacities
+  // only decrease, conflicts only accumulate), so consumed candidates are
+  // never needed again. `check_constraints` is false during initialization
+  // (Algorithm 2 lines 2–8 push plain first-NNs).
+  auto advance_event = [&](EventId v, bool check_constraints) {
+    while (true) {
+      const auto next = state.event_cursors[v]->Next();
+      if (!next) return;                     // v is a finished node
+      if (next->similarity <= 0.0) return;   // all later NNs also ≤ 0
+      const UserId u = next->id;
+      if (state.pushed.contains(PairKey(v, u))) continue;  // visited
+      if (check_constraints) {
+        if (state.user_capacity[u] <= 0) continue;
+        if (conflicts_with_matched(v, u)) continue;
+      }
+      push_pair(v, u, next->similarity);
+      return;
+    }
+  };
+
+  auto advance_user = [&](UserId u, bool check_constraints) {
+    while (true) {
+      const auto next = state.user_cursors[u]->Next();
+      if (!next) return;
+      if (next->similarity <= 0.0) return;
+      const EventId v = next->id;
+      if (state.pushed.contains(PairKey(v, u))) continue;
+      if (check_constraints) {
+        if (state.event_capacity[v] <= 0) continue;
+        if (conflicts_with_matched(v, u)) continue;
+      }
+      push_pair(v, u, next->similarity);
+      return;
+    }
+  };
+
+  // Initialization (lines 1–9): each node contributes its first NN.
+  for (EventId v = 0; v < num_events; ++v) advance_event(v, false);
+  for (UserId u = 0; u < num_users; ++u) advance_user(u, false);
+
+  // Iteration (lines 11–23).
+  while (!state.heap.empty()) {
+    const PairEntry top = state.heap.top();
+    state.heap.pop();
+    ++stats.heap_pops;
+    const EventId v = top.v;
+    const UserId u = top.u;
+    if (state.event_capacity[v] > 0 && state.user_capacity[u] > 0 &&
+        !conflicts_with_matched(v, u)) {
+      matching.Add(v, u);
+      --state.event_capacity[v];
+      --state.user_capacity[u];
+    }
+    if (state.event_capacity[v] > 0) advance_event(v, true);
+    if (state.user_capacity[u] > 0) advance_user(u, true);
+  }
+
+  stats.logical_peak_bytes =
+      VectorBytes(state.event_capacity) + VectorBytes(state.user_capacity) +
+      state.pushed.size() * (sizeof(uint64_t) + sizeof(void*)) +
+      static_cast<uint64_t>(stats.heap_pushes) * sizeof(PairEntry) +
+      user_index->ByteEstimate() + event_index->ByteEstimate() +
+      (static_cast<uint64_t>(num_events) + num_users) * 1600 +  // cursors
+      matching.ByteEstimate();
+  stats.wall_seconds = timer.Seconds();
+  return {std::move(matching), stats};
+}
+
+}  // namespace geacc

@@ -1,0 +1,39 @@
+// Greedy-GEACC (paper Algorithm 2, Section III.B).
+//
+// Maintains a max-heap H of candidate pairs. Initially each event
+// contributes its nearest user and each user its nearest event. Each
+// iteration pops the globally most similar candidate, adds it to the
+// matching if capacities and conflicts allow, and refills H with the
+// popped endpoints' next *feasible unvisited* nearest neighbors, fetched
+// from incremental NN cursors (src/index/). A pair enters H at most once;
+// skipped-because-infeasible neighbors are permanently infeasible
+// (capacities only decrease, matchings only grow), so consuming them from
+// the cursor is safe.
+//
+// Approximation ratio: 1 / (1 + max c_u) (Theorem 3). In practice it beats
+// MinCostFlow-GEACC on every metric — the paper's headline result.
+
+#ifndef GEACC_ALGO_GREEDY_SOLVER_H_
+#define GEACC_ALGO_GREEDY_SOLVER_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/solver.h"
+
+namespace geacc {
+
+class GreedySolver final : public Solver {
+ public:
+  explicit GreedySolver(SolverOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "greedy"; }
+  SolveResult Solve(const Instance& instance) const override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_ALGO_GREEDY_SOLVER_H_

@@ -1,0 +1,48 @@
+// MinCostFlow-GEACC (paper Algorithm 1, Section III.A).
+//
+// Step 1 ignores conflicts and finds the best capacitated matching M_∅ via
+// min-cost flow: source → events (capacity c_v, cost 0), event → user
+// (capacity 1, cost 1 − sim), users → sink (capacity c_u, cost 0). The
+// paper evaluates the min-cost flow at every amount Δ and keeps the best
+// matching; with SSPA this collapses to a single incremental run because
+//
+//   MaxSum(M_Δ) = Δ − cost(Δ),
+//
+// cost(Δ) is convex in Δ (successive shortest paths have non-decreasing
+// unit cost), so MaxSum(M_Δ) is concave and the sweep can stop at the first
+// augmenting path whose real cost reaches 1. Step 2 resolves conflicts per
+// user with the greedy independent-set rule.
+//
+// Approximation ratio: 1 / max c_u (Theorem 2). Complexity is dominated by
+// Δmax shortest-path computations (the paper's "quartic" cost).
+
+#ifndef GEACC_ALGO_MIN_COST_FLOW_SOLVER_H_
+#define GEACC_ALGO_MIN_COST_FLOW_SOLVER_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/solver.h"
+
+namespace geacc {
+
+class MinCostFlowSolver final : public Solver {
+ public:
+  explicit MinCostFlowSolver(SolverOptions options = {})
+      : options_(options) {}
+
+  std::string Name() const override { return "mincostflow"; }
+  SolveResult Solve(const Instance& instance) const override;
+
+  // Step 1 only: the conflict-oblivious optimal matching M_∅ (exposed for
+  // tests of Lemma 1 and for the CF=∅ optimality property).
+  Arrangement SolveWithoutConflicts(const Instance& instance,
+                                    SolverStats* stats) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_ALGO_MIN_COST_FLOW_SOLVER_H_

@@ -1,0 +1,81 @@
+#include "algo/online_greedy_solver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace geacc {
+
+OnlineArranger::OnlineArranger(const Instance& instance)
+    : instance_(instance),
+      arrangement_(instance.num_events(), instance.num_users()) {
+  event_capacity_.resize(instance.num_events());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    event_capacity_[v] = instance.event_capacity(v);
+  }
+  arrived_.assign(instance.num_users(), false);
+}
+
+std::vector<EventId> OnlineArranger::ArriveUser(UserId u) {
+  GEACC_CHECK(u >= 0 && u < instance_.num_users());
+  GEACC_CHECK(!arrived_[u]) << "user " << u << " arrived twice";
+  arrived_[u] = true;
+
+  // Rank all events by this user's interest (sim desc, id asc).
+  std::vector<EventId> ranked;
+  ranked.reserve(instance_.num_events());
+  for (EventId v = 0; v < instance_.num_events(); ++v) {
+    if (instance_.Similarity(v, u) > 0.0) ranked.push_back(v);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](EventId a, EventId b) {
+    const double sa = instance_.Similarity(a, u);
+    const double sb = instance_.Similarity(b, u);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+
+  std::vector<EventId> taken;
+  int budget = instance_.user_capacity(u);
+  const ConflictGraph& conflicts = instance_.conflicts();
+  for (const EventId v : ranked) {
+    if (budget == 0) break;
+    if (event_capacity_[v] <= 0) continue;
+    bool conflicting = false;
+    for (const EventId w : taken) {
+      if (conflicts.AreConflicting(v, w)) {
+        conflicting = true;
+        break;
+      }
+    }
+    if (conflicting) continue;
+    arrangement_.Add(v, u);
+    --event_capacity_[v];
+    --budget;
+    taken.push_back(v);
+  }
+  return taken;
+}
+
+SolveResult OnlineGreedySolver::Solve(const Instance& instance) const {
+  WallTimer timer;
+  SolverStats stats;
+  OnlineArranger arranger(instance);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    arranger.ArriveUser(u);
+  }
+  Arrangement result(instance.num_events(), instance.num_users());
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    for (const EventId v : arranger.arrangement().EventsOf(u)) {
+      result.Add(v, u);
+    }
+  }
+  stats.logical_peak_bytes =
+      result.ByteEstimate() * 2 +
+      static_cast<uint64_t>(instance.num_events()) * sizeof(int);
+  stats.wall_seconds = timer.Seconds();
+  return {std::move(result), stats};
+}
+
+}  // namespace geacc

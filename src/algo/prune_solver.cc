@@ -1,0 +1,248 @@
+#include "algo/prune_solver.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "algo/greedy_solver.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace geacc {
+namespace {
+
+// Recursion context for Search-GEACC (Algorithm 4). The instance is small
+// (the search is exponential), so everything is precomputed densely.
+class SearchContext {
+ public:
+  SearchContext(const Instance& instance, const SolverOptions& options,
+                Arrangement seed, SolverStats* stats)
+      : instance_(instance),
+        options_(options),
+        stats_(stats),
+        num_events_(instance.num_events()),
+        num_users_(instance.num_users()),
+        best_(std::move(seed)),
+        current_(num_events_, num_users_) {
+    best_sum_ = best_.MaxSum(instance);
+
+    // Dense similarity table and per-event users sorted by (sim desc,
+    // id asc) — the "j-NN of v" lists of Section IV.
+    sim_.resize(static_cast<size_t>(num_events_) * num_users_);
+    sorted_users_.resize(static_cast<size_t>(num_events_) * num_users_);
+    for (EventId v = 0; v < num_events_; ++v) {
+      for (UserId u = 0; u < num_users_; ++u) {
+        sim_[Flat(v, u)] = instance.Similarity(v, u);
+      }
+      UserId* row = sorted_users_.data() + Flat(v, 0);
+      std::iota(row, row + num_users_, 0);
+      std::sort(row, row + num_users_, [&](UserId a, UserId b) {
+        const double sa = sim_[Flat(v, a)];
+        const double sb = sim_[Flat(v, b)];
+        if (sa != sb) return sa > sb;
+        return a < b;
+      });
+    }
+
+    // L: events in non-increasing s_v * c_v (Algorithm 3 line 5).
+    event_order_.resize(num_events_);
+    std::iota(event_order_.begin(), event_order_.end(), 0);
+    if (options_.enable_event_ordering) {
+      std::sort(event_order_.begin(), event_order_.end(),
+                [&](EventId a, EventId b) {
+                  const double pa = BestSim(a) * instance_.event_capacity(a);
+                  const double pb = BestSim(b) * instance_.event_capacity(b);
+                  if (pa != pb) return pa > pb;
+                  return a < b;
+                });
+    }
+
+    remaining_event_capacity_.resize(num_events_);
+    remaining_user_capacity_.resize(num_users_);
+    for (EventId v = 0; v < num_events_; ++v) {
+      remaining_event_capacity_[v] = instance.event_capacity(v);
+    }
+    for (UserId u = 0; u < num_users_; ++u) {
+      remaining_user_capacity_[u] = instance.user_capacity(u);
+    }
+
+    // sum_remain = Σ_{k ≥ 2} s_{L[k]} * c_{L[k]} (Algorithm 3 line 6).
+    sum_remain_ = 0.0;
+    for (int k = 1; k < num_events_; ++k) {
+      const EventId v = event_order_[k];
+      sum_remain_ += BestSim(v) * instance_.event_capacity(v);
+    }
+  }
+
+  // Runs the recursion and returns the best matching found.
+  Arrangement Run() {
+    if (num_events_ > 0 && num_users_ > 0) Search(0, 0);
+    return std::move(best_);
+  }
+
+  uint64_t ByteEstimate() const {
+    return VectorBytes(sim_) + VectorBytes(sorted_users_) +
+           VectorBytes(event_order_) + VectorBytes(remaining_event_capacity_) +
+           VectorBytes(remaining_user_capacity_) + best_.ByteEstimate() +
+           current_.ByteEstimate();
+  }
+
+ private:
+  size_t Flat(EventId v, int j) const {
+    return static_cast<size_t>(v) * num_users_ + j;
+  }
+
+  // s_v: similarity of v's nearest user (0 when there are no users).
+  double BestSim(EventId v) const {
+    if (num_users_ == 0) return 0.0;
+    return sim_[Flat(v, sorted_users_[Flat(v, 0)])];
+  }
+
+  // 1-based recursion depth of the pair (event_pos, user_pos), i.e. the
+  // number of pairs visited so far along this path — Fig. 6a's depth.
+  int64_t Depth(int event_pos, int user_pos) const {
+    return static_cast<int64_t>(event_pos) * num_users_ + user_pos + 1;
+  }
+
+  bool Truncated() {
+    if (options_.max_search_invocations > 0 &&
+        stats_->search_invocations >= options_.max_search_invocations) {
+      stats_->search_truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  void RecordPrune(int event_pos, int user_pos) {
+    ++stats_->prune_events;
+    stats_->sum_prune_depth += Depth(event_pos, user_pos);
+  }
+
+  void MaybeUpdateBest() {
+    ++stats_->complete_searches;
+    if (current_sum_ > best_sum_) {
+      best_sum_ = current_sum_;
+      // Deep-copy the current matching.
+      Arrangement copy(num_events_, num_users_);
+      for (UserId u = 0; u < num_users_; ++u) {
+        for (const EventId v : current_.EventsOf(u)) copy.Add(v, u);
+      }
+      best_ = std::move(copy);
+    }
+  }
+
+  // Shared tail of both branches (Algorithm 4 lines 6–17): after fixing
+  // the state of the pair at (event_pos, user_pos), descend to the next
+  // pair, applying Lemma 6's bound before each descent.
+  void Advance(int event_pos, int user_pos) {
+    const EventId v = event_order_[event_pos];
+    if (user_pos + 1 >= num_users_ || remaining_event_capacity_[v] == 0) {
+      // Done with v's pairs: move to the next event (lines 6–13).
+      if (event_pos + 1 >= num_events_) {
+        MaybeUpdateBest();  // all pairs enumerated (lines 7–9)
+        return;
+      }
+      if (!options_.enable_pruning ||
+          current_sum_ + sum_remain_ > best_sum_) {
+        const EventId next_event = event_order_[event_pos + 1];
+        const double next_term =
+            BestSim(next_event) * instance_.event_capacity(next_event);
+        sum_remain_ -= next_term;  // line 11
+        Search(event_pos + 1, 0);
+        sum_remain_ += next_term;  // line 13
+      } else {
+        RecordPrune(event_pos, user_pos);
+      }
+      return;
+    }
+    // Stay on v, move to its next NN (lines 14–17).
+    const UserId next_user = sorted_users_[Flat(v, user_pos + 1)];
+    const double bound_term = sim_[Flat(v, next_user)] *
+                              remaining_event_capacity_[v];
+    if (!options_.enable_pruning ||
+        current_sum_ + sum_remain_ + bound_term > best_sum_) {
+      Search(event_pos, user_pos + 1);
+    } else {
+      RecordPrune(event_pos, user_pos);
+    }
+  }
+
+  // Algorithm 4: enumerate both states of the pair at (event_pos,
+  // user_pos) where the event is L[event_pos] and the user is its
+  // (user_pos+1)-th NN.
+  void Search(int event_pos, int user_pos) {
+    ++stats_->search_invocations;
+    stats_->max_depth = std::max(stats_->max_depth, Depth(event_pos, user_pos));
+    if (Truncated()) return;
+
+    const EventId v = event_order_[event_pos];
+    const UserId u = sorted_users_[Flat(v, user_pos)];
+    const double similarity = sim_[Flat(v, u)];
+
+    const bool addable =
+        remaining_event_capacity_[v] > 0 && remaining_user_capacity_[u] > 0 &&
+        similarity > 0.0 && !ConflictsWithMatched(v, u);
+    if (addable) {
+      // Branch 1: {v, u} matched (lines 4–19).
+      current_.Add(v, u);
+      --remaining_event_capacity_[v];
+      --remaining_user_capacity_[u];
+      current_sum_ += similarity;
+      Advance(event_pos, user_pos);
+      current_sum_ -= similarity;
+      ++remaining_event_capacity_[v];
+      ++remaining_user_capacity_[u];
+      current_.Remove(v, u);
+    }
+    // Branch 2: {v, u} unmatched (line 20).
+    Advance(event_pos, user_pos);
+  }
+
+  bool ConflictsWithMatched(EventId v, UserId u) const {
+    for (const EventId w : current_.EventsOf(u)) {
+      if (instance_.conflicts().AreConflicting(v, w)) return true;
+    }
+    return false;
+  }
+
+  const Instance& instance_;
+  const SolverOptions& options_;
+  SolverStats* stats_;
+  const int num_events_;
+  const int num_users_;
+
+  std::vector<double> sim_;            // dense |V|×|U| similarities
+  std::vector<UserId> sorted_users_;   // per event, users by sim desc
+  std::vector<EventId> event_order_;   // L
+  std::vector<int> remaining_event_capacity_;
+  std::vector<int> remaining_user_capacity_;
+
+  Arrangement best_;
+  double best_sum_ = 0.0;
+  Arrangement current_;
+  double current_sum_ = 0.0;
+  double sum_remain_ = 0.0;
+};
+
+}  // namespace
+
+SolveResult PruneSolver::Solve(const Instance& instance) const {
+  WallTimer timer;
+  SolverStats stats;
+
+  // Algorithm 3 line 1: warm-start with Greedy-GEACC so poor matchings are
+  // pruned from the beginning.
+  Arrangement seed(instance.num_events(), instance.num_users());
+  if (options_.enable_greedy_seed && options_.enable_pruning) {
+    GreedySolver greedy(options_);
+    seed = greedy.Solve(instance).arrangement;
+  }
+
+  SearchContext context(instance, options_, std::move(seed), &stats);
+  Arrangement best = context.Run();
+  stats.logical_peak_bytes = context.ByteEstimate();
+  stats.wall_seconds = timer.Seconds();
+  return {std::move(best), stats};
+}
+
+}  // namespace geacc

@@ -1,0 +1,49 @@
+// Prune-GEACC (paper Algorithms 3–4, Section IV) — exact branch-and-bound.
+//
+// Pair states (matched / unmatched) are enumerated recursively: events in
+// non-increasing s_v·c_v order (s_v = similarity of v's nearest user),
+// each event's users in non-increasing similarity order. Before descending,
+// Lemma 6's upper bound
+//
+//   sum_max = MaxSum(M_visited) + sum_remain + sim(v, u_next)·c_v_remain
+//
+// is compared against the best complete matching found so far (seeded with
+// Greedy-GEACC's result); branches that cannot beat it are pruned.
+//
+// SolverOptions toggles:
+//   enable_pruning=false        → the "exhaustive search without pruning"
+//                                 comparator of Fig. 6 (still respects
+//                                 feasibility, never prunes on the bound);
+//   enable_greedy_seed=false    → start from the empty matching;
+//   enable_event_ordering=false → visit events in id order (ablation);
+//   max_search_invocations      → safety valve for the exponential search.
+//
+// Statistics (search invocations, complete searches, prune events with
+// depth, max depth) feed the Fig. 6 benches.
+
+#ifndef GEACC_ALGO_PRUNE_SOLVER_H_
+#define GEACC_ALGO_PRUNE_SOLVER_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/solver.h"
+
+namespace geacc {
+
+class PruneSolver final : public Solver {
+ public:
+  explicit PruneSolver(SolverOptions options = {}) : options_(options) {}
+
+  std::string Name() const override {
+    return options_.enable_pruning ? "prune" : "exhaustive";
+  }
+  SolveResult Solve(const Instance& instance) const override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_ALGO_PRUNE_SOLVER_H_

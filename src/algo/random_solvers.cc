@@ -1,0 +1,82 @@
+#include "algo/random_solvers.h"
+
+#include <vector>
+
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace geacc {
+namespace {
+
+// Shared acceptance logic: a pair is addable if similarity is positive,
+// both sides have remaining capacity, and no conflict with u's matches.
+bool Addable(const Instance& instance, const Arrangement& matching,
+             const std::vector<int>& event_capacity,
+             const std::vector<int>& user_capacity, EventId v, UserId u) {
+  if (event_capacity[v] <= 0 || user_capacity[u] <= 0) return false;
+  if (instance.Similarity(v, u) <= 0.0) return false;
+  for (const EventId w : matching.EventsOf(u)) {
+    if (instance.conflicts().AreConflicting(v, w)) return false;
+  }
+  return true;
+}
+
+SolveResult SolveRandom(const Instance& instance, uint64_t seed,
+                        bool event_major) {
+  WallTimer timer;
+  SolverStats stats;
+  const int num_events = instance.num_events();
+  const int num_users = instance.num_users();
+  Arrangement matching(num_events, num_users);
+  Rng rng(seed);
+  std::vector<int> event_capacity(num_events);
+  std::vector<int> user_capacity(num_users);
+  for (EventId v = 0; v < num_events; ++v) {
+    event_capacity[v] = instance.event_capacity(v);
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    user_capacity[u] = instance.user_capacity(u);
+  }
+
+  auto try_add = [&](EventId v, UserId u, double probability) {
+    if (!rng.Bernoulli(probability)) return;
+    if (!Addable(instance, matching, event_capacity, user_capacity, v, u)) {
+      return;
+    }
+    matching.Add(v, u);
+    --event_capacity[v];
+    --user_capacity[u];
+  };
+
+  if (event_major) {
+    for (EventId v = 0; v < num_events && num_users > 0; ++v) {
+      const double p = static_cast<double>(instance.event_capacity(v)) /
+                       static_cast<double>(num_users);
+      for (UserId u = 0; u < num_users; ++u) try_add(v, u, p);
+    }
+  } else {
+    for (UserId u = 0; u < num_users && num_events > 0; ++u) {
+      const double p = static_cast<double>(instance.user_capacity(u)) /
+                       static_cast<double>(num_events);
+      for (EventId v = 0; v < num_events; ++v) try_add(v, u, p);
+    }
+  }
+  stats.logical_peak_bytes = VectorBytes(event_capacity) +
+                             VectorBytes(user_capacity) +
+                             matching.ByteEstimate();
+  stats.wall_seconds = timer.Seconds();
+  return {std::move(matching), stats};
+}
+
+}  // namespace
+
+SolveResult RandomVSolver::Solve(const Instance& instance) const {
+  return SolveRandom(instance, options_.seed, /*event_major=*/true);
+}
+
+SolveResult RandomUSolver::Solve(const Instance& instance) const {
+  return SolveRandom(instance, options_.seed, /*event_major=*/false);
+}
+
+}  // namespace geacc

@@ -1,0 +1,42 @@
+// The paper's random baselines (Section V, "Baselines").
+//
+// Random-V iterates events in id order and offers each pair {v, u} with
+// probability c_v / |U|, accepting it if all constraints hold. Random-U is
+// the symmetric user-side variant with probability c_u / |V|. Both are
+// deterministic functions of SolverOptions::seed.
+
+#ifndef GEACC_ALGO_RANDOM_SOLVERS_H_
+#define GEACC_ALGO_RANDOM_SOLVERS_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/solver.h"
+
+namespace geacc {
+
+class RandomVSolver final : public Solver {
+ public:
+  explicit RandomVSolver(SolverOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "random-v"; }
+  SolveResult Solve(const Instance& instance) const override;
+
+ private:
+  SolverOptions options_;
+};
+
+class RandomUSolver final : public Solver {
+ public:
+  explicit RandomUSolver(SolverOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "random-u"; }
+  SolveResult Solve(const Instance& instance) const override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_ALGO_RANDOM_SOLVERS_H_

@@ -1,0 +1,47 @@
+#include "algo/solvers.h"
+
+#include "algo/brute_force_solver.h"
+#include "algo/greedy_solver.h"
+#include "algo/min_cost_flow_solver.h"
+#include "algo/prune_solver.h"
+#include "algo/online_greedy_solver.h"
+#include "algo/random_solvers.h"
+#include "algo/sort_all_greedy_solver.h"
+
+namespace geacc {
+
+std::unique_ptr<Solver> CreateSolver(const std::string& name,
+                                     SolverOptions options) {
+  if (name == "greedy") return std::make_unique<GreedySolver>(options);
+  if (name == "greedy-sortall") {
+    return std::make_unique<SortAllGreedySolver>(options);
+  }
+  if (name == "online-greedy") {
+    return std::make_unique<OnlineGreedySolver>(options);
+  }
+  if (name == "mincostflow") {
+    return std::make_unique<MinCostFlowSolver>(options);
+  }
+  if (name == "prune") {
+    options.enable_pruning = true;
+    return std::make_unique<PruneSolver>(options);
+  }
+  if (name == "exhaustive") {
+    options.enable_pruning = false;
+    return std::make_unique<PruneSolver>(options);
+  }
+  if (name == "bruteforce") {
+    return std::make_unique<BruteForceSolver>(options);
+  }
+  if (name == "random-v") return std::make_unique<RandomVSolver>(options);
+  if (name == "random-u") return std::make_unique<RandomUSolver>(options);
+  return nullptr;
+}
+
+std::vector<std::string> SolverNames() {
+  return {"greedy",     "greedy-sortall", "online-greedy",
+          "mincostflow", "prune",          "exhaustive",
+          "bruteforce", "random-v",       "random-u"};
+}
+
+}  // namespace geacc

@@ -1,0 +1,29 @@
+// Solver registry: string names → solver instances.
+//
+// Names: "greedy", "greedy-sortall" (materialize-and-sort ablation with
+// identical output), "online-greedy" (user-at-a-time streaming baseline),
+// "mincostflow", "prune", "exhaustive" (Prune-GEACC with the bound
+// disabled), "bruteforce", "random-v", "random-u".
+
+#ifndef GEACC_ALGO_SOLVERS_H_
+#define GEACC_ALGO_SOLVERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace geacc {
+
+// Creates a solver by name, or nullptr for unknown names. For
+// "exhaustive", options.enable_pruning is forced off.
+std::unique_ptr<Solver> CreateSolver(const std::string& name,
+                                     SolverOptions options = {});
+
+// All registry names, in presentation order.
+std::vector<std::string> SolverNames();
+
+}  // namespace geacc
+
+#endif  // GEACC_ALGO_SOLVERS_H_

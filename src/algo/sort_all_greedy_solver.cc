@@ -1,0 +1,79 @@
+#include "algo/sort_all_greedy_solver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace geacc {
+namespace {
+
+struct Candidate {
+  double similarity;
+  EventId v;
+  UserId u;
+};
+
+}  // namespace
+
+SolveResult SortAllGreedySolver::Solve(const Instance& instance) const {
+  WallTimer timer;
+  SolverStats stats;
+  const int num_events = instance.num_events();
+  const int num_users = instance.num_users();
+  Arrangement matching(num_events, num_users);
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(static_cast<size_t>(num_events) * num_users);
+  for (EventId v = 0; v < num_events; ++v) {
+    for (UserId u = 0; u < num_users; ++u) {
+      const double sim = instance.Similarity(v, u);
+      if (sim > 0.0) candidates.push_back({sim, v, u});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              if (a.v != b.v) return a.v < b.v;
+              return a.u < b.u;
+            });
+
+  std::vector<int> event_capacity(num_events);
+  std::vector<int> user_capacity(num_users);
+  for (EventId v = 0; v < num_events; ++v) {
+    event_capacity[v] = instance.event_capacity(v);
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    user_capacity[u] = instance.user_capacity(u);
+  }
+  const ConflictGraph& conflicts = instance.conflicts();
+  for (const Candidate& candidate : candidates) {
+    if (event_capacity[candidate.v] <= 0 ||
+        user_capacity[candidate.u] <= 0) {
+      continue;
+    }
+    bool conflicting = false;
+    for (const EventId w : matching.EventsOf(candidate.u)) {
+      if (conflicts.AreConflicting(candidate.v, w)) {
+        conflicting = true;
+        break;
+      }
+    }
+    if (conflicting) continue;
+    matching.Add(candidate.v, candidate.u);
+    --event_capacity[candidate.v];
+    --user_capacity[candidate.u];
+  }
+
+  stats.logical_peak_bytes = VectorBytes(candidates) +
+                             VectorBytes(event_capacity) +
+                             VectorBytes(user_capacity) +
+                             matching.ByteEstimate();
+  stats.wall_seconds = timer.Seconds();
+  return {std::move(matching), stats};
+}
+
+}  // namespace geacc

@@ -1,0 +1,400 @@
+// In-memory B+-tree: sorted multi-key container with linked leaves.
+//
+// The substrate behind IDistanceIndex — the paper's citation [7] describes
+// iDistance as "an adaptive B+-tree based indexing method", keying every
+// point by pivot_id · C + distance and answering kNN queries with
+// bidirectional leaf scans around a search key. This tree provides exactly
+// that access pattern: LowerBound/UpperBound positioning plus
+// bidirectional iteration over doubly-linked leaves.
+//
+// Properties:
+//   * duplicate keys allowed (Insert places new equal keys after existing
+//     ones; BulkLoad preserves the input order of equal keys);
+//   * BulkLoad builds packed leaves from sorted input in O(n);
+//   * Insert splits upward, standard B+-tree;
+//   * iterators are bidirectional and remain valid until the next
+//     mutation.
+//
+// Header-only because it is templated; deliberately free of GEACC types so
+// it is reusable (and testable against std::multimap).
+
+#ifndef GEACC_CONTAINER_BPLUS_TREE_H_
+#define GEACC_CONTAINER_BPLUS_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geacc {
+
+template <typename Key, typename Value, int kFanout = 64>
+class BPlusTree {
+  static_assert(kFanout >= 4, "fanout must be at least 4");
+
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    virtual ~Node() = default;
+    bool is_leaf;
+  };
+
+  struct Leaf final : Node {
+    Leaf() : Node(true) {}
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    Leaf* prev = nullptr;
+    Leaf* next = nullptr;
+  };
+
+  struct Internal final : Node {
+    Internal() : Node(false) {}
+    // children.size() == separators.size() + 1. separators[i] is the
+    // smallest key stored under children[i + 1]; descent goes right past
+    // every separator <= key (so equal keys are found by the leaf scan,
+    // which also walks back across leaf boundaries for LowerBound).
+    std::vector<Key> separators;
+    std::vector<Node*> children;
+  };
+
+ public:
+  BPlusTree() = default;
+
+  // Non-copyable (node graph), movable.
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Height of the tree (0 when empty, 1 = a single leaf).
+  int height() const { return height_; }
+
+  uint64_t ByteEstimate() const { return byte_estimate_; }
+
+  // Replaces the contents with `entries`, which must be sorted by key.
+  void BulkLoad(const std::vector<std::pair<Key, Value>>& entries);
+
+  // Inserts one entry.
+  void Insert(const Key& key, const Value& value);
+
+  class ConstIterator {
+   public:
+    ConstIterator() = default;
+
+    const Key& key() const { return leaf_->keys[index_]; }
+    const Value& value() const { return leaf_->values[index_]; }
+
+    // Advances toward larger keys. Must not be end().
+    ConstIterator& operator++() {
+      GEACC_DCHECK(leaf_ != nullptr);
+      if (++index_ >= static_cast<int>(leaf_->keys.size())) {
+        leaf_ = leaf_->next;
+        index_ = 0;
+      }
+      return *this;
+    }
+
+    // Retreats toward smaller keys. Must not be begin(); decrementing
+    // end() yields the last element.
+    ConstIterator& operator--() {
+      if (leaf_ == nullptr) {
+        leaf_ = tree_->last_leaf_;
+        GEACC_DCHECK(leaf_ != nullptr) << "decremented end() of empty tree";
+        index_ = static_cast<int>(leaf_->keys.size()) - 1;
+        return *this;
+      }
+      if (--index_ < 0) {
+        leaf_ = leaf_->prev;
+        GEACC_DCHECK(leaf_ != nullptr) << "decremented begin()";
+        index_ = static_cast<int>(leaf_->keys.size()) - 1;
+      }
+      return *this;
+    }
+
+    bool operator==(const ConstIterator& other) const {
+      return leaf_ == other.leaf_ &&
+             (leaf_ == nullptr || index_ == other.index_);
+    }
+    bool operator!=(const ConstIterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class BPlusTree;
+
+    ConstIterator(const BPlusTree* tree, const Leaf* leaf, int index)
+        : tree_(tree), leaf_(leaf), index_(index) {}
+
+    const BPlusTree* tree_ = nullptr;
+    const Leaf* leaf_ = nullptr;  // nullptr = end()
+    int index_ = 0;
+  };
+
+  ConstIterator begin() const { return ConstIterator(this, first_leaf_, 0); }
+  ConstIterator end() const { return ConstIterator(this, nullptr, 0); }
+
+  // First position with key() >= key (end() if none).
+  ConstIterator LowerBound(const Key& key) const {
+    return Bound(key, /*strictly_greater=*/false);
+  }
+  // First position with key() > key (end() if none).
+  ConstIterator UpperBound(const Key& key) const {
+    return Bound(key, /*strictly_greater=*/true);
+  }
+
+  // Structural invariant check (tests).
+  void DebugValidate() const;
+
+ private:
+  Leaf* NewLeaf() {
+    nodes_.push_back(std::make_unique<Leaf>());
+    byte_estimate_ += sizeof(Leaf) + kFanout * (sizeof(Key) + sizeof(Value));
+    return static_cast<Leaf*>(nodes_.back().get());
+  }
+
+  Internal* NewInternal() {
+    nodes_.push_back(std::make_unique<Internal>());
+    byte_estimate_ +=
+        sizeof(Internal) + kFanout * (sizeof(Key) + sizeof(Node*));
+    return static_cast<Internal*>(nodes_.back().get());
+  }
+
+  void Clear() {
+    nodes_.clear();
+    root_ = nullptr;
+    first_leaf_ = nullptr;
+    last_leaf_ = nullptr;
+    size_ = 0;
+    height_ = 0;
+    byte_estimate_ = 0;
+  }
+
+  // Descends to the leaf whose range covers `key` (rightmost leaf whose
+  // head is <= key).
+  const Leaf* FindLeaf(const Key& key) const {
+    const Node* node = root_;
+    if (node == nullptr) return nullptr;
+    while (!node->is_leaf) {
+      const auto* internal = static_cast<const Internal*>(node);
+      size_t child = 0;
+      while (child < internal->separators.size() &&
+             !(key < internal->separators[child])) {
+        ++child;  // separator <= key: go right of it
+      }
+      node = internal->children[child];
+    }
+    return static_cast<const Leaf*>(node);
+  }
+
+  ConstIterator Bound(const Key& key, bool strictly_greater) const {
+    const Leaf* leaf = FindLeaf(key);
+    if (leaf == nullptr) return end();
+    // For LowerBound, equal keys may extend into preceding leaves when a
+    // separator equals `key`; walk back while the previous leaf still
+    // ends with a qualifying key.
+    if (!strictly_greater) {
+      while (leaf->prev != nullptr && !leaf->prev->keys.empty() &&
+             !(leaf->prev->keys.back() < key)) {
+        leaf = leaf->prev;
+      }
+    }
+    while (leaf != nullptr) {
+      const auto& keys = leaf->keys;
+      const auto it =
+          strictly_greater
+              ? std::upper_bound(keys.begin(), keys.end(), key)
+              : std::lower_bound(keys.begin(), keys.end(), key);
+      if (it != keys.end()) {
+        return ConstIterator(this, leaf,
+                             static_cast<int>(it - keys.begin()));
+      }
+      leaf = leaf->next;
+    }
+    return end();
+  }
+
+  // All nodes owned here; raw pointers elsewhere are non-owning.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Node* root_ = nullptr;
+  Leaf* first_leaf_ = nullptr;
+  Leaf* last_leaf_ = nullptr;
+  int64_t size_ = 0;
+  int height_ = 0;
+  uint64_t byte_estimate_ = 0;
+};
+
+template <typename Key, typename Value, int kFanout>
+void BPlusTree<Key, Value, kFanout>::BulkLoad(
+    const std::vector<std::pair<Key, Value>>& entries) {
+  Clear();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    GEACC_DCHECK(!(entries[i].first < entries[i - 1].first))
+        << "BulkLoad input must be sorted";
+  }
+  if (entries.empty()) return;
+  size_ = static_cast<int64_t>(entries.size());
+
+  // Pack leaves to ~7/8 fullness so later Inserts have slack.
+  const int per_leaf = std::max(2, kFanout * 7 / 8);
+  std::vector<Node*> level;
+  std::vector<Key> level_heads;  // smallest key under each node
+  Leaf* previous = nullptr;
+  for (size_t start = 0; start < entries.size();
+       start += static_cast<size_t>(per_leaf)) {
+    Leaf* leaf = NewLeaf();
+    const size_t stop =
+        std::min(entries.size(), start + static_cast<size_t>(per_leaf));
+    for (size_t i = start; i < stop; ++i) {
+      leaf->keys.push_back(entries[i].first);
+      leaf->values.push_back(entries[i].second);
+    }
+    leaf->prev = previous;
+    if (previous != nullptr) previous->next = leaf;
+    previous = leaf;
+    if (first_leaf_ == nullptr) first_leaf_ = leaf;
+    level.push_back(leaf);
+    level_heads.push_back(leaf->keys.front());
+  }
+  last_leaf_ = previous;
+  height_ = 1;
+
+  // Build internal levels bottom-up.
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    std::vector<Key> parent_heads;
+    for (size_t start = 0; start < level.size();
+         start += static_cast<size_t>(kFanout)) {
+      Internal* parent = NewInternal();
+      const size_t stop =
+          std::min(level.size(), start + static_cast<size_t>(kFanout));
+      for (size_t i = start; i < stop; ++i) {
+        parent->children.push_back(level[i]);
+        if (i > start) parent->separators.push_back(level_heads[i]);
+      }
+      parents.push_back(parent);
+      parent_heads.push_back(level_heads[start]);
+    }
+    level = std::move(parents);
+    level_heads = std::move(parent_heads);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+template <typename Key, typename Value, int kFanout>
+void BPlusTree<Key, Value, kFanout>::Insert(const Key& key,
+                                            const Value& value) {
+  if (root_ == nullptr) {
+    Leaf* leaf = NewLeaf();
+    leaf->keys.push_back(key);
+    leaf->values.push_back(value);
+    root_ = leaf;
+    first_leaf_ = last_leaf_ = leaf;
+    size_ = 1;
+    height_ = 1;
+    return;
+  }
+
+  // Descend, remembering the path. Equal separators go right so the new
+  // entry lands after existing equal keys.
+  std::vector<Internal*> path;
+  std::vector<int> path_child;
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* internal = static_cast<Internal*>(node);
+    int child = 0;
+    while (child < static_cast<int>(internal->separators.size()) &&
+           !(key < internal->separators[child])) {
+      ++child;
+    }
+    path.push_back(internal);
+    path_child.push_back(child);
+    node = internal->children[child];
+  }
+  auto* leaf = static_cast<Leaf*>(node);
+
+  // Position within the leaf: after all keys <= key.
+  const auto position = std::upper_bound(leaf->keys.begin(),
+                                         leaf->keys.end(), key) -
+                        leaf->keys.begin();
+  leaf->keys.insert(leaf->keys.begin() + position, key);
+  leaf->values.insert(leaf->values.begin() + position, value);
+  ++size_;
+  if (static_cast<int>(leaf->keys.size()) <= kFanout) return;
+
+  // Split the leaf.
+  Leaf* right = NewLeaf();
+  const int half = static_cast<int>(leaf->keys.size()) / 2;
+  right->keys.assign(leaf->keys.begin() + half, leaf->keys.end());
+  right->values.assign(leaf->values.begin() + half, leaf->values.end());
+  leaf->keys.resize(half);
+  leaf->values.resize(half);
+  right->next = leaf->next;
+  right->prev = leaf;
+  if (leaf->next != nullptr) leaf->next->prev = right;
+  leaf->next = right;
+  if (last_leaf_ == leaf) last_leaf_ = right;
+
+  Key separator = right->keys.front();
+  Node* new_child = right;
+  // Propagate splits upward.
+  for (int depth = static_cast<int>(path.size()) - 1; depth >= 0; --depth) {
+    Internal* parent = path[depth];
+    const int child = path_child[depth];
+    parent->separators.insert(parent->separators.begin() + child, separator);
+    parent->children.insert(parent->children.begin() + child + 1, new_child);
+    if (static_cast<int>(parent->children.size()) <= kFanout) return;
+    // Split the internal node; the middle separator moves up.
+    Internal* right_internal = NewInternal();
+    const int mid = static_cast<int>(parent->separators.size()) / 2;
+    const Key promoted = parent->separators[mid];
+    right_internal->separators.assign(parent->separators.begin() + mid + 1,
+                                      parent->separators.end());
+    right_internal->children.assign(parent->children.begin() + mid + 1,
+                                    parent->children.end());
+    parent->separators.resize(mid);
+    parent->children.resize(mid + 1);
+    separator = promoted;
+    new_child = right_internal;
+  }
+  // Root split.
+  Internal* new_root = NewInternal();
+  new_root->separators.push_back(separator);
+  new_root->children.push_back(root_);
+  new_root->children.push_back(new_child);
+  root_ = new_root;
+  ++height_;
+}
+
+template <typename Key, typename Value, int kFanout>
+void BPlusTree<Key, Value, kFanout>::DebugValidate() const {
+  int64_t counted = 0;
+  const Leaf* leaf = first_leaf_;
+  const Leaf* previous = nullptr;
+  while (leaf != nullptr) {
+    GEACC_CHECK(leaf->prev == previous);
+    GEACC_CHECK_EQ(leaf->keys.size(), leaf->values.size());
+    for (size_t i = 1; i < leaf->keys.size(); ++i) {
+      GEACC_CHECK(!(leaf->keys[i] < leaf->keys[i - 1]));
+    }
+    if (previous != nullptr && !previous->keys.empty() &&
+        !leaf->keys.empty()) {
+      GEACC_CHECK(!(leaf->keys.front() < previous->keys.back()));
+    }
+    counted += static_cast<int64_t>(leaf->keys.size());
+    previous = leaf;
+    leaf = leaf->next;
+  }
+  GEACC_CHECK(previous == last_leaf_);
+  GEACC_CHECK_EQ(counted, size_);
+}
+
+}  // namespace geacc
+
+#endif  // GEACC_CONTAINER_BPLUS_TREE_H_

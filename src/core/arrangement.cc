@@ -1,0 +1,122 @@
+#include "core/arrangement.h"
+
+#include <algorithm>
+
+#include "core/instance.h"
+#include "util/check.h"
+#include "util/memory.h"
+#include "util/string_util.h"
+
+namespace geacc {
+
+Arrangement::Arrangement(int num_events, int num_users)
+    : num_events_(num_events), num_users_(num_users) {
+  GEACC_CHECK_GE(num_events, 0);
+  GEACC_CHECK_GE(num_users, 0);
+  user_events_.resize(num_users);
+  event_loads_.assign(num_events, 0);
+}
+
+void Arrangement::Add(EventId v, UserId u) {
+  GEACC_DCHECK(v >= 0 && v < num_events_);
+  GEACC_DCHECK(u >= 0 && u < num_users_);
+  GEACC_DCHECK(!Contains(v, u));
+  user_events_[u].push_back(v);
+  ++event_loads_[v];
+  ++num_pairs_;
+}
+
+void Arrangement::Remove(EventId v, UserId u) {
+  GEACC_DCHECK(u >= 0 && u < num_users_);
+  auto& events = user_events_[u];
+  const auto it = std::find(events.begin(), events.end(), v);
+  GEACC_CHECK(it != events.end()) << "pair {" << v << "," << u << "} absent";
+  events.erase(it);
+  --event_loads_[v];
+  --num_pairs_;
+}
+
+bool Arrangement::Contains(EventId v, UserId u) const {
+  GEACC_DCHECK(u >= 0 && u < num_users_);
+  const auto& events = user_events_[u];
+  return std::find(events.begin(), events.end(), v) != events.end();
+}
+
+const std::vector<EventId>& Arrangement::EventsOf(UserId u) const {
+  GEACC_DCHECK(u >= 0 && u < num_users_);
+  return user_events_[u];
+}
+
+int Arrangement::EventLoad(EventId v) const {
+  GEACC_DCHECK(v >= 0 && v < num_events_);
+  return event_loads_[v];
+}
+
+int Arrangement::UserLoad(UserId u) const {
+  GEACC_DCHECK(u >= 0 && u < num_users_);
+  return static_cast<int>(user_events_[u].size());
+}
+
+std::vector<std::pair<EventId, UserId>> Arrangement::SortedPairs() const {
+  std::vector<std::pair<EventId, UserId>> pairs;
+  pairs.reserve(static_cast<size_t>(num_pairs_));
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (const EventId v : user_events_[u]) pairs.emplace_back(v, u);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+double Arrangement::MaxSum(const Instance& instance) const {
+  GEACC_CHECK_EQ(instance.num_events(), num_events_);
+  GEACC_CHECK_EQ(instance.num_users(), num_users_);
+  double sum = 0.0;
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (const EventId v : user_events_[u]) sum += instance.Similarity(v, u);
+  }
+  return sum;
+}
+
+std::string Arrangement::Validate(const Instance& instance) const {
+  if (instance.num_events() != num_events_ ||
+      instance.num_users() != num_users_) {
+    return "arrangement sized for a different instance";
+  }
+  for (EventId v = 0; v < num_events_; ++v) {
+    if (event_loads_[v] > instance.event_capacity(v)) {
+      return StrFormat("event %d over capacity: %d > %d", v, event_loads_[v],
+                       instance.event_capacity(v));
+    }
+  }
+  for (UserId u = 0; u < num_users_; ++u) {
+    const auto& events = user_events_[u];
+    if (static_cast<int>(events.size()) > instance.user_capacity(u)) {
+      return StrFormat("user %d over capacity: %zu > %d", u, events.size(),
+                       instance.user_capacity(u));
+    }
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (instance.Similarity(events[i], u) <= 0.0) {
+        return StrFormat("pair {%d,%d} has non-positive similarity",
+                         events[i], u);
+      }
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[i] == events[j]) {
+          return StrFormat("duplicate pair {%d,%d}", events[i], u);
+        }
+        if (instance.conflicts().AreConflicting(events[i], events[j])) {
+          return StrFormat("user %d assigned conflicting events %d and %d", u,
+                           events[i], events[j]);
+        }
+      }
+    }
+  }
+  return "";
+}
+
+uint64_t Arrangement::ByteEstimate() const {
+  uint64_t bytes = VectorBytes(event_loads_);
+  for (const auto& events : user_events_) bytes += VectorBytes(events);
+  return bytes;
+}
+
+}  // namespace geacc

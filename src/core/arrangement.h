@@ -1,0 +1,69 @@
+// An event-participant arrangement (the matching M of Definition 5).
+//
+// Stores matched (event, user) pairs with per-side load tracking, computes
+// MaxSum, and validates feasibility against an Instance: capacities,
+// conflict-freeness per user, positive similarity, no duplicates.
+
+#ifndef GEACC_CORE_ARRANGEMENT_H_
+#define GEACC_CORE_ARRANGEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace geacc {
+
+class Instance;
+
+class Arrangement {
+ public:
+  Arrangement() : num_events_(0), num_users_(0) {}
+  Arrangement(int num_events, int num_users);
+
+  // Adds pair {v, u}; it must not already be present. Does not check
+  // feasibility — solvers maintain their own invariants and Validate()
+  // provides the authoritative check.
+  void Add(EventId v, UserId u);
+
+  // Removes pair {v, u}; it must be present.
+  void Remove(EventId v, UserId u);
+
+  bool Contains(EventId v, UserId u) const;
+
+  // Events assigned to user `u`, in insertion order.
+  const std::vector<EventId>& EventsOf(UserId u) const;
+
+  int EventLoad(EventId v) const;
+  int UserLoad(UserId u) const;
+
+  int64_t size() const { return num_pairs_; }
+  bool empty() const { return num_pairs_ == 0; }
+
+  int num_events() const { return num_events_; }
+  int num_users() const { return num_users_; }
+
+  // All matched pairs, sorted by (event, user) — deterministic output.
+  std::vector<std::pair<EventId, UserId>> SortedPairs() const;
+
+  // Σ sim(l_v, l_u) over matched pairs.
+  double MaxSum(const Instance& instance) const;
+
+  // Empty string if feasible for `instance`, else the first violation.
+  std::string Validate(const Instance& instance) const;
+
+  uint64_t ByteEstimate() const;
+
+ private:
+  int num_events_;
+  int num_users_;
+  int64_t num_pairs_ = 0;
+  std::vector<std::vector<EventId>> user_events_;  // per user
+  std::vector<int> event_loads_;                   // per event
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_ARRANGEMENT_H_

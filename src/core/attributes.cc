@@ -1,0 +1,28 @@
+#include "core/attributes.h"
+
+namespace geacc {
+
+AttributeMatrix AttributeMatrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  const int n = static_cast<int>(rows.size());
+  const int dim = n == 0 ? 0 : static_cast<int>(rows[0].size());
+  AttributeMatrix matrix(n, dim);
+  for (int i = 0; i < n; ++i) {
+    GEACC_CHECK_EQ(static_cast<int>(rows[i].size()), dim)
+        << "ragged attribute rows";
+    double* out = matrix.MutableRow(i);
+    for (int j = 0; j < dim; ++j) out[j] = rows[i][j];
+  }
+  return matrix;
+}
+
+double SquaredEuclideanDistance(const double* a, const double* b, int dim) {
+  double sum = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace geacc

@@ -1,0 +1,71 @@
+// Dense row-major attribute storage for events and users.
+//
+// Each entity carries a d-dimensional attribute vector l ∈ [0, T]^d
+// (paper Definitions 1–2). Rows are stored contiguously so that similarity
+// evaluation — the innermost loop of every solver — is cache-friendly.
+
+#ifndef GEACC_CORE_ATTRIBUTES_H_
+#define GEACC_CORE_ATTRIBUTES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geacc {
+
+class AttributeMatrix {
+ public:
+  AttributeMatrix() : rows_(0), dim_(0) {}
+
+  // Allocates rows × dim zeros.
+  AttributeMatrix(int rows, int dim)
+      : rows_(rows), dim_(dim),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(dim), 0.0) {
+    GEACC_CHECK_GE(rows, 0);
+    GEACC_CHECK_GE(dim, 0);
+  }
+
+  // Builds from explicit rows; every row must have the same length.
+  static AttributeMatrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  int rows() const { return rows_; }
+  int dim() const { return dim_; }
+
+  const double* Row(int i) const {
+    GEACC_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  double* MutableRow(int i) {
+    GEACC_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  double At(int i, int j) const {
+    GEACC_DCHECK(j >= 0 && j < dim_);
+    return Row(i)[j];
+  }
+
+  void Set(int i, int j, double value) {
+    GEACC_DCHECK(j >= 0 && j < dim_);
+    MutableRow(i)[j] = value;
+  }
+
+  // Heap bytes held by the matrix (for logical memory accounting).
+  uint64_t ByteEstimate() const {
+    return static_cast<uint64_t>(data_.capacity()) * sizeof(double);
+  }
+
+ private:
+  int rows_;
+  int dim_;
+  std::vector<double> data_;
+};
+
+// Squared Euclidean distance between two length-`dim` vectors.
+double SquaredEuclideanDistance(const double* a, const double* b, int dim);
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_ATTRIBUTES_H_

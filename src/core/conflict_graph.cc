@@ -1,0 +1,95 @@
+#include "core/conflict_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace geacc {
+
+ConflictGraph::ConflictGraph(int num_events) : num_events_(num_events) {
+  GEACC_CHECK_GE(num_events, 0);
+  adjacency_.resize(num_events);
+}
+
+void ConflictGraph::AddConflict(EventId a, EventId b) {
+  GEACC_CHECK(a >= 0 && a < num_events_) << "event id out of range: " << a;
+  GEACC_CHECK(b >= 0 && b < num_events_) << "event id out of range: " << b;
+  GEACC_CHECK_NE(a, b) << "an event cannot conflict with itself";
+  if (!pairs_.insert(Key(a, b)).second) return;  // already present
+  // Keep adjacency sorted for deterministic iteration.
+  auto insert_sorted = [](std::vector<EventId>& list, EventId id) {
+    list.insert(std::upper_bound(list.begin(), list.end(), id), id);
+  };
+  insert_sorted(adjacency_[a], b);
+  insert_sorted(adjacency_[b], a);
+}
+
+bool ConflictGraph::AreConflicting(EventId a, EventId b) const {
+  if (a == b) return false;
+  return pairs_.contains(Key(a, b));
+}
+
+const std::vector<EventId>& ConflictGraph::ConflictsOf(EventId v) const {
+  GEACC_CHECK(v >= 0 && v < num_events_);
+  return adjacency_[v];
+}
+
+double ConflictGraph::Density() const {
+  if (num_events_ < 2) return 0.0;
+  const double total =
+      0.5 * static_cast<double>(num_events_) * (num_events_ - 1);
+  return static_cast<double>(pairs_.size()) / total;
+}
+
+ConflictGraph ConflictGraph::Random(int num_events, double density, Rng& rng) {
+  GEACC_CHECK(density >= 0.0 && density <= 1.0)
+      << "conflict density must be in [0,1], got " << density;
+  ConflictGraph graph(num_events);
+  if (num_events < 2) return graph;
+  const int64_t total =
+      static_cast<int64_t>(num_events) * (num_events - 1) / 2;
+  const auto target = static_cast<int64_t>(density * total + 0.5);
+  if (target >= total) return Complete(num_events);
+  if (target <= 0) return graph;
+  if (target * 3 < total) {
+    // Sparse: rejection-sample distinct pairs.
+    while (graph.num_conflict_pairs() < target) {
+      const auto a = static_cast<EventId>(rng.UniformInt(0, num_events - 1));
+      const auto b = static_cast<EventId>(rng.UniformInt(0, num_events - 1));
+      if (a == b) continue;
+      graph.AddConflict(a, b);
+    }
+  } else {
+    // Dense: Fisher–Yates over the explicit pair list.
+    std::vector<std::pair<EventId, EventId>> all;
+    all.reserve(static_cast<size_t>(total));
+    for (EventId a = 0; a < num_events; ++a) {
+      for (EventId b = a + 1; b < num_events; ++b) all.emplace_back(a, b);
+    }
+    for (int64_t i = 0; i < target; ++i) {
+      const int64_t j = rng.UniformInt(i, total - 1);
+      std::swap(all[i], all[j]);
+      graph.AddConflict(all[i].first, all[i].second);
+    }
+  }
+  return graph;
+}
+
+ConflictGraph ConflictGraph::Complete(int num_events) {
+  ConflictGraph graph(num_events);
+  for (EventId a = 0; a < num_events; ++a) {
+    for (EventId b = a + 1; b < num_events; ++b) graph.AddConflict(a, b);
+  }
+  return graph;
+}
+
+uint64_t ConflictGraph::ByteEstimate() const {
+  uint64_t bytes = pairs_.size() * (sizeof(uint64_t) + sizeof(void*));
+  for (const auto& list : adjacency_) {
+    bytes += list.capacity() * sizeof(EventId);
+  }
+  return bytes;
+}
+
+}  // namespace geacc

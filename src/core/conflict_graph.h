@@ -1,0 +1,67 @@
+// Conflict relation between events (paper Definition 3).
+//
+// Two events conflict if no user can attend both — overlapping timetables,
+// or venues too far apart to travel between. The graph stores the symmetric
+// relation with both an O(1) pair-membership test and per-event adjacency
+// lists (solvers iterate a user's matched events and test conflicts, so both
+// access patterns matter).
+
+#ifndef GEACC_CORE_CONFLICT_GRAPH_H_
+#define GEACC_CORE_CONFLICT_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.h"
+
+namespace geacc {
+
+class Rng;
+
+class ConflictGraph {
+ public:
+  ConflictGraph() : num_events_(0) {}
+  explicit ConflictGraph(int num_events);
+
+  // Adds the unordered conflicting pair {a, b}. Self-conflicts and
+  // duplicates are rejected (duplicates are a no-op).
+  void AddConflict(EventId a, EventId b);
+
+  bool AreConflicting(EventId a, EventId b) const;
+
+  // Events conflicting with `v`, sorted ascending.
+  const std::vector<EventId>& ConflictsOf(EventId v) const;
+
+  int num_events() const { return num_events_; }
+  int64_t num_conflict_pairs() const {
+    return static_cast<int64_t>(pairs_.size());
+  }
+
+  // |CF| / (|V|(|V|-1)/2) — the x-axis of the paper's conflict experiments.
+  double Density() const;
+
+  bool empty() const { return pairs_.empty(); }
+
+  // Uniformly samples `round(density * |V|(|V|-1)/2)` distinct pairs.
+  static ConflictGraph Random(int num_events, double density, Rng& rng);
+
+  // Complete conflict graph (density 1): every event pair conflicts.
+  static ConflictGraph Complete(int num_events);
+
+  uint64_t ByteEstimate() const;
+
+ private:
+  static uint64_t Key(EventId a, EventId b) {
+    if (a > b) std::swap(a, b);
+    return PairKey(a, b);
+  }
+
+  int num_events_;
+  std::vector<std::vector<EventId>> adjacency_;
+  std::unordered_set<uint64_t> pairs_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_CONFLICT_GRAPH_H_

@@ -1,0 +1,126 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/memory.h"
+#include "util/string_util.h"
+
+namespace geacc {
+
+Instance::Instance(AttributeMatrix event_attributes,
+                   std::vector<int> event_capacities,
+                   AttributeMatrix user_attributes,
+                   std::vector<int> user_capacities, ConflictGraph conflicts,
+                   std::unique_ptr<SimilarityFunction> similarity)
+    : event_attributes_(std::move(event_attributes)),
+      event_capacities_(std::move(event_capacities)),
+      user_attributes_(std::move(user_attributes)),
+      user_capacities_(std::move(user_capacities)),
+      conflicts_(std::move(conflicts)),
+      similarity_(std::move(similarity)) {
+  GEACC_CHECK(similarity_ != nullptr);
+  GEACC_CHECK_EQ(static_cast<int>(event_capacities_.size()),
+                 event_attributes_.rows());
+  GEACC_CHECK_EQ(static_cast<int>(user_capacities_.size()),
+                 user_attributes_.rows());
+  GEACC_CHECK_EQ(conflicts_.num_events(), event_attributes_.rows());
+  if (num_events() > 0 && num_users() > 0) {
+    GEACC_CHECK_EQ(event_attributes_.dim(), user_attributes_.dim());
+  }
+  for (const int c : event_capacities_) {
+    max_event_capacity_ = std::max(max_event_capacity_, c);
+    total_event_capacity_ += c;
+  }
+  for (const int c : user_capacities_) {
+    max_user_capacity_ = std::max(max_user_capacity_, c);
+    total_user_capacity_ += c;
+  }
+}
+
+Instance Instance::Clone() const {
+  AttributeMatrix events = event_attributes_;
+  AttributeMatrix users = user_attributes_;
+  return Instance(std::move(events), event_capacities_, std::move(users),
+                  user_capacities_, conflicts_, similarity_->Clone());
+}
+
+std::string Instance::Validate() const {
+  for (int v = 0; v < num_events(); ++v) {
+    if (event_capacities_[v] < 1) {
+      return StrFormat("event %d has non-positive capacity %d", v,
+                       event_capacities_[v]);
+    }
+  }
+  for (int u = 0; u < num_users(); ++u) {
+    if (user_capacities_[u] < 1) {
+      return StrFormat("user %d has non-positive capacity %d", u,
+                       user_capacities_[u]);
+    }
+  }
+  // The paper assumes max c_v <= |U| and max c_u <= |V|; warn-level only,
+  // solvers remain correct, so we do not fail validation on it.
+  return "";
+}
+
+uint64_t Instance::ByteEstimate() const {
+  return event_attributes_.ByteEstimate() + user_attributes_.ByteEstimate() +
+         VectorBytes(event_capacities_) + VectorBytes(user_capacities_) +
+         conflicts_.ByteEstimate();
+}
+
+std::string Instance::DebugString() const {
+  return StrFormat(
+      "Instance(|V|=%d, |U|=%d, d=%d, sim=%s, conflict_density=%.3f, "
+      "sum_cv=%lld, sum_cu=%lld)",
+      num_events(), num_users(), dim(), similarity_->Name().c_str(),
+      conflicts_.Density(), (long long)total_event_capacity_,
+      (long long)total_user_capacity_);
+}
+
+InstanceBuilder& InstanceBuilder::SetSimilarity(
+    std::unique_ptr<SimilarityFunction> sim) {
+  similarity_ = std::move(sim);
+  return *this;
+}
+
+EventId InstanceBuilder::AddEvent(std::vector<double> attributes,
+                                  int capacity) {
+  event_rows_.push_back(std::move(attributes));
+  event_capacities_.push_back(capacity);
+  return static_cast<EventId>(event_rows_.size() - 1);
+}
+
+UserId InstanceBuilder::AddUser(std::vector<double> attributes, int capacity) {
+  user_rows_.push_back(std::move(attributes));
+  user_capacities_.push_back(capacity);
+  return static_cast<UserId>(user_rows_.size() - 1);
+}
+
+InstanceBuilder& InstanceBuilder::AddConflict(EventId a, EventId b) {
+  conflicts_.emplace_back(a, b);
+  return *this;
+}
+
+Instance InstanceBuilder::Build() {
+  ConflictGraph graph(static_cast<int>(event_rows_.size()));
+  for (const auto& [a, b] : conflicts_) graph.AddConflict(a, b);
+  if (similarity_ == nullptr) {
+    double max_attr = 1.0;
+    for (const auto& row : event_rows_) {
+      for (const double x : row) max_attr = std::max(max_attr, x);
+    }
+    for (const auto& row : user_rows_) {
+      for (const double x : row) max_attr = std::max(max_attr, x);
+    }
+    similarity_ = std::make_unique<EuclideanSimilarity>(max_attr);
+  }
+  return Instance(AttributeMatrix::FromRows(event_rows_),
+                  std::move(event_capacities_),
+                  AttributeMatrix::FromRows(user_rows_),
+                  std::move(user_capacities_), std::move(graph),
+                  std::move(similarity_));
+}
+
+}  // namespace geacc

@@ -1,0 +1,100 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace geacc {
+
+ReducedInstance ReduceInstance(const Instance& original) {
+  const int num_events = original.num_events();
+  const int num_users = original.num_users();
+
+  // Positive-similarity partner counts per side.
+  std::vector<int> event_partners(num_events, 0);
+  std::vector<int> user_partners(num_users, 0);
+  for (EventId v = 0; v < num_events; ++v) {
+    for (UserId u = 0; u < num_users; ++u) {
+      if (original.Similarity(v, u) > 0.0) {
+        ++event_partners[v];
+        ++user_partners[u];
+      }
+    }
+  }
+
+  std::vector<EventId> event_map;   // reduced → original
+  std::vector<UserId> user_map;
+  std::vector<int> event_index(num_events, -1);  // original → reduced
+  for (EventId v = 0; v < num_events; ++v) {
+    if (event_partners[v] > 0) {
+      event_index[v] = static_cast<int>(event_map.size());
+      event_map.push_back(v);
+    }
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    if (user_partners[u] > 0) user_map.push_back(u);
+  }
+
+  const int dim = original.dim();
+  AttributeMatrix events(static_cast<int>(event_map.size()), dim);
+  AttributeMatrix users(static_cast<int>(user_map.size()), dim);
+  std::vector<int> event_capacities(event_map.size());
+  std::vector<int> user_capacities(user_map.size());
+  int clamped = 0;
+  for (size_t i = 0; i < event_map.size(); ++i) {
+    const EventId v = event_map[i];
+    const double* src = original.event_attributes().Row(v);
+    std::copy(src, src + dim, events.MutableRow(static_cast<int>(i)));
+    const int capacity =
+        std::min(original.event_capacity(v), event_partners[v]);
+    if (capacity != original.event_capacity(v)) ++clamped;
+    event_capacities[i] = capacity;
+  }
+  for (size_t i = 0; i < user_map.size(); ++i) {
+    const UserId u = user_map[i];
+    const double* src = original.user_attributes().Row(u);
+    std::copy(src, src + dim, users.MutableRow(static_cast<int>(i)));
+    const int capacity =
+        std::min(original.user_capacity(u), user_partners[u]);
+    if (capacity != original.user_capacity(u)) ++clamped;
+    user_capacities[i] = capacity;
+  }
+
+  ConflictGraph conflicts(static_cast<int>(event_map.size()));
+  for (size_t i = 0; i < event_map.size(); ++i) {
+    for (const EventId other : original.conflicts().ConflictsOf(event_map[i])) {
+      const int other_reduced = event_index[other];
+      if (other_reduced > static_cast<int>(i)) {
+        conflicts.AddConflict(static_cast<EventId>(i),
+                              static_cast<EventId>(other_reduced));
+      }
+    }
+  }
+
+  ReducedInstance result{
+      Instance(std::move(events), std::move(event_capacities),
+               std::move(users), std::move(user_capacities),
+               std::move(conflicts), original.similarity().Clone()),
+      std::move(event_map), std::move(user_map), 0, 0, clamped};
+  result.dropped_events =
+      num_events - static_cast<int>(result.event_map.size());
+  result.dropped_users =
+      num_users - static_cast<int>(result.user_map.size());
+  return result;
+}
+
+Arrangement LiftArrangement(const ReducedInstance& reduced,
+                            const Arrangement& arrangement,
+                            const Instance& original) {
+  GEACC_CHECK_EQ(arrangement.num_events(), reduced.instance.num_events());
+  GEACC_CHECK_EQ(arrangement.num_users(), reduced.instance.num_users());
+  Arrangement lifted(original.num_events(), original.num_users());
+  for (UserId u = 0; u < arrangement.num_users(); ++u) {
+    for (const EventId v : arrangement.EventsOf(u)) {
+      lifted.Add(reduced.event_map[v], reduced.user_map[u]);
+    }
+  }
+  return lifted;
+}
+
+}  // namespace geacc

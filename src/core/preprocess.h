@@ -1,0 +1,51 @@
+// Instance preprocessing: safe reductions before solving.
+//
+// GEACC instances from real platforms contain dead weight the solvers
+// repeatedly re-discover: users with no positively-similar event, events
+// with no positively-similar user, and (for the exact solvers, whose cost
+// is exponential in the pair count) capacities that exceed what could ever
+// be used. Reduce() removes the former and clamps the latter, returning an
+// index mapping so arrangements can be lifted back to the original ids.
+//
+// Every reduction is exact: ReduceInstance preserves the optimal MaxSum,
+// and LiftArrangement of a feasible reduced arrangement is feasible on the
+// original instance with the same MaxSum (tested property).
+
+#ifndef GEACC_CORE_PREPROCESS_H_
+#define GEACC_CORE_PREPROCESS_H_
+
+#include <vector>
+
+#include "core/arrangement.h"
+#include "core/instance.h"
+
+namespace geacc {
+
+struct ReducedInstance {
+  Instance instance;
+  // reduced id → original id.
+  std::vector<EventId> event_map;
+  std::vector<UserId> user_map;
+  // Diagnostics.
+  int dropped_events = 0;
+  int dropped_users = 0;
+  int clamped_capacities = 0;
+};
+
+// Applies the reductions (O(|V|·|U|) similarity scans):
+//  * drop events with no user of positive similarity (they can never be
+//    matched; the paper assumes they do not exist, real data disagrees);
+//  * drop users with no event of positive similarity;
+//  * clamp c_v to the number of positively-similar users and c_u to the
+//    number of positively-similar non-… events (upper bounds on actual
+//    use; tightens Prune-GEACC's s_v·c_v bound and Δmax).
+ReducedInstance ReduceInstance(const Instance& original);
+
+// Lifts an arrangement on the reduced instance back to original ids.
+Arrangement LiftArrangement(const ReducedInstance& reduced,
+                            const Arrangement& arrangement,
+                            const Instance& original);
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_PREPROCESS_H_

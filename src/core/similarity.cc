@@ -1,0 +1,85 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/attributes.h"
+#include "util/check.h"
+
+namespace geacc {
+
+EuclideanSimilarity::EuclideanSimilarity(double max_attribute)
+    : max_attribute_(max_attribute) {
+  GEACC_CHECK_GT(max_attribute, 0.0) << "T must be positive";
+}
+
+double EuclideanSimilarity::Compute(const double* a, const double* b,
+                                    int dim) const {
+  if (dim == 0) return 1.0;
+  const double dist = std::sqrt(SquaredEuclideanDistance(a, b, dim));
+  const double max_dist = max_attribute_ * std::sqrt(static_cast<double>(dim));
+  const double sim = 1.0 - dist / max_dist;
+  // Attributes outside [0,T] would push sim below 0; clamp defensively.
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+std::unique_ptr<SimilarityFunction> EuclideanSimilarity::Clone() const {
+  return std::make_unique<EuclideanSimilarity>(max_attribute_);
+}
+
+double EuclideanSimilarity::DistanceForSimilarity(double sim, int dim) const {
+  const double max_dist = max_attribute_ * std::sqrt(static_cast<double>(dim));
+  return (1.0 - sim) * max_dist;
+}
+
+double CosineSimilarity::Compute(const double* a, const double* b,
+                                 int dim) const {
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    dot += a[j] * b[j];
+    norm_a += a[j] * a[j];
+    norm_b += b[j] * b[j];
+  }
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  return std::clamp(dot / std::sqrt(norm_a * norm_b), 0.0, 1.0);
+}
+
+std::unique_ptr<SimilarityFunction> CosineSimilarity::Clone() const {
+  return std::make_unique<CosineSimilarity>();
+}
+
+RbfSimilarity::RbfSimilarity(double bandwidth) : bandwidth_(bandwidth) {
+  GEACC_CHECK_GT(bandwidth, 0.0);
+  inv_two_bw_sq_ = 1.0 / (2.0 * bandwidth * bandwidth);
+}
+
+double RbfSimilarity::Compute(const double* a, const double* b,
+                              int dim) const {
+  return std::exp(-SquaredEuclideanDistance(a, b, dim) * inv_two_bw_sq_);
+}
+
+std::unique_ptr<SimilarityFunction> RbfSimilarity::Clone() const {
+  return std::make_unique<RbfSimilarity>(bandwidth_);
+}
+
+double DotSimilarity::Compute(const double* a, const double* b,
+                              int dim) const {
+  double dot = 0.0;
+  for (int j = 0; j < dim; ++j) dot += a[j] * b[j];
+  return std::clamp(dot, 0.0, 1.0);
+}
+
+std::unique_ptr<SimilarityFunction> DotSimilarity::Clone() const {
+  return std::make_unique<DotSimilarity>();
+}
+
+std::unique_ptr<SimilarityFunction> MakeSimilarity(const std::string& name,
+                                                   double param) {
+  if (name == "euclidean") return std::make_unique<EuclideanSimilarity>(param);
+  if (name == "cosine") return std::make_unique<CosineSimilarity>();
+  if (name == "rbf") return std::make_unique<RbfSimilarity>(param);
+  if (name == "dot") return std::make_unique<DotSimilarity>();
+  return nullptr;
+}
+
+}  // namespace geacc

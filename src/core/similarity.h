@@ -1,0 +1,112 @@
+// Similarity functions between event and user attribute vectors.
+//
+// The paper's evaluation uses Equation (1):
+//
+//     sim(l_v, l_u) = 1 - ||l_v - l_u||_2 / sqrt(d * T^2)
+//
+// where sqrt(d*T^2) is the largest Euclidean distance possible in [0,T]^d,
+// so sim ∈ [0, 1]. The paper notes "other similarity functions are
+// applicable"; we also provide cosine similarity and an RBF kernel.
+//
+// Implementations declare whether they are a *decreasing* function of
+// Euclidean distance (IsEuclideanMonotone): for such functions nearest-
+// neighbor-by-distance equals nearest-neighbor-by-similarity, which lets
+// Greedy-GEACC use spatial indexes (kd-tree) for its NN cursors.
+
+#ifndef GEACC_CORE_SIMILARITY_H_
+#define GEACC_CORE_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+
+namespace geacc {
+
+class SimilarityFunction {
+ public:
+  virtual ~SimilarityFunction() = default;
+
+  // Similarity of two length-`dim` attribute vectors; must lie in [0, 1].
+  virtual double Compute(const double* a, const double* b, int dim) const = 0;
+
+  // True iff Compute is a strictly decreasing function of the Euclidean
+  // distance between a and b (given fixed dim).
+  virtual bool IsEuclideanMonotone() const = 0;
+
+  virtual std::string Name() const = 0;
+
+  // The constructor parameter for MakeSimilarity(Name(), Param());
+  // parameterless similarities return 0. Used by serialization.
+  virtual double Param() const { return 0.0; }
+
+  virtual std::unique_ptr<SimilarityFunction> Clone() const = 0;
+};
+
+// Equation (1). `max_attribute` is T; attributes must lie in [0, T].
+class EuclideanSimilarity final : public SimilarityFunction {
+ public:
+  explicit EuclideanSimilarity(double max_attribute);
+
+  double Compute(const double* a, const double* b, int dim) const override;
+  bool IsEuclideanMonotone() const override { return true; }
+  std::string Name() const override { return "euclidean"; }
+  double Param() const override { return max_attribute_; }
+  std::unique_ptr<SimilarityFunction> Clone() const override;
+
+  double max_attribute() const { return max_attribute_; }
+
+  // Inverse map used by index-backed NN cursors: the Euclidean distance at
+  // which similarity drops to `sim`, for a given dimensionality.
+  double DistanceForSimilarity(double sim, int dim) const;
+
+ private:
+  double max_attribute_;
+};
+
+// Cosine similarity clamped to [0, 1] (attributes are non-negative, so the
+// raw value is already in range; the clamp guards rounding). Zero vectors
+// have similarity 0 with everything.
+class CosineSimilarity final : public SimilarityFunction {
+ public:
+  double Compute(const double* a, const double* b, int dim) const override;
+  bool IsEuclideanMonotone() const override { return false; }
+  std::string Name() const override { return "cosine"; }
+  std::unique_ptr<SimilarityFunction> Clone() const override;
+};
+
+// Gaussian kernel exp(-||a-b||^2 / (2 * bandwidth^2)); strictly positive,
+// so every pair is matchable — useful for stress tests.
+class RbfSimilarity final : public SimilarityFunction {
+ public:
+  explicit RbfSimilarity(double bandwidth);
+
+  double Compute(const double* a, const double* b, int dim) const override;
+  bool IsEuclideanMonotone() const override { return true; }
+  std::string Name() const override { return "rbf"; }
+  double Param() const override { return bandwidth_; }
+  std::unique_ptr<SimilarityFunction> Clone() const override;
+
+ private:
+  double inv_two_bw_sq_;
+  double bandwidth_;
+};
+
+// Inner product Σ a_j·b_j, clamped to [0, 1]. With one side one-hot
+// encoded this looks up arbitrary similarity tables — how the paper's
+// Table I toy example (given directly as interestingness values, not
+// attribute vectors) is represented. See tests/test_util.h.
+class DotSimilarity final : public SimilarityFunction {
+ public:
+  double Compute(const double* a, const double* b, int dim) const override;
+  bool IsEuclideanMonotone() const override { return false; }
+  std::string Name() const override { return "dot"; }
+  std::unique_ptr<SimilarityFunction> Clone() const override;
+};
+
+// Factory by name: "euclidean" (param = T), "cosine", "rbf" (param =
+// bandwidth), "dot". Returns nullptr for unknown names.
+std::unique_ptr<SimilarityFunction> MakeSimilarity(const std::string& name,
+                                                   double param);
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_SIMILARITY_H_

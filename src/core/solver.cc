@@ -1,0 +1,10 @@
+#include "core/solver.h"
+
+#include "core/instance.h"
+
+namespace geacc {
+
+// The interface is header-only today; this translation unit anchors the
+// vtable so that every user of Solver does not emit its own copy.
+
+}  // namespace geacc

@@ -1,0 +1,106 @@
+// Solver interface shared by all GEACC algorithms.
+//
+// A solver consumes an Instance and produces a feasible Arrangement plus
+// per-run statistics. Construction takes SolverOptions (seed for randomized
+// solvers, structural toggles for ablations); Solve() is const and
+// re-entrant so one solver object can serve a whole parameter sweep.
+
+#ifndef GEACC_CORE_SOLVER_H_
+#define GEACC_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/arrangement.h"
+
+namespace geacc {
+
+class Instance;
+
+struct SolverOptions {
+  // Seed for randomized solvers (Random-V / Random-U).
+  uint64_t seed = 42;
+
+  // Greedy-GEACC: which k-NN index backs the neighbor cursors. "linear"
+  // (batched incremental scan; works with any similarity) or "kdtree"
+  // (best-first tree search; needs a Euclidean-monotone similarity and
+  // falls back to linear otherwise — pays off at low dimensionality).
+  std::string index = "linear";
+
+  // MinCostFlow-GEACC: shortest-path engine for the SSPA sweep —
+  // "dijkstra" (reduced costs + potentials) or "spfa" (queue-based
+  // Bellman–Ford over real costs). Identical results, different cost.
+  std::string flow_algorithm = "dijkstra";
+
+  // MinCostFlow-GEACC: resolve each user's conflicts exactly (bitmask
+  // max-weight independent set over their ≤ c_u assigned events) instead
+  // of the paper's greedy rule. Never worse, exponential only in c_u.
+  bool exact_conflict_resolution = false;
+
+  // Prune-GEACC ablation toggles (all true = paper's Algorithm 3/4;
+  // enable_pruning=false = the "exhaustive search without pruning"
+  // comparator of Fig. 6).
+  bool enable_pruning = true;
+  bool enable_greedy_seed = true;
+  bool enable_event_ordering = true;
+
+  // Safety valve for the exponential exact solvers: abort the search (and
+  // return the best matching found so far) after this many Search-GEACC
+  // invocations. 0 = unlimited.
+  int64_t max_search_invocations = 0;
+};
+
+struct SolverStats {
+  double wall_seconds = 0.0;
+
+  // Deterministic logical peak of the solver's own working memory
+  // (excludes the input instance).
+  uint64_t logical_peak_bytes = 0;
+
+  // MinCostFlow-GEACC: number of unit augmentations (= Δmax) and the Δ at
+  // which the best pre-resolution matching was found.
+  int64_t flow_augmentations = 0;
+  int64_t best_delta = 0;
+  // Pairs deleted by the conflict-resolution step.
+  int64_t conflicts_resolved = 0;
+
+  // Greedy-GEACC heap activity.
+  int64_t heap_pushes = 0;
+  int64_t heap_pops = 0;
+
+  // Prune-GEACC / exhaustive search counters (Fig. 6).
+  int64_t search_invocations = 0;
+  int64_t complete_searches = 0;
+  int64_t prune_events = 0;
+  int64_t sum_prune_depth = 0;  // mean = sum / prune_events
+  int64_t max_depth = 0;        // deepest recursion reached
+  bool search_truncated = false;
+
+  double MeanPruneDepth() const {
+    return prune_events == 0
+               ? 0.0
+               : static_cast<double>(sum_prune_depth) /
+                     static_cast<double>(prune_events);
+  }
+};
+
+struct SolveResult {
+  Arrangement arrangement;
+  SolverStats stats;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  // Canonical name used in tables and the registry, e.g. "greedy".
+  virtual std::string Name() const = 0;
+
+  // Produces a feasible arrangement for `instance`. Implementations fill
+  // stats.wall_seconds and stats.logical_peak_bytes.
+  virtual SolveResult Solve(const Instance& instance) const = 0;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_SOLVER_H_

@@ -1,0 +1,28 @@
+// Fundamental identifier types for the GEACC model.
+//
+// Events and users are dense 0-based indices into an Instance; using typed
+// aliases (rather than bare int) documents which side of the bipartite
+// arrangement an index refers to.
+
+#ifndef GEACC_CORE_TYPES_H_
+#define GEACC_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace geacc {
+
+using EventId = int32_t;
+using UserId = int32_t;
+
+inline constexpr EventId kInvalidEvent = -1;
+inline constexpr UserId kInvalidUser = -1;
+
+// Packs an (event, user) pair into a hashable 64-bit key.
+inline uint64_t PairKey(EventId v, UserId u) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 32) |
+         static_cast<uint32_t>(u);
+}
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_TYPES_H_

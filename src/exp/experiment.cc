@@ -1,0 +1,148 @@
+#include "exp/experiment.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "algo/solvers.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace geacc {
+
+RunRecord RunSolver(const Solver& solver, const Instance& instance) {
+  SolveResult result = solver.Solve(instance);
+  const std::string violation = result.arrangement.Validate(instance);
+  GEACC_CHECK(violation.empty())
+      << solver.Name() << " produced an infeasible arrangement on "
+      << instance.DebugString() << ": " << violation;
+  RunRecord record;
+  record.solver = solver.Name();
+  record.max_sum = result.arrangement.MaxSum(instance);
+  record.seconds = result.stats.wall_seconds;
+  record.logical_bytes = result.stats.logical_peak_bytes;
+  record.matched_pairs = result.arrangement.size();
+  record.stats = result.stats;
+  return record;
+}
+
+SweepResult RunSweep(const SweepConfig& config,
+                     const std::vector<SweepPoint>& points) {
+  SweepResult result;
+  result.records.resize(points.size());
+
+  // One solver object per name; Solve() is const and reusable.
+  std::vector<std::unique_ptr<Solver>> solvers;
+  for (const std::string& name : config.solvers) {
+    SolverOptions options = config.solver_options;
+    std::unique_ptr<Solver> solver = CreateSolver(name, options);
+    GEACC_CHECK(solver != nullptr) << "unknown solver '" << name << "'";
+    solvers.push_back(std::move(solver));
+  }
+
+  for (size_t p = 0; p < points.size(); ++p) {
+    result.x_labels.push_back(points[p].label);
+    result.records[p].resize(solvers.size());
+    for (auto& per_solver : result.records[p]) {
+      per_solver.resize(config.repetitions);
+    }
+  }
+
+  // One task per (point, repetition) cell; results land in preallocated
+  // slots, so the outcome is identical for any thread count.
+  struct Cell {
+    size_t point;
+    int rep;
+  };
+  std::vector<Cell> cells;
+  for (size_t p = 0; p < points.size(); ++p) {
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      cells.push_back({p, rep});
+    }
+  }
+  std::atomic<size_t> next_cell{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t index = next_cell.fetch_add(1);
+      if (index >= cells.size()) return;
+      const auto [p, rep] = cells[index];
+      const uint64_t seed = config.seed + static_cast<uint64_t>(rep) * 7919;
+      const Instance instance = points[p].factory(seed);
+      for (size_t s = 0; s < solvers.size(); ++s) {
+        if (config.verbose) {
+          GEACC_LOG(INFO) << config.title << ": point " << points[p].label
+                          << " rep " << rep << " solver "
+                          << solvers[s]->Name();
+        }
+        result.records[p][s][rep] = RunSolver(*solvers[s], instance);
+      }
+    }
+  };
+  const int thread_count = std::max(
+      1, std::min<int>(config.threads, static_cast<int>(cells.size())));
+  if (thread_count == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (int t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // Aggregate means per metric.
+  for (size_t s = 0; s < solvers.size(); ++s) {
+    const std::string& name = config.solvers[s];
+    for (size_t p = 0; p < points.size(); ++p) {
+      double sum_max_sum = 0.0, sum_seconds = 0.0, sum_mb = 0.0,
+             sum_pairs = 0.0;
+      const auto& reps = result.records[p][s];
+      for (const RunRecord& record : reps) {
+        sum_max_sum += record.max_sum;
+        sum_seconds += record.seconds;
+        sum_mb += static_cast<double>(record.logical_bytes) / (1024.0 * 1024.0);
+        sum_pairs += static_cast<double>(record.matched_pairs);
+      }
+      const double n = reps.empty() ? 1.0 : static_cast<double>(reps.size());
+      result.metrics["max_sum"][name].push_back(sum_max_sum / n);
+      result.metrics["seconds"][name].push_back(sum_seconds / n);
+      result.metrics["memory_mb"][name].push_back(sum_mb / n);
+      result.metrics["matched_pairs"][name].push_back(sum_pairs / n);
+    }
+  }
+  return result;
+}
+
+Table MetricTable(const SweepResult& result, const std::string& metric,
+                  const std::string& title, const std::string& x_title,
+                  int precision) {
+  Table table(title);
+  const auto it = result.metrics.find(metric);
+  GEACC_CHECK(it != result.metrics.end()) << "no metric '" << metric << "'";
+
+  std::vector<std::string> header = {x_title};
+  for (const auto& [solver, values] : it->second) header.push_back(solver);
+  table.SetHeader(std::move(header));
+
+  for (size_t p = 0; p < result.x_labels.size(); ++p) {
+    std::vector<std::string> row = {result.x_labels[p]};
+    for (const auto& [solver, values] : it->second) {
+      row.push_back(StrFormat("%.*f", precision, values[p]));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+void PrintSweepTables(const SweepConfig& config, const SweepResult& result,
+                      const std::string& x_title, std::ostream& os) {
+  MetricTable(result, "max_sum", config.title + " — MaxSum", x_title, 3)
+      .Print(os);
+  MetricTable(result, "seconds", config.title + " — wall time (s)", x_title, 4)
+      .Print(os);
+  MetricTable(result, "memory_mb", config.title + " — solver memory (MB)",
+              x_title, 3)
+      .Print(os);
+}
+
+}  // namespace geacc

@@ -1,0 +1,86 @@
+// Experiment harness: parameter sweeps producing paper-style tables.
+//
+// A sweep is a list of x-axis points, each a labelled instance factory
+// (factories take a seed so repetitions regenerate fresh instances). The
+// harness runs every requested solver on every point, validates each
+// arrangement, averages over repetitions, and prints one table per metric
+// (MaxSum, wall seconds, logical memory MB) shaped like the paper's
+// figure panels: rows = x values, columns = solvers.
+
+#ifndef GEACC_EXP_EXPERIMENT_H_
+#define GEACC_EXP_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver.h"
+#include "util/table.h"
+
+namespace geacc {
+
+// One run of one solver on one instance (validated).
+struct RunRecord {
+  std::string solver;
+  double max_sum = 0.0;
+  double seconds = 0.0;
+  uint64_t logical_bytes = 0;
+  int64_t matched_pairs = 0;
+  SolverStats stats;
+};
+
+// Runs `solver` on `instance`; aborts if the arrangement is infeasible
+// (a solver bug must never produce a silent bench number).
+RunRecord RunSolver(const Solver& solver, const Instance& instance);
+
+struct SweepPoint {
+  std::string label;                              // x-axis value, e.g. "100"
+  std::function<Instance(uint64_t seed)> factory;  // instance per repetition
+};
+
+struct SweepConfig {
+  std::string title;                 // e.g. "Fig 3 col 1: varying |V|"
+  std::vector<std::string> solvers;  // registry names
+  int repetitions = 1;
+  uint64_t seed = 42;
+  SolverOptions solver_options;
+  // Echo per-run details (solver, point, rep) to the log at INFO.
+  bool verbose = false;
+  // Worker threads over the (point × repetition) grid. Results are
+  // deterministic and identical to a serial run; wall-time measurements
+  // become noisy under contention, so use > 1 only for MaxSum-focused
+  // sweeps.
+  int threads = 1;
+};
+
+struct SweepResult {
+  std::vector<std::string> x_labels;
+  // metric -> solver -> per-point mean values.
+  std::map<std::string, std::map<std::string, std::vector<double>>> metrics;
+
+  // Also keeps every raw record for custom post-processing.
+  std::vector<std::vector<std::vector<RunRecord>>>
+      records;  // [point][solver][rep]
+};
+
+SweepResult RunSweep(const SweepConfig& config,
+                     const std::vector<SweepPoint>& points);
+
+// Prints the standard three tables (MaxSum, time, memory). `x_title` names
+// the first column, e.g. "|V|".
+void PrintSweepTables(const SweepConfig& config, const SweepResult& result,
+                      const std::string& x_title, std::ostream& os);
+
+// Builds a single-metric table (used by the Fig. 5/6 benches that report
+// bespoke metrics).
+Table MetricTable(const SweepResult& result, const std::string& metric,
+                  const std::string& title, const std::string& x_title,
+                  int precision = 4);
+
+}  // namespace geacc
+
+#endif  // GEACC_EXP_EXPERIMENT_H_

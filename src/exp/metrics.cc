@@ -1,0 +1,73 @@
+#include "exp/metrics.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace geacc {
+
+ArrangementMetrics ComputeMetrics(const Instance& instance,
+                                  const Arrangement& arrangement) {
+  GEACC_CHECK_EQ(instance.num_events(), arrangement.num_events());
+  GEACC_CHECK_EQ(instance.num_users(), arrangement.num_users());
+  ArrangementMetrics metrics;
+  metrics.matched_pairs = arrangement.size();
+  metrics.max_sum = arrangement.MaxSum(instance);
+  if (metrics.matched_pairs > 0) {
+    metrics.mean_matched_similarity =
+        metrics.max_sum / static_cast<double>(metrics.matched_pairs);
+  }
+
+  const int num_events = instance.num_events();
+  if (num_events > 0 && instance.total_event_capacity() > 0) {
+    int64_t seats = 0;
+    int with_attendees = 0;
+    double fill = 0.0;
+    for (EventId v = 0; v < num_events; ++v) {
+      const int load = arrangement.EventLoad(v);
+      seats += load;
+      if (load > 0) ++with_attendees;
+      fill += static_cast<double>(load) / instance.event_capacity(v);
+    }
+    metrics.seat_utilization =
+        static_cast<double>(seats) /
+        static_cast<double>(instance.total_event_capacity());
+    metrics.events_with_attendees =
+        static_cast<double>(with_attendees) / num_events;
+    metrics.mean_event_fill = fill / num_events;
+  }
+
+  const int num_users = instance.num_users();
+  if (num_users > 0) {
+    int covered = 0;
+    int64_t load_sum = 0;
+    double interest_sum = 0.0, interest_sq_sum = 0.0;
+    for (UserId u = 0; u < num_users; ++u) {
+      const int load = arrangement.UserLoad(u);
+      load_sum += load;
+      if (load > 0) ++covered;
+      double interest = 0.0;
+      for (const EventId v : arrangement.EventsOf(u)) {
+        interest += instance.Similarity(v, u);
+      }
+      interest_sum += interest;
+      interest_sq_sum += interest * interest;
+    }
+    metrics.user_coverage = static_cast<double>(covered) / num_users;
+    metrics.mean_user_load = static_cast<double>(load_sum) / num_users;
+    if (interest_sq_sum > 0.0) {
+      metrics.jain_fairness = interest_sum * interest_sum /
+                              (num_users * interest_sq_sum);
+    }
+  }
+  return metrics;
+}
+
+std::string ArrangementMetrics::DebugString() const {
+  return StrFormat(
+      "MaxSum=%.3f pairs=%lld seat_util=%.3f user_cov=%.3f "
+      "mean_sim=%.3f jain=%.3f",
+      max_sum, (long long)matched_pairs, seat_utilization, user_coverage,
+      mean_matched_similarity, jain_fairness);
+}
+
+}  // namespace geacc

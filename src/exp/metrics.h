@@ -1,0 +1,48 @@
+// Arrangement quality metrics beyond MaxSum.
+//
+// The paper's introduction motivates GEACC with two-sided satisfaction:
+// events want full rosters, users want interesting (and many) events.
+// MaxSum is the optimization objective; these diagnostics quantify how an
+// arrangement distributes that value — seat utilization on the event side,
+// coverage and fairness (Jain's index) on the user side. Used by the
+// example applications and the real-dataset bench.
+
+#ifndef GEACC_EXP_METRICS_H_
+#define GEACC_EXP_METRICS_H_
+
+#include <string>
+
+#include "core/arrangement.h"
+#include "core/instance.h"
+
+namespace geacc {
+
+struct ArrangementMetrics {
+  double max_sum = 0.0;
+  int64_t matched_pairs = 0;
+
+  // Event side.
+  double seat_utilization = 0.0;    // Σ loads / Σ c_v
+  double events_with_attendees = 0.0;  // fraction of events with ≥1 user
+  double mean_event_fill = 0.0;     // mean load_v / c_v
+
+  // User side.
+  double user_coverage = 0.0;       // fraction of users with ≥1 event
+  double mean_user_load = 0.0;      // mean events per user
+  double mean_matched_similarity = 0.0;  // MaxSum / matched pairs
+
+  // Jain's fairness index over per-user attained interest
+  // (Σx)² / (n·Σx²) ∈ [1/n, 1]; 1 = perfectly even. 0 when no user is
+  // matched.
+  double jain_fairness = 0.0;
+
+  std::string DebugString() const;
+};
+
+// Computes all metrics; `arrangement` must be sized for `instance`.
+ArrangementMetrics ComputeMetrics(const Instance& instance,
+                                  const Arrangement& arrangement);
+
+}  // namespace geacc
+
+#endif  // GEACC_EXP_METRICS_H_

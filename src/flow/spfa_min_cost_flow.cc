@@ -1,0 +1,125 @@
+#include "flow/spfa_min_cost_flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/memory.h"
+
+namespace geacc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+SpfaMinCostFlow::SpfaMinCostFlow(FlowGraph* graph, int source, int sink)
+    : graph_(graph), source_(source), sink_(sink) {
+  GEACC_CHECK(graph != nullptr);
+  GEACC_CHECK(source >= 0 && source < graph->num_nodes());
+  GEACC_CHECK(sink >= 0 && sink < graph->num_nodes());
+  GEACC_CHECK_NE(source, sink);
+  distance_.assign(graph->num_nodes(), kInf);
+  parent_arc_.assign(graph->num_nodes(), -1);
+  in_queue_.assign(graph->num_nodes(), false);
+}
+
+bool SpfaMinCostFlow::FindPath() {
+  std::fill(distance_.begin(), distance_.end(), kInf);
+  std::fill(parent_arc_.begin(), parent_arc_.end(), -1);
+  std::fill(in_queue_.begin(), in_queue_.end(), false);
+  distance_[source_] = 0.0;
+  std::deque<int> queue{source_};
+  in_queue_[source_] = true;
+  while (!queue.empty()) {
+    const int node = queue.front();
+    queue.pop_front();
+    in_queue_[node] = false;
+    for (const int arc : graph_->OutArcs(node)) {
+      if (graph_->ResidualCapacity(arc) <= 0) continue;
+      const int head = graph_->Head(arc);
+      const double candidate = distance_[node] + graph_->Cost(arc);
+      if (candidate < distance_[head] - kEps) {
+        distance_[head] = candidate;
+        parent_arc_[head] = arc;
+        if (!in_queue_[head]) {
+          // SLF heuristic: promising nodes jump the queue.
+          if (!queue.empty() && candidate < distance_[queue.front()]) {
+            queue.push_front(head);
+          } else {
+            queue.push_back(head);
+          }
+          in_queue_[head] = true;
+        }
+      }
+    }
+  }
+  return distance_[sink_] != kInf;
+}
+
+double SpfaMinCostFlow::PathCost() const {
+  double cost = 0.0;
+  for (int node = sink_; node != source_;) {
+    const int arc = parent_arc_[node];
+    cost += graph_->Cost(arc);
+    node = graph_->Tail(arc);
+  }
+  return cost;
+}
+
+int64_t SpfaMinCostFlow::Bottleneck(int64_t cap) const {
+  int64_t bottleneck = cap;
+  for (int node = sink_; node != source_;) {
+    const int arc = parent_arc_[node];
+    bottleneck = std::min(bottleneck, graph_->ResidualCapacity(arc));
+    node = graph_->Tail(arc);
+  }
+  return bottleneck;
+}
+
+void SpfaMinCostFlow::PushPath(int64_t amount) {
+  for (int node = sink_; node != source_;) {
+    const int arc = parent_arc_[node];
+    graph_->Push(arc, amount);
+    node = graph_->Tail(arc);
+  }
+}
+
+int64_t SpfaMinCostFlow::Augment(int64_t max_units) {
+  GEACC_CHECK_GT(max_units, 0);
+  if (!FindPath()) return 0;
+  const int64_t amount = Bottleneck(max_units);
+  GEACC_CHECK_GT(amount, 0);
+  const double cost = PathCost();
+  PushPath(amount);
+  total_flow_ += amount;
+  total_cost_ += cost * static_cast<double>(amount);
+  return amount;
+}
+
+int64_t SpfaMinCostFlow::AugmentIfCheaper(double cost_limit) {
+  if (!FindPath()) return 0;
+  const double cost = PathCost();
+  if (cost >= cost_limit) return 0;
+  PushPath(1);
+  total_flow_ += 1;
+  total_cost_ += cost;
+  return 1;
+}
+
+int64_t SpfaMinCostFlow::RunToMaxFlow() {
+  int64_t pushed = 0;
+  while (true) {
+    const int64_t step = Augment(std::numeric_limits<int64_t>::max());
+    if (step == 0) return pushed;
+    pushed += step;
+  }
+}
+
+uint64_t SpfaMinCostFlow::ByteEstimate() const {
+  return VectorBytes(distance_) + VectorBytes(parent_arc_) +
+         in_queue_.capacity() / 8;
+}
+
+}  // namespace geacc

@@ -1,0 +1,95 @@
+#include "gen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace geacc {
+
+std::string DistributionSpec::DebugString() const {
+  switch (kind) {
+    case DistributionKind::kUniform:
+      return StrFormat("uniform[%g,%g]", p1, p2);
+    case DistributionKind::kNormal:
+      return StrFormat("normal(mu=%g,sigma=%g)", p1, p2);
+    case DistributionKind::kZipf:
+      return StrFormat("zipf(s=%g,n=%g)", p1, p2);
+  }
+  return "?";
+}
+
+Sampler::Sampler(const DistributionSpec& spec) : spec_(spec) {
+  switch (spec_.kind) {
+    case DistributionKind::kUniform:
+      GEACC_CHECK_LE(spec_.p1, spec_.p2) << "uniform: lo > hi";
+      break;
+    case DistributionKind::kNormal:
+      GEACC_CHECK_GE(spec_.p2, 0.0) << "normal: negative stddev";
+      break;
+    case DistributionKind::kZipf: {
+      GEACC_CHECK_GT(spec_.p1, 0.0) << "zipf: skew must be positive";
+      const auto n = static_cast<int64_t>(spec_.p2);
+      GEACC_CHECK_GE(n, 1) << "zipf: range must be >= 1";
+      GEACC_CHECK_LE(n, 10'000'000) << "zipf: CDF table would be huge";
+      zipf_cdf_.resize(static_cast<size_t>(n));
+      double total = 0.0;
+      for (int64_t k = 1; k <= n; ++k) {
+        total += std::pow(static_cast<double>(k), -spec_.p1);
+        zipf_cdf_[static_cast<size_t>(k - 1)] = total;
+      }
+      for (double& c : zipf_cdf_) c /= total;
+      break;
+    }
+  }
+}
+
+double Sampler::Sample(Rng& rng) const {
+  switch (spec_.kind) {
+    case DistributionKind::kUniform:
+      return rng.UniformReal(spec_.p1, spec_.p2);
+    case DistributionKind::kNormal:
+      return rng.Normal(spec_.p1, spec_.p2);
+    case DistributionKind::kZipf: {
+      const double draw = rng.NextDouble();
+      const auto it =
+          std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), draw);
+      const auto rank =
+          static_cast<int64_t>(it - zipf_cdf_.begin()) + 1;  // 1-based
+      return static_cast<double>(std::min<int64_t>(
+          rank, static_cast<int64_t>(zipf_cdf_.size())));
+    }
+  }
+  return 0.0;
+}
+
+double Sampler::SampleAttribute(Rng& rng, double max_value) const {
+  return std::clamp(Sample(rng), 0.0, max_value);
+}
+
+int Sampler::SampleCapacity(Rng& rng) const {
+  const double raw = Sample(rng);
+  const auto rounded = static_cast<int>(std::llround(raw));
+  return std::max(1, rounded);
+}
+
+bool ParseDistributionSpec(const std::string& text, DistributionSpec* spec) {
+  const std::vector<std::string> parts = Split(text, ':');
+  if (parts.size() != 3) return false;
+  const auto p1 = ParseDouble(parts[1]);
+  const auto p2 = ParseDouble(parts[2]);
+  if (!p1 || !p2) return false;
+  if (parts[0] == "uniform") {
+    *spec = DistributionSpec::Uniform(*p1, *p2);
+  } else if (parts[0] == "normal") {
+    *spec = DistributionSpec::Normal(*p1, *p2);
+  } else if (parts[0] == "zipf") {
+    *spec = DistributionSpec::Zipf(*p1, *p2);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace geacc

@@ -1,0 +1,73 @@
+// Parameter distributions for workload generation (paper Table III).
+//
+// Attribute values and capacities are drawn from Uniform, Normal, or Zipf
+// distributions. Zipf follows the paper's attribute setting: ranks
+// 1..range with P(k) ∝ k^(−skew), yielding heavily skewed values; Normal
+// samples are clamped to the valid range; capacities are rounded to
+// integers ≥ 1 ("all generated capacity values are converted into
+// integers").
+
+#ifndef GEACC_GEN_DISTRIBUTIONS_H_
+#define GEACC_GEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace geacc {
+
+enum class DistributionKind { kUniform, kNormal, kZipf };
+
+struct DistributionSpec {
+  DistributionKind kind = DistributionKind::kUniform;
+  // Uniform: [lo, hi] = [p1, p2].
+  // Normal: mean = p1, stddev = p2.
+  // Zipf: skew = p1, integer range = p2 (ranks 1..p2).
+  double p1 = 0.0;
+  double p2 = 1.0;
+
+  static DistributionSpec Uniform(double lo, double hi) {
+    return {DistributionKind::kUniform, lo, hi};
+  }
+  static DistributionSpec Normal(double mean, double stddev) {
+    return {DistributionKind::kNormal, mean, stddev};
+  }
+  static DistributionSpec Zipf(double skew, double range) {
+    return {DistributionKind::kZipf, skew, range};
+  }
+
+  std::string DebugString() const;
+};
+
+// Stateful sampler; Zipf precomputes its CDF table once.
+class Sampler {
+ public:
+  explicit Sampler(const DistributionSpec& spec);
+
+  // One raw draw (Uniform in [lo,hi]; Normal unclamped; Zipf rank in
+  // [1, range]).
+  double Sample(Rng& rng) const;
+
+  // Attribute draw clamped to [0, max_value] (paper: l^i ∈ [0, T]).
+  double SampleAttribute(Rng& rng, double max_value) const;
+
+  // Capacity draw: rounded to an integer and clamped to ≥ 1.
+  int SampleCapacity(Rng& rng) const;
+
+  const DistributionSpec& spec() const { return spec_; }
+
+ private:
+  DistributionSpec spec_;
+  std::vector<double> zipf_cdf_;  // cumulative probabilities for ranks 1..n
+};
+
+// Parses "uniform:lo:hi", "normal:mean:stddev", "zipf:skew:range" (used by
+// bench flags). Returns false on malformed input.
+bool ParseDistributionSpec(const std::string& text, DistributionSpec* spec);
+
+}  // namespace geacc
+
+#endif  // GEACC_GEN_DISTRIBUTIONS_H_

@@ -1,0 +1,168 @@
+#include "gen/ebsn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geacc {
+namespace {
+
+// Draws one tag id from the popularity CDF.
+int DrawTag(const std::vector<double>& cdf, Rng& rng) {
+  const double draw = rng.NextDouble();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), draw);
+  return static_cast<int>(std::min<size_t>(it - cdf.begin(), cdf.size() - 1));
+}
+
+// Tag-count vector of one entity: `count` draws, each from the creator
+// group's profile with prob 1-noise, else from global popularity. The
+// result is L1-normalized (Section V's attribute construction).
+std::vector<double> DrawTagVector(const std::vector<int>& group_profile,
+                                  const std::vector<double>& popularity_cdf,
+                                  int num_tags, int count, double noise,
+                                  Rng& rng) {
+  std::vector<double> counts(num_tags, 0.0);
+  for (int i = 0; i < count; ++i) {
+    int tag;
+    if (!group_profile.empty() && !rng.Bernoulli(noise)) {
+      tag = group_profile[rng.UniformInt(
+          0, static_cast<int64_t>(group_profile.size()) - 1)];
+    } else {
+      tag = DrawTag(popularity_cdf, rng);
+    }
+    counts[tag] += 1.0;
+  }
+  for (double& c : counts) c /= static_cast<double>(count);
+  return counts;
+}
+
+}  // namespace
+
+EbsnConfig EbsnCityPreset(const std::string& city) {
+  EbsnConfig config;
+  config.city = city;
+  if (city == "vancouver") {
+    config.num_events = 225;
+    config.num_users = 2012;
+    config.num_groups = 30;
+  } else if (city == "auckland") {
+    config.num_events = 37;
+    config.num_users = 569;
+    config.num_groups = 10;
+  } else if (city == "singapore") {
+    config.num_events = 87;
+    config.num_users = 1500;
+    config.num_groups = 20;
+  } else {
+    GEACC_CHECK(false) << "unknown EBSN city preset '" << city << "'";
+  }
+  return config;
+}
+
+Instance GenerateEbsn(const EbsnConfig& config) {
+  GEACC_CHECK_GE(config.num_tags, 1);
+  GEACC_CHECK_GE(config.num_groups, 1);
+  GEACC_CHECK_GE(config.tags_per_user, 1);
+  GEACC_CHECK_GE(config.tags_per_event, 1);
+  Rng rng(config.seed);
+
+  // Tag popularity ~ Zipf over the merged vocabulary.
+  std::vector<double> popularity_cdf(config.num_tags);
+  {
+    double total = 0.0;
+    for (int t = 0; t < config.num_tags; ++t) {
+      total += std::pow(static_cast<double>(t + 1), -config.tag_zipf_skew);
+      popularity_cdf[t] = total;
+    }
+    for (double& c : popularity_cdf) c /= total;
+  }
+
+  // Group profiles: distinct tags, popularity-weighted.
+  std::vector<std::vector<int>> groups(config.num_groups);
+  for (auto& profile : groups) {
+    const int want = std::min(config.tags_per_group, config.num_tags);
+    while (static_cast<int>(profile.size()) < want) {
+      const int tag = DrawTag(popularity_cdf, rng);
+      if (std::find(profile.begin(), profile.end(), tag) == profile.end()) {
+        profile.push_back(tag);
+      }
+    }
+  }
+
+  const Sampler event_cap(config.event_capacity);
+  const Sampler user_cap(config.user_capacity);
+
+  // Events: each created by one group, tags from its profile.
+  AttributeMatrix events(config.num_events, config.num_tags);
+  std::vector<int> event_capacities(config.num_events);
+  for (int v = 0; v < config.num_events; ++v) {
+    const auto& profile =
+        groups[rng.UniformInt(0, config.num_groups - 1)];
+    const std::vector<double> attrs =
+        DrawTagVector(profile, popularity_cdf, config.num_tags,
+                      config.tags_per_event, config.noise, rng);
+    double* row = events.MutableRow(v);
+    for (int j = 0; j < config.num_tags; ++j) row[j] = attrs[j];
+    event_capacities[v] = event_cap.SampleCapacity(rng);
+  }
+
+  // Users: join 1–2 groups, tags from the union of joined profiles.
+  AttributeMatrix users(config.num_users, config.num_tags);
+  std::vector<int> user_capacities(config.num_users);
+  for (int u = 0; u < config.num_users; ++u) {
+    std::vector<int> joined =
+        groups[rng.UniformInt(0, config.num_groups - 1)];
+    if (rng.Bernoulli(0.5)) {
+      const auto& second =
+          groups[rng.UniformInt(0, config.num_groups - 1)];
+      for (const int tag : second) {
+        if (std::find(joined.begin(), joined.end(), tag) == joined.end()) {
+          joined.push_back(tag);
+        }
+      }
+    }
+    const std::vector<double> attrs =
+        DrawTagVector(joined, popularity_cdf, config.num_tags,
+                      config.tags_per_user, config.noise, rng);
+    double* row = users.MutableRow(u);
+    for (int j = 0; j < config.num_tags; ++j) row[j] = attrs[j];
+    user_capacities[u] = user_cap.SampleCapacity(rng);
+  }
+
+  ConflictGraph conflicts =
+      ConflictGraph::Random(config.num_events, config.conflict_density, rng);
+
+  // Attributes are L1-normalized fractions in [0, 1]; Eq. (1) with T = 1.
+  return Instance(std::move(events), std::move(event_capacities),
+                  std::move(users), std::move(user_capacities),
+                  std::move(conflicts),
+                  std::make_unique<EuclideanSimilarity>(1.0));
+}
+
+EbsnStats SummarizeEbsn(const std::string& city, const Instance& instance) {
+  EbsnStats stats;
+  stats.city = city;
+  stats.num_events = instance.num_events();
+  stats.num_users = instance.num_users();
+  stats.conflict_density = instance.conflicts().Density();
+  auto mean_nonzero = [&](const AttributeMatrix& matrix) {
+    if (matrix.rows() == 0) return 0.0;
+    int64_t nonzero = 0;
+    for (int i = 0; i < matrix.rows(); ++i) {
+      const double* row = matrix.Row(i);
+      for (int j = 0; j < matrix.dim(); ++j) {
+        if (row[j] > 0.0) ++nonzero;
+      }
+    }
+    return static_cast<double>(nonzero) / matrix.rows();
+  };
+  stats.mean_event_tags = mean_nonzero(instance.event_attributes());
+  stats.mean_user_tags = mean_nonzero(instance.user_attributes());
+  return stats;
+}
+
+}  // namespace geacc

@@ -1,0 +1,79 @@
+// EBSN (Meetup-like) dataset simulator — the Table II substitute.
+//
+// The paper's real dataset is a Meetup crawl [1]: users and events carry
+// tag multisets; events inherit the tags of the "group" (community) that
+// created them; tags are merged into the 20 most popular attributes and
+// each attribute value is the merged-tag count normalized by the entity's
+// total tag count; users/events are clustered per city.
+//
+// We cannot redistribute the crawl, so this module reproduces its
+// *geometry* synthetically:
+//   * a tag vocabulary with Zipf-skewed popularity;
+//   * interest groups, each holding a popularity-weighted tag profile;
+//   * users joining 1–2 groups and drawing their tags mostly from the
+//     joined profiles (with uniform noise);
+//   * events created by groups, drawing tags from the creator's profile;
+//   * tag counts L1-normalized exactly as Section V describes.
+// Capacities and conflicts are synthesized on top, exactly as the paper
+// itself does for the real dataset (Table II's c_v, c_u, |CF| columns).
+//
+// City presets match Table II's |V|/|U|: Vancouver 225/2012, Auckland
+// 37/569, Singapore 87/1500.
+
+#ifndef GEACC_GEN_EBSN_H_
+#define GEACC_GEN_EBSN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "gen/distributions.h"
+
+namespace geacc {
+
+struct EbsnConfig {
+  std::string city = "auckland";
+  int num_events = 37;
+  int num_users = 569;
+
+  int num_tags = 20;         // merged popular tags = attribute dimension
+  int num_groups = 12;       // interest communities
+  int tags_per_group = 6;    // distinct tags in a group profile
+  int tags_per_user = 10;    // original (pre-merge) tags per user
+  int tags_per_event = 8;    // original tags per event
+  double tag_zipf_skew = 1.1;  // popularity skew of the tag vocabulary
+  double noise = 0.2;        // prob. a tag draw ignores the group profile
+
+  // Table II: capacities Uniform[1,50]/[1,4] or Normal(25,12.5)/(2,1).
+  DistributionSpec event_capacity = DistributionSpec::Uniform(1.0, 50.0);
+  DistributionSpec user_capacity = DistributionSpec::Uniform(1.0, 4.0);
+
+  // |CF| / (|V|(|V|-1)/2) ∈ {0, 0.25, 0.5, 0.75, 1} in the paper.
+  double conflict_density = 0.25;
+
+  uint64_t seed = 42;
+};
+
+// Preset for "vancouver", "auckland", or "singapore" (Table II sizes).
+// Unknown names abort.
+EbsnConfig EbsnCityPreset(const std::string& city);
+
+Instance GenerateEbsn(const EbsnConfig& config);
+
+// Table II-style statistics of a generated instance (used by bench/fig4_real
+// to print the dataset table).
+struct EbsnStats {
+  std::string city;
+  int num_events = 0;
+  int num_users = 0;
+  double mean_event_tags = 0.0;   // mean L0 (non-zero attributes) of events
+  double mean_user_tags = 0.0;
+  double conflict_density = 0.0;
+};
+
+EbsnStats SummarizeEbsn(const std::string& city, const Instance& instance);
+
+}  // namespace geacc
+
+#endif  // GEACC_GEN_EBSN_H_

@@ -1,0 +1,84 @@
+#include "gen/instance_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace geacc {
+
+SimilarityStats ComputeSimilarityStats(const Instance& instance) {
+  SimilarityStats stats;
+  const int num_events = instance.num_events();
+  const int num_users = instance.num_users();
+  stats.pair_count = static_cast<int64_t>(num_events) * num_users;
+  if (stats.pair_count == 0) return stats;
+
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(stats.pair_count));
+  std::vector<double> user_best(num_users, 0.0);
+  double sum = 0.0, sum_sq = 0.0;
+  stats.min = 1.0;
+  stats.max = 0.0;
+  for (EventId v = 0; v < num_events; ++v) {
+    double event_best = 0.0;
+    for (UserId u = 0; u < num_users; ++u) {
+      const double sim = instance.Similarity(v, u);
+      values.push_back(sim);
+      sum += sim;
+      sum_sq += sim * sim;
+      stats.min = std::min(stats.min, sim);
+      stats.max = std::max(stats.max, sim);
+      if (sim == 0.0) ++stats.zero_pairs;
+      event_best = std::max(event_best, sim);
+      user_best[u] = std::max(user_best[u], sim);
+      const int bin = std::min(SimilarityStats::kHistogramBins - 1,
+                               static_cast<int>(sim *
+                                                SimilarityStats::kHistogramBins));
+      ++stats.histogram[bin];
+    }
+    stats.mean_event_best += event_best;
+  }
+  stats.mean_event_best /= num_events;
+  for (const double best : user_best) stats.mean_user_best += best;
+  stats.mean_user_best /= num_users;
+
+  const double n = static_cast<double>(stats.pair_count);
+  stats.mean = sum / n;
+  stats.stddev = std::sqrt(std::max(0.0, sum_sq / n - stats.mean * stats.mean));
+
+  std::sort(values.begin(), values.end());
+  auto quantile = [&](double q) {
+    const auto index = static_cast<size_t>(q * (values.size() - 1));
+    return values[index];
+  };
+  stats.p25 = quantile(0.25);
+  stats.p50 = quantile(0.50);
+  stats.p75 = quantile(0.75);
+  stats.p95 = quantile(0.95);
+  return stats;
+}
+
+std::string SimilarityStats::ToString() const {
+  std::string out = StrFormat(
+      "pairs=%lld zero=%lld mean=%.4f sd=%.4f min=%.4f max=%.4f\n"
+      "quantiles p25=%.4f p50=%.4f p75=%.4f p95=%.4f\n"
+      "best-match means: per-user=%.4f per-event=%.4f\n",
+      (long long)pair_count, (long long)zero_pairs, mean, stddev, min, max,
+      p25, p50, p75, p95, mean_user_best, mean_event_best);
+  int64_t tallest = 1;
+  for (const int64_t count : histogram) tallest = std::max(tallest, count);
+  for (int bin = 0; bin < kHistogramBins; ++bin) {
+    const int width =
+        static_cast<int>(40.0 * histogram[bin] / static_cast<double>(tallest));
+    out += StrFormat("[%.2f,%.2f) %-40s %lld\n",
+                     bin / static_cast<double>(kHistogramBins),
+                     (bin + 1) / static_cast<double>(kHistogramBins),
+                     std::string(width, '#').c_str(),
+                     (long long)histogram[bin]);
+  }
+  return out;
+}
+
+}  // namespace geacc

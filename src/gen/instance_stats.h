@@ -1,0 +1,54 @@
+// Workload characterization: similarity-distribution statistics of an
+// instance.
+//
+// The arguments in DESIGN.md §4 (the EBSN simulator reproduces the real
+// crawl's *geometry*) and the paper's dimensionality discussion (Fig. 3
+// col 3: "the attribute space becomes sparser") are claims about the
+// distribution of sim(l_v, l_u). This module measures it: moments,
+// quantiles, a fixed-width histogram over [0, 1], and the per-user
+// best-match statistics that drive greedy behavior.
+
+#ifndef GEACC_GEN_INSTANCE_STATS_H_
+#define GEACC_GEN_INSTANCE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/instance.h"
+
+namespace geacc {
+
+struct SimilarityStats {
+  static constexpr int kHistogramBins = 20;
+
+  int64_t pair_count = 0;
+  int64_t zero_pairs = 0;    // sim == 0 (unmatchable)
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  // Quantiles of the similarity distribution.
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  // Counts per bin over [0, 1]; bin i covers [i/20, (i+1)/20).
+  std::array<int64_t, kHistogramBins> histogram = {};
+
+  // Per-user best match: mean over users of max_v sim(v, u).
+  double mean_user_best = 0.0;
+  // Per-event best match: mean over events of max_u sim(v, u).
+  double mean_event_best = 0.0;
+
+  // Multi-line human-readable summary with an ASCII histogram.
+  std::string ToString() const;
+};
+
+// Computes stats over all |V|·|U| pairs (O(|V|·|U|·d)); instances at
+// bench scale take milliseconds.
+SimilarityStats ComputeSimilarityStats(const Instance& instance);
+
+}  // namespace geacc
+
+#endif  // GEACC_GEN_INSTANCE_STATS_H_

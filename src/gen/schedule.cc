@@ -1,0 +1,62 @@
+#include "gen/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace geacc {
+
+bool EventsConflict(const ScheduledEvent& a, const ScheduledEvent& b,
+                    double speed_kmph) {
+  // Interval overlap ([start, end) semantics: touching endpoints do not
+  // overlap).
+  if (a.start_hours < b.end_hours && b.start_hours < a.end_hours) return true;
+  if (speed_kmph <= 0.0) return false;
+  // Gap between the earlier event's end and the later event's start.
+  const ScheduledEvent& first = a.end_hours <= b.start_hours ? a : b;
+  const ScheduledEvent& second = a.end_hours <= b.start_hours ? b : a;
+  const double gap_hours = second.start_hours - first.end_hours;
+  const double distance_km = std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
+  return distance_km / speed_kmph > gap_hours;
+}
+
+ConflictGraph ConflictsFromSchedule(const std::vector<ScheduledEvent>& events,
+                                    double speed_kmph) {
+  const int n = static_cast<int>(events.size());
+  ConflictGraph graph(n);
+  for (int a = 0; a < n; ++a) {
+    GEACC_CHECK_LE(events[a].start_hours, events[a].end_hours)
+        << "event " << a << " ends before it starts";
+    for (int b = a + 1; b < n; ++b) {
+      if (EventsConflict(events[a], events[b], speed_kmph)) {
+        graph.AddConflict(a, b);
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<ScheduledEvent> RandomSchedule(int count, double horizon_hours,
+                                           double min_duration_hours,
+                                           double max_duration_hours,
+                                           double city_km, Rng& rng) {
+  GEACC_CHECK_GE(count, 0);
+  GEACC_CHECK_LE(min_duration_hours, max_duration_hours);
+  std::vector<ScheduledEvent> events;
+  events.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    ScheduledEvent event;
+    const double duration =
+        rng.UniformReal(min_duration_hours, max_duration_hours);
+    event.start_hours =
+        rng.UniformReal(0.0, std::max(0.0, horizon_hours - duration));
+    event.end_hours = event.start_hours + duration;
+    event.x_km = rng.UniformReal(0.0, city_km);
+    event.y_km = rng.UniformReal(0.0, city_km);
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace geacc

@@ -1,0 +1,47 @@
+// Timetable/venue-derived conflicts (paper Definition 3's motivation).
+//
+// Two events conflict if their time intervals overlap, or if the gap
+// between them is too short to travel between their venues. This module
+// turns concrete schedules into a ConflictGraph — used by the example
+// applications (weekend Meetup planning, conference sessions) and by tests
+// exercising realistic, non-random conflict structure.
+
+#ifndef GEACC_GEN_SCHEDULE_H_
+#define GEACC_GEN_SCHEDULE_H_
+
+#include <vector>
+
+#include "core/conflict_graph.h"
+#include "util/rng.h"
+
+namespace geacc {
+
+struct ScheduledEvent {
+  double start_hours = 0.0;  // e.g. hours since Sunday 00:00
+  double end_hours = 0.0;
+  double x_km = 0.0;  // venue position
+  double y_km = 0.0;
+};
+
+// Conflict iff intervals [start, end) overlap, or the inter-event gap is
+// shorter than straight-line distance / speed_kmph. A non-positive speed
+// disables the travel rule (pure timetable overlap).
+ConflictGraph ConflictsFromSchedule(const std::vector<ScheduledEvent>& events,
+                                    double speed_kmph);
+
+// Convenience for examples: `count` events with random start in
+// [0, horizon_hours], duration in [min,max] hours, venues uniform in a
+// city_km × city_km square.
+std::vector<ScheduledEvent> RandomSchedule(int count, double horizon_hours,
+                                           double min_duration_hours,
+                                           double max_duration_hours,
+                                           double city_km, Rng& rng);
+
+// True iff the two events conflict under the rule above (exposed for
+// tests).
+bool EventsConflict(const ScheduledEvent& a, const ScheduledEvent& b,
+                    double speed_kmph);
+
+}  // namespace geacc
+
+#endif  // GEACC_GEN_SCHEDULE_H_

@@ -1,0 +1,76 @@
+#include "gen/synthetic.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geacc {
+
+SyntheticConfig& SyntheticConfig::WithZipfAttributes(double skew) {
+  event_attribute = DistributionSpec::Zipf(skew, max_attribute);
+  user_attribute = DistributionSpec::Zipf(skew, max_attribute);
+  return *this;
+}
+
+SyntheticConfig& SyntheticConfig::WithNormalAttributes(double mean_fraction,
+                                                       double stddev_fraction) {
+  event_attribute = DistributionSpec::Normal(mean_fraction * max_attribute,
+                                             stddev_fraction * max_attribute);
+  user_attribute = DistributionSpec::Normal(mean_fraction * max_attribute,
+                                            stddev_fraction * max_attribute);
+  return *this;
+}
+
+SyntheticConfig& SyntheticConfig::WithNormalCapacities() {
+  event_capacity = DistributionSpec::Normal(25.0, 12.5);
+  user_capacity = DistributionSpec::Normal(2.0, 1.0);
+  return *this;
+}
+
+Instance GenerateSynthetic(const SyntheticConfig& config) {
+  GEACC_CHECK_GE(config.num_events, 0);
+  GEACC_CHECK_GE(config.num_users, 0);
+  GEACC_CHECK_GE(config.dim, 1);
+  Rng rng(config.seed);
+
+  const Sampler event_attr(config.event_attribute);
+  const Sampler user_attr(config.user_attribute);
+  const Sampler event_cap(config.event_capacity);
+  const Sampler user_cap(config.user_capacity);
+
+  AttributeMatrix events(config.num_events, config.dim);
+  std::vector<int> event_capacities(config.num_events);
+  for (int v = 0; v < config.num_events; ++v) {
+    double* row = events.MutableRow(v);
+    for (int j = 0; j < config.dim; ++j) {
+      row[j] = event_attr.SampleAttribute(rng, config.max_attribute);
+    }
+    event_capacities[v] = event_cap.SampleCapacity(rng);
+  }
+
+  AttributeMatrix users(config.num_users, config.dim);
+  std::vector<int> user_capacities(config.num_users);
+  for (int u = 0; u < config.num_users; ++u) {
+    double* row = users.MutableRow(u);
+    for (int j = 0; j < config.dim; ++j) {
+      row[j] = user_attr.SampleAttribute(rng, config.max_attribute);
+    }
+    user_capacities[u] = user_cap.SampleCapacity(rng);
+  }
+
+  ConflictGraph conflicts =
+      ConflictGraph::Random(config.num_events, config.conflict_density, rng);
+
+  std::unique_ptr<SimilarityFunction> similarity =
+      MakeSimilarity(config.similarity, config.max_attribute);
+  GEACC_CHECK(similarity != nullptr)
+      << "unknown similarity '" << config.similarity << "'";
+
+  return Instance(std::move(events), std::move(event_capacities),
+                  std::move(users), std::move(user_capacities),
+                  std::move(conflicts), std::move(similarity));
+}
+
+}  // namespace geacc

@@ -1,0 +1,50 @@
+// Synthetic instance generator (paper Table III).
+//
+// Defaults are the paper's bold settings: |V| = 100, |U| = 1000, d = 20,
+// T = 10000, attributes ~ Uniform[0, T], c_v ~ Uniform[1, 50],
+// c_u ~ Uniform[1, 4], conflict density 0.25, Euclidean similarity.
+
+#ifndef GEACC_GEN_SYNTHETIC_H_
+#define GEACC_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/instance.h"
+#include "gen/distributions.h"
+
+namespace geacc {
+
+struct SyntheticConfig {
+  int num_events = 100;
+  int num_users = 1000;
+  int dim = 20;
+  double max_attribute = 10000.0;  // T
+
+  DistributionSpec event_attribute = DistributionSpec::Uniform(0.0, 10000.0);
+  DistributionSpec user_attribute = DistributionSpec::Uniform(0.0, 10000.0);
+  DistributionSpec event_capacity = DistributionSpec::Uniform(1.0, 50.0);
+  DistributionSpec user_capacity = DistributionSpec::Uniform(1.0, 4.0);
+
+  // |CF| / (|V|(|V|-1)/2).
+  double conflict_density = 0.25;
+
+  // "euclidean" (uses T), "cosine", or "rbf".
+  std::string similarity = "euclidean";
+
+  uint64_t seed = 42;
+
+  // Table III's Zipf / Normal attribute variants, preserving T.
+  SyntheticConfig& WithZipfAttributes(double skew = 1.3);
+  SyntheticConfig& WithNormalAttributes(double mean_fraction = 0.25,
+                                        double stddev_fraction = 0.25);
+  // Table II/III's Normal capacity variant: c_v ~ N(25, 12.5),
+  // c_u ~ N(2, 1).
+  SyntheticConfig& WithNormalCapacities();
+};
+
+Instance GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace geacc
+
+#endif  // GEACC_GEN_SYNTHETIC_H_

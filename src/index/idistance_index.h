@@ -1,0 +1,60 @@
+// iDistance NN index — Jagadish, Ooi, Tan, Yu & Zhang, TODS'05, the
+// paper's citation [7] for σ(S).
+//
+// Points are partitioned around reference pivots (deterministic
+// farthest-point sampling). Every point is mapped to the one-dimensional
+// stretched key
+//
+//     key(x) = pivot_id(x) · C + d(pivot(x), x),      C > any distance,
+//
+// and all keys live in a single B+-tree (src/container/bplus_tree.h) —
+// exactly the structure of the original paper. A kNN query grows a search
+// radius r: by the triangle inequality every point x with d(q, x) ≤ r in
+// partition p has a key in [p·C + d(q,p) − r, p·C + d(q,p) + r], so each
+// round widens a two-sided leaf scan per partition and exact-checks only
+// newly covered entries. Once all partitions are covered to radius r,
+// every candidate with exact distance ≤ r is certified — making the
+// incremental cursor exact and identical in order to a linear scan.
+
+#ifndef GEACC_INDEX_IDISTANCE_INDEX_H_
+#define GEACC_INDEX_IDISTANCE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/bplus_tree.h"
+#include "index/knn_index.h"
+
+namespace geacc {
+
+class IDistanceIndex final : public KnnIndex {
+ public:
+  // `num_pivots` reference points (clamped to the data size).
+  IDistanceIndex(const AttributeMatrix& points,
+                 const SimilarityFunction& similarity, int num_pivots = 16);
+
+  std::string Name() const override { return "idistance"; }
+  std::vector<Neighbor> Query(const double* query, int k) const override;
+  std::unique_ptr<NnCursor> CreateCursor(const double* query) const override;
+  uint64_t ByteEstimate() const override;
+
+  int num_pivots() const { return pivots_.rows(); }
+  int tree_height() const { return tree_.height(); }
+
+ private:
+  friend class IDistanceCursor;
+
+  using KeyTree = BPlusTree<double, int, 64>;
+
+  const AttributeMatrix& points_;
+  const SimilarityFunction& similarity_;
+  AttributeMatrix pivots_;   // P × dim
+  double stretch_ = 1.0;     // C: strictly larger than any pivot distance
+  KeyTree tree_;             // stretched key → point id
+  double initial_radius_ = 1.0;  // first search ring
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_INDEX_IDISTANCE_INDEX_H_

@@ -1,0 +1,44 @@
+#include "index/knn_index.h"
+
+#include "index/idistance_index.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/va_file_index.h"
+#include "util/logging.h"
+
+namespace geacc {
+namespace {
+
+// Distance-ordered indexes need a Euclidean-monotone similarity; warn and
+// degrade to the order-agnostic linear scan otherwise.
+bool RequireMonotone(const std::string& name,
+                     const SimilarityFunction& similarity) {
+  if (similarity.IsEuclideanMonotone()) return true;
+  GEACC_LOG(WARNING) << name << " index requested with non-metric "
+                     << "similarity '" << similarity.Name()
+                     << "'; falling back to linear scan";
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<KnnIndex> MakeIndex(const std::string& name,
+                                    const AttributeMatrix& points,
+                                    const SimilarityFunction& similarity) {
+  if (name == "kdtree" && RequireMonotone(name, similarity)) {
+    return std::make_unique<KdTreeIndex>(points, similarity);
+  }
+  if (name == "vafile" && RequireMonotone(name, similarity)) {
+    return std::make_unique<VaFileIndex>(points, similarity);
+  }
+  if (name == "idistance" && RequireMonotone(name, similarity)) {
+    return std::make_unique<IDistanceIndex>(points, similarity);
+  }
+  if (name == "linear" || name == "kdtree" || name == "vafile" ||
+      name == "idistance") {
+    return std::make_unique<LinearScanIndex>(points, similarity);
+  }
+  return nullptr;
+}
+
+}  // namespace geacc

@@ -1,0 +1,127 @@
+#include "index/linear_scan_index.h"
+
+#include <algorithm>
+
+namespace geacc {
+namespace {
+
+// Strict total order: non-increasing similarity, ties by ascending id.
+bool MoreSimilar(const Neighbor& a, const Neighbor& b) {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.id < b.id;
+}
+
+// Incremental enumeration with bounded memory: each refill rescans the
+// points and collects the next batch of items that follow the last
+// returned neighbor in the MoreSimilar order. Greedy-GEACC keeps |V| + |U|
+// cursors alive at once and typically consumes only a short prefix of
+// each, so the rescan trade beats a full per-cursor sort (O(n log n) time,
+// O(n) space). The batch doubles after every refill (64, 128, …, 16384):
+// cursors that do run deep — e.g. events hunting for scarce user capacity
+// — pay O(n·log n) total instead of O(n²/64), without inflating the memory
+// of the many shallow cursors.
+class BatchedLinearCursor final : public NnCursor {
+ public:
+  static constexpr size_t kInitialBatch = 64;
+  static constexpr size_t kMaxBatch = 16384;
+
+  BatchedLinearCursor(const AttributeMatrix& points,
+                      const SimilarityFunction& similarity,
+                      const double* query)
+      : points_(points), similarity_(similarity), query_(query) {}
+
+  std::optional<Neighbor> Next() override {
+    if (position_ >= buffer_.size()) {
+      if (exhausted_ || !Refill()) return std::nullopt;
+    }
+    return buffer_[position_++];
+  }
+
+ private:
+  // Scans all points for the top-batch neighbors strictly after
+  // `last_returned_` in the MoreSimilar order. Returns false when none
+  // remain.
+  bool Refill() {
+    const size_t batch = batch_;
+    batch_ = std::min(batch_ * 2, kMaxBatch);
+    buffer_.clear();
+    position_ = 0;
+    // Bounded top-k selection: with "less = more similar", a std::*_heap
+    // max-heap keeps its *worst* kept neighbor at the front, which is the
+    // eviction candidate.
+    const auto best_first = [](const Neighbor& a, const Neighbor& b) {
+      return MoreSimilar(a, b);
+    };
+    for (int i = 0; i < points_.rows(); ++i) {
+      const Neighbor candidate{
+          i, similarity_.Compute(points_.Row(i), query_, points_.dim())};
+      if (have_threshold_ && !MoreSimilar(last_returned_, candidate)) {
+        continue;  // already emitted in an earlier batch
+      }
+      if (buffer_.size() < batch) {
+        buffer_.push_back(candidate);
+        std::push_heap(buffer_.begin(), buffer_.end(), best_first);
+      } else if (MoreSimilar(candidate, buffer_.front())) {
+        std::pop_heap(buffer_.begin(), buffer_.end(), best_first);
+        buffer_.back() = candidate;
+        std::push_heap(buffer_.begin(), buffer_.end(), best_first);
+      }
+    }
+    if (buffer_.empty()) {
+      exhausted_ = true;
+      return false;
+    }
+    // sort_heap yields ascending under best_first: most similar first.
+    std::sort_heap(buffer_.begin(), buffer_.end(), best_first);
+    last_returned_ = buffer_.back();
+    have_threshold_ = true;
+    if (buffer_.size() < batch) exhausted_ = true;  // final partial batch
+    return true;
+  }
+
+  const AttributeMatrix& points_;
+  const SimilarityFunction& similarity_;
+  const double* query_;
+  std::vector<Neighbor> buffer_;
+  size_t batch_ = kInitialBatch;
+  size_t position_ = 0;
+  Neighbor last_returned_;
+  bool have_threshold_ = false;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+LinearScanIndex::LinearScanIndex(const AttributeMatrix& points,
+                                 const SimilarityFunction& similarity)
+    : KnnIndex(points.rows()), points_(points), similarity_(similarity) {}
+
+std::vector<Neighbor> LinearScanIndex::ScanAll(const double* query) const {
+  std::vector<Neighbor> all;
+  all.reserve(points_.rows());
+  for (int i = 0; i < points_.rows(); ++i) {
+    all.push_back(
+        {i, similarity_.Compute(points_.Row(i), query, points_.dim())});
+  }
+  return all;
+}
+
+std::vector<Neighbor> LinearScanIndex::Query(const double* query,
+                                             int k) const {
+  std::vector<Neighbor> all = ScanAll(query);
+  const size_t take = std::min<size_t>(std::max(k, 0), all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), MoreSimilar);
+  all.resize(take);
+  return all;
+}
+
+std::unique_ptr<NnCursor> LinearScanIndex::CreateCursor(
+    const double* query) const {
+  return std::make_unique<BatchedLinearCursor>(points_, similarity_, query);
+}
+
+uint64_t LinearScanIndex::ByteEstimate() const {
+  return sizeof(*this);  // references only; no owned storage
+}
+
+}  // namespace geacc

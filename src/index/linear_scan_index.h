@@ -1,0 +1,36 @@
+// Exhaustive-scan NN index: O(n·d) per Query, O(n·d + n log n) for the
+// first cursor advance, O(1) afterwards. The baseline every other index is
+// tested against, and the fallback for non-metric similarities.
+
+#ifndef GEACC_INDEX_LINEAR_SCAN_INDEX_H_
+#define GEACC_INDEX_LINEAR_SCAN_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/knn_index.h"
+
+namespace geacc {
+
+class LinearScanIndex final : public KnnIndex {
+ public:
+  LinearScanIndex(const AttributeMatrix& points,
+                  const SimilarityFunction& similarity);
+
+  std::string Name() const override { return "linear"; }
+  std::vector<Neighbor> Query(const double* query, int k) const override;
+  std::unique_ptr<NnCursor> CreateCursor(const double* query) const override;
+  uint64_t ByteEstimate() const override;
+
+ private:
+  // Similarities of every indexed point to `query`, unsorted.
+  std::vector<Neighbor> ScanAll(const double* query) const;
+
+  const AttributeMatrix& points_;
+  const SimilarityFunction& similarity_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_INDEX_LINEAR_SCAN_INDEX_H_

@@ -1,0 +1,195 @@
+#include "index/va_file_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+#include "util/memory.h"
+
+namespace geacc {
+namespace {
+
+// Refinement-queue entry: a point with either its cheap lower bound
+// (approximate) or its exact distance. Ordered by (distance, exactness,
+// id) — at equal key, exact entries come out first so emission is
+// deterministic.
+struct RefineEntry {
+  double distance_sq;
+  bool is_exact;
+  int id;
+
+  bool operator>(const RefineEntry& other) const {
+    if (distance_sq != other.distance_sq) {
+      return distance_sq > other.distance_sq;
+    }
+    if (is_exact != other.is_exact) return !is_exact;  // exact first
+    return id > other.id;
+  }
+};
+
+}  // namespace
+
+class VaFileCursor final : public NnCursor {
+ public:
+  VaFileCursor(const VaFileIndex& index, const double* query)
+      : index_(index), query_(query) {
+    // Phase 1: one scan of the signatures seeds the queue with lower
+    // bounds (this is the sequential approximation-file scan).
+    for (int i = 0; i < index_.num_points(); ++i) {
+      queue_.push({index_.CellLowerBoundSq(query_, i), false, i});
+    }
+  }
+
+  std::optional<Neighbor> Next() override {
+    while (!queue_.empty()) {
+      const RefineEntry top = queue_.top();
+      queue_.pop();
+      if (top.is_exact) {
+        const double* point = index_.points_.Row(top.id);
+        return Neighbor{top.id,
+                        index_.similarity_.Compute(point, query_,
+                                                   index_.points_.dim())};
+      }
+      // Phase 2 (lazy): replace the lower bound with the exact distance.
+      queue_.push({SquaredEuclideanDistance(index_.points_.Row(top.id),
+                                            query_, index_.points_.dim()),
+                   true, top.id});
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const VaFileIndex& index_;
+  const double* query_;
+  std::priority_queue<RefineEntry, std::vector<RefineEntry>,
+                      std::greater<RefineEntry>>
+      queue_;
+};
+
+VaFileIndex::VaFileIndex(const AttributeMatrix& points,
+                         const SimilarityFunction& similarity, int bits)
+    : KnnIndex(points.rows()), points_(points), similarity_(similarity),
+      bits_(bits) {
+  GEACC_CHECK(similarity.IsEuclideanMonotone())
+      << "VA-File ordering requires a Euclidean-monotone similarity; got "
+      << similarity.Name();
+  GEACC_CHECK(bits >= 1 && bits <= 8) << "bits per dim must be in [1,8]";
+  cells_ = 1 << bits_;
+  const int dim = points.dim();
+  box_min_.assign(dim, 0.0);
+  cell_width_.assign(dim, 0.0);
+  if (points.rows() == 0) return;
+
+  // Bounding box of the data, per dimension.
+  std::vector<double> box_max(dim, 0.0);
+  for (int j = 0; j < dim; ++j) {
+    box_min_[j] = points.At(0, j);
+    box_max[j] = points.At(0, j);
+  }
+  for (int i = 1; i < points.rows(); ++i) {
+    const double* row = points.Row(i);
+    for (int j = 0; j < dim; ++j) {
+      box_min_[j] = std::min(box_min_[j], row[j]);
+      box_max[j] = std::max(box_max[j], row[j]);
+    }
+  }
+  for (int j = 0; j < dim; ++j) {
+    cell_width_[j] = (box_max[j] - box_min_[j]) / cells_;
+  }
+
+  // Signatures: each coordinate's cell id, clamped to the last cell so the
+  // maximum lands inside the grid.
+  signatures_.resize(static_cast<size_t>(points.rows()) * dim);
+  for (int i = 0; i < points.rows(); ++i) {
+    const double* row = points.Row(i);
+    uint8_t* signature = signatures_.data() + static_cast<size_t>(i) * dim;
+    for (int j = 0; j < dim; ++j) {
+      int cell = 0;
+      if (cell_width_[j] > 0.0) {
+        cell = static_cast<int>((row[j] - box_min_[j]) / cell_width_[j]);
+        cell = std::clamp(cell, 0, cells_ - 1);
+      }
+      signature[j] = static_cast<uint8_t>(cell);
+    }
+  }
+}
+
+double VaFileIndex::CellLowerBoundSq(const double* query, int i) const {
+  const int dim = points_.dim();
+  const uint8_t* signature = signatures_.data() + static_cast<size_t>(i) * dim;
+  double sum = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    if (cell_width_[j] <= 0.0) continue;  // degenerate dim: bound 0
+    const double lo = box_min_[j] + signature[j] * cell_width_[j];
+    const double hi = lo + cell_width_[j];
+    double diff = 0.0;
+    if (query[j] < lo) {
+      diff = lo - query[j];
+    } else if (query[j] > hi) {
+      diff = query[j] - hi;
+    }
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+std::vector<Neighbor> VaFileIndex::Query(const double* query, int k) const {
+  std::vector<Neighbor> result;
+  if (k <= 0 || num_points() == 0) {
+    last_refinement_ = 0.0;
+    return result;
+  }
+  // Two-phase VA-file kNN: scan bounds, keep the k best exact distances
+  // found so far, skip any point whose lower bound exceeds the current
+  // k-th distance. Scanning in ascending-id order keeps ties
+  // deterministic; the final sort matches the cursor order.
+  struct Exact {
+    double distance_sq;
+    int id;
+  };
+  auto worse = [](const Exact& a, const Exact& b) {
+    if (a.distance_sq != b.distance_sq) return a.distance_sq < b.distance_sq;
+    return a.id < b.id;
+  };
+  std::vector<Exact> best;  // max-heap by `worse` (worst kept on top)
+  int refined = 0;
+  for (int i = 0; i < num_points(); ++i) {
+    const double bound = CellLowerBoundSq(query, i);
+    if (static_cast<int>(best.size()) == k &&
+        bound > best.front().distance_sq) {
+      continue;  // cannot beat the current k-th nearest
+    }
+    const double exact = SquaredEuclideanDistance(
+        points_.Row(i), query, points_.dim());
+    ++refined;
+    const Exact candidate{exact, i};
+    if (static_cast<int>(best.size()) < k) {
+      best.push_back(candidate);
+      std::push_heap(best.begin(), best.end(), worse);
+    } else if (worse(candidate, best.front())) {
+      std::pop_heap(best.begin(), best.end(), worse);
+      best.back() = candidate;
+      std::push_heap(best.begin(), best.end(), worse);
+    }
+  }
+  last_refinement_ = static_cast<double>(refined) / num_points();
+  std::sort_heap(best.begin(), best.end(), worse);
+  result.reserve(best.size());
+  for (const Exact& e : best) {
+    result.push_back({e.id, similarity_.Compute(points_.Row(e.id), query,
+                                                points_.dim())});
+  }
+  return result;
+}
+
+std::unique_ptr<NnCursor> VaFileIndex::CreateCursor(
+    const double* query) const {
+  return std::make_unique<VaFileCursor>(*this, query);
+}
+
+uint64_t VaFileIndex::ByteEstimate() const {
+  return VectorBytes(signatures_) + VectorBytes(box_min_) +
+         VectorBytes(cell_width_);
+}
+
+}  // namespace geacc

@@ -1,0 +1,308 @@
+#include "io/instance_io.h"
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace geacc {
+namespace {
+
+// Tokenizing line reader that tracks line numbers for diagnostics.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  // Next non-empty, non-comment ('#') line split on whitespace; empty
+  // vector at EOF.
+  std::vector<std::string> NextTokens() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      std::istringstream tokens{std::string(trimmed)};
+      std::vector<std::string> result;
+      std::string token;
+      while (tokens >> token) result.push_back(token);
+      return result;
+    }
+    return {};
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  int line_number_ = 0;
+};
+
+std::string At(const LineReader& reader, const std::string& what) {
+  return StrFormat("line %d: %s", reader.line_number(), what.c_str());
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Parses "<keyword> <count>"; returns -1 on mismatch.
+int64_t ParseCountLine(const std::vector<std::string>& tokens,
+                       const std::string& keyword) {
+  if (tokens.size() != 2 || tokens[0] != keyword) return -1;
+  const auto count = ParseInt(tokens[1]);
+  if (!count || *count < 0) return -1;
+  return *count;
+}
+
+// Parses an entity line "<keyword> <capacity> <attr...>"; appends the
+// attributes and capacity. Returns false on malformed input.
+bool ParseEntityLine(const std::vector<std::string>& tokens,
+                     const std::string& keyword, int dim,
+                     std::vector<std::vector<double>>& rows,
+                     std::vector<int>& capacities) {
+  if (tokens.size() != static_cast<size_t>(dim) + 2 || tokens[0] != keyword) {
+    return false;
+  }
+  const auto capacity = ParseInt(tokens[1]);
+  if (!capacity) return false;
+  std::vector<double> row(dim);
+  for (int j = 0; j < dim; ++j) {
+    const auto value = ParseDouble(tokens[2 + j]);
+    if (!value) return false;
+    row[j] = *value;
+  }
+  rows.push_back(std::move(row));
+  capacities.push_back(static_cast<int>(*capacity));
+  return true;
+}
+
+}  // namespace
+
+void WriteInstance(const Instance& instance, std::ostream& os) {
+  os << "geacc-instance v1\n";
+  os << "similarity " << instance.similarity().Name() << " "
+     << StrFormat("%.17g", instance.similarity().Param()) << "\n";
+  os << "dim " << instance.dim() << "\n";
+  os << "events " << instance.num_events() << "\n";
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    os << "event " << instance.event_capacity(v);
+    const double* row = instance.event_attributes().Row(v);
+    for (int j = 0; j < instance.dim(); ++j) {
+      os << " " << StrFormat("%.17g", row[j]);
+    }
+    os << "\n";
+  }
+  os << "users " << instance.num_users() << "\n";
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    os << "user " << instance.user_capacity(u);
+    const double* row = instance.user_attributes().Row(u);
+    for (int j = 0; j < instance.dim(); ++j) {
+      os << " " << StrFormat("%.17g", row[j]);
+    }
+    os << "\n";
+  }
+  os << "conflicts " << instance.conflicts().num_conflict_pairs() << "\n";
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (const EventId w : instance.conflicts().ConflictsOf(v)) {
+      if (w > v) os << "conflict " << v << " " << w << "\n";
+    }
+  }
+}
+
+std::optional<Instance> ReadInstance(std::istream& is, std::string* error) {
+  LineReader reader(is);
+
+  auto tokens = reader.NextTokens();
+  if (tokens.size() != 2 || tokens[0] != "geacc-instance" ||
+      tokens[1] != "v1") {
+    Fail(error, At(reader, "expected header 'geacc-instance v1'"));
+    return std::nullopt;
+  }
+
+  tokens = reader.NextTokens();
+  if (tokens.size() != 3 || tokens[0] != "similarity") {
+    Fail(error, At(reader, "expected 'similarity <name> <param>'"));
+    return std::nullopt;
+  }
+  const std::string similarity_name = tokens[1];
+  const auto similarity_param = ParseDouble(tokens[2]);
+  if (!similarity_param) {
+    Fail(error, At(reader, "bad similarity parameter"));
+    return std::nullopt;
+  }
+  std::unique_ptr<SimilarityFunction> similarity =
+      MakeSimilarity(similarity_name, *similarity_param);
+  if (similarity == nullptr) {
+    Fail(error,
+         At(reader, "unknown similarity '" + similarity_name + "'"));
+    return std::nullopt;
+  }
+
+  tokens = reader.NextTokens();
+  if (tokens.size() != 2 || tokens[0] != "dim") {
+    Fail(error, At(reader, "expected 'dim <d>'"));
+    return std::nullopt;
+  }
+  const auto dim = ParseInt(tokens[1]);
+  if (!dim || *dim < 0) {
+    Fail(error, At(reader, "bad dimension"));
+    return std::nullopt;
+  }
+
+  const int64_t num_events = ParseCountLine(reader.NextTokens(), "events");
+  if (num_events < 0) {
+    Fail(error, At(reader, "expected 'events <count>'"));
+    return std::nullopt;
+  }
+  std::vector<std::vector<double>> event_rows;
+  std::vector<int> event_capacities;
+  for (int64_t i = 0; i < num_events; ++i) {
+    if (!ParseEntityLine(reader.NextTokens(), "event",
+                         static_cast<int>(*dim), event_rows,
+                         event_capacities)) {
+      Fail(error, At(reader, "malformed event line"));
+      return std::nullopt;
+    }
+  }
+
+  const int64_t num_users = ParseCountLine(reader.NextTokens(), "users");
+  if (num_users < 0) {
+    Fail(error, At(reader, "expected 'users <count>'"));
+    return std::nullopt;
+  }
+  std::vector<std::vector<double>> user_rows;
+  std::vector<int> user_capacities;
+  for (int64_t i = 0; i < num_users; ++i) {
+    if (!ParseEntityLine(reader.NextTokens(), "user", static_cast<int>(*dim),
+                         user_rows, user_capacities)) {
+      Fail(error, At(reader, "malformed user line"));
+      return std::nullopt;
+    }
+  }
+
+  const int64_t num_conflicts =
+      ParseCountLine(reader.NextTokens(), "conflicts");
+  if (num_conflicts < 0) {
+    Fail(error, At(reader, "expected 'conflicts <count>'"));
+    return std::nullopt;
+  }
+  ConflictGraph conflicts(static_cast<int>(num_events));
+  for (int64_t i = 0; i < num_conflicts; ++i) {
+    tokens = reader.NextTokens();
+    if (tokens.size() != 3 || tokens[0] != "conflict") {
+      Fail(error, At(reader, "malformed conflict line"));
+      return std::nullopt;
+    }
+    const auto a = ParseInt(tokens[1]);
+    const auto b = ParseInt(tokens[2]);
+    if (!a || !b || *a < 0 || *b < 0 || *a >= num_events ||
+        *b >= num_events || *a == *b) {
+      Fail(error, At(reader, "conflict ids out of range"));
+      return std::nullopt;
+    }
+    conflicts.AddConflict(static_cast<EventId>(*a),
+                          static_cast<EventId>(*b));
+  }
+
+  // Pad a dimension mismatch check for empty sides: FromRows of an empty
+  // list yields dim 0, so force the declared dim.
+  AttributeMatrix events =
+      event_rows.empty()
+          ? AttributeMatrix(0, static_cast<int>(*dim))
+          : AttributeMatrix::FromRows(event_rows);
+  AttributeMatrix users = user_rows.empty()
+                              ? AttributeMatrix(0, static_cast<int>(*dim))
+                              : AttributeMatrix::FromRows(user_rows);
+  return Instance(std::move(events), std::move(event_capacities),
+                  std::move(users), std::move(user_capacities),
+                  std::move(conflicts), std::move(similarity));
+}
+
+bool WriteInstanceToFile(const Instance& instance, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteInstance(instance, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<Instance> ReadInstanceFromFile(const std::string& path,
+                                             std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    Fail(error, "cannot open '" + path + "'");
+    return std::nullopt;
+  }
+  return ReadInstance(is, error);
+}
+
+void WriteArrangement(const Arrangement& arrangement, std::ostream& os) {
+  os << "geacc-arrangement v1\n";
+  os << "pairs " << arrangement.size() << "\n";
+  for (const auto& [v, u] : arrangement.SortedPairs()) {
+    os << "pair " << v << " " << u << "\n";
+  }
+}
+
+std::optional<Arrangement> ReadArrangement(std::istream& is,
+                                           const Instance& instance,
+                                           std::string* error) {
+  LineReader reader(is);
+  auto tokens = reader.NextTokens();
+  if (tokens.size() != 2 || tokens[0] != "geacc-arrangement" ||
+      tokens[1] != "v1") {
+    Fail(error, At(reader, "expected header 'geacc-arrangement v1'"));
+    return std::nullopt;
+  }
+  const int64_t num_pairs = ParseCountLine(reader.NextTokens(), "pairs");
+  if (num_pairs < 0) {
+    Fail(error, At(reader, "expected 'pairs <count>'"));
+    return std::nullopt;
+  }
+  Arrangement arrangement(instance.num_events(), instance.num_users());
+  for (int64_t i = 0; i < num_pairs; ++i) {
+    tokens = reader.NextTokens();
+    if (tokens.size() != 3 || tokens[0] != "pair") {
+      Fail(error, At(reader, "malformed pair line"));
+      return std::nullopt;
+    }
+    const auto v = ParseInt(tokens[1]);
+    const auto u = ParseInt(tokens[2]);
+    if (!v || !u || *v < 0 || *u < 0 || *v >= instance.num_events() ||
+        *u >= instance.num_users()) {
+      Fail(error, At(reader, "pair ids out of range"));
+      return std::nullopt;
+    }
+    if (arrangement.Contains(static_cast<EventId>(*v),
+                             static_cast<UserId>(*u))) {
+      Fail(error, At(reader, "duplicate pair"));
+      return std::nullopt;
+    }
+    arrangement.Add(static_cast<EventId>(*v), static_cast<UserId>(*u));
+  }
+  return arrangement;
+}
+
+bool WriteArrangementToFile(const Arrangement& arrangement,
+                            const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteArrangement(arrangement, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<Arrangement> ReadArrangementFromFile(const std::string& path,
+                                                   const Instance& instance,
+                                                   std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    Fail(error, "cannot open '" + path + "'");
+    return std::nullopt;
+  }
+  return ReadArrangement(is, instance, error);
+}
+
+}  // namespace geacc

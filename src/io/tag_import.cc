@@ -1,0 +1,191 @@
+#include "io/tag_import.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace geacc {
+namespace {
+
+// Tag → multiset frequency over both sides.
+std::map<std::string, int64_t> CountTags(
+    const std::vector<TaggedEntity>& events,
+    const std::vector<TaggedEntity>& users) {
+  std::map<std::string, int64_t> counts;
+  for (const auto* side : {&events, &users}) {
+    for (const TaggedEntity& entity : *side) {
+      for (const std::string& tag : entity.tags) ++counts[tag];
+    }
+  }
+  return counts;
+}
+
+// Normalized count vector over the vocabulary (paper Section V).
+void FillAttributeRow(const TaggedEntity& entity,
+                      const std::unordered_map<std::string, int>& tag_index,
+                      double* row, int dim) {
+  for (int j = 0; j < dim; ++j) row[j] = 0.0;
+  if (entity.tags.empty()) return;
+  for (const std::string& tag : entity.tags) {
+    const auto it = tag_index.find(tag);
+    if (it != tag_index.end()) row[it->second] += 1.0;
+  }
+  const double total = static_cast<double>(entity.tags.size());
+  for (int j = 0; j < dim; ++j) row[j] /= total;
+}
+
+}  // namespace
+
+std::vector<std::string> SelectTopTags(
+    const std::vector<TaggedEntity>& events,
+    const std::vector<TaggedEntity>& users, int top_k) {
+  GEACC_CHECK_GE(top_k, 1);
+  const std::map<std::string, int64_t> counts = CountTags(events, users);
+  std::vector<std::pair<std::string, int64_t>> ranked(counts.begin(),
+                                                      counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;  // lexicographic tie-break
+            });
+  if (static_cast<int>(ranked.size()) > top_k) ranked.resize(top_k);
+  std::vector<std::string> vocabulary;
+  vocabulary.reserve(ranked.size());
+  for (const auto& [tag, count] : ranked) vocabulary.push_back(tag);
+  return vocabulary;
+}
+
+Instance BuildInstanceFromTags(
+    const std::vector<TaggedEntity>& events,
+    const std::vector<TaggedEntity>& users,
+    const std::vector<std::pair<EventId, EventId>>& conflicts, int top_k) {
+  const std::vector<std::string> vocabulary =
+      SelectTopTags(events, users, top_k);
+  const int dim = std::max<int>(1, static_cast<int>(vocabulary.size()));
+  std::unordered_map<std::string, int> tag_index;
+  for (size_t j = 0; j < vocabulary.size(); ++j) {
+    tag_index.emplace(vocabulary[j], static_cast<int>(j));
+  }
+
+  AttributeMatrix event_attributes(static_cast<int>(events.size()), dim);
+  std::vector<int> event_capacities(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    FillAttributeRow(events[i], tag_index,
+                     event_attributes.MutableRow(static_cast<int>(i)), dim);
+    event_capacities[i] = events[i].capacity;
+  }
+  AttributeMatrix user_attributes(static_cast<int>(users.size()), dim);
+  std::vector<int> user_capacities(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    FillAttributeRow(users[i], tag_index,
+                     user_attributes.MutableRow(static_cast<int>(i)), dim);
+    user_capacities[i] = users[i].capacity;
+  }
+  ConflictGraph graph(static_cast<int>(events.size()));
+  for (const auto& [a, b] : conflicts) graph.AddConflict(a, b);
+
+  // Normalized fractions live in [0, 1]: Eq. (1) with T = 1.
+  return Instance(std::move(event_attributes), std::move(event_capacities),
+                  std::move(user_attributes), std::move(user_capacities),
+                  std::move(graph),
+                  std::make_unique<EuclideanSimilarity>(1.0));
+}
+
+std::optional<std::vector<TaggedEntity>> ParseTaggedCsv(
+    const std::string& text, std::string* error) {
+  std::vector<TaggedEntity> entities;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const size_t comma = trimmed.find(',');
+    if (comma == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = StrFormat("line %d: expected '<capacity>,<tags>'",
+                           line_number);
+      }
+      return std::nullopt;
+    }
+    const auto capacity = ParseInt(trimmed.substr(0, comma));
+    if (!capacity || *capacity < 1) {
+      if (error != nullptr) {
+        *error = StrFormat("line %d: bad capacity", line_number);
+      }
+      return std::nullopt;
+    }
+    TaggedEntity entity;
+    entity.capacity = static_cast<int>(*capacity);
+    for (const std::string& raw :
+         Split(trimmed.substr(comma + 1), ';')) {
+      const std::string_view tag = Trim(raw);
+      if (!tag.empty()) entity.tags.emplace_back(tag);
+    }
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+std::optional<Instance> LoadTaggedInstance(const std::string& events_path,
+                                           const std::string& users_path,
+                                           const std::string& conflicts_path,
+                                           int top_k, std::string* error) {
+  auto read_file = [&](const std::string& path,
+                       std::string* contents) -> bool {
+    std::ifstream is(path);
+    if (!is) {
+      if (error != nullptr) *error = "cannot open '" + path + "'";
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    *contents = buffer.str();
+    return true;
+  };
+
+  std::string events_text, users_text;
+  if (!read_file(events_path, &events_text)) return std::nullopt;
+  if (!read_file(users_path, &users_text)) return std::nullopt;
+  const auto events = ParseTaggedCsv(events_text, error);
+  if (!events) return std::nullopt;
+  const auto users = ParseTaggedCsv(users_text, error);
+  if (!users) return std::nullopt;
+
+  std::vector<std::pair<EventId, EventId>> conflicts;
+  if (!conflicts_path.empty()) {
+    std::string conflicts_text;
+    if (!read_file(conflicts_path, &conflicts_text)) return std::nullopt;
+    std::istringstream stream(conflicts_text);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(stream, line)) {
+      ++line_number;
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      const std::vector<std::string> parts =
+          Split(std::string(trimmed), ',');
+      const auto a = parts.size() == 2 ? ParseInt(parts[0]) : std::nullopt;
+      const auto b = parts.size() == 2 ? ParseInt(parts[1]) : std::nullopt;
+      if (!a || !b || *a < 0 || *b < 0 ||
+          *a >= static_cast<int64_t>(events->size()) ||
+          *b >= static_cast<int64_t>(events->size()) || *a == *b) {
+        if (error != nullptr) {
+          *error = StrFormat("conflicts line %d: bad pair", line_number);
+        }
+        return std::nullopt;
+      }
+      conflicts.emplace_back(static_cast<EventId>(*a),
+                             static_cast<EventId>(*b));
+    }
+  }
+  return BuildInstanceFromTags(*events, *users, conflicts, top_k);
+}
+
+}  // namespace geacc

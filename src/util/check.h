@@ -1,0 +1,85 @@
+// Invariant-checking macros.
+//
+// The library does not use exceptions (Google style); violated invariants are
+// programming errors and abort the process with a diagnostic. GEACC_CHECK is
+// always on; GEACC_DCHECK compiles away in NDEBUG builds and is meant for
+// hot paths.
+
+#ifndef GEACC_UTIL_CHECK_H_
+#define GEACC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace geacc::internal_check {
+
+// Terminates the process after printing `file:line  condition  message`.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "GEACC_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream sink that collects an optional explanatory message for a failed
+// check, then aborts in its destructor.
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  CheckMessageSink(const CheckMessageSink&) = delete;
+  CheckMessageSink& operator=(const CheckMessageSink&) = delete;
+
+  [[noreturn]] ~CheckMessageSink() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageSink& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+// Allows `GEACC_CHECK(x) << "msg";` to compile to nothing when the check
+// passes: `void(0)` on the success branch swallows the streamed operands via
+// the Voidify trick.
+struct Voidify {
+  template <typename T>
+  void operator&&(const T&) const {}
+};
+
+}  // namespace geacc::internal_check
+
+#define GEACC_CHECK(condition)                                       \
+  (condition) ? (void)0                                              \
+              : ::geacc::internal_check::Voidify{} &&                \
+                    ::geacc::internal_check::CheckMessageSink(       \
+                        __FILE__, __LINE__, #condition)
+
+#define GEACC_CHECK_OP(op, a, b) GEACC_CHECK((a)op(b))
+#define GEACC_CHECK_EQ(a, b) GEACC_CHECK_OP(==, a, b)
+#define GEACC_CHECK_NE(a, b) GEACC_CHECK_OP(!=, a, b)
+#define GEACC_CHECK_LT(a, b) GEACC_CHECK_OP(<, a, b)
+#define GEACC_CHECK_LE(a, b) GEACC_CHECK_OP(<=, a, b)
+#define GEACC_CHECK_GT(a, b) GEACC_CHECK_OP(>, a, b)
+#define GEACC_CHECK_GE(a, b) GEACC_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define GEACC_DCHECK(condition) GEACC_CHECK(true || (condition))
+#else
+#define GEACC_DCHECK(condition) GEACC_CHECK(condition)
+#endif
+
+#endif  // GEACC_UTIL_CHECK_H_

@@ -1,0 +1,154 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace geacc {
+
+void FlagSet::Add(const std::string& name, Type type, void* target,
+                  const std::string& help) {
+  GEACC_CHECK(target != nullptr);
+  GEACC_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  Flag flag{name, type, target, help, ""};
+  flag.default_value = Render(flag);
+  flags_.push_back(std::move(flag));
+}
+
+void FlagSet::AddInt(const std::string& name, int64_t* target,
+                     const std::string& help) {
+  Add(name, Type::kInt64, target, help);
+}
+
+void FlagSet::AddInt(const std::string& name, int* target,
+                     const std::string& help) {
+  Add(name, Type::kInt, target, help);
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  Add(name, Type::kDouble, target, help);
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  Add(name, Type::kBool, target, help);
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  Add(name, Type::kString, target, help);
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagSet::Assign(Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kInt64: {
+      const auto parsed = ParseInt(value);
+      if (!parsed) return false;
+      *static_cast<int64_t*>(flag.target) = *parsed;
+      return true;
+    }
+    case Type::kInt: {
+      const auto parsed = ParseInt(value);
+      if (!parsed) return false;
+      *static_cast<int*>(flag.target) = static_cast<int>(*parsed);
+      return true;
+    }
+    case Type::kDouble: {
+      const auto parsed = ParseDouble(value);
+      if (!parsed) return false;
+      *static_cast<double*>(flag.target) = *parsed;
+      return true;
+    }
+    case Type::kBool: {
+      const auto parsed = ParseBool(value);
+      if (!parsed) return false;
+      *static_cast<bool*>(flag.target) = *parsed;
+      return true;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+  }
+  return false;
+}
+
+std::string FlagSet::Render(const Flag& flag) {
+  switch (flag.type) {
+    case Type::kInt64:
+      return StrFormat("%lld", (long long)*static_cast<int64_t*>(flag.target));
+    case Type::kInt:
+      return StrFormat("%d", *static_cast<int*>(flag.target));
+    case Type::kDouble:
+      return StrFormat("%g", *static_cast<double*>(flag.target));
+    case Type::kBool:
+      return *static_cast<bool*>(flag.target) ? "true" : "false";
+    case Type::kString:
+      return *static_cast<std::string*>(flag.target);
+  }
+  return "";
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const Flag& flag : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", flag.name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      std::exit(0);
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const size_t eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   Usage(argv[0]).c_str());
+      std::exit(1);
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        value = "true";  // bare --flag means true
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        std::exit(1);
+      }
+    }
+    if (!Assign(*flag, value)) {
+      std::fprintf(stderr, "bad value '%s' for flag --%s\n", value.c_str(),
+                   name.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace geacc

@@ -1,0 +1,67 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Flags are registered as pointers to caller-owned variables:
+//
+//   int reps = 3;
+//   geacc::FlagSet flags;
+//   flags.AddInt("reps", &reps, "repetitions per point");
+//   flags.Parse(argc, argv);   // accepts --reps=5 and --reps 5
+//
+// Unknown flags are fatal (typos in experiment scripts should not silently
+// fall back to defaults). Positional arguments are collected and available
+// via positional().
+
+#ifndef GEACC_UTIL_FLAGS_H_
+#define GEACC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geacc {
+
+class FlagSet {
+ public:
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddInt(const std::string& name, int* target, const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  // Parses argv. On `--help`, prints usage and exits(0). On malformed or
+  // unknown flags, prints an error and exits(1).
+  void Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Usage text listing every registered flag with its default and help.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kInt, kDouble, kBool, kString };
+
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  void Add(const std::string& name, Type type, void* target,
+           const std::string& help);
+  Flag* Find(const std::string& name);
+  // Returns false if `value` cannot be parsed for the flag's type.
+  bool Assign(Flag& flag, const std::string& value);
+  static std::string Render(const Flag& flag);
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_UTIL_FLAGS_H_

@@ -1,0 +1,61 @@
+// Minimal leveled logger used by solvers and the experiment harness.
+//
+// Usage:
+//   GEACC_LOG(INFO) << "solved instance in " << seconds << "s";
+//
+// The global level defaults to WARNING so library consumers see nothing
+// unless they opt in via SetLogLevel (the benches set INFO).
+
+#ifndef GEACC_UTIL_LOGGING_H_
+#define GEACC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace geacc {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets the minimum level that is emitted to stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+// Collects one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace geacc
+
+#define GEACC_LOG_DEBUG ::geacc::LogLevel::kDebug
+#define GEACC_LOG_INFO ::geacc::LogLevel::kInfo
+#define GEACC_LOG_WARNING ::geacc::LogLevel::kWarning
+#define GEACC_LOG_ERROR ::geacc::LogLevel::kError
+
+#define GEACC_LOG(severity) \
+  ::geacc::internal_log::LogMessage(GEACC_LOG_##severity, __FILE__, __LINE__)
+
+#endif  // GEACC_UTIL_LOGGING_H_

@@ -1,0 +1,35 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace geacc {
+namespace {
+
+// Parses a "Vm...:   <kB> kB" line from /proc/self/status.
+uint64_t ReadStatusField(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t result = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + field_len, ": %llu", &kb) == 1) {
+        result = static_cast<uint64_t>(kb) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return result;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() { return ReadStatusField("VmHWM"); }
+
+uint64_t CurrentRssBytes() { return ReadStatusField("VmRSS"); }
+
+}  // namespace geacc

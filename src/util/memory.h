@@ -1,0 +1,51 @@
+// Process memory probes and a logical byte counter.
+//
+// The benches report two memory figures:
+//  * VmHWM / VmRSS from /proc/self/status — what the paper measured, but
+//    noisy and allocator-dependent;
+//  * a deterministic "logical bytes" estimate summed from the major data
+//    structures a solver allocates, reported via SolverStats.
+
+#ifndef GEACC_UTIL_MEMORY_H_
+#define GEACC_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace geacc {
+
+// Peak resident set size in bytes (VmHWM), or 0 if unavailable.
+uint64_t PeakRssBytes();
+
+// Current resident set size in bytes (VmRSS), or 0 if unavailable.
+uint64_t CurrentRssBytes();
+
+// Bytes held by a vector's heap buffer (capacity, not size).
+template <typename T>
+uint64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+
+// Accumulator for logical byte estimates. Tracks the running total and the
+// high-water mark so that transient structures are still accounted for.
+class ByteCounter {
+ public:
+  void Add(uint64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Remove(uint64_t bytes) { current_ = bytes > current_ ? 0 : current_ - bytes; }
+
+  uint64_t current() const { return current_; }
+  uint64_t peak() const { return peak_; }
+
+ private:
+  uint64_t current_ = 0;
+  uint64_t peak_ = 0;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_UTIL_MEMORY_H_

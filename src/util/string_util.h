@@ -1,0 +1,36 @@
+// Small string helpers shared by the flag parser and table writers.
+
+#ifndef GEACC_UTIL_STRING_UTIL_H_
+#define GEACC_UTIL_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geacc {
+
+// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// Strict numeric parsers: the whole (trimmed) string must parse.
+std::optional<int64_t> ParseInt(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+std::optional<bool> ParseBool(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count, e.g. "1.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace geacc
+
+#endif  // GEACC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,53 @@
+// Aligned-table and CSV writers for the experiment harness.
+//
+// The bench binaries print one paper-style table per metric:
+//
+//   MaxSum vs |V|
+//   |V|     Greedy  MinCostFlow  Random-V  Random-U
+//   20      ...     ...          ...       ...
+//
+// Table collects rows of strings and pads columns on output; CsvWriter
+// emits the same data machine-readably.
+
+#ifndef GEACC_UTIL_TABLE_H_
+#define GEACC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace geacc {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: builds a row from doubles, formatted with %.*f.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  // Prints the title, header, and aligned rows.
+  void Print(std::ostream& os) const;
+
+  // Writes header + rows as CSV (no title).
+  void WriteCsv(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Escapes a CSV field (quotes if it contains comma/quote/newline).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace geacc
+
+#endif  // GEACC_UTIL_TABLE_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing helper for benchmarks and solver statistics.
+
+#ifndef GEACC_UTIL_TIMER_H_
+#define GEACC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace geacc {
+
+// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_UTIL_TIMER_H_

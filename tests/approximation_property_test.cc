@@ -1,0 +1,114 @@
+// Parameterized property tests of the paper's theory on random instances:
+//
+//   * Theorem 2:  MaxSum(MCF)    ≥ OPT / max c_u
+//   * Theorem 3:  MaxSum(Greedy) ≥ OPT / (1 + max c_u)
+//   * Lemma 1:    MCF is exactly optimal when CF = ∅
+//   * Corollary 1: MaxSum(M_∅)   ≥ OPT
+//   * Prune-GEACC ≡ Exhaustive ≡ BruteForce (exact optimum)
+//   * every solver's output is feasible
+//
+// Instances are small enough for brute force (|V| ≤ 5, |U| ≤ 8) and swept
+// over seeds × conflict densities × capacity ranges.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algo/greedy_solver.h"
+#include "algo/min_cost_flow_solver.h"
+#include "algo/solvers.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+using Param = std::tuple<uint64_t, double, int>;  // seed, density, max c_u
+
+class ApproximationTest : public ::testing::TestWithParam<Param> {
+ protected:
+  Instance MakeInstance() const {
+    const auto& [seed, density, max_cu] = GetParam();
+    return geacc::testing::SmallRandomInstance(4, 7, density, max_cu,
+                                               seed * 131 + 7);
+  }
+};
+
+TEST_P(ApproximationTest, ExactSolversAgree) {
+  const Instance instance = MakeInstance();
+  const double brute = CreateSolver("bruteforce")
+                           ->Solve(instance)
+                           .arrangement.MaxSum(instance);
+  const double prune =
+      CreateSolver("prune")->Solve(instance).arrangement.MaxSum(instance);
+  const double exhaustive = CreateSolver("exhaustive")
+                                ->Solve(instance)
+                                .arrangement.MaxSum(instance);
+  EXPECT_NEAR(prune, brute, 1e-9);
+  EXPECT_NEAR(exhaustive, brute, 1e-9);
+}
+
+TEST_P(ApproximationTest, TheoremGuaranteesHold) {
+  const Instance instance = MakeInstance();
+  const double optimum = CreateSolver("prune")
+                             ->Solve(instance)
+                             .arrangement.MaxSum(instance);
+  const double greedy =
+      CreateSolver("greedy")->Solve(instance).arrangement.MaxSum(instance);
+  const double mcf = CreateSolver("mincostflow")
+                         ->Solve(instance)
+                         .arrangement.MaxSum(instance);
+  const int alpha = instance.max_user_capacity();
+  EXPECT_GE(greedy, optimum / (1.0 + alpha) - 1e-9);
+  EXPECT_GE(mcf, optimum / alpha - 1e-9);
+  // Approximations never exceed the optimum.
+  EXPECT_LE(greedy, optimum + 1e-9);
+  EXPECT_LE(mcf, optimum + 1e-9);
+}
+
+TEST_P(ApproximationTest, ConflictObliviousUpperBound) {
+  const Instance instance = MakeInstance();
+  const double optimum = CreateSolver("prune")
+                             ->Solve(instance)
+                             .arrangement.MaxSum(instance);
+  const MinCostFlowSolver mcf;
+  SolverStats stats;
+  const Arrangement m0 = mcf.SolveWithoutConflicts(instance, &stats);
+  EXPECT_GE(m0.MaxSum(instance), optimum - 1e-9);
+}
+
+TEST_P(ApproximationTest, AllSolversFeasible) {
+  const Instance instance = MakeInstance();
+  for (const std::string& name : SolverNames()) {
+    SolverOptions options;
+    options.seed = std::get<0>(GetParam());
+    const SolveResult result = CreateSolver(name, options)->Solve(instance);
+    EXPECT_EQ(result.arrangement.Validate(instance), "") << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproximationTest,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 12),
+                       ::testing::Values(0.0, 0.3, 0.7, 1.0),
+                       ::testing::Values(1, 3)));
+
+// CF = ∅: MinCostFlow-GEACC must be exactly optimal (Lemma 1).
+class NoConflictOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NoConflictOptimalityTest, MinCostFlowIsExact) {
+  const Instance instance =
+      geacc::testing::SmallRandomInstance(4, 8, 0.0, 3, GetParam() + 900);
+  const double optimum = CreateSolver("bruteforce")
+                             ->Solve(instance)
+                             .arrangement.MaxSum(instance);
+  const double mcf = CreateSolver("mincostflow")
+                         ->Solve(instance)
+                         .arrangement.MaxSum(instance);
+  EXPECT_NEAR(mcf, optimum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoConflictOptimalityTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace geacc

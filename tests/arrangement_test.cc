@@ -1,0 +1,119 @@
+// Unit tests for Arrangement: mutation, MaxSum, and the feasibility
+// validator (each violation class must be detected).
+
+#include <gtest/gtest.h>
+
+#include "core/arrangement.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+// 2 events × 3 users, all sims positive except (1, 2); v0 ⊥ v1.
+Instance Fixture() {
+  return geacc::testing::MakeTableInstance(
+      {{0.9, 0.5, 0.4}, {0.8, 0.6, 0.0}}, {2, 2}, {2, 1, 1}, {{0, 1}});
+}
+
+TEST(Arrangement, AddRemoveContains) {
+  Arrangement arr(2, 3);
+  EXPECT_TRUE(arr.empty());
+  arr.Add(0, 1);
+  arr.Add(1, 2);
+  EXPECT_TRUE(arr.Contains(0, 1));
+  EXPECT_FALSE(arr.Contains(1, 1));
+  EXPECT_EQ(arr.size(), 2);
+  EXPECT_EQ(arr.EventLoad(0), 1);
+  EXPECT_EQ(arr.UserLoad(2), 1);
+  arr.Remove(0, 1);
+  EXPECT_FALSE(arr.Contains(0, 1));
+  EXPECT_EQ(arr.size(), 1);
+  EXPECT_EQ(arr.EventLoad(0), 0);
+}
+
+TEST(Arrangement, RemoveAbsentDies) {
+  Arrangement arr(2, 3);
+  EXPECT_DEATH(arr.Remove(0, 0), "absent");
+}
+
+TEST(Arrangement, SortedPairsDeterministic) {
+  Arrangement arr(2, 3);
+  arr.Add(1, 2);
+  arr.Add(0, 0);
+  arr.Add(1, 0);
+  const auto pairs = arr.SortedPairs();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], std::make_pair(EventId{0}, UserId{0}));
+  EXPECT_EQ(pairs[1], std::make_pair(EventId{1}, UserId{0}));
+  EXPECT_EQ(pairs[2], std::make_pair(EventId{1}, UserId{2}));
+}
+
+TEST(Arrangement, MaxSum) {
+  const Instance instance = Fixture();
+  Arrangement arr(2, 3);
+  arr.Add(0, 0);  // 0.9
+  arr.Add(1, 1);  // 0.6
+  EXPECT_NEAR(arr.MaxSum(instance), 1.5, 1e-12);
+}
+
+TEST(Arrangement, ValidateAcceptsFeasible) {
+  const Instance instance = Fixture();
+  Arrangement arr(2, 3);
+  arr.Add(0, 0);
+  arr.Add(0, 1);
+  EXPECT_EQ(arr.Validate(instance), "");
+}
+
+TEST(Arrangement, ValidateDetectsEventOverCapacity) {
+  const Instance instance = Fixture();
+  Arrangement arr(2, 3);
+  arr.Add(0, 0);
+  arr.Add(0, 1);
+  arr.Add(0, 2);  // event 0 capacity is 2
+  EXPECT_NE(arr.Validate(instance).find("event 0 over capacity"),
+            std::string::npos);
+}
+
+TEST(Arrangement, ValidateDetectsUserOverCapacity) {
+  const Instance instance = geacc::testing::MakeTableInstance(
+      {{0.9}, {0.8}, {0.7}}, {1, 1, 1}, {2}, {});
+  Arrangement arr(3, 1);
+  arr.Add(0, 0);
+  arr.Add(1, 0);
+  arr.Add(2, 0);  // user 0 capacity is 2
+  EXPECT_NE(arr.Validate(instance).find("user 0 over capacity"),
+            std::string::npos);
+}
+
+TEST(Arrangement, ValidateDetectsConflict) {
+  const Instance instance = Fixture();
+  Arrangement arr(2, 3);
+  arr.Add(0, 0);
+  arr.Add(1, 0);  // v0 ⊥ v1, both on user 0
+  EXPECT_NE(arr.Validate(instance).find("conflicting events"),
+            std::string::npos);
+}
+
+TEST(Arrangement, ValidateDetectsNonPositiveSimilarity) {
+  const Instance instance = Fixture();
+  Arrangement arr(2, 3);
+  arr.Add(1, 2);  // sim = 0
+  EXPECT_NE(arr.Validate(instance).find("non-positive similarity"),
+            std::string::npos);
+}
+
+TEST(Arrangement, ValidateDetectsSizeMismatch) {
+  const Instance instance = Fixture();
+  const Arrangement arr(3, 3);
+  EXPECT_NE(arr.Validate(instance), "");
+}
+
+TEST(Arrangement, EventsOfTracksInsertionOrder) {
+  Arrangement arr(3, 1);
+  arr.Add(2, 0);
+  arr.Add(0, 0);
+  EXPECT_EQ(arr.EventsOf(0), (std::vector<EventId>{2, 0}));
+}
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,228 @@
+// Unit and property tests for the B+-tree container, cross-checked against
+// std::multimap (the behavioral specification).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "container/bplus_tree.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+using SmallTree = BPlusTree<int, int, 4>;  // tiny fanout → deep trees
+using DoubleTree = BPlusTree<double, int, 16>;
+
+TEST(BPlusTree, EmptyTree) {
+  SmallTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_EQ(tree.begin(), tree.end());
+  EXPECT_EQ(tree.LowerBound(5), tree.end());
+  tree.DebugValidate();
+}
+
+TEST(BPlusTree, SingleInsert) {
+  SmallTree tree;
+  tree.Insert(7, 70);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.height(), 1);
+  auto it = tree.begin();
+  EXPECT_EQ(it.key(), 7);
+  EXPECT_EQ(it.value(), 70);
+  ++it;
+  EXPECT_EQ(it, tree.end());
+  tree.DebugValidate();
+}
+
+TEST(BPlusTree, InsertAscendingSplits) {
+  SmallTree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i * 10);
+  EXPECT_EQ(tree.size(), 100);
+  EXPECT_GT(tree.height(), 1);
+  tree.DebugValidate();
+  int expected = 0;
+  for (auto it = tree.begin(); it != tree.end(); ++it, ++expected) {
+    ASSERT_EQ(it.key(), expected);
+    ASSERT_EQ(it.value(), expected * 10);
+  }
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(BPlusTree, InsertDescending) {
+  SmallTree tree;
+  for (int i = 99; i >= 0; --i) tree.Insert(i, i);
+  tree.DebugValidate();
+  int expected = 0;
+  for (auto it = tree.begin(); it != tree.end(); ++it, ++expected) {
+    ASSERT_EQ(it.key(), expected);
+  }
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(BPlusTree, BulkLoadMatchesIteration) {
+  std::vector<std::pair<int, int>> entries;
+  for (int i = 0; i < 500; ++i) entries.emplace_back(i * 2, i);
+  SmallTree tree;
+  tree.BulkLoad(entries);
+  tree.DebugValidate();
+  EXPECT_EQ(tree.size(), 500);
+  size_t position = 0;
+  for (auto it = tree.begin(); it != tree.end(); ++it, ++position) {
+    ASSERT_EQ(it.key(), entries[position].first);
+    ASSERT_EQ(it.value(), entries[position].second);
+  }
+}
+
+TEST(BPlusTree, BulkLoadThenInsert) {
+  std::vector<std::pair<int, int>> entries;
+  for (int i = 0; i < 200; ++i) entries.emplace_back(i * 4, i);
+  SmallTree tree;
+  tree.BulkLoad(entries);
+  for (int i = 0; i < 200; ++i) tree.Insert(i * 4 + 1, -i);
+  tree.DebugValidate();
+  EXPECT_EQ(tree.size(), 400);
+  int previous = -1;
+  for (auto it = tree.begin(); it != tree.end(); ++it) {
+    ASSERT_GE(it.key(), previous);
+    previous = it.key();
+  }
+}
+
+TEST(BPlusTree, LowerUpperBoundSemantics) {
+  SmallTree tree;
+  for (const int key : {10, 20, 20, 20, 30}) tree.Insert(key, key);
+  EXPECT_EQ(tree.LowerBound(5).key(), 10);
+  EXPECT_EQ(tree.LowerBound(10).key(), 10);
+  EXPECT_EQ(tree.LowerBound(15).key(), 20);
+  EXPECT_EQ(tree.LowerBound(20).key(), 20);
+  EXPECT_EQ(tree.UpperBound(20).key(), 30);
+  EXPECT_EQ(tree.UpperBound(30), tree.end());
+  EXPECT_EQ(tree.LowerBound(31), tree.end());
+  // Exactly three 20s between the bounds.
+  int count = 0;
+  for (auto it = tree.LowerBound(20); it != tree.UpperBound(20); ++it) {
+    ASSERT_EQ(it.key(), 20);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(BPlusTree, BidirectionalIteration) {
+  SmallTree tree;
+  for (int i = 0; i < 50; ++i) tree.Insert(i, i);
+  // Walk to the end, then back.
+  auto it = tree.end();
+  for (int expected = 49; expected >= 0; --expected) {
+    --it;
+    ASSERT_EQ(it.key(), expected);
+  }
+  EXPECT_EQ(it, tree.begin());
+}
+
+TEST(BPlusTree, DecrementFromBound) {
+  SmallTree tree;
+  for (const int key : {10, 20, 30}) tree.Insert(key, key);
+  auto it = tree.LowerBound(20);
+  --it;
+  EXPECT_EQ(it.key(), 10);
+}
+
+class BPlusTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BPlusTreePropertyTest, AgreesWithMultimap) {
+  const auto& [n, seed] = GetParam();
+  Rng rng(seed);
+  SmallTree tree;
+  std::multimap<int, int> reference;
+  // Mixed bulk-load + inserts with many duplicate keys.
+  std::vector<std::pair<int, int>> initial;
+  for (int i = 0; i < n / 2; ++i) {
+    const int key = static_cast<int>(rng.UniformInt(0, n / 4));
+    initial.emplace_back(key, i);
+  }
+  std::sort(initial.begin(), initial.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  tree.BulkLoad(initial);
+  for (const auto& [key, value] : initial) reference.emplace(key, value);
+  for (int i = 0; i < n / 2; ++i) {
+    const int key = static_cast<int>(rng.UniformInt(0, n / 4));
+    tree.Insert(key, 1000 + i);
+    reference.emplace(key, 1000 + i);
+  }
+  tree.DebugValidate();
+  ASSERT_EQ(tree.size(), static_cast<int64_t>(reference.size()));
+
+  // Full iteration yields the same key sequence.
+  auto tree_it = tree.begin();
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(tree_it, tree.end());
+    ASSERT_EQ(tree_it.key(), key);
+    ++tree_it;
+  }
+  EXPECT_EQ(tree_it, tree.end());
+
+  // Bounds agree for every probe key.
+  for (int probe = -1; probe <= n / 4 + 1; ++probe) {
+    const auto ref_lower = reference.lower_bound(probe);
+    const auto tree_lower = tree.LowerBound(probe);
+    if (ref_lower == reference.end()) {
+      ASSERT_EQ(tree_lower, tree.end()) << "probe " << probe;
+    } else {
+      ASSERT_NE(tree_lower, tree.end());
+      ASSERT_EQ(tree_lower.key(), ref_lower->first) << "probe " << probe;
+    }
+    const auto ref_upper = reference.upper_bound(probe);
+    const auto tree_upper = tree.UpperBound(probe);
+    if (ref_upper == reference.end()) {
+      ASSERT_EQ(tree_upper, tree.end()) << "probe " << probe;
+    } else {
+      ASSERT_NE(tree_upper, tree.end());
+      ASSERT_EQ(tree_upper.key(), ref_upper->first) << "probe " << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BPlusTreePropertyTest,
+    ::testing::Combine(::testing::Values(8, 64, 300, 2000),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(BPlusTree, DoubleKeysForIDistance) {
+  // The iDistance use case: double stretched keys, int payloads.
+  DoubleTree tree;
+  std::vector<std::pair<double, int>> entries;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    entries.emplace_back(rng.UniformReal(0.0, 100.0), i);
+  }
+  std::sort(entries.begin(), entries.end());
+  tree.BulkLoad(entries);
+  tree.DebugValidate();
+  // Range scan [25, 75) matches a manual filter.
+  int counted = 0;
+  for (auto it = tree.LowerBound(25.0); it != tree.end() && it.key() < 75.0;
+       ++it) {
+    ++counted;
+  }
+  int expected = 0;
+  for (const auto& [key, value] : entries) {
+    if (key >= 25.0 && key < 75.0) ++expected;
+  }
+  EXPECT_EQ(counted, expected);
+}
+
+TEST(BPlusTree, ByteEstimateGrows) {
+  SmallTree small, large;
+  for (int i = 0; i < 10; ++i) small.Insert(i, i);
+  for (int i = 0; i < 1000; ++i) large.Insert(i, i);
+  EXPECT_GT(large.ByteEstimate(), small.ByteEstimate());
+}
+
+}  // namespace
+}  // namespace geacc

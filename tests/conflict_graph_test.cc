@@ -1,0 +1,120 @@
+// Unit and property tests for the conflict graph.
+
+#include <gtest/gtest.h>
+
+#include "core/conflict_graph.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+TEST(ConflictGraph, AddAndQuery) {
+  ConflictGraph graph(4);
+  EXPECT_FALSE(graph.AreConflicting(0, 1));
+  graph.AddConflict(0, 1);
+  EXPECT_TRUE(graph.AreConflicting(0, 1));
+  EXPECT_TRUE(graph.AreConflicting(1, 0));  // symmetric
+  EXPECT_FALSE(graph.AreConflicting(0, 2));
+  EXPECT_FALSE(graph.AreConflicting(2, 2));  // no self conflicts
+  EXPECT_EQ(graph.num_conflict_pairs(), 1);
+}
+
+TEST(ConflictGraph, DuplicateInsertIsNoOp) {
+  ConflictGraph graph(3);
+  graph.AddConflict(1, 2);
+  graph.AddConflict(2, 1);
+  EXPECT_EQ(graph.num_conflict_pairs(), 1);
+  EXPECT_EQ(graph.ConflictsOf(1).size(), 1u);
+}
+
+TEST(ConflictGraph, AdjacencySortedAscending) {
+  ConflictGraph graph(5);
+  graph.AddConflict(2, 4);
+  graph.AddConflict(2, 0);
+  graph.AddConflict(2, 3);
+  EXPECT_EQ(graph.ConflictsOf(2), (std::vector<EventId>{0, 3, 4}));
+}
+
+TEST(ConflictGraph, SelfConflictDies) {
+  ConflictGraph graph(3);
+  EXPECT_DEATH(graph.AddConflict(1, 1), "cannot conflict with itself");
+}
+
+TEST(ConflictGraph, OutOfRangeDies) {
+  ConflictGraph graph(3);
+  EXPECT_DEATH(graph.AddConflict(0, 3), "out of range");
+}
+
+TEST(ConflictGraph, Density) {
+  ConflictGraph graph(4);  // 6 possible pairs
+  EXPECT_DOUBLE_EQ(graph.Density(), 0.0);
+  graph.AddConflict(0, 1);
+  graph.AddConflict(2, 3);
+  graph.AddConflict(0, 3);
+  EXPECT_DOUBLE_EQ(graph.Density(), 0.5);
+}
+
+TEST(ConflictGraph, CompleteGraph) {
+  const ConflictGraph graph = ConflictGraph::Complete(5);
+  EXPECT_EQ(graph.num_conflict_pairs(), 10);
+  EXPECT_DOUBLE_EQ(graph.Density(), 1.0);
+  for (EventId a = 0; a < 5; ++a) {
+    for (EventId b = 0; b < 5; ++b) {
+      EXPECT_EQ(graph.AreConflicting(a, b), a != b);
+    }
+  }
+}
+
+TEST(ConflictGraph, EdgeCasesSmallGraphs) {
+  Rng rng(1);
+  EXPECT_EQ(ConflictGraph::Random(0, 0.5, rng).num_conflict_pairs(), 0);
+  EXPECT_EQ(ConflictGraph::Random(1, 1.0, rng).num_conflict_pairs(), 0);
+  EXPECT_DOUBLE_EQ(ConflictGraph(1).Density(), 0.0);
+}
+
+class ConflictDensityTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ConflictDensityTest, RandomHitsExactTarget) {
+  const auto& [n, density] = GetParam();
+  Rng rng(99);
+  const ConflictGraph graph = ConflictGraph::Random(n, density, rng);
+  const int64_t total = static_cast<int64_t>(n) * (n - 1) / 2;
+  const auto expected = static_cast<int64_t>(density * total + 0.5);
+  EXPECT_EQ(graph.num_conflict_pairs(), expected);
+  // All pairs valid and distinct by construction; spot-check symmetry.
+  for (EventId v = 0; v < n; ++v) {
+    for (const EventId w : graph.ConflictsOf(v)) {
+      ASSERT_TRUE(graph.AreConflicting(w, v));
+      ASSERT_NE(w, v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConflictDensityTest,
+    ::testing::Combine(::testing::Values(2, 5, 20, 100),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)));
+
+TEST(ConflictGraph, RandomIsDeterministicPerSeed) {
+  Rng rng_a(5), rng_b(5), rng_c(6);
+  const ConflictGraph a = ConflictGraph::Random(30, 0.3, rng_a);
+  const ConflictGraph b = ConflictGraph::Random(30, 0.3, rng_b);
+  const ConflictGraph c = ConflictGraph::Random(30, 0.3, rng_c);
+  int diff_from_c = 0;
+  for (EventId v = 0; v < 30; ++v) {
+    ASSERT_EQ(a.ConflictsOf(v), b.ConflictsOf(v));
+    if (a.ConflictsOf(v) != c.ConflictsOf(v)) ++diff_from_c;
+  }
+  EXPECT_GT(diff_from_c, 0);  // different seed differs somewhere
+}
+
+TEST(ConflictGraph, ByteEstimateGrowsWithEdges) {
+  Rng rng(7);
+  const ConflictGraph sparse = ConflictGraph::Random(50, 0.1, rng);
+  const ConflictGraph dense = ConflictGraph::Random(50, 0.9, rng);
+  EXPECT_GT(dense.ByteEstimate(), sparse.ByteEstimate());
+}
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,137 @@
+// Tests for the EBSN (Meetup-like) dataset simulator — the Table II
+// substitute. The important properties are the ones the paper's pipeline
+// relies on: L1-normalized tag vectors, Table II shapes, determinism, and
+// group-induced correlation (users are more similar to events of their own
+// community than to random events).
+
+#include <gtest/gtest.h>
+
+#include "gen/ebsn.h"
+
+namespace geacc {
+namespace {
+
+TEST(Ebsn, CityPresetsMatchTableII) {
+  const EbsnConfig vancouver = EbsnCityPreset("vancouver");
+  EXPECT_EQ(vancouver.num_events, 225);
+  EXPECT_EQ(vancouver.num_users, 2012);
+  const EbsnConfig auckland = EbsnCityPreset("auckland");
+  EXPECT_EQ(auckland.num_events, 37);
+  EXPECT_EQ(auckland.num_users, 569);
+  const EbsnConfig singapore = EbsnCityPreset("singapore");
+  EXPECT_EQ(singapore.num_events, 87);
+  EXPECT_EQ(singapore.num_users, 1500);
+}
+
+TEST(Ebsn, UnknownCityDies) {
+  EXPECT_DEATH(EbsnCityPreset("atlantis"), "unknown EBSN city");
+}
+
+TEST(Ebsn, GeneratesValidInstance) {
+  EbsnConfig config = EbsnCityPreset("auckland");
+  config.seed = 5;
+  const Instance instance = GenerateEbsn(config);
+  EXPECT_EQ(instance.num_events(), 37);
+  EXPECT_EQ(instance.num_users(), 569);
+  EXPECT_EQ(instance.dim(), 20);
+  EXPECT_EQ(instance.Validate(), "");
+  EXPECT_NEAR(instance.conflicts().Density(), 0.25, 0.02);
+}
+
+TEST(Ebsn, AttributesAreL1NormalizedFractions) {
+  EbsnConfig config = EbsnCityPreset("auckland");
+  const Instance instance = GenerateEbsn(config);
+  for (const AttributeMatrix* matrix :
+       {&instance.event_attributes(), &instance.user_attributes()}) {
+    for (int i = 0; i < matrix->rows(); ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < matrix->dim(); ++j) {
+        const double x = matrix->At(i, j);
+        ASSERT_GE(x, 0.0);
+        ASSERT_LE(x, 1.0);
+        sum += x;
+      }
+      ASSERT_NEAR(sum, 1.0, 1e-9) << "row " << i;
+    }
+  }
+}
+
+TEST(Ebsn, DeterministicPerSeed) {
+  EbsnConfig config = EbsnCityPreset("singapore");
+  config.seed = 21;
+  const Instance a = GenerateEbsn(config);
+  const Instance b = GenerateEbsn(config);
+  for (int v = 0; v < a.num_events(); v += 13) {
+    for (int u = 0; u < a.num_users(); u += 97) {
+      ASSERT_DOUBLE_EQ(a.Similarity(v, u), b.Similarity(v, u));
+    }
+  }
+}
+
+TEST(Ebsn, TagPopularityIsSkewed) {
+  // With Zipf-skewed popularity, tag 0 must carry far more total mass than
+  // the least popular tag.
+  EbsnConfig config = EbsnCityPreset("vancouver");
+  config.seed = 3;
+  const Instance instance = GenerateEbsn(config);
+  std::vector<double> mass(instance.dim(), 0.0);
+  const auto& users = instance.user_attributes();
+  for (int i = 0; i < users.rows(); ++i) {
+    for (int j = 0; j < users.dim(); ++j) mass[j] += users.At(i, j);
+  }
+  const double top = *std::max_element(mass.begin(), mass.end());
+  const double bottom = *std::min_element(mass.begin(), mass.end());
+  EXPECT_GT(top, 4.0 * (bottom + 1e-9));
+}
+
+TEST(Ebsn, GroupStructureCreatesInterestClusters) {
+  // The mean best-event similarity of a user should clearly exceed the
+  // mean all-events similarity — the clustering the paper's recommender
+  // setting presumes.
+  EbsnConfig config = EbsnCityPreset("auckland");
+  config.seed = 17;
+  const Instance instance = GenerateEbsn(config);
+  double mean_best = 0.0, mean_all = 0.0;
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    double best = 0.0, sum = 0.0;
+    for (EventId v = 0; v < instance.num_events(); ++v) {
+      const double s = instance.Similarity(v, u);
+      best = std::max(best, s);
+      sum += s;
+    }
+    mean_best += best;
+    mean_all += sum / instance.num_events();
+  }
+  mean_best /= instance.num_users();
+  mean_all /= instance.num_users();
+  EXPECT_GT(mean_best, mean_all + 0.02);
+}
+
+TEST(Ebsn, CapacityDistributionsApplied) {
+  EbsnConfig config = EbsnCityPreset("auckland");
+  config.event_capacity = DistributionSpec::Normal(25.0, 12.5);
+  config.user_capacity = DistributionSpec::Normal(2.0, 1.0);
+  const Instance instance = GenerateEbsn(config);
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    ASSERT_GE(instance.event_capacity(v), 1);
+  }
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    ASSERT_GE(instance.user_capacity(u), 1);
+    ASSERT_LE(instance.user_capacity(u), 8);  // N(2,1) clamped, ~6σ bound
+  }
+}
+
+TEST(Ebsn, SummarizeReportsShape) {
+  EbsnConfig config = EbsnCityPreset("auckland");
+  const Instance instance = GenerateEbsn(config);
+  const EbsnStats stats = SummarizeEbsn("auckland", instance);
+  EXPECT_EQ(stats.city, "auckland");
+  EXPECT_EQ(stats.num_events, 37);
+  EXPECT_EQ(stats.num_users, 569);
+  EXPECT_GT(stats.mean_user_tags, 1.0);
+  EXPECT_LE(stats.mean_user_tags, 20.0);
+  EXPECT_NEAR(stats.conflict_density, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace geacc

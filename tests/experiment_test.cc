@@ -1,0 +1,130 @@
+// Tests for the experiment harness.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/solvers.h"
+#include "exp/experiment.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+SweepConfig SmallConfig() {
+  SweepConfig config;
+  config.title = "unit test sweep";
+  config.solvers = {"greedy", "random-v"};
+  config.repetitions = 2;
+  config.seed = 5;
+  return config;
+}
+
+std::vector<SweepPoint> SmallPoints() {
+  std::vector<SweepPoint> points;
+  for (const int users : {8, 16}) {
+    points.push_back({std::to_string(users), [users](uint64_t seed) {
+                        return geacc::testing::SmallRandomInstance(
+                            4, users, 0.25, 2, seed);
+                      }});
+  }
+  return points;
+}
+
+TEST(Experiment, RunSolverValidatesAndFillsRecord) {
+  const Instance instance = geacc::testing::SmallRandomInstance(4, 8, 0.2, 2, 1);
+  const auto solver = CreateSolver("greedy");
+  const RunRecord record = RunSolver(*solver, instance);
+  EXPECT_EQ(record.solver, "greedy");
+  EXPECT_GT(record.max_sum, 0.0);
+  EXPECT_GE(record.seconds, 0.0);
+  EXPECT_GT(record.matched_pairs, 0);
+}
+
+TEST(Experiment, SweepShapesAndMetrics) {
+  const SweepResult result = RunSweep(SmallConfig(), SmallPoints());
+  EXPECT_EQ(result.x_labels, (std::vector<std::string>{"8", "16"}));
+  for (const char* metric :
+       {"max_sum", "seconds", "memory_mb", "matched_pairs"}) {
+    ASSERT_TRUE(result.metrics.contains(metric)) << metric;
+    const auto& per_solver = result.metrics.at(metric);
+    ASSERT_TRUE(per_solver.contains("greedy"));
+    ASSERT_TRUE(per_solver.contains("random-v"));
+    EXPECT_EQ(per_solver.at("greedy").size(), 2u);
+  }
+  // Records: [point][solver][rep].
+  ASSERT_EQ(result.records.size(), 2u);
+  ASSERT_EQ(result.records[0].size(), 2u);
+  ASSERT_EQ(result.records[0][0].size(), 2u);
+}
+
+TEST(Experiment, GreedyBeatsRandomOnAverage) {
+  const SweepResult result = RunSweep(SmallConfig(), SmallPoints());
+  const auto& max_sum = result.metrics.at("max_sum");
+  for (size_t p = 0; p < result.x_labels.size(); ++p) {
+    EXPECT_GE(max_sum.at("greedy")[p], max_sum.at("random-v")[p]);
+  }
+}
+
+TEST(Experiment, MoreUsersNeverHurtsGreedy) {
+  // MaxSum should grow (weakly) with |U| — the Fig. 3 col 2 trend.
+  const SweepResult result = RunSweep(SmallConfig(), SmallPoints());
+  const auto& greedy = result.metrics.at("max_sum").at("greedy");
+  EXPECT_GE(greedy[1], greedy[0] * 0.9);
+}
+
+TEST(Experiment, MetricTableRendersAllPoints) {
+  const SweepResult result = RunSweep(SmallConfig(), SmallPoints());
+  const Table table = MetricTable(result, "max_sum", "title", "|U|");
+  EXPECT_EQ(table.num_rows(), 2u);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("greedy"), std::string::npos);
+  EXPECT_NE(os.str().find("16"), std::string::npos);
+}
+
+TEST(Experiment, PrintSweepTablesEmitsThreeTables) {
+  const SweepConfig config = SmallConfig();
+  const SweepResult result = RunSweep(config, SmallPoints());
+  std::ostringstream os;
+  PrintSweepTables(config, result, "|U|", os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("MaxSum"), std::string::npos);
+  EXPECT_NE(out.find("wall time"), std::string::npos);
+  EXPECT_NE(out.find("memory"), std::string::npos);
+}
+
+TEST(ExperimentDeathTest, UnknownSolverNameAborts) {
+  SweepConfig config = SmallConfig();
+  config.solvers = {"not-a-solver"};
+  EXPECT_DEATH(RunSweep(config, SmallPoints()), "unknown solver");
+}
+
+TEST(Experiment, ParallelSweepMatchesSerialExactly) {
+  SweepConfig serial = SmallConfig();
+  serial.repetitions = 3;
+  SweepConfig parallel = serial;
+  parallel.threads = 4;
+  const SweepResult a = RunSweep(serial, SmallPoints());
+  const SweepResult b = RunSweep(parallel, SmallPoints());
+  ASSERT_EQ(a.x_labels, b.x_labels);
+  for (const char* metric : {"max_sum", "matched_pairs"}) {
+    const auto& ma = a.metrics.at(metric);
+    const auto& mb = b.metrics.at(metric);
+    for (const auto& [solver, values] : ma) {
+      ASSERT_EQ(values, mb.at(solver)) << metric << " " << solver;
+    }
+  }
+}
+
+TEST(Experiment, RepetitionsUseDistinctInstances) {
+  // With 2 reps the mean must generally differ from a single run's value;
+  // verify the harness passed different seeds by checking raw records.
+  const SweepResult result = RunSweep(SmallConfig(), SmallPoints());
+  const auto& reps = result.records[0][0];
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_NE(reps[0].max_sum, reps[1].max_sum);
+}
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,109 @@
+// Configuration fuzz: every polynomial solver must produce feasible,
+// deterministic arrangements across the full generator space — all
+// similarity functions (including non-Euclidean-monotone ones, which force
+// the index fallback inside Greedy), all attribute/capacity distributions,
+// degenerate shapes, and extreme conflict densities. The exact solvers are
+// exercised at tiny sizes in approximation_property_test; here the point
+// is breadth of input space, not optimality.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "algo/solvers.h"
+#include "exp/metrics.h"
+#include "gen/synthetic.h"
+
+namespace geacc {
+namespace {
+
+constexpr const char* kPolySolvers[] = {"greedy",        "greedy-sortall",
+                                        "online-greedy", "mincostflow",
+                                        "random-v",      "random-u"};
+
+using Config = std::tuple<std::string, std::string, double, uint64_t>;
+//                       similarity   attr distro   rho     seed
+
+class FuzzConfigurationTest : public ::testing::TestWithParam<Config> {
+ protected:
+  Instance MakeInstance(int num_events, int num_users) const {
+    const auto& [similarity, distro, rho, seed] = GetParam();
+    SyntheticConfig config;
+    config.num_events = num_events;
+    config.num_users = num_users;
+    config.dim = 6;
+    config.max_attribute = 1000.0;
+    config.similarity = similarity;
+    if (distro == "zipf") {
+      config.WithZipfAttributes(1.3);
+    } else if (distro == "normal") {
+      config.WithNormalAttributes();
+    }
+    config.event_capacity = DistributionSpec::Uniform(1.0, 6.0);
+    config.user_capacity = DistributionSpec::Normal(2.0, 1.0);
+    config.conflict_density = rho;
+    config.seed = seed * 7919 + 1;
+    return GenerateSynthetic(config);
+  }
+};
+
+TEST_P(FuzzConfigurationTest, AllSolversFeasibleAndDeterministic) {
+  const Instance instance = MakeInstance(12, 40);
+  for (const char* name : kPolySolvers) {
+    SolverOptions options;
+    options.seed = std::get<3>(GetParam());
+    const auto solver = CreateSolver(name, options);
+    const SolveResult first = solver->Solve(instance);
+    ASSERT_EQ(first.arrangement.Validate(instance), "")
+        << name << " on " << instance.DebugString();
+    const SolveResult second = solver->Solve(instance);
+    ASSERT_EQ(first.arrangement.SortedPairs(),
+              second.arrangement.SortedPairs())
+        << name << " is not deterministic";
+    // Metrics never leave their ranges, whatever the configuration.
+    const ArrangementMetrics metrics =
+        ComputeMetrics(instance, first.arrangement);
+    ASSERT_GE(metrics.jain_fairness, 0.0) << name;
+    ASSERT_LE(metrics.jain_fairness, 1.0 + 1e-12) << name;
+    ASSERT_LE(metrics.seat_utilization, 1.0 + 1e-12) << name;
+  }
+}
+
+TEST_P(FuzzConfigurationTest, GreedyHeapStillMatchesSortAll) {
+  // The Greedy ≡ SortAllGreedy equivalence must survive non-metric
+  // similarities (index fallback path) and skewed distributions.
+  const Instance instance = MakeInstance(15, 60);
+  const auto heap = CreateSolver("greedy")->Solve(instance);
+  const auto sorted = CreateSolver("greedy-sortall")->Solve(instance);
+  EXPECT_EQ(heap.arrangement.SortedPairs(),
+            sorted.arrangement.SortedPairs());
+}
+
+TEST_P(FuzzConfigurationTest, SkinnyShapes) {
+  // 1×n and n×1 instances stress the cursor/heap boundaries.
+  for (const auto& [events, users] : {std::pair{1, 30}, {30, 1}}) {
+    const Instance instance = MakeInstance(events, users);
+    for (const char* name : kPolySolvers) {
+      const SolveResult result = CreateSolver(name)->Solve(instance);
+      ASSERT_EQ(result.arrangement.Validate(instance), "")
+          << name << " " << events << "x" << users;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, FuzzConfigurationTest,
+    ::testing::Combine(::testing::Values("euclidean", "cosine", "rbf"),
+                       ::testing::Values("uniform", "zipf", "normal"),
+                       ::testing::Values(0.0, 0.6, 1.0),
+                       ::testing::Values(1, 2)),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) +
+             "_rho" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10)) +
+             "_s" + std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace geacc

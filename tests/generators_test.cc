@@ -1,0 +1,274 @@
+// Tests for the workload generators: distribution samplers, the Table III
+// synthetic generator, and schedule-derived conflicts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/distributions.h"
+#include "gen/schedule.h"
+#include "gen/synthetic.h"
+
+namespace geacc {
+namespace {
+
+// -------------------------------------------------------- distributions --
+
+TEST(Distributions, UniformRangeAndMean) {
+  const Sampler sampler(DistributionSpec::Uniform(2.0, 6.0));
+  Rng rng(1);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sampler.Sample(rng);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 6.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.05);
+}
+
+TEST(Distributions, NormalMoments) {
+  const Sampler sampler(DistributionSpec::Normal(25.0, 12.5));
+  Rng rng(2);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sampler.Sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double variance = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 25.0, 0.25);
+  EXPECT_NEAR(std::sqrt(variance), 12.5, 0.25);
+}
+
+TEST(Distributions, ZipfRangeAndSkew) {
+  const Sampler sampler(DistributionSpec::Zipf(1.3, 100.0));
+  Rng rng(3);
+  int64_t rank_one = 0, upper_half = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sampler.Sample(rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 100.0);
+    ASSERT_DOUBLE_EQ(x, std::floor(x));  // integral ranks
+    if (x == 1.0) ++rank_one;
+    if (x > 50.0) ++upper_half;
+  }
+  // With s = 1.3, P(rank 1) ≈ 1/H where H = Σ k^-1.3 ≈ 3.93 → ≈ 25%.
+  EXPECT_GT(rank_one, kN / 5);
+  EXPECT_LT(upper_half, kN / 10);  // heavy head, light tail
+}
+
+TEST(Distributions, ZipfProbabilityRatioMatchesExponent) {
+  const Sampler sampler(DistributionSpec::Zipf(2.0, 50.0));
+  Rng rng(4);
+  int64_t rank1 = 0, rank2 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = sampler.Sample(rng);
+    if (x == 1.0) ++rank1;
+    if (x == 2.0) ++rank2;
+  }
+  // P(1)/P(2) = 2^2 = 4.
+  EXPECT_NEAR(static_cast<double>(rank1) / rank2, 4.0, 0.5);
+}
+
+TEST(Distributions, CapacityIsPositiveInteger) {
+  // Normal(2, 1) frequently samples below 1; capacities must clamp.
+  const Sampler sampler(DistributionSpec::Normal(2.0, 1.0));
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const int capacity = sampler.SampleCapacity(rng);
+    ASSERT_GE(capacity, 1);
+  }
+}
+
+TEST(Distributions, AttributeClampedToRange) {
+  const Sampler sampler(DistributionSpec::Normal(0.0, 100.0));
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = sampler.SampleAttribute(rng, 50.0);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 50.0);
+  }
+}
+
+TEST(Distributions, ParseSpecRoundTrip) {
+  DistributionSpec spec;
+  ASSERT_TRUE(ParseDistributionSpec("uniform:1:50", &spec));
+  EXPECT_EQ(spec.kind, DistributionKind::kUniform);
+  EXPECT_DOUBLE_EQ(spec.p2, 50.0);
+  ASSERT_TRUE(ParseDistributionSpec("normal:25:12.5", &spec));
+  EXPECT_EQ(spec.kind, DistributionKind::kNormal);
+  ASSERT_TRUE(ParseDistributionSpec("zipf:1.3:10000", &spec));
+  EXPECT_EQ(spec.kind, DistributionKind::kZipf);
+  EXPECT_FALSE(ParseDistributionSpec("zipf:1.3", &spec));
+  EXPECT_FALSE(ParseDistributionSpec("weird:1:2", &spec));
+  EXPECT_FALSE(ParseDistributionSpec("uniform:a:b", &spec));
+}
+
+TEST(Distributions, DebugStrings) {
+  EXPECT_EQ(DistributionSpec::Uniform(1, 50).DebugString(), "uniform[1,50]");
+  EXPECT_NE(DistributionSpec::Zipf(1.3, 100).DebugString().find("zipf"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ synthetic --
+
+TEST(Synthetic, DefaultConfigMatchesTableIII) {
+  const SyntheticConfig config;
+  EXPECT_EQ(config.num_events, 100);
+  EXPECT_EQ(config.num_users, 1000);
+  EXPECT_EQ(config.dim, 20);
+  EXPECT_DOUBLE_EQ(config.max_attribute, 10000.0);
+  EXPECT_DOUBLE_EQ(config.conflict_density, 0.25);
+}
+
+TEST(Synthetic, GeneratesValidInstanceOfRequestedShape) {
+  SyntheticConfig config;
+  config.num_events = 30;
+  config.num_users = 80;
+  config.dim = 5;
+  config.seed = 7;
+  const Instance instance = GenerateSynthetic(config);
+  EXPECT_EQ(instance.num_events(), 30);
+  EXPECT_EQ(instance.num_users(), 80);
+  EXPECT_EQ(instance.dim(), 5);
+  EXPECT_EQ(instance.Validate(), "");
+  EXPECT_NEAR(instance.conflicts().Density(), 0.25, 0.01);
+  // Capacities within the configured ranges.
+  for (EventId v = 0; v < 30; ++v) {
+    EXPECT_GE(instance.event_capacity(v), 1);
+    EXPECT_LE(instance.event_capacity(v), 50);
+  }
+  for (UserId u = 0; u < 80; ++u) {
+    EXPECT_GE(instance.user_capacity(u), 1);
+    EXPECT_LE(instance.user_capacity(u), 4);
+  }
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticConfig config;
+  config.num_events = 10;
+  config.num_users = 20;
+  config.dim = 4;
+  config.seed = 99;
+  const Instance a = GenerateSynthetic(config);
+  const Instance b = GenerateSynthetic(config);
+  config.seed = 100;
+  const Instance c = GenerateSynthetic(config);
+  double max_diff_ab = 0.0, max_diff_ac = 0.0;
+  for (EventId v = 0; v < 10; ++v) {
+    for (UserId u = 0; u < 20; ++u) {
+      max_diff_ab =
+          std::max(max_diff_ab,
+                   std::abs(a.Similarity(v, u) - b.Similarity(v, u)));
+      max_diff_ac =
+          std::max(max_diff_ac,
+                   std::abs(a.Similarity(v, u) - c.Similarity(v, u)));
+    }
+  }
+  EXPECT_EQ(max_diff_ab, 0.0);
+  EXPECT_GT(max_diff_ac, 0.0);
+}
+
+TEST(Synthetic, ZipfVariantSkewsAttributesLow) {
+  SyntheticConfig config;
+  config.num_events = 50;
+  config.num_users = 50;
+  config.dim = 10;
+  config.WithZipfAttributes();
+  const Instance instance = GenerateSynthetic(config);
+  // Zipf ranks concentrate near 1, so the mean attribute is far below the
+  // uniform mean T/2.
+  double sum = 0.0;
+  int count = 0;
+  const auto& attrs = instance.event_attributes();
+  for (int i = 0; i < attrs.rows(); ++i) {
+    for (int j = 0; j < attrs.dim(); ++j) {
+      sum += attrs.At(i, j);
+      ++count;
+    }
+  }
+  EXPECT_LT(sum / count, 0.1 * config.max_attribute);
+}
+
+TEST(Synthetic, NormalCapacityVariant) {
+  SyntheticConfig config;
+  config.num_events = 200;
+  config.num_users = 200;
+  config.dim = 2;
+  config.WithNormalCapacities();
+  const Instance instance = GenerateSynthetic(config);
+  double mean_cv = 0.0;
+  for (EventId v = 0; v < 200; ++v) {
+    ASSERT_GE(instance.event_capacity(v), 1);
+    mean_cv += instance.event_capacity(v);
+  }
+  EXPECT_NEAR(mean_cv / 200.0, 25.0, 3.0);
+}
+
+TEST(Synthetic, CosineSimilarityOption) {
+  SyntheticConfig config;
+  config.num_events = 5;
+  config.num_users = 5;
+  config.dim = 3;
+  config.similarity = "cosine";
+  const Instance instance = GenerateSynthetic(config);
+  EXPECT_EQ(instance.similarity().Name(), "cosine");
+}
+
+// ------------------------------------------------------------- schedule --
+
+TEST(Schedule, OverlapConflicts) {
+  const ScheduledEvent morning{8.0, 12.0, 0.0, 0.0};
+  const ScheduledEvent late_morning{9.0, 11.0, 0.0, 0.0};
+  const ScheduledEvent afternoon{13.0, 15.0, 0.0, 0.0};
+  EXPECT_TRUE(EventsConflict(morning, late_morning, 0.0));
+  EXPECT_FALSE(EventsConflict(morning, afternoon, 0.0));
+  // Touching endpoints do not overlap.
+  const ScheduledEvent noon{12.0, 13.0, 0.0, 0.0};
+  EXPECT_FALSE(EventsConflict(morning, noon, 0.0));
+}
+
+TEST(Schedule, TravelTimeConflicts) {
+  // 30 km apart, 0.5 h gap: needs 60 km/h; at 40 km/h it conflicts.
+  const ScheduledEvent first{9.0, 11.0, 0.0, 0.0};
+  const ScheduledEvent second{11.5, 13.0, 30.0, 0.0};
+  EXPECT_TRUE(EventsConflict(first, second, 40.0));
+  EXPECT_FALSE(EventsConflict(first, second, 80.0));
+  EXPECT_TRUE(EventsConflict(second, first, 40.0));  // symmetric
+}
+
+TEST(Schedule, GraphFromSchedule) {
+  const std::vector<ScheduledEvent> events = {
+      {8.0, 12.0, 0.0, 0.0},   // 0: morning at origin
+      {9.0, 11.0, 0.0, 0.0},   // 1: overlaps 0
+      {13.0, 15.0, 50.0, 0.0}, // 2: afternoon, 50 km away
+  };
+  const ConflictGraph graph = ConflictsFromSchedule(events, 30.0);
+  EXPECT_TRUE(graph.AreConflicting(0, 1));
+  // 0 ends 12:00, 2 starts 13:00, 50 km / 30 km/h ≈ 1.67h > 1h gap.
+  EXPECT_TRUE(graph.AreConflicting(0, 2));
+  // 1 ends 11:00: 2h gap > 1.67h travel.
+  EXPECT_FALSE(graph.AreConflicting(1, 2));
+}
+
+TEST(Schedule, RandomScheduleWithinHorizon) {
+  Rng rng(8);
+  const auto events = RandomSchedule(50, 24.0, 1.0, 3.0, 20.0, rng);
+  ASSERT_EQ(events.size(), 50u);
+  for (const auto& event : events) {
+    EXPECT_GE(event.start_hours, 0.0);
+    EXPECT_LE(event.end_hours, 24.0 + 1e-9);
+    EXPECT_GE(event.end_hours - event.start_hours, 1.0 - 1e-9);
+    EXPECT_LE(event.end_hours - event.start_hours, 3.0 + 1e-9);
+    EXPECT_GE(event.x_km, 0.0);
+    EXPECT_LE(event.y_km, 20.0);
+  }
+}
+
+}  // namespace
+}  // namespace geacc

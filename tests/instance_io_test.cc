@@ -1,0 +1,191 @@
+// Tests for the plain-text instance/arrangement serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/solvers.h"
+#include "gen/ebsn.h"
+#include "gen/synthetic.h"
+#include "io/instance_io.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+void ExpectInstancesEqual(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.num_events(), b.num_events());
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.dim(), b.dim());
+  EXPECT_EQ(a.similarity().Name(), b.similarity().Name());
+  for (EventId v = 0; v < a.num_events(); ++v) {
+    ASSERT_EQ(a.event_capacity(v), b.event_capacity(v));
+    for (int j = 0; j < a.dim(); ++j) {
+      ASSERT_EQ(a.event_attributes().At(v, j), b.event_attributes().At(v, j))
+          << "event " << v << " attr " << j << " not bit-exact";
+    }
+    ASSERT_EQ(a.conflicts().ConflictsOf(v), b.conflicts().ConflictsOf(v));
+  }
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    ASSERT_EQ(a.user_capacity(u), b.user_capacity(u));
+    for (int j = 0; j < a.dim(); ++j) {
+      ASSERT_EQ(a.user_attributes().At(u, j), b.user_attributes().At(u, j));
+    }
+  }
+}
+
+TEST(InstanceIo, RoundTripSynthetic) {
+  SyntheticConfig config;
+  config.num_events = 12;
+  config.num_users = 30;
+  config.dim = 5;
+  config.seed = 3;
+  const Instance original = GenerateSynthetic(config);
+  std::stringstream stream;
+  WriteInstance(original, stream);
+  std::string error;
+  const auto loaded = ReadInstance(stream, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectInstancesEqual(original, *loaded);
+}
+
+TEST(InstanceIo, RoundTripEbsnBitExactSimilarities) {
+  EbsnConfig config = EbsnCityPreset("auckland");
+  config.seed = 9;
+  const Instance original = GenerateEbsn(config);
+  std::stringstream stream;
+  WriteInstance(original, stream);
+  const auto loaded = ReadInstance(stream);
+  ASSERT_TRUE(loaded.has_value());
+  for (EventId v = 0; v < original.num_events(); v += 7) {
+    for (UserId u = 0; u < original.num_users(); u += 53) {
+      ASSERT_EQ(original.Similarity(v, u), loaded->Similarity(v, u));
+    }
+  }
+}
+
+TEST(InstanceIo, RoundTripPaperExampleSolvesIdentically) {
+  const Instance original = geacc::testing::PaperTableIExample();
+  std::stringstream stream;
+  WriteInstance(original, stream);
+  const auto loaded = ReadInstance(stream);
+  ASSERT_TRUE(loaded.has_value());
+  const auto result = CreateSolver("prune")->Solve(*loaded);
+  EXPECT_NEAR(result.arrangement.MaxSum(*loaded), 4.39, 1e-9);
+}
+
+TEST(InstanceIo, RoundTripEmptyInstance) {
+  InstanceBuilder builder;
+  builder.SetSimilarity(std::make_unique<EuclideanSimilarity>(1.0));
+  const Instance original = builder.Build();
+  std::stringstream stream;
+  WriteInstance(original, stream);
+  const auto loaded = ReadInstance(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_events(), 0);
+  EXPECT_EQ(loaded->num_users(), 0);
+}
+
+TEST(InstanceIo, CommentsAndBlankLinesIgnored) {
+  const Instance original = geacc::testing::PaperTableIExample();
+  std::stringstream stream;
+  WriteInstance(original, stream);
+  const std::string with_noise =
+      "# GEACC instance\n\n" + stream.str() + "\n# trailing comment\n";
+  std::stringstream noisy(with_noise);
+  EXPECT_TRUE(ReadInstance(noisy).has_value());
+}
+
+TEST(InstanceIo, RejectsBadHeader) {
+  std::stringstream stream("geacc-instance v9\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstance(stream, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(InstanceIo, RejectsUnknownSimilarity) {
+  std::stringstream stream(
+      "geacc-instance v1\nsimilarity bogus 1\ndim 1\nevents 0\nusers 0\n"
+      "conflicts 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstance(stream, &error).has_value());
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(InstanceIo, RejectsTruncatedEvents) {
+  std::stringstream stream(
+      "geacc-instance v1\nsimilarity euclidean 10\ndim 1\nevents 2\n"
+      "event 1 5.0\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstance(stream, &error).has_value());
+  EXPECT_NE(error.find("event"), std::string::npos);
+}
+
+TEST(InstanceIo, RejectsConflictOutOfRange) {
+  std::stringstream stream(
+      "geacc-instance v1\nsimilarity euclidean 10\ndim 1\nevents 2\n"
+      "event 1 5.0\nevent 1 6.0\nusers 1\nuser 1 5.0\nconflicts 1\n"
+      "conflict 0 2\n");
+  std::string error;
+  EXPECT_FALSE(ReadInstance(stream, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(InstanceIo, RejectsWrongAttributeCount) {
+  std::stringstream stream(
+      "geacc-instance v1\nsimilarity euclidean 10\ndim 2\nevents 1\n"
+      "event 1 5.0\n");
+  EXPECT_FALSE(ReadInstance(stream).has_value());
+}
+
+TEST(ArrangementIo, RoundTrip) {
+  const Instance instance = geacc::testing::PaperTableIExample();
+  const auto solved = CreateSolver("greedy")->Solve(instance);
+  std::stringstream stream;
+  WriteArrangement(solved.arrangement, stream);
+  std::string error;
+  const auto loaded = ReadArrangement(stream, instance, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->SortedPairs(), solved.arrangement.SortedPairs());
+  EXPECT_NEAR(loaded->MaxSum(instance), 4.28, 1e-9);
+}
+
+TEST(ArrangementIo, RejectsDuplicatePair) {
+  const Instance instance = geacc::testing::PaperTableIExample();
+  std::stringstream stream(
+      "geacc-arrangement v1\npairs 2\npair 0 0\npair 0 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadArrangement(stream, instance, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(ArrangementIo, RejectsOutOfRangeIds) {
+  const Instance instance = geacc::testing::PaperTableIExample();
+  std::stringstream stream("geacc-arrangement v1\npairs 1\npair 7 0\n");
+  EXPECT_FALSE(ReadArrangement(stream, instance).has_value());
+}
+
+TEST(FileIo, RoundTripThroughFilesystem) {
+  const Instance original = geacc::testing::PaperTableIExample();
+  const std::string instance_path = ::testing::TempDir() + "/geacc_inst.txt";
+  const std::string plan_path = ::testing::TempDir() + "/geacc_plan.txt";
+  ASSERT_TRUE(WriteInstanceToFile(original, instance_path));
+  std::string error;
+  const auto loaded = ReadInstanceFromFile(instance_path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const auto solved = CreateSolver("greedy")->Solve(*loaded);
+  ASSERT_TRUE(WriteArrangementToFile(solved.arrangement, plan_path));
+  const auto plan = ReadArrangementFromFile(plan_path, *loaded, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->Validate(*loaded), "");
+}
+
+TEST(FileIo, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(ReadInstanceFromFile("/nonexistent/geacc.txt", &error)
+                   .has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geacc

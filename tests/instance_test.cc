@@ -1,0 +1,114 @@
+// Unit tests for Instance and InstanceBuilder.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/instance.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+Instance TinyInstance() {
+  InstanceBuilder builder;
+  builder.SetSimilarity(std::make_unique<EuclideanSimilarity>(10.0));
+  builder.AddEvent({0.0, 0.0}, 2);
+  builder.AddEvent({10.0, 10.0}, 1);
+  builder.AddUser({1.0, 1.0}, 1);
+  builder.AddUser({9.0, 9.0}, 3);
+  builder.AddConflict(0, 1);
+  return builder.Build();
+}
+
+TEST(Instance, BasicAccessors) {
+  const Instance instance = TinyInstance();
+  EXPECT_EQ(instance.num_events(), 2);
+  EXPECT_EQ(instance.num_users(), 2);
+  EXPECT_EQ(instance.dim(), 2);
+  EXPECT_EQ(instance.event_capacity(0), 2);
+  EXPECT_EQ(instance.user_capacity(1), 3);
+  EXPECT_EQ(instance.max_user_capacity(), 3);
+  EXPECT_EQ(instance.max_event_capacity(), 2);
+  EXPECT_EQ(instance.total_event_capacity(), 3);
+  EXPECT_EQ(instance.total_user_capacity(), 4);
+  EXPECT_TRUE(instance.conflicts().AreConflicting(0, 1));
+  EXPECT_EQ(instance.Validate(), "");
+}
+
+TEST(Instance, SimilaritySymmetricEndpoints) {
+  const Instance instance = TinyInstance();
+  // Event 0 at origin, user 0 at (1,1): closer than user 1 at (9,9).
+  EXPECT_GT(instance.Similarity(0, 0), instance.Similarity(0, 1));
+  // Event 1 at (10,10) prefers user 1.
+  EXPECT_GT(instance.Similarity(1, 1), instance.Similarity(1, 0));
+}
+
+TEST(Instance, CloneIsDeepAndEqual) {
+  const Instance instance = TinyInstance();
+  const Instance clone = instance.Clone();
+  EXPECT_EQ(clone.num_events(), instance.num_events());
+  EXPECT_EQ(clone.num_users(), instance.num_users());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      EXPECT_DOUBLE_EQ(clone.Similarity(v, u), instance.Similarity(v, u));
+    }
+  }
+  EXPECT_TRUE(clone.conflicts().AreConflicting(0, 1));
+}
+
+TEST(Instance, ValidateRejectsNonPositiveCapacity) {
+  InstanceBuilder builder;
+  builder.AddEvent({1.0}, 0);
+  builder.AddUser({1.0}, 1);
+  const Instance instance = builder.Build();
+  EXPECT_NE(instance.Validate(), "");
+}
+
+TEST(Instance, BuilderDefaultsSimilarityToEuclideanMaxAttribute) {
+  InstanceBuilder builder;
+  builder.AddEvent({5.0}, 1);
+  builder.AddUser({5.0}, 1);
+  const Instance instance = builder.Build();
+  EXPECT_EQ(instance.similarity().Name(), "euclidean");
+  EXPECT_DOUBLE_EQ(instance.Similarity(0, 0), 1.0);  // identical vectors
+}
+
+TEST(Instance, EmptyInstance) {
+  InstanceBuilder builder;
+  builder.SetSimilarity(std::make_unique<EuclideanSimilarity>(1.0));
+  const Instance instance = builder.Build();
+  EXPECT_EQ(instance.num_events(), 0);
+  EXPECT_EQ(instance.num_users(), 0);
+  EXPECT_EQ(instance.max_user_capacity(), 0);
+  EXPECT_EQ(instance.Validate(), "");
+}
+
+TEST(Instance, DebugStringMentionsShape) {
+  const Instance instance = TinyInstance();
+  const std::string debug = instance.DebugString();
+  EXPECT_NE(debug.find("|V|=2"), std::string::npos);
+  EXPECT_NE(debug.find("|U|=2"), std::string::npos);
+  EXPECT_NE(debug.find("euclidean"), std::string::npos);
+}
+
+TEST(Instance, ByteEstimatePositive) {
+  EXPECT_GT(TinyInstance().ByteEstimate(), 0u);
+}
+
+TEST(Instance, MismatchedDimensionsDie) {
+  InstanceBuilder builder;
+  builder.AddEvent({1.0, 2.0}, 1);
+  builder.AddUser({1.0}, 1);
+  EXPECT_DEATH(builder.Build(), "GEACC_CHECK failed");
+}
+
+TEST(Instance, TableInstanceHelperExposesExactSims) {
+  const Instance instance = geacc::testing::MakeTableInstance(
+      {{0.5, 0.25}}, {1}, {1, 1}, {});
+  EXPECT_DOUBLE_EQ(instance.Similarity(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(instance.Similarity(0, 1), 0.25);
+}
+
+}  // namespace
+}  // namespace geacc

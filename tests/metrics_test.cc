@@ -1,0 +1,97 @@
+// Tests for the arrangement-quality metrics.
+
+#include <gtest/gtest.h>
+
+#include "algo/solvers.h"
+#include "exp/metrics.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+using geacc::testing::MakeTableInstance;
+
+TEST(Metrics, EmptyArrangementAllZero) {
+  const Instance instance =
+      MakeTableInstance({{0.5, 0.5}}, {2}, {1, 1}, {});
+  const Arrangement empty(1, 2);
+  const ArrangementMetrics metrics = ComputeMetrics(instance, empty);
+  EXPECT_EQ(metrics.matched_pairs, 0);
+  EXPECT_DOUBLE_EQ(metrics.max_sum, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.seat_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.user_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.jain_fairness, 0.0);
+}
+
+TEST(Metrics, HandComputedValues) {
+  // Events: capacities 2 and 1; users: capacities 1, 1, 1.
+  const Instance instance = MakeTableInstance(
+      {{0.8, 0.6, 0.4}, {0.5, 0.3, 0.2}}, {2, 1}, {1, 1, 1}, {});
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 0);  // 0.8
+  arrangement.Add(0, 1);  // 0.6
+  const ArrangementMetrics metrics = ComputeMetrics(instance, arrangement);
+  EXPECT_EQ(metrics.matched_pairs, 2);
+  EXPECT_NEAR(metrics.max_sum, 1.4, 1e-12);
+  EXPECT_NEAR(metrics.mean_matched_similarity, 0.7, 1e-12);
+  EXPECT_NEAR(metrics.seat_utilization, 2.0 / 3.0, 1e-12);  // 2 of 3 seats
+  EXPECT_NEAR(metrics.events_with_attendees, 0.5, 1e-12);   // event 1 empty
+  EXPECT_NEAR(metrics.mean_event_fill, 0.5, 1e-12);  // (2/2 + 0/1) / 2
+  EXPECT_NEAR(metrics.user_coverage, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.mean_user_load, 2.0 / 3.0, 1e-12);
+  // Jain over interests {0.8, 0.6, 0}: (1.4)² / (3 · (0.64+0.36)) = 0.6533…
+  EXPECT_NEAR(metrics.jain_fairness, 1.96 / 3.0, 1e-12);
+}
+
+TEST(Metrics, PerfectFairnessWhenEqualInterest) {
+  const Instance instance =
+      MakeTableInstance({{0.5, 0.5}}, {2}, {1, 1}, {});
+  Arrangement arrangement(1, 2);
+  arrangement.Add(0, 0);
+  arrangement.Add(0, 1);
+  const ArrangementMetrics metrics = ComputeMetrics(instance, arrangement);
+  EXPECT_NEAR(metrics.jain_fairness, 1.0, 1e-12);
+  EXPECT_NEAR(metrics.user_coverage, 1.0, 1e-12);
+  EXPECT_NEAR(metrics.seat_utilization, 1.0, 1e-12);
+}
+
+TEST(Metrics, SolverOutputsProduceSaneMetrics) {
+  const Instance instance = geacc::testing::SmallRandomInstance(
+      6, 20, 0.3, 3, 77);
+  for (const char* name : {"greedy", "mincostflow", "random-v"}) {
+    const auto result = CreateSolver(name)->Solve(instance);
+    const ArrangementMetrics metrics =
+        ComputeMetrics(instance, result.arrangement);
+    EXPECT_GE(metrics.seat_utilization, 0.0) << name;
+    EXPECT_LE(metrics.seat_utilization, 1.0) << name;
+    EXPECT_GE(metrics.user_coverage, 0.0) << name;
+    EXPECT_LE(metrics.user_coverage, 1.0) << name;
+    EXPECT_GE(metrics.jain_fairness, 0.0) << name;
+    EXPECT_LE(metrics.jain_fairness, 1.0 + 1e-12) << name;
+    EXPECT_GE(metrics.mean_matched_similarity, 0.0) << name;
+    EXPECT_LE(metrics.mean_matched_similarity, 1.0) << name;
+    EXPECT_NE(metrics.DebugString().find("MaxSum"), std::string::npos);
+  }
+}
+
+TEST(Metrics, GreedyCoversMoreValueThanRandom) {
+  const Instance instance = geacc::testing::SmallRandomInstance(
+      8, 40, 0.25, 2, 13);
+  const auto greedy = CreateSolver("greedy")->Solve(instance);
+  const auto random = CreateSolver("random-v")->Solve(instance);
+  const auto greedy_metrics = ComputeMetrics(instance, greedy.arrangement);
+  const auto random_metrics = ComputeMetrics(instance, random.arrangement);
+  EXPECT_GT(greedy_metrics.max_sum, random_metrics.max_sum);
+  EXPECT_GE(greedy_metrics.mean_matched_similarity,
+            random_metrics.mean_matched_similarity);
+}
+
+TEST(MetricsDeathTest, SizeMismatchDies) {
+  const Instance instance =
+      MakeTableInstance({{0.5, 0.5}}, {2}, {1, 1}, {});
+  const Arrangement wrong(2, 2);
+  EXPECT_DEATH(ComputeMetrics(instance, wrong), "GEACC_CHECK failed");
+}
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,95 @@
+// Tests for the online (user-at-a-time) arrangement extension.
+
+#include <gtest/gtest.h>
+
+#include "algo/online_greedy_solver.h"
+#include "algo/solvers.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+using geacc::testing::MakeTableInstance;
+using geacc::testing::SmallRandomInstance;
+
+TEST(OnlineArranger, AssignsBestFeasibleEventsOnArrival) {
+  // User 0 (capacity 2): events ranked 0.9, 0.8, 0.5; 0 ⊥ 1 → takes {0, 2}.
+  const Instance instance = MakeTableInstance(
+      {{0.9}, {0.8}, {0.5}}, {1, 1, 1}, {2}, {{0, 1}});
+  OnlineArranger arranger(instance);
+  const std::vector<EventId> taken = arranger.ArriveUser(0);
+  EXPECT_EQ(taken, (std::vector<EventId>{0, 2}));
+  EXPECT_EQ(arranger.arrangement().size(), 2);
+}
+
+TEST(OnlineArranger, EarlyArrivalsConsumeCapacity) {
+  // One seat, two users: the earlier arrival wins it even with lower
+  // interest — the online pathology the global solvers avoid.
+  const Instance instance =
+      MakeTableInstance({{0.2, 0.9}}, {1}, {1, 1}, {});
+  OnlineArranger arranger(instance);
+  EXPECT_EQ(arranger.ArriveUser(0), (std::vector<EventId>{0}));
+  EXPECT_TRUE(arranger.ArriveUser(1).empty());  // seat gone
+  EXPECT_EQ(arranger.remaining_event_capacity(0), 0);
+}
+
+TEST(OnlineArranger, DoubleArrivalDies) {
+  const Instance instance = MakeTableInstance({{0.5}}, {1}, {1}, {});
+  OnlineArranger arranger(instance);
+  arranger.ArriveUser(0);
+  EXPECT_DEATH(arranger.ArriveUser(0), "arrived twice");
+}
+
+TEST(OnlineGreedySolver, MatchesIncrementalEngine) {
+  const Instance instance = SmallRandomInstance(6, 15, 0.3, 3, 4);
+  const auto solver_result =
+      CreateSolver("online-greedy")->Solve(instance).arrangement;
+  OnlineArranger arranger(instance);
+  for (UserId u = 0; u < instance.num_users(); ++u) arranger.ArriveUser(u);
+  EXPECT_EQ(solver_result.SortedPairs(),
+            arranger.arrangement().SortedPairs());
+}
+
+TEST(OnlineGreedySolver, FeasibleAndBoundedByOptimum) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    const Instance instance = SmallRandomInstance(4, 7, 0.4, 3, seed + 70);
+    const SolveResult online =
+        CreateSolver("online-greedy")->Solve(instance);
+    ASSERT_EQ(online.arrangement.Validate(instance), "") << seed;
+    const double optimum = CreateSolver("prune")
+                               ->Solve(instance)
+                               .arrangement.MaxSum(instance);
+    EXPECT_LE(online.arrangement.MaxSum(instance), optimum + 1e-9) << seed;
+  }
+}
+
+TEST(OnlineGreedySolver, GlobalGreedyWinsOnContendedSeat) {
+  // The global view reassigns the contended seat to the better user.
+  const Instance instance =
+      MakeTableInstance({{0.2, 0.9}}, {1}, {1, 1}, {});
+  const double online = CreateSolver("online-greedy")
+                            ->Solve(instance)
+                            .arrangement.MaxSum(instance);
+  const double global =
+      CreateSolver("greedy")->Solve(instance).arrangement.MaxSum(instance);
+  EXPECT_NEAR(online, 0.2, 1e-12);
+  EXPECT_NEAR(global, 0.9, 1e-12);
+}
+
+TEST(OnlineGreedySolver, TypicallyTrailsGlobalGreedyOnAggregate) {
+  // Across many random instances the global view should win on average
+  // (it can lose on specific instances; compare sums).
+  double online_total = 0.0, global_total = 0.0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const Instance instance = SmallRandomInstance(5, 12, 0.3, 3, seed + 200);
+    online_total += CreateSolver("online-greedy")
+                        ->Solve(instance)
+                        .arrangement.MaxSum(instance);
+    global_total +=
+        CreateSolver("greedy")->Solve(instance).arrangement.MaxSum(instance);
+  }
+  EXPECT_GE(global_total, online_total - 1e-9);
+}
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,137 @@
+// Tests for instance preprocessing: reductions must preserve the optimum
+// and lift back to feasible arrangements.
+
+#include <gtest/gtest.h>
+
+#include "algo/solvers.h"
+#include "core/preprocess.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+using geacc::testing::MakeTableInstance;
+
+TEST(Preprocess, DropsZeroSimilarityEntities) {
+  // Event 1 and user 2 have no positive similarity to anyone.
+  const Instance instance = MakeTableInstance(
+      {{0.9, 0.5, 0.0}, {0.0, 0.0, 0.0}}, {2, 3}, {1, 1, 4}, {{0, 1}});
+  const ReducedInstance reduced = ReduceInstance(instance);
+  EXPECT_EQ(reduced.instance.num_events(), 1);
+  EXPECT_EQ(reduced.instance.num_users(), 2);
+  EXPECT_EQ(reduced.dropped_events, 1);
+  EXPECT_EQ(reduced.dropped_users, 1);
+  EXPECT_EQ(reduced.event_map, (std::vector<EventId>{0}));
+  EXPECT_EQ(reduced.user_map, (std::vector<UserId>{0, 1}));
+  EXPECT_DOUBLE_EQ(reduced.instance.Similarity(0, 0), 0.9);
+}
+
+TEST(Preprocess, ClampsCapacitiesToPartnerCounts) {
+  // Event capacity 5 but only 2 positively-similar users; user capacity 4
+  // but only 1 positively-similar event.
+  const Instance instance =
+      MakeTableInstance({{0.9, 0.5, 0.0}}, {5}, {1, 1, 4}, {});
+  const ReducedInstance reduced = ReduceInstance(instance);
+  EXPECT_EQ(reduced.instance.event_capacity(0), 2);
+  EXPECT_EQ(reduced.instance.user_capacity(0), 1);
+  EXPECT_GT(reduced.clamped_capacities, 0);
+}
+
+TEST(Preprocess, RemapsConflicts) {
+  // Events 0 ⊥ 2 with event 1 dropped: reduced ids shift down.
+  const Instance instance = MakeTableInstance(
+      {{0.9}, {0.0}, {0.8}}, {1, 1, 1}, {2}, {{0, 2}});
+  const ReducedInstance reduced = ReduceInstance(instance);
+  ASSERT_EQ(reduced.instance.num_events(), 2);
+  EXPECT_TRUE(reduced.instance.conflicts().AreConflicting(0, 1));
+}
+
+TEST(Preprocess, NoOpOnCleanInstance) {
+  const Instance instance = geacc::testing::PaperTableIExample();
+  const ReducedInstance reduced = ReduceInstance(instance);
+  EXPECT_EQ(reduced.dropped_events, 0);
+  EXPECT_EQ(reduced.dropped_users, 0);
+  // (v2, u1) has similarity 0, so v2's capacity clamps from 3 to 4… no:
+  // partner count of v2 is 4 (> capacity 3) — nothing clamps on events;
+  // u1's partner count is 2 < capacity 3 → one clamp.
+  const double original_optimum = CreateSolver("prune")
+                                      ->Solve(instance)
+                                      .arrangement.MaxSum(instance);
+  const double reduced_optimum =
+      CreateSolver("prune")
+          ->Solve(reduced.instance)
+          .arrangement.MaxSum(reduced.instance);
+  EXPECT_NEAR(original_optimum, reduced_optimum, 1e-9);
+}
+
+TEST(Preprocess, LiftPreservesFeasibilityAndMaxSum) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    // Low-dimensional instances on a wide attribute range produce some
+    // zero similarities organically.
+    SyntheticConfig config;
+    config.num_events = 8;
+    config.num_users = 20;
+    config.dim = 1;
+    config.max_attribute = 100.0;
+    config.event_attribute = DistributionSpec::Uniform(0.0, 100.0);
+    config.user_attribute = DistributionSpec::Uniform(0.0, 100.0);
+    config.event_capacity = DistributionSpec::Uniform(1.0, 30.0);
+    config.user_capacity = DistributionSpec::Uniform(1.0, 10.0);
+    config.conflict_density = 0.3;
+    config.seed = seed;
+    const Instance original = GenerateSynthetic(config);
+    const ReducedInstance reduced = ReduceInstance(original);
+
+    const SolveResult solved =
+        CreateSolver("greedy")->Solve(reduced.instance);
+    ASSERT_EQ(solved.arrangement.Validate(reduced.instance), "");
+    const Arrangement lifted =
+        LiftArrangement(reduced, solved.arrangement, original);
+    ASSERT_EQ(lifted.Validate(original), "") << "seed " << seed;
+    EXPECT_NEAR(lifted.MaxSum(original),
+                solved.arrangement.MaxSum(reduced.instance), 1e-9);
+
+    // Reduction preserves the greedy result exactly (greedy never uses
+    // dropped entities, and clamped capacity never binds below usage).
+    const double direct = CreateSolver("greedy")
+                              ->Solve(original)
+                              .arrangement.MaxSum(original);
+    EXPECT_NEAR(lifted.MaxSum(original), direct, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Preprocess, OptimumPreservedExactly) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SyntheticConfig config;
+    config.num_events = 4;
+    config.num_users = 7;
+    config.dim = 1;
+    config.max_attribute = 50.0;
+    config.event_attribute = DistributionSpec::Uniform(0.0, 50.0);
+    config.user_attribute = DistributionSpec::Uniform(0.0, 50.0);
+    config.event_capacity = DistributionSpec::Uniform(1.0, 3.0);
+    config.user_capacity = DistributionSpec::Uniform(1.0, 2.0);
+    config.conflict_density = 0.4;
+    config.seed = seed + 500;
+    const Instance original = GenerateSynthetic(config);
+    const ReducedInstance reduced = ReduceInstance(original);
+    const double original_optimum = CreateSolver("bruteforce")
+                                        ->Solve(original)
+                                        .arrangement.MaxSum(original);
+    const double reduced_optimum =
+        CreateSolver("bruteforce")
+            ->Solve(reduced.instance)
+            .arrangement.MaxSum(reduced.instance);
+    EXPECT_NEAR(original_optimum, reduced_optimum, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Preprocess, EmptyInstance) {
+  const Instance instance = MakeTableInstance({}, {}, {}, {});
+  const ReducedInstance reduced = ReduceInstance(instance);
+  EXPECT_EQ(reduced.instance.num_events(), 0);
+  EXPECT_EQ(reduced.instance.num_users(), 0);
+}
+
+}  // namespace
+}  // namespace geacc

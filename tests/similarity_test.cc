@@ -1,0 +1,205 @@
+// Unit and property tests for similarity functions and attribute storage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/attributes.h"
+#include "core/similarity.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+// ----------------------------------------------------- AttributeMatrix ---
+
+TEST(AttributeMatrix, BasicAccess) {
+  AttributeMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.dim(), 3);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 0.0);
+  m.Set(1, 2, 5.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.5);
+  EXPECT_DOUBLE_EQ(m.Row(1)[2], 5.5);
+}
+
+TEST(AttributeMatrix, FromRows) {
+  const AttributeMatrix m =
+      AttributeMatrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.dim(), 2);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 6.0);
+}
+
+TEST(AttributeMatrix, FromRowsRaggedDies) {
+  EXPECT_DEATH(AttributeMatrix::FromRows({{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+TEST(AttributeMatrix, SquaredEuclideanDistance) {
+  const double a[] = {0.0, 3.0};
+  const double b[] = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance(a, b, 2), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance(a, a, 2), 0.0);
+}
+
+// ------------------------------------------------- EuclideanSimilarity ---
+
+TEST(EuclideanSimilarity, PaperEquationOne) {
+  // sim = 1 - ||a-b|| / sqrt(d T^2); d=2, T=10: max distance sqrt(200).
+  const EuclideanSimilarity sim(10.0);
+  const double a[] = {0.0, 0.0};
+  const double b[] = {10.0, 10.0};
+  EXPECT_NEAR(sim.Compute(a, b, 2), 0.0, 1e-12);  // farthest corners
+  EXPECT_NEAR(sim.Compute(a, a, 2), 1.0, 1e-12);  // identical
+  const double c[] = {3.0, 4.0};                  // distance 5
+  EXPECT_NEAR(sim.Compute(a, c, 2), 1.0 - 5.0 / std::sqrt(200.0), 1e-12);
+}
+
+TEST(EuclideanSimilarity, DistanceForSimilarityRoundTrip) {
+  const EuclideanSimilarity sim(10.0);
+  const double a[] = {0.0, 0.0};
+  const double c[] = {3.0, 4.0};
+  const double s = sim.Compute(a, c, 2);
+  EXPECT_NEAR(sim.DistanceForSimilarity(s, 2), 5.0, 1e-9);
+}
+
+TEST(EuclideanSimilarity, ZeroDimensionIsOne) {
+  const EuclideanSimilarity sim(1.0);
+  EXPECT_DOUBLE_EQ(sim.Compute(nullptr, nullptr, 0), 1.0);
+}
+
+TEST(EuclideanSimilarity, RequiresPositiveT) {
+  EXPECT_DEATH(EuclideanSimilarity(0.0), "T must be positive");
+}
+
+// ---------------------------------------------------- CosineSimilarity ---
+
+TEST(CosineSimilarity, ParallelOrthogonalAndZero) {
+  const CosineSimilarity sim;
+  const double a[] = {1.0, 0.0};
+  const double b[] = {2.0, 0.0};
+  const double c[] = {0.0, 3.0};
+  const double z[] = {0.0, 0.0};
+  EXPECT_NEAR(sim.Compute(a, b, 2), 1.0, 1e-12);
+  EXPECT_NEAR(sim.Compute(a, c, 2), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.Compute(a, z, 2), 0.0);  // zero vector convention
+}
+
+// ------------------------------------------------------- RbfSimilarity ---
+
+TEST(RbfSimilarity, KernelValues) {
+  const RbfSimilarity sim(1.0);
+  const double a[] = {0.0};
+  const double b[] = {1.0};
+  EXPECT_NEAR(sim.Compute(a, a, 1), 1.0, 1e-12);
+  EXPECT_NEAR(sim.Compute(a, b, 1), std::exp(-0.5), 1e-12);
+  EXPECT_GT(sim.Compute(a, b, 1), 0.0);  // strictly positive everywhere
+}
+
+// ------------------------------------------------------- DotSimilarity ---
+
+TEST(DotSimilarity, TableLookupViaOneHot) {
+  const DotSimilarity sim;
+  const double row[] = {0.3, 0.9, 0.1};
+  const double one_hot[] = {0.0, 1.0, 0.0};
+  EXPECT_NEAR(sim.Compute(row, one_hot, 3), 0.9, 1e-12);
+}
+
+TEST(DotSimilarity, ClampsToUnitInterval) {
+  const DotSimilarity sim;
+  const double a[] = {2.0, 2.0};
+  EXPECT_DOUBLE_EQ(sim.Compute(a, a, 2), 1.0);
+}
+
+// ------------------------------------------------------------- factory ---
+
+TEST(SimilarityFactory, KnownAndUnknownNames) {
+  EXPECT_NE(MakeSimilarity("euclidean", 10.0), nullptr);
+  EXPECT_NE(MakeSimilarity("cosine", 0.0), nullptr);
+  EXPECT_NE(MakeSimilarity("rbf", 1.0), nullptr);
+  EXPECT_NE(MakeSimilarity("dot", 0.0), nullptr);
+  EXPECT_EQ(MakeSimilarity("nope", 0.0), nullptr);
+}
+
+TEST(SimilarityFactory, MonotonicityFlags) {
+  EXPECT_TRUE(MakeSimilarity("euclidean", 1.0)->IsEuclideanMonotone());
+  EXPECT_TRUE(MakeSimilarity("rbf", 1.0)->IsEuclideanMonotone());
+  EXPECT_FALSE(MakeSimilarity("cosine", 0.0)->IsEuclideanMonotone());
+  EXPECT_FALSE(MakeSimilarity("dot", 0.0)->IsEuclideanMonotone());
+}
+
+// ----------------------------------------------- range property (all) ----
+
+class SimilarityRangeTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(SimilarityRangeTest, AlwaysInUnitIntervalAndSymmetric) {
+  const auto& [name, dim] = GetParam();
+  const auto sim = MakeSimilarity(name, name == "rbf" ? 25.0 : 100.0);
+  ASSERT_NE(sim, nullptr);
+  Rng rng(777);
+  std::vector<double> a(dim), b(dim);
+  for (int trial = 0; trial < 500; ++trial) {
+    for (int j = 0; j < dim; ++j) {
+      a[j] = rng.UniformReal(0.0, 100.0);
+      b[j] = rng.UniformReal(0.0, 100.0);
+    }
+    const double ab = sim->Compute(a.data(), b.data(), dim);
+    const double ba = sim->Compute(b.data(), a.data(), dim);
+    ASSERT_GE(ab, 0.0) << name;
+    ASSERT_LE(ab, 1.0) << name;
+    ASSERT_NEAR(ab, ba, 1e-12) << name << " must be symmetric";
+  }
+}
+
+TEST_P(SimilarityRangeTest, CloneComputesIdentically) {
+  const auto& [name, dim] = GetParam();
+  const auto sim = MakeSimilarity(name, name == "rbf" ? 25.0 : 100.0);
+  const auto clone = sim->Clone();
+  EXPECT_EQ(clone->Name(), sim->Name());
+  Rng rng(778);
+  std::vector<double> a(dim), b(dim);
+  for (int j = 0; j < dim; ++j) {
+    a[j] = rng.UniformReal(0.0, 100.0);
+    b[j] = rng.UniformReal(0.0, 100.0);
+  }
+  EXPECT_DOUBLE_EQ(sim->Compute(a.data(), b.data(), dim),
+                   clone->Compute(a.data(), b.data(), dim));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSimilarities, SimilarityRangeTest,
+    ::testing::Combine(::testing::Values("euclidean", "cosine", "rbf"),
+                       ::testing::Values(1, 2, 5, 20)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+      return std::get<0>(info.param) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Euclidean monotonicity property: larger distance → smaller similarity.
+TEST(EuclideanSimilarity, MonotoneInDistance) {
+  const EuclideanSimilarity sim(100.0);
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    double q[3], a[3], b[3];
+    for (int j = 0; j < 3; ++j) {
+      q[j] = rng.UniformReal(0.0, 100.0);
+      a[j] = rng.UniformReal(0.0, 100.0);
+      b[j] = rng.UniformReal(0.0, 100.0);
+    }
+    const double da = SquaredEuclideanDistance(q, a, 3);
+    const double db = SquaredEuclideanDistance(q, b, 3);
+    const double sa = sim.Compute(q, a, 3);
+    const double sb = sim.Compute(q, b, 3);
+    if (da < db) {
+      ASSERT_GE(sa, sb);
+    } else if (da > db) {
+      ASSERT_LE(sa, sb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,143 @@
+// Tests for the tag-based dataset import (paper Section V preprocessing).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "algo/solvers.h"
+#include "io/tag_import.h"
+
+namespace geacc {
+namespace {
+
+std::vector<TaggedEntity> Entities(
+    std::initializer_list<std::pair<int, std::vector<std::string>>> list) {
+  std::vector<TaggedEntity> entities;
+  for (const auto& [capacity, tags] : list) {
+    entities.push_back({capacity, tags});
+  }
+  return entities;
+}
+
+TEST(TagImport, TopTagsByFrequencyWithLexTies) {
+  const auto events = Entities({{1, {"outdoor", "outdoor", "music"}}});
+  const auto users = Entities({{1, {"music", "tech"}}, {1, {"art"}}});
+  // Counts: outdoor 2, music 2, tech 1, art 1.
+  const auto top2 = SelectTopTags(events, users, 2);
+  EXPECT_EQ(top2, (std::vector<std::string>{"music", "outdoor"}));
+  const auto top3 = SelectTopTags(events, users, 3);
+  EXPECT_EQ(top3[2], "art");  // art < tech lexicographically
+}
+
+TEST(TagImport, NormalizedCountVectors) {
+  // The paper's example: 2 occurrences of "outdoor" among 10 tags → 0.2.
+  std::vector<std::string> tags(8, "filler");
+  tags.push_back("outdoor");
+  tags.push_back("outdoor");
+  const auto events = Entities({{1, tags}});
+  const auto users = Entities({{1, {"outdoor"}}});
+  const Instance instance =
+      BuildInstanceFromTags(events, users, {}, /*top_k=*/2);
+  // Vocabulary: filler (8), outdoor (3).
+  const auto vocabulary = SelectTopTags(events, users, 2);
+  ASSERT_EQ(vocabulary[0], "filler");
+  ASSERT_EQ(vocabulary[1], "outdoor");
+  EXPECT_DOUBLE_EQ(instance.event_attributes().At(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(instance.event_attributes().At(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(instance.user_attributes().At(0, 1), 1.0);
+}
+
+TEST(TagImport, OutOfVocabularyTagsDropped) {
+  const auto events = Entities({{1, {"a", "a", "a"}}});
+  const auto users = Entities({{1, {"zzz-rare"}}});
+  const Instance instance =
+      BuildInstanceFromTags(events, users, {}, /*top_k=*/1);
+  // User's only tag is out of vocabulary → all-zero attributes.
+  EXPECT_DOUBLE_EQ(instance.user_attributes().At(0, 0), 0.0);
+}
+
+TEST(TagImport, SimilarSharedTagsMeansHighSimilarity) {
+  const auto events =
+      Entities({{5, {"hiking", "outdoor"}}, {5, {"opera", "music"}}});
+  const auto users = Entities({{1, {"hiking", "outdoor"}},
+                               {1, {"opera", "music"}}});
+  const Instance instance =
+      BuildInstanceFromTags(events, users, {}, /*top_k=*/4);
+  EXPECT_GT(instance.Similarity(0, 0), instance.Similarity(0, 1));
+  EXPECT_GT(instance.Similarity(1, 1), instance.Similarity(1, 0));
+  EXPECT_DOUBLE_EQ(instance.Similarity(0, 0), 1.0);  // identical vectors
+}
+
+TEST(TagImport, ParseTaggedCsv) {
+  const auto entities = ParseTaggedCsv(
+      "# comment\n"
+      "3,outdoor;music\n"
+      "\n"
+      "1, tech ; art \n");
+  ASSERT_TRUE(entities.has_value());
+  ASSERT_EQ(entities->size(), 2u);
+  EXPECT_EQ((*entities)[0].capacity, 3);
+  EXPECT_EQ((*entities)[0].tags,
+            (std::vector<std::string>{"outdoor", "music"}));
+  EXPECT_EQ((*entities)[1].tags, (std::vector<std::string>{"tech", "art"}));
+}
+
+TEST(TagImport, ParseRejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(ParseTaggedCsv("no-comma-here", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseTaggedCsv("0,tag", &error).has_value());  // capacity < 1
+  EXPECT_FALSE(ParseTaggedCsv("x,tag", &error).has_value());
+}
+
+TEST(TagImport, EndToEndFromFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string events_path = dir + "/tag_events.csv";
+  const std::string users_path = dir + "/tag_users.csv";
+  const std::string conflicts_path = dir + "/tag_conflicts.csv";
+  {
+    std::ofstream(events_path)
+        << "10,hiking;outdoor\n5,badminton;sports\n8,basketball;sports\n";
+    std::ofstream(users_path)
+        << "1,hiking;outdoor\n2,sports;badminton\n1,basketball;sports\n";
+    std::ofstream(conflicts_path) << "# hiking overlaps basketball\n0,2\n";
+  }
+  std::string error;
+  const auto instance =
+      LoadTaggedInstance(events_path, users_path, conflicts_path,
+                         /*top_k=*/6, &error);
+  ASSERT_TRUE(instance.has_value()) << error;
+  EXPECT_EQ(instance->num_events(), 3);
+  EXPECT_EQ(instance->num_users(), 3);
+  EXPECT_TRUE(instance->conflicts().AreConflicting(0, 2));
+  // Solvable end to end.
+  const auto result = CreateSolver("greedy")->Solve(*instance);
+  EXPECT_EQ(result.arrangement.Validate(*instance), "");
+  EXPECT_GT(result.arrangement.size(), 0);
+}
+
+TEST(TagImport, LoadRejectsBadConflicts) {
+  const std::string dir = ::testing::TempDir();
+  const std::string events_path = dir + "/bad_events.csv";
+  const std::string users_path = dir + "/bad_users.csv";
+  const std::string conflicts_path = dir + "/bad_conflicts.csv";
+  std::ofstream(events_path) << "1,a\n1,b\n";
+  std::ofstream(users_path) << "1,a\n";
+  std::ofstream(conflicts_path) << "0,5\n";  // out of range
+  std::string error;
+  EXPECT_FALSE(LoadTaggedInstance(events_path, users_path, conflicts_path, 2,
+                                  &error)
+                   .has_value());
+  EXPECT_NE(error.find("bad pair"), std::string::npos);
+}
+
+TEST(TagImport, MissingFileReported) {
+  std::string error;
+  EXPECT_FALSE(LoadTaggedInstance("/nonexistent/e.csv", "/nonexistent/u.csv",
+                                  "", 5, &error)
+                   .has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geacc
