@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cardinality_u.dir/fig3_cardinality_u.cc.o"
+  "CMakeFiles/fig3_cardinality_u.dir/fig3_cardinality_u.cc.o.d"
+  "fig3_cardinality_u"
+  "fig3_cardinality_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cardinality_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

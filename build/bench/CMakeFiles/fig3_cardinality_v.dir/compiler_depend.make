@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_cardinality_v.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dimensionality.dir/fig3_dimensionality.cc.o"
+  "CMakeFiles/fig3_dimensionality.dir/fig3_dimensionality.cc.o.d"
+  "fig3_dimensionality"
+  "fig3_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

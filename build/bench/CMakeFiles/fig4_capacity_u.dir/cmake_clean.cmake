@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_capacity_u.dir/fig4_capacity_u.cc.o"
+  "CMakeFiles/fig4_capacity_u.dir/fig4_capacity_u.cc.o.d"
+  "fig4_capacity_u"
+  "fig4_capacity_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_capacity_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_capacity_v.dir/fig4_capacity_v.cc.o"
+  "CMakeFiles/fig4_capacity_v.dir/fig4_capacity_v.cc.o.d"
+  "fig4_capacity_v"
+  "fig4_capacity_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_capacity_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_real.dir/fig4_real.cc.o"
+  "CMakeFiles/fig4_real.dir/fig4_real.cc.o.d"
+  "fig4_real"
+  "fig4_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

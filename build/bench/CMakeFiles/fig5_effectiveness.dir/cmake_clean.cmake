@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_effectiveness.dir/fig5_effectiveness.cc.o"
+  "CMakeFiles/fig5_effectiveness.dir/fig5_effectiveness.cc.o.d"
+  "fig5_effectiveness"
+  "fig5_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

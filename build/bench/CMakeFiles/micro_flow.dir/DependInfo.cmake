@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_flow.cc" "bench/CMakeFiles/micro_flow.dir/micro_flow.cc.o" "gcc" "bench/CMakeFiles/micro_flow.dir/micro_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geacc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

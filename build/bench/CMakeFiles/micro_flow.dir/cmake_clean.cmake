@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flow.dir/micro_flow.cc.o"
+  "CMakeFiles/micro_flow.dir/micro_flow.cc.o.d"
+  "micro_flow"
+  "micro_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

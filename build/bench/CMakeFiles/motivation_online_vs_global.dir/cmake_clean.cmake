@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_online_vs_global.dir/motivation_online_vs_global.cc.o"
+  "CMakeFiles/motivation_online_vs_global.dir/motivation_online_vs_global.cc.o.d"
+  "motivation_online_vs_global"
+  "motivation_online_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_online_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

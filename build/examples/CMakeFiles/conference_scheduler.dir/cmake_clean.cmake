@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_scheduler.dir/conference_scheduler.cpp.o"
+  "CMakeFiles/conference_scheduler.dir/conference_scheduler.cpp.o.d"
+  "conference_scheduler"
+  "conference_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

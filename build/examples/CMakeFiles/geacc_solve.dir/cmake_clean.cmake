@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_solve.dir/geacc_solve.cpp.o"
+  "CMakeFiles/geacc_solve.dir/geacc_solve.cpp.o.d"
+  "geacc_solve"
+  "geacc_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

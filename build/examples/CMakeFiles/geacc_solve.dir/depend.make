@@ -1,0 +1,2 @@
+# Empty dependencies file for geacc_solve.
+# This may be replaced when dependencies are built.

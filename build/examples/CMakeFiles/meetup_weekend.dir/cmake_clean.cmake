@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meetup_weekend.dir/meetup_weekend.cpp.o"
+  "CMakeFiles/meetup_weekend.dir/meetup_weekend.cpp.o.d"
+  "meetup_weekend"
+  "meetup_weekend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meetup_weekend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for meetup_weekend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_tour.dir/scalability_tour.cpp.o"
+  "CMakeFiles/scalability_tour.dir/scalability_tour.cpp.o.d"
+  "scalability_tour"
+  "scalability_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

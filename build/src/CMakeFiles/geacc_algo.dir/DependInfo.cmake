@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/brute_force_solver.cc" "src/CMakeFiles/geacc_algo.dir/algo/brute_force_solver.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/brute_force_solver.cc.o.d"
+  "/root/repo/src/algo/conflict_resolution.cc" "src/CMakeFiles/geacc_algo.dir/algo/conflict_resolution.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/conflict_resolution.cc.o.d"
+  "/root/repo/src/algo/greedy_solver.cc" "src/CMakeFiles/geacc_algo.dir/algo/greedy_solver.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/greedy_solver.cc.o.d"
+  "/root/repo/src/algo/min_cost_flow_solver.cc" "src/CMakeFiles/geacc_algo.dir/algo/min_cost_flow_solver.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/min_cost_flow_solver.cc.o.d"
+  "/root/repo/src/algo/online_greedy_solver.cc" "src/CMakeFiles/geacc_algo.dir/algo/online_greedy_solver.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/online_greedy_solver.cc.o.d"
+  "/root/repo/src/algo/prune_solver.cc" "src/CMakeFiles/geacc_algo.dir/algo/prune_solver.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/prune_solver.cc.o.d"
+  "/root/repo/src/algo/random_solvers.cc" "src/CMakeFiles/geacc_algo.dir/algo/random_solvers.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/random_solvers.cc.o.d"
+  "/root/repo/src/algo/solvers.cc" "src/CMakeFiles/geacc_algo.dir/algo/solvers.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/solvers.cc.o.d"
+  "/root/repo/src/algo/sort_all_greedy_solver.cc" "src/CMakeFiles/geacc_algo.dir/algo/sort_all_greedy_solver.cc.o" "gcc" "src/CMakeFiles/geacc_algo.dir/algo/sort_all_greedy_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

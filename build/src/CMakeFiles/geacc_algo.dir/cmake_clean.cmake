@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_algo.dir/algo/brute_force_solver.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/brute_force_solver.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/conflict_resolution.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/conflict_resolution.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/greedy_solver.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/greedy_solver.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/min_cost_flow_solver.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/min_cost_flow_solver.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/online_greedy_solver.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/online_greedy_solver.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/prune_solver.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/prune_solver.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/random_solvers.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/random_solvers.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/solvers.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/solvers.cc.o.d"
+  "CMakeFiles/geacc_algo.dir/algo/sort_all_greedy_solver.cc.o"
+  "CMakeFiles/geacc_algo.dir/algo/sort_all_greedy_solver.cc.o.d"
+  "libgeacc_algo.a"
+  "libgeacc_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeacc_algo.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arrangement.cc" "src/CMakeFiles/geacc_core.dir/core/arrangement.cc.o" "gcc" "src/CMakeFiles/geacc_core.dir/core/arrangement.cc.o.d"
+  "/root/repo/src/core/attributes.cc" "src/CMakeFiles/geacc_core.dir/core/attributes.cc.o" "gcc" "src/CMakeFiles/geacc_core.dir/core/attributes.cc.o.d"
+  "/root/repo/src/core/conflict_graph.cc" "src/CMakeFiles/geacc_core.dir/core/conflict_graph.cc.o" "gcc" "src/CMakeFiles/geacc_core.dir/core/conflict_graph.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/geacc_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/geacc_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/CMakeFiles/geacc_core.dir/core/preprocess.cc.o" "gcc" "src/CMakeFiles/geacc_core.dir/core/preprocess.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/geacc_core.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/geacc_core.dir/core/similarity.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/geacc_core.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/geacc_core.dir/core/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_core.dir/core/arrangement.cc.o"
+  "CMakeFiles/geacc_core.dir/core/arrangement.cc.o.d"
+  "CMakeFiles/geacc_core.dir/core/attributes.cc.o"
+  "CMakeFiles/geacc_core.dir/core/attributes.cc.o.d"
+  "CMakeFiles/geacc_core.dir/core/conflict_graph.cc.o"
+  "CMakeFiles/geacc_core.dir/core/conflict_graph.cc.o.d"
+  "CMakeFiles/geacc_core.dir/core/instance.cc.o"
+  "CMakeFiles/geacc_core.dir/core/instance.cc.o.d"
+  "CMakeFiles/geacc_core.dir/core/preprocess.cc.o"
+  "CMakeFiles/geacc_core.dir/core/preprocess.cc.o.d"
+  "CMakeFiles/geacc_core.dir/core/similarity.cc.o"
+  "CMakeFiles/geacc_core.dir/core/similarity.cc.o.d"
+  "CMakeFiles/geacc_core.dir/core/solver.cc.o"
+  "CMakeFiles/geacc_core.dir/core/solver.cc.o.d"
+  "libgeacc_core.a"
+  "libgeacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeacc_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_exp.dir/exp/experiment.cc.o"
+  "CMakeFiles/geacc_exp.dir/exp/experiment.cc.o.d"
+  "CMakeFiles/geacc_exp.dir/exp/metrics.cc.o"
+  "CMakeFiles/geacc_exp.dir/exp/metrics.cc.o.d"
+  "libgeacc_exp.a"
+  "libgeacc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_flow.dir/flow/graph.cc.o"
+  "CMakeFiles/geacc_flow.dir/flow/graph.cc.o.d"
+  "CMakeFiles/geacc_flow.dir/flow/min_cost_flow.cc.o"
+  "CMakeFiles/geacc_flow.dir/flow/min_cost_flow.cc.o.d"
+  "CMakeFiles/geacc_flow.dir/flow/spfa_min_cost_flow.cc.o"
+  "CMakeFiles/geacc_flow.dir/flow/spfa_min_cost_flow.cc.o.d"
+  "libgeacc_flow.a"
+  "libgeacc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/distributions.cc" "src/CMakeFiles/geacc_gen.dir/gen/distributions.cc.o" "gcc" "src/CMakeFiles/geacc_gen.dir/gen/distributions.cc.o.d"
+  "/root/repo/src/gen/ebsn.cc" "src/CMakeFiles/geacc_gen.dir/gen/ebsn.cc.o" "gcc" "src/CMakeFiles/geacc_gen.dir/gen/ebsn.cc.o.d"
+  "/root/repo/src/gen/instance_stats.cc" "src/CMakeFiles/geacc_gen.dir/gen/instance_stats.cc.o" "gcc" "src/CMakeFiles/geacc_gen.dir/gen/instance_stats.cc.o.d"
+  "/root/repo/src/gen/schedule.cc" "src/CMakeFiles/geacc_gen.dir/gen/schedule.cc.o" "gcc" "src/CMakeFiles/geacc_gen.dir/gen/schedule.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/CMakeFiles/geacc_gen.dir/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/geacc_gen.dir/gen/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_gen.dir/gen/distributions.cc.o"
+  "CMakeFiles/geacc_gen.dir/gen/distributions.cc.o.d"
+  "CMakeFiles/geacc_gen.dir/gen/ebsn.cc.o"
+  "CMakeFiles/geacc_gen.dir/gen/ebsn.cc.o.d"
+  "CMakeFiles/geacc_gen.dir/gen/instance_stats.cc.o"
+  "CMakeFiles/geacc_gen.dir/gen/instance_stats.cc.o.d"
+  "CMakeFiles/geacc_gen.dir/gen/schedule.cc.o"
+  "CMakeFiles/geacc_gen.dir/gen/schedule.cc.o.d"
+  "CMakeFiles/geacc_gen.dir/gen/synthetic.cc.o"
+  "CMakeFiles/geacc_gen.dir/gen/synthetic.cc.o.d"
+  "libgeacc_gen.a"
+  "libgeacc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/idistance_index.cc" "src/CMakeFiles/geacc_index.dir/index/idistance_index.cc.o" "gcc" "src/CMakeFiles/geacc_index.dir/index/idistance_index.cc.o.d"
+  "/root/repo/src/index/kd_tree_index.cc" "src/CMakeFiles/geacc_index.dir/index/kd_tree_index.cc.o" "gcc" "src/CMakeFiles/geacc_index.dir/index/kd_tree_index.cc.o.d"
+  "/root/repo/src/index/knn_index.cc" "src/CMakeFiles/geacc_index.dir/index/knn_index.cc.o" "gcc" "src/CMakeFiles/geacc_index.dir/index/knn_index.cc.o.d"
+  "/root/repo/src/index/linear_scan_index.cc" "src/CMakeFiles/geacc_index.dir/index/linear_scan_index.cc.o" "gcc" "src/CMakeFiles/geacc_index.dir/index/linear_scan_index.cc.o.d"
+  "/root/repo/src/index/va_file_index.cc" "src/CMakeFiles/geacc_index.dir/index/va_file_index.cc.o" "gcc" "src/CMakeFiles/geacc_index.dir/index/va_file_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/geacc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_index.dir/index/idistance_index.cc.o"
+  "CMakeFiles/geacc_index.dir/index/idistance_index.cc.o.d"
+  "CMakeFiles/geacc_index.dir/index/kd_tree_index.cc.o"
+  "CMakeFiles/geacc_index.dir/index/kd_tree_index.cc.o.d"
+  "CMakeFiles/geacc_index.dir/index/knn_index.cc.o"
+  "CMakeFiles/geacc_index.dir/index/knn_index.cc.o.d"
+  "CMakeFiles/geacc_index.dir/index/linear_scan_index.cc.o"
+  "CMakeFiles/geacc_index.dir/index/linear_scan_index.cc.o.d"
+  "CMakeFiles/geacc_index.dir/index/va_file_index.cc.o"
+  "CMakeFiles/geacc_index.dir/index/va_file_index.cc.o.d"
+  "libgeacc_index.a"
+  "libgeacc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_io.dir/io/instance_io.cc.o"
+  "CMakeFiles/geacc_io.dir/io/instance_io.cc.o.d"
+  "CMakeFiles/geacc_io.dir/io/tag_import.cc.o"
+  "CMakeFiles/geacc_io.dir/io/tag_import.cc.o.d"
+  "libgeacc_io.a"
+  "libgeacc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

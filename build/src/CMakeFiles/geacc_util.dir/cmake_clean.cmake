@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geacc_util.dir/util/flags.cc.o"
+  "CMakeFiles/geacc_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/geacc_util.dir/util/logging.cc.o"
+  "CMakeFiles/geacc_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/geacc_util.dir/util/memory.cc.o"
+  "CMakeFiles/geacc_util.dir/util/memory.cc.o.d"
+  "CMakeFiles/geacc_util.dir/util/rng.cc.o"
+  "CMakeFiles/geacc_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/geacc_util.dir/util/string_util.cc.o"
+  "CMakeFiles/geacc_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/geacc_util.dir/util/table.cc.o"
+  "CMakeFiles/geacc_util.dir/util/table.cc.o.d"
+  "libgeacc_util.a"
+  "libgeacc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geacc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximation_property_test.dir/approximation_property_test.cc.o"
+  "CMakeFiles/approximation_property_test.dir/approximation_property_test.cc.o.d"
+  "approximation_property_test"
+  "approximation_property_test.pdb"
+  "approximation_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrangement_test.dir/arrangement_test.cc.o"
+  "CMakeFiles/arrangement_test.dir/arrangement_test.cc.o.d"
+  "arrangement_test"
+  "arrangement_test.pdb"
+  "arrangement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrangement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebsn_test.dir/ebsn_test.cc.o"
+  "CMakeFiles/ebsn_test.dir/ebsn_test.cc.o.d"
+  "ebsn_test"
+  "ebsn_test.pdb"
+  "ebsn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebsn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

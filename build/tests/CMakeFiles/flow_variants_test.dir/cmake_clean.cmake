@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_variants_test.dir/flow_variants_test.cc.o"
+  "CMakeFiles/flow_variants_test.dir/flow_variants_test.cc.o.d"
+  "flow_variants_test"
+  "flow_variants_test.pdb"
+  "flow_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_paper_example_test.dir/golden_paper_example_test.cc.o"
+  "CMakeFiles/golden_paper_example_test.dir/golden_paper_example_test.cc.o.d"
+  "golden_paper_example_test"
+  "golden_paper_example_test.pdb"
+  "golden_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_equivalence_test.dir/greedy_equivalence_test.cc.o"
+  "CMakeFiles/greedy_equivalence_test.dir/greedy_equivalence_test.cc.o.d"
+  "greedy_equivalence_test"
+  "greedy_equivalence_test.pdb"
+  "greedy_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_stats_test.dir/instance_stats_test.cc.o"
+  "CMakeFiles/instance_stats_test.dir/instance_stats_test.cc.o.d"
+  "instance_stats_test"
+  "instance_stats_test.pdb"
+  "instance_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_greedy_test.dir/online_greedy_test.cc.o"
+  "CMakeFiles/online_greedy_test.dir/online_greedy_test.cc.o.d"
+  "online_greedy_test"
+  "online_greedy_test.pdb"
+  "online_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_import_test.dir/tag_import_test.cc.o"
+  "CMakeFiles/tag_import_test.dir/tag_import_test.cc.o.d"
+  "tag_import_test"
+  "tag_import_test.pdb"
+  "tag_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/approximation_property_test[1]_include.cmake")
+include("/root/repo/build/tests/arrangement_test[1]_include.cmake")
+include("/root/repo/build/tests/bplus_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/conflict_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/ebsn_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_configurations_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/instance_io_test[1]_include.cmake")
+include("/root/repo/build/tests/instance_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/instance_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/online_greedy_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build/tests/tag_import_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
