@@ -19,7 +19,8 @@ OnlineArranger::OnlineArranger(const Instance& instance)
 }
 
 std::vector<EventId> OnlineArranger::ArriveUser(UserId u) {
-  GEACC_CHECK(u >= 0 && u < instance_.num_users());
+  GEACC_CHECK(u >= 0 && u < instance_.num_users())
+      << "user id out of range: " << u;
   GEACC_CHECK(!arrived_[u]) << "user " << u << " arrived twice";
   arrived_[u] = true;
 

@@ -18,10 +18,20 @@
 
 #include "core/instance.h"
 #include "core/solver.h"
+#include "util/check.h"
 
 namespace geacc {
 
 // Incremental engine: construct over an instance, then feed arrivals.
+//
+// Relationship to dyn::IncrementalArranger: OnlineArranger is the
+// arrival-only special case. An IncrementalArranger fed an arrival-only
+// mutation trace (AddUser per user, in id order, with an unlimited repair
+// budget) produces the identical arrangement, because its refill cursors
+// enumerate events in the same (similarity desc, id asc) order this class
+// sorts by — each arrival advances both engines through the same greedy
+// choices, one epoch per user. tests/incremental_arranger_test.cc asserts
+// the equivalence.
 class OnlineArranger {
  public:
   explicit OnlineArranger(const Instance& instance);
@@ -29,12 +39,15 @@ class OnlineArranger {
   // Greedily assigns the arriving user to their most interesting events
   // subject to remaining event capacity, the user's own capacity, and
   // conflicts with what this user already holds. Each user may arrive at
-  // most once. Returns the events assigned (possibly empty).
+  // most once (double arrival and out-of-range ids CHECK-fail). Returns
+  // the events assigned (possibly empty).
   std::vector<EventId> ArriveUser(UserId u);
 
   const Arrangement& arrangement() const { return arrangement_; }
 
   int remaining_event_capacity(EventId v) const {
+    GEACC_CHECK(v >= 0 && v < instance_.num_events())
+        << "event id out of range: " << v;
     return event_capacity_[v];
   }
 

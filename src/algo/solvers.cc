@@ -7,11 +7,14 @@
 #include "algo/online_greedy_solver.h"
 #include "algo/random_solvers.h"
 #include "algo/sort_all_greedy_solver.h"
+#include "util/check.h"
 
 namespace geacc {
 
 std::unique_ptr<Solver> CreateSolver(const std::string& name,
                                      SolverOptions options) {
+  const std::string options_error = ValidateSolverOptions(options);
+  GEACC_CHECK(options_error.empty()) << options_error;
   if (name == "greedy") return std::make_unique<GreedySolver>(options);
   if (name == "greedy-sortall") {
     return std::make_unique<SortAllGreedySolver>(options);

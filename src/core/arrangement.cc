@@ -17,6 +17,15 @@ Arrangement::Arrangement(int num_events, int num_users)
   event_loads_.assign(num_events, 0);
 }
 
+void Arrangement::Resize(int num_events, int num_users) {
+  GEACC_CHECK_GE(num_events, num_events_);
+  GEACC_CHECK_GE(num_users, num_users_);
+  num_events_ = num_events;
+  num_users_ = num_users;
+  user_events_.resize(num_users);
+  event_loads_.resize(num_events, 0);
+}
+
 void Arrangement::Add(EventId v, UserId u) {
   GEACC_DCHECK(v >= 0 && v < num_events_);
   GEACC_DCHECK(u >= 0 && u < num_users_);

@@ -23,6 +23,11 @@ class Arrangement {
   Arrangement() : num_events_(0), num_users_(0) {}
   Arrangement(int num_events, int num_users);
 
+  // Grows the id spaces (existing pairs keep their ids). Shrinking is not
+  // supported — dynamic instances tombstone removed entities instead of
+  // reusing ids.
+  void Resize(int num_events, int num_users);
+
   // Adds pair {v, u}; it must not already be present. Does not check
   // feasibility — solvers maintain their own invariants and Validate()
   // provides the authoritative check.

@@ -16,6 +16,13 @@ AttributeMatrix AttributeMatrix::FromRows(
   return matrix;
 }
 
+void AttributeMatrix::AppendRow(const std::vector<double>& row) {
+  GEACC_CHECK_EQ(static_cast<int>(row.size()), dim_)
+      << "appended row has the wrong dimensionality";
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
 double SquaredEuclideanDistance(const double* a, const double* b, int dim) {
   double sum = 0.0;
   for (int j = 0; j < dim; ++j) {

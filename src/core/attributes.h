@@ -29,6 +29,10 @@ class AttributeMatrix {
   // Builds from explicit rows; every row must have the same length.
   static AttributeMatrix FromRows(const std::vector<std::vector<double>>& rows);
 
+  // Appends `row` (length dim()) as a new last row; amortized O(d).
+  // Invalidates pointers previously returned by Row()/MutableRow().
+  void AppendRow(const std::vector<double>& row);
+
   int rows() const { return rows_; }
   int dim() const { return dim_; }
 

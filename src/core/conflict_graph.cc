@@ -25,6 +25,24 @@ void ConflictGraph::AddConflict(EventId a, EventId b) {
   insert_sorted(adjacency_[b], a);
 }
 
+void ConflictGraph::Resize(int num_events) {
+  GEACC_CHECK_GE(num_events, num_events_);
+  num_events_ = num_events;
+  adjacency_.resize(num_events);
+}
+
+int64_t ConflictGraph::RemoveConflictsOf(EventId v) {
+  GEACC_CHECK(v >= 0 && v < num_events_) << "event id out of range: " << v;
+  std::vector<EventId> neighbors = std::move(adjacency_[v]);
+  adjacency_[v].clear();
+  for (const EventId w : neighbors) {
+    pairs_.erase(Key(v, w));
+    auto& list = adjacency_[w];
+    list.erase(std::find(list.begin(), list.end(), v));
+  }
+  return static_cast<int64_t>(neighbors.size());
+}
+
 bool ConflictGraph::AreConflicting(EventId a, EventId b) const {
   if (a == b) return false;
   return pairs_.contains(Key(a, b));

@@ -28,6 +28,14 @@ class ConflictGraph {
   // duplicates are rejected (duplicates are a no-op).
   void AddConflict(EventId a, EventId b);
 
+  // Grows the event id space; existing conflicts are preserved. Shrinking
+  // is not supported (dynamic instances tombstone removed events).
+  void Resize(int num_events);
+
+  // Removes every conflict pair incident to `v` (used when a dynamic
+  // instance retires an event). Returns the number of pairs removed.
+  int64_t RemoveConflictsOf(EventId v);
+
   bool AreConflicting(EventId a, EventId b) const;
 
   // Events conflicting with `v`, sorted ascending.

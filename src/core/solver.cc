@@ -1,10 +1,28 @@
 #include "core/solver.h"
 
 #include "core/instance.h"
+#include "util/string_util.h"
 
 namespace geacc {
 
-// The interface is header-only today; this translation unit anchors the
+// Beyond the option checks below, this translation unit anchors the Solver
 // vtable so that every user of Solver does not emit its own copy.
+
+std::string ValidateSolverOptions(const SolverOptions& options) {
+  const std::string& index = options.index;
+  if (index != "linear" && index != "kdtree" && index != "vafile" &&
+      index != "idistance") {
+    return StrFormat(
+        "unknown index '%s' (expected linear, kdtree, vafile, or idistance)",
+        index.c_str());
+  }
+  const std::string& flow = options.flow_algorithm;
+  if (flow != "dijkstra" && flow != "spfa") {
+    return StrFormat(
+        "unknown flow_algorithm '%s' (expected dijkstra or spfa)",
+        flow.c_str());
+  }
+  return "";
+}
 
 }  // namespace geacc

@@ -50,6 +50,14 @@ struct SolverOptions {
   int64_t max_search_invocations = 0;
 };
 
+// Checks the string-valued fields of `options` against the known backend
+// names (`index` ∈ {linear, kdtree, vafile, idistance}, `flow_algorithm` ∈
+// {dijkstra, spfa}). Returns an empty string when valid, else a description
+// of the first bad field. CreateSolver() CHECK-fails on a non-empty result
+// so that typos fail fast instead of surfacing mid-solve (or never, for
+// solvers that ignore the field).
+std::string ValidateSolverOptions(const SolverOptions& options);
+
 struct SolverStats {
   double wall_seconds = 0.0;
 

@@ -1,0 +1,201 @@
+#include "dyn/dynamic_instance.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace geacc {
+
+DynamicInstance::DynamicInstance(
+    int dim, std::unique_ptr<SimilarityFunction> similarity)
+    : dim_(dim),
+      similarity_(std::move(similarity)),
+      event_attributes_(0, dim),
+      user_attributes_(0, dim),
+      conflicts_(0) {
+  GEACC_CHECK_GE(dim, 0);
+  GEACC_CHECK(similarity_ != nullptr);
+}
+
+DynamicInstance::DynamicInstance(const Instance& instance)
+    : DynamicInstance(instance.dim(), instance.similarity().Clone()) {
+  std::vector<double> row(instance.dim());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    const double* source = instance.event_attributes().Row(v);
+    row.assign(source, source + instance.dim());
+    event_attributes_.AppendRow(row);
+    event_capacities_.push_back(instance.event_capacity(v));
+    event_active_.push_back(true);
+  }
+  num_active_events_ = instance.num_events();
+  conflicts_.Resize(instance.num_events());
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (const EventId w : instance.conflicts().ConflictsOf(v)) {
+      if (w > v) conflicts_.AddConflict(v, w);
+    }
+  }
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const double* source = instance.user_attributes().Row(u);
+    row.assign(source, source + instance.dim());
+    user_attributes_.AppendRow(row);
+    user_capacities_.push_back(instance.user_capacity(u));
+    user_active_.push_back(true);
+  }
+  num_active_users_ = instance.num_users();
+}
+
+UserId DynamicInstance::AddUser(const std::vector<double>& attributes,
+                                int capacity) {
+  GEACC_CHECK_EQ(static_cast<int>(attributes.size()), dim_);
+  GEACC_CHECK_GE(capacity, 1);
+  user_attributes_.AppendRow(attributes);
+  user_capacities_.push_back(capacity);
+  user_active_.push_back(true);
+  ++num_active_users_;
+  ++epoch_;
+  return static_cast<UserId>(user_slots() - 1);
+}
+
+EventId DynamicInstance::AddEvent(const std::vector<double>& attributes,
+                                  int capacity) {
+  GEACC_CHECK_EQ(static_cast<int>(attributes.size()), dim_);
+  GEACC_CHECK_GE(capacity, 1);
+  event_attributes_.AppendRow(attributes);
+  event_capacities_.push_back(capacity);
+  event_active_.push_back(true);
+  conflicts_.Resize(event_slots());
+  ++num_active_events_;
+  ++epoch_;
+  return static_cast<EventId>(event_slots() - 1);
+}
+
+void DynamicInstance::RemoveUser(UserId u) {
+  GEACC_CHECK(u >= 0 && u < user_slots()) << "user id out of range: " << u;
+  GEACC_CHECK(user_active_[u]) << "user " << u << " already removed";
+  user_active_[u] = false;
+  --num_active_users_;
+  ++epoch_;
+}
+
+void DynamicInstance::RemoveEvent(EventId v) {
+  GEACC_CHECK(v >= 0 && v < event_slots()) << "event id out of range: " << v;
+  GEACC_CHECK(event_active_[v]) << "event " << v << " already removed";
+  event_active_[v] = false;
+  conflicts_.RemoveConflictsOf(v);
+  --num_active_events_;
+  ++epoch_;
+}
+
+void DynamicInstance::AddConflict(EventId a, EventId b) {
+  GEACC_CHECK(a >= 0 && a < event_slots()) << "event id out of range: " << a;
+  GEACC_CHECK(b >= 0 && b < event_slots()) << "event id out of range: " << b;
+  GEACC_CHECK(event_active_[a]) << "event " << a << " is removed";
+  GEACC_CHECK(event_active_[b]) << "event " << b << " is removed";
+  conflicts_.AddConflict(a, b);
+  ++epoch_;
+}
+
+void DynamicInstance::SetEventCapacity(EventId v, int capacity) {
+  GEACC_CHECK(v >= 0 && v < event_slots()) << "event id out of range: " << v;
+  GEACC_CHECK(event_active_[v]) << "event " << v << " is removed";
+  GEACC_CHECK_GE(capacity, 1);
+  event_capacities_[v] = capacity;
+  ++epoch_;
+}
+
+void DynamicInstance::SetUserCapacity(UserId u, int capacity) {
+  GEACC_CHECK(u >= 0 && u < user_slots()) << "user id out of range: " << u;
+  GEACC_CHECK(user_active_[u]) << "user " << u << " is removed";
+  GEACC_CHECK_GE(capacity, 1);
+  user_capacities_[u] = capacity;
+  ++epoch_;
+}
+
+int32_t DynamicInstance::Apply(const Mutation& mutation) {
+  switch (mutation.kind) {
+    case Mutation::Kind::kAddUser:
+      return AddUser(mutation.attributes, mutation.capacity);
+    case Mutation::Kind::kAddEvent:
+      return AddEvent(mutation.attributes, mutation.capacity);
+    case Mutation::Kind::kRemoveUser:
+      RemoveUser(mutation.id);
+      return -1;
+    case Mutation::Kind::kRemoveEvent:
+      RemoveEvent(mutation.id);
+      return -1;
+    case Mutation::Kind::kAddConflict:
+      AddConflict(mutation.id, mutation.other);
+      return -1;
+    case Mutation::Kind::kSetEventCapacity:
+      SetEventCapacity(mutation.id, mutation.capacity);
+      return -1;
+    case Mutation::Kind::kSetUserCapacity:
+      SetUserCapacity(mutation.id, mutation.capacity);
+      return -1;
+  }
+  GEACC_CHECK(false) << "unknown mutation kind";
+  return -1;
+}
+
+Instance DynamicInstance::Snapshot(SnapshotMap* map) const {
+  SnapshotMap local;
+  SnapshotMap& m = map != nullptr ? *map : local;
+  m.dense_to_event.clear();
+  m.dense_to_user.clear();
+  m.event_to_dense.assign(event_slots(), -1);
+  m.user_to_dense.assign(user_slots(), -1);
+
+  AttributeMatrix events(num_active_events_, dim_);
+  std::vector<int> event_capacities;
+  event_capacities.reserve(num_active_events_);
+  for (EventId v = 0; v < event_slots(); ++v) {
+    if (!event_active_[v]) continue;
+    const int dense = static_cast<int>(m.dense_to_event.size());
+    m.event_to_dense[v] = dense;
+    m.dense_to_event.push_back(v);
+    const double* source = event_attributes_.Row(v);
+    double* target = events.MutableRow(dense);
+    for (int j = 0; j < dim_; ++j) target[j] = source[j];
+    event_capacities.push_back(event_capacities_[v]);
+  }
+
+  AttributeMatrix users(num_active_users_, dim_);
+  std::vector<int> user_capacities;
+  user_capacities.reserve(num_active_users_);
+  for (UserId u = 0; u < user_slots(); ++u) {
+    if (!user_active_[u]) continue;
+    const int dense = static_cast<int>(m.dense_to_user.size());
+    m.user_to_dense[u] = dense;
+    m.dense_to_user.push_back(u);
+    const double* source = user_attributes_.Row(u);
+    double* target = users.MutableRow(dense);
+    for (int j = 0; j < dim_; ++j) target[j] = source[j];
+    user_capacities.push_back(user_capacities_[u]);
+  }
+
+  ConflictGraph conflicts(num_active_events_);
+  for (EventId v = 0; v < event_slots(); ++v) {
+    if (!event_active_[v]) continue;
+    for (const EventId w : conflicts_.ConflictsOf(v)) {
+      if (w > v && event_active_[w]) {
+        conflicts.AddConflict(m.event_to_dense[v], m.event_to_dense[w]);
+      }
+    }
+  }
+
+  return Instance(std::move(events), std::move(event_capacities),
+                  std::move(users), std::move(user_capacities),
+                  std::move(conflicts), similarity_->Clone());
+}
+
+std::string DynamicInstance::DebugString() const {
+  return StrFormat(
+      "DynamicInstance(epoch=%lld, |V|=%d/%d, |U|=%d/%d, d=%d, sim=%s, "
+      "|CF|=%lld)",
+      (long long)epoch_, num_active_events_, event_slots(),
+      num_active_users_, user_slots(), dim_, similarity_->Name().c_str(),
+      (long long)conflicts_.num_conflict_pairs());
+}
+
+}  // namespace geacc

@@ -1,0 +1,151 @@
+// A GEACC instance that mutates over time (the dynamic EBSN setting).
+//
+// core::Instance is deliberately immutable; DynamicInstance is the mutable
+// counterpart the serving layer edits in place. Every mutation —
+// AddUser/AddEvent/RemoveUser/RemoveEvent/AddConflict/Set*Capacity — bumps
+// a monotonically increasing epoch counter, so any observer can name "the
+// instance as of epoch e" and traces replay deterministically.
+//
+// Ids are slot indices and are never reused: removing an entity tombstones
+// its slot (active flag off) instead of compacting, which keeps every id
+// ever handed out stable across arbitrary mutation interleavings — the
+// property Arrangement and the repair engine rely on. Snapshot() produces
+// a dense immutable Instance over the active entities (plus the slot↔dense
+// mapping) for consumers of the batch API: full re-solves, oracle
+// comparisons, serialization.
+
+#ifndef GEACC_DYN_DYNAMIC_INSTANCE_H_
+#define GEACC_DYN_DYNAMIC_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attributes.h"
+#include "core/conflict_graph.h"
+#include "core/instance.h"
+#include "core/similarity.h"
+#include "core/types.h"
+#include "dyn/mutation.h"
+
+namespace geacc {
+
+class DynamicInstance {
+ public:
+  // Starts empty: no events, no users, epoch 0.
+  DynamicInstance(int dim, std::unique_ptr<SimilarityFunction> similarity);
+
+  // Seeds slots 0..n-1 from an existing instance; epoch stays 0 (the seed
+  // is the epoch-0 state, not a mutation).
+  explicit DynamicInstance(const Instance& instance);
+
+  // Move-only, like Instance.
+  DynamicInstance(DynamicInstance&&) = default;
+  DynamicInstance& operator=(DynamicInstance&&) = default;
+  DynamicInstance(const DynamicInstance&) = delete;
+  DynamicInstance& operator=(const DynamicInstance&) = delete;
+
+  // ----- mutations (each bumps epoch) -----
+
+  // Returns the new entity's slot id. Attributes must match dim();
+  // capacity must be ≥ 1.
+  UserId AddUser(const std::vector<double>& attributes, int capacity);
+  EventId AddEvent(const std::vector<double>& attributes, int capacity);
+
+  // The entity must be active; its slot is tombstoned, never reused.
+  // RemoveEvent also drops the event's incident conflict pairs.
+  void RemoveUser(UserId u);
+  void RemoveEvent(EventId v);
+
+  // Both events must be active and distinct; duplicates are a no-op apart
+  // from the epoch bump.
+  void AddConflict(EventId a, EventId b);
+
+  // The entity must be active; capacity must be ≥ 1.
+  void SetEventCapacity(EventId v, int capacity);
+  void SetUserCapacity(UserId u, int capacity);
+
+  // Applies a trace mutation. Returns the assigned slot id for adds,
+  // kInvalidEvent/kInvalidUser-style -1 otherwise.
+  int32_t Apply(const Mutation& mutation);
+
+  // ----- observers -----
+
+  // Number of mutations applied so far.
+  int64_t epoch() const { return epoch_; }
+
+  int dim() const { return dim_; }
+
+  // Slot counts include tombstones; slot ids range over [0, *_slots()).
+  int event_slots() const { return static_cast<int>(event_active_.size()); }
+  int user_slots() const { return static_cast<int>(user_active_.size()); }
+  int num_active_events() const { return num_active_events_; }
+  int num_active_users() const { return num_active_users_; }
+
+  bool event_active(EventId v) const {
+    GEACC_DCHECK(v >= 0 && v < event_slots());
+    return event_active_[v];
+  }
+  bool user_active(UserId u) const {
+    GEACC_DCHECK(u >= 0 && u < user_slots());
+    return user_active_[u];
+  }
+
+  // Capacity reads require an in-range slot id (active or tombstoned —
+  // tombstones report their last capacity).
+  int event_capacity(EventId v) const {
+    GEACC_DCHECK(v >= 0 && v < event_slots());
+    return event_capacities_[v];
+  }
+  int user_capacity(UserId u) const {
+    GEACC_DCHECK(u >= 0 && u < user_slots());
+    return user_capacities_[u];
+  }
+
+  double Similarity(EventId v, UserId u) const {
+    return similarity_->Compute(event_attributes_.Row(v),
+                                user_attributes_.Row(u), dim_);
+  }
+
+  // Attribute matrices span all slots (tombstoned rows keep their last
+  // value); k-NN indexes built over them must filter by *_active().
+  const AttributeMatrix& event_attributes() const { return event_attributes_; }
+  const AttributeMatrix& user_attributes() const { return user_attributes_; }
+  const ConflictGraph& conflicts() const { return conflicts_; }
+  const SimilarityFunction& similarity() const { return *similarity_; }
+
+  // ----- snapshots -----
+
+  // Slot id ↔ dense id translation for a Snapshot().
+  struct SnapshotMap {
+    std::vector<EventId> dense_to_event;  // dense id -> slot id
+    std::vector<UserId> dense_to_user;
+    std::vector<int> event_to_dense;  // slot id -> dense id, -1 if inactive
+    std::vector<int> user_to_dense;
+  };
+
+  // Materializes the active entities as a dense immutable Instance.
+  Instance Snapshot(SnapshotMap* map = nullptr) const;
+
+  // One-line summary: epoch, active/slot counts, conflicts.
+  std::string DebugString() const;
+
+ private:
+  int dim_;
+  std::unique_ptr<SimilarityFunction> similarity_;
+  int64_t epoch_ = 0;
+
+  AttributeMatrix event_attributes_;
+  AttributeMatrix user_attributes_;
+  std::vector<int> event_capacities_;
+  std::vector<int> user_capacities_;
+  std::vector<bool> event_active_;
+  std::vector<bool> user_active_;
+  int num_active_events_ = 0;
+  int num_active_users_ = 0;
+  ConflictGraph conflicts_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_DYN_DYNAMIC_INSTANCE_H_

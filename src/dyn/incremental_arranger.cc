@@ -1,0 +1,388 @@
+#include "dyn/incremental_arranger.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "algo/solvers.h"
+#include "util/check.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace geacc {
+
+IncrementalArranger::IncrementalArranger(DynamicInstance* instance,
+                                         RepairOptions options)
+    : instance_(instance), options_(std::move(options)) {
+  GEACC_CHECK(instance_ != nullptr);
+  SolverOptions solver_options;
+  solver_options.index = options_.index;
+  const std::string options_error = ValidateSolverOptions(solver_options);
+  GEACC_CHECK(options_error.empty()) << options_error;
+  fallback_ = CreateSolver(options_.fallback_solver, solver_options);
+  GEACC_CHECK(fallback_ != nullptr)
+      << "unknown fallback_solver '" << options_.fallback_solver << "'";
+  observed_epoch_ = instance_->epoch();
+  arrangement_ = Arrangement(instance_->event_slots(),
+                             instance_->user_slots());
+  event_users_.resize(instance_->event_slots());
+  event_remaining_.resize(instance_->event_slots());
+  user_remaining_.resize(instance_->user_slots());
+  for (EventId v = 0; v < instance_->event_slots(); ++v) {
+    event_remaining_[v] =
+        instance_->event_active(v) ? instance_->event_capacity(v) : 0;
+  }
+  for (UserId u = 0; u < instance_->user_slots(); ++u) {
+    user_remaining_[u] =
+        instance_->user_active(u) ? instance_->user_capacity(u) : 0;
+  }
+  RefreshIndexes();
+}
+
+int64_t IncrementalArranger::Apply(const Mutation& mutation) {
+  WallTimer timer;
+  GEACC_CHECK_EQ(instance_->epoch(), observed_epoch_)
+      << "instance mutated outside Apply(); the arranger is stale";
+  const int64_t changes_before =
+      stats_.assignments_added + stats_.assignments_removed;
+  steps_left_ = options_.repair_budget > 0
+                    ? options_.repair_budget
+                    : std::numeric_limits<int64_t>::max();
+
+  switch (mutation.kind) {
+    case Mutation::Kind::kAddUser:
+      ApplyAddUser(mutation);
+      break;
+    case Mutation::Kind::kAddEvent:
+      ApplyAddEvent(mutation);
+      break;
+    case Mutation::Kind::kRemoveUser:
+      ApplyRemoveUser(mutation);
+      break;
+    case Mutation::Kind::kRemoveEvent:
+      ApplyRemoveEvent(mutation);
+      break;
+    case Mutation::Kind::kAddConflict:
+      ApplyAddConflict(mutation);
+      break;
+    case Mutation::Kind::kSetEventCapacity:
+      ApplySetEventCapacity(mutation);
+      break;
+    case Mutation::Kind::kSetUserCapacity:
+      ApplySetUserCapacity(mutation);
+      break;
+  }
+
+  observed_epoch_ = instance_->epoch();
+  ++stats_.mutations;
+  MaybeFullResolve();
+  stats_.last_repair_seconds = timer.Seconds();
+  stats_.total_repair_seconds += stats_.last_repair_seconds;
+  return stats_.assignments_added + stats_.assignments_removed -
+         changes_before;
+}
+
+void IncrementalArranger::GrowToInstance() {
+  arrangement_.Resize(instance_->event_slots(), instance_->user_slots());
+  event_users_.resize(instance_->event_slots());
+  event_remaining_.resize(instance_->event_slots(), 0);
+  user_remaining_.resize(instance_->user_slots(), 0);
+}
+
+void IncrementalArranger::RefreshIndexes() {
+  if (event_index_ == nullptr ||
+      event_index_->num_points() != instance_->event_slots()) {
+    event_index_ = MakeIndex(options_.index, instance_->event_attributes(),
+                             instance_->similarity());
+    GEACC_CHECK(event_index_ != nullptr);
+  }
+  if (user_index_ == nullptr ||
+      user_index_->num_points() != instance_->user_slots()) {
+    user_index_ = MakeIndex(options_.index, instance_->user_attributes(),
+                            instance_->similarity());
+    GEACC_CHECK(user_index_ != nullptr);
+  }
+}
+
+void IncrementalArranger::AddPair(EventId v, UserId u, double similarity) {
+  arrangement_.Add(v, u);
+  event_users_[v].push_back(u);
+  --event_remaining_[v];
+  --user_remaining_[u];
+  max_sum_ += similarity;
+  ++stats_.assignments_added;
+}
+
+void IncrementalArranger::RemovePair(EventId v, UserId u) {
+  arrangement_.Remove(v, u);
+  auto& users = event_users_[v];
+  users.erase(std::find(users.begin(), users.end(), u));
+  ++event_remaining_[v];
+  ++user_remaining_[u];
+  max_sum_ -= instance_->Similarity(v, u);
+  ++stats_.assignments_removed;
+}
+
+bool IncrementalArranger::ConflictsWithAssigned(EventId v, UserId u) const {
+  const ConflictGraph& conflicts = instance_->conflicts();
+  for (const EventId w : arrangement_.EventsOf(u)) {
+    if (conflicts.AreConflicting(v, w)) return true;
+  }
+  return false;
+}
+
+void IncrementalArranger::FillUser(UserId u) {
+  if (user_remaining_[u] <= 0 || !instance_->user_active(u)) return;
+  RefreshIndexes();
+  const std::unique_ptr<NnCursor> cursor =
+      event_index_->CreateCursor(instance_->user_attributes().Row(u));
+  while (user_remaining_[u] > 0) {
+    if (steps_left_ <= 0) {
+      ++stats_.budget_exhausted;
+      return;
+    }
+    --steps_left_;
+    ++stats_.cursor_steps;
+    const auto next = cursor->Next();
+    if (!next || next->similarity <= 0.0) return;
+    const EventId v = next->id;
+    if (!instance_->event_active(v) || event_remaining_[v] <= 0) continue;
+    if (arrangement_.Contains(v, u)) continue;
+    if (ConflictsWithAssigned(v, u)) continue;
+    AddPair(v, u, next->similarity);
+  }
+}
+
+void IncrementalArranger::FillEvent(EventId v) {
+  if (event_remaining_[v] <= 0 || !instance_->event_active(v)) return;
+  RefreshIndexes();
+  const std::unique_ptr<NnCursor> cursor =
+      user_index_->CreateCursor(instance_->event_attributes().Row(v));
+  while (event_remaining_[v] > 0) {
+    if (steps_left_ <= 0) {
+      ++stats_.budget_exhausted;
+      return;
+    }
+    --steps_left_;
+    ++stats_.cursor_steps;
+    const auto next = cursor->Next();
+    if (!next || next->similarity <= 0.0) return;
+    const UserId u = next->id;
+    if (!instance_->user_active(u) || user_remaining_[u] <= 0) continue;
+    if (arrangement_.Contains(v, u)) continue;
+    if (ConflictsWithAssigned(v, u)) continue;
+    AddPair(v, u, next->similarity);
+  }
+}
+
+void IncrementalArranger::ApplyAddUser(const Mutation& mutation) {
+  const UserId u = instance_->AddUser(mutation.attributes, mutation.capacity);
+  GrowToInstance();
+  user_remaining_[u] = mutation.capacity;
+  FillUser(u);
+}
+
+void IncrementalArranger::ApplyAddEvent(const Mutation& mutation) {
+  const EventId v =
+      instance_->AddEvent(mutation.attributes, mutation.capacity);
+  GrowToInstance();
+  event_remaining_[v] = mutation.capacity;
+  FillEvent(v);
+}
+
+void IncrementalArranger::ApplyRemoveUser(const Mutation& mutation) {
+  const UserId u = mutation.id;
+  const std::vector<EventId> held = arrangement_.EventsOf(u);
+  for (const EventId v : held) RemovePair(v, u);
+  instance_->RemoveUser(u);
+  user_remaining_[u] = 0;
+  // Freed seats may suit other users; the lost pair value itself is
+  // unavoidable, so it does not count toward drift.
+  for (const EventId v : held) FillEvent(v);
+}
+
+void IncrementalArranger::ApplyRemoveEvent(const Mutation& mutation) {
+  const EventId v = mutation.id;
+  const std::vector<UserId> held = event_users_[v];
+  for (const UserId u : held) RemovePair(v, u);
+  instance_->RemoveEvent(v);
+  event_remaining_[v] = 0;
+  for (const UserId u : held) FillUser(u);
+}
+
+void IncrementalArranger::ApplyAddConflict(const Mutation& mutation) {
+  const EventId a = mutation.id;
+  const EventId b = mutation.other;
+  instance_->AddConflict(a, b);
+  // Users holding both sides must drop one; keep the more similar event
+  // (ties keep the smaller id) and try to win the loss back elsewhere.
+  std::vector<UserId> both;
+  for (const UserId u : event_users_[a]) {
+    if (arrangement_.Contains(b, u)) both.push_back(u);
+  }
+  std::sort(both.begin(), both.end());
+  for (const UserId u : both) {
+    const double sim_a = instance_->Similarity(a, u);
+    const double sim_b = instance_->Similarity(b, u);
+    const EventId evict =
+        (sim_a < sim_b || (sim_a == sim_b && a > b)) ? a : b;
+    const double before = max_sum_;
+    RemovePair(evict, u);
+    FillUser(u);
+    drift_ += std::max(0.0, before - max_sum_);
+  }
+}
+
+void IncrementalArranger::ApplySetEventCapacity(const Mutation& mutation) {
+  const EventId v = mutation.id;
+  instance_->SetEventCapacity(v, mutation.capacity);
+  const int load = arrangement_.EventLoad(v);
+  if (mutation.capacity >= load) {
+    event_remaining_[v] = mutation.capacity - load;
+    FillEvent(v);
+    return;
+  }
+  // Capacity cut below the current roster: evict the least similar users
+  // (ties evict the larger id) and try to reseat them.
+  std::vector<UserId> roster = event_users_[v];
+  std::sort(roster.begin(), roster.end(), [&](UserId x, UserId y) {
+    const double sx = instance_->Similarity(v, x);
+    const double sy = instance_->Similarity(v, y);
+    if (sx != sy) return sx < sy;
+    return x > y;
+  });
+  const int to_evict = load - mutation.capacity;
+  const double before = max_sum_;
+  for (int i = 0; i < to_evict; ++i) RemovePair(v, roster[i]);
+  event_remaining_[v] = 0;
+  for (int i = 0; i < to_evict; ++i) FillUser(roster[i]);
+  drift_ += std::max(0.0, before - max_sum_);
+}
+
+void IncrementalArranger::ApplySetUserCapacity(const Mutation& mutation) {
+  const UserId u = mutation.id;
+  instance_->SetUserCapacity(u, mutation.capacity);
+  const int load = arrangement_.UserLoad(u);
+  if (mutation.capacity >= load) {
+    user_remaining_[u] = mutation.capacity - load;
+    FillUser(u);
+    return;
+  }
+  std::vector<EventId> held = arrangement_.EventsOf(u);
+  std::sort(held.begin(), held.end(), [&](EventId x, EventId y) {
+    const double sx = instance_->Similarity(x, u);
+    const double sy = instance_->Similarity(y, u);
+    if (sx != sy) return sx < sy;
+    return x > y;
+  });
+  const int to_evict = load - mutation.capacity;
+  const double before = max_sum_;
+  for (int i = 0; i < to_evict; ++i) RemovePair(held[i], u);
+  user_remaining_[u] = 0;
+  for (int i = 0; i < to_evict; ++i) FillEvent(held[i]);
+  drift_ += std::max(0.0, before - max_sum_);
+}
+
+void IncrementalArranger::MaybeFullResolve() {
+  if (options_.drift_threshold <= 0.0) return;
+  if (drift_ <= options_.drift_threshold * std::max(1.0, max_sum_)) return;
+  FullResolve();
+}
+
+void IncrementalArranger::FullResolve() {
+  DynamicInstance::SnapshotMap map;
+  const Instance snapshot = instance_->Snapshot(&map);
+  const SolveResult result = fallback_->Solve(snapshot);
+
+  arrangement_ = Arrangement(instance_->event_slots(),
+                             instance_->user_slots());
+  event_users_.assign(instance_->event_slots(), {});
+  max_sum_ = 0.0;
+  for (EventId v = 0; v < instance_->event_slots(); ++v) {
+    event_remaining_[v] =
+        instance_->event_active(v) ? instance_->event_capacity(v) : 0;
+  }
+  for (UserId u = 0; u < instance_->user_slots(); ++u) {
+    user_remaining_[u] =
+        instance_->user_active(u) ? instance_->user_capacity(u) : 0;
+  }
+  for (const auto& [dense_v, dense_u] : result.arrangement.SortedPairs()) {
+    const EventId v = map.dense_to_event[dense_v];
+    const UserId u = map.dense_to_user[dense_u];
+    AddPair(v, u, instance_->Similarity(v, u));
+  }
+  drift_ = 0.0;
+  ++stats_.full_resolves;
+}
+
+double IncrementalArranger::RecomputeMaxSum() const {
+  double sum = 0.0;
+  for (UserId u = 0; u < instance_->user_slots(); ++u) {
+    for (const EventId v : arrangement_.EventsOf(u)) {
+      sum += instance_->Similarity(v, u);
+    }
+  }
+  return sum;
+}
+
+std::string IncrementalArranger::Validate() const {
+  if (arrangement_.num_events() != instance_->event_slots() ||
+      arrangement_.num_users() != instance_->user_slots()) {
+    return "arrangement sized for a different slot space";
+  }
+  const ConflictGraph& conflicts = instance_->conflicts();
+  for (UserId u = 0; u < instance_->user_slots(); ++u) {
+    const auto& events = arrangement_.EventsOf(u);
+    const int load = static_cast<int>(events.size());
+    if (!instance_->user_active(u)) {
+      if (load > 0) return StrFormat("removed user %d still matched", u);
+      continue;
+    }
+    if (load > instance_->user_capacity(u)) {
+      return StrFormat("user %d over capacity: %d > %d", u, load,
+                       instance_->user_capacity(u));
+    }
+    if (user_remaining_[u] != instance_->user_capacity(u) - load) {
+      return StrFormat("user %d remaining-capacity mirror out of sync", u);
+    }
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (!instance_->event_active(events[i])) {
+        return StrFormat("user %d matched to removed event %d", u,
+                         events[i]);
+      }
+      if (instance_->Similarity(events[i], u) <= 0.0) {
+        return StrFormat("pair {%d,%d} has non-positive similarity",
+                         events[i], u);
+      }
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[i] == events[j]) {
+          return StrFormat("duplicate pair {%d,%d}", events[i], u);
+        }
+        if (conflicts.AreConflicting(events[i], events[j])) {
+          return StrFormat("user %d assigned conflicting events %d and %d",
+                           u, events[i], events[j]);
+        }
+      }
+    }
+  }
+  for (EventId v = 0; v < instance_->event_slots(); ++v) {
+    const int load = arrangement_.EventLoad(v);
+    if (!instance_->event_active(v)) {
+      if (load > 0) return StrFormat("removed event %d still matched", v);
+      continue;
+    }
+    if (load > instance_->event_capacity(v)) {
+      return StrFormat("event %d over capacity: %d > %d", v, load,
+                       instance_->event_capacity(v));
+    }
+    if (event_remaining_[v] != instance_->event_capacity(v) - load) {
+      return StrFormat("event %d remaining-capacity mirror out of sync", v);
+    }
+    if (static_cast<int>(event_users_[v].size()) != load) {
+      return StrFormat("event %d reverse adjacency out of sync", v);
+    }
+  }
+  return "";
+}
+
+}  // namespace geacc

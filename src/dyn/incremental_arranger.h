@@ -1,0 +1,157 @@
+// Keeps an arrangement feasible and near-optimal while its instance
+// mutates, without paying a full re-solve per update.
+//
+// The engine owns mutation application: Apply(mutation) forwards the edit
+// to the DynamicInstance, then repairs only the affected neighborhood —
+// evict pairs the mutation made infeasible, then greedily refill freed
+// capacity from incremental nearest-neighbor cursors (the same src/index/
+// backends Greedy-GEACC uses). Refill enumerates candidates in
+// (similarity desc, id asc) order, so an arrival-only trace reproduces
+// OnlineArranger's arrangement exactly (see online_greedy_solver.h).
+//
+// Two knobs bound the work and the quality loss:
+//
+//  * repair_budget — maximum cursor steps spent repairing one mutation;
+//    when exhausted the repair stops early (capacity may stay unserved
+//    until a later repair or full re-solve touches it).
+//  * drift_threshold — each repair accumulates the *displaced* value it
+//    failed to win back locally (evictions caused by new conflicts or
+//    capacity cuts, net of refill gains; value lost to entity removal is
+//    unavoidable and not counted). When the accumulated drift exceeds
+//    threshold × current MaxSum, the engine re-solves the whole snapshot
+//    with the fallback solver and resets the drift.
+//
+// The arranger assumes every instance mutation flows through Apply();
+// out-of-band edits to the DynamicInstance CHECK-fail at the next Apply().
+
+#ifndef GEACC_DYN_INCREMENTAL_ARRANGER_H_
+#define GEACC_DYN_INCREMENTAL_ARRANGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/arrangement.h"
+#include "core/solver.h"
+#include "dyn/dynamic_instance.h"
+#include "dyn/mutation.h"
+#include "index/knn_index.h"
+
+namespace geacc {
+
+struct RepairOptions {
+  // k-NN backend for the refill cursors ("linear", "kdtree", "vafile",
+  // "idistance"). "linear" rebuilds in O(1) after instance growth, which
+  // makes it the right default under heavy churn.
+  std::string index = "linear";
+
+  // Max cursor steps per Apply(); 0 = unlimited.
+  int64_t repair_budget = 0;
+
+  // Full re-solve when drift > drift_threshold × max(1, MaxSum);
+  // ≤ 0 disables the fallback entirely.
+  double drift_threshold = 0.1;
+
+  // Registry name of the full re-solve fallback (see algo/solvers.h).
+  std::string fallback_solver = "greedy";
+};
+
+// Cumulative counters; repair latencies are per-Apply.
+struct RepairStats {
+  int64_t mutations = 0;
+  int64_t assignments_added = 0;    // includes full-resolve rebuilds
+  int64_t assignments_removed = 0;
+  int64_t cursor_steps = 0;
+  int64_t budget_exhausted = 0;  // fills cut short by repair_budget
+  int64_t full_resolves = 0;
+  double last_repair_seconds = 0.0;
+  double total_repair_seconds = 0.0;
+};
+
+class IncrementalArranger {
+ public:
+  // `instance` must outlive the arranger (and must not move). The initial
+  // arrangement is empty; call FullResolve() to bootstrap from the
+  // fallback solver when the instance starts non-empty.
+  explicit IncrementalArranger(DynamicInstance* instance,
+                               RepairOptions options = {});
+
+  // Applies the mutation to the instance, then repairs locally. Returns
+  // the number of arrangement changes (adds + removes) performed.
+  int64_t Apply(const Mutation& mutation);
+
+  // Drops the maintained arrangement and re-solves the active snapshot
+  // with the fallback solver; resets drift.
+  void FullResolve();
+
+  const Arrangement& arrangement() const { return arrangement_; }
+  const DynamicInstance& instance() const { return *instance_; }
+
+  // Incrementally maintained Σ sim over matched pairs.
+  double max_sum() const { return max_sum_; }
+  // From-scratch recomputation, for validation against max_sum().
+  double RecomputeMaxSum() const;
+
+  double drift() const { return drift_; }
+  const RepairStats& stats() const { return stats_; }
+
+  // Users currently matched to `v`, unordered.
+  const std::vector<UserId>& UsersOf(EventId v) const {
+    return event_users_[v];
+  }
+
+  // Empty string when the maintained arrangement is feasible for the live
+  // instance: capacities respected, only active entities matched, positive
+  // similarity, no conflicting pair per user, remaining-capacity mirrors
+  // consistent.
+  std::string Validate() const;
+
+ private:
+  // Grows the per-slot mirrors after the instance added a slot.
+  void GrowToInstance();
+  // Rebuilds a side's k-NN index when the instance outgrew it.
+  void RefreshIndexes();
+
+  void AddPair(EventId v, UserId u, double similarity);
+  void RemovePair(EventId v, UserId u);
+  bool ConflictsWithAssigned(EventId v, UserId u) const;
+
+  // Greedy refills from NN cursors; consume steps_left_.
+  void FillUser(UserId u);
+  void FillEvent(EventId v);
+
+  // Per-kind repair handlers (the mutation has already been validated and
+  // applied to the instance where noted).
+  void ApplyAddUser(const Mutation& mutation);
+  void ApplyAddEvent(const Mutation& mutation);
+  void ApplyRemoveUser(const Mutation& mutation);
+  void ApplyRemoveEvent(const Mutation& mutation);
+  void ApplyAddConflict(const Mutation& mutation);
+  void ApplySetEventCapacity(const Mutation& mutation);
+  void ApplySetUserCapacity(const Mutation& mutation);
+
+  void MaybeFullResolve();
+
+  DynamicInstance* instance_;
+  RepairOptions options_;
+  std::unique_ptr<Solver> fallback_;
+
+  Arrangement arrangement_;
+  std::vector<std::vector<UserId>> event_users_;  // reverse adjacency
+  std::vector<int> event_remaining_;  // capacity − load (0 for tombstones)
+  std::vector<int> user_remaining_;
+
+  std::unique_ptr<KnnIndex> event_index_;  // over event attributes
+  std::unique_ptr<KnnIndex> user_index_;   // over user attributes
+
+  double max_sum_ = 0.0;
+  double drift_ = 0.0;
+  int64_t steps_left_ = 0;  // budget for the Apply() in flight
+  int64_t observed_epoch_ = 0;
+  RepairStats stats_;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_DYN_INCREMENTAL_ARRANGER_H_

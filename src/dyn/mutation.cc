@@ -1,0 +1,102 @@
+#include "dyn/mutation.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace geacc {
+
+Mutation Mutation::AddUser(std::vector<double> attributes, int capacity) {
+  Mutation m;
+  m.kind = Kind::kAddUser;
+  m.capacity = capacity;
+  m.attributes = std::move(attributes);
+  return m;
+}
+
+Mutation Mutation::AddEvent(std::vector<double> attributes, int capacity) {
+  Mutation m;
+  m.kind = Kind::kAddEvent;
+  m.capacity = capacity;
+  m.attributes = std::move(attributes);
+  return m;
+}
+
+Mutation Mutation::RemoveUser(UserId u) {
+  Mutation m;
+  m.kind = Kind::kRemoveUser;
+  m.id = u;
+  return m;
+}
+
+Mutation Mutation::RemoveEvent(EventId v) {
+  Mutation m;
+  m.kind = Kind::kRemoveEvent;
+  m.id = v;
+  return m;
+}
+
+Mutation Mutation::AddConflict(EventId a, EventId b) {
+  Mutation m;
+  m.kind = Kind::kAddConflict;
+  m.id = a;
+  m.other = b;
+  return m;
+}
+
+Mutation Mutation::SetEventCapacity(EventId v, int capacity) {
+  Mutation m;
+  m.kind = Kind::kSetEventCapacity;
+  m.id = v;
+  m.capacity = capacity;
+  return m;
+}
+
+Mutation Mutation::SetUserCapacity(UserId u, int capacity) {
+  Mutation m;
+  m.kind = Kind::kSetUserCapacity;
+  m.id = u;
+  m.capacity = capacity;
+  return m;
+}
+
+const char* MutationKindName(Mutation::Kind kind) {
+  switch (kind) {
+    case Mutation::Kind::kAddUser:
+      return "add_user";
+    case Mutation::Kind::kAddEvent:
+      return "add_event";
+    case Mutation::Kind::kRemoveUser:
+      return "remove_user";
+    case Mutation::Kind::kRemoveEvent:
+      return "remove_event";
+    case Mutation::Kind::kAddConflict:
+      return "add_conflict";
+    case Mutation::Kind::kSetEventCapacity:
+      return "set_event_capacity";
+    case Mutation::Kind::kSetUserCapacity:
+      return "set_user_capacity";
+  }
+  return "unknown";
+}
+
+std::string Mutation::DebugString() const {
+  switch (kind) {
+    case Kind::kAddUser:
+    case Kind::kAddEvent:
+      return StrFormat("%s(capacity=%d, d=%zu)", MutationKindName(kind),
+                       capacity, attributes.size());
+    case Kind::kRemoveUser:
+    case Kind::kRemoveEvent:
+      return StrFormat("%s(%d)", MutationKindName(kind), id);
+    case Kind::kAddConflict:
+      return StrFormat("%s(%d, %d)", MutationKindName(kind), id, other);
+    case Kind::kSetEventCapacity:
+    case Kind::kSetUserCapacity:
+      return StrFormat("%s(%d, capacity=%d)", MutationKindName(kind), id,
+                       capacity);
+  }
+  return "mutation(?)";
+}
+
+}  // namespace geacc

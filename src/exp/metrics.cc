@@ -1,5 +1,8 @@
 #include "exp/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -68,6 +71,66 @@ std::string ArrangementMetrics::DebugString() const {
       "mean_sim=%.3f jain=%.3f",
       max_sum, (long long)matched_pairs, seat_utilization, user_coverage,
       mean_matched_similarity, jain_fairness);
+}
+
+void LatencyRecorder::Record(double seconds) {
+  GEACC_CHECK_GE(seconds, 0.0);
+  if (!samples_.empty() && seconds < samples_.back()) sorted_ = false;
+  samples_.push_back(seconds);
+  total_ += seconds;
+}
+
+double LatencyRecorder::mean() const {
+  return samples_.empty() ? 0.0
+                          : total_ / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  GEACC_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range: " << p;
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    // `samples_` is logically const here; sorting only changes the order
+    // observed by future Percentile calls, never the multiset of values.
+    auto& samples = const_cast<std::vector<double>&>(samples_);
+    std::sort(samples.begin(), samples.end());
+    sorted_ = true;
+  }
+  const auto n = static_cast<double>(samples_.size());
+  const auto rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double ChurnMetrics::ReassignmentsPerMutation() const {
+  return mutations == 0 ? 0.0
+                        : static_cast<double>(reassignments) /
+                              static_cast<double>(mutations);
+}
+
+double ChurnMetrics::OracleRatio() const {
+  if (oracle_max_sum <= 0.0) return 1.0;
+  return final_max_sum / oracle_max_sum;
+}
+
+double ChurnMetrics::SpeedupVsFullSolve() const {
+  if (mean_full_solve_seconds <= 0.0 || mean_repair_seconds <= 0.0) {
+    return 0.0;
+  }
+  return mean_full_solve_seconds / mean_repair_seconds;
+}
+
+std::string ChurnMetrics::DebugString() const {
+  return StrFormat(
+      "mutations=%lld reassign/mut=%.2f repairs(mean=%.3fms p50=%.3fms "
+      "p90=%.3fms p99=%.3fms) full_solve_mean=%.1fms speedup=%.1fx "
+      "resolves=%lld budget_exhausted=%lld infeasible=%lld "
+      "maxsum=%.3f oracle=%.3f ratio=%.4f",
+      (long long)mutations, ReassignmentsPerMutation(),
+      mean_repair_seconds * 1e3, p50_repair_seconds * 1e3,
+      p90_repair_seconds * 1e3, p99_repair_seconds * 1e3,
+      mean_full_solve_seconds * 1e3, SpeedupVsFullSolve(),
+      (long long)full_resolves, (long long)budget_exhausted,
+      (long long)infeasible_epochs, final_max_sum, oracle_max_sum,
+      OracleRatio());
 }
 
 }  // namespace geacc

@@ -6,11 +6,18 @@
 // arrangement distributes that value — seat utilization on the event side,
 // coverage and fairness (Jain's index) on the user side. Used by the
 // example applications and the real-dataset bench.
+//
+// For the dynamic engine (src/dyn/) this module adds churn/stability
+// diagnostics: repair-latency percentiles, reassignments per mutation, and
+// the maintained-vs-oracle MaxSum ratio — the axes bench/replay_trace
+// reports over a mutation trace.
 
 #ifndef GEACC_EXP_METRICS_H_
 #define GEACC_EXP_METRICS_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/arrangement.h"
 #include "core/instance.h"
@@ -42,6 +49,59 @@ struct ArrangementMetrics {
 // Computes all metrics; `arrangement` must be sized for `instance`.
 ArrangementMetrics ComputeMetrics(const Instance& instance,
                                   const Arrangement& arrangement);
+
+// Collects latency samples and answers percentile queries (nearest-rank).
+// Samples are kept verbatim, so memory is O(count) — sized for traces of
+// millions of mutations, not for unbounded serving.
+class LatencyRecorder {
+ public:
+  void Record(double seconds);
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double total() const { return total_; }
+  double mean() const;
+  // Nearest-rank percentile, `p` ∈ [0, 100]; 0 with no samples.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  double total_ = 0.0;
+  // Percentile() sorts lazily; `sorted_` tracks whether samples_ is
+  // currently in order.
+  mutable bool sorted_ = true;
+};
+
+// Churn/stability summary of one trace replay (bench/replay_trace).
+struct ChurnMetrics {
+  int64_t mutations = 0;
+  int64_t reassignments = 0;       // arrangement adds + removes
+  int64_t full_resolves = 0;       // drift-triggered fallback solves
+  int64_t infeasible_epochs = 0;   // Validate() failures observed
+  int64_t budget_exhausted = 0;    // repairs cut short by the budget
+
+  // Per-mutation incremental repair latency.
+  double mean_repair_seconds = 0.0;
+  double p50_repair_seconds = 0.0;
+  double p90_repair_seconds = 0.0;
+  double p99_repair_seconds = 0.0;
+
+  // Mean wall time of a from-scratch fallback solve, sampled during the
+  // replay; 0 when never sampled.
+  double mean_full_solve_seconds = 0.0;
+
+  // Final maintained MaxSum vs a from-scratch solve of the final
+  // instance.
+  double final_max_sum = 0.0;
+  double oracle_max_sum = 0.0;
+
+  double ReassignmentsPerMutation() const;
+  // maintained / oracle; 1 when the oracle found nothing either.
+  double OracleRatio() const;
+  // full-solve mean / repair mean; 0 when either side is unsampled.
+  double SpeedupVsFullSolve() const;
+
+  std::string DebugString() const;
+};
 
 }  // namespace geacc
 

@@ -1,0 +1,231 @@
+#include "gen/trace_gen.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dyn/dynamic_instance.h"
+#include "gen/schedule.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+// Live-id pool with O(1) uniform sampling and removal (swap-remove plus a
+// slot→position mirror).
+class IdPool {
+ public:
+  void Add(int32_t id) {
+    if (static_cast<size_t>(id) >= position_.size()) {
+      position_.resize(id + 1, -1);
+    }
+    position_[id] = static_cast<int>(ids_.size());
+    ids_.push_back(id);
+  }
+
+  void Remove(int32_t id) {
+    const int pos = position_[id];
+    GEACC_CHECK_GE(pos, 0);
+    ids_[pos] = ids_.back();
+    position_[ids_[pos]] = pos;
+    ids_.pop_back();
+    position_[id] = -1;
+  }
+
+  int32_t Sample(Rng& rng) const {
+    GEACC_CHECK(!ids_.empty());
+    return ids_[rng.UniformInt(0, static_cast<int64_t>(ids_.size()) - 1)];
+  }
+
+  int size() const { return static_cast<int>(ids_.size()); }
+  const std::vector<int32_t>& ids() const { return ids_; }
+
+ private:
+  std::vector<int32_t> ids_;
+  std::vector<int> position_;  // slot id -> index in ids_, -1 if dead
+};
+
+std::vector<double> UniformAttributes(int dim, double max_attribute,
+                                      Rng& rng) {
+  std::vector<double> row(dim);
+  for (int j = 0; j < dim; ++j) row[j] = rng.UniformReal(0.0, max_attribute);
+  return row;
+}
+
+ScheduledEvent DrawScheduledEvent(const TraceGenConfig& config, Rng& rng) {
+  ScheduledEvent event;
+  event.start_hours = rng.UniformReal(0.0, config.horizon_hours);
+  event.end_hours =
+      event.start_hours + rng.UniformReal(config.min_duration_hours,
+                                          config.max_duration_hours);
+  event.x_km = rng.UniformReal(0.0, config.city_km);
+  event.y_km = rng.UniformReal(0.0, config.city_km);
+  return event;
+}
+
+}  // namespace
+
+MutationTrace GenerateTrace(const TraceGenConfig& config) {
+  GEACC_CHECK_GE(config.initial_events, 0);
+  GEACC_CHECK_GE(config.initial_users, 0);
+  GEACC_CHECK_GE(config.num_mutations, 0);
+  GEACC_CHECK_GE(config.max_event_capacity, 1);
+  GEACC_CHECK_GE(config.max_user_capacity, 1);
+  Rng rng(config.seed);
+
+  // ----- epoch-0 instance: a timetable plus a user population -----
+  std::vector<ScheduledEvent> schedule =
+      RandomSchedule(config.initial_events, config.horizon_hours,
+                     config.min_duration_hours, config.max_duration_hours,
+                     config.city_km, rng);
+  InstanceBuilder builder;
+  builder.SetSimilarity(
+      std::make_unique<EuclideanSimilarity>(config.max_attribute));
+  for (int v = 0; v < config.initial_events; ++v) {
+    builder.AddEvent(
+        UniformAttributes(config.dim, config.max_attribute, rng),
+        static_cast<int>(rng.UniformInt(1, config.max_event_capacity)));
+  }
+  for (int u = 0; u < config.initial_users; ++u) {
+    builder.AddUser(
+        UniformAttributes(config.dim, config.max_attribute, rng),
+        static_cast<int>(rng.UniformInt(1, config.max_user_capacity)));
+  }
+  const ConflictGraph initial_conflicts =
+      ConflictsFromSchedule(schedule, config.speed_kmph);
+  for (EventId v = 0; v < initial_conflicts.num_events(); ++v) {
+    for (const EventId w : initial_conflicts.ConflictsOf(v)) {
+      if (w > v) builder.AddConflict(v, w);
+    }
+  }
+
+  MutationTrace trace{builder.Build(), {}};
+
+  // ----- churn: generate against a live replica of the instance -----
+  DynamicInstance live(trace.initial);
+  IdPool live_events, live_users;
+  for (EventId v = 0; v < config.initial_events; ++v) live_events.Add(v);
+  for (UserId u = 0; u < config.initial_users; ++u) live_users.Add(u);
+
+  auto emit = [&](Mutation mutation) {
+    live.Apply(mutation);
+    trace.mutations.push_back(std::move(mutation));
+  };
+
+  enum {
+    kAddUser,
+    kRemoveUser,
+    kAddEvent,
+    kRemoveEvent,
+    kAddConflict,
+    kSetEventCapacity,
+    kSetUserCapacity,
+    kNumKinds
+  };
+  const double weights[kNumKinds] = {
+      config.w_add_user,           config.w_remove_user,
+      config.w_add_event,          config.w_remove_event,
+      config.w_add_conflict,       config.w_set_event_capacity,
+      config.w_set_user_capacity};
+
+  while (static_cast<int>(trace.mutations.size()) < config.num_mutations) {
+    // Mask off momentarily inapplicable kinds, then sample the mixture.
+    double applicable[kNumKinds];
+    double total = 0.0;
+    for (int k = 0; k < kNumKinds; ++k) {
+      bool ok = weights[k] > 0.0;
+      if (k == kRemoveUser || k == kSetUserCapacity) {
+        ok = ok && live_users.size() > 0;
+      }
+      if (k == kRemoveEvent || k == kSetEventCapacity) {
+        ok = ok && live_events.size() > 0;
+      }
+      if (k == kAddConflict) ok = ok && live_events.size() >= 2;
+      applicable[k] = ok ? weights[k] : 0.0;
+      total += applicable[k];
+    }
+    GEACC_CHECK_GT(total, 0.0) << "no applicable mutation kind";
+    double pick = rng.UniformReal(0.0, total);
+    int kind = 0;
+    while (kind + 1 < kNumKinds && pick >= applicable[kind]) {
+      pick -= applicable[kind];
+      ++kind;
+    }
+    if (applicable[kind] <= 0.0) continue;
+
+    switch (kind) {
+      case kAddUser: {
+        emit(Mutation::AddUser(
+            UniformAttributes(config.dim, config.max_attribute, rng),
+            static_cast<int>(rng.UniformInt(1, config.max_user_capacity))));
+        live_users.Add(live.user_slots() - 1);
+        break;
+      }
+      case kRemoveUser: {
+        const UserId u = live_users.Sample(rng);
+        emit(Mutation::RemoveUser(u));
+        live_users.Remove(u);
+        break;
+      }
+      case kAddEvent: {
+        const ScheduledEvent scheduled = DrawScheduledEvent(config, rng);
+        emit(Mutation::AddEvent(
+            UniformAttributes(config.dim, config.max_attribute, rng),
+            static_cast<int>(rng.UniformInt(1, config.max_event_capacity))));
+        const EventId v = live.event_slots() - 1;
+        live_events.Add(v);
+        if (static_cast<size_t>(v) >= schedule.size()) {
+          schedule.resize(v + 1);
+        }
+        schedule[v] = scheduled;
+        // The timetable decides who this event clashes with; emit the
+        // implied conflicts immediately (they may overshoot
+        // num_mutations rather than leave the structure half-applied).
+        for (const EventId w : live_events.ids()) {
+          if (w == v) continue;
+          if (EventsConflict(scheduled, schedule[w], config.speed_kmph)) {
+            emit(Mutation::AddConflict(v, w));
+          }
+        }
+        break;
+      }
+      case kRemoveEvent: {
+        const EventId v = live_events.Sample(rng);
+        emit(Mutation::RemoveEvent(v));
+        live_events.Remove(v);
+        break;
+      }
+      case kAddConflict: {
+        // Conflict churn: a uniformly sampled live, not-yet-conflicting
+        // pair. Bounded rejection; a saturated graph just skips a step.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const EventId a = live_events.Sample(rng);
+          const EventId b = live_events.Sample(rng);
+          if (a == b || live.conflicts().AreConflicting(a, b)) continue;
+          emit(Mutation::AddConflict(a, b));
+          break;
+        }
+        break;
+      }
+      case kSetEventCapacity: {
+        emit(Mutation::SetEventCapacity(
+            live_events.Sample(rng),
+            static_cast<int>(rng.UniformInt(1, config.max_event_capacity))));
+        break;
+      }
+      case kSetUserCapacity: {
+        emit(Mutation::SetUserCapacity(
+            live_users.Sample(rng),
+            static_cast<int>(rng.UniformInt(1, config.max_user_capacity))));
+        break;
+      }
+      default:
+        GEACC_CHECK(false) << "unreachable mutation kind";
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace geacc

@@ -1,0 +1,65 @@
+// Deterministic mutation-trace generator — the dynamic-workload
+// counterpart of gen/synthetic.
+//
+// Models an EBSN's churn as a mixture of processes over a living
+// timetable: user arrivals and departures, events being announced and
+// cancelled, conflict churn, and capacity adjustments. Events carry a
+// ScheduledEvent (start/end/venue, gen/schedule.h); when a new event is
+// announced, the trace emits the AddConflict mutations its timetable
+// implies against every live event, so replayed conflict structure stays
+// physically consistent. Extra "churn" conflicts (venue moves, speaker
+// overlaps) are sampled uniformly over live non-conflicting pairs.
+//
+// The generator replays its own mutations through a DynamicInstance while
+// generating, so every emitted mutation is valid at its epoch (ids alive,
+// capacities ≥ 1, conflicts between active events). Same config + seed ⇒
+// bit-identical trace.
+
+#ifndef GEACC_GEN_TRACE_GEN_H_
+#define GEACC_GEN_TRACE_GEN_H_
+
+#include <cstdint>
+
+#include "dyn/mutation.h"
+
+namespace geacc {
+
+struct TraceGenConfig {
+  // Epoch-0 instance.
+  int initial_events = 50;
+  int initial_users = 500;
+  int dim = 8;
+  double max_attribute = 100.0;  // T; attributes ~ Uniform[0, T]
+  int max_event_capacity = 20;   // c_v ~ Uniform[1, max]
+  int max_user_capacity = 4;     // c_u ~ Uniform[1, max]
+
+  // Mutation count; the trace may run a few past this so an announced
+  // event's implied conflicts are never truncated.
+  int num_mutations = 1000;
+
+  // Mixture weights (any non-negative scale; renormalized internally).
+  // Kinds that are momentarily inapplicable — removals from an empty
+  // side, conflict churn with < 2 live events — are skipped that step.
+  double w_add_user = 0.40;
+  double w_remove_user = 0.20;
+  double w_add_event = 0.10;
+  double w_remove_event = 0.05;
+  double w_add_conflict = 0.10;
+  double w_set_event_capacity = 0.10;
+  double w_set_user_capacity = 0.05;
+
+  // Timetable geometry for event conflicts (gen/schedule.h).
+  double horizon_hours = 48.0;
+  double min_duration_hours = 1.0;
+  double max_duration_hours = 3.0;
+  double city_km = 30.0;
+  double speed_kmph = 30.0;
+
+  uint64_t seed = 42;
+};
+
+MutationTrace GenerateTrace(const TraceGenConfig& config);
+
+}  // namespace geacc
+
+#endif  // GEACC_GEN_TRACE_GEN_H_

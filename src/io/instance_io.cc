@@ -6,57 +6,16 @@
 #include <sstream>
 #include <vector>
 
+#include "io/line_reader.h"
 #include "util/string_util.h"
 
 namespace geacc {
 namespace {
 
-// Tokenizing line reader that tracks line numbers for diagnostics.
-class LineReader {
- public:
-  explicit LineReader(std::istream& is) : is_(is) {}
-
-  // Next non-empty, non-comment ('#') line split on whitespace; empty
-  // vector at EOF.
-  std::vector<std::string> NextTokens() {
-    std::string line;
-    while (std::getline(is_, line)) {
-      ++line_number_;
-      const std::string_view trimmed = Trim(line);
-      if (trimmed.empty() || trimmed[0] == '#') continue;
-      std::istringstream tokens{std::string(trimmed)};
-      std::vector<std::string> result;
-      std::string token;
-      while (tokens >> token) result.push_back(token);
-      return result;
-    }
-    return {};
-  }
-
-  int line_number() const { return line_number_; }
-
- private:
-  std::istream& is_;
-  int line_number_ = 0;
-};
-
-std::string At(const LineReader& reader, const std::string& what) {
-  return StrFormat("line %d: %s", reader.line_number(), what.c_str());
-}
-
-bool Fail(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return false;
-}
-
-// Parses "<keyword> <count>"; returns -1 on mismatch.
-int64_t ParseCountLine(const std::vector<std::string>& tokens,
-                       const std::string& keyword) {
-  if (tokens.size() != 2 || tokens[0] != keyword) return -1;
-  const auto count = ParseInt(tokens[1]);
-  if (!count || *count < 0) return -1;
-  return *count;
-}
+using io_internal::At;
+using io_internal::Fail;
+using io_internal::LineReader;
+using io_internal::ParseCountLine;
 
 // Parses an entity line "<keyword> <capacity> <attr...>"; appends the
 // attributes and capacity. Returns false on malformed input.

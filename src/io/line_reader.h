@@ -1,0 +1,67 @@
+// Internal parsing plumbing shared by the io/ readers (instance_io,
+// trace_io): a tokenizing line reader with line-number diagnostics and the
+// small helpers the line-oriented formats are parsed with. Not part of the
+// public API.
+
+#ifndef GEACC_IO_LINE_READER_H_
+#define GEACC_IO_LINE_READER_H_
+
+#include <istream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace geacc::io_internal {
+
+// Tokenizing line reader that tracks line numbers for diagnostics.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  // Next non-empty, non-comment ('#') line split on whitespace; empty
+  // vector at EOF.
+  std::vector<std::string> NextTokens() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_number_;
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      std::istringstream tokens{std::string(trimmed)};
+      std::vector<std::string> result;
+      std::string token;
+      while (tokens >> token) result.push_back(token);
+      return result;
+    }
+    return {};
+  }
+
+  int line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  int line_number_ = 0;
+};
+
+inline std::string At(const LineReader& reader, const std::string& what) {
+  return StrFormat("line %d: %s", reader.line_number(), what.c_str());
+}
+
+inline bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Parses "<keyword> <count>"; returns -1 on mismatch.
+inline int64_t ParseCountLine(const std::vector<std::string>& tokens,
+                              const std::string& keyword) {
+  if (tokens.size() != 2 || tokens[0] != keyword) return -1;
+  const auto count = ParseInt(tokens[1]);
+  if (!count || *count < 0) return -1;
+  return *count;
+}
+
+}  // namespace geacc::io_internal
+
+#endif  // GEACC_IO_LINE_READER_H_

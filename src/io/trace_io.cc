@@ -1,0 +1,184 @@
+#include "io/trace_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "io/instance_io.h"
+#include "io/line_reader.h"
+#include "util/string_util.h"
+
+namespace geacc {
+namespace {
+
+using io_internal::At;
+using io_internal::Fail;
+using io_internal::LineReader;
+using io_internal::ParseCountLine;
+
+void WriteMutation(const Mutation& mutation, std::ostream& os) {
+  os << MutationKindName(mutation.kind);
+  switch (mutation.kind) {
+    case Mutation::Kind::kAddUser:
+    case Mutation::Kind::kAddEvent:
+      os << " " << mutation.capacity;
+      for (const double x : mutation.attributes) {
+        os << " " << StrFormat("%.17g", x);
+      }
+      break;
+    case Mutation::Kind::kRemoveUser:
+    case Mutation::Kind::kRemoveEvent:
+      os << " " << mutation.id;
+      break;
+    case Mutation::Kind::kAddConflict:
+      os << " " << mutation.id << " " << mutation.other;
+      break;
+    case Mutation::Kind::kSetEventCapacity:
+    case Mutation::Kind::kSetUserCapacity:
+      os << " " << mutation.id << " " << mutation.capacity;
+      break;
+  }
+  os << "\n";
+}
+
+// Parses the tokens after the keyword of an add_user/add_event line:
+// "<capacity> <attr...>" with exactly `dim` attributes.
+bool ParseAddOperands(const std::vector<std::string>& tokens, int dim,
+                      Mutation& mutation) {
+  if (tokens.size() != static_cast<size_t>(dim) + 2) return false;
+  const auto capacity = ParseInt(tokens[1]);
+  if (!capacity || *capacity < 1) return false;
+  mutation.capacity = static_cast<int>(*capacity);
+  mutation.attributes.resize(dim);
+  for (int j = 0; j < dim; ++j) {
+    const auto value = ParseDouble(tokens[2 + j]);
+    if (!value) return false;
+    mutation.attributes[j] = *value;
+  }
+  return true;
+}
+
+// Parses "<keyword> <id>" or "<keyword> <a> <b>" operand lists of
+// non-negative integers into `out` (size names the arity).
+bool ParseIntOperands(const std::vector<std::string>& tokens,
+                      std::vector<int64_t>& out) {
+  if (tokens.size() != out.size() + 1) return false;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const auto value = ParseInt(tokens[1 + i]);
+    if (!value || *value < 0) return false;
+    out[i] = *value;
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteTrace(const MutationTrace& trace, std::ostream& os) {
+  os << "geacc-trace v1\n";
+  WriteInstance(trace.initial, os);
+  os << "mutations " << trace.mutations.size() << "\n";
+  for (const Mutation& mutation : trace.mutations) {
+    WriteMutation(mutation, os);
+  }
+}
+
+std::optional<MutationTrace> ReadTrace(std::istream& is, std::string* error) {
+  {
+    LineReader header(is);
+    const auto tokens = header.NextTokens();
+    if (tokens.size() != 2 || tokens[0] != "geacc-trace" ||
+        tokens[1] != "v1") {
+      Fail(error, At(header, "expected header 'geacc-trace v1'"));
+      return std::nullopt;
+    }
+  }
+
+  std::string instance_error;
+  std::optional<Instance> initial = ReadInstance(is, &instance_error);
+  if (!initial) {
+    Fail(error, "embedded instance: " + instance_error);
+    return std::nullopt;
+  }
+  const int dim = initial->dim();
+
+  LineReader reader(is);
+  const int64_t num_mutations =
+      ParseCountLine(reader.NextTokens(), "mutations");
+  if (num_mutations < 0) {
+    Fail(error, At(reader, "expected 'mutations <count>'"));
+    return std::nullopt;
+  }
+
+  MutationTrace trace{std::move(*initial), {}};
+  trace.mutations.reserve(static_cast<size_t>(num_mutations));
+  for (int64_t i = 0; i < num_mutations; ++i) {
+    const auto tokens = reader.NextTokens();
+    if (tokens.empty()) {
+      Fail(error, At(reader, "unexpected end of mutation list"));
+      return std::nullopt;
+    }
+    const std::string& keyword = tokens[0];
+    Mutation mutation;
+    bool ok = false;
+    if (keyword == "add_user" || keyword == "add_event") {
+      mutation.kind = keyword == "add_user" ? Mutation::Kind::kAddUser
+                                            : Mutation::Kind::kAddEvent;
+      ok = ParseAddOperands(tokens, dim, mutation);
+    } else if (keyword == "remove_user" || keyword == "remove_event") {
+      mutation.kind = keyword == "remove_user"
+                          ? Mutation::Kind::kRemoveUser
+                          : Mutation::Kind::kRemoveEvent;
+      std::vector<int64_t> operands(1);
+      ok = ParseIntOperands(tokens, operands);
+      if (ok) mutation.id = static_cast<int32_t>(operands[0]);
+    } else if (keyword == "add_conflict") {
+      mutation.kind = Mutation::Kind::kAddConflict;
+      std::vector<int64_t> operands(2);
+      ok = ParseIntOperands(tokens, operands) && operands[0] != operands[1];
+      if (ok) {
+        mutation.id = static_cast<int32_t>(operands[0]);
+        mutation.other = static_cast<int32_t>(operands[1]);
+      }
+    } else if (keyword == "set_event_capacity" ||
+               keyword == "set_user_capacity") {
+      mutation.kind = keyword == "set_event_capacity"
+                          ? Mutation::Kind::kSetEventCapacity
+                          : Mutation::Kind::kSetUserCapacity;
+      std::vector<int64_t> operands(2);
+      ok = ParseIntOperands(tokens, operands) && operands[1] >= 1;
+      if (ok) {
+        mutation.id = static_cast<int32_t>(operands[0]);
+        mutation.capacity = static_cast<int>(operands[1]);
+      }
+    } else {
+      Fail(error, At(reader, "unknown mutation '" + keyword + "'"));
+      return std::nullopt;
+    }
+    if (!ok) {
+      Fail(error, At(reader, "malformed '" + keyword + "' mutation"));
+      return std::nullopt;
+    }
+    trace.mutations.push_back(std::move(mutation));
+  }
+  return trace;
+}
+
+bool WriteTraceToFile(const MutationTrace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteTrace(trace, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<MutationTrace> ReadTraceFromFile(const std::string& path,
+                                               std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return ReadTrace(is, error);
+}
+
+}  // namespace geacc

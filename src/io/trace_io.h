@@ -1,0 +1,50 @@
+// Plain-text serialization of mutation traces (dyn/mutation.h).
+//
+// A trace file embeds the epoch-0 instance in the instance_io format,
+// followed by the mutation list — one line per mutation, keyed by the
+// MutationKindName keywords:
+//
+//   geacc-trace v1
+//   geacc-instance v1
+//   ...                                     (instance_io block)
+//   mutations 5
+//   add_user <capacity> <attr_0> ... <attr_{d-1}>
+//   add_event <capacity> <attr_0> ... <attr_{d-1}>
+//   remove_user <id>
+//   remove_event <id>
+//   add_conflict <event_a> <event_b>
+//   set_event_capacity <event> <capacity>
+//   set_user_capacity <user> <capacity>
+//
+// Attributes round-trip bit-exactly (%.17g, as instance_io). The reader
+// validates structure only (kinds, arity, numeric ranges ≥ 0, capacities
+// ≥ 1, attribute arity = dim); whether an id is alive at its epoch is a
+// replay-time property checked by DynamicInstance. Like the other
+// readers, malformed input returns std::nullopt with a diagnostic rather
+// than aborting.
+
+#ifndef GEACC_IO_TRACE_IO_H_
+#define GEACC_IO_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "dyn/mutation.h"
+
+namespace geacc {
+
+void WriteTrace(const MutationTrace& trace, std::ostream& os);
+bool WriteTraceToFile(const MutationTrace& trace, const std::string& path);
+
+// On failure returns nullopt and, if `error` is non-null, stores a
+// human-readable reason including the offending line number (relative to
+// the start of the mutation section for mutation lines).
+std::optional<MutationTrace> ReadTrace(std::istream& is,
+                                       std::string* error = nullptr);
+std::optional<MutationTrace> ReadTraceFromFile(const std::string& path,
+                                               std::string* error = nullptr);
+
+}  // namespace geacc
+
+#endif  // GEACC_IO_TRACE_IO_H_

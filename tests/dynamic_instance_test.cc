@@ -1,0 +1,148 @@
+// Tests for the mutable epoch-stamped instance (src/dyn/).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/similarity.h"
+#include "dyn/dynamic_instance.h"
+#include "dyn/mutation.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+using geacc::testing::MakeTableInstance;
+
+DynamicInstance EmptyDynamic(int dim = 2) {
+  return DynamicInstance(dim, std::make_unique<DotSimilarity>());
+}
+
+TEST(DynamicInstance, StartsEmptyAtEpochZero) {
+  const DynamicInstance dynamic = EmptyDynamic(3);
+  EXPECT_EQ(dynamic.epoch(), 0);
+  EXPECT_EQ(dynamic.dim(), 3);
+  EXPECT_EQ(dynamic.event_slots(), 0);
+  EXPECT_EQ(dynamic.user_slots(), 0);
+  EXPECT_EQ(dynamic.num_active_events(), 0);
+  EXPECT_EQ(dynamic.num_active_users(), 0);
+}
+
+TEST(DynamicInstance, EveryMutationBumpsTheEpoch) {
+  DynamicInstance dynamic = EmptyDynamic();
+  const EventId v = dynamic.AddEvent({1.0, 0.0}, 2);
+  EXPECT_EQ(dynamic.epoch(), 1);
+  const UserId u = dynamic.AddUser({0.5, 0.5}, 1);
+  EXPECT_EQ(dynamic.epoch(), 2);
+  dynamic.SetEventCapacity(v, 5);
+  dynamic.SetUserCapacity(u, 3);
+  dynamic.RemoveUser(u);
+  EXPECT_EQ(dynamic.epoch(), 5);
+  EXPECT_EQ(dynamic.event_capacity(v), 5);
+}
+
+TEST(DynamicInstance, SlotIdsAreSequentialAndNeverReused) {
+  DynamicInstance dynamic = EmptyDynamic();
+  EXPECT_EQ(dynamic.AddUser({1.0, 0.0}, 1), 0);
+  EXPECT_EQ(dynamic.AddUser({0.0, 1.0}, 1), 1);
+  dynamic.RemoveUser(0);
+  // The freed slot stays tombstoned; the next add gets a fresh id.
+  EXPECT_EQ(dynamic.AddUser({1.0, 1.0}, 1), 2);
+  EXPECT_EQ(dynamic.user_slots(), 3);
+  EXPECT_EQ(dynamic.num_active_users(), 2);
+  EXPECT_FALSE(dynamic.user_active(0));
+  EXPECT_TRUE(dynamic.user_active(2));
+}
+
+TEST(DynamicInstance, SeedingFromAnInstanceKeepsEpochZero) {
+  const Instance seed = MakeTableInstance(
+      {{0.9, 0.1}, {0.4, 0.8}}, {2, 1}, {1, 2}, {{0, 1}});
+  const DynamicInstance dynamic(seed);
+  EXPECT_EQ(dynamic.epoch(), 0);
+  EXPECT_EQ(dynamic.num_active_events(), 2);
+  EXPECT_EQ(dynamic.num_active_users(), 2);
+  EXPECT_EQ(dynamic.event_capacity(0), 2);
+  EXPECT_EQ(dynamic.user_capacity(1), 2);
+  EXPECT_TRUE(dynamic.conflicts().AreConflicting(0, 1));
+  for (EventId v = 0; v < 2; ++v) {
+    for (UserId u = 0; u < 2; ++u) {
+      EXPECT_EQ(dynamic.Similarity(v, u), seed.Similarity(v, u));
+    }
+  }
+}
+
+TEST(DynamicInstance, RemoveEventDropsItsConflicts) {
+  DynamicInstance dynamic = EmptyDynamic();
+  const EventId a = dynamic.AddEvent({1.0, 0.0}, 1);
+  const EventId b = dynamic.AddEvent({0.0, 1.0}, 1);
+  const EventId c = dynamic.AddEvent({1.0, 1.0}, 1);
+  dynamic.AddConflict(a, b);
+  dynamic.AddConflict(a, c);
+  dynamic.AddConflict(b, c);
+  EXPECT_EQ(dynamic.conflicts().num_conflict_pairs(), 3);
+  dynamic.RemoveEvent(a);
+  EXPECT_EQ(dynamic.conflicts().num_conflict_pairs(), 1);
+  EXPECT_FALSE(dynamic.conflicts().AreConflicting(a, b));
+  EXPECT_TRUE(dynamic.conflicts().AreConflicting(b, c));
+}
+
+TEST(DynamicInstance, ApplyDispatchesAndReturnsNewSlotIds) {
+  DynamicInstance dynamic = EmptyDynamic();
+  EXPECT_EQ(dynamic.Apply(Mutation::AddEvent({1.0, 2.0}, 3)), 0);
+  EXPECT_EQ(dynamic.Apply(Mutation::AddUser({0.0, 1.0}, 2)), 0);
+  EXPECT_EQ(dynamic.Apply(Mutation::SetEventCapacity(0, 7)), -1);
+  EXPECT_EQ(dynamic.Apply(Mutation::RemoveUser(0)), -1);
+  EXPECT_EQ(dynamic.epoch(), 4);
+  EXPECT_EQ(dynamic.event_capacity(0), 7);
+  EXPECT_FALSE(dynamic.user_active(0));
+}
+
+TEST(DynamicInstance, SnapshotCompactsTombstonesAndRemapsConflicts) {
+  DynamicInstance dynamic = EmptyDynamic();
+  const EventId a = dynamic.AddEvent({1.0, 0.0}, 1);
+  const EventId b = dynamic.AddEvent({0.0, 1.0}, 2);
+  const EventId c = dynamic.AddEvent({1.0, 1.0}, 3);
+  dynamic.AddConflict(b, c);
+  dynamic.AddUser({2.0, 0.0}, 1);
+  dynamic.AddUser({0.0, 2.0}, 2);
+  dynamic.RemoveEvent(a);
+  dynamic.RemoveUser(0);
+
+  DynamicInstance::SnapshotMap map;
+  const Instance snapshot = dynamic.Snapshot(&map);
+  ASSERT_EQ(snapshot.num_events(), 2);
+  ASSERT_EQ(snapshot.num_users(), 1);
+  EXPECT_EQ(snapshot.Validate(), "");
+  // Dense ids preserve slot order: {b, c} and the surviving user.
+  EXPECT_EQ(map.dense_to_event, (std::vector<EventId>{b, c}));
+  EXPECT_EQ(map.event_to_dense[a], -1);
+  EXPECT_EQ(map.event_to_dense[b], 0);
+  EXPECT_EQ(map.user_to_dense[1], 0);
+  EXPECT_TRUE(snapshot.conflicts().AreConflicting(0, 1));
+  EXPECT_EQ(snapshot.event_capacity(1), 3);
+  EXPECT_EQ(snapshot.Similarity(0, 0), dynamic.Similarity(b, 1));
+}
+
+TEST(DynamicInstance, SnapshotOfEmptyInstanceIsEmpty) {
+  const DynamicInstance dynamic = EmptyDynamic();
+  const Instance snapshot = dynamic.Snapshot();
+  EXPECT_EQ(snapshot.num_events(), 0);
+  EXPECT_EQ(snapshot.num_users(), 0);
+}
+
+TEST(DynamicInstance, InvalidMutationsDie) {
+  DynamicInstance dynamic = EmptyDynamic(2);
+  const EventId v = dynamic.AddEvent({1.0, 0.0}, 1);
+  const UserId u = dynamic.AddUser({0.0, 1.0}, 1);
+  EXPECT_DEATH(dynamic.AddUser({1.0}, 1), "");          // wrong dim
+  EXPECT_DEATH(dynamic.AddUser({1.0, 2.0}, 0), "");     // capacity < 1
+  EXPECT_DEATH(dynamic.SetEventCapacity(v, 0), "");
+  EXPECT_DEATH(dynamic.AddConflict(v, v), "");          // self conflict
+  dynamic.RemoveUser(u);
+  EXPECT_DEATH(dynamic.RemoveUser(u), "");              // already removed
+  EXPECT_DEATH(dynamic.SetUserCapacity(u, 2), "");      // tombstoned
+}
+
+}  // namespace
+}  // namespace geacc

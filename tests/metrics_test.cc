@@ -93,5 +93,41 @@ TEST(MetricsDeathTest, SizeMismatchDies) {
   EXPECT_DEATH(ComputeMetrics(instance, wrong), "GEACC_CHECK failed");
 }
 
+TEST(LatencyRecorder, MeanAndPercentiles) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_EQ(recorder.mean(), 0.0);
+  EXPECT_EQ(recorder.Percentile(50), 0.0);
+  // Out-of-order inserts; nearest-rank over {1, 2, ..., 10} ms.
+  for (const double ms : {5., 1., 9., 3., 7., 10., 2., 8., 4., 6.}) {
+    recorder.Record(ms * 1e-3);
+  }
+  EXPECT_EQ(recorder.count(), 10);
+  EXPECT_NEAR(recorder.mean(), 5.5e-3, 1e-12);
+  EXPECT_NEAR(recorder.Percentile(0), 1e-3, 1e-12);
+  EXPECT_NEAR(recorder.Percentile(50), 5e-3, 1e-12);
+  EXPECT_NEAR(recorder.Percentile(90), 9e-3, 1e-12);
+  EXPECT_NEAR(recorder.Percentile(100), 10e-3, 1e-12);
+  recorder.Record(0.5e-3);  // stays correct after a post-query insert
+  EXPECT_NEAR(recorder.Percentile(0), 0.5e-3, 1e-12);
+}
+
+TEST(ChurnMetrics, DerivedRatios) {
+  ChurnMetrics churn;
+  EXPECT_EQ(churn.ReassignmentsPerMutation(), 0.0);
+  EXPECT_EQ(churn.OracleRatio(), 1.0);  // nothing to arrange either way
+  EXPECT_EQ(churn.SpeedupVsFullSolve(), 0.0);
+  churn.mutations = 200;
+  churn.reassignments = 500;
+  churn.final_max_sum = 95.0;
+  churn.oracle_max_sum = 100.0;
+  churn.mean_repair_seconds = 1e-4;
+  churn.mean_full_solve_seconds = 1e-2;
+  EXPECT_NEAR(churn.ReassignmentsPerMutation(), 2.5, 1e-12);
+  EXPECT_NEAR(churn.OracleRatio(), 0.95, 1e-12);
+  EXPECT_NEAR(churn.SpeedupVsFullSolve(), 100.0, 1e-9);
+  EXPECT_NE(churn.DebugString().find("ratio=0.95"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace geacc

@@ -40,6 +40,14 @@ TEST(OnlineArranger, DoubleArrivalDies) {
   EXPECT_DEATH(arranger.ArriveUser(0), "arrived twice");
 }
 
+TEST(OnlineArranger, OutOfRangeIdsDie) {
+  const Instance instance = MakeTableInstance({{0.5}}, {1}, {1}, {});
+  OnlineArranger arranger(instance);
+  EXPECT_DEATH(arranger.ArriveUser(1), "out of range");
+  EXPECT_DEATH(arranger.ArriveUser(-1), "out of range");
+  EXPECT_DEATH(arranger.remaining_event_capacity(1), "out of range");
+}
+
 TEST(OnlineGreedySolver, MatchesIncrementalEngine) {
   const Instance instance = SmallRandomInstance(6, 15, 0.3, 3, 4);
   const auto solver_result =

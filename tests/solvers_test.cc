@@ -30,6 +30,30 @@ TEST(SolverRegistry, CreatesEveryListedSolver) {
   EXPECT_EQ(CreateSolver("no-such-solver"), nullptr);
 }
 
+TEST(SolverRegistry, UnknownIndexOptionDies) {
+  SolverOptions options;
+  options.index = "btree";
+  EXPECT_DEATH(CreateSolver("greedy", options), "unknown index 'btree'");
+}
+
+TEST(SolverRegistry, UnknownFlowAlgorithmOptionDies) {
+  SolverOptions options;
+  options.flow_algorithm = "simplex";
+  EXPECT_DEATH(CreateSolver("mincostflow", options),
+               "unknown flow_algorithm 'simplex'");
+}
+
+TEST(SolverRegistry, ValidateSolverOptionsAcceptsAllKnownValues) {
+  for (const char* index : {"linear", "kdtree", "vafile", "idistance"}) {
+    for (const char* flow : {"dijkstra", "spfa"}) {
+      SolverOptions options;
+      options.index = index;
+      options.flow_algorithm = flow;
+      EXPECT_EQ(ValidateSolverOptions(options), "") << index << "/" << flow;
+    }
+  }
+}
+
 TEST(SolverRegistry, ExhaustiveForcesPruningOff) {
   const Instance instance = geacc::testing::PaperTableIExample();
   const auto exhaustive = CreateSolver("exhaustive");

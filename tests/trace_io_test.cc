@@ -1,0 +1,164 @@
+// Tests for the mutation-trace text serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dyn/dynamic_instance.h"
+#include "gen/trace_gen.h"
+#include "io/trace_io.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+MutationTrace SmallTrace(uint64_t seed = 3) {
+  TraceGenConfig config;
+  config.initial_events = 6;
+  config.initial_users = 25;
+  config.dim = 3;
+  config.num_mutations = 60;
+  config.seed = seed;
+  return GenerateTrace(config);
+}
+
+void ExpectMutationsEqual(const MutationTrace& a, const MutationTrace& b) {
+  ASSERT_EQ(a.mutations.size(), b.mutations.size());
+  for (size_t i = 0; i < a.mutations.size(); ++i) {
+    const Mutation& x = a.mutations[i];
+    const Mutation& y = b.mutations[i];
+    ASSERT_EQ(x.kind, y.kind) << "mutation " << i;
+    EXPECT_EQ(x.id, y.id) << "mutation " << i;
+    EXPECT_EQ(x.other, y.other) << "mutation " << i;
+    EXPECT_EQ(x.capacity, y.capacity) << "mutation " << i;
+    ASSERT_EQ(x.attributes.size(), y.attributes.size()) << "mutation " << i;
+    for (size_t j = 0; j < x.attributes.size(); ++j) {
+      EXPECT_EQ(x.attributes[j], y.attributes[j])
+          << "mutation " << i << " attr " << j << " not bit-exact";
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripGeneratedTrace) {
+  const MutationTrace original = SmallTrace();
+  std::stringstream stream;
+  WriteTrace(original, stream);
+  std::string error;
+  const auto loaded = ReadTrace(stream, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->initial.num_events(), original.initial.num_events());
+  EXPECT_EQ(loaded->initial.num_users(), original.initial.num_users());
+  ExpectMutationsEqual(original, *loaded);
+}
+
+TEST(TraceIo, RoundTripReplaysToTheSameFinalState) {
+  const MutationTrace original = SmallTrace(9);
+  std::stringstream stream;
+  WriteTrace(original, stream);
+  const auto loaded = ReadTrace(stream);
+  ASSERT_TRUE(loaded.has_value());
+
+  DynamicInstance a(original.initial);
+  for (const Mutation& m : original.mutations) a.Apply(m);
+  DynamicInstance b(loaded->initial);
+  for (const Mutation& m : loaded->mutations) b.Apply(m);
+  EXPECT_EQ(a.DebugString(), b.DebugString());
+  for (EventId v = 0; v < a.event_slots(); ++v) {
+    for (UserId u = 0; u < a.user_slots(); u += 3) {
+      ASSERT_EQ(a.Similarity(v, u), b.Similarity(v, u));
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripThroughFilesystem) {
+  const MutationTrace original = SmallTrace(4);
+  const std::string path = ::testing::TempDir() + "/geacc_trace.txt";
+  ASSERT_TRUE(WriteTraceToFile(original, path));
+  std::string error;
+  const auto loaded = ReadTraceFromFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectMutationsEqual(original, *loaded);
+}
+
+TEST(TraceIo, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(
+      ReadTraceFromFile("/nonexistent/geacc_trace.txt", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIo, EmptyMutationListIsValid) {
+  MutationTrace trace{geacc::testing::PaperTableIExample(), {}};
+  std::stringstream stream;
+  WriteTrace(trace, stream);
+  const auto loaded = ReadTrace(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->mutations.empty());
+}
+
+std::string ValidPrefix() {
+  MutationTrace trace{geacc::testing::PaperTableIExample(), {}};
+  std::stringstream stream;
+  WriteTrace(trace, stream);
+  const std::string text = stream.str();
+  // Strip the trailing "mutations 0\n" so tests can append their own list.
+  return text.substr(0, text.rfind("mutations"));
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream stream("geacc-trace v9\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("geacc-trace v1"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsBrokenEmbeddedInstance) {
+  std::stringstream stream("geacc-trace v1\ngeacc-instance v9\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("embedded instance"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsUnknownMutationKeyword) {
+  std::stringstream stream(ValidPrefix() + "mutations 1\nwarp_user 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("warp_user"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsWrongArity) {
+  std::stringstream stream(ValidPrefix() + "mutations 1\nadd_conflict 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("add_conflict"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsSelfConflict) {
+  std::stringstream stream(ValidPrefix() + "mutations 1\nadd_conflict 1 1\n");
+  EXPECT_FALSE(ReadTrace(stream).has_value());
+}
+
+TEST(TraceIo, RejectsNonPositiveCapacity) {
+  std::stringstream stream(
+      ValidPrefix() + "mutations 1\nset_user_capacity 0 0\n");
+  EXPECT_FALSE(ReadTrace(stream).has_value());
+}
+
+TEST(TraceIo, RejectsWrongAttributeArity) {
+  // PaperTableIExample has dim 5; add_user carries 2 attributes.
+  std::stringstream stream(
+      ValidPrefix() + "mutations 1\nadd_user 2 1.0 2.0\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("add_user"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsTruncatedMutationList) {
+  std::stringstream stream(ValidPrefix() + "mutations 2\nremove_user 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("end of mutation list"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geacc
