@@ -7,16 +7,25 @@
 //   --paper       full paper-scale parameters (defaults are sized so the
 //                 whole bench suite finishes in minutes on a laptop)
 //   --csv         additionally dump each table as CSV to stdout
+//   --json PATH   write a `geacc-bench v1` machine-readable report
+//                 (src/obs/bench_report.h) for CI perf baselines
 
 #ifndef GEACC_BENCH_BENCH_COMMON_H_
 #define GEACC_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/experiment.h"
+#include "obs/bench_report.h"
+#include "util/check.h"
 #include "util/flags.h"
+#include "util/memory.h"
 #include "util/string_util.h"
 
 namespace geacc::bench {
@@ -27,6 +36,7 @@ struct CommonFlags {
   std::string solvers;  // empty = bench-specific default
   bool paper = false;
   bool csv = false;
+  std::string json;  // empty = no report
   int threads = 1;
 
   void Register(FlagSet& flags) {
@@ -37,6 +47,8 @@ struct CommonFlags {
     flags.AddBool("paper", &paper,
                   "use full paper-scale parameters (slower)");
     flags.AddBool("csv", &csv, "also dump tables as CSV");
+    flags.AddString("json", &json,
+                    "write a geacc-bench v1 JSON report to this path");
     flags.AddInt("threads", &threads,
                  "parallel (point × rep) workers; wall times get noisy "
                  "above 1");
@@ -51,6 +63,102 @@ struct CommonFlags {
     }
     return list;
   }
+};
+
+// Fails fast (exit 1) when --threads requests parallelism a bench cannot
+// honor. Benches that drive RunSolver loops directly — rather than
+// RunSweep, which owns the worker pool — must call this right after
+// Parse() so the flag is never silently ignored.
+inline void RequireSerial(const CommonFlags& common, const char* bench) {
+  if (common.threads == 1) return;
+  std::fprintf(stderr,
+               "%s: --threads=%d is not supported: this bench runs its "
+               "solvers serially (use --threads 1, the default)\n",
+               bench, common.threads);
+  std::exit(1);
+}
+
+// Accumulates sweep results into a `geacc-bench v1` report and writes it
+// when --json was given. One context per binary; AddSweep() after each
+// RunSweep, AddPoint() for hand-rolled measurement loops, Write() last.
+class ReportContext {
+ public:
+  ReportContext(const std::string& bench, const FlagSet& flags,
+                const CommonFlags& common)
+      : common_(common) {
+    report_.bench = bench;
+    report_.git_rev = obs::GitRevision();
+    for (const auto& [name, value] : flags.Values()) {
+      report_.flags[name] = value;
+    }
+  }
+
+  // Appends one point per (sweep point × solver), averaged over reps.
+  // Labels are "<sweep title>/<x label>" so multi-sweep benches stay
+  // unambiguous in one report. VmHWM is the process high-water mark at
+  // call time (monotonic, so later sweeps subsume earlier ones).
+  void AddSweep(const SweepConfig& config, const SweepResult& result) {
+    const int64_t vm_hwm = static_cast<int64_t>(PeakRssBytes());
+    for (size_t p = 0; p < result.records.size(); ++p) {
+      for (size_t s = 0; s < result.records[p].size(); ++s) {
+        const auto& reps = result.records[p][s];
+        if (reps.empty()) continue;
+        obs::BenchPoint point;
+        point.label = config.title + "/" + result.x_labels[p];
+        point.solver = config.solvers[s];
+        point.vm_hwm_bytes = vm_hwm;
+        std::map<std::string, double> counter_sums;
+        std::map<std::string, obs::TimerStat> timer_sums;
+        for (const RunRecord& record : reps) {
+          point.wall_seconds += record.seconds;
+          point.cpu_seconds += record.cpu_seconds;
+          point.max_sum += record.max_sum;
+          for (const auto& [name, value] : record.counters) {
+            counter_sums[name] += static_cast<double>(value);
+          }
+          for (const auto& [name, stat] : record.timers) {
+            timer_sums[name].seconds += stat.seconds;
+            timer_sums[name].count += stat.count;
+          }
+        }
+        const double n = static_cast<double>(reps.size());
+        point.wall_seconds /= n;
+        point.cpu_seconds /= n;
+        point.max_sum /= n;
+        for (const auto& [name, sum] : counter_sums) {
+          point.counters[name] = static_cast<int64_t>(std::llround(sum / n));
+        }
+        for (const auto& [name, sum] : timer_sums) {
+          point.timers[name] = {sum.seconds / n,
+                                static_cast<int64_t>(std::llround(
+                                    static_cast<double>(sum.count) / n))};
+        }
+        report_.points.push_back(std::move(point));
+      }
+    }
+  }
+
+  // For benches that measure outside RunSweep. The caller fills
+  // everything except vm_hwm_bytes, which is stamped here.
+  void AddPoint(obs::BenchPoint point) {
+    point.vm_hwm_bytes = static_cast<int64_t>(PeakRssBytes());
+    report_.points.push_back(std::move(point));
+  }
+
+  // Writes the report if --json was given; CHECK-fails on I/O errors so a
+  // CI run can't silently produce no baseline.
+  void Write() const {
+    if (common_.json.empty()) return;
+    std::string error;
+    GEACC_CHECK(report_.WriteFile(common_.json, &error)) << error;
+    std::cout << "wrote geacc-bench v1 report: " << common_.json << "\n";
+  }
+
+  const obs::BenchReport& report() const { return report_; }
+
+ private:
+  const CommonFlags& common_;
+  obs::BenchReport report_;
 };
 
 inline void EmitSweep(const SweepConfig& config, const SweepResult& result,

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig3_cardinality_u", flags, common);
 
   geacc::SweepConfig config;
   config.title = "Fig 3 col 2: varying |U|";
@@ -35,5 +36,7 @@ int main(int argc, char** argv) {
 
   const geacc::SweepResult result = geacc::RunSweep(config, points);
   geacc::bench::EmitSweep(config, result, "|U|", common.csv);
+  report.AddSweep(config, result);
+  report.Write();
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig3_cardinality_v", flags, common);
 
   geacc::SweepConfig config;
   config.title = "Fig 3 col 1: varying |V|";
@@ -39,5 +40,7 @@ int main(int argc, char** argv) {
 
   const geacc::SweepResult result = geacc::RunSweep(config, points);
   geacc::bench::EmitSweep(config, result, "|V|", common.csv);
+  report.AddSweep(config, result);
+  report.Write();
   return 0;
 }

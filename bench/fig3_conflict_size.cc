@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig3_conflict_size", flags, common);
 
   geacc::SweepConfig config;
   config.title = "Fig 3 col 4: varying conflict density";
@@ -39,5 +40,7 @@ int main(int argc, char** argv) {
 
   const geacc::SweepResult result = geacc::RunSweep(config, points);
   geacc::bench::EmitSweep(config, result, "rho", common.csv);
+  report.AddSweep(config, result);
+  report.Write();
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig3_dimensionality", flags, common);
 
   geacc::SweepConfig config;
   config.title = "Fig 3 col 3: varying dimensionality d";
@@ -35,5 +36,7 @@ int main(int argc, char** argv) {
 
   const geacc::SweepResult result = geacc::RunSweep(config, points);
   geacc::bench::EmitSweep(config, result, "d", common.csv);
+  report.AddSweep(config, result);
+  report.Write();
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig4_capacity_u", flags, common);
 
   geacc::SweepConfig config;
   config.title = "Fig 4 col 2: varying max user capacity";
@@ -38,5 +39,7 @@ int main(int argc, char** argv) {
 
   const geacc::SweepResult result = geacc::RunSweep(config, points);
   geacc::bench::EmitSweep(config, result, "max c_u", common.csv);
+  report.AddSweep(config, result);
+  report.Write();
   return 0;
 }

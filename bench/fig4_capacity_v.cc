@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig4_capacity_v", flags, common);
 
   geacc::SweepConfig config;
   config.title = "Fig 4 col 1: varying max event capacity";
@@ -39,5 +40,7 @@ int main(int argc, char** argv) {
 
   const geacc::SweepResult result = geacc::RunSweep(config, points);
   geacc::bench::EmitSweep(config, result, "max c_v", common.csv);
+  report.AddSweep(config, result);
+  report.Write();
   return 0;
 }

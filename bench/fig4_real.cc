@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   flags.AddBool("normal_caps", &normal_caps,
                 "capacities ~ Normal(25,12.5)/(2,1) instead of Uniform");
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig4_real", flags, common);
 
   // Table II: dataset statistics for all three simulated cities.
   geacc::Table table_ii("Table II: simulated EBSN (Meetup-like) datasets");
@@ -75,5 +76,7 @@ int main(int argc, char** argv) {
 
   const geacc::SweepResult result = geacc::RunSweep(config, points);
   geacc::bench::EmitSweep(config, result, "rho", common.csv);
+  report.AddSweep(config, result);
+  report.Write();
   return 0;
 }

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   common.Register(flags);
   flags.AddInt("max_cu", &max_cu, "user capacity upper bound (U[1,max_cu])");
   flags.Parse(argc, argv);
+  geacc::bench::RequireSerial(common, "fig5_effectiveness");
+  geacc::bench::ReportContext report("fig5_effectiveness", flags, common);
   const int reps = common.paper ? std::max(common.reps, 5) : common.reps;
 
   const std::vector<std::string> solver_names =
@@ -44,6 +46,8 @@ int main(int argc, char** argv) {
   for (const double density : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     std::vector<double> sums(solver_names.size(), 0.0);
     std::vector<double> times(solver_names.size(), 0.0);
+    std::vector<double> cpus(solver_names.size(), 0.0);
+    std::vector<std::map<std::string, int64_t>> counters(solver_names.size());
     double optimal_sum = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
       geacc::SyntheticConfig synth;
@@ -60,6 +64,10 @@ int main(int argc, char** argv) {
         const geacc::RunRecord record = geacc::RunSolver(*solver, instance);
         sums[s] += record.max_sum;
         times[s] += record.seconds;
+        cpus[s] += record.cpu_seconds;
+        for (const auto& [counter, value] : record.counters) {
+          counters[s][counter] += value;
+        }
         if (solver_names[s] == "prune") optimal_sum += record.max_sum;
       }
     }
@@ -77,6 +85,19 @@ int main(int argc, char** argv) {
     max_sum_table.AddRow(sum_row);
     time_table.AddRow(time_row);
     ratio_table.AddRow(ratio_row);
+
+    for (size_t s = 0; s < solver_names.size(); ++s) {
+      geacc::obs::BenchPoint point;
+      point.label = "rho=" + label;
+      point.solver = solver_names[s];
+      point.wall_seconds = times[s] / reps;
+      point.cpu_seconds = cpus[s] / reps;
+      point.max_sum = sums[s] / reps;
+      for (const auto& [counter, total] : counters[s]) {
+        point.counters[counter] = total / reps;
+      }
+      report.AddPoint(std::move(point));
+    }
   }
 
   max_sum_table.Print(std::cout);
@@ -86,5 +107,6 @@ int main(int argc, char** argv) {
     max_sum_table.WriteCsv(std::cout);
     time_table.WriteCsv(std::cout);
   }
+  report.Write();
   return 0;
 }

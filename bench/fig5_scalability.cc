@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::ReportContext report("fig5_scalability", flags, common);
 
   const std::vector<int> event_counts =
       common.paper ? std::vector<int>{100, 200, 500, 1000}
@@ -53,6 +54,8 @@ int main(int argc, char** argv) {
 
     const geacc::SweepResult result = geacc::RunSweep(config, points);
     geacc::bench::EmitSweep(config, result, "|U|", common.csv);
+    report.AddSweep(config, result);
   }
+  report.Write();
   return 0;
 }

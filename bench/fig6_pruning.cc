@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   flags.AddInt("max_invocations", &max_invocations,
                "safety cap on exhaustive Search invocations (0 = unlimited)");
   flags.Parse(argc, argv);
+  geacc::bench::RequireSerial(common, "fig6_pruning");
+  geacc::bench::ReportContext report("fig6_pruning", flags, common);
   if (common.paper) max_invocations = 0;
 
   // ---- Fig 6a: mean prune depth for (5,10) and (5,15). ----
@@ -105,8 +107,11 @@ int main(int argc, char** argv) {
 
     // 6b–d on (5,10), prune vs exhaustive.
     double prune_time = 0.0, exhaustive_time = 0.0;
+    double prune_cpu = 0.0, exhaustive_cpu = 0.0;
+    double prune_sum = 0.0, exhaustive_sum = 0.0;
     double prune_complete = 0.0, exhaustive_complete = 0.0;
     double prune_invocations = 0.0, exhaustive_invocations = 0.0;
+    std::map<std::string, int64_t> prune_counters, exhaustive_counters;
     for (int rep = 0; rep < common.reps; ++rep) {
       const geacc::Instance instance =
           make_instance({5, 10}, density, rep);
@@ -114,11 +119,21 @@ int main(int argc, char** argv) {
       const geacc::RunRecord e = geacc::RunSolver(*exhaustive, instance);
       prune_time += p.seconds;
       exhaustive_time += e.seconds;
+      prune_cpu += p.cpu_seconds;
+      exhaustive_cpu += e.cpu_seconds;
+      prune_sum += p.max_sum;
+      exhaustive_sum += e.max_sum;
       prune_complete += static_cast<double>(p.stats.complete_searches);
       exhaustive_complete += static_cast<double>(e.stats.complete_searches);
       prune_invocations += static_cast<double>(p.stats.search_invocations);
       exhaustive_invocations +=
           static_cast<double>(e.stats.search_invocations);
+      for (const auto& [name, value] : p.counters) {
+        prune_counters[name] += value;
+      }
+      for (const auto& [name, value] : e.counters) {
+        exhaustive_counters[name] += value;
+      }
       any_truncated |= e.stats.search_truncated;
     }
     const double n = common.reps;
@@ -130,6 +145,27 @@ int main(int argc, char** argv) {
     invocation_table.AddRow(
         {label, geacc::StrFormat("%.0f", prune_invocations / n),
          geacc::StrFormat("%.0f", exhaustive_invocations / n)});
+
+    struct Series {
+      const char* solver;
+      double wall, cpu, sum;
+      const std::map<std::string, int64_t>* counters;
+    };
+    for (const Series& series :
+         {Series{"prune", prune_time, prune_cpu, prune_sum, &prune_counters},
+          Series{"exhaustive", exhaustive_time, exhaustive_cpu,
+                 exhaustive_sum, &exhaustive_counters}}) {
+      geacc::obs::BenchPoint point;
+      point.label = "rho=" + label;
+      point.solver = series.solver;
+      point.wall_seconds = series.wall / n;
+      point.cpu_seconds = series.cpu / n;
+      point.max_sum = series.sum / n;
+      for (const auto& [counter, total] : *series.counters) {
+        point.counters[counter] = total / common.reps;
+      }
+      report.AddPoint(std::move(point));
+    }
   }
 
   depth_table.Print(std::cout);
@@ -147,5 +183,6 @@ int main(int argc, char** argv) {
     complete_table.WriteCsv(std::cout);
     invocation_table.WriteCsv(std::cout);
   }
+  report.Write();
   return 0;
 }

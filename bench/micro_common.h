@@ -1,0 +1,100 @@
+// Custom main for the micro_* google-benchmark binaries.
+//
+// Replaces benchmark::benchmark_main so every micro bench also accepts
+//   --json PATH   write a `geacc-bench v1` report (one point per run)
+// alongside the usual google-benchmark flags (--benchmark_filter etc.).
+// Each TU defines its benchmarks as usual and ends with
+//   GEACC_MICRO_MAIN("micro_foo");
+
+#ifndef GEACC_BENCH_MICRO_COMMON_H_
+#define GEACC_BENCH_MICRO_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "util/check.h"
+#include "util/memory.h"
+
+namespace geacc::bench {
+
+// Prints the usual console table while keeping a copy of every
+// per-iteration run for the JSON report.
+class CollectingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        collected_.push_back(run);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Run>& collected() const { return collected_; }
+
+ private:
+  std::vector<Run> collected_;
+};
+
+// Pulls --json PATH (or --json=PATH) out of argv — google-benchmark
+// rejects flags it does not know — then runs the registered benchmarks
+// and, when requested, writes the report. Returns the process exit code.
+inline int MicroBenchMain(const std::string& bench, int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+
+  CollectingConsoleReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (json_path.empty()) return 0;
+  obs::BenchReport report;
+  report.bench = bench;
+  report.git_rev = obs::GitRevision();
+  report.flags["json"] = json_path;
+  const int64_t vm_hwm = static_cast<int64_t>(PeakRssBytes());
+  for (const auto& run : reporter.collected()) {
+    obs::BenchPoint point;
+    point.label = run.benchmark_name();
+    point.solver = "micro";  // schema slot; micro benches have no solver axis
+    const double n =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    point.wall_seconds = run.real_accumulated_time / n;
+    point.cpu_seconds = run.cpu_accumulated_time / n;
+    point.vm_hwm_bytes = vm_hwm;
+    point.counters["iterations"] = static_cast<int64_t>(run.iterations);
+    report.points.push_back(std::move(point));
+  }
+  std::string error;
+  GEACC_CHECK(report.WriteFile(json_path, &error)) << error;
+  std::cout << "wrote geacc-bench v1 report: " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace geacc::bench
+
+#define GEACC_MICRO_MAIN(bench_name)                             \
+  int main(int argc, char** argv) {                              \
+    return geacc::bench::MicroBenchMain(bench_name, argc, argv); \
+  }
+
+#endif  // GEACC_BENCH_MICRO_COMMON_H_

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "flow/graph.h"
 #include "flow/min_cost_flow.h"
 #include "util/rng.h"
@@ -83,3 +85,5 @@ BENCHMARK(BM_ProfitableSweep)->Args({10, 100})->Args({20, 200});
 
 }  // namespace
 }  // namespace geacc
+
+GEACC_MICRO_MAIN("micro_flow")

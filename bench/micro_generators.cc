@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include "gen/distributions.h"
 #include "gen/ebsn.h"
 #include "gen/synthetic.h"
@@ -55,3 +57,5 @@ BENCHMARK(BM_ConflictGraphRandom)->Args({100, 25})->Args({500, 25})
 
 }  // namespace
 }  // namespace geacc
+
+GEACC_MICRO_MAIN("micro_generators")

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include <memory>
 #include <vector>
 
@@ -44,3 +46,5 @@ const bool kRegistered = (RegisterAll(), true);
 
 }  // namespace
 }  // namespace geacc
+
+GEACC_MICRO_MAIN("micro_similarity")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.h"
+
 #include <memory>
 #include <string>
 
@@ -85,3 +87,5 @@ const bool kRegistered = (RegisterAll(), true);
 
 }  // namespace
 }  // namespace geacc
+
+GEACC_MICRO_MAIN("micro_solvers")

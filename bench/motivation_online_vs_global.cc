@@ -17,12 +17,16 @@
 #include "gen/synthetic.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 int main(int argc, char** argv) {
   geacc::bench::CommonFlags common;
   geacc::FlagSet flags;
   common.Register(flags);
   flags.Parse(argc, argv);
+  geacc::bench::RequireSerial(common, "motivation_online_vs_global");
+  geacc::bench::ReportContext report("motivation_online_vs_global", flags,
+                                     common);
 
   const std::vector<std::string> solver_names = common.SolverList(
       {"online-greedy", "greedy", "mincostflow", "random-u"});
@@ -40,6 +44,9 @@ int main(int argc, char** argv) {
     std::vector<double> sums(solver_names.size(), 0.0);
     std::vector<double> covs(solver_names.size(), 0.0);
     std::vector<double> jains(solver_names.size(), 0.0);
+    std::vector<double> times(solver_names.size(), 0.0);
+    std::vector<double> cpus(solver_names.size(), 0.0);
+    std::vector<std::map<std::string, int64_t>> counters(solver_names.size());
     for (int rep = 0; rep < common.reps; ++rep) {
       geacc::SyntheticConfig synth;  // Table III defaults
       synth.conflict_density = density;
@@ -47,7 +54,15 @@ int main(int argc, char** argv) {
       const geacc::Instance instance = geacc::GenerateSynthetic(synth);
       for (size_t s = 0; s < solver_names.size(); ++s) {
         const auto solver = geacc::CreateSolver(solver_names[s]);
+        const geacc::obs::StatsScope scope;
+        const geacc::WallTimer wall;
+        const geacc::CpuTimer cpu;
         const auto result = solver->Solve(instance);
+        times[s] += wall.Seconds();
+        cpus[s] += cpu.Seconds();
+        for (const auto& [counter, value] : scope.Harvest().counters) {
+          counters[s][counter] += value;
+        }
         GEACC_CHECK(result.arrangement.Validate(instance).empty());
         const geacc::ArrangementMetrics metrics =
             geacc::ComputeMetrics(instance, result.arrangement);
@@ -67,6 +82,19 @@ int main(int argc, char** argv) {
     max_sum.AddRow(sum_row);
     coverage.AddRow(cov_row);
     fairness.AddRow(jain_row);
+
+    for (size_t s = 0; s < solver_names.size(); ++s) {
+      geacc::obs::BenchPoint point;
+      point.label = "rho=" + label;
+      point.solver = solver_names[s];
+      point.wall_seconds = times[s] / common.reps;
+      point.cpu_seconds = cpus[s] / common.reps;
+      point.max_sum = sums[s] / common.reps;
+      for (const auto& [counter, total] : counters[s]) {
+        point.counters[counter] = total / common.reps;
+      }
+      report.AddPoint(std::move(point));
+    }
   }
 
   max_sum.Print(std::cout);
@@ -77,5 +105,6 @@ int main(int argc, char** argv) {
     coverage.WriteCsv(std::cout);
     fairness.WriteCsv(std::cout);
   }
+  report.Write();
   return 0;
 }

@@ -23,8 +23,11 @@
 #include "exp/metrics.h"
 #include "gen/trace_gen.h"
 #include "io/trace_io.h"
+#include "obs/bench_report.h"
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/flags.h"
+#include "util/memory.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -37,6 +40,7 @@ int main(int argc, char** argv) {
   std::string index = "linear", fallback = "greedy";
   int check_every = 1, sample_full_every = 500;
   bool oracle = true, csv = false;
+  std::string json_path;
 
   geacc::FlagSet flags;
   flags.AddString("trace", &trace_path,
@@ -60,6 +64,8 @@ int main(int argc, char** argv) {
   flags.AddBool("oracle", &oracle,
                 "solve the final instance from scratch for comparison");
   flags.AddBool("csv", &csv, "also dump the summary as CSV");
+  flags.AddString("json", &json_path,
+                  "write a geacc-bench v1 JSON report to this path");
   flags.Parse(argc, argv);
 
   std::optional<geacc::MutationTrace> trace;
@@ -95,6 +101,9 @@ int main(int argc, char** argv) {
 
   geacc::LatencyRecorder repairs, full_solves;
   geacc::ChurnMetrics churn;
+  const geacc::obs::StatsScope replay_scope;
+  const geacc::WallTimer replay_wall;
+  const geacc::CpuTimer replay_cpu;
   for (size_t i = 0; i < trace->mutations.size(); ++i) {
     const int64_t resolves_before = arranger.stats().full_resolves;
     arranger.Apply(trace->mutations[i]);
@@ -125,6 +134,10 @@ int main(int argc, char** argv) {
       GEACC_CHECK(result.arrangement.Validate(snapshot).empty());
     }
   }
+
+  const double replay_wall_seconds = replay_wall.Seconds();
+  const double replay_cpu_seconds = replay_cpu.Seconds();
+  const geacc::obs::StatsSnapshot replay_stats = replay_scope.Harvest();
 
   const geacc::RepairStats& stats = arranger.stats();
   churn.mutations = stats.mutations;
@@ -184,5 +197,30 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
   if (csv) table.WriteCsv(std::cout);
+
+  if (!json_path.empty()) {
+    geacc::obs::BenchReport report;
+    report.bench = "replay_trace";
+    report.git_rev = geacc::obs::GitRevision();
+    for (const auto& [name, value] : flags.Values()) {
+      report.flags[name] = value;
+    }
+    // One point covering the whole replay (the sampled full solves
+    // included): counters are the dyn.* / solver deltas over the loop.
+    geacc::obs::BenchPoint point;
+    point.label =
+        geacc::StrFormat("replay/%zu-mutations", trace->mutations.size());
+    point.solver = fallback;
+    point.wall_seconds = replay_wall_seconds;
+    point.cpu_seconds = replay_cpu_seconds;
+    point.vm_hwm_bytes = static_cast<int64_t>(geacc::PeakRssBytes());
+    point.max_sum = churn.final_max_sum;
+    point.counters = replay_stats.counters;
+    point.timers = replay_stats.timers;
+    report.points.push_back(std::move(point));
+    std::string error;
+    GEACC_CHECK(report.WriteFile(json_path, &error)) << error;
+    std::cout << "wrote geacc-bench v1 report: " << json_path << "\n";
+  }
   return churn.infeasible_epochs == 0 ? 0 : 1;
 }

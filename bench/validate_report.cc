@@ -1,0 +1,49 @@
+// Validates a `geacc-bench v1` report produced by any bench's --json flag.
+// Exit 0 iff the file parses and matches the schema; used by CI to smoke-
+// test the report pipeline.
+//
+//   build/bench/validate_report out.json
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_report.h"
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s REPORT.json\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  geacc::obs::JsonValue json;
+  std::string error;
+  if (!geacc::obs::JsonValue::Parse(buffer.str(), &json, &error)) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (!geacc::obs::ValidateBenchReport(json, &error)) {
+    std::fprintf(stderr, "%s: schema violation: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+
+  geacc::obs::BenchReport report;
+  if (!report.FromJson(json, &error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid geacc-bench v%d report — bench '%s', rev %s, %zu "
+              "point(s)\n",
+              argv[1], geacc::obs::kBenchReportVersion, report.bench.c_str(),
+              report.git_rev.c_str(), report.points.size());
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/stats.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -66,6 +67,7 @@ class BruteForce {
     // Branch: include, if feasible.
     if (event_capacity_[pair.v] > 0 && user_capacity_[pair.u] > 0 &&
         !Conflicts(pair.v, pair.u)) {
+      ++stats_->branches_matched;
       --event_capacity_[pair.v];
       --user_capacity_[pair.u];
       user_events_[pair.u].push_back(pair.v);
@@ -109,6 +111,10 @@ SolveResult BruteForceSolver::Solve(const Instance& instance) const {
   SolverStats stats;
   BruteForce search(instance, options_, &stats);
   Arrangement best = search.Run();
+  // Flushed once per solve; the recursion stays counter-free.
+  GEACC_STATS_ADD("bruteforce.nodes_visited", stats.search_invocations);
+  GEACC_STATS_ADD("bruteforce.complete_searches", stats.complete_searches);
+  GEACC_STATS_ADD("bruteforce.branches_matched", stats.branches_matched);
   stats.wall_seconds = timer.Seconds();
   return {std::move(best), stats};
 }

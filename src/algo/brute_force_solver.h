@@ -6,6 +6,12 @@
 // purpose is cross-checking: Prune-GEACC and this solver are implemented
 // independently, so agreement on random instances is strong evidence both
 // are correct.
+//
+// Guarantee: exact (full enumeration). Complexity: O(2^P) over the P
+// positive-similarity pairs with no pruning beyond feasibility — keep
+// instances tiny. Thread-safety: Solve() is const and re-entrant.
+// Counters reported: bruteforce.nodes_visited,
+// bruteforce.complete_searches, bruteforce.branches_matched.
 
 #ifndef GEACC_ALGO_BRUTE_FORCE_SOLVER_H_
 #define GEACC_ALGO_BRUTE_FORCE_SOLVER_H_

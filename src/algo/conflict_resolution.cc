@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/stats.h"
 #include "util/check.h"
 
 namespace geacc {
@@ -29,6 +30,8 @@ std::vector<EventId> GreedySelectNonConflicting(
     }
     if (ok) selected.push_back(v);
   }
+  GEACC_STATS_ADD("resolve.greedy_evictions",
+                  static_cast<int64_t>(candidates.size() - selected.size()));
   return selected;
 }
 
@@ -78,6 +81,9 @@ std::vector<EventId> ExactSelectNonConflicting(
   for (int i = 0; i < n; ++i) {
     if (best_subset & (1u << i)) selected.push_back(candidates[i]);
   }
+  GEACC_STATS_ADD("resolve.exact_evictions",
+                  static_cast<int64_t>(candidates.size() - selected.size()));
+  GEACC_STATS_ADD("resolve.exact_subsets_scanned", limit);
   return selected;
 }
 

@@ -5,6 +5,12 @@
 // conflict subgraph (NP-hard), so Algorithm 1 lines 9–14 pick greedily:
 // scan the user's events in non-increasing similarity and keep each event
 // that conflicts with nothing kept so far.
+//
+// Complexity: O(k log k + k²) for a user with k tentative events (sort
+// plus pairwise conflict checks); the exact variant is O(2^k · k) and
+// capped by its caller. Thread-safety: free functions with no shared
+// state. Counters reported: resolve.greedy_evictions,
+// resolve.exact_evictions, resolve.exact_subsets_scanned.
 
 #ifndef GEACC_ALGO_CONFLICT_RESOLUTION_H_
 #define GEACC_ALGO_CONFLICT_RESOLUTION_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "index/knn_index.h"
+#include "obs/stats.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -86,6 +87,11 @@ SolveResult GreedySolver::Solve(const Instance& instance) const {
     return false;
   };
 
+  // Candidates a cursor skipped because they were already pushed or had
+  // become infeasible (lazy re-insert work, batched and flushed below).
+  int64_t cursor_skips = 0;
+  int64_t matches = 0;
+
   auto push_pair = [&](EventId v, UserId u, double similarity) {
     if (!state.pushed.insert(PairKey(v, u)).second) return;  // already in H
     state.heap.push({similarity, v, u});
@@ -103,10 +109,15 @@ SolveResult GreedySolver::Solve(const Instance& instance) const {
       if (!next) return;                     // v is a finished node
       if (next->similarity <= 0.0) return;   // all later NNs also ≤ 0
       const UserId u = next->id;
-      if (state.pushed.contains(PairKey(v, u))) continue;  // visited
+      if (state.pushed.contains(PairKey(v, u))) {
+        ++cursor_skips;  // visited
+        continue;
+      }
       if (check_constraints) {
-        if (state.user_capacity[u] <= 0) continue;
-        if (conflicts_with_matched(v, u)) continue;
+        if (state.user_capacity[u] <= 0 || conflicts_with_matched(v, u)) {
+          ++cursor_skips;
+          continue;
+        }
       }
       push_pair(v, u, next->similarity);
       return;
@@ -119,36 +130,52 @@ SolveResult GreedySolver::Solve(const Instance& instance) const {
       if (!next) return;
       if (next->similarity <= 0.0) return;
       const EventId v = next->id;
-      if (state.pushed.contains(PairKey(v, u))) continue;
+      if (state.pushed.contains(PairKey(v, u))) {
+        ++cursor_skips;
+        continue;
+      }
       if (check_constraints) {
-        if (state.event_capacity[v] <= 0) continue;
-        if (conflicts_with_matched(v, u)) continue;
+        if (state.event_capacity[v] <= 0 || conflicts_with_matched(v, u)) {
+          ++cursor_skips;
+          continue;
+        }
       }
       push_pair(v, u, next->similarity);
       return;
     }
   };
 
-  // Initialization (lines 1–9): each node contributes its first NN.
-  for (EventId v = 0; v < num_events; ++v) advance_event(v, false);
-  for (UserId u = 0; u < num_users; ++u) advance_user(u, false);
-
-  // Iteration (lines 11–23).
-  while (!state.heap.empty()) {
-    const PairEntry top = state.heap.top();
-    state.heap.pop();
-    ++stats.heap_pops;
-    const EventId v = top.v;
-    const UserId u = top.u;
-    if (state.event_capacity[v] > 0 && state.user_capacity[u] > 0 &&
-        !conflicts_with_matched(v, u)) {
-      matching.Add(v, u);
-      --state.event_capacity[v];
-      --state.user_capacity[u];
-    }
-    if (state.event_capacity[v] > 0) advance_event(v, true);
-    if (state.user_capacity[u] > 0) advance_user(u, true);
+  {
+    // Initialization (lines 1–9): each node contributes its first NN.
+    GEACC_PHASE_TIMER("greedy.init");
+    for (EventId v = 0; v < num_events; ++v) advance_event(v, false);
+    for (UserId u = 0; u < num_users; ++u) advance_user(u, false);
   }
+
+  {
+    // Iteration (lines 11–23).
+    GEACC_PHASE_TIMER("greedy.iterate");
+    while (!state.heap.empty()) {
+      const PairEntry top = state.heap.top();
+      state.heap.pop();
+      ++stats.heap_pops;
+      const EventId v = top.v;
+      const UserId u = top.u;
+      if (state.event_capacity[v] > 0 && state.user_capacity[u] > 0 &&
+          !conflicts_with_matched(v, u)) {
+        matching.Add(v, u);
+        ++matches;
+        --state.event_capacity[v];
+        --state.user_capacity[u];
+      }
+      if (state.event_capacity[v] > 0) advance_event(v, true);
+      if (state.user_capacity[u] > 0) advance_user(u, true);
+    }
+  }
+  GEACC_STATS_ADD("greedy.heap_pushes", stats.heap_pushes);
+  GEACC_STATS_ADD("greedy.heap_pops", stats.heap_pops);
+  GEACC_STATS_ADD("greedy.cursor_skips", cursor_skips);
+  GEACC_STATS_ADD("greedy.matches", matches);
 
   stats.logical_peak_bytes =
       VectorBytes(state.event_capacity) + VectorBytes(state.user_capacity) +

@@ -12,6 +12,16 @@
 //
 // Approximation ratio: 1 / (1 + max c_u) (Theorem 3). In practice it beats
 // MinCostFlow-GEACC on every metric — the paper's headline result.
+//
+// Complexity: O(M log M + C·I) where M ≤ Σc_v + Σc_u is the number of
+// heap operations (each accepted pair frees at most two refills), C the
+// cursor advances, and I the per-advance index cost (O(|U| / batch) for
+// the linear cursor) — near-linear in practice (Fig. 5 a–b). Memory is
+// O(|V| + |U|) beyond the index.
+//
+// Thread-safety: Solve() is const and re-entrant; all search state is
+// per-call. Counters reported: greedy.heap_pushes/heap_pops,
+// greedy.cursor_skips, greedy.matches (+ index.* from the cursors).
 
 #ifndef GEACC_ALGO_GREEDY_SOLVER_H_
 #define GEACC_ALGO_GREEDY_SOLVER_H_

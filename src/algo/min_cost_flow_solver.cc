@@ -6,6 +6,7 @@
 #include "flow/graph.h"
 #include "flow/min_cost_flow.h"
 #include "flow/spfa_min_cost_flow.h"
+#include "obs/stats.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -53,6 +54,7 @@ Arrangement MinCostFlowSolver::SolveWithoutConflicts(
   // k, and MaxSum(M_k) = k − cost(k). Unit costs are non-decreasing, so the
   // sweep stops at the first path that no longer improves, leaving the flow
   // at the Δ with maximum MaxSum.
+  GEACC_PHASE_TIMER("mcf.flow_sweep");
   int64_t best_delta = 0;
   uint64_t engine_bytes = 0;
   if (options_.flow_algorithm == "spfa") {
@@ -82,6 +84,8 @@ Arrangement MinCostFlowSolver::SolveWithoutConflicts(
     stats->logical_peak_bytes +=
         graph.ByteEstimate() + engine_bytes + VectorBytes(pair_arcs);
   }
+  GEACC_STATS_ADD("mcf.flow_sweeps", 1);
+  GEACC_STATS_ADD("mcf.best_delta", best_delta);
   return matching;
 }
 
@@ -92,6 +96,7 @@ SolveResult MinCostFlowSolver::Solve(const Instance& instance) const {
 
   // Step 2 (lines 8–14): per user, keep a non-conflicting subset —
   // greedily (the paper's rule) or exactly (bitmask MWIS ablation).
+  GEACC_PHASE_TIMER("mcf.conflict_resolution");
   Arrangement result(instance.num_events(), instance.num_users());
   for (UserId u = 0; u < instance.num_users(); ++u) {
     const std::vector<EventId>& assigned = unconstrained.EventsOf(u);
@@ -104,6 +109,7 @@ SolveResult MinCostFlowSolver::Solve(const Instance& instance) const {
         static_cast<int64_t>(assigned.size() - kept.size());
     for (const EventId v : kept) result.Add(v, u);
   }
+  GEACC_STATS_ADD("mcf.conflict_evictions", stats.conflicts_resolved);
   stats.logical_peak_bytes +=
       unconstrained.ByteEstimate() + result.ByteEstimate();
   stats.wall_seconds = timer.Seconds();

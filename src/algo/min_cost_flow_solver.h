@@ -14,7 +14,14 @@
 // user with the greedy independent-set rule.
 //
 // Approximation ratio: 1 / max c_u (Theorem 2). Complexity is dominated by
-// Δmax shortest-path computations (the paper's "quartic" cost).
+// Δmax = min{Σc_v, Σc_u} shortest-path computations over a graph with
+// O(|V|·|U|) edges (the paper's "quartic" cost); memory is O(|V|·|U|)
+// for the residual network.
+//
+// Thread-safety: Solve() is const and re-entrant; the flow network is
+// rebuilt per call. Counters reported: mcf.flow_sweeps, mcf.best_delta,
+// mcf.conflict_evictions (+ flow.* from the SSPA engine and resolve.*
+// from conflict resolution).
 
 #ifndef GEACC_ALGO_MIN_COST_FLOW_SOLVER_H_
 #define GEACC_ALGO_MIN_COST_FLOW_SOLVER_H_

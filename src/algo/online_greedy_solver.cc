@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/memory.h"
 #include "util/timer.h"
@@ -56,6 +57,9 @@ std::vector<EventId> OnlineArranger::ArriveUser(UserId u) {
     --budget;
     taken.push_back(v);
   }
+  GEACC_STATS_ADD("online.arrivals", 1);
+  GEACC_STATS_ADD("online.events_ranked", static_cast<int64_t>(ranked.size()));
+  GEACC_STATS_ADD("online.matches", static_cast<int64_t>(taken.size()));
   return taken;
 }
 

@@ -9,6 +9,14 @@
 // paper's *global* view buys over per-arrival assignment — the gap the
 // introduction motivates with redundant/infeasible per-event
 // recommendations.
+//
+// Guarantee: none — adversarial arrival orders lose up to the full seat
+// value (that is the point of the baseline). Complexity: O(|V| log |V|)
+// per arrival (rank all events by similarity), O(|U|·|V| log |V|)
+// per full solve. Thread-safety: OnlineArranger is stateful and
+// single-writer — one thread per engine; OnlineGreedySolver::Solve() is
+// const and re-entrant (it builds a private engine per call). Counters
+// reported: online.arrivals, online.events_ranked, online.matches.
 
 #ifndef GEACC_ALGO_ONLINE_GREEDY_SOLVER_H_
 #define GEACC_ALGO_ONLINE_GREEDY_SOLVER_H_

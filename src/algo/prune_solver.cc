@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algo/greedy_solver.h"
+#include "obs/stats.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -184,6 +185,7 @@ class SearchContext {
         similarity > 0.0 && !ConflictsWithMatched(v, u);
     if (addable) {
       // Branch 1: {v, u} matched (lines 4–19).
+      ++stats_->branches_matched;
       current_.Add(v, u);
       --remaining_event_capacity_[v];
       --remaining_user_capacity_[u];
@@ -234,12 +236,22 @@ SolveResult PruneSolver::Solve(const Instance& instance) const {
   // pruned from the beginning.
   Arrangement seed(instance.num_events(), instance.num_users());
   if (options_.enable_greedy_seed && options_.enable_pruning) {
+    GEACC_PHASE_TIMER("prune.greedy_seed");
     GreedySolver greedy(options_);
     seed = greedy.Solve(instance).arrangement;
   }
 
   SearchContext context(instance, options_, std::move(seed), &stats);
-  Arrangement best = context.Run();
+  Arrangement best = [&] {
+    GEACC_PHASE_TIMER("prune.search");
+    return context.Run();
+  }();
+  // Flushed once per solve from the SolverStats the recursion already
+  // maintains; the search itself stays counter-free.
+  GEACC_STATS_ADD("prune.nodes_visited", stats.search_invocations);
+  GEACC_STATS_ADD("prune.nodes_pruned", stats.prune_events);
+  GEACC_STATS_ADD("prune.complete_searches", stats.complete_searches);
+  GEACC_STATS_ADD("prune.branches_matched", stats.branches_matched);
   stats.logical_peak_bytes = context.ByteEstimate();
   stats.wall_seconds = timer.Seconds();
   return {std::move(best), stats};

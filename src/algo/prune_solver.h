@@ -18,6 +18,19 @@
 //   enable_event_ordering=false → visit events in id order (ablation);
 //   max_search_invocations      → safety valve for the exponential search.
 //
+// Guarantee: exact — the Lemma 6 bound is admissible (it never
+// underestimates the best completion of a branch), so pruning cannot cut
+// every optimal leaf and the returned arrangement attains the optimum
+// MaxSum (Section IV). Complexity: O(2^P) branch nodes worst case over
+// the P positive-similarity pairs (the ordering and bound make the
+// observed node count orders of magnitude smaller, Fig. 6); memory is
+// O(depth) = O(Σ min(c_v, |U|)) for the recursion spine.
+//
+// Thread-safety: Solve() is const and re-entrant; the mutable search
+// context lives on the call stack. Counters reported:
+// prune.nodes_visited, prune.nodes_pruned, prune.complete_searches,
+// prune.branches_matched (exhaustive mode reports the same set).
+//
 // Statistics (search invocations, complete searches, prune events with
 // depth, max depth) feed the Fig. 6 benches.
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/stats.h"
 #include "util/memory.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -39,12 +40,18 @@ SolveResult SolveRandom(const Instance& instance, uint64_t seed,
     user_capacity[u] = instance.user_capacity(u);
   }
 
+  int64_t pairs_considered = 0;
+  int64_t pairs_matched = 0;
+  int64_t infeasible_rejections = 0;
   auto try_add = [&](EventId v, UserId u, double probability) {
+    ++pairs_considered;
     if (!rng.Bernoulli(probability)) return;
     if (!Addable(instance, matching, event_capacity, user_capacity, v, u)) {
+      ++infeasible_rejections;
       return;
     }
     matching.Add(v, u);
+    ++pairs_matched;
     --event_capacity[v];
     --user_capacity[u];
   };
@@ -62,6 +69,9 @@ SolveResult SolveRandom(const Instance& instance, uint64_t seed,
       for (EventId v = 0; v < num_events; ++v) try_add(v, u, p);
     }
   }
+  GEACC_STATS_ADD("random.pairs_considered", pairs_considered);
+  GEACC_STATS_ADD("random.pairs_matched", pairs_matched);
+  GEACC_STATS_ADD("random.infeasible_rejections", infeasible_rejections);
   stats.logical_peak_bytes = VectorBytes(event_capacity) +
                              VectorBytes(user_capacity) +
                              matching.ByteEstimate();

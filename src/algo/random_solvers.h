@@ -4,6 +4,12 @@
 // probability c_v / |U|, accepting it if all constraints hold. Random-U is
 // the symmetric user-side variant with probability c_u / |V|. Both are
 // deterministic functions of SolverOptions::seed.
+//
+// Guarantee: none (baselines). Complexity: O(|V|·|U|) pair offers, each
+// with an O(degree) conflict check. Thread-safety: Solve() is const and
+// re-entrant (the RNG is seeded per call). Counters reported:
+// random.pairs_considered, random.pairs_matched,
+// random.infeasible_rejections.
 
 #ifndef GEACC_ALGO_RANDOM_SOLVERS_H_
 #define GEACC_ALGO_RANDOM_SOLVERS_H_

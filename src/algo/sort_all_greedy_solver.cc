@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/stats.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -50,7 +51,10 @@ SolveResult SortAllGreedySolver::Solve(const Instance& instance) const {
     user_capacity[u] = instance.user_capacity(u);
   }
   const ConflictGraph& conflicts = instance.conflicts();
+  int64_t scanned = 0;
+  int64_t matches = 0;
   for (const Candidate& candidate : candidates) {
+    ++scanned;
     if (event_capacity[candidate.v] <= 0 ||
         user_capacity[candidate.u] <= 0) {
       continue;
@@ -64,9 +68,14 @@ SolveResult SortAllGreedySolver::Solve(const Instance& instance) const {
     }
     if (conflicting) continue;
     matching.Add(candidate.v, candidate.u);
+    ++matches;
     --event_capacity[candidate.v];
     --user_capacity[candidate.u];
   }
+  GEACC_STATS_ADD("sortall.pairs_materialized",
+                  static_cast<int64_t>(candidates.size()));
+  GEACC_STATS_ADD("sortall.pairs_scanned", scanned);
+  GEACC_STATS_ADD("sortall.matches", matches);
 
   stats.logical_peak_bytes = VectorBytes(candidates) +
                              VectorBytes(event_capacity) +

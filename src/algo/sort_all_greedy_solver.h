@@ -8,6 +8,11 @@
 // specification Greedy-GEACC is tested against — at Θ(|V||U| log(|V||U|))
 // time and Θ(|V||U|) memory, which is exactly the cost the paper's lazy
 // NN frontiers avoid (quantified in bench/micro_solvers).
+//
+// Approximation ratio: 1 / (1 + max c_u), inherited from Theorem 3 (the
+// output is pairwise identical to Greedy-GEACC's). Thread-safety:
+// Solve() is const and re-entrant. Counters reported:
+// sortall.pairs_materialized, sortall.pairs_scanned, sortall.matches.
 
 #ifndef GEACC_ALGO_SORT_ALL_GREEDY_SOLVER_H_
 #define GEACC_ALGO_SORT_ALL_GREEDY_SOLVER_H_

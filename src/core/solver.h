@@ -4,6 +4,23 @@
 // per-run statistics. Construction takes SolverOptions (seed for randomized
 // solvers, structural toggles for ablations); Solve() is const and
 // re-entrant so one solver object can serve a whole parameter sweep.
+//
+// Contract for implementations:
+//  * Solve() must return an arrangement for which
+//    Arrangement::Validate(instance) is empty — the harness aborts on
+//    violation rather than report a number for an infeasible matching.
+//  * Solve() must be const with no observable shared mutable state, so
+//    one solver instance may be called concurrently from multiple
+//    threads (RunSweep does exactly this). Solvers are single-threaded
+//    internally; per-run observability counters (src/obs/) rely on that
+//    to attribute deltas to the calling thread.
+//  * Determinism: identical (instance, SolverOptions) → identical
+//    arrangement on every platform; randomized solvers draw exclusively
+//    from SolverOptions::seed.
+//
+// Guarantees per algorithm (details in each header): MinCostFlow-GEACC
+// 1/max c_u (Theorem 2), Greedy-GEACC 1/(1 + max c_u) (Theorem 3),
+// Prune-GEACC exact (Section IV, Lemma 6 bound is admissible).
 
 #ifndef GEACC_CORE_SOLVER_H_
 #define GEACC_CORE_SOLVER_H_
@@ -80,6 +97,7 @@ struct SolverStats {
   int64_t search_invocations = 0;
   int64_t complete_searches = 0;
   int64_t prune_events = 0;
+  int64_t branches_matched = 0;  // branch-1 descents (pair taken)
   int64_t sum_prune_depth = 0;  // mean = sum / prune_events
   int64_t max_depth = 0;        // deepest recursion reached
   bool search_truncated = false;

@@ -13,6 +13,12 @@
 // a dense immutable Instance over the active entities (plus the slot↔dense
 // mapping) for consumers of the batch API: full re-solves, oracle
 // comparisons, serialization.
+//
+// Complexity: every mutation is O(1) amortized except AddConflict
+// (O(degree) duplicate check) and Snapshot() (O(active entities ×
+// dimension + conflicts)). Thread-safety: single-writer — mutations and
+// reads must be externally serialized; immutable Snapshot() results may
+// be shared freely across threads.
 
 #ifndef GEACC_DYN_DYNAMIC_INSTANCE_H_
 #define GEACC_DYN_DYNAMIC_INSTANCE_H_

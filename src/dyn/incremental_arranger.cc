@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "algo/solvers.h"
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -78,8 +79,11 @@ int64_t IncrementalArranger::Apply(const Mutation& mutation) {
   MaybeFullResolve();
   stats_.last_repair_seconds = timer.Seconds();
   stats_.total_repair_seconds += stats_.last_repair_seconds;
-  return stats_.assignments_added + stats_.assignments_removed -
-         changes_before;
+  const int64_t changes = stats_.assignments_added +
+                          stats_.assignments_removed - changes_before;
+  GEACC_STATS_ADD("dyn.mutations", 1);
+  GEACC_STATS_ADD("dyn.assignment_changes", changes);
+  return changes;
 }
 
 void IncrementalArranger::GrowToInstance() {
@@ -121,6 +125,7 @@ void IncrementalArranger::RemovePair(EventId v, UserId u) {
   ++user_remaining_[u];
   max_sum_ -= instance_->Similarity(v, u);
   ++stats_.assignments_removed;
+  GEACC_STATS_ADD("dyn.evictions", 1);
 }
 
 bool IncrementalArranger::ConflictsWithAssigned(EventId v, UserId u) const {
@@ -139,10 +144,12 @@ void IncrementalArranger::FillUser(UserId u) {
   while (user_remaining_[u] > 0) {
     if (steps_left_ <= 0) {
       ++stats_.budget_exhausted;
+      GEACC_STATS_ADD("dyn.budget_exhausted", 1);
       return;
     }
     --steps_left_;
     ++stats_.cursor_steps;
+    GEACC_STATS_ADD("dyn.refill_steps", 1);
     const auto next = cursor->Next();
     if (!next || next->similarity <= 0.0) return;
     const EventId v = next->id;
@@ -161,10 +168,12 @@ void IncrementalArranger::FillEvent(EventId v) {
   while (event_remaining_[v] > 0) {
     if (steps_left_ <= 0) {
       ++stats_.budget_exhausted;
+      GEACC_STATS_ADD("dyn.budget_exhausted", 1);
       return;
     }
     --steps_left_;
     ++stats_.cursor_steps;
+    GEACC_STATS_ADD("dyn.refill_steps", 1);
     const auto next = cursor->Next();
     if (!next || next->similarity <= 0.0) return;
     const UserId u = next->id;
@@ -290,6 +299,8 @@ void IncrementalArranger::MaybeFullResolve() {
 }
 
 void IncrementalArranger::FullResolve() {
+  GEACC_PHASE_TIMER("dyn.full_resolve");
+  GEACC_STATS_ADD("dyn.full_resolves", 1);
   DynamicInstance::SnapshotMap map;
   const Instance snapshot = instance_->Snapshot(&map);
   const SolveResult result = fallback_->Solve(snapshot);

@@ -23,6 +23,18 @@
 //
 // The arranger assumes every instance mutation flows through Apply();
 // out-of-band edits to the DynamicInstance CHECK-fail at the next Apply().
+//
+// Complexity: Apply() is O(evictions + refill cursor steps) — bounded by
+// repair_budget when set — except when drift triggers the fallback,
+// which costs one full solve over the current snapshot. Quality: between
+// full resolves the arrangement is always feasible but may drift below
+// the fallback solver's ratio; the drift accounting bounds the locally
+// displaced (not removed) value to drift_threshold × MaxSum.
+// Thread-safety: single-writer, same as DynamicInstance — one thread
+// drives Apply()/FullResolve(); readers of arrangement()/stats() must be
+// externally serialized with it. Counters reported: dyn.mutations,
+// dyn.assignment_changes, dyn.evictions, dyn.refill_steps,
+// dyn.budget_exhausted, dyn.full_resolves (timer dyn.full_resolve).
 
 #ifndef GEACC_DYN_INCREMENTAL_ARRANGER_H_
 #define GEACC_DYN_INCREMENTAL_ARRANGER_H_

@@ -8,11 +8,19 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace geacc {
 
 RunRecord RunSolver(const Solver& solver, const Instance& instance) {
+  // StatsScope diffs only this thread's counters, so per-run attribution
+  // stays exact even when RunSweep shards cells across a pool (each cell
+  // runs its solvers serially on one thread; solvers are single-threaded).
+  const obs::StatsScope scope;
+  const CpuTimer cpu_timer;
   SolveResult result = solver.Solve(instance);
+  const double cpu_seconds = cpu_timer.Seconds();
+  const obs::StatsSnapshot delta = scope.Harvest();
   const std::string violation = result.arrangement.Validate(instance);
   GEACC_CHECK(violation.empty())
       << solver.Name() << " produced an infeasible arrangement on "
@@ -21,9 +29,12 @@ RunRecord RunSolver(const Solver& solver, const Instance& instance) {
   record.solver = solver.Name();
   record.max_sum = result.arrangement.MaxSum(instance);
   record.seconds = result.stats.wall_seconds;
+  record.cpu_seconds = cpu_seconds;
   record.logical_bytes = result.stats.logical_peak_bytes;
   record.matched_pairs = result.arrangement.size();
   record.stats = result.stats;
+  record.counters = delta.counters;
+  record.timers = delta.timers;
   return record;
 }
 
@@ -94,18 +105,20 @@ SweepResult RunSweep(const SweepConfig& config,
   for (size_t s = 0; s < solvers.size(); ++s) {
     const std::string& name = config.solvers[s];
     for (size_t p = 0; p < points.size(); ++p) {
-      double sum_max_sum = 0.0, sum_seconds = 0.0, sum_mb = 0.0,
-             sum_pairs = 0.0;
+      double sum_max_sum = 0.0, sum_seconds = 0.0, sum_cpu = 0.0,
+             sum_mb = 0.0, sum_pairs = 0.0;
       const auto& reps = result.records[p][s];
       for (const RunRecord& record : reps) {
         sum_max_sum += record.max_sum;
         sum_seconds += record.seconds;
+        sum_cpu += record.cpu_seconds;
         sum_mb += static_cast<double>(record.logical_bytes) / (1024.0 * 1024.0);
         sum_pairs += static_cast<double>(record.matched_pairs);
       }
       const double n = reps.empty() ? 1.0 : static_cast<double>(reps.size());
       result.metrics["max_sum"][name].push_back(sum_max_sum / n);
       result.metrics["seconds"][name].push_back(sum_seconds / n);
+      result.metrics["cpu_seconds"][name].push_back(sum_cpu / n);
       result.metrics["memory_mb"][name].push_back(sum_mb / n);
       result.metrics["matched_pairs"][name].push_back(sum_pairs / n);
     }

@@ -19,6 +19,7 @@
 
 #include "core/instance.h"
 #include "core/solver.h"
+#include "obs/stats.h"
 #include "util/table.h"
 
 namespace geacc {
@@ -28,9 +29,18 @@ struct RunRecord {
   std::string solver;
   double max_sum = 0.0;
   double seconds = 0.0;
+  // Process CPU time over the solve. Exact when the run is serial (the
+  // default); under RunSweep with threads > 1 it includes concurrent
+  // cells' CPU, so treat it as indicative there.
+  double cpu_seconds = 0.0;
   uint64_t logical_bytes = 0;
   int64_t matched_pairs = 0;
   SolverStats stats;
+  // Observability deltas produced by this run's thread (src/obs/): every
+  // counter and phase timer the solver touched. Empty under
+  // GEACC_NO_STATS.
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, obs::TimerStat> timers;
 };
 
 // Runs `solver` on `instance`; aborts if the arrangement is infeasible

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/stats.h"
 #include "util/memory.h"
 
 namespace geacc {
@@ -66,11 +67,16 @@ bool SuccessiveShortestPaths::FindPath() {
   using Entry = std::pair<double, int>;  // (distance, node)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
   queue.emplace(0.0, source_);
+  // Batched locally and flushed once per search so the inner loop stays
+  // counter-free.
+  int64_t settles = 0;
+  int64_t relaxations = 0;
   while (!queue.empty()) {
     const auto [dist, node] = queue.top();
     queue.pop();
     if (settled_[node]) continue;
     settled_[node] = true;
+    ++settles;
     if (node == sink_) break;  // sink settled — path found
     for (const int arc : graph_->OutArcs(node)) {
       if (graph_->ResidualCapacity(arc) <= 0) continue;
@@ -82,12 +88,15 @@ bool SuccessiveShortestPaths::FindPath() {
       if (reduced < 0.0) reduced = 0.0;  // rounding guard
       const double candidate = dist + reduced;
       if (candidate + kEps < distance_[head]) {
+        ++relaxations;
         distance_[head] = candidate;
         parent_arc_[head] = arc;
         queue.emplace(candidate, head);
       }
     }
   }
+  GEACC_STATS_ADD("flow.dijkstra.settles", settles);
+  GEACC_STATS_ADD("flow.dijkstra.relaxations", relaxations);
   if (distance_[sink_] == kInf) return false;
 
   // Johnson update keeps reduced costs non-negative for the next search.
@@ -114,6 +123,8 @@ int64_t SuccessiveShortestPaths::AugmentIfCheaper(double cost_limit) {
   }
   total_flow_ += 1;
   total_cost_ += path_cost;
+  GEACC_STATS_ADD("flow.augmenting_paths", 1);
+  GEACC_STATS_ADD("flow.units_pushed", 1);
   return 1;
 }
 
@@ -137,6 +148,8 @@ int64_t SuccessiveShortestPaths::Augment(int64_t max_units) {
   }
   total_flow_ += bottleneck;
   total_cost_ += path_cost * static_cast<double>(bottleneck);
+  GEACC_STATS_ADD("flow.augmenting_paths", 1);
+  GEACC_STATS_ADD("flow.units_pushed", bottleneck);
   return bottleneck;
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 
+#include "obs/stats.h"
 #include "util/memory.h"
 
 namespace geacc {
@@ -32,15 +33,21 @@ bool SpfaMinCostFlow::FindPath() {
   distance_[source_] = 0.0;
   std::deque<int> queue{source_};
   in_queue_[source_] = true;
+  // Batched locally and flushed once per search so the inner loop stays
+  // counter-free.
+  int64_t pops = 0;
+  int64_t relaxations = 0;
   while (!queue.empty()) {
     const int node = queue.front();
     queue.pop_front();
     in_queue_[node] = false;
+    ++pops;
     for (const int arc : graph_->OutArcs(node)) {
       if (graph_->ResidualCapacity(arc) <= 0) continue;
       const int head = graph_->Head(arc);
       const double candidate = distance_[node] + graph_->Cost(arc);
       if (candidate < distance_[head] - kEps) {
+        ++relaxations;
         distance_[head] = candidate;
         parent_arc_[head] = arc;
         if (!in_queue_[head]) {
@@ -55,6 +62,8 @@ bool SpfaMinCostFlow::FindPath() {
       }
     }
   }
+  GEACC_STATS_ADD("flow.spfa.queue_pops", pops);
+  GEACC_STATS_ADD("flow.spfa.relaxations", relaxations);
   return distance_[sink_] != kInf;
 }
 
@@ -95,6 +104,8 @@ int64_t SpfaMinCostFlow::Augment(int64_t max_units) {
   PushPath(amount);
   total_flow_ += amount;
   total_cost_ += cost * static_cast<double>(amount);
+  GEACC_STATS_ADD("flow.augmenting_paths", 1);
+  GEACC_STATS_ADD("flow.units_pushed", amount);
   return amount;
 }
 
@@ -105,6 +116,8 @@ int64_t SpfaMinCostFlow::AugmentIfCheaper(double cost_limit) {
   PushPath(1);
   total_flow_ += 1;
   total_cost_ += cost;
+  GEACC_STATS_ADD("flow.augmenting_paths", 1);
+  GEACC_STATS_ADD("flow.units_pushed", 1);
   return 1;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/memory.h"
 
@@ -55,7 +56,14 @@ class IDistanceCursor final : public NnCursor {
     radius_ = index_.initial_radius_;
   }
 
+  // Per-step counts are batched into a member and flushed once here —
+  // Next() is too hot for a registry touch per call (DESIGN.md §9.1).
+  ~IDistanceCursor() override {
+    GEACC_STATS_ADD("index.idistance.cursor_steps", steps_);
+  }
+
   std::optional<Neighbor> Next() override {
+    ++steps_;
     while (true) {
       if (!heap_.empty() &&
           (heap_.top().distance <= covered_radius_ || FullyCovered())) {
@@ -92,6 +100,7 @@ class IDistanceCursor final : public NnCursor {
   // Widens every partition window to cover keys within ±r of the query
   // key, exact-checking newly covered entries.
   void ExpandTo(double r) {
+    GEACC_STATS_ADD("index.idistance.radius_expansions", 1);
     for (int p = 0; p < index_.num_pivots(); ++p) {
       const double band_key = p * index_.stretch_;
       const double lo_key =
@@ -131,6 +140,7 @@ class IDistanceCursor final : public NnCursor {
       heap_;
   double radius_ = 1.0;
   double covered_radius_ = -1.0;  // nothing certified yet
+  int64_t steps_ = 0;
 };
 
 IDistanceIndex::IDistanceIndex(const AttributeMatrix& points,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/memory.h"
 
@@ -40,7 +41,15 @@ class KdTreeCursor final : public NnCursor {
     }
   }
 
+  // Per-step counts are batched into members and flushed once here —
+  // Next() is too hot for a registry touch per call (DESIGN.md §9.1).
+  ~KdTreeCursor() override {
+    GEACC_STATS_ADD("index.kdtree.cursor_steps", steps_);
+    GEACC_STATS_ADD("index.kdtree.node_expansions", expansions_);
+  }
+
   std::optional<Neighbor> Next() override {
+    ++steps_;
     while (!queue_.empty()) {
       const QueueEntry top = queue_.top();
       queue_.pop();
@@ -49,6 +58,7 @@ class KdTreeCursor final : public NnCursor {
         return Neighbor{top.id, index_.similarity_.Compute(
                                     point, query_, index_.points_.dim())};
       }
+      ++expansions_;
       const KdTreeIndex::Node& node = index_.nodes_[top.id];
       if (node.IsLeaf()) {
         for (int i = node.begin; i < node.end; ++i) {
@@ -73,6 +83,8 @@ class KdTreeCursor final : public NnCursor {
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;
+  int64_t steps_ = 0;
+  int64_t expansions_ = 0;
 };
 
 KdTreeIndex::KdTreeIndex(const AttributeMatrix& points,

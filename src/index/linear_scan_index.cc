@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.h"
+
 namespace geacc {
 namespace {
 
@@ -30,7 +32,15 @@ class BatchedLinearCursor final : public NnCursor {
                       const double* query)
       : points_(points), similarity_(similarity), query_(query) {}
 
+  // Per-step counts are batched into members and flushed once here: a
+  // registry touch per Next() would be the hottest stats site in the
+  // codebase (see DESIGN.md §9.1).
+  ~BatchedLinearCursor() override {
+    GEACC_STATS_ADD("index.linear.cursor_steps", steps_);
+  }
+
   std::optional<Neighbor> Next() override {
+    ++steps_;
     if (position_ >= buffer_.size()) {
       if (exhausted_ || !Refill()) return std::nullopt;
     }
@@ -42,6 +52,8 @@ class BatchedLinearCursor final : public NnCursor {
   // `last_returned_` in the MoreSimilar order. Returns false when none
   // remain.
   bool Refill() {
+    GEACC_STATS_ADD("index.linear.refills", 1);
+    GEACC_STATS_ADD("index.linear.points_scanned", points_.rows());
     const size_t batch = batch_;
     batch_ = std::min(batch_ * 2, kMaxBatch);
     buffer_.clear();
@@ -88,6 +100,7 @@ class BatchedLinearCursor final : public NnCursor {
   Neighbor last_returned_;
   bool have_threshold_ = false;
   bool exhausted_ = false;
+  int64_t steps_ = 0;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/memory.h"
 
@@ -40,7 +41,15 @@ class VaFileCursor final : public NnCursor {
     }
   }
 
+  // Per-step counts are batched into members and flushed once here —
+  // Next() is too hot for a registry touch per call (DESIGN.md §9.1).
+  ~VaFileCursor() override {
+    GEACC_STATS_ADD("index.vafile.cursor_steps", steps_);
+    GEACC_STATS_ADD("index.vafile.refinements", refinements_);
+  }
+
   std::optional<Neighbor> Next() override {
+    ++steps_;
     while (!queue_.empty()) {
       const RefineEntry top = queue_.top();
       queue_.pop();
@@ -51,6 +60,7 @@ class VaFileCursor final : public NnCursor {
                                                    index_.points_.dim())};
       }
       // Phase 2 (lazy): replace the lower bound with the exact distance.
+      ++refinements_;
       queue_.push({SquaredEuclideanDistance(index_.points_.Row(top.id),
                                             query_, index_.points_.dim()),
                    true, top.id});
@@ -64,6 +74,8 @@ class VaFileCursor final : public NnCursor {
   std::priority_queue<RefineEntry, std::vector<RefineEntry>,
                       std::greater<RefineEntry>>
       queue_;
+  int64_t steps_ = 0;
+  int64_t refinements_ = 0;
 };
 
 VaFileIndex::VaFileIndex(const AttributeMatrix& points,

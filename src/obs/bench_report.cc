@@ -1,0 +1,234 @@
+#include "obs/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace geacc::obs {
+namespace {
+
+bool Violation(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+bool RequireMember(const JsonValue& object, const std::string& key,
+                   JsonValue::Type type, const JsonValue** out,
+                   std::string* error, const std::string& where) {
+  const JsonValue* member = object.Find(key);
+  if (member == nullptr) {
+    return Violation(error, where + ": missing \"" + key + "\"");
+  }
+  // Numbers may arrive as either int or double depending on the writer.
+  const bool ok =
+      member->type() == type ||
+      (type == JsonValue::Type::kDouble && member->is_number()) ||
+      (type == JsonValue::Type::kInt && member->is_int());
+  if (!ok) {
+    return Violation(error, where + ": \"" + key + "\" has wrong type");
+  }
+  *out = member;
+  return true;
+}
+
+bool ValidatePoint(const JsonValue& point, size_t index, std::string* error) {
+  const std::string where = "points[" + std::to_string(index) + "]";
+  if (!point.is_object()) return Violation(error, where + ": not an object");
+  const JsonValue* member = nullptr;
+  if (!RequireMember(point, "label", JsonValue::Type::kString, &member, error,
+                     where) ||
+      !RequireMember(point, "solver", JsonValue::Type::kString, &member, error,
+                     where) ||
+      !RequireMember(point, "wall_seconds", JsonValue::Type::kDouble, &member,
+                     error, where)) {
+    return false;
+  }
+  if (member->AsDouble() < 0.0) {
+    return Violation(error, where + ": negative wall_seconds");
+  }
+  if (!RequireMember(point, "cpu_seconds", JsonValue::Type::kDouble, &member,
+                     error, where)) {
+    return false;
+  }
+  if (member->AsDouble() < 0.0) {
+    return Violation(error, where + ": negative cpu_seconds");
+  }
+  if (!RequireMember(point, "vm_hwm_bytes", JsonValue::Type::kInt, &member,
+                     error, where)) {
+    return false;
+  }
+  if (member->AsInt() < 0) {
+    return Violation(error, where + ": negative vm_hwm_bytes");
+  }
+  if (!RequireMember(point, "max_sum", JsonValue::Type::kDouble, &member,
+                     error, where) ||
+      !RequireMember(point, "counters", JsonValue::Type::kObject, &member,
+                     error, where)) {
+    return false;
+  }
+  for (const auto& [name, value] : member->members()) {
+    if (!value.is_int()) {
+      return Violation(error,
+                       where + ": counter \"" + name + "\" is not an integer");
+    }
+  }
+  if (!RequireMember(point, "timers", JsonValue::Type::kObject, &member, error,
+                     where)) {
+    return false;
+  }
+  for (const auto& [name, value] : member->members()) {
+    const JsonValue* field = nullptr;
+    const std::string timer_where = where + ".timers[\"" + name + "\"]";
+    if (!value.is_object() ||
+        !RequireMember(value, "seconds", JsonValue::Type::kDouble, &field,
+                       error, timer_where) ||
+        !RequireMember(value, "count", JsonValue::Type::kInt, &field, error,
+                       timer_where)) {
+      return Violation(error, timer_where + ": malformed timer");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+JsonValue BenchReport::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", kBenchReportSchema);
+  root.Set("version", kBenchReportVersion);
+  root.Set("bench", bench);
+  root.Set("git_rev", git_rev.empty() ? GitRevision() : git_rev);
+  JsonValue flag_object = JsonValue::Object();
+  for (const auto& [name, value] : flags) flag_object.Set(name, value);
+  root.Set("flags", std::move(flag_object));
+  JsonValue point_array = JsonValue::Array();
+  for (const BenchPoint& point : points) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("label", point.label);
+    entry.Set("solver", point.solver);
+    entry.Set("wall_seconds", point.wall_seconds);
+    entry.Set("cpu_seconds", point.cpu_seconds);
+    entry.Set("vm_hwm_bytes", point.vm_hwm_bytes);
+    entry.Set("max_sum", point.max_sum);
+    JsonValue counters = JsonValue::Object();
+    for (const auto& [name, value] : point.counters) counters.Set(name, value);
+    entry.Set("counters", std::move(counters));
+    JsonValue timers = JsonValue::Object();
+    for (const auto& [name, stat] : point.timers) {
+      JsonValue timer = JsonValue::Object();
+      timer.Set("seconds", stat.seconds);
+      timer.Set("count", stat.count);
+      timers.Set(name, std::move(timer));
+    }
+    entry.Set("timers", std::move(timers));
+    point_array.Append(std::move(entry));
+  }
+  root.Set("points", std::move(point_array));
+  return root;
+}
+
+bool BenchReport::FromJson(const JsonValue& json, std::string* error) {
+  if (!ValidateBenchReport(json, error)) return false;
+  bench = json.Find("bench")->AsString();
+  git_rev = json.Find("git_rev")->AsString();
+  flags.clear();
+  for (const auto& [name, value] : json.Find("flags")->members()) {
+    flags[name] = value.AsString();
+  }
+  points.clear();
+  for (const JsonValue& entry : json.Find("points")->items()) {
+    BenchPoint point;
+    point.label = entry.Find("label")->AsString();
+    point.solver = entry.Find("solver")->AsString();
+    point.wall_seconds = entry.Find("wall_seconds")->AsDouble();
+    point.cpu_seconds = entry.Find("cpu_seconds")->AsDouble();
+    point.vm_hwm_bytes = entry.Find("vm_hwm_bytes")->AsInt();
+    point.max_sum = entry.Find("max_sum")->AsDouble();
+    for (const auto& [name, value] : entry.Find("counters")->members()) {
+      point.counters[name] = value.AsInt();
+    }
+    for (const auto& [name, value] : entry.Find("timers")->members()) {
+      point.timers[name] = {value.Find("seconds")->AsDouble(),
+                            value.Find("count")->AsInt()};
+    }
+    points.push_back(std::move(point));
+  }
+  return true;
+}
+
+bool BenchReport::WriteFile(const std::string& path,
+                            std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << ToJson().Dump(/*indent=*/2) << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool ValidateBenchReport(const JsonValue& json, std::string* error) {
+  if (error != nullptr) error->clear();
+  if (!json.is_object()) return Violation(error, "report: not an object");
+  const JsonValue* member = nullptr;
+  if (!RequireMember(json, "schema", JsonValue::Type::kString, &member, error,
+                     "report")) {
+    return false;
+  }
+  if (member->AsString() != kBenchReportSchema) {
+    return Violation(error, "report: schema is not \"geacc-bench\"");
+  }
+  if (!RequireMember(json, "version", JsonValue::Type::kInt, &member, error,
+                     "report")) {
+    return false;
+  }
+  if (member->AsInt() != kBenchReportVersion) {
+    return Violation(error, "report: unsupported version " +
+                                std::to_string(member->AsInt()));
+  }
+  if (!RequireMember(json, "bench", JsonValue::Type::kString, &member, error,
+                     "report")) {
+    return false;
+  }
+  if (member->AsString().empty()) {
+    return Violation(error, "report: empty bench name");
+  }
+  if (!RequireMember(json, "git_rev", JsonValue::Type::kString, &member, error,
+                     "report") ||
+      !RequireMember(json, "flags", JsonValue::Type::kObject, &member, error,
+                     "report")) {
+    return false;
+  }
+  for (const auto& [name, value] : member->members()) {
+    if (!value.is_string()) {
+      return Violation(error, "report: flag \"" + name + "\" is not a string");
+    }
+  }
+  if (!RequireMember(json, "points", JsonValue::Type::kArray, &member, error,
+                     "report")) {
+    return false;
+  }
+  const auto& items = member->items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!ValidatePoint(items[i], i, error)) return false;
+  }
+  return true;
+}
+
+std::string GitRevision() {
+  if (const char* env = std::getenv("GEACC_GIT_REV");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#if defined(GEACC_GIT_REV)
+  return GEACC_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace geacc::obs

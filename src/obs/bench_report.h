@@ -1,0 +1,93 @@
+// The `geacc-bench v1` machine-readable run report.
+//
+// Every bench binary (fig3_* … fig6_*, motivation, replay_trace, micro_*)
+// accepts `--json PATH` and writes one of these so CI can archive a perf
+// baseline (BENCH_*.json) and future PRs can regress against it. The
+// format is intentionally flat and append-friendly:
+//
+//   {
+//     "schema": "geacc-bench",          // always this literal
+//     "version": 1,
+//     "bench": "fig6_pruning",          // binary name
+//     "git_rev": "<hex or 'unknown'>",  // configure-time rev of the build
+//     "flags": { "reps": "3", ... },    // CLI flags as name → value
+//     "points": [
+//       {
+//         "label": "|V|=200",           // sweep-point label (x-axis value)
+//         "solver": "prune",
+//         "wall_seconds": 0.0123,
+//         "cpu_seconds": 0.0121,
+//         "vm_hwm_bytes": 18264064,     // VmHWM at point completion
+//         "max_sum": 41.7,              // objective (0 for micro benches)
+//         "counters": { "prune.nodes_visited": 4821, ... },
+//         "timers": { "mcf.flow_sweep": {"seconds": 0.01, "count": 3} }
+//       }, ...
+//     ]
+//   }
+//
+// Versioning contract: additive fields may appear within v1; removing or
+// re-typing a field requires bumping `version`. Validate() checks the
+// full v1 shape and is what `bench/validate_report` and CI run against
+// fresh reports. See DESIGN.md §9 for the schema rationale.
+//
+// Thread-safety: plain value types; build the report on one thread.
+
+#ifndef GEACC_OBS_BENCH_REPORT_H_
+#define GEACC_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/stats.h"
+
+namespace geacc::obs {
+
+inline constexpr char kBenchReportSchema[] = "geacc-bench";
+inline constexpr int kBenchReportVersion = 1;
+
+// One measured (sweep point × solver) cell.
+struct BenchPoint {
+  std::string label;
+  std::string solver;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  int64_t vm_hwm_bytes = 0;
+  double max_sum = 0.0;
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, TimerStat> timers;
+};
+
+struct BenchReport {
+  std::string bench;
+  std::string git_rev;
+  std::map<std::string, std::string> flags;
+  std::vector<BenchPoint> points;
+
+  JsonValue ToJson() const;
+
+  // Parses a previously serialized report. Returns false (with a
+  // diagnostic in *error if non-null) when `json` is not a valid v1
+  // report; *this is left unspecified on failure.
+  bool FromJson(const JsonValue& json, std::string* error = nullptr);
+
+  // Serializes and writes the report to `path` (pretty-printed, trailing
+  // newline). Returns false with *error set on I/O failure.
+  bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+};
+
+// Structural validation of a parsed document against the v1 schema:
+// schema/version literals, required fields with correct types, and
+// non-negative measurements. Returns false with the first violation
+// described in *error (if non-null).
+bool ValidateBenchReport(const JsonValue& json, std::string* error = nullptr);
+
+// The git revision baked in at configure time (GEACC_GIT_REV), overridden
+// by the GEACC_GIT_REV environment variable if set; "unknown" otherwise.
+std::string GitRevision();
+
+}  // namespace geacc::obs
+
+#endif  // GEACC_OBS_BENCH_REPORT_H_

@@ -1,0 +1,110 @@
+// Minimal JSON document model used by the geacc-bench report pipeline
+// (src/obs/bench_report.h). Deliberately tiny: the repo has no external
+// JSON dependency, and bench reports only need objects, arrays, strings,
+// bools, and numbers. Integers round-trip exactly as int64 (counter
+// values must not pass through a double); doubles serialize with
+// max_digits10 so wall-clock times survive a parse cycle bit-exactly.
+//
+// Objects preserve insertion order so emitted reports are stable and
+// diffable; lookup is a linear scan, which is fine at report sizes.
+//
+// Thread-safety: JsonValue is a value type with no hidden shared state —
+// const access from multiple threads is safe, mutation is not.
+
+#ifndef GEACC_OBS_JSON_H_
+#define GEACC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace geacc::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  JsonValue(int value) : type_(Type::kInt), int_(value) {}     // NOLINT
+  JsonValue(int64_t value) : type_(Type::kInt), int_(value) {}  // NOLINT
+  JsonValue(double value) : type_(Type::kDouble), double_(value) {}  // NOLINT
+  JsonValue(const char* value)  // NOLINT
+      : type_(Type::kString), string_(value) {}
+  JsonValue(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+
+  static JsonValue Array() {
+    JsonValue value;
+    value.type_ = Type::kArray;
+    return value;
+  }
+  static JsonValue Object() {
+    JsonValue value;
+    value.type_ = Type::kObject;
+    return value;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  // True for both kInt and kDouble.
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& items() { return items_; }
+  void Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+  // Object access. Set() replaces an existing key in place (order kept).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(const std::string& key, JsonValue value);
+  // nullptr if absent (or if this is not an object).
+  const JsonValue* Find(const std::string& key) const;
+  JsonValue* Find(const std::string& key) {
+    return const_cast<JsonValue*>(
+        static_cast<const JsonValue*>(this)->Find(key));
+  }
+
+  // Serializes this value. `indent` > 0 pretty-prints with that many
+  // spaces per level; 0 emits a compact single line.
+  std::string Dump(int indent = 0) const;
+
+  // Parses `text` into `*value`. On failure returns false and describes
+  // the first error (with byte offset) in `*error` if non-null.
+  static bool Parse(const std::string& text, JsonValue* value,
+                    std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace geacc::obs
+
+#endif  // GEACC_OBS_JSON_H_

@@ -1,0 +1,249 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace geacc::obs {
+
+StatsSnapshot StatsSnapshot::Delta(const StatsSnapshot& earlier) const {
+  StatsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const int64_t before = it == earlier.counters.end() ? 0 : it->second;
+    if (value != before) delta.counters[name] = value - before;
+  }
+  for (const auto& [name, stat] : timers) {
+    const auto it = earlier.timers.find(name);
+    const TimerStat before =
+        it == earlier.timers.end() ? TimerStat{} : it->second;
+    if (stat.count != before.count || stat.seconds != before.seconds) {
+      delta.timers[name] = {stat.seconds - before.seconds,
+                            stat.count - before.count};
+    }
+  }
+  return delta;
+}
+
+// Per-thread cell block. Cells are written only by the owning thread
+// (single-writer), read by snapshotting threads with relaxed loads; the
+// mutex guards only structural growth and the live/retired transitions.
+// std::deque keeps existing cells stable across growth, so the owner's
+// unlocked fast-path writes never race with a resize.
+struct StatsRegistry::ThreadCells {
+  std::mutex mu;  // guards deque growth, not cell values
+  std::deque<std::atomic<int64_t>> counters;
+  std::deque<std::atomic<double>> timer_seconds;
+  std::deque<std::atomic<int64_t>> timer_counts;
+
+  template <typename Deque>
+  void GrowTo(Deque& cells, size_t size) {
+    if (cells.size() >= size) return;
+    const std::lock_guard<std::mutex> lock(mu);
+    while (cells.size() < size) cells.emplace_back();
+  }
+};
+
+class StatsRegistry::Impl {
+ public:
+  CounterId RegisterCounter(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] =
+        counter_ids_.emplace(name, static_cast<int>(counter_names_.size()));
+    if (inserted) {
+      counter_names_.push_back(name);
+      retired_counters_.push_back(0);
+    }
+    return it->second;
+  }
+
+  TimerId RegisterTimer(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] =
+        timer_ids_.emplace(name, static_cast<int>(timer_names_.size()));
+    if (inserted) {
+      timer_names_.push_back(name);
+      retired_timers_.push_back({});
+    }
+    return it->second;
+  }
+
+  void Add(CounterId id, int64_t delta) {
+    ThreadCells& cells = Mine();
+    cells.GrowTo(cells.counters, static_cast<size_t>(id) + 1);
+    std::atomic<int64_t>& cell = cells.counters[id];
+    // Single-writer: plain load + store compiles to unfenced moves; no
+    // lock prefix on the hot path.
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+
+  void RecordTime(TimerId id, double seconds) {
+    ThreadCells& cells = Mine();
+    cells.GrowTo(cells.timer_seconds, static_cast<size_t>(id) + 1);
+    cells.GrowTo(cells.timer_counts, static_cast<size_t>(id) + 1);
+    std::atomic<double>& total = cells.timer_seconds[id];
+    total.store(total.load(std::memory_order_relaxed) + seconds,
+                std::memory_order_relaxed);
+    std::atomic<int64_t>& count = cells.timer_counts[id];
+    count.store(count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  }
+
+  StatsSnapshot Snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<int64_t> counters = retired_counters_;
+    std::vector<TimerStat> timers = retired_timers_;
+    for (const ThreadCells* cells : live_threads_) {
+      AccumulateLocked(*cells, counters, timers);
+    }
+    return Render(counters, timers);
+  }
+
+  StatsSnapshot ThreadSnapshot() const {
+    // Resolve the thread's cells before taking mu_: first touch registers
+    // the block, which locks mu_ itself.
+    ThreadCells& mine = Mine();
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<int64_t> counters(counter_names_.size(), 0);
+    std::vector<TimerStat> timers(timer_names_.size(), TimerStat{});
+    AccumulateLocked(mine, counters, timers);
+    return Render(counters, timers);
+  }
+
+  std::vector<std::string> CounterNames() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return counter_names_;
+  }
+
+  std::vector<std::string> TimerNames() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return timer_names_;
+  }
+
+  // Folds an exiting thread's cells into the retired totals.
+  void RetireThread(ThreadCells* cells) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<std::mutex> cell_lock(cells->mu);
+    for (size_t i = 0; i < cells->counters.size(); ++i) {
+      if (i < retired_counters_.size()) {
+        retired_counters_[i] +=
+            cells->counters[i].load(std::memory_order_relaxed);
+      }
+    }
+    for (size_t i = 0;
+         i < cells->timer_seconds.size() && i < retired_timers_.size(); ++i) {
+      retired_timers_[i].seconds +=
+          cells->timer_seconds[i].load(std::memory_order_relaxed);
+      retired_timers_[i].count +=
+          cells->timer_counts[i].load(std::memory_order_relaxed);
+    }
+    live_threads_.erase(
+        std::find(live_threads_.begin(), live_threads_.end(), cells));
+  }
+
+ private:
+  // The calling thread's cell block; registered on first touch, retired on
+  // thread exit via the thread_local holder's destructor.
+  ThreadCells& Mine() const {
+    thread_local Holder holder(const_cast<Impl*>(this));
+    return holder.cells;
+  }
+
+  struct Holder {
+    explicit Holder(Impl* impl) : impl(impl) {
+      const std::lock_guard<std::mutex> lock(impl->mu_);
+      impl->live_threads_.push_back(&cells);
+    }
+    ~Holder() { impl->RetireThread(&cells); }
+    Impl* impl;
+    ThreadCells cells;
+  };
+
+  void AccumulateLocked(const ThreadCells& cells, std::vector<int64_t>& counters,
+                        std::vector<TimerStat>& timers) const {
+    const std::lock_guard<std::mutex> cell_lock(
+        const_cast<std::mutex&>(cells.mu));
+    for (size_t i = 0; i < cells.counters.size() && i < counters.size(); ++i) {
+      counters[i] += cells.counters[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0;
+         i < cells.timer_seconds.size() && i < timers.size(); ++i) {
+      timers[i].seconds +=
+          cells.timer_seconds[i].load(std::memory_order_relaxed);
+      timers[i].count += cells.timer_counts[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  StatsSnapshot Render(const std::vector<int64_t>& counters,
+                       const std::vector<TimerStat>& timers) const {
+    StatsSnapshot snapshot;
+    for (size_t i = 0; i < counters.size(); ++i) {
+      if (counters[i] != 0) snapshot.counters[counter_names_[i]] = counters[i];
+    }
+    for (size_t i = 0; i < timers.size(); ++i) {
+      if (timers[i].count != 0) snapshot.timers[timer_names_[i]] = timers[i];
+    }
+    return snapshot;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::unordered_map<std::string, CounterId> counter_ids_;
+  std::vector<std::string> timer_names_;
+  std::unordered_map<std::string, TimerId> timer_ids_;
+  std::vector<ThreadCells*> live_threads_;
+  std::vector<int64_t> retired_counters_;
+  std::vector<TimerStat> retired_timers_;
+};
+
+StatsRegistry& StatsRegistry::Global() {
+  // Leaked so instrumented code in static destructors stays safe.
+  static StatsRegistry* registry = new StatsRegistry();
+  return *registry;
+}
+
+StatsRegistry::Impl& StatsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+CounterId StatsRegistry::RegisterCounter(const std::string& name) {
+  return impl().RegisterCounter(name);
+}
+
+TimerId StatsRegistry::RegisterTimer(const std::string& name) {
+  return impl().RegisterTimer(name);
+}
+
+void StatsRegistry::Add(CounterId id, int64_t delta) {
+  impl().Add(id, delta);
+}
+
+void StatsRegistry::RecordTime(TimerId id, double seconds) {
+  impl().RecordTime(id, seconds);
+}
+
+StatsSnapshot StatsRegistry::Snapshot() const { return impl().Snapshot(); }
+
+StatsSnapshot StatsRegistry::ThreadSnapshot() const {
+  return impl().ThreadSnapshot();
+}
+
+std::vector<std::string> StatsRegistry::CounterNames() const {
+  return impl().CounterNames();
+}
+
+std::vector<std::string> StatsRegistry::TimerNames() const {
+  return impl().TimerNames();
+}
+
+int64_t StatsRegistry::CounterValue(const std::string& name) const {
+  const StatsSnapshot snapshot = Snapshot();
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+}  // namespace geacc::obs

@@ -98,6 +98,15 @@ std::string FlagSet::Render(const Flag& flag) {
   return "";
 }
 
+std::vector<std::pair<std::string, std::string>> FlagSet::Values() const {
+  std::vector<std::pair<std::string, std::string>> values;
+  values.reserve(flags_.size());
+  for (const Flag& flag : flags_) {
+    values.emplace_back(flag.name, Render(flag));
+  }
+  return values;
+}
+
 std::string FlagSet::Usage(const std::string& program) const {
   std::string out = "usage: " + program + " [flags]\n";
   for (const Flag& flag : flags_) {

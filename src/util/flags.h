@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace geacc {
@@ -36,6 +37,11 @@ class FlagSet {
   void Parse(int argc, char** argv);
 
   const std::vector<std::string>& positional() const { return positional_; }
+
+  // Current value of every registered flag, rendered as (name, value)
+  // strings in registration order. Call after Parse() to record effective
+  // settings in run-report metadata.
+  std::vector<std::pair<std::string, std::string>> Values() const;
 
   // Usage text listing every registered flag with its default and help.
   std::string Usage(const std::string& program) const;

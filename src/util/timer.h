@@ -1,9 +1,10 @@
-// Wall-clock timing helper for benchmarks and solver statistics.
+// Wall-clock and CPU timing helpers for benchmarks and solver statistics.
 
 #ifndef GEACC_UTIL_TIMER_H_
 #define GEACC_UTIL_TIMER_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace geacc {
 
@@ -24,6 +25,32 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// Process-CPU stopwatch (user + system time of the whole process, all
+// threads). Pairs with WallTimer in bench reports: wall ≫ cpu means the
+// run was blocked, cpu ≫ wall means it went parallel.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double Seconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+  }
+
+  double start_;
 };
 
 }  // namespace geacc

@@ -1,0 +1,228 @@
+// Tests for the hand-rolled JSON layer (src/obs/json.h) and the
+// `geacc-bench v1` report schema (src/obs/bench_report.h).
+
+#include "obs/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace geacc::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonTest, DumpAndParseRoundTripsScalars) {
+  JsonValue object = JsonValue::Object();
+  object.Set("null", JsonValue());
+  object.Set("bool", true);
+  object.Set("int", int64_t{9007199254740993});  // not double-representable
+  object.Set("double", 0.125);
+  object.Set("string", "hello \"world\"\n\t\x01");
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(object.Dump(2), &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.Find("null")->is_null());
+  EXPECT_EQ(parsed.Find("bool")->AsBool(), true);
+  EXPECT_EQ(parsed.Find("int")->AsInt(), 9007199254740993);
+  EXPECT_EQ(parsed.Find("double")->AsDouble(), 0.125);
+  EXPECT_EQ(parsed.Find("string")->AsString(), "hello \"world\"\n\t\x01");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zebra", 1);
+  object.Set("alpha", 2);
+  object.Set("mid", 3);
+  const std::string dumped = object.Dump();
+  EXPECT_LT(dumped.find("zebra"), dumped.find("alpha"));
+  EXPECT_LT(dumped.find("alpha"), dumped.find("mid"));
+}
+
+TEST(JsonTest, ArraysRoundTrip) {
+  JsonValue array = JsonValue::Array();
+  array.Append(1);
+  array.Append("two");
+  array.Append(3.5);
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(array.Dump(), &parsed, nullptr));
+  ASSERT_EQ(parsed.items().size(), 3u);
+  EXPECT_EQ(parsed.items()[0].AsInt(), 1);
+  EXPECT_EQ(parsed.items()[1].AsString(), "two");
+  EXPECT_EQ(parsed.items()[2].AsDouble(), 3.5);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  JsonValue value;
+  std::string error;
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "nan"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad, &value, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, ParseRejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(deep, &value, &error));
+}
+
+TEST(JsonTest, ParseHandlesUnicodeEscapes) {
+  JsonValue value;
+  ASSERT_TRUE(JsonValue::Parse("\"\\u00e9\\u0041\"", &value, nullptr));
+  EXPECT_EQ(value.AsString(), "\xc3\xa9" "A");
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  const JsonValue inf(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inf.Dump(), "null");
+}
+
+// -------------------------------------------------------------- report --
+
+BenchReport MakeReport() {
+  BenchReport report;
+  report.bench = "fig6_pruning";
+  report.git_rev = "deadbeef";
+  report.flags["reps"] = "3";
+  report.flags["paper"] = "false";
+  BenchPoint point;
+  point.label = "rho=0.50";
+  point.solver = "prune";
+  point.wall_seconds = 0.012;
+  point.cpu_seconds = 0.011;
+  point.vm_hwm_bytes = 1 << 20;
+  point.max_sum = 41.5;
+  point.counters["prune.nodes_visited"] = 4821;
+  point.counters["prune.nodes_pruned"] = 977;
+  point.timers["prune.search"] = {0.0119, 1};
+  report.points.push_back(point);
+  return report;
+}
+
+TEST(BenchReportTest, ToJsonValidates) {
+  std::string error;
+  EXPECT_TRUE(ValidateBenchReport(MakeReport().ToJson(), &error)) << error;
+}
+
+TEST(BenchReportTest, RoundTripPreservesEverything) {
+  const BenchReport original = MakeReport();
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(original.ToJson().Dump(2), &parsed, &error))
+      << error;
+  BenchReport loaded;
+  ASSERT_TRUE(loaded.FromJson(parsed, &error)) << error;
+
+  EXPECT_EQ(loaded.bench, original.bench);
+  EXPECT_EQ(loaded.git_rev, original.git_rev);
+  EXPECT_EQ(loaded.flags, original.flags);
+  ASSERT_EQ(loaded.points.size(), 1u);
+  const BenchPoint& point = loaded.points[0];
+  EXPECT_EQ(point.label, "rho=0.50");
+  EXPECT_EQ(point.solver, "prune");
+  EXPECT_EQ(point.wall_seconds, 0.012);
+  EXPECT_EQ(point.cpu_seconds, 0.011);
+  EXPECT_EQ(point.vm_hwm_bytes, 1 << 20);
+  EXPECT_EQ(point.max_sum, 41.5);
+  EXPECT_EQ(point.counters, original.points[0].counters);
+  ASSERT_EQ(point.timers.count("prune.search"), 1u);
+  EXPECT_EQ(point.timers.at("prune.search").seconds, 0.0119);
+  EXPECT_EQ(point.timers.at("prune.search").count, 1);
+}
+
+TEST(BenchReportTest, SchemaRejectsWrongLiterals) {
+  std::string error;
+
+  JsonValue wrong_schema = MakeReport().ToJson();
+  wrong_schema.Set("schema", "other-bench");
+  EXPECT_FALSE(ValidateBenchReport(wrong_schema, &error));
+
+  JsonValue wrong_version = MakeReport().ToJson();
+  wrong_version.Set("version", 2);
+  EXPECT_FALSE(ValidateBenchReport(wrong_version, &error));
+}
+
+TEST(BenchReportTest, SchemaRejectsMissingOrMistypedFields) {
+  std::string error;
+  for (const char* field : {"bench", "git_rev", "flags", "points"}) {
+    JsonValue json = MakeReport().ToJson();
+    JsonValue stripped = JsonValue::Object();
+    for (const auto& [name, value] : json.members()) {
+      if (name != field) stripped.Set(name, value);
+    }
+    EXPECT_FALSE(ValidateBenchReport(stripped, &error)) << field;
+  }
+
+  JsonValue mistyped = MakeReport().ToJson();
+  mistyped.Set("points", "not-an-array");
+  EXPECT_FALSE(ValidateBenchReport(mistyped, &error));
+}
+
+TEST(BenchReportTest, SchemaRejectsBadPoints) {
+  std::string error;
+
+  // Negative measurement.
+  BenchReport negative = MakeReport();
+  negative.points[0].wall_seconds = -1.0;
+  EXPECT_FALSE(ValidateBenchReport(negative.ToJson(), &error));
+
+  // Non-integer counter value.
+  JsonValue json = MakeReport().ToJson();
+  JsonValue* points = json.Find("points");
+  ASSERT_NE(points, nullptr);
+  points->items()[0].Find("counters")->Set("prune.nodes_visited", 1.5);
+  EXPECT_FALSE(ValidateBenchReport(json, &error));
+}
+
+TEST(BenchReportTest, FromJsonRejectsInvalidDocuments) {
+  JsonValue not_a_report;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse("{\"schema\":\"geacc-bench\"}", &not_a_report,
+                               nullptr));
+  BenchReport report;
+  EXPECT_FALSE(report.FromJson(not_a_report, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchReportTest, WriteFileProducesParseableReport) {
+  const std::string path =
+      testing::TempDir() + "/geacc_bench_report_test.json";
+  std::string error;
+  ASSERT_TRUE(MakeReport().WriteFile(path, &error)) << error;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(buffer.str(), &parsed, &error)) << error;
+  EXPECT_TRUE(ValidateBenchReport(parsed, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, WriteFileFailsOnBadPath) {
+  std::string error;
+  EXPECT_FALSE(MakeReport().WriteFile("/nonexistent-dir/x/y.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(GitRevisionTest, EnvOverrideWins) {
+  ::setenv("GEACC_GIT_REV", "feedface", 1);
+  EXPECT_EQ(GitRevision(), "feedface");
+  ::unsetenv("GEACC_GIT_REV");
+  EXPECT_NE(GitRevision(), "feedface");
+}
+
+}  // namespace
+}  // namespace geacc::obs
