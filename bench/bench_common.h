@@ -50,8 +50,11 @@ struct CommonFlags {
     flags.AddString("json", &json,
                     "write a geacc-bench v1 JSON report to this path");
     flags.AddInt("threads", &threads,
-                 "parallel (point × rep) workers; wall times get noisy "
-                 "above 1");
+                 "thread budget: RunSweep benches split it between "
+                 "(point × rep) workers and intra-solver lanes (see "
+                 "SweepConfig::threads); direct-RunSolver benches hand it "
+                 "to the solver as SolverOptions::threads. Wall times get "
+                 "noisy above 1");
   }
 
   std::vector<std::string> SolverList(
@@ -66,9 +69,10 @@ struct CommonFlags {
 };
 
 // Fails fast (exit 1) when --threads requests parallelism a bench cannot
-// honor. Benches that drive RunSolver loops directly — rather than
-// RunSweep, which owns the worker pool — must call this right after
-// Parse() so the flag is never silently ignored.
+// honor. Only for benches whose measurement is inherently serial (e.g.
+// the online-vs-global replay, which is order-sensitive); benches that
+// drive RunSolver directly should instead pass the budget through
+// SolverOptions::threads so the solvers fan out internally.
 inline void RequireSerial(const CommonFlags& common, const char* bench) {
   if (common.threads == 1) return;
   std::fprintf(stderr,

@@ -1,0 +1,197 @@
+// Perf-regression gate over `geacc-bench v1` reports (src/obs/bench_report.h).
+//
+// Merge mode — combine several bench reports into one baseline file,
+// prefixing every point label with its bench name so keys stay unique:
+//
+//   compare_reports --merge BENCH_baseline.json micro.json fig6.json
+//
+// Compare mode — diff a freshly measured report (merged the same way)
+// against the committed baseline:
+//
+//   compare_reports BENCH_baseline.json current.json \
+//       [--tolerance 0.25] [--min_seconds 0.02]
+//
+// Points are keyed by (label, solver). For each key present in both
+// reports the wall- and CPU-second deltas are tabulated; a point regresses
+// when time grows beyond --tolerance (fractional, default ±25%) AND both
+// sides are above the --min_seconds noise floor (sub-floor measurements
+// are dominated by scheduler jitter, not code). Exit status: 1 if any
+// point regressed, else 0. Keys present on only one side are listed as
+// warnings — they indicate a bench or baseline that needs regenerating —
+// but do not fail the gate, so adding a bench does not break CI until the
+// baseline is refreshed.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/json.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+bool LoadReport(const std::string& path, geacc::obs::BenchReport* report) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  geacc::obs::JsonValue json;
+  std::string error;
+  if (!geacc::obs::JsonValue::Parse(buffer.str(), &json, &error)) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (!report->FromJson(json, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Merge(const std::string& out_path,
+          const std::vector<std::string>& inputs) {
+  geacc::obs::BenchReport merged;
+  merged.bench = "merged";
+  merged.git_rev = geacc::obs::GitRevision();
+  for (const std::string& path : inputs) {
+    geacc::obs::BenchReport report;
+    if (!LoadReport(path, &report)) return 1;
+    merged.flags[report.bench + ".source"] = path;
+    for (geacc::obs::BenchPoint point : report.points) {
+      point.label = report.bench + "/" + point.label;
+      merged.points.push_back(std::move(point));
+    }
+  }
+  std::string error;
+  if (!merged.WriteFile(out_path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("merged %zu report(s), %zu point(s) -> %s\n", inputs.size(),
+              merged.points.size(), out_path.c_str());
+  return 0;
+}
+
+std::string Key(const geacc::obs::BenchPoint& point) {
+  return point.label + " [" + point.solver + "]";
+}
+
+int Compare(const std::string& baseline_path, const std::string& current_path,
+            double tolerance, double min_seconds) {
+  geacc::obs::BenchReport baseline, current;
+  if (!LoadReport(baseline_path, &baseline) ||
+      !LoadReport(current_path, &current)) {
+    return 2;
+  }
+
+  std::map<std::string, const geacc::obs::BenchPoint*> baseline_points;
+  for (const auto& point : baseline.points) {
+    baseline_points[Key(point)] = &point;
+  }
+
+  geacc::Table table(geacc::StrFormat(
+      "perf vs baseline (rev %s), tolerance ±%.0f%%, noise floor %.3fs",
+      baseline.git_rev.c_str(), tolerance * 100.0, min_seconds));
+  table.SetHeader({"point", "wall base", "wall now", "wall Δ%", "cpu base",
+                   "cpu now", "cpu Δ%", "verdict"});
+
+  int regressions = 0;
+  std::vector<std::string> only_current;
+  for (const auto& point : current.points) {
+    const auto it = baseline_points.find(Key(point));
+    if (it == baseline_points.end()) {
+      only_current.push_back(Key(point));
+      continue;
+    }
+    const geacc::obs::BenchPoint& base = *it->second;
+    baseline_points.erase(it);
+
+    auto delta_pct = [](double was, double now) {
+      return was > 0.0 ? (now - was) / was * 100.0 : 0.0;
+    };
+    // Regression test: the measurement must be above the noise floor on
+    // at least one side AND have grown beyond the tolerance band.
+    auto regressed = [&](double was, double now) {
+      if (std::max(was, now) < min_seconds) return false;
+      return now > was * (1.0 + tolerance);
+    };
+    const bool wall_bad = regressed(base.wall_seconds, point.wall_seconds);
+    const bool cpu_bad = regressed(base.cpu_seconds, point.cpu_seconds);
+    if (wall_bad || cpu_bad) ++regressions;
+    table.AddRow(
+        {Key(point), geacc::StrFormat("%.4f", base.wall_seconds),
+         geacc::StrFormat("%.4f", point.wall_seconds),
+         geacc::StrFormat("%+.1f", delta_pct(base.wall_seconds,
+                                             point.wall_seconds)),
+         geacc::StrFormat("%.4f", base.cpu_seconds),
+         geacc::StrFormat("%.4f", point.cpu_seconds),
+         geacc::StrFormat("%+.1f", delta_pct(base.cpu_seconds,
+                                             point.cpu_seconds)),
+         wall_bad || cpu_bad ? "REGRESSED" : "ok"});
+  }
+  table.Print(std::cout);
+
+  for (const std::string& key : only_current) {
+    std::printf("warning: no baseline for %s (regenerate the baseline to "
+                "gate it)\n", key.c_str());
+  }
+  for (const auto& [key, point] : baseline_points) {
+    (void)point;
+    std::printf("warning: baseline point %s missing from current run\n",
+                key.c_str());
+  }
+  if (regressions > 0) {
+    std::printf("%d point(s) regressed beyond ±%.0f%%\n", regressions,
+                tolerance * 100.0);
+    return 1;
+  }
+  std::printf("no perf regressions\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string merge_out;
+  double tolerance = 0.25;
+  double min_seconds = 0.02;
+  geacc::FlagSet flags;
+  flags.AddString("merge", &merge_out,
+                  "merge mode: write the concatenation of all positional "
+                  "reports (labels prefixed with their bench name) here");
+  flags.AddDouble("tolerance", &tolerance,
+                  "fractional slowdown allowed before a point regresses");
+  flags.AddDouble("min_seconds", &min_seconds,
+                  "ignore points where both sides are below this (noise)");
+  flags.Parse(argc, argv);
+
+  if (!merge_out.empty()) {
+    if (flags.positional().empty()) {
+      std::fprintf(stderr, "--merge needs at least one input report\n");
+      return 2;
+    }
+    return Merge(merge_out, flags.positional());
+  }
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CURRENT.json [--tolerance F] "
+                 "[--min_seconds S]\n   or: %s --merge OUT.json IN.json...\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  return Compare(flags.positional()[0], flags.positional()[1], tolerance,
+                 min_seconds);
+}

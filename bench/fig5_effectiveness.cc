@@ -25,7 +25,6 @@ int main(int argc, char** argv) {
   common.Register(flags);
   flags.AddInt("max_cu", &max_cu, "user capacity upper bound (U[1,max_cu])");
   flags.Parse(argc, argv);
-  geacc::bench::RequireSerial(common, "fig5_effectiveness");
   geacc::bench::ReportContext report("fig5_effectiveness", flags, common);
   const int reps = common.paper ? std::max(common.reps, 5) : common.reps;
 
@@ -60,7 +59,12 @@ int main(int argc, char** argv) {
       synth.seed = static_cast<uint64_t>(common.seed) + rep * 7919;
       const geacc::Instance instance = geacc::GenerateSynthetic(synth);
       for (size_t s = 0; s < solver_names.size(); ++s) {
-        const auto solver = geacc::CreateSolver(solver_names[s]);
+        // --threads becomes intra-solver lanes; results are
+        // thread-invariant, so only the measured times change.
+        geacc::SolverOptions solver_options;
+        solver_options.threads = common.threads;
+        const auto solver =
+            geacc::CreateSolver(solver_names[s], solver_options);
         const geacc::RunRecord record = geacc::RunSolver(*solver, instance);
         sums[s] += record.max_sum;
         times[s] += record.seconds;

@@ -7,12 +7,22 @@
 //
 // Default run uses |U| ∈ {10K, 50K, 100K} and |V| ∈ {100, 500, 1000};
 // --paper enables the full grid (|U| ∈ {10K, 25K, 50K, 75K, 100K}).
+//
+// Beyond the paper, a final section sweeps SolverOptions::threads over a
+// fixed instance for Greedy- and MinCostFlow-GEACC (x = intra-solver
+// lanes): the MaxSum column demonstrates the thread-invariance contract,
+// the time column the parallel speedup (≈ flat on single-core machines).
 
+#include <iostream>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "algo/solvers.h"
 #include "bench/bench_common.h"
 #include "gen/synthetic.h"
 #include "util/string_util.h"
+#include "util/table.h"
 
 int main(int argc, char** argv) {
   geacc::bench::CommonFlags common;
@@ -55,6 +65,74 @@ int main(int argc, char** argv) {
     const geacc::SweepResult result = geacc::RunSweep(config, points);
     geacc::bench::EmitSweep(config, result, "|U|", common.csv);
     report.AddSweep(config, result);
+  }
+
+  // ---- Threads axis: intra-solver lanes on a fixed instance. ----
+  {
+    // Sized so MinCostFlow (the slow lane) finishes in ~a second per
+    // thread count; the section demonstrates invariance, not scale.
+    geacc::SyntheticConfig synth;
+    synth.num_events = common.paper ? 200 : 100;
+    synth.num_users = common.paper ? 10'000 : 2'000;
+    synth.event_capacity =
+        geacc::DistributionSpec::Uniform(1.0, common.paper ? 200.0 : 20.0);
+    synth.seed = static_cast<uint64_t>(common.seed);
+    const geacc::Instance instance = geacc::GenerateSynthetic(synth);
+
+    const std::vector<std::string> solver_names =
+        common.SolverList({"greedy", "mincostflow"});
+    geacc::Table time_table(
+        "Fig 5 (extra): wall time (s) vs solver threads");
+    geacc::Table sum_table(
+        "Fig 5 (extra): MaxSum vs solver threads (must be constant)");
+    std::vector<std::string> header = {"threads"};
+    for (const std::string& name : solver_names) header.push_back(name);
+    time_table.SetHeader(header);
+    sum_table.SetHeader(header);
+
+    for (const int threads : {1, 2, 4}) {
+      std::vector<std::string> time_row = {std::to_string(threads)};
+      std::vector<std::string> sum_row = {std::to_string(threads)};
+      for (const std::string& name : solver_names) {
+        geacc::SolverOptions options;
+        options.threads = threads;
+        const auto solver = geacc::CreateSolver(name, options);
+        double wall = 0.0, cpu = 0.0, max_sum = 0.0;
+        std::map<std::string, int64_t> counters;
+        for (int rep = 0; rep < common.reps; ++rep) {
+          const geacc::RunRecord record =
+              geacc::RunSolver(*solver, instance);
+          wall += record.seconds;
+          cpu += record.cpu_seconds;
+          max_sum += record.max_sum;
+          for (const auto& [counter, value] : record.counters) {
+            counters[counter] += value;
+          }
+        }
+        const double n = common.reps;
+        time_row.push_back(geacc::StrFormat("%.4f", wall / n));
+        sum_row.push_back(geacc::StrFormat("%.3f", max_sum / n));
+
+        geacc::obs::BenchPoint point;
+        point.label = geacc::StrFormat("threads=%d", threads);
+        point.solver = name;
+        point.wall_seconds = wall / n;
+        point.cpu_seconds = cpu / n;
+        point.max_sum = max_sum / n;
+        for (const auto& [counter, total] : counters) {
+          point.counters[counter] = total / common.reps;
+        }
+        report.AddPoint(std::move(point));
+      }
+      time_table.AddRow(time_row);
+      sum_table.AddRow(sum_row);
+    }
+    time_table.Print(std::cout);
+    sum_table.Print(std::cout);
+    if (common.csv) {
+      time_table.WriteCsv(std::cout);
+      sum_table.WriteCsv(std::cout);
+    }
   }
   report.Write();
   return 0;

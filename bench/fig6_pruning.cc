@@ -46,7 +46,6 @@ int main(int argc, char** argv) {
   flags.AddInt("max_invocations", &max_invocations,
                "safety cap on exhaustive Search invocations (0 = unlimited)");
   flags.Parse(argc, argv);
-  geacc::bench::RequireSerial(common, "fig6_pruning");
   geacc::bench::ReportContext report("fig6_pruning", flags, common);
   if (common.paper) max_invocations = 0;
 
@@ -66,8 +65,13 @@ int main(int argc, char** argv) {
     table->SetHeader({"rho", "prune", "exhaustive"});
   }
 
+  // --threads feeds the solvers' internal fan-out (arrangements and
+  // MaxSum are thread-invariant; search-effort counters can vary, see
+  // prune_solver.h). The truncated exhaustive run stays serial by design.
   geacc::SolverOptions prune_options;
+  prune_options.threads = common.threads;
   geacc::SolverOptions exhaustive_options;
+  exhaustive_options.threads = common.threads;
   exhaustive_options.max_search_invocations = max_invocations;
   const auto prune = geacc::CreateSolver("prune", prune_options);
   const auto exhaustive =

@@ -9,6 +9,7 @@
 #include "index/knn_index.h"
 #include "obs/stats.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace geacc {
@@ -67,16 +68,30 @@ SolveResult GreedySolver::Solve(const Instance& instance) const {
   for (UserId u = 0; u < num_users; ++u) {
     state.user_capacity[u] = instance.user_capacity(u);
   }
+  // Cursor creation and NN-frontier seeding fan out over the pool; the
+  // iteration loop below is inherently sequential (each pop changes the
+  // constraint state the next pop is judged against). Cursors occupy
+  // disjoint slots and CreateCursor/Next touch no shared mutable index
+  // state, so concurrent creation and advancement are race-free.
+  ThreadPool pool(ResolveThreadCount(options_.threads));
   state.event_cursors.resize(num_events);
   state.user_cursors.resize(num_users);
-  for (EventId v = 0; v < num_events; ++v) {
-    state.event_cursors[v] =
-        user_index->CreateCursor(instance.event_attributes().Row(v));
-  }
-  for (UserId u = 0; u < num_users; ++u) {
-    state.user_cursors[u] =
-        event_index->CreateCursor(instance.user_attributes().Row(u));
-  }
+  pool.ParallelFor(0, num_events, [&](int /*chunk*/, int64_t chunk_begin,
+                                      int64_t chunk_end) {
+    for (EventId v = static_cast<EventId>(chunk_begin);
+         v < static_cast<EventId>(chunk_end); ++v) {
+      state.event_cursors[v] =
+          user_index->CreateCursor(instance.event_attributes().Row(v));
+    }
+  });
+  pool.ParallelFor(0, num_users, [&](int /*chunk*/, int64_t chunk_begin,
+                                     int64_t chunk_end) {
+    for (UserId u = static_cast<UserId>(chunk_begin);
+         u < static_cast<UserId>(chunk_end); ++u) {
+      state.user_cursors[u] =
+          event_index->CreateCursor(instance.user_attributes().Row(u));
+    }
+  });
 
   const ConflictGraph& conflicts = instance.conflicts();
   // True iff v conflicts with an event already matched to u.
@@ -147,9 +162,74 @@ SolveResult GreedySolver::Solve(const Instance& instance) const {
 
   {
     // Initialization (lines 1–9): each node contributes its first NN.
+    // Serially this is advance_event(v, false) for every v then
+    // advance_user(u, false) for every u; both phases parallelize exactly:
+    //
+    //  * Event phase: cursor v yields only (v, ·) pairs and only event v
+    //    ever pushes (v, ·), so the pushed-set check can never fire —
+    //    every event independently consumes exactly one cursor entry.
+    //  * User phase: cursor u yields only (·, u) pairs, and the only
+    //    (·, u) entries in `pushed` are the event-phase ones — pairs
+    //    pushed by earlier users carry a different user id. Skip
+    //    decisions therefore depend only on the frozen event-phase set,
+    //    which the parallel region reads without mutation.
+    //
+    // Candidates fold on the caller in id order, reproducing the serial
+    // heap push sequence bit for bit; skip counts are integer sums.
     GEACC_PHASE_TIMER("greedy.init");
-    for (EventId v = 0; v < num_events; ++v) advance_event(v, false);
-    for (UserId u = 0; u < num_users; ++u) advance_user(u, false);
+    struct Seed {
+      EventId v;
+      UserId u;
+      double similarity;
+    };
+    ParallelMap<std::vector<Seed>>(
+        pool, 0, num_events,
+        [&](int64_t chunk_begin, int64_t chunk_end) {
+          std::vector<Seed> seeds;
+          for (EventId v = static_cast<EventId>(chunk_begin);
+               v < static_cast<EventId>(chunk_end); ++v) {
+            const auto next = state.event_cursors[v]->Next();
+            if (next && next->similarity > 0.0) {
+              seeds.push_back({v, next->id, next->similarity});
+            }
+          }
+          return seeds;
+        },
+        [&](const std::vector<Seed>& seeds) {
+          for (const Seed& seed : seeds) {
+            push_pair(seed.v, seed.u, seed.similarity);
+          }
+        });
+    struct UserSeeds {
+      std::vector<Seed> seeds;
+      int64_t skips = 0;
+    };
+    ParallelMap<UserSeeds>(
+        pool, 0, num_users,
+        [&](int64_t chunk_begin, int64_t chunk_end) {
+          UserSeeds out;
+          for (UserId u = static_cast<UserId>(chunk_begin);
+               u < static_cast<UserId>(chunk_end); ++u) {
+            while (true) {
+              const auto next = state.user_cursors[u]->Next();
+              if (!next) break;
+              if (next->similarity <= 0.0) break;
+              if (state.pushed.contains(PairKey(next->id, u))) {
+                ++out.skips;  // visited via the event phase
+                continue;
+              }
+              out.seeds.push_back({next->id, u, next->similarity});
+              break;
+            }
+          }
+          return out;
+        },
+        [&](const UserSeeds& out) {
+          cursor_skips += out.skips;
+          for (const Seed& seed : out.seeds) {
+            push_pair(seed.v, seed.u, seed.similarity);
+          }
+        });
   }
 
   {

@@ -1,5 +1,7 @@
 #include "algo/min_cost_flow_solver.h"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "algo/conflict_resolution.h"
@@ -8,6 +10,7 @@
 #include "flow/spfa_min_cost_flow.h"
 #include "obs/stats.h"
 #include "util/memory.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace geacc {
@@ -22,6 +25,12 @@ constexpr double kUnitCostStop = 1.0 - 1e-9;
 
 Arrangement MinCostFlowSolver::SolveWithoutConflicts(
     const Instance& instance, SolverStats* stats) const {
+  ThreadPool pool(ResolveThreadCount(options_.threads));
+  return SolveWithoutConflictsOn(instance, stats, pool);
+}
+
+Arrangement MinCostFlowSolver::SolveWithoutConflictsOn(
+    const Instance& instance, SolverStats* stats, ThreadPool& pool) const {
   const int num_events = instance.num_events();
   const int num_users = instance.num_users();
   Arrangement matching(num_events, num_users);
@@ -35,6 +44,23 @@ Arrangement MinCostFlowSolver::SolveWithoutConflicts(
   for (EventId v = 0; v < num_events; ++v) {
     graph.AddArc(source, 1 + v, instance.event_capacity(v), 0.0);
   }
+  // Pair-cost precompute fans out over events (each chunk owns a disjoint
+  // row slice); AddArc mutates the shared graph, so arc construction stays
+  // serial and just reads the precomputed costs in row-major order.
+  std::vector<double> pair_costs(static_cast<size_t>(num_events) * num_users);
+  {
+    GEACC_PHASE_TIMER("mcf.pair_costs");
+    pool.ParallelFor(0, num_events, [&](int /*chunk*/, int64_t chunk_begin,
+                                        int64_t chunk_end) {
+      for (EventId v = static_cast<EventId>(chunk_begin);
+           v < static_cast<EventId>(chunk_end); ++v) {
+        double* row = &pair_costs[static_cast<size_t>(v) * num_users];
+        for (UserId u = 0; u < num_users; ++u) {
+          row[u] = 1.0 - instance.Similarity(v, u);
+        }
+      }
+    });
+  }
   // Row-major (v, u) arc ids for matching extraction. The paper includes
   // arcs even for sim = 0 pairs (they may carry flow; such pairs are simply
   // excluded from the extracted matching).
@@ -42,7 +68,8 @@ Arrangement MinCostFlowSolver::SolveWithoutConflicts(
   for (EventId v = 0; v < num_events; ++v) {
     for (UserId u = 0; u < num_users; ++u) {
       pair_arcs[static_cast<size_t>(v) * num_users + u] = graph.AddArc(
-          1 + v, 1 + num_events + u, 1, 1.0 - instance.Similarity(v, u));
+          1 + v, 1 + num_events + u, 1,
+          pair_costs[static_cast<size_t>(v) * num_users + u]);
     }
   }
   for (UserId u = 0; u < num_users; ++u) {
@@ -53,36 +80,57 @@ Arrangement MinCostFlowSolver::SolveWithoutConflicts(
   // after k augmentations the residual flow is the min-cost flow of amount
   // k, and MaxSum(M_k) = k − cost(k). Unit costs are non-decreasing, so the
   // sweep stops at the first path that no longer improves, leaving the flow
-  // at the Δ with maximum MaxSum.
-  GEACC_PHASE_TIMER("mcf.flow_sweep");
+  // at the Δ with maximum MaxSum. Sequential by construction — the flow at
+  // Δ+1 extends the flow at Δ (see the header for why per-Δ fan-out loses).
   int64_t best_delta = 0;
   uint64_t engine_bytes = 0;
-  if (options_.flow_algorithm == "spfa") {
-    SpfaMinCostFlow spfa(&graph, source, sink);
-    while (spfa.AugmentIfCheaper(kUnitCostStop) == 1) ++best_delta;
-    engine_bytes = spfa.ByteEstimate();
-  } else {
-    GEACC_CHECK_EQ(options_.flow_algorithm, std::string("dijkstra"))
-        << "unknown flow_algorithm";
-    SuccessiveShortestPaths sspa(&graph, source, sink);
-    while (sspa.AugmentIfCheaper(kUnitCostStop) == 1) ++best_delta;
-    engine_bytes = sspa.ByteEstimate();
+  {
+    GEACC_PHASE_TIMER("mcf.flow_sweep");
+    if (options_.flow_algorithm == "spfa") {
+      SpfaMinCostFlow spfa(&graph, source, sink);
+      while (spfa.AugmentIfCheaper(kUnitCostStop) == 1) ++best_delta;
+      engine_bytes = spfa.ByteEstimate();
+    } else {
+      GEACC_CHECK_EQ(options_.flow_algorithm, std::string("dijkstra"))
+          << "unknown flow_algorithm";
+      SuccessiveShortestPaths sspa(&graph, source, sink);
+      while (sspa.AugmentIfCheaper(kUnitCostStop) == 1) ++best_delta;
+      engine_bytes = sspa.ByteEstimate();
+    }
   }
 
-  for (EventId v = 0; v < num_events; ++v) {
-    for (UserId u = 0; u < num_users; ++u) {
-      const int arc = pair_arcs[static_cast<size_t>(v) * num_users + u];
-      if (graph.Flow(arc) == 1 && instance.Similarity(v, u) > 0.0) {
-        matching.Add(v, u);
-      }
-    }
+  // Matching extraction reads the settled flow concurrently; per-chunk
+  // matched-pair lists fold in chunk order, reproducing the serial
+  // row-major Add order exactly.
+  {
+    GEACC_PHASE_TIMER("mcf.extract");
+    using PairList = std::vector<std::pair<EventId, UserId>>;
+    ParallelMap<PairList>(
+        pool, 0, num_events,
+        [&](int64_t chunk_begin, int64_t chunk_end) {
+          PairList matched;
+          for (EventId v = static_cast<EventId>(chunk_begin);
+               v < static_cast<EventId>(chunk_end); ++v) {
+            for (UserId u = 0; u < num_users; ++u) {
+              const int arc = pair_arcs[static_cast<size_t>(v) * num_users + u];
+              if (graph.Flow(arc) == 1 && instance.Similarity(v, u) > 0.0) {
+                matched.emplace_back(v, u);
+              }
+            }
+          }
+          return matched;
+        },
+        [&](const PairList& matched) {
+          for (const auto& [v, u] : matched) matching.Add(v, u);
+        });
   }
   if (stats != nullptr) {
     // +1 for the final (rejected) path search that ended the sweep.
     stats->flow_augmentations += best_delta + 1;
     stats->best_delta = best_delta;
-    stats->logical_peak_bytes +=
-        graph.ByteEstimate() + engine_bytes + VectorBytes(pair_arcs);
+    stats->logical_peak_bytes += graph.ByteEstimate() + engine_bytes +
+                                 VectorBytes(pair_arcs) +
+                                 VectorBytes(pair_costs);
   }
   GEACC_STATS_ADD("mcf.flow_sweeps", 1);
   GEACC_STATS_ADD("mcf.best_delta", best_delta);
@@ -92,23 +140,43 @@ Arrangement MinCostFlowSolver::SolveWithoutConflicts(
 SolveResult MinCostFlowSolver::Solve(const Instance& instance) const {
   WallTimer timer;
   SolverStats stats;
-  Arrangement unconstrained = SolveWithoutConflicts(instance, &stats);
+  ThreadPool pool(ResolveThreadCount(options_.threads));
+  Arrangement unconstrained =
+      SolveWithoutConflictsOn(instance, &stats, pool);
 
   // Step 2 (lines 8–14): per user, keep a non-conflicting subset —
-  // greedily (the paper's rule) or exactly (bitmask MWIS ablation).
+  // greedily (the paper's rule) or exactly (bitmask MWIS ablation). Users
+  // are independent, so resolution fans out; per-chunk kept lists are
+  // applied in chunk (= user) order, matching the serial Add order.
   GEACC_PHASE_TIMER("mcf.conflict_resolution");
   Arrangement result(instance.num_events(), instance.num_users());
-  for (UserId u = 0; u < instance.num_users(); ++u) {
-    const std::vector<EventId>& assigned = unconstrained.EventsOf(u);
-    if (assigned.empty()) continue;
-    const std::vector<EventId> kept =
-        options_.exact_conflict_resolution
-            ? ExactSelectNonConflicting(instance, u, assigned)
-            : GreedySelectNonConflicting(instance, u, assigned);
-    stats.conflicts_resolved +=
-        static_cast<int64_t>(assigned.size() - kept.size());
-    for (const EventId v : kept) result.Add(v, u);
-  }
+  struct ResolvedChunk {
+    std::vector<std::pair<UserId, std::vector<EventId>>> kept;
+    int64_t evicted = 0;
+  };
+  ParallelMap<ResolvedChunk>(
+      pool, 0, instance.num_users(),
+      [&](int64_t chunk_begin, int64_t chunk_end) {
+        ResolvedChunk out;
+        for (UserId u = static_cast<UserId>(chunk_begin);
+             u < static_cast<UserId>(chunk_end); ++u) {
+          const std::vector<EventId>& assigned = unconstrained.EventsOf(u);
+          if (assigned.empty()) continue;
+          std::vector<EventId> kept =
+              options_.exact_conflict_resolution
+                  ? ExactSelectNonConflicting(instance, u, assigned)
+                  : GreedySelectNonConflicting(instance, u, assigned);
+          out.evicted += static_cast<int64_t>(assigned.size() - kept.size());
+          out.kept.emplace_back(u, std::move(kept));
+        }
+        return out;
+      },
+      [&](const ResolvedChunk& chunk) {
+        stats.conflicts_resolved += chunk.evicted;
+        for (const auto& [u, kept] : chunk.kept) {
+          for (const EventId v : kept) result.Add(v, u);
+        }
+      });
   GEACC_STATS_ADD("mcf.conflict_evictions", stats.conflicts_resolved);
   stats.logical_peak_bytes +=
       unconstrained.ByteEstimate() + result.ByteEstimate();

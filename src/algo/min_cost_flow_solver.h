@@ -22,6 +22,16 @@
 // rebuilt per call. Counters reported: mcf.flow_sweeps, mcf.best_delta,
 // mcf.conflict_evictions (+ flow.* from the SSPA engine and resolve.*
 // from conflict resolution).
+//
+// Parallelism (SolverOptions::threads): the Δ-sweep itself is irreducibly
+// sequential — the flow at Δ+1 is the flow at Δ plus one augmentation, and
+// solving each Δ independently (the paper-literal reading) costs O(Δmax²)
+// path searches against the sweep's O(Δmax), so fanning the sweep out can
+// only lose. What does fan out are the O(|V|·|U|) phases around it: the
+// pair-cost precompute (1 − sim per pair), the matching extraction from
+// the residual flow, and per-user conflict resolution. Each uses
+// per-chunk partials folded in chunk order (util/thread_pool.h), so the
+// arrangement is bit-identical to the serial solve at any thread count.
 
 #ifndef GEACC_ALGO_MIN_COST_FLOW_SOLVER_H_
 #define GEACC_ALGO_MIN_COST_FLOW_SOLVER_H_
@@ -32,6 +42,8 @@
 #include "core/solver.h"
 
 namespace geacc {
+
+class ThreadPool;
 
 class MinCostFlowSolver final : public Solver {
  public:
@@ -47,6 +59,12 @@ class MinCostFlowSolver final : public Solver {
                                     SolverStats* stats) const;
 
  private:
+  // Shared implementation: Solve() constructs one pool for both steps;
+  // the public SolveWithoutConflicts builds its own.
+  Arrangement SolveWithoutConflictsOn(const Instance& instance,
+                                      SolverStats* stats,
+                                      ThreadPool& pool) const;
+
   SolverOptions options_;
 };
 

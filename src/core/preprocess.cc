@@ -1,26 +1,43 @@
 #include "core/preprocess.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace geacc {
 
-ReducedInstance ReduceInstance(const Instance& original) {
+ReducedInstance ReduceInstance(const Instance& original, int threads) {
   const int num_events = original.num_events();
   const int num_users = original.num_users();
 
-  // Positive-similarity partner counts per side.
+  // Positive-similarity partner counts per side. The scan fans out over
+  // events; each chunk owns its event_partners slice outright and folds a
+  // private user_partners partial (integer adds, so the fold is
+  // order-independent — chunk order is kept anyway for uniformity with the
+  // pool's determinism contract).
   std::vector<int> event_partners(num_events, 0);
   std::vector<int> user_partners(num_users, 0);
-  for (EventId v = 0; v < num_events; ++v) {
-    for (UserId u = 0; u < num_users; ++u) {
-      if (original.Similarity(v, u) > 0.0) {
-        ++event_partners[v];
-        ++user_partners[u];
-      }
-    }
-  }
+  ThreadPool pool(threads);
+  ParallelMap<std::vector<int>>(
+      pool, 0, num_events,
+      [&](int64_t chunk_begin, int64_t chunk_end) {
+        std::vector<int> partial(num_users, 0);
+        for (EventId v = static_cast<EventId>(chunk_begin);
+             v < static_cast<EventId>(chunk_end); ++v) {
+          for (UserId u = 0; u < num_users; ++u) {
+            if (original.Similarity(v, u) > 0.0) {
+              ++event_partners[v];
+              ++partial[u];
+            }
+          }
+        }
+        return partial;
+      },
+      [&](const std::vector<int>& partial) {
+        for (UserId u = 0; u < num_users; ++u) user_partners[u] += partial[u];
+      });
 
   std::vector<EventId> event_map;   // reduced → original
   std::vector<UserId> user_map;

@@ -39,7 +39,12 @@ struct ReducedInstance {
 //  * clamp c_v to the number of positively-similar users and c_u to the
 //    number of positively-similar non-… events (upper bounds on actual
 //    use; tightens Prune-GEACC's s_v·c_v bound and Δmax).
-ReducedInstance ReduceInstance(const Instance& original);
+//
+// `threads` follows the SolverOptions::threads convention (1 = serial,
+// 0 = auto): the O(|V|·|U|) valid-pair scan fans out over a thread pool,
+// with per-chunk partner counts folded in chunk order so the result is
+// bit-identical at any thread count.
+ReducedInstance ReduceInstance(const Instance& original, int threads = 1);
 
 // Lifts an arrangement on the reduced instance back to original ids.
 Arrangement LiftArrangement(const ReducedInstance& reduced,

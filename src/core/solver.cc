@@ -9,6 +9,10 @@ namespace geacc {
 // vtable so that every user of Solver does not emit its own copy.
 
 std::string ValidateSolverOptions(const SolverOptions& options) {
+  if (options.threads < 0) {
+    return StrFormat("threads must be >= 0 (0 = auto), got %d",
+                     options.threads);
+  }
   const std::string& index = options.index;
   if (index != "linear" && index != "kdtree" && index != "vafile" &&
       index != "idistance") {

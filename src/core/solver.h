@@ -11,12 +11,17 @@
 //    violation rather than report a number for an infeasible matching.
 //  * Solve() must be const with no observable shared mutable state, so
 //    one solver instance may be called concurrently from multiple
-//    threads (RunSweep does exactly this). Solvers are single-threaded
-//    internally; per-run observability counters (src/obs/) rely on that
-//    to attribute deltas to the calling thread.
+//    threads (RunSweep does exactly this). With SolverOptions::threads
+//    != 1 a solver may fan work out over a per-call thread pool
+//    (util/thread_pool.h); the pool re-credits worker-side counters to
+//    the calling thread, so per-run observability attribution (src/obs/)
+//    is preserved either way.
 //  * Determinism: identical (instance, SolverOptions) → identical
 //    arrangement on every platform; randomized solvers draw exclusively
-//    from SolverOptions::seed.
+//    from SolverOptions::seed. The arrangement is additionally invariant
+//    under SolverOptions::threads (search-effort counters under
+//    threads > 1 may vary run to run where opportunistic cross-thread
+//    pruning is involved; see prune_solver.h).
 //
 // Guarantees per algorithm (details in each header): MinCostFlow-GEACC
 // 1/max c_u (Theorem 2), Greedy-GEACC 1/(1 + max c_u) (Theorem 3),
@@ -37,6 +42,15 @@ class Instance;
 struct SolverOptions {
   // Seed for randomized solvers (Random-V / Random-U).
   uint64_t seed = 42;
+
+  // Intra-solver worker lanes (util/thread_pool.h): 1 = serial (default),
+  // N > 1 = a pool of N lanes, 0 = one lane per hardware thread. The
+  // parallel solve is bit-identical to the serial one at any value — the
+  // pool's chunked reductions are deterministic and all tie-breaking is
+  // fixed — so the approximation guarantees and golden tests are
+  // unaffected; only wall time changes. See DESIGN.md §10 for which
+  // phases of each solver fan out.
+  int threads = 1;
 
   // Greedy-GEACC: which k-NN index backs the neighbor cursors. "linear"
   // (batched incremental scan; works with any similarity) or "kdtree"
@@ -69,7 +83,8 @@ struct SolverOptions {
 
 // Checks the string-valued fields of `options` against the known backend
 // names (`index` ∈ {linear, kdtree, vafile, idistance}, `flow_algorithm` ∈
-// {dijkstra, spfa}). Returns an empty string when valid, else a description
+// {dijkstra, spfa}) and that `threads` is non-negative. Returns an empty
+// string when valid, else a description
 // of the first bad field. CreateSolver() CHECK-fails on a non-empty result
 // so that typos fail fast instead of surfacing mid-solve (or never, for
 // solvers that ignore the field).

@@ -6,6 +6,7 @@
 
 #include "algo/solvers.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -15,7 +16,9 @@ namespace geacc {
 RunRecord RunSolver(const Solver& solver, const Instance& instance) {
   // StatsScope diffs only this thread's counters, so per-run attribution
   // stays exact even when RunSweep shards cells across a pool (each cell
-  // runs its solvers serially on one thread; solvers are single-threaded).
+  // runs its solvers on one thread; solvers that fan out internally
+  // re-credit their worker-side deltas to this thread, see
+  // obs::ForwardToCallingThread).
   const obs::StatsScope scope;
   const CpuTimer cpu_timer;
   SolveResult result = solver.Solve(instance);
@@ -90,8 +93,14 @@ SweepResult RunSweep(const SweepConfig& config,
       }
     }
   };
+  // Budget rule (see SweepConfig::threads): intra-solver lanes come out of
+  // the same budget as sweep workers, so workers × lanes ≤ threads.
+  const int solver_lanes = std::min(
+      std::max(1, config.threads),
+      ResolveThreadCount(config.solver_options.threads));
   const int thread_count = std::max(
-      1, std::min<int>(config.threads, static_cast<int>(cells.size())));
+      1, std::min<int>(std::max(1, config.threads) / solver_lanes,
+                       static_cast<int>(cells.size())));
   if (thread_count == 1) {
     worker();
   } else {

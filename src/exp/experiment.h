@@ -60,10 +60,17 @@ struct SweepConfig {
   SolverOptions solver_options;
   // Echo per-run details (solver, point, rep) to the log at INFO.
   bool verbose = false;
-  // Worker threads over the (point × repetition) grid. Results are
-  // deterministic and identical to a serial run; wall-time measurements
-  // become noisy under contention, so use > 1 only for MaxSum-focused
-  // sweeps.
+  // Total thread budget for the sweep, shared between the two levels of
+  // parallelism: sweep workers over the (point × repetition) grid, and
+  // intra-solver lanes (solver_options.threads, see util/thread_pool.h).
+  // The budget rule keeps workers × lanes ≤ threads: solver lanes s =
+  // min(resolved solver_options.threads, threads), sweep workers =
+  // max(1, threads / s). So threads=8 with serial solvers runs 8 cells at
+  // once; threads=8 with solver_options.threads=8 runs one cell at a time
+  // on an 8-lane pool; threads=8 with solver_options.threads=2 runs 4
+  // cells × 2 lanes. Results are deterministic and identical to a serial
+  // run either way; wall-time measurements become noisy under contention,
+  // so use > 1 only for MaxSum-focused sweeps.
   int threads = 1;
 };
 

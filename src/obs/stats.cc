@@ -81,14 +81,18 @@ class StatsRegistry::Impl {
   }
 
   void RecordTime(TimerId id, double seconds) {
+    RecordTimerStat(id, {seconds, 1});
+  }
+
+  void RecordTimerStat(TimerId id, const TimerStat& stat) {
     ThreadCells& cells = Mine();
     cells.GrowTo(cells.timer_seconds, static_cast<size_t>(id) + 1);
     cells.GrowTo(cells.timer_counts, static_cast<size_t>(id) + 1);
     std::atomic<double>& total = cells.timer_seconds[id];
-    total.store(total.load(std::memory_order_relaxed) + seconds,
+    total.store(total.load(std::memory_order_relaxed) + stat.seconds,
                 std::memory_order_relaxed);
     std::atomic<int64_t>& count = cells.timer_counts[id];
-    count.store(count.load(std::memory_order_relaxed) + 1,
+    count.store(count.load(std::memory_order_relaxed) + stat.count,
                 std::memory_order_relaxed);
   }
 
@@ -224,6 +228,20 @@ void StatsRegistry::Add(CounterId id, int64_t delta) {
 
 void StatsRegistry::RecordTime(TimerId id, double seconds) {
   impl().RecordTime(id, seconds);
+}
+
+void StatsRegistry::RecordTimerStat(TimerId id, const TimerStat& stat) {
+  impl().RecordTimerStat(id, stat);
+}
+
+void ForwardToCallingThread(const StatsSnapshot& snapshot) {
+  StatsRegistry& registry = StatsRegistry::Global();
+  for (const auto& [name, value] : snapshot.counters) {
+    registry.Add(registry.RegisterCounter(name), value);
+  }
+  for (const auto& [name, stat] : snapshot.timers) {
+    registry.RecordTimerStat(registry.RegisterTimer(name), stat);
+  }
 }
 
 StatsSnapshot StatsRegistry::Snapshot() const { return impl().Snapshot(); }

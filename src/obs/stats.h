@@ -77,6 +77,11 @@ class StatsRegistry {
   void Add(CounterId id, int64_t delta);
   void RecordTime(TimerId id, double seconds);
 
+  // Folds a harvested TimerStat into the calling thread's cells without
+  // bumping the span count per call (seconds += stat.seconds, count +=
+  // stat.count). Used when replaying another thread's deltas.
+  void RecordTimerStat(TimerId id, const TimerStat& stat);
+
   // Totals across all threads, live and exited.
   StatsSnapshot Snapshot() const;
 
@@ -96,6 +101,14 @@ class StatsRegistry {
   class Impl;
   Impl& impl() const;
 };
+
+// Re-credits `snapshot` (typically a StatsScope harvest from a pool
+// worker) to the calling thread's cells, registering names as needed.
+// ThreadPool::ParallelFor uses this so intra-solver parallelism keeps the
+// "one StatsScope per run" attribution model: worker-side counters and
+// phase timers end up on the thread that owns the parallel region. A
+// no-op under GEACC_NO_STATS (snapshots are empty there).
+void ForwardToCallingThread(const StatsSnapshot& snapshot);
 
 // Captures the calling thread's instrumentation activity over a scope.
 // Construct before the work, Harvest() after: the result holds exactly the

@@ -1,0 +1,129 @@
+// Work-stealing thread pool for intra-solver parallelism.
+//
+// The pool owns `threads - 1` worker threads; the thread that calls
+// ParallelFor is the remaining lane, so ThreadPool(1) spawns nothing and
+// every parallel region degenerates to the plain serial loop. Each worker
+// has its own deque: submissions are spread round-robin, owners pop from
+// the back (LIFO, cache-warm), and idle workers steal from the front of
+// other deques (FIFO, oldest first) — the classic Chase–Lev discipline,
+// implemented with per-deque mutexes rather than lock-free buffers because
+// chunk granularity here is far above the contention regime and mutexes
+// keep the pool trivially ThreadSanitizer-clean.
+//
+// Determinism contract: ParallelFor splits [begin, end) into chunks whose
+// boundaries depend only on the range, the grain, and the pool size —
+// never on timing. Callers that reduce must either write to disjoint
+// per-index slots or reduce per-chunk partials in chunk order (see
+// ParallelMap below); every solver in src/algo/ follows this discipline,
+// which is what makes `--threads N` bit-identical to the serial solve.
+//
+// Observability: chunks executed on pool workers run under an
+// obs::StatsScope whose deltas are re-credited to the calling thread once
+// the region completes, so StatsScope/RunRecord attribution (DESIGN.md §9)
+// keeps working when a solver goes parallel. The pool also reports
+// pool.parallel_fors, pool.chunks, and pool.steals on the calling thread
+// (steals are timing-dependent; the rest are deterministic).
+//
+// Lifecycle: solvers construct a pool per Solve() call (worker startup is
+// microseconds against any solve that benefits from threads) and tear it
+// down on scope exit, so concurrent Solve() calls — RunSweep fans whole
+// runs out over raw threads — never share mutable pool state.
+
+#ifndef GEACC_UTIL_THREAD_POOL_H_
+#define GEACC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geacc {
+
+// Maps a SolverOptions-style thread request to an actual count: values
+// >= 1 are taken as-is, 0 (and negatives) mean "one lane per hardware
+// thread" (at least 1).
+int ResolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  // Spawns max(0, threads - 1) workers; `threads` <= 1 yields an inline
+  // pool that runs everything on the caller.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Lanes available to a parallel region: workers + the calling thread.
+  int concurrency() const { return static_cast<int>(queues_.size()) + 1; }
+
+  // Number of chunks ParallelFor will use for this range: a pure function
+  // of (range, grain, pool size), so callers can preallocate per-chunk
+  // slots. Always >= 1 for a non-empty range.
+  int NumChunks(int64_t begin, int64_t end, int64_t grain = 1) const;
+
+  // Runs chunk_fn(chunk_index, chunk_begin, chunk_end) over a disjoint
+  // deterministic cover of [begin, end). Chunks run concurrently across
+  // the pool (the caller participates); the call returns when all chunks
+  // have finished. No chunk is smaller than min(grain, end - begin).
+  // Not reentrant: chunk_fn must not call back into the same pool.
+  void ParallelFor(
+      int64_t begin, int64_t end,
+      const std::function<void(int chunk, int64_t chunk_begin,
+                               int64_t chunk_end)>& chunk_fn,
+      int64_t grain = 1);
+
+  // Total successful steals since construction (timing-dependent).
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int worker_index);
+  // Runs one queued task if any is available (own queue first, then
+  // steals). Returns false when every queue was empty.
+  bool RunOneTask(int home_queue);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;   // workers sleep here
+  int64_t queued_ = 0;                // tasks enqueued, guarded by wake_mu_
+  bool stop_ = false;                 // guarded by wake_mu_
+
+  std::atomic<int64_t> steals_{0};
+  std::atomic<uint64_t> next_queue_{0};
+};
+
+// Deterministic map-reduce helper: applies map_fn to every chunk, storing
+// each chunk's partial in a slot, then folds the partials *in chunk order*
+// on the calling thread. Integer partials make the result independent of
+// the chunk count as well; floating-point partials are deterministic for a
+// fixed pool size.
+template <typename Partial, typename MapFn, typename FoldFn>
+void ParallelMap(ThreadPool& pool, int64_t begin, int64_t end,
+                 const MapFn& map_fn, const FoldFn& fold_fn,
+                 int64_t grain = 1) {
+  if (end <= begin) return;
+  std::vector<Partial> partials(pool.NumChunks(begin, end, grain));
+  pool.ParallelFor(
+      begin, end,
+      [&](int chunk, int64_t chunk_begin, int64_t chunk_end) {
+        partials[chunk] = map_fn(chunk_begin, chunk_end);
+      },
+      grain);
+  for (Partial& partial : partials) fold_fn(partial);
+}
+
+}  // namespace geacc
+
+#endif  // GEACC_UTIL_THREAD_POOL_H_
