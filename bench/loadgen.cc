@@ -1,0 +1,332 @@
+// Load generator for geacc_serve (DESIGN.md §11).
+//
+// Drives a running arrangement service over TCP with N client threads,
+// each on its own connection, issuing a configurable mix of reads
+// (get_assignments / get_attendees / top_k / stats) and mutations. Two
+// pacing modes:
+//
+//   --mode closed   each thread fires its next request the moment the
+//                   previous reply lands (throughput test)
+//   --mode open     requests are scheduled at --rate QPS total; latency is
+//                   measured from the *scheduled* send time, so queueing
+//                   delay counts (no coordinated omission)
+//
+// Reports aggregate throughput and p50/p95/p99 latency, and with --json
+// writes a `geacc-bench v1` report whose point carries the new optional
+// "latency" object (src/obs/bench_report.h). Overloaded mutate replies are
+// counted (svc backpressure working as designed), not errors. Exit is
+// non-zero on connect failures or any protocol/network error.
+//
+//   loadgen --port 7411 --threads 4 --duration_s 5 --json report.json
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dyn/mutation.h"
+#include "exp/metrics.h"
+#include "obs/bench_report.h"
+#include "svc/client.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using geacc::LatencyRecorder;
+using geacc::Mutation;
+using geacc::Rng;
+using geacc::svc::RpcStatus;
+using geacc::svc::ScoredEvent;
+using geacc::svc::ServiceStatsView;
+using geacc::svc::SocketClient;
+
+struct OpMix {
+  double assignments = 0.40;
+  double attendees = 0.30;
+  double topk = 0.20;
+  double stats = 0.05;
+  // remainder = mutate
+};
+
+struct WorkerResult {
+  int64_t requests = 0;
+  int64_t assignments = 0;
+  int64_t attendees = 0;
+  int64_t topk = 0;
+  int64_t stats = 0;
+  int64_t mutates = 0;
+  int64_t overloads = 0;
+  int64_t server_errors = 0;
+  int64_t protocol_errors = 0;  // protocol + network failures
+  LatencyRecorder latency;
+};
+
+// Random mutation shaped like trace_gen churn: mostly capacity jitter plus
+// some user add/remove, against the id ranges the bootstrap stats report.
+Mutation RandomMutation(Rng& rng, const ServiceStatsView& shape, int dim) {
+  const double pick = rng.UniformReal(0.0, 1.0);
+  if (pick < 0.4) {
+    return Mutation::SetUserCapacity(
+        rng.UniformInt(0, shape.user_slots - 1), rng.UniformInt(1, 4));
+  }
+  if (pick < 0.7) {
+    return Mutation::SetEventCapacity(
+        rng.UniformInt(0, shape.event_slots - 1), rng.UniformInt(1, 50));
+  }
+  if (pick < 0.9) {
+    std::vector<double> attributes(dim);
+    for (double& a : attributes) a = rng.UniformReal(0.0, 10000.0);
+    return Mutation::AddUser(std::move(attributes), rng.UniformInt(1, 4));
+  }
+  return Mutation::RemoveUser(rng.UniformInt(0, shape.user_slots - 1));
+}
+
+void RunWorker(const std::string& host, int port, double duration_s,
+               bool open_loop, double thread_rate, const OpMix& mix, int topk,
+               const ServiceStatsView& shape, int dim, uint64_t seed,
+               WorkerResult* result) {
+  SocketClient client;
+  std::string error;
+  if (!client.Connect(host, port, &error)) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    ++result->protocol_errors;
+    return;
+  }
+  Rng rng(seed);
+  std::vector<int32_t> ids;
+  std::vector<ScoredEvent> scored;
+  ServiceStatsView stats;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration_s));
+  const std::chrono::duration<double> interval(
+      thread_rate > 0.0 ? 1.0 / thread_rate : 0.0);
+  auto scheduled = start;
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (open_loop) {
+      std::this_thread::sleep_until(scheduled);
+    }
+    const auto issue_time =
+        open_loop ? scheduled : std::chrono::steady_clock::now();
+
+    const double pick = rng.UniformReal(0.0, 1.0);
+    RpcStatus status;
+    if (pick < mix.assignments) {
+      status = client.GetAssignments(
+          rng.UniformInt(0, shape.user_slots - 1), &ids);
+      ++result->assignments;
+    } else if (pick < mix.assignments + mix.attendees) {
+      status = client.GetAttendees(
+          rng.UniformInt(0, shape.event_slots - 1), &ids);
+      ++result->attendees;
+    } else if (pick < mix.assignments + mix.attendees + mix.topk) {
+      status = client.TopKEvents(rng.UniformInt(0, shape.user_slots - 1),
+                                 topk, &scored);
+      ++result->topk;
+    } else if (pick < mix.assignments + mix.attendees + mix.topk + mix.stats) {
+      status = client.GetStats(&stats);
+      ++result->stats;
+    } else {
+      status = client.Mutate(RandomMutation(rng, shape, dim), nullptr);
+      ++result->mutates;
+    }
+    ++result->requests;
+    result->latency.Record(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - issue_time)
+                               .count());
+
+    switch (status) {
+      case RpcStatus::kOk:
+        break;
+      case RpcStatus::kOverloaded:
+        ++result->overloads;
+        break;
+      case RpcStatus::kServerError:
+        // Expected under churn: a read can race a remove_user the service
+        // applied between our stats snapshot and now — but out-of-range
+        // ids never are, so count and report.
+        ++result->server_errors;
+        break;
+      default:
+        ++result->protocol_errors;
+        std::fprintf(stderr, "loadgen: %s: %s\n", RpcStatusName(status),
+                     client.last_error().c_str());
+        return;  // connection is gone; stop this worker
+    }
+    scheduled += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(interval);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7411;
+  int threads = 4;
+  double duration_s = 5.0;
+  std::string mode = "closed";
+  double rate = 50000.0;
+  int topk = 8;
+  double mutate_fraction = 0.05;
+  int dim = 20;
+  std::string json;
+  std::string label = "mixed";
+  int64_t seed = 42;
+
+  geacc::FlagSet flags;
+  flags.AddString("host", &host, "server host");
+  flags.AddInt("port", &port, "server port");
+  flags.AddInt("threads", &threads, "client threads (one connection each)");
+  flags.AddDouble("duration_s", &duration_s, "run length in seconds");
+  flags.AddString("mode", &mode,
+                  "closed (back-to-back) | open (paced by --rate)");
+  flags.AddDouble("rate", &rate, "open-loop target QPS across all threads");
+  flags.AddInt("topk", &topk, "k for top_k requests");
+  flags.AddDouble("mutate_fraction", &mutate_fraction,
+                  "fraction of requests that are mutations");
+  flags.AddInt("dim", &dim,
+               "attribute dimension for add_user mutations (must match the "
+               "server; it rejects mismatched arity)");
+  flags.AddString("json", &json,
+                  "write a geacc-bench v1 JSON report to this path");
+  flags.AddString("label", &label, "report point label");
+  flags.AddInt("seed", &seed, "base RNG seed");
+  flags.Parse(argc, argv);
+
+  if (mode != "closed" && mode != "open") {
+    std::fprintf(stderr, "loadgen: --mode must be 'closed' or 'open'\n");
+    return 2;
+  }
+  if (threads < 1 || duration_s <= 0.0 || mutate_fraction < 0.0 ||
+      mutate_fraction > 1.0) {
+    std::fprintf(stderr, "loadgen: bad --threads/--duration_s/"
+                         "--mutate_fraction\n");
+    return 2;
+  }
+
+  // One bootstrap connection: learn the id ranges and prove the server is
+  // up before spawning workers.
+  SocketClient probe;
+  std::string error;
+  if (!probe.Connect(host, port, &error)) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  ServiceStatsView shape;
+  if (probe.GetStats(&shape) != RpcStatus::kOk) {
+    std::fprintf(stderr, "loadgen: stats probe failed: %s\n",
+                 probe.last_error().c_str());
+    return 1;
+  }
+  OpMix mix;
+  const double read_scale =
+      (1.0 - mutate_fraction) /
+      (mix.assignments + mix.attendees + mix.topk + mix.stats);
+  mix.assignments *= read_scale;
+  mix.attendees *= read_scale;
+  mix.topk *= read_scale;
+  mix.stats *= read_scale;
+
+  const bool open_loop = mode == "open";
+  const double thread_rate = open_loop ? rate / threads : 0.0;
+
+  std::fprintf(stderr,
+               "loadgen: %d thread(s), %.1fs, %s loop against %s:%d "
+               "(|V| slots %d, |U| slots %d)\n",
+               threads, duration_s, mode.c_str(), host.c_str(), port,
+               shape.event_slots, shape.user_slots);
+
+  std::vector<WorkerResult> results(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  geacc::WallTimer wall;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(RunWorker, host, port, duration_s, open_loop,
+                         thread_rate, mix, topk, shape, dim,
+                         static_cast<uint64_t>(seed) + t, &results[t]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = wall.Seconds();
+
+  WorkerResult total;
+  LatencyRecorder all_latency;
+  for (const WorkerResult& r : results) {
+    total.requests += r.requests;
+    total.assignments += r.assignments;
+    total.attendees += r.attendees;
+    total.topk += r.topk;
+    total.stats += r.stats;
+    total.mutates += r.mutates;
+    total.overloads += r.overloads;
+    total.server_errors += r.server_errors;
+    total.protocol_errors += r.protocol_errors;
+    // Exact percentiles need the union of every thread's samples.
+    for (const double sample : r.latency.samples()) {
+      all_latency.Record(sample);
+    }
+  }
+  const double p50_ms = all_latency.Percentile(50.0) * 1e3;
+  const double p95_ms = all_latency.Percentile(95.0) * 1e3;
+  const double p99_ms = all_latency.Percentile(99.0) * 1e3;
+
+  ServiceStatsView final_stats;
+  probe.GetStats(&final_stats);
+
+  const double qps = elapsed > 0.0 ? total.requests / elapsed : 0.0;
+  std::printf("loadgen: %lld requests in %.2fs = %.0f QPS\n",
+              static_cast<long long>(total.requests), elapsed, qps);
+  std::printf("loadgen: latency p50 %.3fms  p95 %.3fms  p99 %.3fms "
+              "(%lld samples)\n",
+              p50_ms, p95_ms, p99_ms,
+              static_cast<long long>(all_latency.count()));
+  std::printf("loadgen: overloads %lld, server_errors %lld, "
+              "protocol_errors %lld\n",
+              static_cast<long long>(total.overloads),
+              static_cast<long long>(total.server_errors),
+              static_cast<long long>(total.protocol_errors));
+
+  if (!json.empty()) {
+    geacc::obs::BenchReport report;
+    report.bench = "loadgen";
+    report.git_rev = geacc::obs::GitRevision();
+    for (const auto& [name, value] : flags.Values()) {
+      report.flags[name] = value;
+    }
+    geacc::obs::BenchPoint point;
+    point.label = label;
+    point.solver = "service";
+    point.wall_seconds = elapsed;
+    point.max_sum = final_stats.max_sum;
+    point.counters["loadgen.requests"] = total.requests;
+    point.counters["loadgen.qps"] = static_cast<int64_t>(qps);
+    point.counters["loadgen.get_assignments"] = total.assignments;
+    point.counters["loadgen.get_attendees"] = total.attendees;
+    point.counters["loadgen.top_k"] = total.topk;
+    point.counters["loadgen.stats"] = total.stats;
+    point.counters["loadgen.mutates"] = total.mutates;
+    point.counters["loadgen.overloads"] = total.overloads;
+    point.counters["loadgen.server_errors"] = total.server_errors;
+    point.counters["loadgen.protocol_errors"] = total.protocol_errors;
+    point.counters["svc.applied_seq"] = final_stats.applied_seq;
+    point.has_latency = true;
+    point.latency = {p50_ms, p95_ms, p99_ms, all_latency.count()};
+    report.points.push_back(std::move(point));
+    std::string write_error;
+    if (!report.WriteFile(json, &write_error)) {
+      std::fprintf(stderr, "loadgen: %s\n", write_error.c_str());
+      return 1;
+    }
+    std::printf("wrote geacc-bench v1 report: %s\n", json.c_str());
+  }
+
+  return total.protocol_errors == 0 ? 0 : 1;
+}

@@ -18,6 +18,7 @@ IncrementalArranger::IncrementalArranger(DynamicInstance* instance,
   GEACC_CHECK(instance_ != nullptr);
   SolverOptions solver_options;
   solver_options.index = options_.index;
+  solver_options.threads = options_.threads;
   const std::string options_error = ValidateSolverOptions(solver_options);
   GEACC_CHECK(options_error.empty()) << options_error;
   fallback_ = CreateSolver(options_.fallback_solver, solver_options);

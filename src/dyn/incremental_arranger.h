@@ -67,6 +67,12 @@ struct RepairOptions {
 
   // Registry name of the full re-solve fallback (see algo/solvers.h).
   std::string fallback_solver = "greedy";
+
+  // Thread budget handed to the fallback solver's SolverOptions. Solvers
+  // are bit-identical across thread counts (DESIGN.md §10,
+  // tests/parallel_determinism_test), so this trades full-resolve latency
+  // only — repair results never depend on it.
+  int threads = 1;
 };
 
 // Cumulative counters; repair latencies are per-Apply.

@@ -63,6 +63,10 @@ class LatencyRecorder {
   // Nearest-rank percentile, `p` ∈ [0, 100]; 0 with no samples.
   double Percentile(double p) const;
 
+  // Raw samples in whatever order Percentile() left them — for merging
+  // per-thread recorders into one population (bench/loadgen).
+  const std::vector<double>& samples() const { return samples_; }
+
  private:
   std::vector<double> samples_;
   double total_ = 0.0;

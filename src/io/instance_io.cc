@@ -1,5 +1,6 @@
 #include "io/instance_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -31,7 +32,9 @@ bool ParseEntityLine(const std::vector<std::string>& tokens,
   std::vector<double> row(dim);
   for (int j = 0; j < dim; ++j) {
     const auto value = ParseDouble(tokens[2 + j]);
-    if (!value) return false;
+    // strtod happily yields "nan"/"inf"; no finite writer emits them, so
+    // treat them as corruption rather than let NaN poison similarities.
+    if (!value || !std::isfinite(*value)) return false;
     row[j] = *value;
   }
   rows.push_back(std::move(row));

@@ -1,7 +1,10 @@
 #include "io/trace_io.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -17,7 +20,97 @@ using io_internal::Fail;
 using io_internal::LineReader;
 using io_internal::ParseCountLine;
 
-void WriteMutation(const Mutation& mutation, std::ostream& os) {
+// Upper bound on speculative reserve() from untrusted count lines: a
+// garbage count must not become a multi-GiB allocation before the first
+// malformed line is even reached.
+constexpr int64_t kMaxSpeculativeReserve = 1 << 16;
+
+// Parses the tokens after the keyword of an add_user/add_event line:
+// "<capacity> <attr...>" with exactly `dim` attributes.
+bool ParseAddOperands(const std::vector<std::string>& tokens, int dim,
+                      Mutation& mutation) {
+  if (dim < 0 || tokens.size() != static_cast<size_t>(dim) + 2) return false;
+  const auto capacity = ParseInt(tokens[1]);
+  if (!capacity || *capacity < 1) return false;
+  mutation.capacity = static_cast<int>(*capacity);
+  mutation.attributes.resize(dim);
+  for (int j = 0; j < dim; ++j) {
+    const auto value = ParseDouble(tokens[2 + j]);
+    // Reject "nan"/"inf" (strtod accepts both): these lines come from the
+    // wire and the WAL, and a NaN attribute poisons every similarity.
+    if (!value || !std::isfinite(*value)) return false;
+    mutation.attributes[j] = *value;
+  }
+  return true;
+}
+
+// Parses "<keyword> <id>" or "<keyword> <a> <b>" operand lists of
+// non-negative integers into `out` (size names the arity).
+bool ParseIntOperands(const std::vector<std::string>& tokens,
+                      std::vector<int64_t>& out) {
+  if (tokens.size() != out.size() + 1) return false;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const auto value = ParseInt(tokens[1 + i]);
+    if (!value || *value < 0 || *value > INT32_MAX) return false;
+    out[i] = *value;
+  }
+  return true;
+}
+
+// Shared core of ParseMutationLine and the trace reader: decodes one
+// tokenized mutation line, or returns nullopt with a reason.
+std::optional<Mutation> ParseMutationTokens(
+    const std::vector<std::string>& tokens, int dim, std::string* error) {
+  if (tokens.empty()) {
+    Fail(error, "empty mutation line");
+    return std::nullopt;
+  }
+  const std::string& keyword = tokens[0];
+  Mutation mutation;
+  bool ok = false;
+  if (keyword == "add_user" || keyword == "add_event") {
+    mutation.kind = keyword == "add_user" ? Mutation::Kind::kAddUser
+                                          : Mutation::Kind::kAddEvent;
+    ok = ParseAddOperands(tokens, dim, mutation);
+  } else if (keyword == "remove_user" || keyword == "remove_event") {
+    mutation.kind = keyword == "remove_user" ? Mutation::Kind::kRemoveUser
+                                             : Mutation::Kind::kRemoveEvent;
+    std::vector<int64_t> operands(1);
+    ok = ParseIntOperands(tokens, operands);
+    if (ok) mutation.id = static_cast<int32_t>(operands[0]);
+  } else if (keyword == "add_conflict") {
+    mutation.kind = Mutation::Kind::kAddConflict;
+    std::vector<int64_t> operands(2);
+    ok = ParseIntOperands(tokens, operands) && operands[0] != operands[1];
+    if (ok) {
+      mutation.id = static_cast<int32_t>(operands[0]);
+      mutation.other = static_cast<int32_t>(operands[1]);
+    }
+  } else if (keyword == "set_event_capacity" ||
+             keyword == "set_user_capacity") {
+    mutation.kind = keyword == "set_event_capacity"
+                        ? Mutation::Kind::kSetEventCapacity
+                        : Mutation::Kind::kSetUserCapacity;
+    std::vector<int64_t> operands(2);
+    ok = ParseIntOperands(tokens, operands) && operands[1] >= 1;
+    if (ok) {
+      mutation.id = static_cast<int32_t>(operands[0]);
+      mutation.capacity = static_cast<int>(operands[1]);
+    }
+  } else {
+    Fail(error, "unknown mutation '" + keyword + "'");
+    return std::nullopt;
+  }
+  if (!ok) {
+    Fail(error, "malformed '" + keyword + "' mutation");
+    return std::nullopt;
+  }
+  return mutation;
+}
+
+}  // namespace
+
+void WriteMutationLine(const Mutation& mutation, std::ostream& os) {
   os << MutationKindName(mutation.kind);
   switch (mutation.kind) {
     case Mutation::Kind::kAddUser:
@@ -42,44 +135,29 @@ void WriteMutation(const Mutation& mutation, std::ostream& os) {
   os << "\n";
 }
 
-// Parses the tokens after the keyword of an add_user/add_event line:
-// "<capacity> <attr...>" with exactly `dim` attributes.
-bool ParseAddOperands(const std::vector<std::string>& tokens, int dim,
-                      Mutation& mutation) {
-  if (tokens.size() != static_cast<size_t>(dim) + 2) return false;
-  const auto capacity = ParseInt(tokens[1]);
-  if (!capacity || *capacity < 1) return false;
-  mutation.capacity = static_cast<int>(*capacity);
-  mutation.attributes.resize(dim);
-  for (int j = 0; j < dim; ++j) {
-    const auto value = ParseDouble(tokens[2 + j]);
-    if (!value) return false;
-    mutation.attributes[j] = *value;
-  }
-  return true;
+std::string FormatMutationLine(const Mutation& mutation) {
+  std::ostringstream os;
+  WriteMutationLine(mutation, os);
+  std::string line = os.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return line;
 }
 
-// Parses "<keyword> <id>" or "<keyword> <a> <b>" operand lists of
-// non-negative integers into `out` (size names the arity).
-bool ParseIntOperands(const std::vector<std::string>& tokens,
-                      std::vector<int64_t>& out) {
-  if (tokens.size() != out.size() + 1) return false;
-  for (size_t i = 0; i < out.size(); ++i) {
-    const auto value = ParseInt(tokens[1 + i]);
-    if (!value || *value < 0) return false;
-    out[i] = *value;
-  }
-  return true;
+std::optional<Mutation> ParseMutationLine(const std::string& line, int dim,
+                                          std::string* error) {
+  std::istringstream tokens{line};
+  std::vector<std::string> result;
+  std::string token;
+  while (tokens >> token) result.push_back(std::move(token));
+  return ParseMutationTokens(result, dim, error);
 }
-
-}  // namespace
 
 void WriteTrace(const MutationTrace& trace, std::ostream& os) {
   os << "geacc-trace v1\n";
   WriteInstance(trace.initial, os);
   os << "mutations " << trace.mutations.size() << "\n";
   for (const Mutation& mutation : trace.mutations) {
-    WriteMutation(mutation, os);
+    WriteMutationLine(mutation, os);
   }
 }
 
@@ -111,55 +189,22 @@ std::optional<MutationTrace> ReadTrace(std::istream& is, std::string* error) {
   }
 
   MutationTrace trace{std::move(*initial), {}};
-  trace.mutations.reserve(static_cast<size_t>(num_mutations));
+  trace.mutations.reserve(static_cast<size_t>(
+      std::min(num_mutations, kMaxSpeculativeReserve)));
   for (int64_t i = 0; i < num_mutations; ++i) {
     const auto tokens = reader.NextTokens();
     if (tokens.empty()) {
       Fail(error, At(reader, "unexpected end of mutation list"));
       return std::nullopt;
     }
-    const std::string& keyword = tokens[0];
-    Mutation mutation;
-    bool ok = false;
-    if (keyword == "add_user" || keyword == "add_event") {
-      mutation.kind = keyword == "add_user" ? Mutation::Kind::kAddUser
-                                            : Mutation::Kind::kAddEvent;
-      ok = ParseAddOperands(tokens, dim, mutation);
-    } else if (keyword == "remove_user" || keyword == "remove_event") {
-      mutation.kind = keyword == "remove_user"
-                          ? Mutation::Kind::kRemoveUser
-                          : Mutation::Kind::kRemoveEvent;
-      std::vector<int64_t> operands(1);
-      ok = ParseIntOperands(tokens, operands);
-      if (ok) mutation.id = static_cast<int32_t>(operands[0]);
-    } else if (keyword == "add_conflict") {
-      mutation.kind = Mutation::Kind::kAddConflict;
-      std::vector<int64_t> operands(2);
-      ok = ParseIntOperands(tokens, operands) && operands[0] != operands[1];
-      if (ok) {
-        mutation.id = static_cast<int32_t>(operands[0]);
-        mutation.other = static_cast<int32_t>(operands[1]);
-      }
-    } else if (keyword == "set_event_capacity" ||
-               keyword == "set_user_capacity") {
-      mutation.kind = keyword == "set_event_capacity"
-                          ? Mutation::Kind::kSetEventCapacity
-                          : Mutation::Kind::kSetUserCapacity;
-      std::vector<int64_t> operands(2);
-      ok = ParseIntOperands(tokens, operands) && operands[1] >= 1;
-      if (ok) {
-        mutation.id = static_cast<int32_t>(operands[0]);
-        mutation.capacity = static_cast<int>(operands[1]);
-      }
-    } else {
-      Fail(error, At(reader, "unknown mutation '" + keyword + "'"));
+    std::string mutation_error;
+    std::optional<Mutation> mutation =
+        ParseMutationTokens(tokens, dim, &mutation_error);
+    if (!mutation) {
+      Fail(error, At(reader, mutation_error));
       return std::nullopt;
     }
-    if (!ok) {
-      Fail(error, At(reader, "malformed '" + keyword + "' mutation"));
-      return std::nullopt;
-    }
-    trace.mutations.push_back(std::move(mutation));
+    trace.mutations.push_back(std::move(*mutation));
   }
   return trace;
 }

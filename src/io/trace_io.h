@@ -34,6 +34,23 @@
 
 namespace geacc {
 
+// ----- single mutations -----
+//
+// One mutation ⇔ one line of the trace format. These are the shared
+// encode/decode for every consumer of the encoding: trace files, the
+// service WAL (svc/wal.h), and the wire protocol's kMutate payload
+// (svc/wire.h) — one parser, one error discipline.
+
+void WriteMutationLine(const Mutation& mutation, std::ostream& os);
+std::string FormatMutationLine(const Mutation& mutation);
+
+// Parses one mutation line (sans newline) against attribute dimension
+// `dim`. Returns nullopt with a reason on malformed input.
+std::optional<Mutation> ParseMutationLine(const std::string& line, int dim,
+                                          std::string* error = nullptr);
+
+// ----- traces -----
+
 void WriteTrace(const MutationTrace& trace, std::ostream& os);
 bool WriteTraceToFile(const MutationTrace& trace, const std::string& path);
 

@@ -86,6 +86,29 @@ bool ValidatePoint(const JsonValue& point, size_t index, std::string* error) {
       return Violation(error, timer_where + ": malformed timer");
     }
   }
+  if (const JsonValue* latency = point.Find("latency"); latency != nullptr) {
+    const std::string latency_where = where + ".latency";
+    if (!latency->is_object()) {
+      return Violation(error, latency_where + ": not an object");
+    }
+    for (const char* key : {"p50_ms", "p95_ms", "p99_ms"}) {
+      if (!RequireMember(*latency, key, JsonValue::Type::kDouble, &member,
+                         error, latency_where)) {
+        return false;
+      }
+      if (member->AsDouble() < 0.0) {
+        return Violation(error, latency_where + ": negative " +
+                                    std::string(key));
+      }
+    }
+    if (!RequireMember(*latency, "samples", JsonValue::Type::kInt, &member,
+                       error, latency_where)) {
+      return false;
+    }
+    if (member->AsInt() < 0) {
+      return Violation(error, latency_where + ": negative samples");
+    }
+  }
   return true;
 }
 
@@ -120,6 +143,14 @@ JsonValue BenchReport::ToJson() const {
       timers.Set(name, std::move(timer));
     }
     entry.Set("timers", std::move(timers));
+    if (point.has_latency) {
+      JsonValue latency = JsonValue::Object();
+      latency.Set("p50_ms", point.latency.p50_ms);
+      latency.Set("p95_ms", point.latency.p95_ms);
+      latency.Set("p99_ms", point.latency.p99_ms);
+      latency.Set("samples", point.latency.samples);
+      entry.Set("latency", std::move(latency));
+    }
     point_array.Append(std::move(entry));
   }
   root.Set("points", std::move(point_array));
@@ -149,6 +180,13 @@ bool BenchReport::FromJson(const JsonValue& json, std::string* error) {
     for (const auto& [name, value] : entry.Find("timers")->members()) {
       point.timers[name] = {value.Find("seconds")->AsDouble(),
                             value.Find("count")->AsInt()};
+    }
+    if (const JsonValue* latency = entry.Find("latency"); latency != nullptr) {
+      point.has_latency = true;
+      point.latency.p50_ms = latency->Find("p50_ms")->AsDouble();
+      point.latency.p95_ms = latency->Find("p95_ms")->AsDouble();
+      point.latency.p99_ms = latency->Find("p99_ms")->AsDouble();
+      point.latency.samples = latency->Find("samples")->AsInt();
     }
     points.push_back(std::move(point));
   }

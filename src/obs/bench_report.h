@@ -20,7 +20,10 @@
 //         "vm_hwm_bytes": 18264064,     // VmHWM at point completion
 //         "max_sum": 41.7,              // objective (0 for micro benches)
 //         "counters": { "prune.nodes_visited": 4821, ... },
-//         "timers": { "mcf.flow_sweep": {"seconds": 0.01, "count": 3} }
+//         "timers": { "mcf.flow_sweep": {"seconds": 0.01, "count": 3} },
+//         "latency": {                      // optional: serving benches only
+//           "p50_ms": 0.11, "p95_ms": 0.56, "p99_ms": 1.4, "samples": 250000
+//         }
 //       }, ...
 //     ]
 //   }
@@ -48,6 +51,16 @@ namespace geacc::obs {
 inline constexpr char kBenchReportSchema[] = "geacc-bench";
 inline constexpr int kBenchReportVersion = 1;
 
+// Per-request latency percentiles, attached by serving benches
+// (bench/loadgen). Optional within v1 — absent means the point measured
+// batch wall time only.
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t samples = 0;
+};
+
 // One measured (sweep point × solver) cell.
 struct BenchPoint {
   std::string label;
@@ -58,6 +71,9 @@ struct BenchPoint {
   double max_sum = 0.0;
   std::map<std::string, int64_t> counters;
   std::map<std::string, TimerStat> timers;
+  // Serialized as a "latency" object only when has_latency is set.
+  bool has_latency = false;
+  LatencySummary latency;
 };
 
 struct BenchReport {

@@ -1,0 +1,313 @@
+#include "svc/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "io/trace_io.h"
+#include "svc/wire.h"
+#include "util/string_util.h"
+
+namespace geacc::svc {
+namespace {
+
+bool ReadFull(int fd, void* data, size_t size) {
+  auto* bytes = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = read(fd, bytes + done, size - done);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* data, size_t size) {
+  const auto* bytes = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = send(fd, bytes + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* RpcStatusName(RpcStatus status) {
+  switch (status) {
+    case RpcStatus::kOk:
+      return "ok";
+    case RpcStatus::kOverloaded:
+      return "overloaded";
+    case RpcStatus::kServerError:
+      return "server_error";
+    case RpcStatus::kProtocolError:
+      return "protocol_error";
+    case RpcStatus::kNetworkError:
+      return "network_error";
+  }
+  return "unknown";
+}
+
+// ----- InProcessClient -----
+
+RpcStatus InProcessClient::Ping() { return RpcStatus::kOk; }
+
+RpcStatus InProcessClient::GetAssignments(UserId user,
+                                          std::vector<EventId>* out) {
+  if (service_->GetAssignments(user, out) != SvcStatus::kOk) {
+    last_error_ = StrFormat("user id %d out of range", user);
+    return RpcStatus::kServerError;
+  }
+  return RpcStatus::kOk;
+}
+
+RpcStatus InProcessClient::GetAttendees(EventId event,
+                                        std::vector<UserId>* out) {
+  if (service_->GetAttendees(event, out) != SvcStatus::kOk) {
+    last_error_ = StrFormat("event id %d out of range", event);
+    return RpcStatus::kServerError;
+  }
+  return RpcStatus::kOk;
+}
+
+RpcStatus InProcessClient::TopKEvents(UserId user, int k,
+                                      std::vector<ScoredEvent>* out) {
+  if (service_->TopKEvents(user, k, out) != SvcStatus::kOk) {
+    last_error_ = StrFormat("bad top-k query (user %d, k %d)", user, k);
+    return RpcStatus::kServerError;
+  }
+  return RpcStatus::kOk;
+}
+
+RpcStatus InProcessClient::GetStats(ServiceStatsView* out) {
+  *out = service_->Stats();
+  return RpcStatus::kOk;
+}
+
+RpcStatus InProcessClient::Mutate(const Mutation& mutation, int64_t* ticket) {
+  const SubmitResult result = service_->Submit(mutation);
+  switch (result.status) {
+    case SvcStatus::kOk:
+      if (ticket != nullptr) *ticket = result.ticket;
+      return RpcStatus::kOk;
+    case SvcStatus::kOverloaded:
+      last_error_ = "service overloaded";
+      return RpcStatus::kOverloaded;
+    default:
+      last_error_ = std::string("submit failed: ") +
+                    SvcStatusName(result.status);
+      return RpcStatus::kServerError;
+  }
+}
+
+// ----- SocketClient -----
+
+SocketClient::~SocketClient() { Disconnect(); }
+
+void SocketClient::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketClient::Connect(const std::string& host, int port,
+                           std::string* error) {
+  Disconnect();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_str = StrFormat("%d", port);
+  const int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = StrFormat("resolve %s: %s", host.c_str(), gai_strerror(rc));
+    }
+    return false;
+  }
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      break;
+    }
+    close(fd);
+  }
+  freeaddrinfo(result);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = StrFormat("connect %s:%d: %s", host.c_str(), port,
+                         std::strerror(errno));
+    }
+    return false;
+  }
+  return true;
+}
+
+RpcStatus SocketClient::RoundTrip(const WireRequest& request,
+                                  WireResponse* response) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return RpcStatus::kNetworkError;
+  }
+  const std::string frame = EncodeRequestFrame(request);
+  if (!WriteFull(fd_, frame.data(), frame.size())) {
+    last_error_ = "write failed";
+    Disconnect();
+    return RpcStatus::kNetworkError;
+  }
+  uint8_t prefix[4];
+  if (!ReadFull(fd_, prefix, sizeof(prefix))) {
+    last_error_ = "read failed";
+    Disconnect();
+    return RpcStatus::kNetworkError;
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (length < 2 || length > kMaxFrameBytes) {
+    last_error_ = StrFormat("reply frame length %u out of range",
+                            static_cast<unsigned>(length));
+    Disconnect();
+    return RpcStatus::kProtocolError;
+  }
+  std::string body(length, '\0');
+  if (!ReadFull(fd_, body.data(), body.size())) {
+    last_error_ = "read failed";
+    Disconnect();
+    return RpcStatus::kNetworkError;
+  }
+  std::string decode_error;
+  if (!DecodeResponse(reinterpret_cast<const uint8_t*>(body.data()),
+                      body.size(), response, &decode_error)) {
+    last_error_ = "bad reply: " + decode_error;
+    Disconnect();
+    return RpcStatus::kProtocolError;
+  }
+  if (response->type == MsgType::kError) {
+    last_error_ = response->message;
+    return RpcStatus::kServerError;
+  }
+  return RpcStatus::kOk;
+}
+
+namespace {
+
+// A reply decoded fine but is not the type this call expects.
+RpcStatus UnexpectedReply(MsgType got, std::string* last_error) {
+  *last_error = StrFormat("unexpected reply type %s", MsgTypeName(got));
+  return RpcStatus::kProtocolError;
+}
+
+}  // namespace
+
+RpcStatus SocketClient::Ping() {
+  WireRequest request;
+  request.type = MsgType::kPing;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type != MsgType::kPong) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::GetAssignments(UserId user,
+                                       std::vector<EventId>* out) {
+  WireRequest request;
+  request.type = MsgType::kGetAssignments;
+  request.id = user;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type != MsgType::kIdList) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  *out = std::move(response.ids);
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::GetAttendees(EventId event, std::vector<UserId>* out) {
+  WireRequest request;
+  request.type = MsgType::kGetAttendees;
+  request.id = event;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type != MsgType::kIdList) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  *out = std::move(response.ids);
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::TopKEvents(UserId user, int k,
+                                   std::vector<ScoredEvent>* out) {
+  WireRequest request;
+  request.type = MsgType::kTopK;
+  request.id = user;
+  request.k = k;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type != MsgType::kScoredList) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  *out = std::move(response.scored);
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::GetStats(ServiceStatsView* out) {
+  WireRequest request;
+  request.type = MsgType::kStats;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type != MsgType::kStatsReply) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  *out = response.stats;
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::Mutate(const Mutation& mutation, int64_t* ticket) {
+  WireRequest request;
+  request.type = MsgType::kMutate;
+  request.payload = FormatMutationLine(mutation);
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type == MsgType::kOverloaded) {
+    last_error_ = "service overloaded";
+    return RpcStatus::kOverloaded;
+  }
+  if (response.type != MsgType::kMutateAck) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  if (ticket != nullptr) *ticket = response.ticket;
+  return RpcStatus::kOk;
+}
+
+}  // namespace geacc::svc

@@ -1,0 +1,121 @@
+// Client bindings for the arrangement service (DESIGN.md §11): one
+// interface, two transports.
+//
+// ServiceClient is the call surface a consumer programs against —
+// ping, the three reads, stats, and mutate. InProcessClient binds it
+// straight to an ArrangementService in the same process (zero copies
+// beyond the reply vectors; the embedding story). SocketClient speaks
+// the svc/wire framing to a ServiceServer over TCP, one synchronous
+// request/response at a time.
+//
+// Status discipline: kOverloaded surfaces the service's backpressure
+// verbatim (retry or shed — the request was not accepted); kServerError
+// is a well-formed kError reply (bad ids, unparsable mutation — see
+// last_error()); kProtocolError means the reply itself was malformed and
+// kNetworkError that the transport failed — after either of those a
+// SocketClient must be reconnected before reuse.
+//
+// Thread-safety: neither implementation is thread-safe; give each thread
+// its own client (bench/loadgen does exactly that).
+
+#ifndef GEACC_SVC_CLIENT_H_
+#define GEACC_SVC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dyn/mutation.h"
+#include "svc/service.h"
+#include "svc/snapshot.h"
+
+namespace geacc::svc {
+
+struct WireRequest;
+struct WireResponse;
+
+enum class RpcStatus {
+  kOk = 0,
+  kOverloaded,      // service queue full; mutation not accepted
+  kServerError,     // server replied kError (see last_error())
+  kProtocolError,   // malformed reply; reconnect before reuse
+  kNetworkError,    // connect/read/write failure; reconnect before reuse
+};
+
+const char* RpcStatusName(RpcStatus status);
+
+class ServiceClient {
+ public:
+  virtual ~ServiceClient() = default;
+
+  virtual RpcStatus Ping() = 0;
+  virtual RpcStatus GetAssignments(UserId user, std::vector<EventId>* out) = 0;
+  virtual RpcStatus GetAttendees(EventId event, std::vector<UserId>* out) = 0;
+  virtual RpcStatus TopKEvents(UserId user, int k,
+                               std::vector<ScoredEvent>* out) = 0;
+  virtual RpcStatus GetStats(ServiceStatsView* out) = 0;
+
+  // Submits `mutation`; on kOk, `*ticket` names it for read-your-writes:
+  // poll GetStats() until applied_seq >= ticket (or, in process, use
+  // ArrangementService::WaitForTicket).
+  virtual RpcStatus Mutate(const Mutation& mutation, int64_t* ticket) = 0;
+
+  // Diagnostic for the most recent non-kOk result.
+  const std::string& last_error() const { return last_error_; }
+
+ protected:
+  std::string last_error_;
+};
+
+// Direct binding to a service in the same process. `service` must outlive
+// the client.
+class InProcessClient : public ServiceClient {
+ public:
+  explicit InProcessClient(ArrangementService* service) : service_(service) {}
+
+  RpcStatus Ping() override;
+  RpcStatus GetAssignments(UserId user, std::vector<EventId>* out) override;
+  RpcStatus GetAttendees(EventId event, std::vector<UserId>* out) override;
+  RpcStatus TopKEvents(UserId user, int k,
+                       std::vector<ScoredEvent>* out) override;
+  RpcStatus GetStats(ServiceStatsView* out) override;
+  RpcStatus Mutate(const Mutation& mutation, int64_t* ticket) override;
+
+ private:
+  ArrangementService* service_;
+};
+
+// TCP transport against a ServiceServer. Connect() first; every call is
+// one request frame + one response frame on the same socket.
+class SocketClient : public ServiceClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient() override;
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  bool Connect(const std::string& host, int port,
+               std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void Disconnect();
+
+  RpcStatus Ping() override;
+  RpcStatus GetAssignments(UserId user, std::vector<EventId>* out) override;
+  RpcStatus GetAttendees(EventId event, std::vector<UserId>* out) override;
+  RpcStatus TopKEvents(UserId user, int k,
+                       std::vector<ScoredEvent>* out) override;
+  RpcStatus GetStats(ServiceStatsView* out) override;
+  RpcStatus Mutate(const Mutation& mutation, int64_t* ticket) override;
+
+ private:
+  // Sends `request` and decodes the reply into `response`; translates
+  // transport/framing failures into the status discipline above.
+  RpcStatus RoundTrip(const WireRequest& request, WireResponse* response);
+
+  int fd_ = -1;
+};
+
+}  // namespace geacc::svc
+
+#endif  // GEACC_SVC_CLIENT_H_

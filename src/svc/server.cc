@@ -1,0 +1,261 @@
+#include "svc/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "io/trace_io.h"
+#include "obs/stats.h"
+#include "util/string_util.h"
+
+namespace geacc::svc {
+namespace {
+
+// read()/send() with EINTR and short-transfer handling. send() so we can
+// pass MSG_NOSIGNAL — a peer that closed mid-reply must not SIGPIPE the
+// server.
+bool ReadFull(int fd, void* data, size_t size) {
+  auto* bytes = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = read(fd, bytes + done, size - done);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* data, size_t size) {
+  const auto* bytes = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = send(fd, bytes + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendResponse(int fd, const WireResponse& response) {
+  const std::string frame = EncodeResponseFrame(response);
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+WireResponse ErrorResponse(std::string message) {
+  WireResponse response;
+  response.type = MsgType::kError;
+  response.message = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ArrangementService* service)
+    : service_(service) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+bool ServiceServer::Start(int port, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return fail(StrFormat("bind 127.0.0.1:%d", port));
+  }
+  if (listen(listen_fd_, SOMAXCONN) < 0) return fail("listen");
+
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ServiceServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (const int fd : connection_fds_) {
+      if (fd >= 0) shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (listen_fd_ >= 0) {
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void ServiceServer::AcceptLoop() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal — either way we're done
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      close(fd);
+      return;
+    }
+    const size_t slot = connection_fds_.size();
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(
+        [this, slot] { ConnectionLoop(slot); });
+  }
+}
+
+void ServiceServer::ConnectionLoop(size_t slot) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd = connection_fds_[slot];
+  }
+  for (;;) {
+    uint8_t prefix[4];
+    if (!ReadFull(fd, prefix, sizeof(prefix))) break;
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<uint32_t>(prefix[i]) << (8 * i);
+    }
+    if (length < 2 || length > kMaxFrameBytes) {
+      GEACC_STATS_ADD("svc.net.protocol_errors", 1);
+      SendResponse(fd, ErrorResponse(StrFormat(
+                           "frame length %u out of range",
+                           static_cast<unsigned>(length))));
+      break;
+    }
+    std::string body(length, '\0');
+    if (!ReadFull(fd, body.data(), body.size())) break;
+    if (!HandleFrame(body, fd)) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  close(fd);
+  connection_fds_[slot] = -1;
+}
+
+bool ServiceServer::HandleFrame(const std::string& frame_body, int fd) {
+  GEACC_STATS_ADD("svc.net.requests", 1);
+  WireRequest request;
+  std::string decode_error;
+  if (!DecodeRequest(reinterpret_cast<const uint8_t*>(frame_body.data()),
+                     frame_body.size(), &request, &decode_error)) {
+    GEACC_STATS_ADD("svc.net.protocol_errors", 1);
+    SendResponse(fd, ErrorResponse("bad frame: " + decode_error));
+    return false;  // framing is broken — do not trust the byte stream
+  }
+  return SendResponse(fd, Dispatch(request));
+}
+
+WireResponse ServiceServer::Dispatch(const WireRequest& request) {
+  WireResponse response;
+  switch (request.type) {
+    case MsgType::kPing:
+      response.type = MsgType::kPong;
+      return response;
+    case MsgType::kGetAssignments: {
+      if (service_->GetAssignments(request.id, &response.ids) !=
+          SvcStatus::kOk) {
+        return ErrorResponse(StrFormat("user id %d out of range",
+                                       request.id));
+      }
+      response.type = MsgType::kIdList;
+      return response;
+    }
+    case MsgType::kGetAttendees: {
+      if (service_->GetAttendees(request.id, &response.ids) !=
+          SvcStatus::kOk) {
+        return ErrorResponse(StrFormat("event id %d out of range",
+                                       request.id));
+      }
+      response.type = MsgType::kIdList;
+      return response;
+    }
+    case MsgType::kTopK: {
+      if (service_->TopKEvents(request.id, request.k, &response.scored) !=
+          SvcStatus::kOk) {
+        return ErrorResponse(StrFormat("bad top-k query (user %d, k %d)",
+                                       request.id, request.k));
+      }
+      response.type = MsgType::kScoredList;
+      return response;
+    }
+    case MsgType::kStats:
+      response.type = MsgType::kStatsReply;
+      response.stats = service_->Stats();
+      return response;
+    case MsgType::kMutate: {
+      std::string parse_error;
+      const std::shared_ptr<const ServiceSnapshot> snap =
+          service_->snapshot();
+      std::optional<Mutation> mutation =
+          ParseMutationLine(request.payload, snap->dim(), &parse_error);
+      if (!mutation) {
+        return ErrorResponse("bad mutation: " + parse_error);
+      }
+      // Best-effort admission check against the current snapshot, so a
+      // wire client learns about obvious garbage (dead ids, bad arity)
+      // synchronously — the writer still re-validates at apply time.
+      const std::string problem = ValidateMutation(*snap, *mutation);
+      if (!problem.empty()) {
+        return ErrorResponse("bad mutation: " + problem);
+      }
+      const SubmitResult result = service_->Submit(std::move(*mutation));
+      switch (result.status) {
+        case SvcStatus::kOk:
+          response.type = MsgType::kMutateAck;
+          response.ticket = result.ticket;
+          return response;
+        case SvcStatus::kOverloaded:
+          response.type = MsgType::kOverloaded;
+          return response;
+        default:
+          return ErrorResponse(std::string("submit failed: ") +
+                               SvcStatusName(result.status));
+      }
+    }
+    default:
+      return ErrorResponse("unexpected message type");
+  }
+}
+
+}  // namespace geacc::svc

@@ -1,0 +1,77 @@
+// TCP front-end for an ArrangementService (DESIGN.md §11).
+//
+// ServiceServer listens on 127.0.0.1 (loopback only — exposing an
+// arrangement store beyond the host is a deployment decision, not a
+// library default) and speaks the svc/wire framing: one accept thread,
+// one thread per connection, synchronous request/response per frame.
+// That model is deliberately simple — the service underneath is the
+// concurrent part (lock-free snapshot reads, single writer), so
+// connection threads spend their time in decode/dispatch/encode and
+// never block each other.
+//
+// Protocol discipline: a malformed frame (bad length, version, type, or
+// body) gets one kError reply when possible, then the connection is
+// closed — a peer that cannot frame correctly cannot be resynchronized.
+// Valid requests never close the connection; invalid *arguments* (bad
+// ids, unparsable mutation lines) are kError replies on a healthy
+// connection. Counters: svc.net.requests, svc.net.protocol_errors.
+//
+// Thread-safety: Start/Stop from one controlling thread; Stop() (or the
+// destructor) shuts down the listener and every live connection, then
+// joins all threads. The ArrangementService must outlive the server.
+
+#ifndef GEACC_SVC_SERVER_H_
+#define GEACC_SVC_SERVER_H_
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+#include "svc/wire.h"
+
+namespace geacc::svc {
+
+class ServiceServer {
+ public:
+  // `service` must outlive the server.
+  explicit ServiceServer(ArrangementService* service);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back via
+  // port()) and starts accepting. False with a diagnostic on bind/listen
+  // failure.
+  bool Start(int port, std::string* error = nullptr);
+
+  // The bound port; valid after a successful Start().
+  int port() const { return port_; }
+
+  // Stops accepting, tears down live connections, joins every thread.
+  // Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(size_t slot);
+  // One request in, one response out. False ⇒ close the connection.
+  bool HandleFrame(const std::string& frame_body, int fd);
+  WireResponse Dispatch(const WireRequest& request);
+
+  ArrangementService* service_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<int> connection_fds_;  // -1 once its thread finished
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace geacc::svc
+
+#endif  // GEACC_SVC_SERVER_H_

@@ -1,0 +1,359 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "obs/stats.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace geacc::svc {
+namespace {
+
+// Rejected tickets are only interesting to the submitter that waits on
+// them; keep a bounded recent window instead of growing forever.
+constexpr size_t kRejectedWindow = 4096;
+
+}  // namespace
+
+const char* SvcStatusName(SvcStatus status) {
+  switch (status) {
+    case SvcStatus::kOk:
+      return "ok";
+    case SvcStatus::kOverloaded:
+      return "overloaded";
+    case SvcStatus::kRejected:
+      return "rejected";
+    case SvcStatus::kInvalidArgument:
+      return "invalid_argument";
+    case SvcStatus::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Shared core of the two ValidateMutation overloads: `event_ok`/`user_ok`
+// answer "in range and active" against whichever state is being checked.
+template <typename EventOk, typename UserOk>
+std::string ValidateMutationImpl(int dim, const EventOk& event_ok,
+                                 const UserOk& user_ok,
+                                 const Mutation& mutation) {
+  switch (mutation.kind) {
+    case Mutation::Kind::kAddUser:
+    case Mutation::Kind::kAddEvent: {
+      if (static_cast<int>(mutation.attributes.size()) != dim) {
+        return StrFormat("expected %d attributes, got %d", dim,
+                         static_cast<int>(mutation.attributes.size()));
+      }
+      for (const double a : mutation.attributes) {
+        if (!std::isfinite(a)) return "non-finite attribute";
+      }
+      if (mutation.capacity < 1) {
+        return StrFormat("capacity must be >= 1, got %d", mutation.capacity);
+      }
+      return "";
+    }
+    case Mutation::Kind::kRemoveUser:
+      if (!user_ok(mutation.id)) {
+        return StrFormat("no active user %d", mutation.id);
+      }
+      return "";
+    case Mutation::Kind::kRemoveEvent:
+      if (!event_ok(mutation.id)) {
+        return StrFormat("no active event %d", mutation.id);
+      }
+      return "";
+    case Mutation::Kind::kAddConflict:
+      if (!event_ok(mutation.id) || !event_ok(mutation.other)) {
+        return StrFormat("no active event pair (%d, %d)", mutation.id,
+                         mutation.other);
+      }
+      if (mutation.id == mutation.other) {
+        return StrFormat("self-conflict on event %d", mutation.id);
+      }
+      return "";
+    case Mutation::Kind::kSetEventCapacity:
+      if (!event_ok(mutation.id)) {
+        return StrFormat("no active event %d", mutation.id);
+      }
+      if (mutation.capacity < 1) {
+        return StrFormat("capacity must be >= 1, got %d", mutation.capacity);
+      }
+      return "";
+    case Mutation::Kind::kSetUserCapacity:
+      if (!user_ok(mutation.id)) {
+        return StrFormat("no active user %d", mutation.id);
+      }
+      if (mutation.capacity < 1) {
+        return StrFormat("capacity must be >= 1, got %d", mutation.capacity);
+      }
+      return "";
+  }
+  return "unknown mutation kind";
+}
+
+}  // namespace
+
+std::string ValidateMutation(const DynamicInstance& instance,
+                             const Mutation& mutation) {
+  return ValidateMutationImpl(
+      instance.dim(),
+      [&](int32_t v) {
+        return v >= 0 && v < instance.event_slots() &&
+               instance.event_active(v);
+      },
+      [&](int32_t u) {
+        return u >= 0 && u < instance.user_slots() && instance.user_active(u);
+      },
+      mutation);
+}
+
+std::string ValidateMutation(const ServiceSnapshot& snapshot,
+                             const Mutation& mutation) {
+  return ValidateMutationImpl(
+      snapshot.dim(),
+      [&](int32_t v) {
+        return snapshot.event_in_range(v) && snapshot.event_active(v);
+      },
+      [&](int32_t u) {
+        return snapshot.user_in_range(u) && snapshot.user_active(u);
+      },
+      mutation);
+}
+
+ArrangementService::ArrangementService(const Instance& initial,
+                                       ServiceOptions options, bool fresh_wal)
+    : options_(std::move(options)) {
+  GEACC_CHECK(options_.batch_size >= 1) << "batch_size must be >= 1";
+  GEACC_CHECK(options_.queue_depth >= 1) << "queue_depth must be >= 1";
+  instance_ = std::make_unique<DynamicInstance>(initial);
+  arranger_ =
+      std::make_unique<IncrementalArranger>(instance_.get(), options_.repair);
+  if (options_.bootstrap_full_resolve) arranger_->FullResolve();
+  if (fresh_wal && !options_.wal_path.empty()) {
+    std::string error;
+    GEACC_CHECK(wal_.Open(options_.wal_path, initial, &error))
+        << "wal: " << error;
+  }
+}
+
+ArrangementService::ArrangementService(const Instance& initial,
+                                       ServiceOptions options)
+    : ArrangementService(initial, std::move(options), /*fresh_wal=*/true) {
+  PublishInitial();
+  StartWriter();
+}
+
+std::unique_ptr<ArrangementService> ArrangementService::Recover(
+    ServiceOptions options, std::string* error) {
+  if (options.wal_path.empty()) {
+    if (error != nullptr) *error = "recover requires options.wal_path";
+    return nullptr;
+  }
+  std::optional<WalContents> contents = ReadWal(options.wal_path, error);
+  if (!contents) return nullptr;
+
+  const std::string wal_path = options.wal_path;
+  auto service = std::unique_ptr<ArrangementService>(new ArrangementService(
+      contents->initial, std::move(options), /*fresh_wal=*/false));
+  // The WAL holds exactly the applied sequence; repair is deterministic, so
+  // replaying it lands on the crashed process's arrangement bit-for-bit.
+  for (const Mutation& mutation : contents->mutations) {
+    service->arranger_->Apply(mutation);
+  }
+  if (contents->dropped_tail_lines > 0) {
+    // A torn final line is still sitting in the file; appending after it
+    // would fuse the next mutation onto the fragment. Rewrite the WAL
+    // from the prefix that replayed.
+    if (!service->wal_.Open(wal_path, contents->initial, error)) {
+      return nullptr;
+    }
+    for (const Mutation& mutation : contents->mutations) {
+      service->wal_.Append(mutation);
+    }
+    if (!service->wal_.Sync()) {
+      if (error != nullptr) *error = "wal rewrite failed";
+      return nullptr;
+    }
+  } else if (!service->wal_.OpenForAppend(wal_path, error)) {
+    return nullptr;
+  }
+  service->PublishInitial();
+  service->StartWriter();
+  return service;
+}
+
+ArrangementService::~ArrangementService() { Stop(); }
+
+void ArrangementService::PublishInitial() {
+  snapshot_.store(BuildSnapshot(*instance_, *arranger_, /*applied_seq=*/0),
+                  std::memory_order_release);
+}
+
+void ArrangementService::StartWriter() {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+SubmitResult ArrangementService::Submit(Mutation mutation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return {SvcStatus::kShuttingDown, -1};
+  if (static_cast<int>(queue_.size()) >= options_.queue_depth) {
+    ++overloads_;
+    GEACC_STATS_ADD("svc.overloads", 1);
+    return {SvcStatus::kOverloaded, -1};
+  }
+  const int64_t ticket = ++next_ticket_;
+  queue_.push_back({std::move(mutation), ticket});
+  GEACC_STATS_ADD("svc.submits", 1);
+  queue_cv_.notify_one();
+  return {SvcStatus::kOk, ticket};
+}
+
+SvcStatus ArrangementService::WaitForTicket(int64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (ticket < 1 || ticket > next_ticket_) return SvcStatus::kInvalidArgument;
+  applied_cv_.wait(lock, [&] { return applied_seq_ >= ticket; });
+  return rejected_.count(ticket) != 0 ? SvcStatus::kRejected : SvcStatus::kOk;
+}
+
+void ArrangementService::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t target = next_ticket_;
+  applied_cv_.wait(lock, [&] { return applied_seq_ >= target; });
+}
+
+void ArrangementService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  wal_.Close();
+}
+
+void ArrangementService::WriterLoop() {
+  for (;;) {
+    std::vector<PendingMutation> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, fully drained
+      const int take =
+          std::min<int>(options_.batch_size, static_cast<int>(queue_.size()));
+      batch.reserve(take);
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (options_.writer_stall_ms_for_test > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.writer_stall_ms_for_test));
+    }
+    ApplyBatch(std::move(batch));
+  }
+}
+
+void ArrangementService::ApplyBatch(std::vector<PendingMutation> batch) {
+  GEACC_DCHECK(!batch.empty());
+  std::vector<int64_t> rejected_now;
+  {
+    GEACC_PHASE_TIMER("svc.batch_apply");
+    for (PendingMutation& pending : batch) {
+      const std::string problem =
+          ValidateMutation(*instance_, pending.mutation);
+      if (!problem.empty()) {
+        rejected_now.push_back(pending.ticket);
+        GEACC_STATS_ADD("svc.rejected", 1);
+        continue;
+      }
+      arranger_->Apply(pending.mutation);
+      if (wal_.is_open()) wal_.Append(pending.mutation);
+      GEACC_STATS_ADD("svc.mutations_applied", 1);
+    }
+    if (wal_.is_open()) wal_.Sync();
+  }
+
+  std::shared_ptr<const ServiceSnapshot> next;
+  {
+    GEACC_PHASE_TIMER("svc.snapshot_build");
+    next = BuildSnapshot(*instance_, *arranger_, batch.back().ticket);
+  }
+  snapshot_.store(std::move(next), std::memory_order_release);
+  GEACC_STATS_ADD("svc.batches", 1);
+  GEACC_STATS_ADD("svc.snapshots_published", 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    applied_seq_ = batch.back().ticket;
+    for (const int64_t ticket : rejected_now) {
+      rejected_.insert(ticket);
+      rejected_order_.push_back(ticket);
+    }
+    while (rejected_order_.size() > kRejectedWindow) {
+      rejected_.erase(rejected_order_.front());
+      rejected_order_.pop_front();
+    }
+  }
+  applied_cv_.notify_all();
+}
+
+SvcStatus ArrangementService::GetAssignments(UserId user,
+                                             std::vector<EventId>* out) const {
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  if (!snap->user_in_range(user)) return SvcStatus::kInvalidArgument;
+  *out = snap->AssignmentsOf(user);
+  return SvcStatus::kOk;
+}
+
+SvcStatus ArrangementService::GetAttendees(EventId event,
+                                           std::vector<UserId>* out) const {
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  if (!snap->event_in_range(event)) return SvcStatus::kInvalidArgument;
+  *out = snap->AttendeesOf(event);
+  std::sort(out->begin(), out->end());
+  return SvcStatus::kOk;
+}
+
+SvcStatus ArrangementService::TopKEvents(UserId user, int k,
+                                         std::vector<ScoredEvent>* out) const {
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  if (!snap->user_in_range(user) || k < 0) return SvcStatus::kInvalidArgument;
+  *out = snap->TopKEvents(user, k);
+  return SvcStatus::kOk;
+}
+
+ServiceStatsView ArrangementService::Stats() const {
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  ServiceStatsView view;
+  view.epoch = snap->epoch();
+  view.applied_seq = snap->applied_seq();
+  view.pairs = snap->num_pairs();
+  view.active_events = snap->num_active_events();
+  view.active_users = snap->num_active_users();
+  view.event_slots = snap->event_slots();
+  view.user_slots = snap->user_slots();
+  view.max_sum = snap->max_sum();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    view.queued = static_cast<int32_t>(queue_.size());
+    view.overloads = overloads_;
+  }
+  return view;
+}
+
+bool ArrangementService::Checkpoint(const std::string& path,
+                                    std::string* error) const {
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  const Instance dense = snap->ToDenseInstance();
+  const Arrangement arrangement = snap->ToDenseArrangement();
+  return WriteCheckpoint(dense, arrangement, path, error);
+}
+
+}  // namespace geacc::svc

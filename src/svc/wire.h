@@ -1,0 +1,98 @@
+// Binary framing for the arrangement service's TCP protocol
+// (DESIGN.md §11).
+//
+// Every message travels as one length-prefixed frame:
+//
+//   u32 length (LE) | u8 version | u8 type | body
+//
+// where `length` counts everything after itself (version byte included)
+// and is capped at kMaxFrameBytes so a hostile peer cannot make either
+// side allocate unbounded memory. Integers are little-endian two's
+// complement; doubles are IEEE-754 bit patterns memcpy'd through a u64.
+//
+// Mutations ride the wire as their trace_io text line (io/trace_io
+// FormatMutationLine / ParseMutationLine) inside a kMutate frame — one
+// mutation codec for trace files, the WAL, and the network, so hardening
+// the parser hardens all three.
+//
+// Decoding is strict: unknown version or type, truncated bodies, trailing
+// bytes, and out-of-bounds counts all fail with a diagnostic instead of
+// guessing. Encode*Frame produce full frames (length prefix included);
+// Decode* consume exactly the bytes after the prefix, which is what a
+// socket loop that reads the prefix first naturally has in hand.
+
+#ifndef GEACC_SVC_WIRE_H_
+#define GEACC_SVC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/service.h"
+#include "svc/snapshot.h"
+
+namespace geacc::svc {
+
+inline constexpr uint8_t kWireVersion = 1;
+
+// Hard cap on `length`: bodies are id lists and one-line mutations, so
+// 1 MiB is generous headroom, not a real limit.
+inline constexpr uint32_t kMaxFrameBytes = 1 << 20;
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kPing = 1,
+  kGetAssignments = 2,  // body: i32 user
+  kGetAttendees = 3,    // body: i32 event
+  kTopK = 4,            // body: i32 user, i32 k
+  kStats = 5,
+  kMutate = 6,  // body: u32 len, trace_io mutation line (no newline)
+
+  // Responses.
+  kPong = 64,
+  kIdList = 65,      // body: u32 count, count × i32
+  kScoredList = 66,  // body: u32 count, count × (i32 id, f64 similarity)
+  kStatsReply = 67,  // body: ServiceStatsView fields, fixed layout
+  kMutateAck = 68,   // body: i64 ticket
+  kOverloaded = 69,  // queue full — retry later
+  kError = 70,       // body: u32 len, diagnostic bytes
+};
+
+const char* MsgTypeName(MsgType type);
+
+// One decoded request. Only the fields for `type` are meaningful: `id`
+// for GetAssignments/GetAttendees/TopK, `k` for TopK, `payload` (the
+// mutation line) for Mutate.
+struct WireRequest {
+  MsgType type = MsgType::kPing;
+  int32_t id = -1;
+  int32_t k = 0;
+  std::string payload;
+};
+
+// One decoded response; per-type fields as in WireRequest. `stats` for
+// kStatsReply, `ids` for kIdList, `scored` for kScoredList, `ticket` for
+// kMutateAck, `message` for kError.
+struct WireResponse {
+  MsgType type = MsgType::kPong;
+  std::vector<int32_t> ids;
+  std::vector<ScoredEvent> scored;
+  ServiceStatsView stats;
+  int64_t ticket = -1;
+  std::string message;
+};
+
+// Serialize a full frame, length prefix included, ready for write().
+std::string EncodeRequestFrame(const WireRequest& request);
+std::string EncodeResponseFrame(const WireResponse& response);
+
+// Parse the bytes *after* the length prefix (version | type | body).
+// False with a diagnostic on any malformation; `out` is unspecified then.
+bool DecodeRequest(const uint8_t* data, size_t size, WireRequest* out,
+                   std::string* error = nullptr);
+bool DecodeResponse(const uint8_t* data, size_t size, WireResponse* out,
+                    std::string* error = nullptr);
+
+}  // namespace geacc::svc
+
+#endif  // GEACC_SVC_WIRE_H_

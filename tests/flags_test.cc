@@ -1,0 +1,111 @@
+// FlagSet is the front door of every bench and example binary; its error
+// discipline — unknown flags and bad values exit 1, duplicate
+// registration aborts — is what keeps a typo'd experiment script from
+// silently running with defaults.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace geacc {
+namespace {
+
+// Builds a mutable argv from string literals (Parse wants char**).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : args_(std::move(args)) {
+    for (std::string& arg : args_) pointers_.push_back(arg.data());
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Flags, ParsesBothValueFormsAndCollectsPositional) {
+  int64_t reps = 3;
+  int threads = 1;
+  double rate = 0.0;
+  bool json = false;
+  std::string label = "default";
+  FlagSet flags;
+  flags.AddInt("reps", &reps, "repetitions");
+  flags.AddInt("threads", &threads, "worker threads");
+  flags.AddDouble("rate", &rate, "target qps");
+  flags.AddBool("json", &json, "emit json");
+  flags.AddString("label", &label, "point label");
+
+  Argv argv({"prog", "--reps=5", "--threads", "8", "pos_one", "--rate=2.5",
+             "--json", "--label", "svc", "pos_two"});
+  flags.Parse(argv.argc(), argv.argv());
+
+  EXPECT_EQ(reps, 5);
+  EXPECT_EQ(threads, 8);
+  EXPECT_EQ(rate, 2.5);
+  EXPECT_TRUE(json);
+  EXPECT_EQ(label, "svc");
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"pos_one", "pos_two"}));
+}
+
+TEST(Flags, ValuesReflectsEffectiveSettingsInRegistrationOrder) {
+  int threads = 4;
+  std::string mode = "closed";
+  FlagSet flags;
+  flags.AddInt("threads", &threads, "");
+  flags.AddString("mode", &mode, "");
+  Argv argv({"prog", "--mode=open"});
+  flags.Parse(argv.argc(), argv.argv());
+
+  const auto values = flags.Values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "threads");
+  EXPECT_EQ(values[0].second, "4");  // untouched default
+  EXPECT_EQ(values[1].first, "mode");
+  EXPECT_EQ(values[1].second, "open");
+}
+
+TEST(FlagsDeathTest, UnknownFlagExitsNonZero) {
+  int threads = 1;
+  FlagSet flags;
+  flags.AddInt("threads", &threads, "");
+  Argv argv({"prog", "--thraeds=8"});
+  EXPECT_EXIT(flags.Parse(argv.argc(), argv.argv()),
+              testing::ExitedWithCode(1), "unknown flag --thraeds");
+}
+
+TEST(FlagsDeathTest, BadValueExitsNonZero) {
+  int threads = 1;
+  FlagSet flags;
+  flags.AddInt("threads", &threads, "");
+  Argv argv({"prog", "--threads=many"});
+  EXPECT_EXIT(flags.Parse(argv.argc(), argv.argv()),
+              testing::ExitedWithCode(1), "bad value");
+}
+
+TEST(FlagsDeathTest, MissingValueExitsNonZero) {
+  int threads = 1;
+  FlagSet flags;
+  flags.AddInt("threads", &threads, "");
+  Argv argv({"prog", "--threads"});
+  EXPECT_EXIT(flags.Parse(argv.argc(), argv.argv()),
+              testing::ExitedWithCode(1), "needs a value");
+}
+
+TEST(FlagsDeathTest, DuplicateRegistrationAborts) {
+  int a = 0;
+  double b = 0.0;
+  FlagSet flags;
+  flags.AddInt("threads", &a, "");
+  // Same name, even with a different type, is a programming error.
+  EXPECT_DEATH(flags.AddDouble("threads", &b, ""), "duplicate flag");
+}
+
+}  // namespace
+}  // namespace geacc

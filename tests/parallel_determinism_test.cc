@@ -18,8 +18,11 @@
 #include "core/instance.h"
 #include "core/preprocess.h"
 #include "core/solver.h"
+#include "dyn/dynamic_instance.h"
+#include "dyn/incremental_arranger.h"
 #include "exp/experiment.h"
 #include "gen/synthetic.h"
+#include "gen/trace_gen.h"
 #include "obs/stats.h"
 #include "util/thread_pool.h"
 
@@ -133,6 +136,43 @@ TEST(ParallelDeterminism, TruncatedSearchFallsBackToSerial) {
   // The invocation budget is a single serial count, so threads > 1 must
   // not change what the truncated search returns.
   ExpectThreadInvariant("prune", options, instance);
+}
+
+TEST(ParallelDeterminism, IncrementalArrangerThreadInvariant) {
+  // The repair engine's fallback solver inherits RepairOptions::threads;
+  // a full trace replay — including drift-triggered full resolves, forced
+  // here by a tiny drift threshold — must be bit-identical at any thread
+  // count.
+  TraceGenConfig config;
+  config.initial_events = 15;
+  config.initial_users = 80;
+  config.num_mutations = 300;
+  config.seed = 7;
+  const MutationTrace trace = GenerateTrace(config);
+
+  auto replay = [&](int threads) {
+    DynamicInstance instance(trace.initial);
+    RepairOptions options;
+    options.drift_threshold = 0.01;  // drift often → many full resolves
+    options.threads = threads;
+    IncrementalArranger arranger(&instance, options);
+    arranger.FullResolve();
+    for (const Mutation& mutation : trace.mutations) {
+      arranger.Apply(mutation);
+    }
+    return std::make_pair(FlatPairs(arranger.arrangement()),
+                          arranger.max_sum());
+  };
+
+  const auto baseline = replay(1);
+  EXPECT_GT(baseline.first.size(), 0u);
+  for (const int threads : {2, 8}) {
+    const auto result = replay(threads);
+    EXPECT_EQ(result.first, baseline.first)
+        << "arrangement changed at threads=" << threads;
+    EXPECT_EQ(result.second, baseline.second)
+        << "max_sum changed at threads=" << threads;
+  }
 }
 
 TEST(ParallelDeterminism, ReduceInstanceThreadInvariant) {

@@ -1,0 +1,252 @@
+// The wire codec faces untrusted bytes: every frame must either decode to
+// exactly what was encoded or fail with a diagnostic — never crash, never
+// over-allocate, never accept trailing garbage. Truncation is swept at
+// every byte offset and corruption at every byte position, fuzz-style but
+// deterministic.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/wire.h"
+#include "util/rng.h"
+
+namespace geacc::svc {
+namespace {
+
+// Bytes after the length prefix — what Decode* consumes.
+std::vector<uint8_t> Payload(const std::string& frame) {
+  EXPECT_GE(frame.size(), 4u);
+  return std::vector<uint8_t>(frame.begin() + 4, frame.end());
+}
+
+uint32_t PrefixOf(const std::string& frame) {
+  uint32_t length = 0;
+  std::memcpy(&length, frame.data(), 4);
+  return length;
+}
+
+TEST(Wire, RequestRoundTripsEveryType) {
+  std::vector<WireRequest> requests;
+  requests.push_back({MsgType::kPing, -1, 0, ""});
+  requests.push_back({MsgType::kGetAssignments, 42, 0, ""});
+  requests.push_back({MsgType::kGetAttendees, 7, 0, ""});
+  requests.push_back({MsgType::kTopK, 3, 10, ""});
+  requests.push_back({MsgType::kStats, -1, 0, ""});
+  requests.push_back(
+      {MsgType::kMutate, -1, 0, "add_user 2 0.5 1.25 3.75 100"});
+
+  for (const WireRequest& request : requests) {
+    const std::string frame = EncodeRequestFrame(request);
+    ASSERT_EQ(PrefixOf(frame), frame.size() - 4)
+        << MsgTypeName(request.type);
+    const std::vector<uint8_t> body = Payload(frame);
+    WireRequest decoded;
+    std::string error;
+    ASSERT_TRUE(DecodeRequest(body.data(), body.size(), &decoded, &error))
+        << MsgTypeName(request.type) << ": " << error;
+    EXPECT_EQ(decoded.type, request.type);
+    EXPECT_EQ(decoded.id, request.id) << MsgTypeName(request.type);
+    EXPECT_EQ(decoded.k, request.k) << MsgTypeName(request.type);
+    EXPECT_EQ(decoded.payload, request.payload);
+  }
+}
+
+TEST(Wire, ResponseRoundTripsEveryType) {
+  std::vector<WireResponse> responses;
+  responses.push_back({MsgType::kPong, {}, {}, {}, -1, ""});
+  responses.push_back({MsgType::kIdList, {3, 1, 4, 1, 5}, {}, {}, -1, ""});
+  WireResponse scored;
+  scored.type = MsgType::kScoredList;
+  scored.scored = {{7, 0.875}, {2, 0.5}, {9, 0.0}};
+  responses.push_back(scored);
+  WireResponse stats;
+  stats.type = MsgType::kStatsReply;
+  stats.stats.epoch = 123;
+  stats.stats.applied_seq = 456;
+  stats.stats.pairs = 789;
+  stats.stats.active_events = 10;
+  stats.stats.active_users = 20;
+  stats.stats.event_slots = 11;
+  stats.stats.user_slots = 22;
+  stats.stats.max_sum = 3.14159;
+  stats.stats.queued = 5;
+  stats.stats.overloads = 99;
+  responses.push_back(stats);
+  WireResponse ack;
+  ack.type = MsgType::kMutateAck;
+  ack.ticket = 1234567890123LL;
+  responses.push_back(ack);
+  responses.push_back({MsgType::kOverloaded, {}, {}, {}, -1, ""});
+  responses.push_back({MsgType::kError, {}, {}, {}, -1, "no active user 7"});
+
+  for (const WireResponse& response : responses) {
+    const std::string frame = EncodeResponseFrame(response);
+    ASSERT_EQ(PrefixOf(frame), frame.size() - 4)
+        << MsgTypeName(response.type);
+    const std::vector<uint8_t> body = Payload(frame);
+    WireResponse decoded;
+    std::string error;
+    ASSERT_TRUE(DecodeResponse(body.data(), body.size(), &decoded, &error))
+        << MsgTypeName(response.type) << ": " << error;
+    EXPECT_EQ(decoded.type, response.type);
+    EXPECT_EQ(decoded.ids, response.ids);
+    EXPECT_EQ(decoded.scored, response.scored);
+    EXPECT_EQ(decoded.ticket, response.ticket);
+    EXPECT_EQ(decoded.message, response.message);
+    if (response.type == MsgType::kStatsReply) {
+      EXPECT_EQ(decoded.stats.epoch, response.stats.epoch);
+      EXPECT_EQ(decoded.stats.applied_seq, response.stats.applied_seq);
+      EXPECT_EQ(decoded.stats.pairs, response.stats.pairs);
+      EXPECT_EQ(decoded.stats.active_events, response.stats.active_events);
+      EXPECT_EQ(decoded.stats.active_users, response.stats.active_users);
+      EXPECT_EQ(decoded.stats.event_slots, response.stats.event_slots);
+      EXPECT_EQ(decoded.stats.user_slots, response.stats.user_slots);
+      EXPECT_EQ(decoded.stats.max_sum, response.stats.max_sum);
+      EXPECT_EQ(decoded.stats.queued, response.stats.queued);
+      EXPECT_EQ(decoded.stats.overloads, response.stats.overloads);
+    }
+  }
+}
+
+TEST(Wire, TruncationAtEveryByteFailsCleanly) {
+  WireRequest mutate;
+  mutate.type = MsgType::kMutate;
+  mutate.payload = "set_event_capacity 4 12";
+  WireResponse scored;
+  scored.type = MsgType::kScoredList;
+  scored.scored = {{1, 0.25}, {2, 0.75}};
+
+  const std::vector<std::vector<uint8_t>> bodies = {
+      Payload(EncodeRequestFrame(mutate)),
+      Payload(EncodeRequestFrame({MsgType::kTopK, 3, 10, ""})),
+      Payload(EncodeResponseFrame(scored)),
+      Payload(EncodeResponseFrame({MsgType::kError, {}, {}, {}, -1, "bad"})),
+  };
+  for (const std::vector<uint8_t>& body : bodies) {
+    for (size_t cut = 0; cut < body.size(); ++cut) {
+      WireRequest request;
+      WireResponse response;
+      EXPECT_FALSE(DecodeRequest(body.data(), cut, &request))
+          << "request accepted a " << cut << "-byte prefix of "
+          << body.size();
+      EXPECT_FALSE(DecodeResponse(body.data(), cut, &response))
+          << "response accepted a " << cut << "-byte prefix of "
+          << body.size();
+    }
+  }
+}
+
+TEST(Wire, TrailingBytesAreRejected) {
+  for (std::vector<uint8_t> body :
+       {Payload(EncodeRequestFrame({MsgType::kPing, -1, 0, ""})),
+        Payload(EncodeRequestFrame({MsgType::kGetAssignments, 1, 0, ""}))}) {
+    body.push_back(0);
+    WireRequest request;
+    EXPECT_FALSE(DecodeRequest(body.data(), body.size(), &request));
+  }
+  std::vector<uint8_t> body =
+      Payload(EncodeResponseFrame({MsgType::kPong, {}, {}, {}, -1, ""}));
+  body.push_back(0xFF);
+  WireResponse response;
+  EXPECT_FALSE(DecodeResponse(body.data(), body.size(), &response));
+}
+
+TEST(Wire, BadVersionAndTypeAreRejected) {
+  std::vector<uint8_t> body =
+      Payload(EncodeRequestFrame({MsgType::kPing, -1, 0, ""}));
+  ASSERT_GE(body.size(), 2u);
+
+  std::vector<uint8_t> bad_version = body;
+  bad_version[0] = kWireVersion + 1;
+  WireRequest request;
+  std::string error;
+  EXPECT_FALSE(DecodeRequest(bad_version.data(), bad_version.size(),
+                             &request, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  // Response types are not valid request types and vice versa; unknown
+  // type bytes fail both.
+  for (const uint8_t type : {0, 7, 63, 71, 200, 255}) {
+    std::vector<uint8_t> bad_type = body;
+    bad_type[1] = type;
+    EXPECT_FALSE(DecodeRequest(bad_type.data(), bad_type.size(), &request))
+        << "request type byte " << int{type};
+  }
+  std::vector<uint8_t> response_typed = body;
+  response_typed[1] = static_cast<uint8_t>(MsgType::kPong);
+  EXPECT_FALSE(
+      DecodeRequest(response_typed.data(), response_typed.size(), &request));
+  std::vector<uint8_t> request_typed = body;
+  request_typed[1] = static_cast<uint8_t>(MsgType::kStats);
+  WireResponse response;
+  EXPECT_FALSE(
+      DecodeResponse(request_typed.data(), request_typed.size(), &response));
+}
+
+TEST(Wire, HostileCountsCannotForceAllocation) {
+  // An kIdList claiming 2^30 ids in a 16-byte body must fail before any
+  // allocation sized by the claim.
+  std::vector<uint8_t> body;
+  body.push_back(kWireVersion);
+  body.push_back(static_cast<uint8_t>(MsgType::kIdList));
+  const uint32_t claimed = 1u << 30;
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<uint8_t>((claimed >> (8 * i)) & 0xFF));
+  }
+  body.insert(body.end(), 8, 0);  // far fewer bytes than claimed
+  WireResponse response;
+  EXPECT_FALSE(DecodeResponse(body.data(), body.size(), &response));
+
+  std::vector<uint8_t> scored = {kWireVersion,
+                                 static_cast<uint8_t>(MsgType::kScoredList),
+                                 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_FALSE(DecodeResponse(scored.data(), scored.size(), &response));
+
+  // Same for a kMutate payload length and a kError message length.
+  std::vector<uint8_t> mutate = {kWireVersion,
+                                 static_cast<uint8_t>(MsgType::kMutate),
+                                 0xFF, 0xFF, 0xFF, 0xFF, 'x'};
+  WireRequest request;
+  EXPECT_FALSE(DecodeRequest(mutate.data(), mutate.size(), &request));
+}
+
+TEST(Wire, SingleByteCorruptionNeverCrashes) {
+  // Flip every byte of a moderately rich frame to 256 values and decode;
+  // any outcome is fine except a crash or a false "ok" that misparses.
+  WireResponse scored;
+  scored.type = MsgType::kScoredList;
+  for (int i = 0; i < 6; ++i) {
+    scored.scored.push_back({i, 0.125 * i});
+  }
+  const std::vector<uint8_t> body = Payload(EncodeResponseFrame(scored));
+  for (size_t pos = 0; pos < body.size(); ++pos) {
+    for (int delta = 1; delta < 256; delta += 37) {
+      std::vector<uint8_t> corrupt = body;
+      corrupt[pos] = static_cast<uint8_t>(corrupt[pos] + delta);
+      WireResponse out;
+      (void)DecodeResponse(corrupt.data(), corrupt.size(), &out);
+    }
+  }
+}
+
+TEST(Wire, RandomGarbageNeverCrashes) {
+  Rng rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    const int size = static_cast<int>(rng.UniformInt(0, 64));
+    std::vector<uint8_t> garbage(size);
+    for (uint8_t& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    WireRequest request;
+    WireResponse response;
+    (void)DecodeRequest(garbage.data(), garbage.size(), &request);
+    (void)DecodeResponse(garbage.data(), garbage.size(), &response);
+  }
+}
+
+}  // namespace
+}  // namespace geacc::svc
