@@ -38,6 +38,11 @@ struct CommonFlags {
   bool csv = false;
   std::string json;  // empty = no report
   int threads = 1;
+  // Audit every arrangement with src/verify (SweepConfig::audit): all
+  // violation classes plus maximality where guaranteed, aborting with the
+  // full violation list on failure. Adds an O(|V||U|) scan per run, so
+  // times measured under --selfcheck are not comparable to baselines.
+  bool selfcheck = false;
 
   void Register(FlagSet& flags) {
     flags.AddInt("reps", &reps, "repetitions per sweep point");
@@ -55,6 +60,9 @@ struct CommonFlags {
                  "SweepConfig::threads); direct-RunSolver benches hand it "
                  "to the solver as SolverOptions::threads. Wall times get "
                  "noisy above 1");
+    flags.AddBool("selfcheck", &selfcheck,
+                  "audit every arrangement with src/verify (all violation "
+                  "classes + maximality); slows runs, do not baseline");
   }
 
   std::vector<std::string> SolverList(

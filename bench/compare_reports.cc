@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/report_gate.h"
 #include "obs/bench_report.h"
 #include "obs/json.h"
 #include "util/flags.h"
@@ -122,14 +123,13 @@ int Compare(const std::string& baseline_path, const std::string& current_path,
     auto delta_pct = [](double was, double now) {
       return was > 0.0 ? (now - was) / was * 100.0 : 0.0;
     };
-    // Regression test: the measurement must be above the noise floor on
-    // at least one side AND have grown beyond the tolerance band.
-    auto regressed = [&](double was, double now) {
-      if (std::max(was, now) < min_seconds) return false;
-      return now > was * (1.0 + tolerance);
-    };
-    const bool wall_bad = regressed(base.wall_seconds, point.wall_seconds);
-    const bool cpu_bad = regressed(base.cpu_seconds, point.cpu_seconds);
+    geacc::bench::GatePolicy policy;
+    policy.tolerance = tolerance;
+    policy.min_seconds = min_seconds;
+    const bool wall_bad =
+        geacc::bench::Regressed(base.wall_seconds, point.wall_seconds, policy);
+    const bool cpu_bad =
+        geacc::bench::Regressed(base.cpu_seconds, point.cpu_seconds, policy);
     if (wall_bad || cpu_bad) ++regressions;
     table.AddRow(
         {Key(point), geacc::StrFormat("%.4f", base.wall_seconds),
@@ -175,7 +175,8 @@ int main(int argc, char** argv) {
   flags.AddDouble("tolerance", &tolerance,
                   "fractional slowdown allowed before a point regresses");
   flags.AddDouble("min_seconds", &min_seconds,
-                  "ignore points where both sides are below this (noise)");
+                  "noise floor: gate a point only when both the baseline "
+                  "and current measurement are at least this many seconds");
   flags.Parse(argc, argv);
 
   if (!merge_out.empty()) {

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
       common.SolverList({"greedy", "mincostflow", "random-v", "random-u"});
   config.repetitions = common.reps;
   config.threads = common.threads;
+  config.audit = common.selfcheck;
   config.seed = static_cast<uint64_t>(common.seed);
 
   std::vector<geacc::SweepPoint> points;

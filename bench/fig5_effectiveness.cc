@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
         solver_options.threads = common.threads;
         const auto solver =
             geacc::CreateSolver(solver_names[s], solver_options);
-        const geacc::RunRecord record = geacc::RunSolver(*solver, instance);
+        const geacc::RunRecord record =
+            geacc::RunSolver(*solver, instance, common.selfcheck);
         sums[s] += record.max_sum;
         times[s] += record.seconds;
         cpus[s] += record.cpu_seconds;

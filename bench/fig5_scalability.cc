@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
     config.solvers = common.SolverList({"greedy"});
     config.repetitions = common.reps;
     config.threads = common.threads;
+    config.audit = common.selfcheck;
     config.seed = static_cast<uint64_t>(common.seed);
 
     std::vector<geacc::SweepPoint> points;

@@ -101,7 +101,8 @@ int main(int argc, char** argv) {
       for (int rep = 0; rep < common.reps; ++rep) {
         const geacc::Instance instance =
             make_instance(setting, density, rep);
-        const geacc::RunRecord record = geacc::RunSolver(*prune, instance);
+        const geacc::RunRecord record =
+            geacc::RunSolver(*prune, instance, common.selfcheck);
         depth_sum += record.stats.MeanPruneDepth();
       }
       depth_row.push_back(
@@ -119,8 +120,10 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < common.reps; ++rep) {
       const geacc::Instance instance =
           make_instance({5, 10}, density, rep);
-      const geacc::RunRecord p = geacc::RunSolver(*prune, instance);
-      const geacc::RunRecord e = geacc::RunSolver(*exhaustive, instance);
+      const geacc::RunRecord p =
+          geacc::RunSolver(*prune, instance, common.selfcheck);
+      const geacc::RunRecord e =
+          geacc::RunSolver(*exhaustive, instance, common.selfcheck);
       prune_time += p.seconds;
       exhaustive_time += e.seconds;
       prune_cpu += p.cpu_seconds;

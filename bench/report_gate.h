@@ -1,0 +1,36 @@
+// The perf-gate regression predicate, extracted from compare_reports so
+// its noise-floor semantics are unit-testable (tests/report_gate_test.cc).
+//
+// A point regresses only when BOTH the baseline and current measurement
+// are at or above the noise floor AND the current time grew beyond the
+// tolerance band. Sub-floor measurements are dominated by scheduler
+// jitter, not code: a 1ms baseline that "doubles" to 2ms says nothing,
+// and gating on it makes CI flaky. In particular a sub-floor baseline
+// must never flag a regression no matter how large the ratio — the ratio
+// against jitter is meaningless.
+
+#ifndef GEACC_BENCH_REPORT_GATE_H_
+#define GEACC_BENCH_REPORT_GATE_H_
+
+#include <algorithm>
+
+namespace geacc::bench {
+
+struct GatePolicy {
+  // Fractional slowdown allowed before a point regresses (0.25 = +25%).
+  double tolerance = 0.25;
+  // Noise floor in seconds; a point is gated only when both sides reach it.
+  double min_seconds = 0.02;
+};
+
+inline bool Regressed(double baseline_seconds, double current_seconds,
+                      const GatePolicy& policy) {
+  if (std::min(baseline_seconds, current_seconds) < policy.min_seconds) {
+    return false;
+  }
+  return current_seconds > baseline_seconds * (1.0 + policy.tolerance);
+}
+
+}  // namespace geacc::bench
+
+#endif  // GEACC_BENCH_REPORT_GATE_H_

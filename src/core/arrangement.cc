@@ -35,8 +35,22 @@ void Arrangement::Add(EventId v, UserId u) {
   ++num_pairs_;
 }
 
+void Arrangement::AddUnchecked(EventId v, UserId u) {
+  GEACC_CHECK(u >= 0 && u < num_users_);
+  user_events_[u].push_back(v);
+  if (v >= 0 && v < num_events_) ++event_loads_[v];
+  ++num_pairs_;
+}
+
 void Arrangement::Remove(EventId v, UserId u) {
-  GEACC_DCHECK(u >= 0 && u < num_users_);
+  // Always-on bounds checks: Remove is fed by untrusted mutation streams
+  // (WAL replay, wire protocol), and an out-of-range id here would be an
+  // out-of-bounds write to event_loads_ / user_events_ in Release builds
+  // where DCHECKs compile out.
+  GEACC_CHECK(v >= 0 && v < num_events_)
+      << "Remove: event " << v << " out of range [0, " << num_events_ << ")";
+  GEACC_CHECK(u >= 0 && u < num_users_)
+      << "Remove: user " << u << " out of range [0, " << num_users_ << ")";
   auto& events = user_events_[u];
   const auto it = std::find(events.begin(), events.end(), v);
   GEACC_CHECK(it != events.end()) << "pair {" << v << "," << u << "} absent";

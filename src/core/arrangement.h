@@ -36,6 +36,13 @@ class Arrangement {
   // Removes pair {v, u}; it must be present.
   void Remove(EventId v, UserId u);
 
+  // Appends pair {v, u} with NO precondition checks in any build type —
+  // duplicates and out-of-range events are stored as-is (`u` must still
+  // be in range; per-user storage has nowhere to put other users). Exists
+  // so tests and fuzzers can materialize corrupted arrangements for the
+  // src/verify auditor. Production code must use Add().
+  void AddUnchecked(EventId v, UserId u);
+
   bool Contains(EventId v, UserId u) const;
 
   // Events assigned to user `u`, in insertion order.

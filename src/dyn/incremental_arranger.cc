@@ -110,6 +110,16 @@ void IncrementalArranger::RefreshIndexes() {
 }
 
 void IncrementalArranger::AddPair(EventId v, UserId u, double similarity) {
+  // Always-on guards (not DCHECKs): this is the single choke point through
+  // which every untrusted mutation source — WAL replay, the service write
+  // path, trace files — lands pairs in the arrangement, and a duplicate
+  // Add would silently double-count MaxSum in Release builds.
+  GEACC_CHECK(v >= 0 && v < arrangement_.num_events())
+      << "AddPair: event " << v << " out of range";
+  GEACC_CHECK(u >= 0 && u < arrangement_.num_users())
+      << "AddPair: user " << u << " out of range";
+  GEACC_CHECK(!arrangement_.Contains(v, u))
+      << "AddPair: pair {" << v << "," << u << "} already assigned";
   arrangement_.Add(v, u);
   event_users_[v].push_back(u);
   --event_remaining_[v];

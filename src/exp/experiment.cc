@@ -10,10 +10,12 @@
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "verify/audit.h"
 
 namespace geacc {
 
-RunRecord RunSolver(const Solver& solver, const Instance& instance) {
+RunRecord RunSolver(const Solver& solver, const Instance& instance,
+                    bool audit) {
   // StatsScope diffs only this thread's counters, so per-run attribution
   // stays exact even when RunSweep shards cells across a pool (each cell
   // runs its solvers on one thread; solvers that fan out internally
@@ -28,6 +30,19 @@ RunRecord RunSolver(const Solver& solver, const Instance& instance) {
   GEACC_CHECK(violation.empty())
       << solver.Name() << " produced an infeasible arrangement on "
       << instance.DebugString() << ": " << violation;
+  if (audit) {
+    // The auditor collects every violation (Validate stops at the first)
+    // and adds the maximality check where the solver guarantees it.
+    verify::AuditOptions audit_options;
+    audit_options.check_maximality =
+        verify::SolverGuaranteesMaximality(solver.Name());
+    const verify::AuditReport report =
+        verify::AuditArrangement(instance, result.arrangement, audit_options);
+    GEACC_CHECK(report.ok())
+        << solver.Name() << " failed the selfcheck audit on "
+        << instance.DebugString() << ":\n"
+        << report.Summary();
+  }
   RunRecord record;
   record.solver = solver.Name();
   record.max_sum = result.arrangement.MaxSum(instance);
@@ -89,7 +104,8 @@ SweepResult RunSweep(const SweepConfig& config,
                           << " rep " << rep << " solver "
                           << solvers[s]->Name();
         }
-        result.records[p][s][rep] = RunSolver(*solvers[s], instance);
+        result.records[p][s][rep] =
+            RunSolver(*solvers[s], instance, config.audit);
       }
     }
   };

@@ -44,8 +44,13 @@ struct RunRecord {
 };
 
 // Runs `solver` on `instance`; aborts if the arrangement is infeasible
-// (a solver bug must never produce a silent bench number).
-RunRecord RunSolver(const Solver& solver, const Instance& instance);
+// (a solver bug must never produce a silent bench number). With `audit`,
+// additionally runs the full verify::AuditArrangement pass — every
+// violation class, plus greedy maximality for solvers that guarantee it —
+// and aborts listing ALL violations, not just the first (bench
+// --selfcheck mode; costs an extra O(|V||U|) scan per run).
+RunRecord RunSolver(const Solver& solver, const Instance& instance,
+                    bool audit = false);
 
 struct SweepPoint {
   std::string label;                              // x-axis value, e.g. "100"
@@ -60,6 +65,8 @@ struct SweepConfig {
   SolverOptions solver_options;
   // Echo per-run details (solver, point, rep) to the log at INFO.
   bool verbose = false;
+  // Audit every arrangement with the verify subsystem (bench --selfcheck).
+  bool audit = false;
   // Total thread budget for the sweep, shared between the two levels of
   // parallelism: sweep workers over the (point × repetition) grid, and
   // intra-solver lanes (solver_options.threads, see util/thread_pool.h).

@@ -1,0 +1,251 @@
+#include "verify/audit.h"
+
+#include <map>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace geacc::verify {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kInstanceMismatch:
+      return "instance_mismatch";
+    case ViolationKind::kPairOutOfRange:
+      return "pair_out_of_range";
+    case ViolationKind::kEventOverCapacity:
+      return "event_over_capacity";
+    case ViolationKind::kUserOverCapacity:
+      return "user_over_capacity";
+    case ViolationKind::kNonPositiveSimilarity:
+      return "non_positive_similarity";
+    case ViolationKind::kDuplicatePair:
+      return "duplicate_pair";
+    case ViolationKind::kConflictingPair:
+      return "conflicting_pair";
+    case ViolationKind::kNonMaximal:
+      return "non_maximal";
+  }
+  return "unknown";
+}
+
+std::string Violation::Description() const {
+  switch (kind) {
+    case ViolationKind::kInstanceMismatch:
+      return "arrangement sized for a different instance";
+    case ViolationKind::kPairOutOfRange:
+      return StrFormat("pair {%d,%d} references an out-of-range event", event,
+                       user);
+    case ViolationKind::kEventOverCapacity:
+      return StrFormat("event %d over capacity: %.0f > %.0f", event, observed,
+                       limit);
+    case ViolationKind::kUserOverCapacity:
+      return StrFormat("user %d over capacity: %.0f > %.0f", user, observed,
+                       limit);
+    case ViolationKind::kNonPositiveSimilarity:
+      return StrFormat("pair {%d,%d} has non-positive similarity %.6g", event,
+                       user, observed);
+    case ViolationKind::kDuplicatePair:
+      return StrFormat("pair {%d,%d} stored %.0f times (MaxSum double-counts)",
+                       event, user, observed);
+    case ViolationKind::kConflictingPair:
+      return StrFormat("user %d assigned conflicting events %d and %d", user,
+                       event, other_event);
+    case ViolationKind::kNonMaximal:
+      return StrFormat(
+          "not maximal: feasible pair {%d,%d} (sim %.6g) is unmatched", event,
+          user, observed);
+  }
+  return "unknown violation";
+}
+
+int AuditReport::Count(ViolationKind kind) const {
+  int count = 0;
+  for (const Violation& violation : violations) {
+    if (violation.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::string AuditReport::Summary() const {
+  std::string summary;
+  for (const Violation& violation : violations) {
+    if (!summary.empty()) summary += "\n";
+    summary += violation.Description();
+  }
+  return summary;
+}
+
+obs::JsonValue AuditReport::ToJson() const {
+  obs::JsonValue json = obs::JsonValue::Object();
+  json.Set("ok", ok());
+  obs::JsonValue counts = obs::JsonValue::Object();
+  std::map<std::string, int64_t> by_kind;
+  for (const Violation& violation : violations) {
+    ++by_kind[ViolationKindName(violation.kind)];
+  }
+  for (const auto& [name, count] : by_kind) counts.Set(name, count);
+  json.Set("counts", std::move(counts));
+  obs::JsonValue list = obs::JsonValue::Array();
+  for (const Violation& violation : violations) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("kind", ViolationKindName(violation.kind));
+    if (violation.event >= 0) entry.Set("event", violation.event);
+    if (violation.other_event >= 0) {
+      entry.Set("other_event", violation.other_event);
+    }
+    if (violation.user >= 0) entry.Set("user", violation.user);
+    entry.Set("observed", violation.observed);
+    entry.Set("limit", violation.limit);
+    entry.Set("description", violation.Description());
+    list.Append(std::move(entry));
+  }
+  json.Set("violations", std::move(list));
+  return json;
+}
+
+namespace {
+
+// Appends unless the cap is hit; returns false once full so scans can
+// stop early.
+bool Report(AuditReport& report, const AuditOptions& options,
+            Violation violation) {
+  if (options.max_violations > 0 &&
+      static_cast<int>(report.violations.size()) >= options.max_violations) {
+    return false;
+  }
+  report.violations.push_back(std::move(violation));
+  return options.max_violations == 0 ||
+         static_cast<int>(report.violations.size()) < options.max_violations;
+}
+
+}  // namespace
+
+AuditReport AuditArrangement(const Instance& instance,
+                             const Arrangement& arrangement,
+                             const AuditOptions& options) {
+  AuditReport report;
+  if (instance.num_events() != arrangement.num_events() ||
+      instance.num_users() != arrangement.num_users()) {
+    Violation violation;
+    violation.kind = ViolationKind::kInstanceMismatch;
+    violation.observed = static_cast<double>(arrangement.num_events());
+    violation.limit = static_cast<double>(instance.num_events());
+    Report(report, options, violation);
+    return report;  // per-pair checks would index out of range
+  }
+
+  // Per-event load (recomputed from the per-user lists rather than read
+  // from EventLoad so a corrupted load counter cannot hide a violation).
+  std::vector<int64_t> event_loads(instance.num_events(), 0);
+  for (UserId u = 0; u < instance.num_users(); ++u) {
+    const std::vector<EventId>& events = arrangement.EventsOf(u);
+    if (static_cast<int64_t>(events.size()) > instance.user_capacity(u)) {
+      Violation violation;
+      violation.kind = ViolationKind::kUserOverCapacity;
+      violation.user = u;
+      violation.observed = static_cast<double>(events.size());
+      violation.limit = static_cast<double>(instance.user_capacity(u));
+      if (!Report(report, options, violation)) return report;
+    }
+    for (size_t i = 0; i < events.size(); ++i) {
+      const EventId v = events[i];
+      if (v < 0 || v >= instance.num_events()) {
+        Violation violation;
+        violation.kind = ViolationKind::kPairOutOfRange;
+        violation.event = v;
+        violation.user = u;
+        if (!Report(report, options, violation)) return report;
+        continue;  // similarity/conflict checks would index out of range
+      }
+      ++event_loads[v];
+      const double similarity = instance.Similarity(v, u);
+      if (similarity <= 0.0) {
+        Violation violation;
+        violation.kind = ViolationKind::kNonPositiveSimilarity;
+        violation.event = v;
+        violation.user = u;
+        violation.observed = similarity;
+        if (!Report(report, options, violation)) return report;
+      }
+      int duplicates = 0;
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j] == v) ++duplicates;
+      }
+      // Report each duplicated pair once, from its first occurrence.
+      bool first_occurrence = true;
+      for (size_t j = 0; j < i; ++j) {
+        if (events[j] == v) first_occurrence = false;
+      }
+      if (duplicates > 0 && first_occurrence) {
+        Violation violation;
+        violation.kind = ViolationKind::kDuplicatePair;
+        violation.event = v;
+        violation.user = u;
+        violation.observed = static_cast<double>(duplicates + 1);
+        if (!Report(report, options, violation)) return report;
+      }
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j] < 0 || events[j] >= instance.num_events()) continue;
+        if (events[j] != v &&
+            instance.conflicts().AreConflicting(v, events[j])) {
+          Violation violation;
+          violation.kind = ViolationKind::kConflictingPair;
+          violation.event = v;
+          violation.other_event = events[j];
+          violation.user = u;
+          if (!Report(report, options, violation)) return report;
+        }
+      }
+    }
+  }
+
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    if (event_loads[v] > instance.event_capacity(v)) {
+      Violation violation;
+      violation.kind = ViolationKind::kEventOverCapacity;
+      violation.event = v;
+      violation.observed = static_cast<double>(event_loads[v]);
+      violation.limit = static_cast<double>(instance.event_capacity(v));
+      if (!Report(report, options, violation)) return report;
+    }
+  }
+
+  if (options.check_maximality) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      const std::vector<EventId>& events = arrangement.EventsOf(u);
+      if (static_cast<int>(events.size()) >= instance.user_capacity(u)) {
+        continue;
+      }
+      for (EventId v = 0; v < instance.num_events(); ++v) {
+        if (event_loads[v] >= instance.event_capacity(v)) continue;
+        if (arrangement.Contains(v, u)) continue;
+        const double similarity = instance.Similarity(v, u);
+        if (similarity <= 0.0) continue;
+        bool conflicting = false;
+        for (const EventId w : events) {
+          if (instance.conflicts().AreConflicting(v, w)) {
+            conflicting = true;
+            break;
+          }
+        }
+        if (conflicting) continue;
+        Violation violation;
+        violation.kind = ViolationKind::kNonMaximal;
+        violation.event = v;
+        violation.user = u;
+        violation.observed = similarity;
+        if (!Report(report, options, violation)) return report;
+      }
+    }
+  }
+  return report;
+}
+
+bool SolverGuaranteesMaximality(const std::string& solver_name) {
+  return solver_name == "greedy" || solver_name == "greedy-sortall" ||
+         solver_name == "online-greedy" || solver_name == "prune" ||
+         solver_name == "exhaustive" || solver_name == "bruteforce";
+}
+
+}  // namespace geacc::verify

@@ -1,0 +1,108 @@
+// Non-aborting arrangement auditor (the verification layer's ground truth).
+//
+// Arrangement::Validate answers "is this feasible?" with the *first*
+// violation it finds — the right contract for a solver postcondition, but
+// useless for diagnosing a broken arrangement or for differential
+// campaigns that want to classify every defect. AuditArrangement walks the
+// whole arrangement and collects every violation of Definition 5 into a
+// machine-readable report:
+//
+//   * event over capacity          (load > c_v)
+//   * user over capacity           (load > c_u)
+//   * non-positive similarity      (matched pair with sim ≤ 0)
+//   * duplicate pair               ({v,u} stored more than once — this is
+//                                   the defect a release-build double Add
+//                                   produces, where MaxSum double-counts)
+//   * conflicting pair             (one user, two conflicting events)
+//   * non-maximal (opt-in)         (a feasible positive-similarity pair
+//                                   could still be added — violated greedy
+//                                   maximality)
+//
+// The maximality check is only sound for solvers that guarantee maximal
+// output (the greedy family and the untruncated exact solvers — see
+// SolverGuaranteesMaximality); MinCostFlow-GEACC deletes pairs during
+// conflict resolution without refilling, and the random baselines skip
+// pairs probabilistically, so non-maximal output is expected there.
+//
+// Thread-safety: pure function of its arguments.
+
+#ifndef GEACC_VERIFY_AUDIT_H_
+#define GEACC_VERIFY_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/arrangement.h"
+#include "core/instance.h"
+#include "obs/json.h"
+
+namespace geacc::verify {
+
+enum class ViolationKind {
+  kInstanceMismatch = 0,    // arrangement sized for a different instance
+  kPairOutOfRange,          // a stored pair references a nonexistent event
+  kEventOverCapacity,
+  kUserOverCapacity,
+  kNonPositiveSimilarity,
+  kDuplicatePair,
+  kConflictingPair,
+  kNonMaximal,
+};
+
+// Stable lower_snake_case name ("event_over_capacity", ...), used in JSON
+// reports and log lines.
+const char* ViolationKindName(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kInstanceMismatch;
+  EventId event = -1;        // primary event (-1 when not applicable)
+  EventId other_event = -1;  // second event of a conflicting pair
+  UserId user = -1;
+  double observed = 0.0;  // load, occurrence count, or similarity
+  double limit = 0.0;     // capacity bound (0 when not applicable)
+
+  // One human-readable line, e.g. "event 3 over capacity: 5 > 2".
+  std::string Description() const;
+};
+
+struct AuditOptions {
+  // Also flag feasible positive-similarity pairs that could still be
+  // added (greedy maximality). Enable only for solvers that guarantee it.
+  bool check_maximality = false;
+
+  // Stop collecting after this many violations (0 = unlimited). The
+  // report is still exhaustive below the cap; use it to bound the O(V·U)
+  // maximality scan's output on pathological inputs.
+  int max_violations = 0;
+};
+
+struct AuditReport {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  int Count(ViolationKind kind) const;
+
+  // "" when ok; otherwise one Description() per line.
+  std::string Summary() const;
+
+  // {"ok": ..., "counts": {kind: n, ...}, "violations": [...]} — the
+  // machine-readable form the geacc_audit CLI emits.
+  obs::JsonValue ToJson() const;
+};
+
+// Collects every violation of `arrangement` against `instance`. Never
+// aborts: a size mismatch yields a single kInstanceMismatch violation and
+// per-pair checks are skipped for out-of-range ids.
+AuditReport AuditArrangement(const Instance& instance,
+                             const Arrangement& arrangement,
+                             const AuditOptions& options = {});
+
+// True for registry solvers whose output is maximal by construction
+// (greedy, greedy-sortall, online-greedy, prune, exhaustive, bruteforce —
+// the latter three only when the search was not truncated, which the
+// caller must ensure via SolverOptions::max_search_invocations == 0).
+bool SolverGuaranteesMaximality(const std::string& solver_name);
+
+}  // namespace geacc::verify
+
+#endif  // GEACC_VERIFY_AUDIT_H_

@@ -1,0 +1,418 @@
+#include "verify/oracle.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "algo/solvers.h"
+#include "dyn/dynamic_instance.h"
+#include "dyn/incremental_arranger.h"
+#include "gen/synthetic.h"
+#include "gen/trace_gen.h"
+#include "io/instance_io.h"
+#include "svc/service.h"
+#include "svc/snapshot.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "verify/audit.h"
+
+namespace geacc::verify {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::string Serialize(const Instance& instance) {
+  std::ostringstream os;
+  WriteInstance(instance, os);
+  return os.str();
+}
+
+// Appends the first absent pair (any similarity) to `arrangement`. On a
+// maximal arrangement this forces a violation — capacity, conflict, or
+// non-positive similarity — which is exactly what the harness self-test
+// wants the auditor to catch. Returns false when every pair is matched
+// (possible only on degenerate shrunken instances).
+bool InjectExtraPair(const Instance& instance, Arrangement* arrangement) {
+  for (EventId v = 0; v < instance.num_events(); ++v) {
+    for (UserId u = 0; u < instance.num_users(); ++u) {
+      if (!arrangement->Contains(v, u)) {
+        arrangement->Add(v, u);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// "" when `name`'s arrangement passes the auditor on `instance`.
+std::string CheckSolverAudit(const CampaignConfig& config,
+                             const std::string& name,
+                             const Instance& instance) {
+  SolverOptions options;
+  options.seed = config.seed;
+  SolveResult result = CreateSolver(name, options)->Solve(instance);
+  if (config.inject == "extra-pair" && name == "greedy") {
+    InjectExtraPair(instance, &result.arrangement);
+  }
+  AuditOptions audit;
+  audit.check_maximality = SolverGuaranteesMaximality(name);
+  const AuditReport report =
+      AuditArrangement(instance, result.arrangement, audit);
+  return report.Summary();
+}
+
+double MaxSumOf(const std::string& name, const Instance& instance,
+                uint64_t seed) {
+  SolverOptions options;
+  options.seed = seed;
+  return CreateSolver(name, options)
+      ->Solve(instance)
+      .arrangement.MaxSum(instance);
+}
+
+std::string CheckExact(const CampaignConfig& config, const std::string& name,
+                       const Instance& instance) {
+  const double oracle = MaxSumOf("bruteforce", instance, config.seed);
+  const double got = MaxSumOf(name, instance, config.seed);
+  if (std::fabs(got - oracle) > kEps) {
+    return StrFormat("%s MaxSum %.12g != brute-force optimum %.12g",
+                     name.c_str(), got, oracle);
+  }
+  return "";
+}
+
+std::string CheckGreedyBound(const CampaignConfig& config,
+                             const Instance& instance) {
+  const double optimum = MaxSumOf("prune", instance, config.seed);
+  const double greedy = MaxSumOf("greedy", instance, config.seed);
+  const int alpha = instance.max_user_capacity();
+  if (greedy + kEps < optimum / (1.0 + alpha)) {
+    return StrFormat(
+        "greedy MaxSum %.12g below Theorem 3 bound OPT/(1+%d) = %.12g", greedy,
+        alpha, optimum / (1.0 + alpha));
+  }
+  if (greedy > optimum + kEps) {
+    return StrFormat("greedy MaxSum %.12g exceeds optimum %.12g", greedy,
+                     optimum);
+  }
+  return "";
+}
+
+std::string CheckMinCostFlowBound(const CampaignConfig& config,
+                                  const Instance& instance) {
+  const double optimum = MaxSumOf("prune", instance, config.seed);
+  const double mcf = MaxSumOf("mincostflow", instance, config.seed);
+  const int alpha = instance.max_user_capacity();
+  if (alpha > 0 && mcf + kEps < optimum / alpha) {
+    return StrFormat(
+        "mincostflow MaxSum %.12g below Theorem 2 bound OPT/%d = %.12g", mcf,
+        alpha, optimum / alpha);
+  }
+  if (mcf > optimum + kEps) {
+    return StrFormat("mincostflow MaxSum %.12g exceeds optimum %.12g", mcf,
+                     optimum);
+  }
+  if (instance.conflicts().empty() && std::fabs(mcf - optimum) > kEps) {
+    return StrFormat(
+        "CF = empty but mincostflow MaxSum %.12g != optimum %.12g (Lemma 1)",
+        mcf, optimum);
+  }
+  return "";
+}
+
+std::string CheckThreadIdentity(const CampaignConfig& config,
+                                const std::string& name,
+                                const Instance& instance) {
+  SolverOptions serial;
+  serial.seed = config.seed;
+  SolverOptions threaded = serial;
+  threaded.threads = config.threads;
+  const auto serial_pairs =
+      CreateSolver(name, serial)->Solve(instance).arrangement.SortedPairs();
+  const auto threaded_pairs =
+      CreateSolver(name, threaded)->Solve(instance).arrangement.SortedPairs();
+  if (serial_pairs != threaded_pairs) {
+    return StrFormat(
+        "%s arrangement differs between threads=1 (%zu pairs) and "
+        "threads=%d (%zu pairs)",
+        name.c_str(), serial_pairs.size(), config.threads,
+        threaded_pairs.size());
+  }
+  return "";
+}
+
+using InstanceCheck = std::function<std::string(const Instance&)>;
+
+std::vector<std::pair<std::string, InstanceCheck>> BuildInstanceChecks(
+    const CampaignConfig& config) {
+  std::vector<std::pair<std::string, InstanceCheck>> checks;
+  for (const std::string& name : SolverNames()) {
+    checks.emplace_back("audit/" + name, [&config, name](const Instance& i) {
+      return CheckSolverAudit(config, name, i);
+    });
+  }
+  for (const char* name : {"prune", "exhaustive"}) {
+    checks.emplace_back(std::string("exact/") + name,
+                        [&config, name](const Instance& i) {
+                          return CheckExact(config, name, i);
+                        });
+  }
+  checks.emplace_back("bounds/greedy", [&config](const Instance& i) {
+    return CheckGreedyBound(config, i);
+  });
+  checks.emplace_back("bounds/mincostflow", [&config](const Instance& i) {
+    return CheckMinCostFlowBound(config, i);
+  });
+  for (const char* name : {"greedy", "mincostflow", "prune"}) {
+    checks.emplace_back(std::string("threads/") + name,
+                        [&config, name](const Instance& i) {
+                          return CheckThreadIdentity(config, name, i);
+                        });
+  }
+  return checks;
+}
+
+TraceGenConfig TraceConfigFor(const CampaignConfig& config, uint64_t index) {
+  TraceGenConfig trace;
+  trace.initial_events = 6;
+  trace.initial_users = 12;
+  trace.dim = 3;
+  trace.max_attribute = 100.0;
+  trace.max_event_capacity = 5;
+  trace.max_user_capacity = 3;
+  trace.num_mutations = config.trace_mutations;
+  trace.seed = config.seed * 7919 + index;
+  return trace;
+}
+
+// Repair differential: replay a trace through the incremental engine,
+// asserting feasibility after every mutation, bookkeeping consistency,
+// a clean dense-snapshot audit, and a feasible fresh re-solve.
+std::string CheckRepairTrace(const CampaignConfig& config, uint64_t index) {
+  const MutationTrace trace = GenerateTrace(TraceConfigFor(config, index));
+  DynamicInstance dyn(trace.initial);
+  IncrementalArranger arranger(&dyn, {});
+  arranger.FullResolve();
+  for (size_t m = 0; m < trace.mutations.size(); ++m) {
+    arranger.Apply(trace.mutations[m]);
+    const std::string error = arranger.Validate();
+    if (!error.empty()) {
+      return StrFormat("infeasible after mutation %zu (%s): %s", m,
+                       trace.mutations[m].DebugString().c_str(),
+                       error.c_str());
+    }
+  }
+  const double recomputed = arranger.RecomputeMaxSum();
+  if (std::fabs(recomputed - arranger.max_sum()) > 1e-6) {
+    return StrFormat("incremental MaxSum %.12g != recomputed %.12g",
+                     arranger.max_sum(), recomputed);
+  }
+
+  DynamicInstance::SnapshotMap map;
+  const Instance snapshot = dyn.Snapshot(&map);
+  Arrangement dense(snapshot.num_events(), snapshot.num_users());
+  const Arrangement& live = arranger.arrangement();
+  for (UserId u = 0; u < live.num_users(); ++u) {
+    for (const EventId v : live.EventsOf(u)) {
+      if (map.user_to_dense[u] < 0 || map.event_to_dense[v] < 0) {
+        return StrFormat("pair {%d,%d} matches a tombstoned entity", v, u);
+      }
+      dense.Add(map.event_to_dense[v], map.user_to_dense[u]);
+    }
+  }
+  const AuditReport audit = AuditArrangement(snapshot, dense);
+  if (!audit.ok()) {
+    return "dense snapshot audit failed:\n" + audit.Summary();
+  }
+
+  SolverOptions options;
+  options.seed = config.seed;
+  const SolveResult fresh = CreateSolver("greedy", options)->Solve(snapshot);
+  AuditOptions fresh_audit;
+  fresh_audit.check_maximality = true;
+  const AuditReport fresh_report =
+      AuditArrangement(snapshot, fresh.arrangement, fresh_audit);
+  if (!fresh_report.ok()) {
+    return "fresh re-solve audit failed:\n" + fresh_report.Summary();
+  }
+  return "";
+}
+
+// Slot-space pairs of a service snapshot, deterministic order.
+std::vector<std::pair<UserId, EventId>> SnapshotPairs(
+    const svc::ServiceSnapshot& snapshot) {
+  std::vector<std::pair<UserId, EventId>> pairs;
+  for (UserId u = 0; u < snapshot.user_slots(); ++u) {
+    for (const EventId v : snapshot.AssignmentsOf(u)) pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+// WAL differential: live service state after a trace ≡ recovered state.
+std::string CheckWalRecovery(const CampaignConfig& config, uint64_t index) {
+  const MutationTrace trace =
+      GenerateTrace(TraceConfigFor(config, index * 31 + 17));
+  const std::filesystem::path dir =
+      config.scratch_dir.empty()
+          ? std::filesystem::temp_directory_path()
+          : std::filesystem::path(config.scratch_dir);
+  const std::string wal_path =
+      (dir / StrFormat("geacc_audit_%d_%llu.wal", static_cast<int>(::getpid()),
+                       static_cast<unsigned long long>(index)))
+          .string();
+
+  svc::ServiceOptions options;
+  options.wal_path = wal_path;
+
+  double live_max_sum = 0.0;
+  int64_t live_epoch = 0;
+  std::vector<std::pair<UserId, EventId>> live_pairs;
+  {
+    svc::ArrangementService service(trace.initial, options);
+    for (const Mutation& mutation : trace.mutations) {
+      const svc::SubmitResult submitted = service.Submit(mutation);
+      if (submitted.status != svc::SvcStatus::kOk) {
+        std::filesystem::remove(wal_path);
+        return StrFormat("Submit returned %s mid-trace",
+                         svc::SvcStatusName(submitted.status));
+      }
+    }
+    service.Flush();
+    const auto snapshot = service.snapshot();
+    live_max_sum = snapshot->max_sum();
+    live_epoch = snapshot->epoch();
+    live_pairs = SnapshotPairs(*snapshot);
+    service.Stop();
+  }
+
+  std::string error;
+  const auto recovered = svc::ArrangementService::Recover(options, &error);
+  if (recovered == nullptr) {
+    std::filesystem::remove(wal_path);
+    return "Recover failed: " + error;
+  }
+  const auto snapshot = recovered->snapshot();
+  std::string detail;
+  if (snapshot->max_sum() != live_max_sum) {  // bit-identical by contract
+    detail = StrFormat("recovered MaxSum %.17g != live %.17g",
+                       snapshot->max_sum(), live_max_sum);
+  } else if (SnapshotPairs(*snapshot) != live_pairs) {
+    detail = StrFormat("recovered pair set (%zu pairs) != live (%zu pairs)",
+                       SnapshotPairs(*snapshot).size(), live_pairs.size());
+  } else if (snapshot->epoch() != live_epoch) {
+    detail = StrFormat("recovered epoch %lld != live %lld",
+                       static_cast<long long>(snapshot->epoch()),
+                       static_cast<long long>(live_epoch));
+  }
+  recovered->Stop();
+  std::filesystem::remove(wal_path);
+  return detail;
+}
+
+}  // namespace
+
+Instance MakeCampaignInstance(const CampaignConfig& config, uint64_t index) {
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + index);
+  SyntheticConfig synth;
+  synth.num_events =
+      static_cast<int>(rng.UniformInt(3, std::max(3, config.max_events)));
+  synth.num_users =
+      static_cast<int>(rng.UniformInt(2, std::max(2, config.max_users)));
+  synth.dim = 3;
+  synth.max_attribute = 100.0;
+  synth.event_attribute = DistributionSpec::Uniform(0.0, 100.0);
+  synth.user_attribute = DistributionSpec::Uniform(0.0, 100.0);
+  synth.event_capacity = DistributionSpec::Uniform(1.0, 4.0);
+  synth.user_capacity = DistributionSpec::Uniform(
+      1.0, static_cast<double>(rng.UniformInt(1, 3)));
+  const double densities[] = {0.0, 0.25, 0.5, 1.0};
+  synth.conflict_density = densities[rng.UniformInt(0, 3)];
+  synth.seed = rng.NextUint64();
+  return GenerateSynthetic(synth);
+}
+
+CampaignResult RunCampaign(const CampaignConfig& config, std::ostream* log) {
+  CampaignResult result;
+  const auto checks = BuildInstanceChecks(config);
+
+  auto record_failure = [&](std::string check, std::string detail,
+                            uint64_t seed, const Instance* instance) {
+    CampaignFailure failure;
+    failure.check = std::move(check);
+    failure.detail = std::move(detail);
+    failure.seed = seed;
+    if (instance != nullptr) failure.instance_text = Serialize(*instance);
+    if (log != nullptr) {
+      *log << "FAIL " << failure.check << " (seed " << seed
+           << "): " << failure.detail << "\n";
+    }
+    result.failures.push_back(std::move(failure));
+  };
+
+  for (int i = 0; i < config.instances; ++i) {
+    if (static_cast<int>(result.failures.size()) >= config.max_failures) {
+      if (log != nullptr) {
+        *log << "stopping after " << result.failures.size() << " failures\n";
+      }
+      break;
+    }
+    const uint64_t index = static_cast<uint64_t>(i);
+    const Instance instance = MakeCampaignInstance(config, index);
+    ++result.instances;
+
+    for (const auto& [name, check] : checks) {
+      ++result.checks;
+      std::string detail = check(instance);
+      if (detail.empty()) continue;
+      record_failure(name, std::move(detail), index, &instance);
+      CampaignFailure& failure = result.failures.back();
+      if (config.shrink) {
+        const auto& fn = check;
+        const Instance shrunk = ShrinkInstance(
+            instance,
+            [&fn](const Instance& candidate) {
+              return !fn(candidate).empty();
+            },
+            config.shrink_options, &failure.shrink_stats);
+        failure.shrunk_instance_text = Serialize(shrunk);
+        if (log != nullptr) {
+          *log << "  shrunk to |V|=" << shrunk.num_events()
+               << " |U|=" << shrunk.num_users() << " after "
+               << failure.shrink_stats.predicate_calls
+               << " predicate calls\n";
+        }
+      }
+    }
+
+    if (config.repair_period > 0 && i % config.repair_period == 0) {
+      ++result.checks;
+      std::string detail = CheckRepairTrace(config, index);
+      if (!detail.empty()) {
+        record_failure("repair/trace", std::move(detail), index, nullptr);
+      }
+    }
+    if (config.wal_period > 0 && i % config.wal_period == 0) {
+      ++result.checks;
+      std::string detail = CheckWalRecovery(config, index);
+      if (!detail.empty()) {
+        record_failure("wal/recovery", std::move(detail), index, nullptr);
+      }
+    }
+
+    if (log != nullptr && (i + 1) % 50 == 0) {
+      *log << "campaign: " << (i + 1) << "/" << config.instances
+           << " instances, " << result.checks << " checks, "
+           << result.failures.size() << " failures\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace geacc::verify

@@ -1,0 +1,122 @@
+// Differential correctness campaign: solver matrix × seeded instances ×
+// oracle checks.
+//
+// The exact-solver literature validates heuristics by differential
+// comparison against exact oracles on seeded instance families; the
+// paper's own theorems give checkable approximation certificates. This
+// driver sweeps a deterministic family of small instances (exact solvers
+// stay tractable at |V| ≤ 5, |U| ≤ 8) and asserts, per instance:
+//
+//   * audit/<solver>       every registry solver's arrangement passes
+//                          AuditArrangement (maximality included where the
+//                          solver guarantees it)
+//   * exact/prune,
+//     exact/exhaustive     Prune-GEACC ≡ exhaustive ≡ brute force (exact
+//                          optimum, Section IV)
+//   * bounds/greedy        MaxSum(Greedy) ≥ OPT / (1 + max c_u), ≤ OPT
+//                          (Theorem 3 certificate)
+//   * bounds/mincostflow   MaxSum(MCF) ≥ OPT / max c_u, ≤ OPT (Theorem 2),
+//                          and MCF ≡ OPT when CF = ∅ (Lemma 1)
+//   * threads/<solver>     solve at threads=1 and threads=N are
+//                          bit-identical (same SortedPairs)
+//
+// plus, on a sampled subset of iterations, two trace-level differentials:
+//
+//   * repair/trace         an IncrementalArranger replaying a generated
+//                          mutation trace stays feasible after every
+//                          mutation, its incremental MaxSum matches a
+//                          from-scratch recomputation, its dense snapshot
+//                          passes the auditor, and a fresh re-solve of the
+//                          same snapshot is feasible too
+//   * wal/recovery         an ArrangementService fed the same trace over
+//                          its write path, then recovered from its WAL,
+//                          lands on a bit-identical snapshot (MaxSum and
+//                          pair set)
+//
+// Failing instance-level checks are (optionally) minimized with the
+// delta-debugging shrinker before being serialized into the failure
+// record, so a CI artifact is a minimal repro rather than a random seed.
+//
+// Fault injection (`inject = "extra-pair"`) deliberately corrupts the
+// greedy solver's output before auditing — the harness's own self-test:
+// a campaign that cannot detect and shrink an injected violation is not
+// protecting anything.
+
+#ifndef GEACC_VERIFY_ORACLE_H_
+#define GEACC_VERIFY_ORACLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "verify/shrink.h"
+
+namespace geacc::verify {
+
+struct CampaignConfig {
+  // Number of seeded instances swept through the solver matrix.
+  int instances = 200;
+  uint64_t seed = 42;
+
+  // Family size bounds; the exact oracles (brute force / exhaustive) cap
+  // what is tractable. Events are drawn from [3, max_events] so an
+  // injected extra pair always exists, users from [2, max_users].
+  int max_events = 5;
+  int max_users = 8;
+
+  // Lane count for the serial-vs-threaded bit-identity check.
+  int threads = 3;
+
+  // Run the trace-level differentials every k-th iteration (0 = never).
+  int repair_period = 5;
+  int wal_period = 10;
+  int trace_mutations = 40;
+
+  // Minimize failing instances with ShrinkInstance before recording.
+  bool shrink = false;
+  ShrinkOptions shrink_options;
+
+  // Stop after this many failures (a broken build should not pay for 200
+  // shrink runs).
+  int max_failures = 10;
+
+  // Directory for WAL scratch files; empty = std::filesystem temp dir.
+  std::string scratch_dir;
+
+  // Harness self-test fault: "" (off) or "extra-pair" (append a stored
+  // pair to greedy's arrangement before auditing).
+  std::string inject;
+};
+
+struct CampaignFailure {
+  std::string check;   // e.g. "audit/greedy", "wal/recovery"
+  std::string detail;  // first line(s) of what went wrong
+  uint64_t seed = 0;   // regenerate via MakeCampaignInstance(config, seed)
+  // instance_io text of the failing instance (instance-level checks only).
+  std::string instance_text;
+  // instance_io text after delta-debugging (when CampaignConfig::shrink).
+  std::string shrunk_instance_text;
+  ShrinkStats shrink_stats;
+};
+
+struct CampaignResult {
+  int instances = 0;
+  int64_t checks = 0;
+  std::vector<CampaignFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// The deterministic campaign family: instance `index` under `config.seed`.
+Instance MakeCampaignInstance(const CampaignConfig& config, uint64_t index);
+
+// Runs the full campaign. `log` (may be null) receives one progress line
+// per 50 instances plus one line per failure.
+CampaignResult RunCampaign(const CampaignConfig& config,
+                           std::ostream* log = nullptr);
+
+}  // namespace geacc::verify
+
+#endif  // GEACC_VERIFY_ORACLE_H_

@@ -1,0 +1,229 @@
+#include "verify/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace geacc::verify {
+namespace {
+
+// All conflict pairs of `instance`, each once with a < b.
+std::vector<std::pair<EventId, EventId>> ConflictPairs(
+    const Instance& instance) {
+  std::vector<std::pair<EventId, EventId>> pairs;
+  for (EventId a = 0; a < instance.num_events(); ++a) {
+    for (const EventId b : instance.conflicts().ConflictsOf(a)) {
+      if (a < b) pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+// Rebuilds `src` keeping only the flagged entities; conflicts are remapped
+// (pairs with a removed endpoint drop out) and capacity overrides apply
+// pre-removal indices. Attribute rows and the similarity function are
+// copied verbatim, so every surviving pair's similarity is unchanged.
+Instance Rebuild(const Instance& src, const std::vector<bool>& keep_event,
+                 const std::vector<bool>& keep_user,
+                 const std::vector<std::pair<EventId, EventId>>& conflicts,
+                 const std::vector<int>& event_capacities,
+                 const std::vector<int>& user_capacities) {
+  std::vector<int> event_map(src.num_events(), -1);
+  int next_event = 0;
+  for (EventId v = 0; v < src.num_events(); ++v) {
+    if (keep_event[v]) event_map[v] = next_event++;
+  }
+  std::vector<int> user_map(src.num_users(), -1);
+  int next_user = 0;
+  for (UserId u = 0; u < src.num_users(); ++u) {
+    if (keep_user[u]) user_map[u] = next_user++;
+  }
+
+  AttributeMatrix events(next_event, src.dim());
+  std::vector<int> event_caps;
+  event_caps.reserve(next_event);
+  for (EventId v = 0; v < src.num_events(); ++v) {
+    if (event_map[v] < 0) continue;
+    std::copy(src.event_attributes().Row(v),
+              src.event_attributes().Row(v) + src.dim(),
+              events.MutableRow(event_map[v]));
+    event_caps.push_back(event_capacities[v]);
+  }
+  AttributeMatrix users(next_user, src.dim());
+  std::vector<int> user_caps;
+  user_caps.reserve(next_user);
+  for (UserId u = 0; u < src.num_users(); ++u) {
+    if (user_map[u] < 0) continue;
+    std::copy(src.user_attributes().Row(u),
+              src.user_attributes().Row(u) + src.dim(),
+              users.MutableRow(user_map[u]));
+    user_caps.push_back(user_capacities[u]);
+  }
+
+  ConflictGraph graph(next_event);
+  for (const auto& [a, b] : conflicts) {
+    if (event_map[a] >= 0 && event_map[b] >= 0) {
+      graph.AddConflict(event_map[a], event_map[b]);
+    }
+  }
+  return Instance(std::move(events), std::move(event_caps), std::move(users),
+                  std::move(user_caps), std::move(graph),
+                  src.similarity().Clone());
+}
+
+// The mutable reduction state: which entities survive, which conflicts,
+// what capacities. Materialize() produces the candidate instance.
+struct Candidate {
+  const Instance* base;
+  std::vector<bool> keep_event;
+  std::vector<bool> keep_user;
+  std::vector<bool> keep_conflict;  // into `conflicts`
+  std::vector<std::pair<EventId, EventId>> conflicts;
+  std::vector<int> event_capacities;
+  std::vector<int> user_capacities;
+
+  Instance Materialize() const {
+    std::vector<std::pair<EventId, EventId>> kept;
+    for (size_t i = 0; i < conflicts.size(); ++i) {
+      if (keep_conflict[i]) kept.push_back(conflicts[i]);
+    }
+    return Rebuild(*base, keep_event, keep_user, kept, event_capacities,
+                   user_capacities);
+  }
+};
+
+class Shrinker {
+ public:
+  Shrinker(const Instance& start,
+           const std::function<bool(const Instance&)>& still_fails,
+           const ShrinkOptions& options)
+      : still_fails_(still_fails), options_(options) {
+    state_.base = &start;
+    state_.keep_event.assign(start.num_events(), true);
+    state_.keep_user.assign(start.num_users(), true);
+    state_.conflicts = ConflictPairs(start);
+    state_.keep_conflict.assign(state_.conflicts.size(), true);
+    state_.event_capacities.resize(start.num_events());
+    for (EventId v = 0; v < start.num_events(); ++v) {
+      state_.event_capacities[v] = start.event_capacity(v);
+    }
+    state_.user_capacities.resize(start.num_users());
+    for (UserId u = 0; u < start.num_users(); ++u) {
+      state_.user_capacities[u] = start.user_capacity(u);
+    }
+  }
+
+  Instance Run(ShrinkStats* stats) {
+    for (int round = 0; round < options_.max_rounds; ++round) {
+      if (stats != nullptr) stats->rounds = round + 1;
+      bool changed = false;
+      changed |= ShrinkSide(&state_.keep_user);
+      changed |= ShrinkSide(&state_.keep_event);
+      changed |= ShrinkConflicts();
+      changed |= ShrinkCapacities(&state_.event_capacities,
+                                  state_.keep_event);
+      changed |= ShrinkCapacities(&state_.user_capacities, state_.keep_user);
+      if (!changed || OutOfBudget()) break;
+    }
+    if (stats != nullptr) stats->predicate_calls = predicate_calls_;
+    return state_.Materialize();
+  }
+
+ private:
+  bool OutOfBudget() const {
+    return options_.max_predicate_calls > 0 &&
+           predicate_calls_ >= options_.max_predicate_calls;
+  }
+
+  // True when the candidate built from a tentative edit still fails;
+  // callers commit the edit iff so.
+  bool StillFails() {
+    ++predicate_calls_;
+    return still_fails_(state_.Materialize());
+  }
+
+  // ddmin over one entity side: try dropping chunks of the survivors,
+  // halving the chunk size down to 1.
+  bool ShrinkSide(std::vector<bool>* keep) {
+    bool changed = false;
+    int alive = static_cast<int>(std::count(keep->begin(), keep->end(), true));
+    for (int chunk = (alive + 1) / 2; chunk >= 1; chunk /= 2) {
+      bool removed_at_this_size = true;
+      while (removed_at_this_size && !OutOfBudget()) {
+        removed_at_this_size = false;
+        // Indices of current survivors, recomputed after every removal.
+        std::vector<int> survivors;
+        for (size_t i = 0; i < keep->size(); ++i) {
+          if ((*keep)[i]) survivors.push_back(static_cast<int>(i));
+        }
+        for (size_t begin = 0; begin < survivors.size() && !OutOfBudget();
+             begin += chunk) {
+          const size_t end =
+              std::min(survivors.size(), begin + static_cast<size_t>(chunk));
+          for (size_t i = begin; i < end; ++i) {
+            (*keep)[survivors[i]] = false;
+          }
+          if (StillFails()) {
+            changed = true;
+            removed_at_this_size = true;
+          } else {
+            for (size_t i = begin; i < end; ++i) {
+              (*keep)[survivors[i]] = true;
+            }
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool ShrinkConflicts() {
+    bool changed = false;
+    for (size_t i = 0; i < state_.conflicts.size() && !OutOfBudget(); ++i) {
+      if (!state_.keep_conflict[i]) continue;
+      state_.keep_conflict[i] = false;
+      if (StillFails()) {
+        changed = true;
+      } else {
+        state_.keep_conflict[i] = true;
+      }
+    }
+    return changed;
+  }
+
+  bool ShrinkCapacities(std::vector<int>* capacities,
+                        const std::vector<bool>& keep) {
+    bool changed = false;
+    for (size_t i = 0; i < capacities->size() && !OutOfBudget(); ++i) {
+      if (!keep[i] || (*capacities)[i] <= 1) continue;
+      const int saved = (*capacities)[i];
+      (*capacities)[i] = 1;
+      if (StillFails()) {
+        changed = true;
+      } else {
+        (*capacities)[i] = saved;
+      }
+    }
+    return changed;
+  }
+
+  const std::function<bool(const Instance&)>& still_fails_;
+  const ShrinkOptions& options_;
+  Candidate state_;
+  int64_t predicate_calls_ = 0;
+};
+
+}  // namespace
+
+Instance ShrinkInstance(const Instance& start,
+                        const std::function<bool(const Instance&)>& still_fails,
+                        const ShrinkOptions& options, ShrinkStats* stats) {
+  GEACC_CHECK(still_fails(start))
+      << "ShrinkInstance: the starting instance does not fail the predicate";
+  Shrinker shrinker(start, still_fails, options);
+  return shrinker.Run(stats);
+}
+
+}  // namespace geacc::verify

@@ -1,0 +1,51 @@
+// Delta-debugging instance minimizer for failing verification checks.
+//
+// Given an instance on which some property fails (a predicate returning
+// true = "still fails"), ShrinkInstance greedily searches for a smaller
+// instance that still fails: ddmin-style chunked removal of users and
+// events (halving chunk sizes down to single entities), then dropping
+// conflict pairs one at a time, then lowering capacities to 1. Passes
+// repeat until a whole round makes no progress.
+//
+// The result is a local minimum — removing any single entity, conflict, or
+// capacity unit makes the failure disappear — which in practice turns a
+// 5×8 campaign counterexample into a 1-or-2-entity repro a human can read.
+// The predicate must be deterministic; it is re-invoked on every candidate
+// (ShrinkStats::predicate_calls counts the cost).
+//
+// Thread-safety: pure function of its arguments; the predicate is called
+// from the calling thread only.
+
+#ifndef GEACC_VERIFY_SHRINK_H_
+#define GEACC_VERIFY_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/instance.h"
+
+namespace geacc::verify {
+
+struct ShrinkOptions {
+  // Hard cap on full reduction rounds (each round tries every pass once).
+  int max_rounds = 16;
+  // Hard cap on predicate invocations (0 = unlimited); the shrink returns
+  // the best instance found so far when the budget runs out.
+  int64_t max_predicate_calls = 0;
+};
+
+struct ShrinkStats {
+  int rounds = 0;
+  int64_t predicate_calls = 0;
+};
+
+// Returns the smallest instance found for which `still_fails` is true.
+// `still_fails(start)` must be true on entry (checked).
+Instance ShrinkInstance(const Instance& start,
+                        const std::function<bool(const Instance&)>& still_fails,
+                        const ShrinkOptions& options = {},
+                        ShrinkStats* stats = nullptr);
+
+}  // namespace geacc::verify
+
+#endif  // GEACC_VERIFY_SHRINK_H_

@@ -1,0 +1,230 @@
+// The verify::AuditArrangement auditor: one fixture per violation class,
+// plus the always-on Arrangement::Remove bounds checks (regression: they
+// were debug-only, so a bad id from an untrusted mutation stream was an
+// out-of-bounds write in Release builds).
+
+#include "verify/audit.h"
+
+#include <string>
+
+#include "algo/solvers.h"
+#include "core/arrangement.h"
+#include "core/instance.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace geacc {
+namespace {
+
+using testing::MakeTableInstance;
+using verify::AuditArrangement;
+using verify::AuditOptions;
+using verify::AuditReport;
+using verify::Violation;
+using verify::ViolationKind;
+using verify::ViolationKindName;
+
+// The single violation of `kind` in `report`; fails the test if absent.
+const Violation& FindViolation(const AuditReport& report,
+                               ViolationKind kind) {
+  for (const Violation& violation : report.violations) {
+    if (violation.kind == kind) return violation;
+  }
+  ADD_FAILURE() << "no violation of kind " << ViolationKindName(kind);
+  static const Violation missing{};
+  return missing;
+}
+
+// 2 events (caps 2, 1), 3 users (caps 1, 2, 1), v0 ⊥ v1, and one
+// non-positive similarity cell: sim(v1, u2) = 0.
+Instance SmallInstance() {
+  return MakeTableInstance({{0.9, 0.8, 0.7}, {0.6, 0.5, 0.0}}, {2, 1},
+                           {1, 2, 1}, {{0, 1}});
+}
+
+TEST(AuditTest, CleanArrangementPasses) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 0);
+  arrangement.Add(0, 1);
+  ASSERT_TRUE(arrangement.Validate(instance).empty());
+  EXPECT_TRUE(AuditArrangement(instance, arrangement).ok());
+}
+
+TEST(AuditTest, InstanceMismatch) {
+  const Instance instance = SmallInstance();
+  const Arrangement arrangement(4, 4);
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kInstanceMismatch);
+}
+
+TEST(AuditTest, EventOverCapacity) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(1, 0);  // c_{v1} = 1 ...
+  arrangement.Add(1, 1);  // ... so a second attendee overflows it
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  ASSERT_EQ(report.Count(ViolationKind::kEventOverCapacity), 1);
+  const Violation& violation =
+      FindViolation(report, ViolationKind::kEventOverCapacity);
+  EXPECT_EQ(violation.event, 1);
+  EXPECT_EQ(violation.observed, 2.0);
+  EXPECT_EQ(violation.limit, 1.0);
+}
+
+TEST(AuditTest, UserOverCapacity) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 0);  // c_{u0} = 1
+  arrangement.Add(1, 0);
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  EXPECT_EQ(report.Count(ViolationKind::kUserOverCapacity), 1);
+  // v0 ⊥ v1, so the same pair of assignments is also a conflict.
+  EXPECT_EQ(report.Count(ViolationKind::kConflictingPair), 1);
+}
+
+TEST(AuditTest, NonPositiveSimilarity) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(1, 2);  // sim(v1, u2) = 0
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  ASSERT_EQ(report.Count(ViolationKind::kNonPositiveSimilarity), 1);
+  EXPECT_EQ(report.violations[0].observed, 0.0);
+}
+
+TEST(AuditTest, DuplicatePair) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 1);
+  arrangement.AddUnchecked(0, 1);  // corruption: Add() would reject it
+  arrangement.AddUnchecked(0, 1);
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  // Reported once with the multiplicity, not once per copy.
+  ASSERT_EQ(report.Count(ViolationKind::kDuplicatePair), 1);
+  const Violation& violation =
+      FindViolation(report, ViolationKind::kDuplicatePair);
+  EXPECT_EQ(violation.event, 0);
+  EXPECT_EQ(violation.user, 1);
+  EXPECT_EQ(violation.observed, 3.0);
+  // Three copies against c_{v0} = 2 also overflow the event.
+  EXPECT_EQ(report.Count(ViolationKind::kEventOverCapacity), 1);
+}
+
+TEST(AuditTest, ConflictingPair) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 1);  // c_{u1} = 2, but v0 ⊥ v1
+  arrangement.Add(1, 1);
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  ASSERT_EQ(report.Count(ViolationKind::kConflictingPair), 1);
+  const Violation& violation = report.violations[0];
+  EXPECT_EQ(violation.event, 0);
+  EXPECT_EQ(violation.other_event, 1);
+  EXPECT_EQ(violation.user, 1);
+}
+
+TEST(AuditTest, PairOutOfRange) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.AddUnchecked(7, 0);
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  ASSERT_EQ(report.Count(ViolationKind::kPairOutOfRange), 1);
+  EXPECT_EQ(report.violations[0].event, 7);
+}
+
+TEST(AuditTest, NonMaximalOnlyWhenRequested) {
+  const Instance instance = SmallInstance();
+  const Arrangement empty(2, 3);  // every positive pair is still addable
+  EXPECT_TRUE(AuditArrangement(instance, empty).ok());
+  AuditOptions options;
+  options.check_maximality = true;
+  const AuditReport report = AuditArrangement(instance, empty, options);
+  EXPECT_GT(report.Count(ViolationKind::kNonMaximal), 0);
+}
+
+TEST(AuditTest, MaximalGreedyArrangementPasses) {
+  const Instance instance = testing::PaperTableIExample();
+  const SolveResult result =
+      CreateSolver("greedy", SolverOptions())->Solve(instance);
+  AuditOptions options;
+  options.check_maximality = true;
+  EXPECT_TRUE(AuditArrangement(instance, result.arrangement, options).ok());
+}
+
+TEST(AuditTest, CollectsAllViolationsNotJustFirst) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 0);
+  arrangement.Add(1, 0);        // user over capacity + conflict
+  arrangement.Add(1, 2);        // non-positive similarity
+  arrangement.AddUnchecked(7, 1);  // out of range
+  // Validate() stops at the first problem; the auditor keeps going.
+  EXPECT_FALSE(arrangement.Validate(instance).empty());
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  EXPECT_GE(report.violations.size(), 4u);
+  EXPECT_EQ(report.Count(ViolationKind::kUserOverCapacity), 1);
+  EXPECT_EQ(report.Count(ViolationKind::kConflictingPair), 1);
+  EXPECT_EQ(report.Count(ViolationKind::kNonPositiveSimilarity), 1);
+  EXPECT_EQ(report.Count(ViolationKind::kPairOutOfRange), 1);
+  EXPECT_EQ(report.Count(ViolationKind::kEventOverCapacity), 1);  // v1: 2 > 1
+}
+
+TEST(AuditTest, MaxViolationsCapsTheReport) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 0);
+  arrangement.Add(1, 0);
+  arrangement.Add(1, 2);
+  AuditOptions options;
+  options.max_violations = 2;
+  const AuditReport report = AuditArrangement(instance, arrangement, options);
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AuditTest, JsonReportCarriesCountsAndDescriptions) {
+  const Instance instance = SmallInstance();
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 1);
+  arrangement.Add(1, 1);
+  const AuditReport report = AuditArrangement(instance, arrangement);
+  const std::string json = report.ToJson().Dump();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("conflicting_pair"), std::string::npos);
+  EXPECT_NE(json.find("conflicting events"), std::string::npos);
+}
+
+TEST(AuditTest, SolverMaximalityRegistry) {
+  EXPECT_TRUE(verify::SolverGuaranteesMaximality("greedy"));
+  EXPECT_TRUE(verify::SolverGuaranteesMaximality("greedy-sortall"));
+  EXPECT_TRUE(verify::SolverGuaranteesMaximality("online-greedy"));
+  EXPECT_TRUE(verify::SolverGuaranteesMaximality("prune"));
+  EXPECT_TRUE(verify::SolverGuaranteesMaximality("exhaustive"));
+  EXPECT_TRUE(verify::SolverGuaranteesMaximality("bruteforce"));
+  // MCF's conflict resolution deletes pairs without refilling; the random
+  // baselines offer pairs probabilistically. Neither is maximal.
+  EXPECT_FALSE(verify::SolverGuaranteesMaximality("mincostflow"));
+  EXPECT_FALSE(verify::SolverGuaranteesMaximality("random-v"));
+  EXPECT_FALSE(verify::SolverGuaranteesMaximality("random-u"));
+}
+
+// Regression: Remove() used debug-only checks on its ids, so an
+// out-of-range event id from an untrusted mutation stream corrupted
+// event_loads_ in Release builds instead of aborting.
+TEST(ArrangementRemoveDeathTest, OutOfRangeEventAborts) {
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 0);
+  EXPECT_DEATH(arrangement.Remove(-1, 0), "out of range");
+  EXPECT_DEATH(arrangement.Remove(2, 0), "out of range");
+}
+
+TEST(ArrangementRemoveDeathTest, OutOfRangeUserAborts) {
+  Arrangement arrangement(2, 3);
+  arrangement.Add(0, 0);
+  EXPECT_DEATH(arrangement.Remove(0, 3), "out of range");
+  EXPECT_DEATH(arrangement.Remove(0, -1), "out of range");
+}
+
+}  // namespace
+}  // namespace geacc

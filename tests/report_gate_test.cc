@@ -1,0 +1,65 @@
+// The perf-gate regression predicate (bench/report_gate.h).
+//
+// Regression coverage for the noise-floor bug: the gate used
+// max(baseline, current) against the floor, so a sub-floor baseline
+// (pure scheduler jitter) whose current side happened to clear the floor
+// flagged a phantom regression with an arbitrarily large ratio. The
+// documented semantics — a point is gated only when BOTH sides are at or
+// above the floor — are what these crafted report pairs pin down.
+
+#include "bench/report_gate.h"
+
+#include "gtest/gtest.h"
+
+namespace geacc::bench {
+namespace {
+
+GatePolicy Policy(double tolerance = 0.25, double min_seconds = 0.02) {
+  GatePolicy policy;
+  policy.tolerance = tolerance;
+  policy.min_seconds = min_seconds;
+  return policy;
+}
+
+TEST(ReportGateTest, GrowthBeyondToleranceRegresses) {
+  EXPECT_TRUE(Regressed(0.10, 0.20, Policy()));   // +100%
+  EXPECT_TRUE(Regressed(1.00, 1.26, Policy()));   // just past +25%
+}
+
+TEST(ReportGateTest, GrowthWithinToleranceIsOk) {
+  EXPECT_FALSE(Regressed(0.10, 0.12, Policy()));  // +20%
+  EXPECT_FALSE(Regressed(1.00, 1.25, Policy()));  // exactly +25%
+}
+
+TEST(ReportGateTest, ImprovementIsNeverARegression) {
+  EXPECT_FALSE(Regressed(0.50, 0.10, Policy()));
+  EXPECT_FALSE(Regressed(0.50, 0.50, Policy()));
+}
+
+// The fixed bug: a baseline below the noise floor must not gate, no
+// matter how large the apparent blow-up.
+TEST(ReportGateTest, SubFloorBaselineNeverRegresses) {
+  EXPECT_FALSE(Regressed(0.001, 0.50, Policy()));   // "500x slower"
+  EXPECT_FALSE(Regressed(0.019, 10.0, Policy()));   // just under the floor
+}
+
+TEST(ReportGateTest, SubFloorCurrentNeverRegresses) {
+  EXPECT_FALSE(Regressed(0.001, 0.019, Policy()));
+}
+
+TEST(ReportGateTest, BothSidesAtTheFloorAreGated) {
+  // min(was, now) == floor is above the noise band, so the tolerance
+  // applies: 0.02 -> 0.05 is +150%.
+  EXPECT_TRUE(Regressed(0.02, 0.05, Policy()));
+  EXPECT_FALSE(Regressed(0.02, 0.024, Policy()));
+}
+
+TEST(ReportGateTest, PolicyKnobsAreRespected) {
+  EXPECT_FALSE(Regressed(0.10, 0.20, Policy(/*tolerance=*/1.5)));
+  EXPECT_TRUE(Regressed(0.10, 0.26, Policy(/*tolerance=*/1.5)));
+  // Raising the floor above both sides silences the point entirely.
+  EXPECT_FALSE(Regressed(0.10, 0.26, Policy(0.25, /*min_seconds=*/0.5)));
+}
+
+}  // namespace
+}  // namespace geacc::bench

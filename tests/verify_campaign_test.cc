@@ -1,0 +1,144 @@
+// The differential campaign driver (verify/oracle.h) and the
+// delta-debugging shrinker (verify/shrink.h).
+//
+// The campaign's oracle matrix is exercised for real — exact solvers,
+// bound certificates, thread identity, repair and WAL differentials — on
+// a reduced instance count so the test stays in the seconds range; the
+// full 200-instance sweep runs in CI via geacc_audit --campaign.
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "io/instance_io.h"
+#include "tests/test_util.h"
+#include "verify/oracle.h"
+#include "verify/shrink.h"
+
+namespace geacc {
+namespace {
+
+verify::CampaignConfig SmallConfig() {
+  verify::CampaignConfig config;
+  config.instances = 8;
+  config.repair_period = 4;
+  config.wal_period = 4;
+  config.trace_mutations = 25;
+  config.scratch_dir = ::testing::TempDir();
+  return config;
+}
+
+std::string Serialize(const Instance& instance) {
+  std::ostringstream os;
+  WriteInstance(instance, os);
+  return os.str();
+}
+
+TEST(CampaignTest, CleanCampaignPassesTheFullOracleMatrix) {
+  const verify::CampaignResult result = verify::RunCampaign(SmallConfig());
+  EXPECT_TRUE(result.ok()) << result.failures.size() << " failure(s), first: "
+                           << (result.failures.empty()
+                                   ? ""
+                                   : result.failures[0].check + ": " +
+                                         result.failures[0].detail);
+  EXPECT_EQ(result.instances, 8);
+  // Every instance runs the per-solver audits plus exact/bound/thread
+  // checks; the trace differentials fire on iterations 0 and 4.
+  EXPECT_GT(result.checks, result.instances * 10);
+}
+
+TEST(CampaignTest, InstancesAreDeterministicPerSeedAndIndex) {
+  const verify::CampaignConfig config = SmallConfig();
+  const Instance a = verify::MakeCampaignInstance(config, 3);
+  const Instance b = verify::MakeCampaignInstance(config, 3);
+  const Instance c = verify::MakeCampaignInstance(config, 4);
+  EXPECT_EQ(Serialize(a), Serialize(b));
+  EXPECT_NE(Serialize(a), Serialize(c));
+}
+
+TEST(CampaignTest, InjectedFaultIsDetectedAndShrunk) {
+  verify::CampaignConfig config = SmallConfig();
+  config.instances = 2;
+  config.repair_period = 0;
+  config.wal_period = 0;
+  config.inject = "extra-pair";
+  config.shrink = true;
+  const verify::CampaignResult result = verify::RunCampaign(config);
+  ASSERT_FALSE(result.ok()) << "the harness must catch an injected fault";
+  for (const verify::CampaignFailure& failure : result.failures) {
+    EXPECT_EQ(failure.check, "audit/greedy");
+    ASSERT_FALSE(failure.instance_text.empty());
+    ASSERT_FALSE(failure.shrunk_instance_text.empty());
+
+    // The shrunken repro must parse and still be a valid instance...
+    std::istringstream is(failure.shrunk_instance_text);
+    std::string error;
+    const auto shrunk = ReadInstance(is, &error);
+    ASSERT_TRUE(shrunk.has_value()) << error;
+    EXPECT_TRUE(shrunk->Validate().empty());
+
+    // ... and be no bigger than the original (in practice 1–2 entities
+    // per side; assert a loose bound so the test is not brittle).
+    std::istringstream orig_is(failure.instance_text);
+    const auto original = ReadInstance(orig_is, &error);
+    ASSERT_TRUE(original.has_value()) << error;
+    EXPECT_LE(shrunk->num_events(), original->num_events());
+    EXPECT_LE(shrunk->num_users(), original->num_users());
+    EXPECT_LE(shrunk->num_events() + shrunk->num_users(), 4);
+    EXPECT_GT(failure.shrink_stats.predicate_calls, 0);
+  }
+}
+
+TEST(ShrinkTest, MinimizesToThePredicateBoundary) {
+  const Instance start =
+      testing::SmallRandomInstance(8, 12, 0.3, 3, /*seed=*/7);
+  verify::ShrinkStats stats;
+  // "At least 4 events" is minimal at exactly 4 events and 0 of
+  // everything else.
+  const Instance shrunk = verify::ShrinkInstance(
+      start, [](const Instance& candidate) { return candidate.num_events() >= 4; },
+      {}, &stats);
+  EXPECT_EQ(shrunk.num_events(), 4);
+  EXPECT_EQ(shrunk.num_users(), 0);
+  EXPECT_TRUE(shrunk.conflicts().empty());
+  for (EventId v = 0; v < shrunk.num_events(); ++v) {
+    EXPECT_EQ(shrunk.event_capacity(v), 1);
+  }
+  EXPECT_GT(stats.predicate_calls, 0);
+  EXPECT_GT(stats.rounds, 0);
+}
+
+TEST(ShrinkTest, KeepsConflictsThePredicateNeeds) {
+  const Instance start =
+      testing::SmallRandomInstance(6, 4, 0.8, 2, /*seed=*/11);
+  ASSERT_GT(start.conflicts().num_conflict_pairs(), 1);
+  const Instance shrunk = verify::ShrinkInstance(
+      start,
+      [](const Instance& candidate) { return !candidate.conflicts().empty(); });
+  // Exactly one conflict pair survives, and only its two endpoints.
+  EXPECT_EQ(shrunk.conflicts().num_conflict_pairs(), 1);
+  EXPECT_EQ(shrunk.num_events(), 2);
+  EXPECT_EQ(shrunk.num_users(), 0);
+}
+
+TEST(ShrinkDeathTest, RejectsAPassingStartInstance) {
+  const Instance start = testing::SmallRandomInstance(3, 3, 0.0, 2, 1);
+  EXPECT_DEATH(verify::ShrinkInstance(
+                   start, [](const Instance&) { return false; }),
+               "does not fail the predicate");
+}
+
+TEST(ShrinkTest, PredicateBudgetIsHonored) {
+  const Instance start =
+      testing::SmallRandomInstance(10, 20, 0.3, 3, /*seed=*/5);
+  verify::ShrinkOptions options;
+  options.max_predicate_calls = 7;
+  verify::ShrinkStats stats;
+  verify::ShrinkInstance(
+      start, [](const Instance& candidate) { return candidate.num_events() >= 1; },
+      options, &stats);
+  EXPECT_LE(stats.predicate_calls, 7 + 1);  // one in-flight call may finish
+}
+
+}  // namespace
+}  // namespace geacc
