@@ -9,6 +9,9 @@
 //   --csv         additionally dump each table as CSV to stdout
 //   --json PATH   write a `geacc-bench v1` machine-readable report
 //                 (src/obs/bench_report.h) for CI perf baselines
+//   --index NAME  k-NN backend for Greedy's cursors; "idistance-paged"
+//                 runs them out of core under --storage_budget_mb MiB of
+//                 buffer-pool memory (page files in --storage_dir)
 
 #ifndef GEACC_BENCH_BENCH_COMMON_H_
 #define GEACC_BENCH_BENCH_COMMON_H_
@@ -43,6 +46,12 @@ struct CommonFlags {
   // full violation list on failure. Adds an O(|V||U|) scan per run, so
   // times measured under --selfcheck are not comparable to baselines.
   bool selfcheck = false;
+  // Storage knobs (SolverOptions::index & friends, DESIGN.md §14):
+  // --index idistance-paged routes Greedy's cursors through the
+  // disk-backed backend with --storage_budget_mb of buffer-pool memory.
+  std::string index;  // empty = solver default ("linear")
+  int64_t storage_budget_mb = 16;
+  std::string storage_dir;
 
   void Register(FlagSet& flags) {
     flags.AddInt("reps", &reps, "repetitions per sweep point");
@@ -63,6 +72,25 @@ struct CommonFlags {
     flags.AddBool("selfcheck", &selfcheck,
                   "audit every arrangement with src/verify (all violation "
                   "classes + maximality); slows runs, do not baseline");
+    flags.AddString("index", &index,
+                    "k-NN backend for Greedy's cursors: linear, kdtree, "
+                    "vafile, idistance, idistance-paged (default: solver "
+                    "default)");
+    flags.AddInt("storage_budget_mb", &storage_budget_mb,
+                 "idistance-paged only: buffer-pool budget in MiB");
+    flags.AddString("storage_dir", &storage_dir,
+                    "idistance-paged only: directory for the temporary "
+                    "page files (default: TMPDIR or /tmp)");
+  }
+
+  // Copies the storage flags into a solver-options struct; benches call
+  // this on SweepConfig::solver_options (or a hand-rolled SolverOptions)
+  // so --index idistance-paged reaches every solver they run.
+  void ApplySolverOptions(SolverOptions* options) const {
+    if (!index.empty()) options->index = index;
+    options->storage_budget_bytes =
+        static_cast<uint64_t>(storage_budget_mb) << 20;
+    options->storage_dir = storage_dir;
   }
 
   std::vector<std::string> SolverList(

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   config.repetitions = common.reps;
   config.threads = common.threads;
   config.audit = common.selfcheck;
+  common.ApplySolverOptions(&config.solver_options);
   config.seed = static_cast<uint64_t>(common.seed);
 
   std::vector<geacc::SweepPoint> points;

@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
         // thread-invariant, so only the measured times change.
         geacc::SolverOptions solver_options;
         solver_options.threads = common.threads;
+        common.ApplySolverOptions(&solver_options);
         const auto solver =
             geacc::CreateSolver(solver_names[s], solver_options);
         const geacc::RunRecord record =

@@ -70,8 +70,10 @@ int main(int argc, char** argv) {
   // prune_solver.h). The truncated exhaustive run stays serial by design.
   geacc::SolverOptions prune_options;
   prune_options.threads = common.threads;
+  common.ApplySolverOptions(&prune_options);
   geacc::SolverOptions exhaustive_options;
   exhaustive_options.threads = common.threads;
+  common.ApplySolverOptions(&exhaustive_options);
   exhaustive_options.max_search_invocations = max_invocations;
   const auto prune = geacc::CreateSolver("prune", prune_options);
   const auto exhaustive =

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -43,7 +44,12 @@ class CollectingConsoleReporter : public benchmark::ConsoleReporter {
 // Pulls --json PATH (or --json=PATH) out of argv — google-benchmark
 // rejects flags it does not know — then runs the registered benchmarks
 // and, when requested, writes the report. Returns the process exit code.
-inline int MicroBenchMain(const std::string& bench, int argc, char** argv) {
+// `point_hook` (may be empty) runs over each report point before it is
+// written — benches use it to attach optional sections (e.g. "storage")
+// keyed off the point label.
+inline int MicroBenchMain(
+    const std::string& bench, int argc, char** argv,
+    const std::function<void(obs::BenchPoint&)>& point_hook = {}) {
   std::string json_path;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
@@ -82,6 +88,7 @@ inline int MicroBenchMain(const std::string& bench, int argc, char** argv) {
     point.cpu_seconds = run.cpu_accumulated_time / n;
     point.vm_hwm_bytes = vm_hwm;
     point.counters["iterations"] = static_cast<int64_t>(run.iterations);
+    if (point_hook) point_hook(point);
     report.points.push_back(std::move(point));
   }
   std::string error;
@@ -95,6 +102,12 @@ inline int MicroBenchMain(const std::string& bench, int argc, char** argv) {
 #define GEACC_MICRO_MAIN(bench_name)                             \
   int main(int argc, char** argv) {                              \
     return geacc::bench::MicroBenchMain(bench_name, argc, argv); \
+  }
+
+// Variant taking a per-point report hook (void(geacc::obs::BenchPoint&)).
+#define GEACC_MICRO_MAIN_WITH_HOOK(bench_name, hook)                   \
+  int main(int argc, char** argv) {                                    \
+    return geacc::bench::MicroBenchMain(bench_name, argc, argv, hook); \
   }
 
 #endif  // GEACC_BENCH_MICRO_COMMON_H_

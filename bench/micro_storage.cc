@@ -1,0 +1,189 @@
+// Microbenchmarks: disk-backed storage engine (src/storage/, DESIGN.md
+// §14) — iDistance build cost, cursor advances, and query latency for the
+// in-memory backend vs the paged backend, plus an explicitly out-of-core
+// point whose key tree is several times the buffer-pool budget. Paged
+// points carry the optional "storage" report section (buffer-pool traffic
+// + file size) so CI can watch hit rates alongside wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/micro_common.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/attributes.h"
+#include "core/similarity.h"
+#include "index/idistance_paged.h"
+#include "index/knn_index.h"
+#include "obs/bench_report.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+AttributeMatrix RandomPoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  AttributeMatrix points(n, dim);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      points.Set(i, j, rng.UniformReal(0.0, 10000.0));
+    }
+  }
+  return points;
+}
+
+// In-cache comparison shape (key tree fits the default pool budget).
+constexpr int kSmallN = 20000;
+constexpr int kSmallDim = 6;
+
+// Out-of-core shape: ~400k keys → a ~5 MiB key tree served through a
+// 1 MiB pool, so every drain streams the file several times over budget.
+constexpr int kBigN = 400000;
+constexpr int kBigDim = 2;
+constexpr uint64_t kBigBudget = 1ull << 20;
+
+StorageOptions SmallStorage() { return {}; }
+
+StorageOptions OutOfCoreStorage() {
+  StorageOptions storage;
+  storage.budget_bytes = kBigBudget;
+  storage.page_size = 4096;
+  return storage;
+}
+
+// Paged benchmarks deposit their pool traffic here (keyed by the
+// registered benchmark name == report point label); the report hook
+// attaches it as the point's "storage" section.
+std::map<std::string, obs::StorageSummary>& StorageByLabel() {
+  static auto* map = new std::map<std::string, obs::StorageSummary>();
+  return *map;
+}
+
+obs::StorageSummary Summarize(const PagedIDistanceIndex& index,
+                              const StorageOptions& options) {
+  const storage::PoolStats stats = index.pool_stats();
+  obs::StorageSummary summary;
+  summary.budget_bytes = stats.budget_bytes;
+  summary.page_size = options.page_size;
+  summary.file_bytes = index.file_bytes();
+  summary.hits = stats.hits;
+  summary.faults = stats.faults;
+  summary.evictions = stats.evictions;
+  summary.flushes = stats.flushes;
+  return summary;
+}
+
+std::unique_ptr<KnnIndex> Build(bool paged, const AttributeMatrix& points,
+                                const SimilarityFunction& similarity,
+                                const StorageOptions& storage) {
+  return paged ? MakeIndex("idistance-paged", points, similarity, storage)
+               : MakeIndex("idistance", points, similarity);
+}
+
+void RecordStorage(const std::string& label, const KnnIndex& index,
+                   const StorageOptions& options) {
+  const auto* paged = dynamic_cast<const PagedIDistanceIndex*>(&index);
+  if (paged != nullptr) StorageByLabel()[label] = Summarize(*paged, options);
+}
+
+void BM_IndexBuild(benchmark::State& state, const std::string& label,
+                   bool paged) {
+  const AttributeMatrix points = RandomPoints(kSmallN, kSmallDim, 3);
+  const EuclideanSimilarity sim(10000.0);
+  const StorageOptions storage = SmallStorage();
+  std::unique_ptr<KnnIndex> index;
+  for (auto _ : state) {
+    index = Build(paged, points, sim, storage);
+    benchmark::DoNotOptimize(index->num_points());
+  }
+  if (index != nullptr) RecordStorage(label, *index, storage);
+}
+
+void BM_CursorAdvance32(benchmark::State& state, const std::string& label,
+                        bool paged) {
+  const AttributeMatrix points = RandomPoints(kSmallN, kSmallDim, 3);
+  const AttributeMatrix queries = RandomPoints(16, kSmallDim, 4);
+  const EuclideanSimilarity sim(10000.0);
+  const StorageOptions storage = SmallStorage();
+  const auto index = Build(paged, points, sim, storage);
+  int q = 0;
+  for (auto _ : state) {
+    auto cursor = index->CreateCursor(queries.Row(q));
+    q = (q + 1) % queries.rows();
+    for (int i = 0; i < 32; ++i) {
+      benchmark::DoNotOptimize(cursor->Next());
+    }
+  }
+  RecordStorage(label, *index, storage);
+}
+
+void BM_CursorDrain(benchmark::State& state, const std::string& label,
+                    bool paged) {
+  const AttributeMatrix points = RandomPoints(kSmallN, kSmallDim, 3);
+  const EuclideanSimilarity sim(10000.0);
+  const StorageOptions storage = SmallStorage();
+  const auto index = Build(paged, points, sim, storage);
+  for (auto _ : state) {
+    auto cursor = index->CreateCursor(points.Row(0));
+    while (cursor->Next()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kSmallN);
+  RecordStorage(label, *index, storage);
+}
+
+// Key tree ≈ 5× the pool budget: every query streams leaf pages through
+// the bounded frame set. The attached storage section is what CI's
+// --require-storage validation inspects.
+void BM_OutOfCoreQueryTop64(benchmark::State& state, const std::string& label) {
+  const AttributeMatrix points = RandomPoints(kBigN, kBigDim, 5);
+  const AttributeMatrix queries = RandomPoints(32, kBigDim, 6);
+  const EuclideanSimilarity sim(10000.0);
+  const StorageOptions storage = OutOfCoreStorage();
+  const auto index = Build(/*paged=*/true, points, sim, storage);
+  int q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Query(queries.Row(q), 64));
+    q = (q + 1) % queries.rows();
+  }
+  RecordStorage(label, *index, storage);
+}
+
+void RegisterAll() {
+  for (const bool paged : {false, true}) {
+    const std::string tag = paged ? "paged" : "inmem";
+    for (const auto& [base, fn] :
+         std::map<std::string, void (*)(benchmark::State&, const std::string&,
+                                        bool)>{
+             {"BM_IndexBuild", &BM_IndexBuild},
+             {"BM_CursorAdvance32", &BM_CursorAdvance32},
+             {"BM_CursorDrain", &BM_CursorDrain}}) {
+      const std::string label = base + "/" + tag;
+      benchmark::RegisterBenchmark(
+          label.c_str(),
+          [fn, label, paged](benchmark::State& s) { fn(s, label, paged); });
+    }
+  }
+  const std::string label = "BM_OutOfCoreQueryTop64/paged";
+  benchmark::RegisterBenchmark(label.c_str(), [label](benchmark::State& s) {
+    BM_OutOfCoreQueryTop64(s, label);
+  });
+}
+
+const bool kRegistered = (RegisterAll(), true);
+
+}  // namespace
+
+// Report hook: attach the recorded pool traffic to paged points.
+void AttachStorageSections(obs::BenchPoint& point) {
+  const auto it = StorageByLabel().find(point.label);
+  if (it == StorageByLabel().end()) return;
+  point.has_storage = true;
+  point.storage = it->second;
+}
+
+}  // namespace geacc
+
+GEACC_MICRO_MAIN_WITH_HOOK("micro_storage", geacc::AttachStorageSections)

@@ -2,9 +2,16 @@
 // Exit 0 iff the file parses and matches the schema; used by CI to smoke-
 // test the report pipeline.
 //
-//   build/bench/validate_report out.json
+//   build/bench/validate_report [--require-storage] out.json
+//
+// --require-storage additionally demands at least one point carrying a
+// "storage" section with sane buffer-pool numbers (budget and page size
+// non-zero, page size a power of two) — CI runs micro_storage under this
+// flag so a silently dropped section fails the job.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -12,14 +19,49 @@
 #include "obs/bench_report.h"
 #include "obs/json.h"
 
+namespace {
+
+bool StorageSane(const geacc::obs::StorageSummary& storage,
+                 std::string* error) {
+  if (storage.budget_bytes == 0) {
+    *error = "storage.budget_bytes is zero";
+    return false;
+  }
+  if (storage.page_size == 0 ||
+      (storage.page_size & (storage.page_size - 1)) != 0) {
+    *error = "storage.page_size is not a power of two";
+    return false;
+  }
+  if (storage.file_bytes != 0 && storage.file_bytes < storage.page_size) {
+    *error = "storage.file_bytes smaller than one page";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s REPORT.json\n", argv[0]);
+  bool require_storage = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-storage") == 0) {
+      require_storage = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--require-storage] REPORT.json\n",
+                 argv[0]);
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    std::fprintf(stderr, "%s: cannot open\n", path);
     return 1;
   }
   std::ostringstream buffer;
@@ -28,22 +70,50 @@ int main(int argc, char** argv) {
   geacc::obs::JsonValue json;
   std::string error;
   if (!geacc::obs::JsonValue::Parse(buffer.str(), &json, &error)) {
-    std::fprintf(stderr, "%s: JSON parse error: %s\n", argv[1], error.c_str());
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path, error.c_str());
     return 1;
   }
   if (!geacc::obs::ValidateBenchReport(json, &error)) {
-    std::fprintf(stderr, "%s: schema violation: %s\n", argv[1], error.c_str());
+    std::fprintf(stderr, "%s: schema violation: %s\n", path, error.c_str());
     return 1;
   }
 
   geacc::obs::BenchReport report;
   if (!report.FromJson(json, &error)) {
-    std::fprintf(stderr, "%s: %s\n", argv[1], error.c_str());
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
     return 1;
   }
+
+  size_t storage_points = 0;
+  for (const geacc::obs::BenchPoint& point : report.points) {
+    if (!point.has_storage) continue;
+    ++storage_points;
+    if (!StorageSane(point.storage, &error)) {
+      std::fprintf(stderr, "%s: point '%s': %s\n", path, point.label.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf(
+        "  storage[%s]: budget=%llu page=%llu file=%llu hits=%lld "
+        "faults=%lld evictions=%lld flushes=%lld\n",
+        point.label.c_str(),
+        static_cast<unsigned long long>(point.storage.budget_bytes),
+        static_cast<unsigned long long>(point.storage.page_size),
+        static_cast<unsigned long long>(point.storage.file_bytes),
+        static_cast<long long>(point.storage.hits),
+        static_cast<long long>(point.storage.faults),
+        static_cast<long long>(point.storage.evictions),
+        static_cast<long long>(point.storage.flushes));
+  }
+  if (require_storage && storage_points == 0) {
+    std::fprintf(stderr, "%s: --require-storage: no point carries a storage "
+                 "section\n", path);
+    return 1;
+  }
+
   std::printf("%s: valid geacc-bench v%d report — bench '%s', rev %s, %zu "
-              "point(s)\n",
-              argv[1], geacc::obs::kBenchReportVersion, report.bench.c_str(),
-              report.git_rev.c_str(), report.points.size());
+              "point(s), %zu with storage\n",
+              path, geacc::obs::kBenchReportVersion, report.bench.c_str(),
+              report.git_rev.c_str(), report.points.size(), storage_points);
   return 0;
 }

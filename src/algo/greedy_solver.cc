@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "index/idistance_paged.h"
 #include "index/knn_index.h"
 #include "obs/stats.h"
 #include "util/memory.h"
@@ -52,10 +53,15 @@ SolveResult GreedySolver::Solve(const Instance& instance) const {
     return {std::move(matching), stats};
   }
 
-  const std::unique_ptr<KnnIndex> user_index = MakeIndex(
-      options_.index, instance.user_attributes(), instance.similarity());
-  const std::unique_ptr<KnnIndex> event_index = MakeIndex(
-      options_.index, instance.event_attributes(), instance.similarity());
+  StorageOptions storage;
+  storage.budget_bytes = options_.storage_budget_bytes;
+  storage.dir = options_.storage_dir;
+  const std::unique_ptr<KnnIndex> user_index =
+      MakeIndex(options_.index, instance.user_attributes(),
+                instance.similarity(), storage);
+  const std::unique_ptr<KnnIndex> event_index =
+      MakeIndex(options_.index, instance.event_attributes(),
+                instance.similarity(), storage);
   GEACC_CHECK(user_index != nullptr && event_index != nullptr)
       << "unknown index '" << options_.index << "'";
 

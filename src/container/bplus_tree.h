@@ -15,6 +15,20 @@
 //   * iterators are bidirectional and remain valid until the next
 //     mutation.
 //
+// Iterator invalidation contract: ANY mutation (Insert, BulkLoad)
+// invalidates ALL outstanding iterators, including end(). Leaf splits
+// move entries between nodes and BulkLoad frees the whole node graph, so
+// a stale iterator is not merely mispositioned — it dangles. Re-acquire
+// positions via LowerBound/UpperBound after mutating; for key-ordered
+// cursors that must survive interleaved inserts, re-seek with
+// UpperBound(last_key_seen). Debug builds enforce the contract: every
+// iterator carries the tree's mutation version at creation and
+// GEACC_DCHECK-fails on any dereference or step after the version moved
+// (tests/bplus_cursor_fuzz_test.cc). Release builds carry no stamp cost
+// beyond the extra word per iterator. The paged sibling
+// (storage/paged_bplus_tree.h) is immutable after Build() and needs no
+// such contract.
+//
 // Header-only because it is templated; deliberately free of GEACC types so
 // it is reusable (and testable against std::multimap).
 
@@ -87,11 +101,18 @@ class BPlusTree {
    public:
     ConstIterator() = default;
 
-    const Key& key() const { return leaf_->keys[index_]; }
-    const Value& value() const { return leaf_->values[index_]; }
+    const Key& key() const {
+      DcheckNotInvalidated();
+      return leaf_->keys[index_];
+    }
+    const Value& value() const {
+      DcheckNotInvalidated();
+      return leaf_->values[index_];
+    }
 
     // Advances toward larger keys. Must not be end().
     ConstIterator& operator++() {
+      DcheckNotInvalidated();
       GEACC_DCHECK(leaf_ != nullptr);
       if (++index_ >= static_cast<int>(leaf_->keys.size())) {
         leaf_ = leaf_->next;
@@ -103,6 +124,7 @@ class BPlusTree {
     // Retreats toward smaller keys. Must not be begin(); decrementing
     // end() yields the last element.
     ConstIterator& operator--() {
+      DcheckNotInvalidated();
       if (leaf_ == nullptr) {
         leaf_ = tree_->last_leaf_;
         GEACC_DCHECK(leaf_ != nullptr) << "decremented end() of empty tree";
@@ -129,11 +151,19 @@ class BPlusTree {
     friend class BPlusTree;
 
     ConstIterator(const BPlusTree* tree, const Leaf* leaf, int index)
-        : tree_(tree), leaf_(leaf), index_(index) {}
+        : tree_(tree), leaf_(leaf), index_(index), version_(tree->version_) {}
+
+    // The contract above, enforced where GEACC_DCHECK is live: a stamp
+    // mismatch means this iterator survived a mutation.
+    void DcheckNotInvalidated() const {
+      GEACC_DCHECK(tree_ == nullptr || version_ == tree_->version_)
+          << "B+-tree iterator used after a mutation invalidated it";
+    }
 
     const BPlusTree* tree_ = nullptr;
     const Leaf* leaf_ = nullptr;  // nullptr = end()
     int index_ = 0;
+    uint64_t version_ = 0;  // tree_->version_ at creation
   };
 
   ConstIterator begin() const { return ConstIterator(this, first_leaf_, 0); }
@@ -227,11 +257,13 @@ class BPlusTree {
   int64_t size_ = 0;
   int height_ = 0;
   uint64_t byte_estimate_ = 0;
+  uint64_t version_ = 0;  // mutation count; stamps iterators (see above)
 };
 
 template <typename Key, typename Value, int kFanout>
 void BPlusTree<Key, Value, kFanout>::BulkLoad(
     const std::vector<std::pair<Key, Value>>& entries) {
+  ++version_;  // invalidate all outstanding iterators
   Clear();
   for (size_t i = 1; i < entries.size(); ++i) {
     GEACC_DCHECK(!(entries[i].first < entries[i - 1].first))
@@ -290,6 +322,7 @@ void BPlusTree<Key, Value, kFanout>::BulkLoad(
 template <typename Key, typename Value, int kFanout>
 void BPlusTree<Key, Value, kFanout>::Insert(const Key& key,
                                             const Value& value) {
+  ++version_;  // invalidate all outstanding iterators
   if (root_ == nullptr) {
     Leaf* leaf = NewLeaf();
     leaf->keys.push_back(key);

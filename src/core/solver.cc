@@ -15,10 +15,14 @@ std::string ValidateSolverOptions(const SolverOptions& options) {
   }
   const std::string& index = options.index;
   if (index != "linear" && index != "kdtree" && index != "vafile" &&
-      index != "idistance") {
+      index != "idistance" && index != "idistance-paged") {
     return StrFormat(
-        "unknown index '%s' (expected linear, kdtree, vafile, or idistance)",
+        "unknown index '%s' (expected linear, kdtree, vafile, idistance, "
+        "or idistance-paged)",
         index.c_str());
+  }
+  if (options.storage_budget_bytes < 1024) {
+    return "storage_budget_bytes must be >= 1024";
   }
   const std::string& flow = options.flow_algorithm;
   if (flow != "dijkstra" && flow != "spfa") {

@@ -53,10 +53,19 @@ struct SolverOptions {
   int threads = 1;
 
   // Greedy-GEACC: which k-NN index backs the neighbor cursors. "linear"
-  // (batched incremental scan; works with any similarity) or "kdtree"
+  // (batched incremental scan; works with any similarity), "kdtree"
   // (best-first tree search; needs a Euclidean-monotone similarity and
-  // falls back to linear otherwise — pays off at low dimensionality).
+  // falls back to linear otherwise — pays off at low dimensionality),
+  // "vafile", "idistance", or "idistance-paged" (the disk-backed variant:
+  // identical enumeration, index memory capped by storage_budget_bytes —
+  // DESIGN.md §14).
   std::string index = "linear";
+
+  // "idistance-paged" only: buffer-pool byte budget for the on-disk key
+  // tree, and the directory for its temporary page file ("" = TMPDIR or
+  // /tmp). Ignored by the in-memory backends.
+  uint64_t storage_budget_bytes = 16ull << 20;
+  std::string storage_dir;
 
   // MinCostFlow-GEACC: shortest-path engine for the SSPA sweep —
   // "dijkstra" (reduced costs + potentials) or "spfa" (queue-based

@@ -189,6 +189,82 @@ Instance DynamicInstance::Snapshot(SnapshotMap* map) const {
                   std::move(conflicts), similarity_->Clone());
 }
 
+DynamicInstance::SlotState DynamicInstance::ExportSlotState() const {
+  SlotState state;
+  state.dim = dim_;
+  state.epoch = epoch_;
+  state.event_attributes = event_attributes_;
+  state.user_attributes = user_attributes_;
+  state.event_capacities = event_capacities_;
+  state.user_capacities = user_capacities_;
+  state.event_active.assign(event_active_.begin(), event_active_.end());
+  state.user_active.assign(user_active_.begin(), user_active_.end());
+  for (EventId v = 0; v < event_slots(); ++v) {
+    for (const EventId w : conflicts_.ConflictsOf(v)) {
+      if (w > v) state.conflicts.emplace_back(v, w);
+    }
+  }
+  return state;
+}
+
+std::optional<DynamicInstance> DynamicInstance::FromSlotState(
+    SlotState state, std::unique_ptr<SimilarityFunction> similarity,
+    std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  if (state.dim < 0 || state.epoch < 0) return fail("negative dim or epoch");
+  const int events = state.event_attributes.rows();
+  const int users = state.user_attributes.rows();
+  if (state.event_attributes.dim() != state.dim ||
+      state.user_attributes.dim() != state.dim) {
+    return fail("attribute matrices disagree with dim");
+  }
+  if (static_cast<int>(state.event_capacities.size()) != events ||
+      static_cast<int>(state.event_active.size()) != events ||
+      static_cast<int>(state.user_capacities.size()) != users ||
+      static_cast<int>(state.user_active.size()) != users) {
+    return fail("per-slot vectors disagree with attribute row counts");
+  }
+  for (int i = 0; i < events; ++i) {
+    if (state.event_capacities[i] < 1) return fail("event capacity < 1");
+  }
+  for (int i = 0; i < users; ++i) {
+    if (state.user_capacities[i] < 1) return fail("user capacity < 1");
+  }
+
+  DynamicInstance instance(state.dim, std::move(similarity));
+  instance.event_attributes_ = std::move(state.event_attributes);
+  instance.user_attributes_ = std::move(state.user_attributes);
+  instance.event_capacities_ = std::move(state.event_capacities);
+  instance.user_capacities_ = std::move(state.user_capacities);
+  instance.event_active_.assign(state.event_active.begin(),
+                                state.event_active.end());
+  instance.user_active_.assign(state.user_active.begin(),
+                               state.user_active.end());
+  instance.num_active_events_ = 0;
+  for (int i = 0; i < events; ++i) {
+    if (instance.event_active_[i]) ++instance.num_active_events_;
+  }
+  instance.num_active_users_ = 0;
+  for (int i = 0; i < users; ++i) {
+    if (instance.user_active_[i]) ++instance.num_active_users_;
+  }
+  instance.conflicts_.Resize(events);
+  for (const auto& [a, b] : state.conflicts) {
+    if (a < 0 || b <= a || b >= events) {
+      return fail("conflict pair out of range");
+    }
+    if (!instance.event_active_[a] || !instance.event_active_[b]) {
+      return fail("conflict pair references a tombstoned event");
+    }
+    instance.conflicts_.AddConflict(a, b);
+  }
+  instance.epoch_ = state.epoch;
+  return instance;
+}
+
 std::string DynamicInstance::DebugString() const {
   return StrFormat(
       "DynamicInstance(epoch=%lld, |V|=%d/%d, |U|=%d/%d, d=%d, sim=%s, "

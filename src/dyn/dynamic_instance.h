@@ -23,8 +23,11 @@
 #ifndef GEACC_DYN_DYNAMIC_INSTANCE_H_
 #define GEACC_DYN_DYNAMIC_INSTANCE_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/attributes.h"
@@ -132,6 +135,35 @@ class DynamicInstance {
 
   // Materializes the active entities as a dense immutable Instance.
   Instance Snapshot(SnapshotMap* map = nullptr) const;
+
+  // ----- slot-level state (page-based checkpoints, DESIGN.md §14) -----
+  //
+  // Unlike Snapshot(), SlotState preserves the slot space verbatim —
+  // tombstones, their last attributes/capacities, and the epoch — so a
+  // restored instance is indistinguishable from the original: every slot
+  // id resolves identically and index builds over the (full) attribute
+  // matrices reproduce bit-identical geometry.
+  struct SlotState {
+    int dim = 0;
+    int64_t epoch = 0;
+    AttributeMatrix event_attributes{0, 0};
+    AttributeMatrix user_attributes{0, 0};
+    std::vector<int> event_capacities;
+    std::vector<int> user_capacities;
+    std::vector<uint8_t> event_active;  // 0/1 per slot
+    std::vector<uint8_t> user_active;
+    std::vector<std::pair<EventId, EventId>> conflicts;  // a < b, sorted
+  };
+
+  SlotState ExportSlotState() const;
+
+  // Reconstructs an instance from an exported (or deserialized) state.
+  // Returns nullopt and sets `error` if the state is internally
+  // inconsistent (mismatched sizes, out-of-range or tombstoned conflict
+  // endpoints).
+  static std::optional<DynamicInstance> FromSlotState(
+      SlotState state, std::unique_ptr<SimilarityFunction> similarity,
+      std::string* error);
 
   // One-line summary: epoch, active/slot counts, conflicts.
   std::string DebugString() const;

@@ -1,10 +1,13 @@
 #include "dyn/incremental_arranger.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <utility>
 
 #include "algo/solvers.h"
+#include "index/idistance_paged.h"
 #include "obs/stats.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -19,6 +22,8 @@ IncrementalArranger::IncrementalArranger(DynamicInstance* instance,
   SolverOptions solver_options;
   solver_options.index = options_.index;
   solver_options.threads = options_.threads;
+  solver_options.storage_budget_bytes = options_.storage_budget_bytes;
+  solver_options.storage_dir = options_.storage_dir;
   const std::string options_error = ValidateSolverOptions(solver_options);
   GEACC_CHECK(options_error.empty()) << options_error;
   fallback_ = CreateSolver(options_.fallback_solver, solver_options);
@@ -95,16 +100,19 @@ void IncrementalArranger::GrowToInstance() {
 }
 
 void IncrementalArranger::RefreshIndexes() {
+  StorageOptions storage;
+  storage.budget_bytes = options_.storage_budget_bytes;
+  storage.dir = options_.storage_dir;
   if (event_index_ == nullptr ||
       event_index_->num_points() != instance_->event_slots()) {
     event_index_ = MakeIndex(options_.index, instance_->event_attributes(),
-                             instance_->similarity());
+                             instance_->similarity(), storage);
     GEACC_CHECK(event_index_ != nullptr);
   }
   if (user_index_ == nullptr ||
       user_index_->num_points() != instance_->user_slots()) {
     user_index_ = MakeIndex(options_.index, instance_->user_attributes(),
-                            instance_->similarity());
+                            instance_->similarity(), storage);
     GEACC_CHECK(user_index_ != nullptr);
   }
 }
@@ -345,6 +353,100 @@ double IncrementalArranger::RecomputeMaxSum() const {
     }
   }
   return sum;
+}
+
+IncrementalArranger::ArrangerState IncrementalArranger::ExportState() const {
+  ArrangerState state;
+  state.user_events.resize(instance_->user_slots());
+  for (UserId u = 0; u < instance_->user_slots(); ++u) {
+    state.user_events[u] = arrangement_.EventsOf(u);
+  }
+  state.event_users = event_users_;
+  std::memcpy(&state.max_sum_bits, &max_sum_, sizeof(max_sum_));
+  std::memcpy(&state.drift_bits, &drift_, sizeof(drift_));
+  return state;
+}
+
+void IncrementalArranger::ResetToEmpty() {
+  const int events = instance_->event_slots();
+  const int users = instance_->user_slots();
+  arrangement_ = Arrangement(events, users);
+  event_users_.assign(events, {});
+  max_sum_ = 0.0;
+  drift_ = 0.0;
+  for (EventId v = 0; v < events; ++v) {
+    event_remaining_[v] =
+        instance_->event_active(v) ? instance_->event_capacity(v) : 0;
+  }
+  for (UserId u = 0; u < users; ++u) {
+    user_remaining_[u] =
+        instance_->user_active(u) ? instance_->user_capacity(u) : 0;
+  }
+  observed_epoch_ = instance_->epoch();
+}
+
+std::string IncrementalArranger::RestoreState(const ArrangerState& state) {
+  const std::string error = RestoreStateImpl(state);
+  // Any failure leaves a sane (empty) arranger behind; the caller falls
+  // back to a full re-solve.
+  if (!error.empty()) ResetToEmpty();
+  return error;
+}
+
+std::string IncrementalArranger::RestoreStateImpl(const ArrangerState& state) {
+  const int events = instance_->event_slots();
+  const int users = instance_->user_slots();
+  ResetToEmpty();
+
+  if (static_cast<int>(state.user_events.size()) != users ||
+      static_cast<int>(state.event_users.size()) != events) {
+    return "arranger state sized for a different slot space";
+  }
+  for (UserId u = 0; u < users; ++u) {
+    for (const EventId v : state.user_events[u]) {
+      if (v < 0 || v >= events) {
+        return StrFormat("restored pair {%d,%d} out of range", v, u);
+      }
+      if (arrangement_.Contains(v, u)) {
+        return StrFormat("restored pair {%d,%d} duplicated", v, u);
+      }
+      arrangement_.Add(v, u);
+      --event_remaining_[v];
+      --user_remaining_[u];
+    }
+  }
+  // The per-event lists must be a reordering of the pairs just added —
+  // verify per event (sorted compare against the authoritative side).
+  for (EventId v = 0; v < events; ++v) {
+    if (static_cast<int>(state.event_users[v].size()) !=
+        arrangement_.EventLoad(v)) {
+      return StrFormat("event %d adjacency disagrees with pair set", v);
+    }
+    std::vector<UserId> sorted = state.event_users[v];
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0 && sorted[i] == sorted[i - 1]) {
+        return StrFormat("event %d adjacency has duplicates", v);
+      }
+      if (!arrangement_.Contains(v, sorted[i])) {
+        return StrFormat("event %d adjacency disagrees with pair set", v);
+      }
+    }
+  }
+  event_users_ = state.event_users;
+  std::memcpy(&max_sum_, &state.max_sum_bits, sizeof(max_sum_));
+  std::memcpy(&drift_, &state.drift_bits, sizeof(drift_));
+
+  const std::string error = Validate();
+  if (!error.empty()) return error;
+  // Guard against a bit-corrupted sum sneaking past feasibility checks:
+  // the restored value must equal the recomputation to double precision.
+  const double recomputed = RecomputeMaxSum();
+  if (!(std::abs(max_sum_ - recomputed) <=
+        1e-9 * std::max(1.0, std::abs(recomputed)))) {
+    return "restored max_sum disagrees with recomputation";
+  }
+  return "";
 }
 
 std::string IncrementalArranger::Validate() const {

@@ -54,9 +54,14 @@ namespace geacc {
 
 struct RepairOptions {
   // k-NN backend for the refill cursors ("linear", "kdtree", "vafile",
-  // "idistance"). "linear" rebuilds in O(1) after instance growth, which
-  // makes it the right default under heavy churn.
+  // "idistance", "idistance-paged"). "linear" rebuilds in O(1) after
+  // instance growth, which makes it the right default under heavy churn.
   std::string index = "linear";
+
+  // "idistance-paged" only: buffer-pool budget + page-file directory for
+  // the disk-backed key trees (see SolverOptions for semantics).
+  uint64_t storage_budget_bytes = 16ull << 20;
+  std::string storage_dir;
 
   // Max cursor steps per Apply(); 0 = unlimited.
   int64_t repair_budget = 0;
@@ -125,7 +130,34 @@ class IncrementalArranger {
   // consistent.
   std::string Validate() const;
 
+  // ----- checkpoint state (svc/paged_checkpoint, DESIGN.md §14) -----
+  //
+  // Captures the repair-relevant state exactly: both adjacency views in
+  // their live insertion order (repair handlers iterate them, so order is
+  // behavioral) and the accumulated floats as bit patterns (so a restored
+  // arranger continues bit-identically to one that never stopped).
+  struct ArrangerState {
+    std::vector<std::vector<EventId>> user_events;  // per user, in order
+    std::vector<std::vector<UserId>> event_users;   // per event, in order
+    uint64_t max_sum_bits = 0;  // max_sum() as IEEE-754 bits
+    uint64_t drift_bits = 0;    // drift() as IEEE-754 bits
+  };
+
+  ArrangerState ExportState() const;
+
+  // Replaces the maintained arrangement with `state`, which must describe
+  // a feasible arrangement for the *current* instance (the caller restores
+  // the instance first). Returns "" on success; on failure the arranger is
+  // left empty and the caller should fall back to a full re-solve.
+  std::string RestoreState(const ArrangerState& state);
+
  private:
+  // RestoreState body; on failure the arrangement may be partial — the
+  // public wrapper resets to empty before surfacing the error.
+  std::string RestoreStateImpl(const ArrangerState& state);
+  // Drops all assignments and re-syncs the mirrors to the live instance.
+  void ResetToEmpty();
+
   // Grows the per-slot mirrors after the instance added a slot.
   void GrowToInstance();
   // Rebuilds a side's k-NN index when the instance outgrew it.

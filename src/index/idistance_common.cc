@@ -1,0 +1,87 @@
+#include "index/idistance_common.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace geacc {
+
+IDistanceGeometry BuildIDistanceGeometry(const AttributeMatrix& points,
+                                         int num_pivots) {
+  GEACC_CHECK_GE(num_pivots, 1);
+  IDistanceGeometry geometry;
+  const int n = points.rows();
+  const int dim = points.dim();
+  geometry.pivots = AttributeMatrix(0, dim);
+  if (n == 0) return geometry;
+  const int pivot_count = std::max(1, std::min(num_pivots, n));
+
+  // Farthest-point sampling: deterministic, spreads pivots over the data.
+  std::vector<int> pivot_ids{0};
+  std::vector<double> nearest_pivot_sq(n);
+  for (int i = 0; i < n; ++i) {
+    nearest_pivot_sq[i] =
+        SquaredEuclideanDistance(points.Row(i), points.Row(0), dim);
+  }
+  while (static_cast<int>(pivot_ids.size()) < pivot_count) {
+    int farthest = 0;
+    for (int i = 1; i < n; ++i) {
+      if (nearest_pivot_sq[i] > nearest_pivot_sq[farthest]) farthest = i;
+    }
+    if (nearest_pivot_sq[farthest] == 0.0) break;  // all points covered
+    pivot_ids.push_back(farthest);
+    for (int i = 0; i < n; ++i) {
+      nearest_pivot_sq[i] = std::min(
+          nearest_pivot_sq[i],
+          SquaredEuclideanDistance(points.Row(i), points.Row(farthest), dim));
+    }
+  }
+
+  geometry.pivots = AttributeMatrix(static_cast<int>(pivot_ids.size()), dim);
+  for (size_t p = 0; p < pivot_ids.size(); ++p) {
+    const double* src = points.Row(pivot_ids[p]);
+    double* dst = geometry.pivots.MutableRow(static_cast<int>(p));
+    for (int j = 0; j < dim; ++j) dst[j] = src[j];
+  }
+
+  // Assign points to their nearest pivot; pick the stretch constant C
+  // strictly above every pivot distance, then emit the sorted key list.
+  std::vector<int> owner(n);
+  std::vector<double> owner_distance(n);
+  double max_distance = 0.0;
+  double mean_distance = 0.0;
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    double best_sq = std::numeric_limits<double>::max();
+    for (int p = 0; p < geometry.pivots.rows(); ++p) {
+      const double d_sq =
+          SquaredEuclideanDistance(points.Row(i), geometry.pivots.Row(p), dim);
+      if (d_sq < best_sq) {
+        best_sq = d_sq;
+        best = p;
+      }
+    }
+    owner[i] = best;
+    owner_distance[i] = std::sqrt(best_sq);
+    max_distance = std::max(max_distance, owner_distance[i]);
+    mean_distance += owner_distance[i];
+  }
+  mean_distance /= n;
+  // The query key d(q, pivot) can exceed any data distance, so C must
+  // dominate the query side too: queries come from the same attribute
+  // space, and d(q,p) ≤ diameter ≤ 2 · max_distance is not guaranteed
+  // either — clamp hi_key scans to the band instead (see cursor), and use
+  // a generous constant here purely to keep bands disjoint.
+  geometry.stretch = std::max(1.0, 4.0 * max_distance + 1.0);
+
+  geometry.entries.resize(n);
+  for (int i = 0; i < n; ++i) {
+    geometry.entries[i] = {owner[i] * geometry.stretch + owner_distance[i], i};
+  }
+  std::sort(geometry.entries.begin(), geometry.entries.end());
+  geometry.initial_radius = mean_distance > 0.0 ? mean_distance * 0.25 : 1.0;
+  return geometry;
+}
+
+}  // namespace geacc

@@ -1,0 +1,196 @@
+// Shared core of the two iDistance backends (in-memory and paged).
+//
+// The iDistance method is agnostic to where its one B+-tree lives: the
+// pivot geometry (farthest-point sampling, stretched keys, search radii)
+// and the expanding-ring cursor are identical whether the key tree is
+// container/bplus_tree.h or storage/paged_bplus_tree.h. Both are factored
+// here — BuildIDistanceGeometry() produces the pivots + sorted key
+// entries, and IDistanceScanCursor<Tree> is the exact kNN enumeration
+// templated over any tree exposing LowerBound/end and bidirectional
+// iterators with key()/value() — so the two backends cannot drift apart:
+// bit-identical enumeration is by construction, and the differential
+// harness (verify/oracle.cc "paged/greedy") keeps it that way.
+
+#ifndef GEACC_INDEX_IDISTANCE_COMMON_H_
+#define GEACC_INDEX_IDISTANCE_COMMON_H_
+
+#include <cmath>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/attributes.h"
+#include "core/similarity.h"
+#include "index/knn_index.h"
+#include "obs/stats.h"
+
+namespace geacc {
+
+// Pivot geometry plus the sorted (stretched key, point id) entries ready
+// for a tree bulk load.
+struct IDistanceGeometry {
+  AttributeMatrix pivots{0, 0};  // P × dim
+  double stretch = 1.0;          // C: strictly larger than any distance
+  double initial_radius = 1.0;   // first search ring
+  std::vector<std::pair<double, int>> entries;  // sorted stretched keys
+};
+
+// Deterministic farthest-point pivot sampling + key assignment; the exact
+// computation both backends must share (see idistance_index.h for the
+// method and the stretch-constant rationale).
+IDistanceGeometry BuildIDistanceGeometry(const AttributeMatrix& points,
+                                         int num_pivots);
+
+namespace idistance_internal {
+
+struct Candidate {
+  double distance;
+  int id;
+
+  bool operator>(const Candidate& other) const {
+    if (distance != other.distance) return distance > other.distance;
+    return id > other.id;
+  }
+};
+
+}  // namespace idistance_internal
+
+// The expanding-radius exact kNN cursor over any iDistance key tree.
+// `Tree` needs: ConstIterator LowerBound(double), ConstIterator end(),
+// and bidirectional iterators with key()/value()/==/!=. All referenced
+// objects must outlive the cursor.
+template <typename Tree>
+class IDistanceScanCursor final : public NnCursor {
+ public:
+  IDistanceScanCursor(const AttributeMatrix& points,
+                      const SimilarityFunction& similarity,
+                      const AttributeMatrix& pivots, double stretch,
+                      double initial_radius, const Tree& tree,
+                      const double* query)
+      : points_(points),
+        similarity_(similarity),
+        pivots_(pivots),
+        stretch_(stretch),
+        tree_(tree),
+        query_(query) {
+    const int pivots_count = pivots_.rows();
+    query_pivot_distance_.resize(pivots_count);
+    left_.resize(pivots_count);
+    right_.resize(pivots_count);
+    band_start_.resize(pivots_count);
+    band_end_.resize(pivots_count);
+    for (int p = 0; p < pivots_count; ++p) {
+      query_pivot_distance_[p] = std::sqrt(SquaredEuclideanDistance(
+          pivots_.Row(p), query_, points_.dim()));
+      // Band boundaries must be computed exactly as the build computes
+      // keys (owner * stretch), not as band_key + stretch — the two can
+      // differ by one ulp and mis-place the boundary by one element.
+      const double band_key = p * stretch_;
+      band_start_[p] = tree_.LowerBound(band_key);
+      band_end_[p] = tree_.LowerBound((p + 1) * stretch_);
+      // Both window edges start at the query's key position; the window
+      // [left, right) grows outward within the band.
+      auto start = tree_.LowerBound(band_key + query_pivot_distance_[p]);
+      // Clamp into the band (LowerBound may land past it).
+      if (OutsideBand(start, p)) start = band_end_[p];
+      left_[p] = start;
+      right_[p] = start;
+    }
+    radius_ = initial_radius;
+  }
+
+  // Per-step counts are batched into a member and flushed once here —
+  // Next() is too hot for a registry touch per call (DESIGN.md §9.1).
+  ~IDistanceScanCursor() override {
+    GEACC_STATS_ADD("index.idistance.cursor_steps", steps_);
+  }
+
+  std::optional<Neighbor> Next() override {
+    ++steps_;
+    while (true) {
+      if (!heap_.empty() &&
+          (heap_.top().distance <= covered_radius_ || FullyCovered())) {
+        const idistance_internal::Candidate top = heap_.top();
+        heap_.pop();
+        return Neighbor{top.id,
+                        similarity_.Compute(points_.Row(top.id), query_,
+                                            points_.dim())};
+      }
+      if (FullyCovered()) return std::nullopt;
+      ExpandTo(radius_);
+      covered_radius_ = radius_;
+      radius_ *= 2.0;
+    }
+  }
+
+ private:
+  using TreeIt = typename Tree::ConstIterator;
+
+  bool OutsideBand(const TreeIt& it, int p) const {
+    return it == tree_.end() || !(it.key() < (p + 1) * stretch_);
+  }
+
+  bool FullyCovered() const {
+    for (int p = 0; p < pivots_.rows(); ++p) {
+      if (left_[p] != band_start_[p] || right_[p] != band_end_[p]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Widens every partition window to cover keys within ±r of the query
+  // key, exact-checking newly covered entries.
+  void ExpandTo(double r) {
+    GEACC_STATS_ADD("index.idistance.radius_expansions", 1);
+    for (int p = 0; p < pivots_.rows(); ++p) {
+      const double band_key = p * stretch_;
+      const double lo_key =
+          band_key + std::max(0.0, query_pivot_distance_[p] - r);
+      const double hi_key = band_key + query_pivot_distance_[p] + r;
+      // Left edge: pull in predecessors with key >= lo_key.
+      while (left_[p] != band_start_[p]) {
+        TreeIt prev = left_[p];
+        --prev;
+        if (prev.key() < lo_key) break;
+        left_[p] = prev;
+        Check(prev.value());
+      }
+      // Right edge: consume successors with key <= hi_key.
+      while (right_[p] != band_end_[p] && !(hi_key < right_[p].key())) {
+        Check(right_[p].value());
+        ++right_[p];
+      }
+    }
+  }
+
+  void Check(int id) {
+    heap_.push({std::sqrt(SquaredEuclideanDistance(points_.Row(id), query_,
+                                                   points_.dim())),
+                id});
+  }
+
+  const AttributeMatrix& points_;
+  const SimilarityFunction& similarity_;
+  const AttributeMatrix& pivots_;
+  const double stretch_;
+  const Tree& tree_;
+  const double* query_;
+  std::vector<double> query_pivot_distance_;
+  std::vector<TreeIt> left_;        // window start (inclusive)
+  std::vector<TreeIt> right_;       // window end (exclusive)
+  std::vector<TreeIt> band_start_;  // partition's first key
+  std::vector<TreeIt> band_end_;    // one past the partition's last key
+  std::priority_queue<idistance_internal::Candidate,
+                      std::vector<idistance_internal::Candidate>,
+                      std::greater<idistance_internal::Candidate>>
+      heap_;
+  double radius_ = 1.0;
+  double covered_radius_ = -1.0;  // nothing certified yet
+  int64_t steps_ = 0;
+};
+
+}  // namespace geacc
+
+#endif  // GEACC_INDEX_IDISTANCE_COMMON_H_

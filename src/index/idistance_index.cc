@@ -1,147 +1,11 @@
 #include "index/idistance_index.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <queue>
+#include <utility>
 
-#include "obs/stats.h"
 #include "util/check.h"
-#include "util/memory.h"
 
 namespace geacc {
-namespace {
-
-struct Candidate {
-  double distance;
-  int id;
-
-  bool operator>(const Candidate& other) const {
-    if (distance != other.distance) return distance > other.distance;
-    return id > other.id;
-  }
-};
-
-}  // namespace
-
-class IDistanceCursor final : public NnCursor {
- public:
-  IDistanceCursor(const IDistanceIndex& index, const double* query)
-      : index_(index), query_(query) {
-    const int pivots = index_.num_pivots();
-    query_pivot_distance_.resize(pivots);
-    left_.resize(pivots);
-    right_.resize(pivots);
-    band_start_.resize(pivots);
-    band_end_.resize(pivots);
-    for (int p = 0; p < pivots; ++p) {
-      query_pivot_distance_[p] =
-          std::sqrt(SquaredEuclideanDistance(index_.pivots_.Row(p), query_,
-                                             index_.points_.dim()));
-      // Band boundaries must be computed exactly as the build computes
-      // keys (owner * stretch), not as band_key + stretch — the two can
-      // differ by one ulp and mis-place the boundary by one element.
-      const double band_key = p * index_.stretch_;
-      band_start_[p] = index_.tree_.LowerBound(band_key);
-      band_end_[p] = index_.tree_.LowerBound((p + 1) * index_.stretch_);
-      // Both window edges start at the query's key position; the window
-      // [left, right) grows outward within the band.
-      auto start = index_.tree_.LowerBound(
-          band_key + query_pivot_distance_[p]);
-      // Clamp into the band (LowerBound may land past it).
-      if (OutsideBand(start, p)) start = band_end_[p];
-      left_[p] = start;
-      right_[p] = start;
-    }
-    radius_ = index_.initial_radius_;
-  }
-
-  // Per-step counts are batched into a member and flushed once here —
-  // Next() is too hot for a registry touch per call (DESIGN.md §9.1).
-  ~IDistanceCursor() override {
-    GEACC_STATS_ADD("index.idistance.cursor_steps", steps_);
-  }
-
-  std::optional<Neighbor> Next() override {
-    ++steps_;
-    while (true) {
-      if (!heap_.empty() &&
-          (heap_.top().distance <= covered_radius_ || FullyCovered())) {
-        const Candidate top = heap_.top();
-        heap_.pop();
-        return Neighbor{top.id, index_.similarity_.Compute(
-                                    index_.points_.Row(top.id), query_,
-                                    index_.points_.dim())};
-      }
-      if (FullyCovered()) return std::nullopt;
-      ExpandTo(radius_);
-      covered_radius_ = radius_;
-      radius_ *= 2.0;
-    }
-  }
-
- private:
-  using TreeIt = IDistanceIndex::KeyTree::ConstIterator;
-
-  bool OutsideBand(const TreeIt& it, int p) const {
-    return it == index_.tree_.end() ||
-           !(it.key() < (p + 1) * index_.stretch_);
-  }
-
-  bool FullyCovered() const {
-    for (int p = 0; p < index_.num_pivots(); ++p) {
-      if (left_[p] != band_start_[p] || right_[p] != band_end_[p]) {
-        return false;
-      }
-    }
-    return true;
-  }
-
-  // Widens every partition window to cover keys within ±r of the query
-  // key, exact-checking newly covered entries.
-  void ExpandTo(double r) {
-    GEACC_STATS_ADD("index.idistance.radius_expansions", 1);
-    for (int p = 0; p < index_.num_pivots(); ++p) {
-      const double band_key = p * index_.stretch_;
-      const double lo_key =
-          band_key + std::max(0.0, query_pivot_distance_[p] - r);
-      const double hi_key = band_key + query_pivot_distance_[p] + r;
-      // Left edge: pull in predecessors with key >= lo_key.
-      while (left_[p] != band_start_[p]) {
-        TreeIt prev = left_[p];
-        --prev;
-        if (prev.key() < lo_key) break;
-        left_[p] = prev;
-        Check(prev.value());
-      }
-      // Right edge: consume successors with key <= hi_key.
-      while (right_[p] != band_end_[p] && !(hi_key < right_[p].key())) {
-        Check(right_[p].value());
-        ++right_[p];
-      }
-    }
-  }
-
-  void Check(int id) {
-    heap_.push({std::sqrt(SquaredEuclideanDistance(
-                    index_.points_.Row(id), query_, index_.points_.dim())),
-                id});
-  }
-
-  const IDistanceIndex& index_;
-  const double* query_;
-  std::vector<double> query_pivot_distance_;
-  std::vector<TreeIt> left_;        // window start (inclusive)
-  std::vector<TreeIt> right_;       // window end (exclusive)
-  std::vector<TreeIt> band_start_;  // partition's first key
-  std::vector<TreeIt> band_end_;    // one past the partition's last key
-  std::priority_queue<Candidate, std::vector<Candidate>,
-                      std::greater<Candidate>>
-      heap_;
-  double radius_ = 1.0;
-  double covered_radius_ = -1.0;  // nothing certified yet
-  int64_t steps_ = 0;
-};
 
 IDistanceIndex::IDistanceIndex(const AttributeMatrix& points,
                                const SimilarityFunction& similarity,
@@ -150,87 +14,21 @@ IDistanceIndex::IDistanceIndex(const AttributeMatrix& points,
   GEACC_CHECK(similarity.IsEuclideanMonotone())
       << "iDistance ordering requires a Euclidean-monotone similarity; got "
       << similarity.Name();
-  GEACC_CHECK_GE(num_pivots, 1);
-  const int n = points.rows();
-  const int dim = points.dim();
-  if (n == 0) {
-    pivots_ = AttributeMatrix(0, dim);
-    return;
-  }
-  const int pivot_count = std::max(1, std::min(num_pivots, n));
-
-  // Farthest-point sampling: deterministic, spreads pivots over the data.
-  std::vector<int> pivot_ids{0};
-  std::vector<double> nearest_pivot_sq(n);
-  for (int i = 0; i < n; ++i) {
-    nearest_pivot_sq[i] =
-        SquaredEuclideanDistance(points.Row(i), points.Row(0), dim);
-  }
-  while (static_cast<int>(pivot_ids.size()) < pivot_count) {
-    int farthest = 0;
-    for (int i = 1; i < n; ++i) {
-      if (nearest_pivot_sq[i] > nearest_pivot_sq[farthest]) farthest = i;
-    }
-    if (nearest_pivot_sq[farthest] == 0.0) break;  // all points covered
-    pivot_ids.push_back(farthest);
-    for (int i = 0; i < n; ++i) {
-      nearest_pivot_sq[i] = std::min(
-          nearest_pivot_sq[i],
-          SquaredEuclideanDistance(points.Row(i), points.Row(farthest), dim));
-    }
-  }
-
-  pivots_ = AttributeMatrix(static_cast<int>(pivot_ids.size()), dim);
-  for (size_t p = 0; p < pivot_ids.size(); ++p) {
-    const double* src = points.Row(pivot_ids[p]);
-    double* dst = pivots_.MutableRow(static_cast<int>(p));
-    for (int j = 0; j < dim; ++j) dst[j] = src[j];
-  }
-
-  // Assign points to their nearest pivot; pick the stretch constant C
-  // strictly above every pivot distance, then bulk-load the key tree.
-  std::vector<int> owner(n);
-  std::vector<double> owner_distance(n);
-  double max_distance = 0.0;
-  double mean_distance = 0.0;
-  for (int i = 0; i < n; ++i) {
-    int best = 0;
-    double best_sq = std::numeric_limits<double>::max();
-    for (int p = 0; p < pivots_.rows(); ++p) {
-      const double d_sq =
-          SquaredEuclideanDistance(points.Row(i), pivots_.Row(p), dim);
-      if (d_sq < best_sq) {
-        best_sq = d_sq;
-        best = p;
-      }
-    }
-    owner[i] = best;
-    owner_distance[i] = std::sqrt(best_sq);
-    max_distance = std::max(max_distance, owner_distance[i]);
-    mean_distance += owner_distance[i];
-  }
-  mean_distance /= n;
-  // The query key d(q, pivot) can exceed any data distance, so C must
-  // dominate the query side too: queries come from the same attribute
-  // space, and d(q,p) ≤ diameter ≤ 2 · max_distance is not guaranteed
-  // either — clamp hi_key scans to the band instead (see cursor), and use
-  // a generous constant here purely to keep bands disjoint.
-  stretch_ = std::max(1.0, 4.0 * max_distance + 1.0);
-
-  std::vector<std::pair<double, int>> entries(n);
-  for (int i = 0; i < n; ++i) {
-    entries[i] = {owner[i] * stretch_ + owner_distance[i], i};
-  }
-  std::sort(entries.begin(), entries.end());
-  tree_.BulkLoad(entries);
-  initial_radius_ = mean_distance > 0.0 ? mean_distance * 0.25 : 1.0;
+  geometry_ = BuildIDistanceGeometry(points, num_pivots);
+  tree_.BulkLoad(geometry_.entries);
+  // The sorted key list only feeds the bulk load; drop it so the tree is
+  // the single copy (and ByteEstimate stays honest).
+  geometry_.entries.clear();
+  geometry_.entries.shrink_to_fit();
 }
 
 std::vector<Neighbor> IDistanceIndex::Query(const double* query,
                                             int k) const {
   std::vector<Neighbor> result;
   if (k <= 0) return result;
-  IDistanceCursor cursor(*this, query);
+  IDistanceScanCursor<KeyTree> cursor(points_, similarity_, geometry_.pivots,
+                                      geometry_.stretch,
+                                      geometry_.initial_radius, tree_, query);
   result.reserve(std::min(k, num_points()));
   while (static_cast<int>(result.size()) < k) {
     const auto next = cursor.Next();
@@ -242,11 +40,13 @@ std::vector<Neighbor> IDistanceIndex::Query(const double* query,
 
 std::unique_ptr<NnCursor> IDistanceIndex::CreateCursor(
     const double* query) const {
-  return std::make_unique<IDistanceCursor>(*this, query);
+  return std::make_unique<IDistanceScanCursor<KeyTree>>(
+      points_, similarity_, geometry_.pivots, geometry_.stretch,
+      geometry_.initial_radius, tree_, query);
 }
 
 uint64_t IDistanceIndex::ByteEstimate() const {
-  return pivots_.ByteEstimate() + tree_.ByteEstimate();
+  return geometry_.pivots.ByteEstimate() + tree_.ByteEstimate();
 }
 
 }  // namespace geacc

@@ -15,6 +15,10 @@
 // newly covered entries. Once all partitions are covered to radius r,
 // every candidate with exact distance ≤ r is certified — making the
 // incremental cursor exact and identical in order to a linear scan.
+//
+// The geometry build and the cursor live in index/idistance_common.h,
+// shared with the disk-backed PagedIDistanceIndex (DESIGN.md §14); this
+// class is the in-memory instantiation.
 
 #ifndef GEACC_INDEX_IDISTANCE_INDEX_H_
 #define GEACC_INDEX_IDISTANCE_INDEX_H_
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "container/bplus_tree.h"
+#include "index/idistance_common.h"
 #include "index/knn_index.h"
 
 namespace geacc {
@@ -39,20 +44,16 @@ class IDistanceIndex final : public KnnIndex {
   std::unique_ptr<NnCursor> CreateCursor(const double* query) const override;
   uint64_t ByteEstimate() const override;
 
-  int num_pivots() const { return pivots_.rows(); }
+  int num_pivots() const { return geometry_.pivots.rows(); }
   int tree_height() const { return tree_.height(); }
 
  private:
-  friend class IDistanceCursor;
-
   using KeyTree = BPlusTree<double, int, 64>;
 
   const AttributeMatrix& points_;
   const SimilarityFunction& similarity_;
-  AttributeMatrix pivots_;   // P × dim
-  double stretch_ = 1.0;     // C: strictly larger than any pivot distance
-  KeyTree tree_;             // stretched key → point id
-  double initial_radius_ = 1.0;  // first search ring
+  IDistanceGeometry geometry_;  // pivots, stretch, initial radius
+  KeyTree tree_;                // stretched key → point id
 };
 
 }  // namespace geacc

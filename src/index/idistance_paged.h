@@ -1,0 +1,93 @@
+// Disk-backed iDistance index (DESIGN.md §14).
+//
+// The out-of-core sibling of IDistanceIndex: the same pivot geometry and
+// expanding-radius cursor (index/idistance_common.h), but the stretched
+// key tree is a storage::PagedBPlusTree living in a temporary page file
+// behind a memory-budgeted buffer pool. kNN cursors then stream leaf
+// pages from disk through the pool's bounded frame set, so an instance
+// whose key tree is many times the budget solves with resident index
+// memory capped at budget + pivots.
+//
+// Enumeration is bit-identical to the in-memory backend by construction:
+// both instantiate the one shared cursor template over trees with equal
+// LowerBound/iteration semantics, fed the identical sorted entry list.
+// tests/storage_backend_test.cc and the geacc_audit "paged/greedy"
+// campaign check enforce this end to end.
+
+#ifndef GEACC_INDEX_IDISTANCE_PAGED_H_
+#define GEACC_INDEX_IDISTANCE_PAGED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/idistance_common.h"
+#include "index/knn_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/paged_bplus_tree.h"
+
+namespace geacc {
+
+// Knobs for disk-backed index structures, threaded from SolverOptions /
+// bench flags down to MakeIndex.
+struct StorageOptions {
+  uint64_t budget_bytes = 16ull << 20;  // buffer-pool byte budget
+  uint32_t page_size = 8192;            // page file page size (power of 2)
+  // Directory for the backing page file; "" = TMPDIR or /tmp. The file
+  // name embeds pid + a process-wide counter, so concurrent indexes (and
+  // processes) never collide.
+  std::string dir;
+  // Keep the page file on destruction (debugging); default unlinks it.
+  bool keep_files = false;
+};
+
+class PagedIDistanceIndex final : public KnnIndex {
+ public:
+  // Builds the geometry in memory, streams the key tree into a fresh page
+  // file under `storage.budget_bytes`, and serves all queries through the
+  // pool. CHECK-fails if the page file cannot be created (the backing dir
+  // must be writable — this is a constructor, matching the other index
+  // backends' no-error-channel contract).
+  PagedIDistanceIndex(const AttributeMatrix& points,
+                      const SimilarityFunction& similarity,
+                      const StorageOptions& storage, int num_pivots = 16);
+  ~PagedIDistanceIndex() override;
+
+  std::string Name() const override { return "idistance-paged"; }
+  std::vector<Neighbor> Query(const double* query, int k) const override;
+  std::unique_ptr<NnCursor> CreateCursor(const double* query) const override;
+  // Resident memory: pivots + the pool's peak frame bytes (NOT the file
+  // size — that is the point).
+  uint64_t ByteEstimate() const override;
+
+  int num_pivots() const { return geometry_.pivots.rows(); }
+  uint64_t file_bytes() const { return tree_->file_bytes(); }
+  const std::string& file_path() const { return path_; }
+  storage::PoolStats pool_stats() const { return pool_->stats(); }
+
+ private:
+  using KeyTree = storage::PagedBPlusTree<double, int>;
+
+  const AttributeMatrix& points_;
+  const SimilarityFunction& similarity_;
+  IDistanceGeometry geometry_;
+  std::string path_;
+  bool keep_files_ = false;
+  std::unique_ptr<storage::PageFile> file_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<KeyTree> tree_;
+};
+
+// MakeIndex with storage knobs: adds "idistance-paged" to the name set
+// (same non-monotone-similarity fallback to linear as the others). The
+// 3-arg overload in knn_index.h forwards here with default options.
+std::unique_ptr<KnnIndex> MakeIndex(const std::string& name,
+                                    const AttributeMatrix& points,
+                                    const SimilarityFunction& similarity,
+                                    const StorageOptions& storage);
+
+}  // namespace geacc
+
+#endif  // GEACC_INDEX_IDISTANCE_PAGED_H_

@@ -1,6 +1,7 @@
 #include "index/knn_index.h"
 
 #include "index/idistance_index.h"
+#include "index/idistance_paged.h"
 #include "index/kd_tree_index.h"
 #include "index/linear_scan_index.h"
 #include "index/va_file_index.h"
@@ -33,6 +34,9 @@ std::unique_ptr<KnnIndex> MakeIndex(const std::string& name,
   }
   if (name == "idistance" && RequireMonotone(name, similarity)) {
     return std::make_unique<IDistanceIndex>(points, similarity);
+  }
+  if (name == "idistance-paged") {
+    return MakeIndex(name, points, similarity, StorageOptions());
   }
   if (name == "linear" || name == "kdtree" || name == "vafile" ||
       name == "idistance") {

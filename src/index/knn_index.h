@@ -72,7 +72,9 @@ class KnnIndex {
 };
 
 // Builds an index over the rows of `points`. `name` ∈ {"linear",
-// "kdtree", "vafile", "idistance"}. Distance-ordered indexes requested
+// "kdtree", "vafile", "idistance", "idistance-paged"} — the paged variant
+// takes default StorageOptions here; use the 4-arg overload in
+// index/idistance_paged.h to set the budget. Distance-ordered indexes requested
 // with a non-Euclidean-monotone similarity fall back to linear scan
 // (their distance ordering would be meaningless). `points` and
 // `similarity` must outlive the index.

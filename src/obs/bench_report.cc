@@ -109,6 +109,23 @@ bool ValidatePoint(const JsonValue& point, size_t index, std::string* error) {
       return Violation(error, latency_where + ": negative samples");
     }
   }
+  if (const JsonValue* storage = point.Find("storage"); storage != nullptr) {
+    const std::string storage_where = where + ".storage";
+    if (!storage->is_object()) {
+      return Violation(error, storage_where + ": not an object");
+    }
+    for (const char* key : {"budget_bytes", "page_size", "file_bytes", "hits",
+                            "faults", "evictions", "flushes"}) {
+      if (!RequireMember(*storage, key, JsonValue::Type::kInt, &member, error,
+                         storage_where)) {
+        return false;
+      }
+      if (member->AsInt() < 0) {
+        return Violation(error,
+                         storage_where + ": negative " + std::string(key));
+      }
+    }
+  }
   return true;
 }
 
@@ -151,6 +168,18 @@ JsonValue BenchReport::ToJson() const {
       latency.Set("samples", point.latency.samples);
       entry.Set("latency", std::move(latency));
     }
+    if (point.has_storage) {
+      JsonValue storage = JsonValue::Object();
+      storage.Set("budget_bytes",
+                  static_cast<int64_t>(point.storage.budget_bytes));
+      storage.Set("page_size", static_cast<int64_t>(point.storage.page_size));
+      storage.Set("file_bytes", static_cast<int64_t>(point.storage.file_bytes));
+      storage.Set("hits", point.storage.hits);
+      storage.Set("faults", point.storage.faults);
+      storage.Set("evictions", point.storage.evictions);
+      storage.Set("flushes", point.storage.flushes);
+      entry.Set("storage", std::move(storage));
+    }
     point_array.Append(std::move(entry));
   }
   root.Set("points", std::move(point_array));
@@ -187,6 +216,19 @@ bool BenchReport::FromJson(const JsonValue& json, std::string* error) {
       point.latency.p95_ms = latency->Find("p95_ms")->AsDouble();
       point.latency.p99_ms = latency->Find("p99_ms")->AsDouble();
       point.latency.samples = latency->Find("samples")->AsInt();
+    }
+    if (const JsonValue* storage = entry.Find("storage"); storage != nullptr) {
+      point.has_storage = true;
+      point.storage.budget_bytes =
+          static_cast<uint64_t>(storage->Find("budget_bytes")->AsInt());
+      point.storage.page_size =
+          static_cast<uint64_t>(storage->Find("page_size")->AsInt());
+      point.storage.file_bytes =
+          static_cast<uint64_t>(storage->Find("file_bytes")->AsInt());
+      point.storage.hits = storage->Find("hits")->AsInt();
+      point.storage.faults = storage->Find("faults")->AsInt();
+      point.storage.evictions = storage->Find("evictions")->AsInt();
+      point.storage.flushes = storage->Find("flushes")->AsInt();
     }
     points.push_back(std::move(point));
   }

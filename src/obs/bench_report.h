@@ -23,6 +23,11 @@
 //         "timers": { "mcf.flow_sweep": {"seconds": 0.01, "count": 3} },
 //         "latency": {                      // optional: serving benches only
 //           "p50_ms": 0.11, "p95_ms": 0.56, "p99_ms": 1.4, "samples": 250000
+//         },
+//         "storage": {                      // optional: paged-backend points
+//           "budget_bytes": 8388608, "page_size": 4096,
+//           "file_bytes": 33554432,
+//           "hits": 91824, "faults": 8112, "evictions": 8100, "flushes": 0
 //         }
 //       }, ...
 //     ]
@@ -61,6 +66,20 @@ struct LatencySummary {
   int64_t samples = 0;
 };
 
+// Buffer-pool traffic for points that ran on the disk-backed index
+// ("idistance-paged", src/storage/). Optional within v1 — absent means
+// the point ran fully in memory. `file_bytes` is the page-file size at
+// point completion; the remaining fields mirror storage::PoolStats.
+struct StorageSummary {
+  uint64_t budget_bytes = 0;
+  uint64_t page_size = 0;
+  uint64_t file_bytes = 0;
+  int64_t hits = 0;
+  int64_t faults = 0;
+  int64_t evictions = 0;
+  int64_t flushes = 0;
+};
+
 // One measured (sweep point × solver) cell.
 struct BenchPoint {
   std::string label;
@@ -74,6 +93,9 @@ struct BenchPoint {
   // Serialized as a "latency" object only when has_latency is set.
   bool has_latency = false;
   LatencySummary latency;
+  // Serialized as a "storage" object only when has_storage is set.
+  bool has_storage = false;
+  StorageSummary storage;
 };
 
 struct BenchReport {

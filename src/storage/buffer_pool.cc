@@ -1,0 +1,186 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/stats.h"
+#include "util/check.h"
+
+namespace geacc::storage {
+
+BufferPool::BufferPool(PageFile* file, uint64_t budget_bytes) : file_(file) {
+  GEACC_CHECK(file_ != nullptr);
+  const uint64_t page = file_->page_size();
+  const uint64_t frames = std::max<uint64_t>(2, budget_bytes / page);
+  frames_.resize(static_cast<size_t>(frames));
+  stats_.budget_bytes = std::max<uint64_t>(budget_bytes, 2 * page);
+}
+
+BufferPool::~BufferPool() {
+  // Dirty frames are the caller's responsibility (FlushAll + Commit); a
+  // pool dropped without flushing simply loses uncommitted writes, which
+  // is the crash-consistency contract anyway.
+  for (const Frame& frame : frames_) {
+    GEACC_DCHECK(frame.pins == 0) << "buffer pool destroyed with live pins";
+  }
+}
+
+bool BufferPool::EnsureBuffer(Frame* frame) {
+  if (frame->buffer != nullptr) return true;
+  frame->buffer = std::make_unique<uint8_t[]>(file_->payload_capacity());
+  stats_.resident_bytes += file_->page_size();
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  return true;
+}
+
+bool BufferPool::FlushFrame(Frame* frame, std::string* error) {
+  if (!frame->dirty) return true;
+  if (!file_->WritePage(frame->page_id, frame->type, frame->buffer.get(),
+                        frame->payload_bytes, error)) {
+    return false;
+  }
+  frame->dirty = false;
+  ++stats_.flushes;
+  GEACC_STATS_ADD("storage.pool.flushes", 1);
+  return true;
+}
+
+int BufferPool::FindVictim(std::string* error) {
+  // First preference: a frame that never held a page (cold start).
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id == kInvalidPageId && frames_[i].pins == 0) {
+      return static_cast<int>(i);
+    }
+  }
+  // Clock sweep: two full passes guarantee either a victim (every
+  // unpinned frame loses its reference bit in pass one) or proof that
+  // everything is pinned.
+  const int n = frame_count();
+  for (int step = 0; step < 2 * n; ++step) {
+    Frame& frame = frames_[clock_hand_];
+    const int index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (frame.pins > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    if (!FlushFrame(&frame, error)) return -2;
+    resident_.erase(frame.page_id);
+    frame.page_id = kInvalidPageId;
+    ++stats_.evictions;
+    GEACC_STATS_ADD("storage.pool.evictions", 1);
+    return index;
+  }
+  if (error != nullptr) {
+    *error = "buffer pool exhausted: every frame is pinned (budget too "
+             "small for the working set)";
+  }
+  return -1;
+}
+
+bool BufferPool::Fetch(PageId id, PageRef* out, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    Frame& frame = frames_[it->second];
+    frame.referenced = true;
+    ++frame.pins;
+    ++stats_.hits;
+    GEACC_STATS_ADD("storage.pool.hits", 1);
+    *out = PageRef(this, it->second);
+    return true;
+  }
+  const int victim = FindVictim(error);
+  if (victim < 0) return false;
+  Frame& frame = frames_[victim];
+  EnsureBuffer(&frame);
+  if (!file_->ReadPage(id, frame.buffer.get(), &frame.type,
+                       &frame.payload_bytes, error)) {
+    return false;
+  }
+  frame.page_id = id;
+  frame.dirty = false;
+  frame.referenced = true;
+  frame.pins = 1;
+  resident_[id] = victim;
+  ++stats_.faults;
+  GEACC_STATS_ADD("storage.pool.faults", 1);
+  *out = PageRef(this, victim);
+  return true;
+}
+
+bool BufferPool::Create(uint16_t type, PageRef* out, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int victim = FindVictim(error);
+  if (victim < 0) return false;
+  Frame& frame = frames_[victim];
+  EnsureBuffer(&frame);
+  const PageId id = file_->Allocate();
+  std::memset(frame.buffer.get(), 0, file_->payload_capacity());
+  frame.page_id = id;
+  frame.type = type;
+  frame.payload_bytes = 0;
+  frame.dirty = true;
+  frame.referenced = true;
+  frame.pins = 1;
+  resident_[id] = victim;
+  GEACC_STATS_ADD("storage.pool.creates", 1);
+  *out = PageRef(this, victim);
+  return true;
+}
+
+bool BufferPool::FlushAll(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& frame : frames_) {
+    if (frame.page_id == kInvalidPageId) continue;
+    if (!FlushFrame(&frame, error)) return false;
+  }
+  return true;
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::Unpin(int frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[frame];
+  GEACC_DCHECK(f.pins > 0);
+  --f.pins;
+}
+
+PageId BufferPool::PageRef::id() const {
+  return pool_->frames_[frame_].page_id;
+}
+uint16_t BufferPool::PageRef::type() const {
+  return pool_->frames_[frame_].type;
+}
+uint8_t* BufferPool::PageRef::data() {
+  return pool_->frames_[frame_].buffer.get();
+}
+const uint8_t* BufferPool::PageRef::data() const {
+  return pool_->frames_[frame_].buffer.get();
+}
+uint32_t BufferPool::PageRef::payload_bytes() const {
+  return pool_->frames_[frame_].payload_bytes;
+}
+void BufferPool::PageRef::set_payload_bytes(uint32_t bytes) {
+  GEACC_DCHECK(bytes <= pool_->file_->payload_capacity());
+  pool_->frames_[frame_].payload_bytes = bytes;
+}
+void BufferPool::PageRef::MarkDirty() {
+  pool_->frames_[frame_].dirty = true;
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+  }
+}
+
+}  // namespace geacc::storage

@@ -1,0 +1,147 @@
+// Memory-budgeted buffer pool over a PageFile (DESIGN.md §14).
+//
+// The pool caches page payloads in a fixed set of frames sized to a byte
+// budget: frame_count = max(2, budget / page_size), each frame accounted
+// at the full page_size (header + padding overhead charged to the budget,
+// so resident bytes never exceed it). Frames are filled lazily, evicted
+// by the clock (second-chance) policy, and flushed back on eviction when
+// dirty — this is the hard out-of-core guarantee: a tree 10× the budget
+// streams through the same bounded set of frames.
+//
+// Pinning: Fetch()/Create() hand out a PageRef, an RAII pin. Pinned
+// frames are never evicted, so the payload pointer stays valid (and, for
+// concurrent readers, stable) for the PageRef's lifetime. Unpinned frame
+// contents may be evicted at any time — re-Fetch instead of caching raw
+// pointers. All-frames-pinned is an error ("pool budget too small for
+// the working set"), not a deadlock.
+//
+// Thread-safety: all operations take one internal mutex, so concurrent
+// cursors from solver worker lanes are safe. Writes to a pinned frame's
+// payload are the caller's to serialize (the write path here is
+// single-writer: bulk loads and checkpoints).
+//
+// Counters: storage.pool.{hits,faults,evictions,flushes} via src/obs,
+// plus an exact per-pool PoolStats for bench reports.
+
+#ifndef GEACC_STORAGE_BUFFER_POOL_H_
+#define GEACC_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_file.h"
+
+namespace geacc::storage {
+
+struct PoolStats {
+  int64_t hits = 0;       // Fetch served from a resident frame
+  int64_t faults = 0;     // Fetch had to read the page from disk
+  int64_t evictions = 0;  // frames recycled by the clock hand
+  int64_t flushes = 0;    // dirty frames written back (evict or FlushAll)
+  uint64_t budget_bytes = 0;
+  uint64_t resident_bytes = 0;  // frames currently backed by a buffer
+  uint64_t peak_resident_bytes = 0;
+};
+
+class BufferPool {
+ public:
+  // `file` must outlive the pool. `budget_bytes` is a hard ceiling on
+  // frame memory; it is floored at two pages so tree descents (parent +
+  // child pinned briefly) always fit.
+  BufferPool(PageFile* file, uint64_t budget_bytes);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // RAII pin on one resident page. Movable; releasing (or destroying)
+  // unpins. data() is the payload buffer (payload_capacity() bytes).
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        frame_ = other.frame_;
+        other.pool_ = nullptr;
+        other.frame_ = -1;
+      }
+      return *this;
+    }
+    ~PageRef() { Release(); }
+
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+
+    bool valid() const { return pool_ != nullptr; }
+    PageId id() const;
+    uint16_t type() const;
+    uint8_t* data();
+    const uint8_t* data() const;
+    uint32_t payload_bytes() const;
+    // Declare the payload's used length (persisted in the page header).
+    void set_payload_bytes(uint32_t bytes);
+    // Mark the frame for write-back on eviction / FlushAll.
+    void MarkDirty();
+
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, int frame) : pool_(pool), frame_(frame) {}
+
+    BufferPool* pool_ = nullptr;
+    int frame_ = -1;
+  };
+
+  // Pins page `id`, reading it from the file on a miss. Fails on IO /
+  // checksum errors or when every frame is pinned.
+  bool Fetch(PageId id, PageRef* out, std::string* error);
+
+  // Allocates a fresh page in the file and pins a zeroed, dirty frame
+  // for it (payload_bytes starts at 0; set it before releasing).
+  bool Create(uint16_t type, PageRef* out, std::string* error);
+
+  // Writes every dirty frame back to the file. Does NOT commit the
+  // superblock — pair with PageFile::Commit() for durability.
+  bool FlushAll(std::string* error);
+
+  int frame_count() const { return static_cast<int>(frames_.size()); }
+  PageFile* file() const { return file_; }
+  PoolStats stats() const;
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint16_t type = 0;
+    uint32_t payload_bytes = 0;
+    int pins = 0;
+    bool dirty = false;
+    bool referenced = false;  // clock second-chance bit
+    std::unique_ptr<uint8_t[]> buffer;  // payload_capacity() bytes, lazy
+  };
+
+  // Locked helpers.
+  bool EnsureBuffer(Frame* frame);
+  int FindVictim(std::string* error);  // -1 when all frames are pinned
+  bool FlushFrame(Frame* frame, std::string* error);
+
+  void Unpin(int frame);
+
+  PageFile* file_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int> resident_;  // page id -> frame index
+  int clock_hand_ = 0;
+  PoolStats stats_;
+};
+
+}  // namespace geacc::storage
+
+#endif  // GEACC_STORAGE_BUFFER_POOL_H_

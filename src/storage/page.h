@@ -1,0 +1,79 @@
+// On-disk page format shared by the storage engine (DESIGN.md §14).
+//
+// A page file is a sequence of fixed-size pages. Every data page carries a
+// 32-byte header whose checksum covers the header itself (with the
+// checksum field zeroed) plus the used payload bytes, so a torn or
+// bit-flipped page is detected on read instead of silently corrupting the
+// structures built on top. The checksum is FNV-1a/64 — fast, dependency-
+// free, and strong enough for crash/corruption *detection* (the page file
+// is not a cryptographic integrity boundary).
+//
+// Page ids are logical data-page indexes; the two superblock slots
+// (page_file.h) live before data page 0 and are not addressable as pages.
+
+#ifndef GEACC_STORAGE_PAGE_H_
+#define GEACC_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace geacc::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+inline constexpr uint32_t kPageMagic = 0x47435047u;  // "GPCG"
+inline constexpr uint32_t kDefaultPageSize = 8192;
+inline constexpr uint32_t kMinPageSize = 512;
+
+// Data-page types. The storage engine itself only distinguishes pages for
+// debugging and type-confusion checks; clients pick the values.
+inline constexpr uint16_t kPageTypeFree = 0;
+inline constexpr uint16_t kPageTypeLeaf = 1;
+inline constexpr uint16_t kPageTypeInternal = 2;
+inline constexpr uint16_t kPageTypeCheckpoint = 3;
+
+struct PageHeader {
+  uint32_t magic = kPageMagic;
+  PageId page_id = kInvalidPageId;
+  uint16_t type = kPageTypeFree;
+  uint16_t flags = 0;
+  uint32_t payload_bytes = 0;
+  uint64_t reserved = 0;
+  uint64_t checksum = 0;  // FNV-1a over the header (this field zeroed)
+                          // followed by payload[0, payload_bytes).
+};
+static_assert(sizeof(PageHeader) == 32, "page header layout is on disk");
+
+// FNV-1a/64 over `bytes`, chainable via `seed` for multi-buffer hashes.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+inline uint64_t Fnv1a64(const void* bytes, size_t count,
+                        uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < count; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// The checksum a well-formed page with this identity and content carries.
+// Deterministic in (page_id, type, payload content), so equal checksums
+// mean "this page already holds exactly this content" — the property the
+// checkpoint store's dirty-page diffing relies on.
+inline uint64_t PageChecksum(PageId page_id, uint16_t type,
+                             const void* payload, uint32_t payload_bytes) {
+  PageHeader header;
+  header.page_id = page_id;
+  header.type = type;
+  header.payload_bytes = payload_bytes;
+  header.checksum = 0;
+  uint64_t hash = Fnv1a64(&header, sizeof(header));
+  return Fnv1a64(payload, payload_bytes, hash);
+}
+
+}  // namespace geacc::storage
+
+#endif  // GEACC_STORAGE_PAGE_H_

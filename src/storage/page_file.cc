@@ -1,0 +1,276 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "obs/stats.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace geacc::storage {
+namespace {
+
+// On-disk superblock record, written at the head of its page-sized slot.
+struct Superblock {
+  uint32_t magic = kSuperblockMagic;
+  uint32_t version = kPageFileVersion;
+  uint32_t page_size = 0;
+  uint32_t data_pages = 0;
+  uint64_t generation = 0;
+  uint64_t state_bytes = 0;
+  uint64_t state_checksum = 0;
+  int64_t applied_seq = 0;
+  uint64_t user[6] = {0, 0, 0, 0, 0, 0};
+  uint64_t checksum = 0;  // FNV-1a over the preceding fields
+};
+static_assert(sizeof(Superblock) <= kMinPageSize,
+              "superblock must fit the smallest page");
+
+uint64_t SuperblockChecksum(const Superblock& sb) {
+  return Fnv1a64(&sb, offsetof(Superblock, checksum));
+}
+
+bool FullRead(int fd, void* buffer, size_t count, uint64_t offset) {
+  auto* p = static_cast<char*>(buffer);
+  while (count > 0) {
+    const ssize_t n = ::pread(fd, p, count, static_cast<off_t>(offset));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF (truncated file) or IO error
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    count -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool FullWrite(int fd, const void* buffer, size_t count, uint64_t offset) {
+  const auto* p = static_cast<const char*>(buffer);
+  while (count > 0) {
+    const ssize_t n = ::pwrite(fd, p, count, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    count -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+PageFile::PageFile(std::string path, int fd, uint32_t page_size)
+    : path_(std::move(path)), fd_(fd), page_size_(page_size) {}
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<PageFile> PageFile::Create(const std::string& path,
+                                           uint32_t page_size,
+                                           std::string* error) {
+  if (page_size < kMinPageSize || (page_size & (page_size - 1)) != 0) {
+    SetError(error, StrFormat("page size %u is not a power of two >= %u",
+                              page_size, kMinPageSize));
+    return nullptr;
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, StrFormat("cannot create '%s': %s", path.c_str(),
+                              std::strerror(errno)));
+    return nullptr;
+  }
+  auto file = std::unique_ptr<PageFile>(new PageFile(path, fd, page_size));
+  // Commit() bumps to generation 1 in slot (1 & 1) = slot 1; slot 0 stays
+  // zeroed until generation 2 — Open() treats it as invalid, which is
+  // exactly right for a file with one committed generation.
+  if (!file->Commit(Meta{}, error)) return nullptr;
+  return file;
+}
+
+std::unique_ptr<PageFile> PageFile::Open(const std::string& path,
+                                         std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    SetError(error, StrFormat("cannot open '%s': %s", path.c_str(),
+                              std::strerror(errno)));
+    return nullptr;
+  }
+  // Slot A always starts at offset 0; slot B at page_size, which we only
+  // learn from a valid slot A — or by probing: a valid slot records its
+  // own page_size, so read slot A first, then use whichever page_size a
+  // valid candidate declares to locate slot B.
+  Superblock best;
+  bool have_best = false;
+  Superblock slot_a;
+  const bool a_ok =
+      FullRead(fd, &slot_a, sizeof(slot_a), 0) &&
+      slot_a.magic == kSuperblockMagic && slot_a.version == kPageFileVersion &&
+      slot_a.page_size >= kMinPageSize &&
+      SuperblockChecksum(slot_a) == slot_a.checksum;
+  if (a_ok) {
+    best = slot_a;
+    have_best = true;
+  }
+  // Without a valid slot A the only way to find slot B is to try the
+  // default and the common page sizes; in practice slot A going bad while
+  // slot B survives means a torn generation-2k write, and both slots were
+  // written with the same page_size since Create().
+  std::vector<uint32_t> candidate_sizes;
+  if (a_ok) {
+    candidate_sizes.push_back(slot_a.page_size);
+  } else {
+    for (uint32_t size = kMinPageSize; size <= (1u << 20); size <<= 1) {
+      candidate_sizes.push_back(size);
+    }
+  }
+  for (const uint32_t size : candidate_sizes) {
+    Superblock slot_b;
+    if (!FullRead(fd, &slot_b, sizeof(slot_b), size)) continue;
+    if (slot_b.magic != kSuperblockMagic ||
+        slot_b.version != kPageFileVersion || slot_b.page_size != size ||
+        SuperblockChecksum(slot_b) != slot_b.checksum) {
+      continue;
+    }
+    if (!have_best || slot_b.generation > best.generation) {
+      best = slot_b;
+      have_best = true;
+    }
+    break;
+  }
+  if (!have_best) {
+    ::close(fd);
+    SetError(error, StrFormat("'%s': no valid superblock", path.c_str()));
+    return nullptr;
+  }
+  auto file =
+      std::unique_ptr<PageFile>(new PageFile(path, fd, best.page_size));
+  file->generation_ = best.generation;
+  file->allocated_pages_ = best.data_pages;
+  file->meta_.data_pages = best.data_pages;
+  file->meta_.state_bytes = best.state_bytes;
+  file->meta_.state_checksum = best.state_checksum;
+  file->meta_.applied_seq = best.applied_seq;
+  for (int i = 0; i < 6; ++i) file->meta_.user[i] = best.user[i];
+  return file;
+}
+
+bool PageFile::WritePage(PageId id, uint16_t type, const void* payload,
+                         uint32_t payload_bytes, std::string* error) {
+  GEACC_CHECK(id < allocated_pages_)
+      << "write to unallocated page " << id << " of " << allocated_pages_;
+  GEACC_CHECK(payload_bytes <= payload_capacity())
+      << "payload " << payload_bytes << " exceeds capacity "
+      << payload_capacity();
+  std::vector<unsigned char> buffer(page_size_, 0);
+  auto* header = reinterpret_cast<PageHeader*>(buffer.data());
+  header->magic = kPageMagic;
+  header->page_id = id;
+  header->type = type;
+  header->flags = 0;
+  header->payload_bytes = payload_bytes;
+  header->reserved = 0;
+  header->checksum = PageChecksum(id, type, payload, payload_bytes);
+  std::memcpy(buffer.data() + sizeof(PageHeader), payload, payload_bytes);
+  if (!FullWrite(fd_, buffer.data(), buffer.size(), PageOffset(id))) {
+    SetError(error, StrFormat("'%s': write of page %u failed: %s",
+                              path_.c_str(), id, std::strerror(errno)));
+    return false;
+  }
+  GEACC_STATS_ADD("storage.file.pages_written", 1);
+  return true;
+}
+
+bool PageFile::ReadPage(PageId id, void* payload, uint16_t* type,
+                        uint32_t* payload_bytes, std::string* error) {
+  std::vector<unsigned char> buffer(page_size_);
+  if (!FullRead(fd_, buffer.data(), buffer.size(), PageOffset(id))) {
+    SetError(error, StrFormat("'%s': read of page %u failed (truncated?)",
+                              path_.c_str(), id));
+    return false;
+  }
+  PageHeader header;
+  std::memcpy(&header, buffer.data(), sizeof(header));
+  if (header.magic != kPageMagic || header.page_id != id ||
+      header.payload_bytes > payload_capacity()) {
+    SetError(error, StrFormat("'%s': page %u has a malformed header",
+                              path_.c_str(), id));
+    return false;
+  }
+  const unsigned char* stored = buffer.data() + sizeof(PageHeader);
+  if (PageChecksum(id, header.type, stored, header.payload_bytes) !=
+      header.checksum) {
+    SetError(error, StrFormat("'%s': page %u checksum mismatch (torn write?)",
+                              path_.c_str(), id));
+    return false;
+  }
+  std::memcpy(payload, stored, header.payload_bytes);
+  if (type != nullptr) *type = header.type;
+  if (payload_bytes != nullptr) *payload_bytes = header.payload_bytes;
+  GEACC_STATS_ADD("storage.file.pages_read", 1);
+  return true;
+}
+
+bool PageFile::ReadPageChecksum(PageId id, uint64_t* checksum,
+                                std::string* error) {
+  PageHeader header;
+  if (!FullRead(fd_, &header, sizeof(header), PageOffset(id))) {
+    SetError(error, StrFormat("'%s': header read of page %u failed",
+                              path_.c_str(), id));
+    return false;
+  }
+  *checksum = header.checksum;
+  return true;
+}
+
+bool PageFile::SyncFd(std::string* error) {
+  if (::fsync(fd_) != 0) {
+    SetError(error, StrFormat("'%s': fsync failed: %s", path_.c_str(),
+                              std::strerror(errno)));
+    return false;
+  }
+  return true;
+}
+
+bool PageFile::Commit(const Meta& meta, std::string* error) {
+  GEACC_CHECK(meta.data_pages <= allocated_pages_)
+      << "commit of " << meta.data_pages << " pages, only "
+      << allocated_pages_ << " allocated";
+  if (!SyncFd(error)) return false;  // data pages reach disk first
+
+  Superblock sb;
+  sb.page_size = page_size_;
+  sb.data_pages = meta.data_pages;
+  sb.generation = generation_ + 1;
+  sb.state_bytes = meta.state_bytes;
+  sb.state_checksum = meta.state_checksum;
+  sb.applied_seq = meta.applied_seq;
+  for (int i = 0; i < 6; ++i) sb.user[i] = meta.user[i];
+  sb.checksum = SuperblockChecksum(sb);
+
+  const uint64_t slot_offset = (sb.generation & 1) ? page_size_ : 0;
+  if (!FullWrite(fd_, &sb, sizeof(sb), slot_offset)) {
+    SetError(error, StrFormat("'%s': superblock write failed: %s",
+                              path_.c_str(), std::strerror(errno)));
+    return false;
+  }
+  if (!SyncFd(error)) return false;
+  generation_ = sb.generation;
+  meta_ = meta;
+  GEACC_STATS_ADD("storage.file.commits", 1);
+  return true;
+}
+
+}  // namespace geacc::storage

@@ -1,0 +1,124 @@
+// Page manager: a single file of fixed-size, checksummed pages under a
+// versioned superblock (DESIGN.md §14).
+//
+// Layout (page_size chosen at Create, persisted in the superblock):
+//
+//   offset 0            superblock slot A
+//   offset page_size    superblock slot B
+//   offset 2·page_size  data page 0
+//   ...                 data page i at offset (2 + i)·page_size
+//
+// Commit protocol: page writes go to their final location immediately
+// (there is no WAL at this layer), but they are not *reachable* until
+// Commit() publishes a new superblock. The two slots alternate by
+// generation parity: Commit() fsyncs the data, writes the superblock with
+// generation+1 into the slot the previous generation did NOT use, and
+// fsyncs again. Open() picks the valid slot with the highest generation,
+// so a crash anywhere leaves the previous committed state readable —
+// unless the interrupted writer had already overwritten committed pages
+// in place (the checkpoint store's dirty-page diffing does exactly that),
+// which the superblock's whole-state checksum catches one layer up
+// (svc/paged_checkpoint.h). Either way the reader sees "valid previous
+// state" or "detectably torn", never a silent mix.
+//
+// Thread-safety: none. PageFile is single-owner; the buffer pool
+// serializes access for multi-threaded readers.
+
+#ifndef GEACC_STORAGE_PAGE_FILE_H_
+#define GEACC_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+
+namespace geacc::storage {
+
+inline constexpr uint32_t kSuperblockMagic = 0x47435342u;  // "GCSB"
+inline constexpr uint32_t kPageFileVersion = 1;
+
+class PageFile {
+ public:
+  // Client-visible superblock payload, published atomically by Commit().
+  struct Meta {
+    uint32_t data_pages = 0;       // committed logical page count
+    uint64_t state_bytes = 0;      // client use (checkpoint byte length)
+    uint64_t state_checksum = 0;   // client use (whole-state FNV-1a)
+    int64_t applied_seq = 0;       // client use (WAL mutations covered)
+    uint64_t user[6] = {0, 0, 0, 0, 0, 0};  // client use (tree roots etc.)
+  };
+
+  // Creates/truncates `path` with the given page size and commits an
+  // empty generation-1 superblock. Returns nullptr with *error set on
+  // failure (bad page size, IO error).
+  static std::unique_ptr<PageFile> Create(const std::string& path,
+                                          uint32_t page_size,
+                                          std::string* error);
+
+  // Opens an existing page file, validating the superblocks and picking
+  // the newest valid generation. Returns nullptr with *error on a
+  // missing/truncated file or when no superblock slot validates.
+  static std::unique_ptr<PageFile> Open(const std::string& path,
+                                        std::string* error);
+
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  uint32_t page_size() const { return page_size_; }
+  // Bytes of client payload per page.
+  uint32_t payload_capacity() const {
+    return page_size_ - static_cast<uint32_t>(sizeof(PageHeader));
+  }
+  uint64_t generation() const { return generation_; }
+  const Meta& meta() const { return meta_; }
+
+  // Pages allocated this session (>= meta().data_pages). Allocation is
+  // purely logical — the file grows when the page is first written — and
+  // becomes durable only when a Commit() publishes a data_pages covering
+  // it; un-committed allocations simply vanish on crash.
+  uint32_t allocated_pages() const { return allocated_pages_; }
+  PageId Allocate() { return allocated_pages_++; }
+
+  // Writes one full page (header + payload + zero padding) in place.
+  // `payload_bytes` must fit payload_capacity(); `id` must be allocated.
+  bool WritePage(PageId id, uint16_t type, const void* payload,
+                 uint32_t payload_bytes, std::string* error);
+
+  // Reads and checksum-verifies page `id` into `payload`, which must hold
+  // payload_capacity() bytes. Fails on IO errors, id mismatch (the file
+  // was spliced), or checksum mismatch (torn/corrupt page).
+  bool ReadPage(PageId id, void* payload, uint16_t* type,
+                uint32_t* payload_bytes, std::string* error);
+
+  // Header-only read of the stored checksum — the cheap side of the
+  // dirty-page diff (compare against PageChecksum() of candidate bytes).
+  // Fails only on IO errors; a garbage checksum is returned as-is.
+  bool ReadPageChecksum(PageId id, uint64_t* checksum, std::string* error);
+
+  // Durability point: fsync data writes, publish `meta` under
+  // generation+1 in the alternate superblock slot, fsync again.
+  bool Commit(const Meta& meta, std::string* error);
+
+ private:
+  PageFile(std::string path, int fd, uint32_t page_size);
+
+  uint64_t PageOffset(PageId id) const {
+    return (2ull + id) * page_size_;
+  }
+  bool SyncFd(std::string* error);
+
+  std::string path_;
+  int fd_ = -1;
+  uint32_t page_size_ = 0;
+  uint64_t generation_ = 0;
+  uint32_t allocated_pages_ = 0;
+  Meta meta_;
+};
+
+}  // namespace geacc::storage
+
+#endif  // GEACC_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,444 @@
+// Disk-backed B+-tree over a PageFile + BufferPool (DESIGN.md §14).
+//
+// The paged sibling of container/bplus_tree.h with the identical ordered
+// semantics — duplicate keys allowed, LowerBound/UpperBound positioning,
+// bidirectional iteration over linked leaves — so the iDistance cursor
+// template runs unchanged on either. Differences forced by the medium:
+//
+//   * build-once: Build() streams sorted entries into packed leaf pages
+//     under the pool's memory budget and bottom-up internal levels, then
+//     commits the root through the superblock. There is no Insert();
+//     mutation means rebuild (the GEACC index workloads are bulk-loaded
+//     per epoch).
+//   * iterators hold (page id, slot), not pointers: every access pins the
+//     page through the buffer pool and releases it before returning, so
+//     any number of live cursors coexist with a two-frame pool and
+//     eviction can never invalidate a position. After Build()/Attach()
+//     the tree is immutable, so positions stay valid forever.
+//
+// Keys and values must be trivially copyable; all page access is memcpy
+// (no alignment or aliasing assumptions on the page buffer).
+//
+// IO/corruption errors inside navigation CHECK-fail: Attach() validates
+// reachability up front, navigation touches only pages this tree wrote,
+// and cursor signatures (mirroring the in-memory tree) have no error
+// channel. Use Attach()'s soft error for untrusted files.
+
+#ifndef GEACC_STORAGE_PAGED_BPLUS_TREE_H_
+#define GEACC_STORAGE_PAGED_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "util/check.h"
+
+namespace geacc::storage {
+
+template <typename Key, typename Value>
+class PagedBPlusTree {
+  static_assert(std::is_trivially_copyable_v<Key> &&
+                    std::is_trivially_copyable_v<Value>,
+                "paged tree entries are stored as raw bytes");
+
+  // Page payload layouts (little-endian host assumed, as elsewhere in the
+  // on-disk formats). Leaf:    [LeafHeader][Key × cap][Value × cap]
+  // Internal: [InternalHeader][Key × (cap-1) separators][PageId × cap]
+  struct LeafHeader {
+    uint32_t count = 0;
+    PageId prev = kInvalidPageId;
+    PageId next = kInvalidPageId;
+    uint32_t pad = 0;
+  };
+  struct InternalHeader {
+    uint32_t count = 0;  // number of children
+    uint32_t pad[3] = {0, 0, 0};
+  };
+  static_assert(sizeof(LeafHeader) == 16 && sizeof(InternalHeader) == 16);
+
+ public:
+  // `file` and `pool` must outlive the tree; `pool` must wrap `file`.
+  PagedBPlusTree(PageFile* file, BufferPool* pool)
+      : file_(file), pool_(pool) {
+    GEACC_CHECK(file_ != nullptr && pool_ != nullptr);
+    GEACC_CHECK(pool_->file() == file_);
+    const uint32_t payload = file_->payload_capacity();
+    leaf_capacity_ = static_cast<int>(
+        (payload - sizeof(LeafHeader)) / (sizeof(Key) + sizeof(Value)));
+    internal_capacity_ = static_cast<int>(
+        (payload - sizeof(InternalHeader) + sizeof(Key)) /
+        (sizeof(Key) + sizeof(PageId)));
+    GEACC_CHECK(leaf_capacity_ >= 2 && internal_capacity_ >= 2)
+        << "page size too small for this entry type";
+  }
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+  int leaf_capacity() const { return leaf_capacity_; }
+  uint64_t file_bytes() const {
+    return (2ull + file_->allocated_pages()) * file_->page_size();
+  }
+
+  // Streams `entries` (sorted by key; duplicate input order preserved)
+  // into a fresh page run and commits the tree meta. Peak memory is the
+  // pool budget plus one (head key, page id) pair per page.
+  bool Build(const std::vector<std::pair<Key, Value>>& entries,
+             std::string* error);
+
+  // Loads the tree meta committed by a previous Build() on this file and
+  // validates the root is readable. Fails (soft) on a foreign or torn
+  // file.
+  bool Attach(std::string* error);
+
+  class ConstIterator {
+   public:
+    ConstIterator() = default;
+
+    Key key() const {
+      Pinned page = Pin();
+      return ReadKey(page.ref, slot_);
+    }
+    Value value() const {
+      Pinned page = Pin();
+      Value out;
+      std::memcpy(&out,
+                  page.ref.data() + sizeof(LeafHeader) +
+                      static_cast<size_t>(tree_->leaf_capacity_) *
+                          sizeof(Key) +
+                      static_cast<size_t>(slot_) * sizeof(Value),
+                  sizeof(Value));
+      return out;
+    }
+
+    // Advances toward larger keys. Must not be end().
+    ConstIterator& operator++() {
+      GEACC_DCHECK(page_ != kInvalidPageId);
+      Pinned page = Pin();
+      const LeafHeader header = ReadLeafHeader(page.ref);
+      if (++slot_ >= static_cast<int>(header.count)) {
+        page_ = header.next;
+        slot_ = 0;
+      }
+      return *this;
+    }
+
+    // Retreats toward smaller keys. Must not be begin(); decrementing
+    // end() yields the last element.
+    ConstIterator& operator--() {
+      if (page_ == kInvalidPageId) {
+        page_ = tree_->last_leaf_;
+        GEACC_DCHECK(page_ != kInvalidPageId)
+            << "decremented end() of empty tree";
+        Pinned page = Pin();
+        slot_ = static_cast<int>(ReadLeafHeader(page.ref).count) - 1;
+        return *this;
+      }
+      if (--slot_ < 0) {
+        Pinned page = Pin();
+        page_ = ReadLeafHeader(page.ref).prev;
+        GEACC_DCHECK(page_ != kInvalidPageId) << "decremented begin()";
+        page.ref.Release();
+        Pinned prev = Pin();
+        slot_ = static_cast<int>(ReadLeafHeader(prev.ref).count) - 1;
+      }
+      return *this;
+    }
+
+    bool operator==(const ConstIterator& other) const {
+      return page_ == other.page_ &&
+             (page_ == kInvalidPageId || slot_ == other.slot_);
+    }
+    bool operator!=(const ConstIterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class PagedBPlusTree;
+
+    struct Pinned {
+      BufferPool::PageRef ref;
+    };
+    Pinned Pin() const {
+      Pinned pinned;
+      std::string error;
+      GEACC_CHECK(tree_->pool_->Fetch(page_, &pinned.ref, &error)) << error;
+      return pinned;
+    }
+    static LeafHeader ReadLeafHeader(const BufferPool::PageRef& ref) {
+      LeafHeader header;
+      std::memcpy(&header, ref.data(), sizeof(header));
+      return header;
+    }
+    static Key ReadKey(const BufferPool::PageRef& ref, int slot) {
+      Key out;
+      std::memcpy(&out,
+                  ref.data() + sizeof(LeafHeader) +
+                      static_cast<size_t>(slot) * sizeof(Key),
+                  sizeof(Key));
+      return out;
+    }
+
+    ConstIterator(const PagedBPlusTree* tree, PageId page, int slot)
+        : tree_(tree), page_(page), slot_(slot) {}
+
+    const PagedBPlusTree* tree_ = nullptr;
+    PageId page_ = kInvalidPageId;  // kInvalidPageId = end()
+    int slot_ = 0;
+  };
+
+  ConstIterator begin() const {
+    return ConstIterator(this, first_leaf_, 0);
+  }
+  ConstIterator end() const {
+    return ConstIterator(this, kInvalidPageId, 0);
+  }
+
+  // First position with key() >= key (end() if none).
+  ConstIterator LowerBound(const Key& key) const {
+    return Bound(key, /*strictly_greater=*/false);
+  }
+  // First position with key() > key (end() if none).
+  ConstIterator UpperBound(const Key& key) const {
+    return Bound(key, /*strictly_greater=*/true);
+  }
+
+ private:
+  friend class ConstIterator;
+
+  BufferPool::PageRef MustFetch(PageId id) const {
+    BufferPool::PageRef ref;
+    std::string error;
+    GEACC_CHECK(pool_->Fetch(id, &ref, &error)) << error;
+    return ref;
+  }
+
+  static Key ReadKeyAt(const uint8_t* base, size_t index) {
+    Key out;
+    std::memcpy(&out, base + index * sizeof(Key), sizeof(Key));
+    return out;
+  }
+
+  // Descends to the leaf whose range covers `key` (rightmost child past
+  // every separator <= key), mirroring the in-memory FindLeaf.
+  PageId FindLeaf(const Key& key) const {
+    if (root_ == kInvalidPageId) return kInvalidPageId;
+    PageId page = root_;
+    for (int level = height_; level > 1; --level) {
+      BufferPool::PageRef ref = MustFetch(page);
+      GEACC_CHECK(ref.type() == kPageTypeInternal);
+      InternalHeader header;
+      std::memcpy(&header, ref.data(), sizeof(header));
+      const uint8_t* separators = ref.data() + sizeof(InternalHeader);
+      uint32_t child = 0;
+      while (child + 1 < header.count &&
+             !(key < ReadKeyAt(separators, child))) {
+        ++child;
+      }
+      const uint8_t* children =
+          ref.data() + sizeof(InternalHeader) +
+          static_cast<size_t>(internal_capacity_ - 1) * sizeof(Key);
+      PageId next;
+      std::memcpy(&next, children + child * sizeof(PageId), sizeof(next));
+      page = next;
+    }
+    return page;
+  }
+
+  ConstIterator Bound(const Key& key, bool strictly_greater) const {
+    PageId leaf = FindLeaf(key);
+    if (leaf == kInvalidPageId) return end();
+    // For LowerBound, equal keys may extend into preceding leaves when a
+    // separator equals `key`; walk back while the previous leaf still
+    // ends with a qualifying key.
+    if (!strictly_greater) {
+      for (;;) {
+        BufferPool::PageRef ref = MustFetch(leaf);
+        LeafHeader header;
+        std::memcpy(&header, ref.data(), sizeof(header));
+        if (header.prev == kInvalidPageId) break;
+        ref.Release();
+        BufferPool::PageRef prev = MustFetch(header.prev);
+        LeafHeader prev_header;
+        std::memcpy(&prev_header, prev.data(), sizeof(prev_header));
+        if (prev_header.count == 0 ||
+            ReadKeyAt(prev.data() + sizeof(LeafHeader),
+                      prev_header.count - 1) < key) {
+          break;
+        }
+        leaf = header.prev;
+      }
+    }
+    // Scan forward from the landing leaf for the first qualifying slot.
+    while (leaf != kInvalidPageId) {
+      BufferPool::PageRef ref = MustFetch(leaf);
+      LeafHeader header;
+      std::memcpy(&header, ref.data(), sizeof(header));
+      const uint8_t* keys = ref.data() + sizeof(LeafHeader);
+      // Binary search within the leaf.
+      uint32_t lo = 0;
+      uint32_t hi = header.count;
+      while (lo < hi) {
+        const uint32_t mid = (lo + hi) / 2;
+        const Key probe = ReadKeyAt(keys, mid);
+        const bool goes_right =
+            strictly_greater ? !(key < probe) : probe < key;
+        if (goes_right) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < header.count) {
+        return ConstIterator(this, leaf, static_cast<int>(lo));
+      }
+      leaf = header.next;
+    }
+    return end();
+  }
+
+  PageFile* file_;
+  BufferPool* pool_;
+  int leaf_capacity_ = 0;
+  int internal_capacity_ = 0;
+
+  PageId root_ = kInvalidPageId;
+  PageId first_leaf_ = kInvalidPageId;
+  PageId last_leaf_ = kInvalidPageId;
+  int64_t size_ = 0;
+  int height_ = 0;
+};
+
+template <typename Key, typename Value>
+bool PagedBPlusTree<Key, Value>::Build(
+    const std::vector<std::pair<Key, Value>>& entries, std::string* error) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    GEACC_DCHECK(!(entries[i].first < entries[i - 1].first))
+        << "Build input must be sorted";
+  }
+  root_ = first_leaf_ = last_leaf_ = kInvalidPageId;
+  size_ = static_cast<int64_t>(entries.size());
+  height_ = 0;
+
+  PageFile::Meta meta;
+  meta.user[5] = (static_cast<uint64_t>(sizeof(Key)) << 32) |
+                 static_cast<uint64_t>(sizeof(Value));
+  if (!entries.empty()) {
+    // Leaf level: fully packed (the tree is immutable, no insert slack).
+    const size_t per_leaf = static_cast<size_t>(leaf_capacity_);
+    const size_t leaf_count = (entries.size() + per_leaf - 1) / per_leaf;
+    std::vector<std::pair<Key, PageId>> level;  // (head key, page id)
+    level.reserve(leaf_count);
+    for (size_t start = 0; start < entries.size(); start += per_leaf) {
+      BufferPool::PageRef ref;
+      if (!pool_->Create(kPageTypeLeaf, &ref, error)) return false;
+      const size_t stop = std::min(entries.size(), start + per_leaf);
+      LeafHeader header;
+      header.count = static_cast<uint32_t>(stop - start);
+      header.prev = level.empty() ? kInvalidPageId : level.back().second;
+      header.next = stop < entries.size() ? ref.id() + 1 : kInvalidPageId;
+      std::memcpy(ref.data(), &header, sizeof(header));
+      uint8_t* keys = ref.data() + sizeof(LeafHeader);
+      uint8_t* values = keys + per_leaf * sizeof(Key);
+      for (size_t i = start; i < stop; ++i) {
+        std::memcpy(keys + (i - start) * sizeof(Key), &entries[i].first,
+                    sizeof(Key));
+        std::memcpy(values + (i - start) * sizeof(Value),
+                    &entries[i].second, sizeof(Value));
+      }
+      ref.set_payload_bytes(file_->payload_capacity());
+      ref.MarkDirty();
+      if (first_leaf_ == kInvalidPageId) first_leaf_ = ref.id();
+      last_leaf_ = ref.id();
+      level.emplace_back(entries[start].first, ref.id());
+    }
+    // Consecutive Create() calls allocate consecutive ids, which is what
+    // the precomputed `next` links above assumed.
+    GEACC_CHECK(last_leaf_ == first_leaf_ + leaf_count - 1);
+    height_ = 1;
+
+    // Internal levels, bottom-up.
+    while (level.size() > 1) {
+      std::vector<std::pair<Key, PageId>> parents;
+      const size_t fanout = static_cast<size_t>(internal_capacity_);
+      parents.reserve((level.size() + fanout - 1) / fanout);
+      for (size_t start = 0; start < level.size(); start += fanout) {
+        BufferPool::PageRef ref;
+        if (!pool_->Create(kPageTypeInternal, &ref, error)) return false;
+        const size_t stop = std::min(level.size(), start + fanout);
+        InternalHeader header;
+        header.count = static_cast<uint32_t>(stop - start);
+        std::memcpy(ref.data(), &header, sizeof(header));
+        uint8_t* separators = ref.data() + sizeof(InternalHeader);
+        uint8_t* children =
+            separators +
+            static_cast<size_t>(internal_capacity_ - 1) * sizeof(Key);
+        for (size_t i = start; i < stop; ++i) {
+          if (i > start) {
+            std::memcpy(separators + (i - start - 1) * sizeof(Key),
+                        &level[i].first, sizeof(Key));
+          }
+          std::memcpy(children + (i - start) * sizeof(PageId),
+                      &level[i].second, sizeof(PageId));
+        }
+        ref.set_payload_bytes(file_->payload_capacity());
+        ref.MarkDirty();
+        parents.emplace_back(level[start].first, ref.id());
+      }
+      level = std::move(parents);
+      ++height_;
+    }
+    root_ = level.front().second;
+  }
+
+  if (!pool_->FlushAll(error)) return false;
+  meta.data_pages = file_->allocated_pages();
+  meta.user[0] = root_;
+  meta.user[1] = static_cast<uint64_t>(height_);
+  meta.user[2] = static_cast<uint64_t>(size_);
+  meta.user[3] = first_leaf_;
+  meta.user[4] = last_leaf_;
+  return file_->Commit(meta, error);
+}
+
+template <typename Key, typename Value>
+bool PagedBPlusTree<Key, Value>::Attach(std::string* error) {
+  const PageFile::Meta& meta = file_->meta();
+  const uint64_t format = (static_cast<uint64_t>(sizeof(Key)) << 32) |
+                          static_cast<uint64_t>(sizeof(Value));
+  if (meta.user[5] != format) {
+    if (error != nullptr) {
+      *error = "page file does not hold a tree of this key/value type";
+    }
+    return false;
+  }
+  root_ = static_cast<PageId>(meta.user[0]);
+  height_ = static_cast<int>(meta.user[1]);
+  size_ = static_cast<int64_t>(meta.user[2]);
+  first_leaf_ = static_cast<PageId>(meta.user[3]);
+  last_leaf_ = static_cast<PageId>(meta.user[4]);
+  if (size_ == 0) return true;
+  if (root_ >= meta.data_pages || first_leaf_ >= meta.data_pages ||
+      last_leaf_ >= meta.data_pages || height_ < 1) {
+    if (error != nullptr) *error = "tree meta references missing pages";
+    return false;
+  }
+  BufferPool::PageRef ref;
+  if (!pool_->Fetch(root_, &ref, error)) return false;
+  const uint16_t expected =
+      height_ == 1 ? kPageTypeLeaf : kPageTypeInternal;
+  if (ref.type() != expected) {
+    if (error != nullptr) *error = "tree root has the wrong page type";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace geacc::storage
+
+#endif  // GEACC_STORAGE_PAGED_BPLUS_TREE_H_

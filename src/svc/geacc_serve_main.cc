@@ -4,8 +4,9 @@
 // fallback solver, then serves svc/wire traffic on 127.0.0.1:--port until
 // SIGINT/SIGTERM (or --duration_s elapses). If --wal names an existing
 // log, the service recovers from it instead of regenerating — restart
-// with the same --wal to resume where the last run stopped. Pair with
-// bench/loadgen:
+// with the same --wal to resume where the last run stopped; add
+// --checkpoint to bound recovery to the WAL suffix past the last paged
+// checkpoint (DESIGN.md §14). Pair with bench/loadgen:
 //
 //   geacc_serve --port 7411 --events 500 --users 10000 &
 //   loadgen --port 7411 --threads 4 --duration_s 5 --json report.json
@@ -43,7 +44,11 @@ int main(int argc, char** argv) {
   int batch_size = 64;
   int queue_depth = 1024;
   std::string wal;
+  std::string checkpoint;
+  int64_t checkpoint_every = 64;
   std::string index = "linear";
+  int64_t storage_budget_mb = 16;
+  std::string storage_dir;
   std::string fallback = "greedy";
   int64_t repair_budget = 0;
   double drift_threshold = 0.1;
@@ -64,7 +69,17 @@ int main(int argc, char** argv) {
   flags.AddInt("queue_depth", &queue_depth,
                "submit queue bound (full => overloaded)");
   flags.AddString("wal", &wal, "WAL path for crash recovery (empty = off)");
+  flags.AddString("checkpoint", &checkpoint,
+                  "paged checkpoint path (DESIGN.md §14): recovery replays "
+                  "only the WAL suffix past it (empty = full replay)");
+  flags.AddInt("checkpoint_every", &checkpoint_every,
+               "applied batches between checkpoints");
   flags.AddString("index", &index, "repair k-NN backend");
+  flags.AddInt("storage_budget_mb", &storage_budget_mb,
+               "idistance-paged only: buffer-pool budget in MiB");
+  flags.AddString("storage_dir", &storage_dir,
+                  "idistance-paged only: temp page-file directory "
+                  "(default: TMPDIR or /tmp)");
   flags.AddString("fallback", &fallback, "full-resolve solver");
   flags.AddInt("repair_budget", &repair_budget,
                "cursor steps per repair (0 = unlimited)");
@@ -77,7 +92,12 @@ int main(int argc, char** argv) {
   options.batch_size = batch_size;
   options.queue_depth = queue_depth;
   options.wal_path = wal;
+  options.paged_checkpoint_path = checkpoint;
+  options.checkpoint_interval_batches = static_cast<int>(checkpoint_every);
   options.repair.index = index;
+  options.repair.storage_budget_bytes =
+      static_cast<uint64_t>(storage_budget_mb) << 20;
+  options.repair.storage_dir = storage_dir;
   options.repair.fallback_solver = fallback;
   options.repair.repair_budget = repair_budget;
   options.repair.drift_threshold = drift_threshold;

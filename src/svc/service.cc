@@ -5,8 +5,10 @@
 #include <cmath>
 #include <utility>
 
+#include "core/similarity.h"
 #include "obs/stats.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace geacc::svc {
@@ -139,6 +141,46 @@ ArrangementService::ArrangementService(const Instance& initial,
     GEACC_CHECK(wal_.Open(options_.wal_path, initial, &error))
         << "wal: " << error;
   }
+  OpenPagedCheckpointStore();
+}
+
+ArrangementService::ArrangementService(
+    std::unique_ptr<DynamicInstance> instance, ServiceOptions options)
+    : options_(std::move(options)), instance_(std::move(instance)) {
+  GEACC_CHECK(options_.batch_size >= 1) << "batch_size must be >= 1";
+  GEACC_CHECK(options_.queue_depth >= 1) << "queue_depth must be >= 1";
+  arranger_ =
+      std::make_unique<IncrementalArranger>(instance_.get(), options_.repair);
+}
+
+void ArrangementService::OpenPagedCheckpointStore() {
+  if (options_.paged_checkpoint_path.empty()) return;
+  GEACC_CHECK(options_.checkpoint_interval_batches >= 1)
+      << "checkpoint_interval_batches must be >= 1";
+  std::string error;
+  paged_checkpoint_ = PagedCheckpointStore::Open(
+      options_.paged_checkpoint_path, options_.checkpoint_page_size, &error);
+  if (paged_checkpoint_ == nullptr) {
+    GEACC_LOG(WARNING) << "paged checkpoint disabled: " << error;
+  }
+}
+
+void ArrangementService::WritePagedCheckpoint() {
+  if (paged_checkpoint_ == nullptr) return;
+  ServiceState state;
+  state.similarity_name = instance_->similarity().Name();
+  state.similarity_param = instance_->similarity().Param();
+  state.slot = instance_->ExportSlotState();
+  state.arranger = arranger_->ExportState();
+  PagedCheckpointStore::WriteStats write_stats;
+  std::string error;
+  if (!paged_checkpoint_->Write(state, wal_mutations_, &write_stats,
+                                &error)) {
+    GEACC_LOG(WARNING) << "paged checkpoint write failed (WAL still "
+                       << "authoritative): " << error;
+    return;
+  }
+  batches_since_checkpoint_ = 0;
 }
 
 ArrangementService::ArrangementService(const Instance& initial,
@@ -146,6 +188,67 @@ ArrangementService::ArrangementService(const Instance& initial,
     : ArrangementService(initial, std::move(options), /*fresh_wal=*/true) {
   PublishInitial();
   StartWriter();
+}
+
+std::unique_ptr<ArrangementService>
+ArrangementService::TryRecoverFromPagedCheckpoint(
+    const ServiceOptions& options, const WalContents& contents) {
+  std::string error;
+  std::unique_ptr<PagedCheckpointStore> store = PagedCheckpointStore::Open(
+      options.paged_checkpoint_path, options.checkpoint_page_size, &error);
+  if (store == nullptr) return nullptr;
+  ServiceState state;
+  int64_t applied = 0;
+  if (!store->Read(&state, &applied, &error)) {
+    GEACC_LOG(INFO) << "paged checkpoint unusable (" << error
+                    << "); recovering by full WAL replay";
+    return nullptr;
+  }
+  if (applied < 0 ||
+      applied > static_cast<int64_t>(contents.mutations.size())) {
+    // The checkpoint is ahead of this WAL — wrong file pairing.
+    GEACC_LOG(WARNING) << "paged checkpoint covers " << applied
+                       << " mutations but the WAL holds "
+                       << contents.mutations.size()
+                       << "; recovering by full WAL replay";
+    return nullptr;
+  }
+  std::unique_ptr<SimilarityFunction> similarity =
+      MakeSimilarity(state.similarity_name, state.similarity_param);
+  if (similarity == nullptr ||
+      similarity->Name() != contents.initial.similarity().Name()) {
+    return nullptr;
+  }
+  std::optional<DynamicInstance> instance = DynamicInstance::FromSlotState(
+      std::move(state.slot), std::move(similarity), &error);
+  if (!instance) {
+    GEACC_LOG(WARNING) << "paged checkpoint instance rejected: " << error;
+    return nullptr;
+  }
+  auto service = std::unique_ptr<ArrangementService>(new ArrangementService(
+      std::make_unique<DynamicInstance>(*std::move(instance)), options));
+  error = service->arranger_->RestoreState(state.arranger);
+  if (!error.empty()) {
+    GEACC_LOG(WARNING) << "paged checkpoint arrangement rejected: " << error;
+    return nullptr;
+  }
+  // Replay only the suffix the checkpoint does not cover.
+  for (size_t i = static_cast<size_t>(applied); i < contents.mutations.size();
+       ++i) {
+    service->arranger_->Apply(contents.mutations[i]);
+  }
+  service->paged_checkpoint_ = std::move(store);
+  if (static_cast<size_t>(applied) < contents.mutations.size()) {
+    // The store is behind the WAL; make sure Stop() (or the next batch)
+    // freshens it even if no further batches arrive.
+    service->batches_since_checkpoint_ = 1;
+  }
+  GEACC_STATS_ADD("svc.ckpt.recoveries", 1);
+  GEACC_LOG(INFO) << "recovered from paged checkpoint: " << applied
+                  << " mutations skipped, "
+                  << contents.mutations.size() - static_cast<size_t>(applied)
+                  << " replayed";
+  return service;
 }
 
 std::unique_ptr<ArrangementService> ArrangementService::Recover(
@@ -158,13 +261,22 @@ std::unique_ptr<ArrangementService> ArrangementService::Recover(
   if (!contents) return nullptr;
 
   const std::string wal_path = options.wal_path;
-  auto service = std::unique_ptr<ArrangementService>(new ArrangementService(
-      contents->initial, std::move(options), /*fresh_wal=*/false));
-  // The WAL holds exactly the applied sequence; repair is deterministic, so
-  // replaying it lands on the crashed process's arrangement bit-for-bit.
-  for (const Mutation& mutation : contents->mutations) {
-    service->arranger_->Apply(mutation);
+  std::unique_ptr<ArrangementService> service;
+  if (!options.paged_checkpoint_path.empty()) {
+    service = TryRecoverFromPagedCheckpoint(options, *contents);
   }
+  if (service == nullptr) {
+    service = std::unique_ptr<ArrangementService>(new ArrangementService(
+        contents->initial, std::move(options), /*fresh_wal=*/false));
+    // The WAL holds exactly the applied sequence; repair is deterministic,
+    // so replaying it lands on the crashed process's arrangement
+    // bit-for-bit.
+    for (const Mutation& mutation : contents->mutations) {
+      service->arranger_->Apply(mutation);
+    }
+  }
+  service->wal_mutations_ =
+      static_cast<int64_t>(contents->mutations.size());
   if (contents->dropped_tail_lines > 0) {
     // A torn final line is still sitting in the file; appending after it
     // would fuse the next mutation onto the fragment. Rewrite the WAL
@@ -234,6 +346,12 @@ void ArrangementService::Stop() {
   }
   queue_cv_.notify_all();
   if (writer_.joinable()) writer_.join();
+  // The writer is gone, so touching its state is safe. A final checkpoint
+  // makes the next Recover() suffix empty (clean shutdown = O(dirty
+  // pages) restart).
+  if (paged_checkpoint_ != nullptr && batches_since_checkpoint_ > 0) {
+    WritePagedCheckpoint();
+  }
   wal_.Close();
 }
 
@@ -274,7 +392,10 @@ void ArrangementService::ApplyBatch(std::vector<PendingMutation> batch) {
         continue;
       }
       arranger_->Apply(pending.mutation);
-      if (wal_.is_open()) wal_.Append(pending.mutation);
+      if (wal_.is_open()) {
+        wal_.Append(pending.mutation);
+        ++wal_mutations_;
+      }
       GEACC_STATS_ADD("svc.mutations_applied", 1);
     }
     if (wal_.is_open()) wal_.Sync();
@@ -302,6 +423,14 @@ void ArrangementService::ApplyBatch(std::vector<PendingMutation> batch) {
     }
   }
   applied_cv_.notify_all();
+
+  // Checkpoint after publishing so readers never wait on checkpoint IO.
+  // The WAL batch above is already durable, so a crash mid-checkpoint
+  // loses nothing.
+  if (paged_checkpoint_ != nullptr &&
+      ++batches_since_checkpoint_ >= options_.checkpoint_interval_batches) {
+    WritePagedCheckpoint();
+  }
 }
 
 SvcStatus ArrangementService::GetAssignments(UserId user,

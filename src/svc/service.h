@@ -46,6 +46,7 @@
 #include "dyn/dynamic_instance.h"
 #include "dyn/incremental_arranger.h"
 #include "dyn/mutation.h"
+#include "svc/paged_checkpoint.h"
 #include "svc/snapshot.h"
 #include "svc/wal.h"
 
@@ -80,6 +81,15 @@ struct ServiceOptions {
   // Append applied mutations to this WAL for crash recovery; empty
   // disables durability.
   std::string wal_path;
+
+  // Page-based checkpoint file (svc/paged_checkpoint.h): written every
+  // `checkpoint_interval_batches` applied batches and at Stop(), read by
+  // Recover() to skip replaying the WAL prefix it covers. Empty disables
+  // checkpointing (recovery then replays the full WAL). Only meaningful
+  // together with wal_path — the WAL remains the source of truth.
+  std::string paged_checkpoint_path;
+  int checkpoint_interval_batches = 64;
+  uint32_t checkpoint_page_size = 8192;
 
   // Test-only fault injection: stall the writer this long per batch, to
   // make backpressure observable on fast machines.
@@ -130,6 +140,13 @@ class ArrangementService {
   // a fresh repair engine (same options ⇒ bit-identical state), then
   // resumes appending to the same WAL. Returns nullptr with a diagnostic
   // if the WAL is unreadable. `options.wal_path` must name the WAL.
+  //
+  // When options.paged_checkpoint_path holds a readable checkpoint,
+  // recovery restores the checkpointed state directly and replays only
+  // the WAL suffix past it — O(dirty state + suffix) instead of
+  // O(history) — landing on the identical bits either way. Any checkpoint
+  // problem (torn write, truncation, stale format) silently degrades to
+  // the full replay.
   static std::unique_ptr<ArrangementService> Recover(
       ServiceOptions options, std::string* error = nullptr);
 
@@ -194,6 +211,25 @@ class ArrangementService {
   ArrangementService(const Instance& initial, ServiceOptions options,
                      bool fresh_wal);
 
+  // Checkpoint-recovery path: adopts an already-restored instance; the
+  // arranger starts empty (the caller restores its state next). Never
+  // bootstraps or touches the WAL/checkpoint files.
+  ArrangementService(std::unique_ptr<DynamicInstance> instance,
+                     ServiceOptions options);
+
+  // Attempts the checkpoint fast path; returns nullptr when the
+  // checkpoint is unusable (caller falls back to full replay).
+  static std::unique_ptr<ArrangementService> TryRecoverFromPagedCheckpoint(
+      const ServiceOptions& options, const WalContents& contents);
+
+  // Opens options_.paged_checkpoint_path (no-op when unset); a failed
+  // open logs and disables checkpointing rather than failing the service.
+  void OpenPagedCheckpointStore();
+
+  // Writer-thread only: serialize the live state into the store. Failures
+  // are logged and swallowed — the WAL still covers everything.
+  void WritePagedCheckpoint();
+
   void PublishInitial();
   void StartWriter();
   void WriterLoop();
@@ -205,6 +241,9 @@ class ArrangementService {
   std::unique_ptr<DynamicInstance> instance_;     // writer thread only
   std::unique_ptr<IncrementalArranger> arranger_;  // writer thread only
   WalWriter wal_;                                  // writer thread only
+  std::unique_ptr<PagedCheckpointStore> paged_checkpoint_;  // writer only
+  int64_t wal_mutations_ = 0;           // applied mutations in the WAL
+  int batches_since_checkpoint_ = 0;    // writer thread only
 
   std::atomic<std::shared_ptr<const ServiceSnapshot>> snapshot_;
 

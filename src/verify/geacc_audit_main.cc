@@ -175,6 +175,9 @@ int main(int argc, char** argv) {
                "run the incremental-repair differential every k instances");
   flags.AddInt("wal_period", &config.wal_period,
                "run the WAL-recovery differential every k instances");
+  flags.AddInt("paged_period", &config.paged_period,
+               "run the paged-vs-in-memory greedy differential every k "
+               "instances (0 = never)");
   flags.AddBool("shrink", &config.shrink,
                 "delta-debug failing instances to minimal repros");
   flags.AddInt("shrink_calls", &config.shrink_options.max_predicate_calls,

@@ -110,6 +110,23 @@ BenchReport MakeReport() {
   return report;
 }
 
+BenchReport MakeStorageReport() {
+  BenchReport report = MakeReport();
+  report.bench = "micro_storage";
+  BenchPoint& point = report.points[0];
+  point.label = "knn/paged";
+  point.solver = "idistance-paged";
+  point.has_storage = true;
+  point.storage.budget_bytes = 8ull << 20;
+  point.storage.page_size = 4096;
+  point.storage.file_bytes = 32ull << 20;
+  point.storage.hits = 91824;
+  point.storage.faults = 8112;
+  point.storage.evictions = 8100;
+  point.storage.flushes = 0;
+  return report;
+}
+
 TEST(BenchReportTest, ToJsonValidates) {
   std::string error;
   EXPECT_TRUE(ValidateBenchReport(MakeReport().ToJson(), &error)) << error;
@@ -139,6 +156,60 @@ TEST(BenchReportTest, RoundTripPreservesEverything) {
   ASSERT_EQ(point.timers.count("prune.search"), 1u);
   EXPECT_EQ(point.timers.at("prune.search").seconds, 0.0119);
   EXPECT_EQ(point.timers.at("prune.search").count, 1);
+}
+
+TEST(BenchReportTest, StorageSectionRoundTripsAndValidates) {
+  const BenchReport original = MakeStorageReport();
+  std::string error;
+  ASSERT_TRUE(ValidateBenchReport(original.ToJson(), &error)) << error;
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(original.ToJson().Dump(2), &parsed, &error))
+      << error;
+  BenchReport loaded;
+  ASSERT_TRUE(loaded.FromJson(parsed, &error)) << error;
+  ASSERT_EQ(loaded.points.size(), 1u);
+  const BenchPoint& point = loaded.points[0];
+  ASSERT_TRUE(point.has_storage);
+  EXPECT_EQ(point.storage.budget_bytes, 8ull << 20);
+  EXPECT_EQ(point.storage.page_size, 4096u);
+  EXPECT_EQ(point.storage.file_bytes, 32ull << 20);
+  EXPECT_EQ(point.storage.hits, 91824);
+  EXPECT_EQ(point.storage.faults, 8112);
+  EXPECT_EQ(point.storage.evictions, 8100);
+  EXPECT_EQ(point.storage.flushes, 0);
+
+  // A point without the section stays section-free after a round trip.
+  BenchReport plain;
+  ASSERT_TRUE(plain.FromJson(MakeReport().ToJson(), &error)) << error;
+  ASSERT_EQ(plain.points.size(), 1u);
+  EXPECT_FALSE(plain.points[0].has_storage);
+}
+
+TEST(BenchReportTest, SchemaRejectsMalformedStorageSection) {
+  std::string error;
+
+  // Negative counter.
+  BenchReport negative = MakeStorageReport();
+  negative.points[0].storage.faults = -1;
+  EXPECT_FALSE(ValidateBenchReport(negative.ToJson(), &error));
+  EXPECT_NE(error.find("faults"), std::string::npos) << error;
+
+  // Missing member.
+  JsonValue json = MakeStorageReport().ToJson();
+  JsonValue* storage = json.Find("points")->items()[0].Find("storage");
+  ASSERT_NE(storage, nullptr);
+  JsonValue stripped = JsonValue::Object();
+  for (const auto& [name, value] : storage->members()) {
+    if (name != "page_size") stripped.Set(name, value);
+  }
+  json.Find("points")->items()[0].Set("storage", std::move(stripped));
+  EXPECT_FALSE(ValidateBenchReport(json, &error));
+
+  // Wrong shape entirely.
+  JsonValue scalar = MakeStorageReport().ToJson();
+  scalar.Find("points")->items()[0].Set("storage", "not-an-object");
+  EXPECT_FALSE(ValidateBenchReport(scalar, &error));
 }
 
 TEST(BenchReportTest, SchemaRejectsWrongLiterals) {

@@ -1,0 +1,161 @@
+// Fuzzes the B+-tree iterator invalidation contract (container/
+// bplus_tree.h): interleaves Inserts with live cursors, checks that the
+// documented re-seek idiom (UpperBound(last key seen)) always produces
+// the std::multimap enumeration, and — in debug builds — that using a
+// stale iterator trips the version-stamp GEACC_DCHECK instead of reading
+// freed memory.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "container/bplus_tree.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+using Tree = BPlusTree<int, int, 8>;  // tiny fanout: splits every few inserts
+using Reference = std::multimap<int, int>;
+
+std::vector<std::pair<int, int>> Drain(const Tree& tree) {
+  std::vector<std::pair<int, int>> out;
+  for (auto it = tree.begin(); it != tree.end(); ++it) {
+    out.emplace_back(it.key(), it.value());
+  }
+  return out;
+}
+
+void ExpectMatchesReference(const Tree& tree, const Reference& reference) {
+  const auto drained = Drain(tree);
+  ASSERT_EQ(drained.size(), reference.size());
+  size_t i = 0;
+  for (const auto& [key, value] : reference) {
+    ASSERT_EQ(drained[i].first, key) << "position " << i;
+    // Values of equal keys may differ in order between multimap and the
+    // tree only if insertion order were not preserved; both promise
+    // equal-key FIFO, so values must match exactly too.
+    ASSERT_EQ(drained[i].second, value) << "position " << i;
+    ++i;
+  }
+}
+
+TEST(BPlusCursorFuzz, ReseekCursorsSurviveInterleavedInserts) {
+  Rng rng(20240807);
+  for (int round = 0; round < 20; ++round) {
+    Tree tree;
+    Reference reference;
+
+    // Optionally start from a bulk load.
+    if (round % 2 == 1) {
+      std::vector<std::pair<int, int>> seed;
+      for (int i = 0; i < 50; ++i) {
+        seed.emplace_back(static_cast<int>(rng.UniformInt(0, 30)), i);
+      }
+      std::sort(seed.begin(), seed.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      tree.BulkLoad(seed);
+      for (const auto& [k, v] : seed) reference.emplace(k, v);
+    }
+
+    int next_value = 1000;
+    for (int step = 0; step < 300; ++step) {
+      const int key = static_cast<int>(rng.UniformInt(0, 40));
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+        case 1: {  // insert; every live iterator is now invalid
+          tree.Insert(key, next_value);
+          reference.emplace(key, next_value);
+          ++next_value;
+          break;
+        }
+        case 2: {  // cursor walk: scan forward a bit, re-seek, continue
+          auto it = tree.LowerBound(key);
+          auto expected = reference.lower_bound(key);
+          int hops = static_cast<int>(rng.UniformInt(0, 5));
+          int last_key = 0;
+          bool have_last = false;
+          while (hops-- > 0 && it != tree.end()) {
+            ASSERT_TRUE(expected != reference.end());
+            ASSERT_EQ(it.key(), expected->first);
+            ASSERT_EQ(it.value(), expected->second);
+            last_key = it.key();
+            have_last = true;
+            ++it;
+            ++expected;
+          }
+          if (have_last) {
+            // The documented survival idiom: after any mutation a cursor
+            // would re-seek like this; verify it resumes exactly where
+            // the multimap does even with duplicate keys at last_key.
+            auto resumed = tree.UpperBound(last_key);
+            auto expected_resume = reference.upper_bound(last_key);
+            if (expected_resume == reference.end()) {
+              EXPECT_TRUE(resumed == tree.end());
+            } else {
+              ASSERT_TRUE(resumed != tree.end());
+              EXPECT_EQ(resumed.key(), expected_resume->first);
+              EXPECT_EQ(resumed.value(), expected_resume->second);
+            }
+          }
+          break;
+        }
+        default: {  // backward walk from an upper bound
+          auto it = tree.UpperBound(key);
+          auto expected = reference.upper_bound(key);
+          int hops = static_cast<int>(rng.UniformInt(0, 5));
+          while (hops-- > 0 && it != tree.begin()) {
+            ASSERT_TRUE(expected != reference.begin());
+            --it;
+            --expected;
+            ASSERT_EQ(it.key(), expected->first);
+            ASSERT_EQ(it.value(), expected->second);
+          }
+          break;
+        }
+      }
+    }
+    ExpectMatchesReference(tree, reference);
+    tree.DebugValidate();
+  }
+}
+
+TEST(BPlusCursorFuzz, EqualKeyRunsPreserveInsertionOrderAcrossSplits) {
+  Tree tree;
+  Reference reference;
+  // Hammer three keys so runs of duplicates repeatedly straddle splits.
+  for (int i = 0; i < 200; ++i) {
+    const int key = i % 3;
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  ExpectMatchesReference(tree, reference);
+}
+
+#ifndef NDEBUG
+
+TEST(BPlusCursorFuzzDeathTest, StaleIteratorDereferenceIsCaught) {
+  Tree tree;
+  for (int i = 0; i < 20; ++i) tree.Insert(i, i);
+  auto it = tree.begin();
+  tree.Insert(100, 100);
+  EXPECT_DEATH((void)it.key(), "invalidated");
+  EXPECT_DEATH(++it, "invalidated");
+  EXPECT_DEATH(--it, "invalidated");
+}
+
+TEST(BPlusCursorFuzzDeathTest, BulkLoadInvalidatesEndIterator) {
+  Tree tree;
+  tree.Insert(1, 1);
+  auto it = tree.end();
+  tree.BulkLoad({{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_DEATH(--it, "invalidated");
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace geacc

@@ -1,0 +1,445 @@
+// Storage engine core (DESIGN.md §14): page file layout + checksums +
+// superblock alternation, buffer pool budget/eviction/pinning, and the
+// paged B+-tree against its in-memory sibling.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "container/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/paged_bplus_tree.h"
+
+namespace geacc::storage {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  static int counter = 0;
+  return testing::TempDir() + "/geacc_storage_test_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+         ".pages";
+}
+
+class ScopedFile {
+ public:
+  explicit ScopedFile(std::string path) : path_(std::move(path)) {}
+  ~ScopedFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(PageFile, CreateWriteReadRoundtrip) {
+  ScopedFile file(TempPath("roundtrip"));
+  std::string error;
+  auto pf = PageFile::Create(file.path(), 512, &error);
+  ASSERT_NE(pf, nullptr) << error;
+  EXPECT_EQ(pf->page_size(), 512u);
+  EXPECT_EQ(pf->payload_capacity(), 512u - sizeof(PageHeader));
+  EXPECT_EQ(pf->generation(), 1u);
+  EXPECT_EQ(pf->meta().data_pages, 0u);
+
+  std::vector<uint8_t> payload(pf->payload_capacity());
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  const PageId id = pf->Allocate();
+  ASSERT_TRUE(pf->WritePage(id, kPageTypeLeaf, payload.data(), 100, &error))
+      << error;
+  PageFile::Meta meta;
+  meta.data_pages = 1;
+  meta.applied_seq = 42;
+  meta.user[0] = 7;
+  ASSERT_TRUE(pf->Commit(meta, &error)) << error;
+  pf.reset();
+
+  pf = PageFile::Open(file.path(), &error);
+  ASSERT_NE(pf, nullptr) << error;
+  EXPECT_EQ(pf->generation(), 2u);
+  EXPECT_EQ(pf->meta().data_pages, 1u);
+  EXPECT_EQ(pf->meta().applied_seq, 42);
+  EXPECT_EQ(pf->meta().user[0], 7u);
+  std::vector<uint8_t> read_back(pf->payload_capacity());
+  uint16_t type = 0;
+  uint32_t bytes = 0;
+  ASSERT_TRUE(pf->ReadPage(0, read_back.data(), &type, &bytes, &error))
+      << error;
+  EXPECT_EQ(type, kPageTypeLeaf);
+  EXPECT_EQ(bytes, 100u);
+  EXPECT_EQ(std::memcmp(read_back.data(), payload.data(), 100), 0);
+}
+
+TEST(PageFile, RejectsBadPageSizes) {
+  std::string error;
+  EXPECT_EQ(PageFile::Create(TempPath("bad1"), 100, &error), nullptr);
+  EXPECT_EQ(PageFile::Create(TempPath("bad2"), 256, &error), nullptr);
+  EXPECT_EQ(PageFile::Create(TempPath("bad3"), 1000, &error), nullptr);
+}
+
+TEST(PageFile, DetectsCorruptPage) {
+  ScopedFile file(TempPath("corrupt"));
+  std::string error;
+  auto pf = PageFile::Create(file.path(), 512, &error);
+  ASSERT_NE(pf, nullptr) << error;
+  std::vector<uint8_t> payload(pf->payload_capacity(), 0xAB);
+  pf->Allocate();
+  ASSERT_TRUE(pf->WritePage(0, kPageTypeLeaf, payload.data(),
+                            static_cast<uint32_t>(payload.size()), &error));
+  PageFile::Meta meta;
+  meta.data_pages = 1;
+  ASSERT_TRUE(pf->Commit(meta, &error));
+  pf.reset();
+
+  // Flip one payload byte of data page 0 (offset 2 * 512 + header + 10).
+  {
+    std::fstream f(file.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(2 * 512 + sizeof(PageHeader) + 10);
+    const char flipped = static_cast<char>(~0xAB);
+    f.write(&flipped, 1);
+  }
+  pf = PageFile::Open(file.path(), &error);
+  ASSERT_NE(pf, nullptr) << error;
+  uint16_t type = 0;
+  uint32_t bytes = 0;
+  EXPECT_FALSE(pf->ReadPage(0, payload.data(), &type, &bytes, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(PageFile, SuperblockAlternationSurvivesTornCommit) {
+  ScopedFile file(TempPath("torn_super"));
+  std::string error;
+  auto pf = PageFile::Create(file.path(), 512, &error);
+  ASSERT_NE(pf, nullptr) << error;
+  PageFile::Meta meta;
+  meta.applied_seq = 1;
+  ASSERT_TRUE(pf->Commit(meta, &error));  // generation 2 -> slot 0
+  meta.applied_seq = 2;
+  ASSERT_TRUE(pf->Commit(meta, &error));  // generation 3 -> slot 1
+  pf.reset();
+
+  // Tear the most recent superblock (slot 1, at offset page_size): zero a
+  // few bytes so its checksum fails. Open must fall back to slot 0.
+  {
+    std::fstream f(file.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(512 + 16);
+    const char zeros[8] = {0};
+    f.write(zeros, sizeof(zeros));
+  }
+  pf = PageFile::Open(file.path(), &error);
+  ASSERT_NE(pf, nullptr) << error;
+  EXPECT_EQ(pf->generation(), 2u);
+  EXPECT_EQ(pf->meta().applied_seq, 1);
+}
+
+TEST(PageFile, OpenFailsOnTruncatedFile) {
+  ScopedFile file(TempPath("trunc"));
+  {
+    std::ofstream f(file.path(), std::ios::binary);
+    f << "short";
+  }
+  std::string error;
+  EXPECT_EQ(PageFile::Open(file.path(), &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BufferPool, ServesHitsWithoutIo) {
+  ScopedFile file(TempPath("pool_hits"));
+  std::string error;
+  auto pf = PageFile::Create(file.path(), 512, &error);
+  ASSERT_NE(pf, nullptr) << error;
+  BufferPool pool(pf.get(), 8 * 512);
+
+  BufferPool::PageRef page;
+  ASSERT_TRUE(pool.Create(kPageTypeLeaf, &page, &error)) << error;
+  const PageId id = page.id();
+  std::memset(page.data(), 0x5A, 64);
+  page.set_payload_bytes(64);
+  page.MarkDirty();
+  page.Release();
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pool.Fetch(id, &page, &error)) << error;
+    EXPECT_EQ(page.data()[0], 0x5A);
+    page.Release();
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 5);
+  EXPECT_EQ(stats.faults, 0);  // never evicted, never re-read
+  ASSERT_TRUE(pool.FlushAll(&error)) << error;
+}
+
+TEST(BufferPool, EvictsUnderBudgetAndWritesBackDirtyPages) {
+  ScopedFile file(TempPath("pool_evict"));
+  std::string error;
+  auto pf = PageFile::Create(file.path(), 512, &error);
+  ASSERT_NE(pf, nullptr) << error;
+  BufferPool pool(pf.get(), 2 * 512);  // two frames
+  EXPECT_EQ(pool.frame_count(), 2);
+
+  // Create 8 pages through 2 frames; each must be written back on
+  // eviction and read back intact later.
+  for (int i = 0; i < 8; ++i) {
+    BufferPool::PageRef page;
+    ASSERT_TRUE(pool.Create(kPageTypeLeaf, &page, &error)) << error;
+    std::memset(page.data(), 0x10 + i, 32);
+    page.set_payload_bytes(32);
+    page.MarkDirty();
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_GE(stats.evictions, 6);
+  EXPECT_GE(stats.flushes, 6);
+  EXPECT_LE(stats.resident_bytes, 2 * 512u);
+  EXPECT_LE(stats.peak_resident_bytes, 2 * 512u);
+
+  for (int i = 0; i < 8; ++i) {
+    BufferPool::PageRef page;
+    ASSERT_TRUE(pool.Fetch(static_cast<PageId>(i), &page, &error)) << error;
+    EXPECT_EQ(page.data()[0], 0x10 + i) << "page " << i;
+    EXPECT_EQ(page.payload_bytes(), 32u);
+  }
+}
+
+TEST(BufferPool, AllPinnedIsAnErrorNotADeadlock) {
+  ScopedFile file(TempPath("pool_pinned"));
+  std::string error;
+  auto pf = PageFile::Create(file.path(), 512, &error);
+  ASSERT_NE(pf, nullptr) << error;
+  BufferPool pool(pf.get(), 2 * 512);
+
+  BufferPool::PageRef a, b, c;
+  ASSERT_TRUE(pool.Create(kPageTypeLeaf, &a, &error));
+  ASSERT_TRUE(pool.Create(kPageTypeLeaf, &b, &error));
+  EXPECT_FALSE(pool.Create(kPageTypeLeaf, &c, &error));
+  EXPECT_NE(error.find("pinned"), std::string::npos) << error;
+  // Releasing one pin frees a frame again.
+  a.Release();
+  EXPECT_TRUE(pool.Create(kPageTypeLeaf, &c, &error)) << error;
+}
+
+TEST(BufferPool, PinnedFramesSurviveEvictionPressure) {
+  ScopedFile file(TempPath("pool_pin_survive"));
+  std::string error;
+  auto pf = PageFile::Create(file.path(), 512, &error);
+  ASSERT_NE(pf, nullptr) << error;
+  BufferPool pool(pf.get(), 3 * 512);
+
+  BufferPool::PageRef pinned;
+  ASSERT_TRUE(pool.Create(kPageTypeLeaf, &pinned, &error));
+  std::memset(pinned.data(), 0x77, 16);
+  pinned.set_payload_bytes(16);
+  pinned.MarkDirty();
+  const uint8_t* stable = pinned.data();
+
+  for (int i = 0; i < 10; ++i) {
+    BufferPool::PageRef scratch;
+    ASSERT_TRUE(pool.Create(kPageTypeLeaf, &scratch, &error));
+    scratch.set_payload_bytes(0);
+  }
+  // The pinned frame was never recycled: same buffer, same contents.
+  EXPECT_EQ(pinned.data(), stable);
+  EXPECT_EQ(pinned.data()[0], 0x77);
+}
+
+// ----- paged B+-tree vs the in-memory tree -----
+
+using InMemTree = BPlusTree<double, int, 64>;
+using PagedTree = PagedBPlusTree<double, int>;
+
+struct PagedFixture {
+  ScopedFile file;
+  std::unique_ptr<PageFile> pf;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<PagedTree> tree;
+
+  PagedFixture(const std::vector<std::pair<double, int>>& entries,
+               uint64_t budget_bytes, uint32_t page_size = 512)
+      : file(TempPath("tree")) {
+    std::string error;
+    pf = PageFile::Create(file.path(), page_size, &error);
+    EXPECT_NE(pf, nullptr) << error;
+    pool = std::make_unique<BufferPool>(pf.get(), budget_bytes);
+    tree = std::make_unique<PagedTree>(pf.get(), pool.get());
+    EXPECT_TRUE(tree->Build(entries, &error)) << error;
+  }
+};
+
+std::vector<std::pair<double, int>> MakeEntries(int n, uint32_t seed,
+                                                bool with_duplicates) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<std::pair<double, int>> entries(n);
+  for (int i = 0; i < n; ++i) {
+    double key = dist(rng);
+    if (with_duplicates && i % 3 == 0) key = std::floor(key);
+    entries[i] = {key, i};
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+void ExpectSameIteration(const InMemTree& expected, const PagedTree& actual) {
+  auto e = expected.begin();
+  auto a = actual.begin();
+  int64_t count = 0;
+  while (e != expected.end() && a != actual.end()) {
+    ASSERT_EQ(e.key(), a.key()) << "at position " << count;
+    ASSERT_EQ(e.value(), a.value()) << "at position " << count;
+    ++e;
+    ++a;
+    ++count;
+  }
+  EXPECT_TRUE(e == expected.end());
+  EXPECT_TRUE(a == actual.end());
+  EXPECT_EQ(count, expected.size());
+}
+
+TEST(PagedBPlusTree, MatchesInMemoryTreeOnRandomKeys) {
+  for (const bool duplicates : {false, true}) {
+    const auto entries = MakeEntries(2000, duplicates ? 7 : 5, duplicates);
+    InMemTree expected;
+    expected.BulkLoad(entries);
+    PagedFixture paged(entries, /*budget_bytes=*/2 * 512);
+    ASSERT_EQ(paged.tree->size(), expected.size());
+
+    ExpectSameIteration(expected, *paged.tree);
+
+    // Bounds must land on the same (key, value) position for probe keys
+    // between, at, and outside the stored keys.
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<double> dist(-5.0, 105.0);
+    std::vector<double> probes;
+    for (int i = 0; i < 200; ++i) probes.push_back(dist(rng));
+    for (const auto& [key, value] : entries) {
+      if (probes.size() >= 400) break;
+      probes.push_back(key);  // exact hits, incl. duplicated keys
+    }
+    for (const double probe : probes) {
+      auto e = expected.LowerBound(probe);
+      auto a = paged.tree->LowerBound(probe);
+      if (e == expected.end()) {
+        EXPECT_TRUE(a == paged.tree->end()) << "LowerBound(" << probe << ")";
+      } else {
+        ASSERT_TRUE(a != paged.tree->end()) << "LowerBound(" << probe << ")";
+        EXPECT_EQ(e.key(), a.key());
+        EXPECT_EQ(e.value(), a.value());
+      }
+      e = expected.UpperBound(probe);
+      a = paged.tree->UpperBound(probe);
+      if (e == expected.end()) {
+        EXPECT_TRUE(a == paged.tree->end()) << "UpperBound(" << probe << ")";
+      } else {
+        ASSERT_TRUE(a != paged.tree->end()) << "UpperBound(" << probe << ")";
+        EXPECT_EQ(e.key(), a.key());
+        EXPECT_EQ(e.value(), a.value());
+      }
+    }
+  }
+}
+
+TEST(PagedBPlusTree, BidirectionalIterationUnderTinyBudget) {
+  const auto entries = MakeEntries(1000, 11, /*with_duplicates=*/true);
+  PagedFixture paged(entries, /*budget_bytes=*/2 * 512);
+
+  // Walk backward from end() — the reverse of the sorted entries.
+  auto it = paged.tree->end();
+  for (auto rit = entries.rbegin(); rit != entries.rend(); ++rit) {
+    --it;
+    ASSERT_EQ(it.key(), rit->first);
+    ASSERT_EQ(it.value(), rit->second);
+  }
+  EXPECT_TRUE(it == paged.tree->begin());
+
+  // Interleave two cursors moving in opposite directions: positions are
+  // (page, slot) pairs, so eviction under the 2-frame pool cannot
+  // invalidate either.
+  auto fwd = paged.tree->begin();
+  auto bwd = paged.tree->end();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    ASSERT_EQ(fwd.key(), entries[i].first);
+    ++fwd;
+    --bwd;
+    ASSERT_EQ(bwd.key(), entries[entries.size() - 1 - i].first);
+  }
+}
+
+TEST(PagedBPlusTree, EmptyTree) {
+  PagedFixture paged({}, 4 * 512);
+  EXPECT_EQ(paged.tree->size(), 0);
+  EXPECT_TRUE(paged.tree->empty());
+  EXPECT_TRUE(paged.tree->begin() == paged.tree->end());
+  EXPECT_TRUE(paged.tree->LowerBound(1.0) == paged.tree->end());
+}
+
+TEST(PagedBPlusTree, AttachReloadsACommittedTree) {
+  const auto entries = MakeEntries(500, 23, /*with_duplicates=*/false);
+  ScopedFile file(TempPath("attach"));
+  std::string error;
+  {
+    auto pf = PageFile::Create(file.path(), 512, &error);
+    ASSERT_NE(pf, nullptr) << error;
+    BufferPool pool(pf.get(), 4 * 512);
+    PagedTree tree(pf.get(), &pool);
+    ASSERT_TRUE(tree.Build(entries, &error)) << error;
+  }
+  auto pf = PageFile::Open(file.path(), &error);
+  ASSERT_NE(pf, nullptr) << error;
+  BufferPool pool(pf.get(), 4 * 512);
+  PagedTree tree(pf.get(), &pool);
+  ASSERT_TRUE(tree.Attach(&error)) << error;
+  EXPECT_EQ(tree.size(), static_cast<int64_t>(entries.size()));
+  InMemTree expected;
+  expected.BulkLoad(entries);
+  ExpectSameIteration(expected, tree);
+}
+
+TEST(PagedBPlusTree, AttachRejectsWrongEntryFormat) {
+  ScopedFile file(TempPath("attach_format"));
+  std::string error;
+  {
+    auto pf = PageFile::Create(file.path(), 512, &error);
+    ASSERT_NE(pf, nullptr) << error;
+    BufferPool pool(pf.get(), 4 * 512);
+    PagedTree tree(pf.get(), &pool);
+    ASSERT_TRUE(tree.Build(MakeEntries(10, 1, false), &error)) << error;
+  }
+  auto pf = PageFile::Open(file.path(), &error);
+  ASSERT_NE(pf, nullptr) << error;
+  BufferPool pool(pf.get(), 4 * 512);
+  PagedBPlusTree<double, double> wrong(pf.get(), &pool);
+  EXPECT_FALSE(wrong.Attach(&error));
+}
+
+TEST(PagedBPlusTree, BuildPeakResidencyStaysWithinBudget) {
+  // 20k entries ≈ 60 leaf pages at 512 B — far beyond the 2-frame pool.
+  const auto entries = MakeEntries(20000, 31, /*with_duplicates=*/false);
+  PagedFixture paged(entries, /*budget_bytes=*/2 * 512);
+  const PoolStats stats = paged.pool->stats();
+  EXPECT_LE(stats.peak_resident_bytes, 2 * 512u);
+  EXPECT_GT(paged.tree->file_bytes(), 10 * stats.peak_resident_bytes)
+      << "tree should be much larger than the pool";
+  // Spot-check the data survived the streaming build.
+  InMemTree expected;
+  expected.BulkLoad(entries);
+  auto e = expected.LowerBound(50.0);
+  auto a = paged.tree->LowerBound(50.0);
+  ASSERT_TRUE(e != expected.end() && a != paged.tree->end());
+  EXPECT_EQ(e.key(), a.key());
+  EXPECT_EQ(e.value(), a.value());
+}
+
+}  // namespace
+}  // namespace geacc::storage
