@@ -12,6 +12,8 @@
 //   --index NAME  k-NN backend for Greedy's cursors; "idistance-paged"
 //                 runs them out of core under --storage_budget_mb MiB of
 //                 buffer-pool memory (page files in --storage_dir)
+//   --simd MODE   batched-kernel dispatch: auto (default), avx2, scalar
+//   --fp MODE     kernel FP policy: strict (default) or fast
 
 #ifndef GEACC_BENCH_BENCH_COMMON_H_
 #define GEACC_BENCH_BENCH_COMMON_H_
@@ -26,6 +28,7 @@
 
 #include "exp/experiment.h"
 #include "obs/bench_report.h"
+#include "simd/simd.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/memory.h"
@@ -52,6 +55,10 @@ struct CommonFlags {
   std::string index;  // empty = solver default ("linear")
   int64_t storage_budget_mb = 16;
   std::string storage_dir;
+  // SIMD kernel knobs (DESIGN.md §15): --simd pins the dispatch level of
+  // the batched similarity kernels, --fp picks the solver FP policy.
+  std::string simd = "auto";
+  std::string fp = "strict";
 
   void Register(FlagSet& flags) {
     flags.AddInt("reps", &reps, "repetitions per sweep point");
@@ -81,16 +88,32 @@ struct CommonFlags {
     flags.AddString("storage_dir", &storage_dir,
                     "idistance-paged only: directory for the temporary "
                     "page files (default: TMPDIR or /tmp)");
+    flags.AddString("simd", &simd,
+                    "batched-kernel dispatch: auto (cpuid pick, default), "
+                    "avx2, or scalar; forcing an unavailable level fails "
+                    "fast");
+    flags.AddString("fp", &fp,
+                    "kernel FP policy: strict (bit-identical to per-pair, "
+                    "default) or fast (FMA contraction in solver-internal "
+                    "batches)");
   }
 
-  // Copies the storage flags into a solver-options struct; benches call
-  // this on SweepConfig::solver_options (or a hand-rolled SolverOptions)
-  // so --index idistance-paged reaches every solver they run.
+  // Copies the storage/kernel flags into a solver-options struct; benches
+  // call this on SweepConfig::solver_options (or a hand-rolled
+  // SolverOptions) so --index idistance-paged and --fp reach every solver
+  // they run. Also applies --simd to the process-wide dispatch override
+  // (fail-fast on an unavailable level).
   void ApplySolverOptions(SolverOptions* options) const {
     if (!index.empty()) options->index = index;
     options->storage_budget_bytes =
         static_cast<uint64_t>(storage_budget_mb) << 20;
     options->storage_dir = storage_dir;
+    options->fp_mode = fp;
+    std::string error;
+    if (!simd::SetDispatchOverride(simd, &error)) {
+      std::fprintf(stderr, "--simd: %s\n", error.c_str());
+      std::exit(1);
+    }
   }
 
   std::vector<std::string> SolverList(

@@ -2,6 +2,8 @@
 //
 // Replaces benchmark::benchmark_main so every micro bench also accepts
 //   --json PATH   write a `geacc-bench v1` report (one point per run)
+//   --simd MODE   pin the batched-kernel dispatch level (auto/avx2/scalar;
+//                 fails fast on an unavailable level — DESIGN.md §15)
 // alongside the usual google-benchmark flags (--benchmark_filter etc.).
 // Each TU defines its benchmarks as usual and ends with
 //   GEACC_MICRO_MAIN("micro_foo");
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "obs/bench_report.h"
+#include "simd/simd.h"
 #include "util/check.h"
 #include "util/memory.h"
 
@@ -51,6 +54,7 @@ inline int MicroBenchMain(
     const std::string& bench, int argc, char** argv,
     const std::function<void(obs::BenchPoint&)>& point_hook = {}) {
   std::string json_path;
+  std::string simd_mode;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -59,8 +63,19 @@ inline int MicroBenchMain(
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--simd" && i + 1 < argc) {
+      simd_mode = argv[++i];
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      simd_mode = arg.substr(7);
     } else {
       rest.push_back(argv[i]);
+    }
+  }
+  if (!simd_mode.empty()) {
+    std::string error;
+    if (!simd::SetDispatchOverride(simd_mode, &error)) {
+      std::cerr << "--simd: " << error << "\n";
+      return 1;
     }
   }
   int rest_argc = static_cast<int>(rest.size());

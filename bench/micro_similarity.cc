@@ -1,18 +1,44 @@
 // Microbenchmarks: similarity kernels across dimensionality (the innermost
 // loop of every solver).
+//
+// Two families:
+//  * BM_Similarity/<fn>/<dim>       — the per-pair virtual-call path
+//    (one Compute per item), the scalar baseline of DESIGN.md §15.
+//  * BM_SimilarityBatch/<fn>/<dim>  — one ComputeBatch over a 4096-row
+//    blocked mirror per iteration (items = rows), dispatched at the
+//    active SIMD level (`--simd={auto,avx2,scalar}` pins it).
+//  * BM_VaScanBatch/<dim>           — the batched VA-file signature scan
+//    (table lookup + accumulate per signature byte).
+//
+// Per-item times are comparable across families (items_per_second), which
+// is how the kernels' ≥3× target is checked (EXPERIMENTS.md "kernels").
+// With --json, every point carries a "kernels" section recording the
+// dispatch level the run actually used.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/micro_common.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/attributes.h"
 #include "core/similarity.h"
+#include "simd/kernels.h"
+#include "simd/simd.h"
 #include "util/rng.h"
 
 namespace geacc {
 namespace {
+
+// Rows per batched iteration (128 blocks). Sized so the blocked mirror
+// stays cache-resident at every benched dim (1024 × 100 × 8 B = 800 KiB),
+// measuring kernel throughput rather than DRAM bandwidth — the per-pair
+// family's two vectors are L1-resident, so this keeps the families
+// comparable.
+constexpr int kBatchRows = 1024;
+constexpr int kVaCells = 16;  // 4 bits/dim, the VA-file default
 
 void FillRandom(std::vector<double>& v, Rng& rng) {
   for (double& x : v) x = rng.UniformReal(0.0, 100.0);
@@ -31,6 +57,50 @@ void BM_Similarity(benchmark::State& state, const std::string& name) {
   state.SetItemsProcessed(state.iterations());
 }
 
+void BM_SimilarityBatch(benchmark::State& state, const std::string& name) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto sim = MakeSimilarity(name, name == "rbf" ? 25.0 : 100.0);
+  Rng rng(1);
+  AttributeMatrix points(kBatchRows, dim);
+  for (int i = 0; i < kBatchRows; ++i) {
+    double* row = points.MutableRow(i);
+    for (int j = 0; j < dim; ++j) row[j] = rng.UniformReal(0.0, 100.0);
+  }
+  std::vector<double> query(dim);
+  FillRandom(query, rng);
+  const BlockedAttributes& blocked = points.Blocked();  // build off the clock
+  std::vector<double> out(kBatchRows);
+  for (auto _ : state) {
+    sim->ComputeBatch(query.data(), blocked, simd::FpMode::kStrict,
+                      out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+
+void BM_VaScanBatch(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(1);
+  // Random blocked signatures + a random per-query contribution table —
+  // the scan's cost does not depend on the values, only the shapes.
+  std::vector<uint8_t> sig(
+      static_cast<size_t>(simd::BlockedSize(kBatchRows, dim)));
+  for (uint8_t& s : sig) {
+    s = static_cast<uint8_t>(rng.UniformInt(0, kVaCells - 1));
+  }
+  std::vector<double> table(static_cast<size_t>(dim) * kVaCells);
+  FillRandom(table, rng);
+  std::vector<double> out(kBatchRows);
+  for (auto _ : state) {
+    simd::BatchVaLowerBound(simd::ActiveLevel(), table.data(), kVaCells,
+                            sig.data(), dim, kBatchRows, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchRows);
+}
+
 void RegisterAll() {
   for (const char* name : {"euclidean", "cosine", "rbf", "dot"}) {
     benchmark::RegisterBenchmark(
@@ -39,12 +109,38 @@ void RegisterAll() {
         ->Arg(2)
         ->Arg(20)
         ->Arg(100);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_SimilarityBatch/") + name).c_str(),
+        [name](benchmark::State& state) { BM_SimilarityBatch(state, name); })
+        ->Arg(2)
+        ->Arg(20)
+        ->Arg(100);
   }
+  benchmark::RegisterBenchmark("BM_VaScanBatch", BM_VaScanBatch)
+      ->Arg(2)
+      ->Arg(20)
+      ->Arg(100);
 }
 
 const bool kRegistered = (RegisterAll(), true);
 
+// --json hook: stamp every point with the dispatch level this process ran
+// and the eval counts implied by the iteration count (batched families
+// score kBatchRows rows per iteration; the per-pair family one).
+void AttachKernelsSection(obs::BenchPoint& point) {
+  point.has_kernels = true;
+  point.kernels.dispatch = simd::LevelName(simd::ActiveLevel());
+  point.kernels.block = simd::kBlockRows;
+  const int64_t iterations = point.counters["iterations"];
+  if (point.label.rfind("BM_SimilarityBatch", 0) == 0 ||
+      point.label.rfind("BM_VaScanBatch", 0) == 0) {
+    point.kernels.batched_evals = iterations * kBatchRows;
+  } else {
+    point.kernels.scalar_evals = iterations;
+  }
+}
+
 }  // namespace
 }  // namespace geacc
 
-GEACC_MICRO_MAIN("micro_similarity")
+GEACC_MICRO_MAIN_WITH_HOOK("micro_similarity", geacc::AttachKernelsSection)

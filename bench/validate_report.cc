@@ -2,12 +2,18 @@
 // Exit 0 iff the file parses and matches the schema; used by CI to smoke-
 // test the report pipeline.
 //
-//   build/bench/validate_report [--require-storage] out.json
+//   build/bench/validate_report [--require-storage] [--require-kernels] \
+//       out.json
 //
 // --require-storage additionally demands at least one point carrying a
 // "storage" section with sane buffer-pool numbers (budget and page size
 // non-zero, page size a power of two) — CI runs micro_storage under this
 // flag so a silently dropped section fails the job.
+//
+// --require-kernels likewise demands at least one point carrying a
+// "kernels" section with sane numbers (a known dispatch level, the
+// build's block size, and at least one batched or scalar eval) — CI runs
+// micro_similarity under this flag.
 
 #include <cstdint>
 #include <cstdio>
@@ -39,14 +45,34 @@ bool StorageSane(const geacc::obs::StorageSummary& storage,
   return true;
 }
 
+bool KernelsSane(const geacc::obs::KernelsSummary& kernels,
+                 std::string* error) {
+  if (kernels.dispatch != "scalar" && kernels.dispatch != "avx2") {
+    *error = "kernels.dispatch is not a known level";
+    return false;
+  }
+  if (kernels.block <= 0) {
+    *error = "kernels.block is not positive";
+    return false;
+  }
+  if (kernels.batched_evals == 0 && kernels.scalar_evals == 0) {
+    *error = "kernels section with zero evals of either kind";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool require_storage = false;
+  bool require_kernels = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-storage") == 0) {
       require_storage = true;
+    } else if (std::strcmp(argv[i], "--require-kernels") == 0) {
+      require_kernels = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -55,7 +81,9 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s [--require-storage] REPORT.json\n",
+    std::fprintf(stderr,
+                 "usage: %s [--require-storage] [--require-kernels] "
+                 "REPORT.json\n",
                  argv[0]);
     return 2;
   }
@@ -85,35 +113,57 @@ int main(int argc, char** argv) {
   }
 
   size_t storage_points = 0;
+  size_t kernel_points = 0;
   for (const geacc::obs::BenchPoint& point : report.points) {
-    if (!point.has_storage) continue;
-    ++storage_points;
-    if (!StorageSane(point.storage, &error)) {
-      std::fprintf(stderr, "%s: point '%s': %s\n", path, point.label.c_str(),
-                   error.c_str());
-      return 1;
+    if (point.has_storage) {
+      ++storage_points;
+      if (!StorageSane(point.storage, &error)) {
+        std::fprintf(stderr, "%s: point '%s': %s\n", path, point.label.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      std::printf(
+          "  storage[%s]: budget=%llu page=%llu file=%llu hits=%lld "
+          "faults=%lld evictions=%lld flushes=%lld\n",
+          point.label.c_str(),
+          static_cast<unsigned long long>(point.storage.budget_bytes),
+          static_cast<unsigned long long>(point.storage.page_size),
+          static_cast<unsigned long long>(point.storage.file_bytes),
+          static_cast<long long>(point.storage.hits),
+          static_cast<long long>(point.storage.faults),
+          static_cast<long long>(point.storage.evictions),
+          static_cast<long long>(point.storage.flushes));
     }
-    std::printf(
-        "  storage[%s]: budget=%llu page=%llu file=%llu hits=%lld "
-        "faults=%lld evictions=%lld flushes=%lld\n",
-        point.label.c_str(),
-        static_cast<unsigned long long>(point.storage.budget_bytes),
-        static_cast<unsigned long long>(point.storage.page_size),
-        static_cast<unsigned long long>(point.storage.file_bytes),
-        static_cast<long long>(point.storage.hits),
-        static_cast<long long>(point.storage.faults),
-        static_cast<long long>(point.storage.evictions),
-        static_cast<long long>(point.storage.flushes));
+    if (point.has_kernels) {
+      ++kernel_points;
+      if (!KernelsSane(point.kernels, &error)) {
+        std::fprintf(stderr, "%s: point '%s': %s\n", path, point.label.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      std::printf(
+          "  kernels[%s]: dispatch=%s block=%lld batched=%lld scalar=%lld\n",
+          point.label.c_str(), point.kernels.dispatch.c_str(),
+          static_cast<long long>(point.kernels.block),
+          static_cast<long long>(point.kernels.batched_evals),
+          static_cast<long long>(point.kernels.scalar_evals));
+    }
   }
   if (require_storage && storage_points == 0) {
     std::fprintf(stderr, "%s: --require-storage: no point carries a storage "
                  "section\n", path);
     return 1;
   }
+  if (require_kernels && kernel_points == 0) {
+    std::fprintf(stderr, "%s: --require-kernels: no point carries a kernels "
+                 "section\n", path);
+    return 1;
+  }
 
   std::printf("%s: valid geacc-bench v%d report — bench '%s', rev %s, %zu "
-              "point(s), %zu with storage\n",
+              "point(s), %zu with storage, %zu with kernels\n",
               path, geacc::obs::kBenchReportVersion, report.bench.c_str(),
-              report.git_rev.c_str(), report.points.size(), storage_points);
+              report.git_rev.c_str(), report.points.size(), storage_points,
+              kernel_points);
   return 0;
 }

@@ -46,17 +46,23 @@ Arrangement MinCostFlowSolver::SolveWithoutConflictsOn(
   }
   // Pair-cost precompute fans out over events (each chunk owns a disjoint
   // row slice); AddArc mutates the shared graph, so arc construction stays
-  // serial and just reads the precomputed costs in row-major order.
+  // serial and just reads the precomputed costs in row-major order. Each
+  // row is one batched-kernel call (this is the fp_mode="fast" opt-in
+  // site — DESIGN.md §15.3); the mirror is forced warm before the fan-out
+  // so workers never contend on its build lock.
   std::vector<double> pair_costs(static_cast<size_t>(num_events) * num_users);
   {
     GEACC_PHASE_TIMER("mcf.pair_costs");
+    const simd::FpMode fp = ResolveFpMode(options_);
+    instance.user_attributes().Blocked();
     pool.ParallelFor(0, num_events, [&](int /*chunk*/, int64_t chunk_begin,
                                         int64_t chunk_end) {
       for (EventId v = static_cast<EventId>(chunk_begin);
            v < static_cast<EventId>(chunk_end); ++v) {
         double* row = &pair_costs[static_cast<size_t>(v) * num_users];
+        instance.SimilarityRow(v, fp, row);
         for (UserId u = 0; u < num_users; ++u) {
-          row[u] = 1.0 - instance.Similarity(v, u);
+          row[u] = 1.0 - row[u];
         }
       }
     });

@@ -28,13 +28,16 @@ struct SearchTables {
       : num_events(instance.num_events()), num_users(instance.num_users()) {
     sim.resize(static_cast<size_t>(num_events) * num_users);
     sorted_users.resize(static_cast<size_t>(num_events) * num_users);
+    // One batched-kernel call per table row; with fp_mode="fast" this is
+    // the Prune opt-in site for FMA contraction (DESIGN.md §15.3). Warm
+    // the blocked mirror before fanning out.
+    const simd::FpMode fp = ResolveFpMode(options);
+    instance.user_attributes().Blocked();
     pool.ParallelFor(0, num_events, [&](int /*chunk*/, int64_t chunk_begin,
                                         int64_t chunk_end) {
       for (EventId v = static_cast<EventId>(chunk_begin);
            v < static_cast<EventId>(chunk_end); ++v) {
-        for (UserId u = 0; u < num_users; ++u) {
-          sim[Flat(v, u)] = instance.Similarity(v, u);
-        }
+        instance.SimilarityRow(v, fp, sim.data() + Flat(v, 0));
         UserId* row = sorted_users.data() + Flat(v, 0);
         std::iota(row, row + num_users, 0);
         std::sort(row, row + num_users, [&](UserId a, UserId b) {

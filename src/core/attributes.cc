@@ -1,6 +1,52 @@
 #include "core/attributes.h"
 
+#include "simd/kernels.h"
+
 namespace geacc {
+
+BlockedAttributes::BlockedAttributes(const double* data, int64_t rows,
+                                     int dim)
+    : rows_(rows), dim_(dim) {
+  GEACC_CHECK_GE(rows, 0);
+  GEACC_CHECK_GE(dim, 0);
+  const int64_t size = simd::BlockedSize(rows, dim);
+  // Over-allocate one cache line so the base can be aligned to
+  // simd::kBlockAlignment regardless of what operator new returns.
+  constexpr int64_t kPad =
+      static_cast<int64_t>(simd::kBlockAlignment / sizeof(double));
+  storage_ = std::make_unique<double[]>(size + kPad);
+  const auto raw = reinterpret_cast<std::uintptr_t>(storage_.get());
+  const auto aligned =
+      (raw + simd::kBlockAlignment - 1) & ~(simd::kBlockAlignment - 1);
+  base_ = reinterpret_cast<double*>(aligned);
+  simd::BuildBlocked(data, rows, dim, base_);
+}
+
+int64_t BlockedAttributes::num_blocks() const {
+  return simd::NumBlocks(rows_);
+}
+
+uint64_t BlockedAttributes::ByteEstimate() const {
+  if (storage_ == nullptr) return 0;
+  constexpr int64_t kPad =
+      static_cast<int64_t>(simd::kBlockAlignment / sizeof(double));
+  return static_cast<uint64_t>(simd::BlockedSize(rows_, dim_) + kPad) *
+         sizeof(double);
+}
+
+const BlockedAttributes& AttributeMatrix::Blocked() const {
+  BlockedCache& cache = *blocked_;
+  const BlockedAttributes* view =
+      cache.ready.load(std::memory_order_acquire);
+  if (view != nullptr) return *view;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.view == nullptr) {
+    cache.view =
+        std::make_unique<BlockedAttributes>(data_.data(), rows_, dim_);
+    cache.ready.store(cache.view.get(), std::memory_order_release);
+  }
+  return *cache.view;
+}
 
 AttributeMatrix AttributeMatrix::FromRows(
     const std::vector<std::vector<double>>& rows) {
@@ -19,6 +65,7 @@ AttributeMatrix AttributeMatrix::FromRows(
 void AttributeMatrix::AppendRow(const std::vector<double>& row) {
   GEACC_CHECK_EQ(static_cast<int>(row.size()), dim_)
       << "appended row has the wrong dimensionality";
+  InvalidateBlocked();
   data_.insert(data_.end(), row.begin(), row.end());
   ++rows_;
 }

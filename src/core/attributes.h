@@ -1,36 +1,106 @@
-// Dense row-major attribute storage for events and users.
+// Dense row-major attribute storage for events and users, plus a lazily
+// materialized blocked SoA mirror for the batched similarity kernels.
 //
 // Each entity carries a d-dimensional attribute vector l ∈ [0, T]^d
-// (paper Definitions 1–2). Rows are stored contiguously so that similarity
-// evaluation — the innermost loop of every solver — is cache-friendly.
+// (paper Definitions 1–2). Rows are stored contiguously so that per-pair
+// similarity evaluation stays cache-friendly; batch evaluation (one query
+// against many rows) instead reads the blocked mirror, whose layout is
+// defined by src/simd/kernels.h and DESIGN.md §15.
+//
+// Finiteness invariant: every attribute that reaches a solver is finite.
+// The io layer rejects non-finite values at all untrusted boundaries
+// (instance_io / trace_io / wire), and the generators draw from bounded
+// distributions — the SIMD kernels rely on this (kernels.h §non-finite).
 
 #ifndef GEACC_CORE_ATTRIBUTES_H_
 #define GEACC_CORE_ATTRIBUTES_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "util/check.h"
 
 namespace geacc {
 
+// Immutable blocked SoA snapshot of an attribute matrix: ceil(rows/8)
+// blocks of 8 rows, dimension-major within a block, 64-byte-aligned base,
+// zero-padded tail lanes — exactly the layout simd::Batch* kernels
+// consume (simd/kernels.h documents the contract). Built in O(rows × dim)
+// by copying the row-major data; ~same footprint as the source matrix
+// (plus tail padding).
+class BlockedAttributes {
+ public:
+  // Builds the mirror of `rows` × `dim` row-major `data`.
+  BlockedAttributes(const double* data, int64_t rows, int dim);
+
+  // 64-byte-aligned base pointer; BlockedSize(rows, dim) doubles.
+  const double* data() const { return base_; }
+  int64_t rows() const { return rows_; }
+  int dim() const { return dim_; }
+  int64_t num_blocks() const;
+
+  // Heap bytes held by the mirror (logical memory accounting).
+  uint64_t ByteEstimate() const;
+
+ private:
+  std::unique_ptr<double[]> storage_;  // over-allocated for alignment
+  double* base_ = nullptr;
+  int64_t rows_ = 0;
+  int dim_ = 0;
+};
+
 class AttributeMatrix {
  public:
-  AttributeMatrix() : rows_(0), dim_(0) {}
+  AttributeMatrix() : AttributeMatrix(0, 0) {}
 
   // Allocates rows × dim zeros.
   AttributeMatrix(int rows, int dim)
       : rows_(rows), dim_(dim),
-        data_(static_cast<size_t>(rows) * static_cast<size_t>(dim), 0.0) {
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(dim), 0.0),
+        blocked_(std::make_unique<BlockedCache>()) {
     GEACC_CHECK_GE(rows, 0);
     GEACC_CHECK_GE(dim, 0);
+  }
+
+  // Copies/moves transfer the row-major payload only; the blocked mirror
+  // is per-object state and starts cold in the destination.
+  AttributeMatrix(const AttributeMatrix& other)
+      : rows_(other.rows_), dim_(other.dim_), data_(other.data_),
+        blocked_(std::make_unique<BlockedCache>()) {}
+  AttributeMatrix(AttributeMatrix&& other) noexcept
+      : rows_(other.rows_), dim_(other.dim_), data_(std::move(other.data_)),
+        blocked_(std::make_unique<BlockedCache>()) {
+    other.rows_ = 0;
+  }
+  AttributeMatrix& operator=(const AttributeMatrix& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      dim_ = other.dim_;
+      data_ = other.data_;
+      InvalidateBlocked();
+    }
+    return *this;
+  }
+  AttributeMatrix& operator=(AttributeMatrix&& other) noexcept {
+    if (this != &other) {
+      rows_ = other.rows_;
+      dim_ = other.dim_;
+      data_ = std::move(other.data_);
+      other.rows_ = 0;
+      InvalidateBlocked();
+    }
+    return *this;
   }
 
   // Builds from explicit rows; every row must have the same length.
   static AttributeMatrix FromRows(const std::vector<std::vector<double>>& rows);
 
   // Appends `row` (length dim()) as a new last row; amortized O(d).
-  // Invalidates pointers previously returned by Row()/MutableRow().
+  // Invalidates pointers previously returned by Row()/MutableRow() and
+  // drops the blocked mirror.
   void AppendRow(const std::vector<double>& row);
 
   int rows() const { return rows_; }
@@ -41,8 +111,14 @@ class AttributeMatrix {
     return data_.data() + static_cast<size_t>(i) * dim_;
   }
 
+  // Mutable access drops the blocked mirror at CALL time. Writing through
+  // a pointer obtained before a later Blocked() call leaves that mirror
+  // stale — re-fetch MutableRow() after any Blocked() use. (All in-tree
+  // writers mutate and re-solve strictly in sequence: generators and io
+  // during construction, dyn updates between solves.)
   double* MutableRow(int i) {
     GEACC_DCHECK(i >= 0 && i < rows_);
+    InvalidateBlocked();
     return data_.data() + static_cast<size_t>(i) * dim_;
   }
 
@@ -56,18 +132,47 @@ class AttributeMatrix {
     MutableRow(i)[j] = value;
   }
 
-  // Heap bytes held by the matrix (for logical memory accounting).
+  // The blocked SoA mirror of the current contents, built on first use
+  // (O(rows × dim)) and cached until the next mutation. Safe to call
+  // concurrently from read-only workers (double-checked, one acquire
+  // load when warm); must not race with mutators — the matrix, like its
+  // row-major API, is single-writer.
+  const BlockedAttributes& Blocked() const;
+
+  // Heap bytes held by the matrix, including a warm blocked mirror.
   uint64_t ByteEstimate() const {
-    return static_cast<uint64_t>(data_.capacity()) * sizeof(double);
+    const uint64_t base =
+        static_cast<uint64_t>(data_.capacity()) * sizeof(double);
+    const BlockedAttributes* view =
+        blocked_->ready.load(std::memory_order_acquire);
+    return base + (view != nullptr ? view->ByteEstimate() : 0);
   }
 
  private:
+  struct BlockedCache {
+    std::mutex mu;
+    std::atomic<const BlockedAttributes*> ready{nullptr};
+    std::unique_ptr<BlockedAttributes> view;
+  };
+
+  // Mutator-side: drop the mirror. Not safe against concurrent readers
+  // (neither is the mutation that triggered it).
+  void InvalidateBlocked() {
+    if (blocked_->ready.load(std::memory_order_relaxed) != nullptr) {
+      blocked_->ready.store(nullptr, std::memory_order_release);
+      blocked_->view.reset();
+    }
+  }
+
   int rows_;
   int dim_;
   std::vector<double> data_;
+  mutable std::unique_ptr<BlockedCache> blocked_;
 };
 
-// Squared Euclidean distance between two length-`dim` vectors.
+// Squared Euclidean distance between two length-`dim` vectors: one pass,
+// O(dim), exact IEEE mul/add per term in ascending-j order — the
+// reference association the batched kernels reproduce (simd/kernels.h).
 double SquaredEuclideanDistance(const double* a, const double* b, int dim);
 
 }  // namespace geacc

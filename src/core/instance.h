@@ -54,10 +54,20 @@ class Instance {
   int64_t total_event_capacity() const { return total_event_capacity_; }
   int64_t total_user_capacity() const { return total_user_capacity_; }
 
-  // sim(l_v, l_u) per the instance's similarity function.
+  // sim(l_v, l_u) per the instance's similarity function. O(dim).
   double Similarity(EventId v, UserId u) const {
     return similarity_->Compute(event_attributes_.Row(v),
                                 user_attributes_.Row(u), dim());
+  }
+
+  // Batched row: out[u] = Similarity(v, u) for every user, via the SIMD
+  // kernels over the lazily-built blocked mirror of the user attributes.
+  // `out` must hold num_users() doubles. O(|U| × dim); bit-identical to
+  // the per-pair loop in strict mode (simd/kernels.h). Safe to call
+  // concurrently from read-only solver workers.
+  void SimilarityRow(EventId v, simd::FpMode fp, double* out) const {
+    similarity_->ComputeBatch(event_attributes_.Row(v),
+                              user_attributes_.Blocked(), fp, out);
   }
 
   const AttributeMatrix& event_attributes() const { return event_attributes_; }

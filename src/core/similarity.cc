@@ -2,11 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/attributes.h"
+#include "obs/stats.h"
+#include "simd/simd.h"
 #include "util/check.h"
 
 namespace geacc {
+
+// The batch entry points account one counter bump per batch (not per
+// element) so the kernels themselves stay pure: simd.batched_evals counts
+// rows scored through a blocked kernel, simd.scalar_evals rows scored by
+// the per-pair fallback loop below.
+
+void SimilarityFunction::ComputeBatch(const double* query,
+                                      const BlockedAttributes& points,
+                                      simd::FpMode /*fp*/,
+                                      double* out) const {
+  // Fallback for similarities without a batched kernel: gather each row
+  // out of the blocked mirror into a contiguous buffer and score it with
+  // Compute(). O(rows × dim) plus an O(dim) copy per row — correct for
+  // any subclass, just not fast.
+  const int dim = points.dim();
+  const int64_t rows = points.rows();
+  const double* blocked = points.data();
+  GEACC_STATS_ADD("simd.scalar_evals", rows);
+  std::vector<double> row(static_cast<size_t>(dim));
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t block = i / simd::kBlockRows;
+    const int64_t lane = i % simd::kBlockRows;
+    const double* base =
+        blocked + block * static_cast<int64_t>(dim) * simd::kBlockRows;
+    for (int j = 0; j < dim; ++j) {
+      row[j] = base[static_cast<int64_t>(j) * simd::kBlockRows + lane];
+    }
+    out[i] = Compute(query, row.data(), dim);
+  }
+}
 
 EuclideanSimilarity::EuclideanSimilarity(double max_attribute)
     : max_attribute_(max_attribute) {
@@ -21,6 +54,15 @@ double EuclideanSimilarity::Compute(const double* a, const double* b,
   const double sim = 1.0 - dist / max_dist;
   // Attributes outside [0,T] would push sim below 0; clamp defensively.
   return std::clamp(sim, 0.0, 1.0);
+}
+
+void EuclideanSimilarity::ComputeBatch(const double* query,
+                                       const BlockedAttributes& points,
+                                       simd::FpMode fp, double* out) const {
+  GEACC_STATS_ADD("simd.batched_evals", points.rows());
+  simd::BatchEuclideanSimilarity(simd::ActiveLevel(), fp, max_attribute_,
+                                 query, points.data(), points.dim(),
+                                 points.rows(), out);
 }
 
 std::unique_ptr<SimilarityFunction> EuclideanSimilarity::Clone() const {
@@ -44,6 +86,14 @@ double CosineSimilarity::Compute(const double* a, const double* b,
   return std::clamp(dot / std::sqrt(norm_a * norm_b), 0.0, 1.0);
 }
 
+void CosineSimilarity::ComputeBatch(const double* query,
+                                    const BlockedAttributes& points,
+                                    simd::FpMode fp, double* out) const {
+  GEACC_STATS_ADD("simd.batched_evals", points.rows());
+  simd::BatchCosineSimilarity(simd::ActiveLevel(), fp, query, points.data(),
+                              points.dim(), points.rows(), out);
+}
+
 std::unique_ptr<SimilarityFunction> CosineSimilarity::Clone() const {
   return std::make_unique<CosineSimilarity>();
 }
@@ -58,6 +108,14 @@ double RbfSimilarity::Compute(const double* a, const double* b,
   return std::exp(-SquaredEuclideanDistance(a, b, dim) * inv_two_bw_sq_);
 }
 
+void RbfSimilarity::ComputeBatch(const double* query,
+                                 const BlockedAttributes& points,
+                                 simd::FpMode fp, double* out) const {
+  GEACC_STATS_ADD("simd.batched_evals", points.rows());
+  simd::BatchRbfSimilarity(simd::ActiveLevel(), fp, inv_two_bw_sq_, query,
+                           points.data(), points.dim(), points.rows(), out);
+}
+
 std::unique_ptr<SimilarityFunction> RbfSimilarity::Clone() const {
   return std::make_unique<RbfSimilarity>(bandwidth_);
 }
@@ -67,6 +125,14 @@ double DotSimilarity::Compute(const double* a, const double* b,
   double dot = 0.0;
   for (int j = 0; j < dim; ++j) dot += a[j] * b[j];
   return std::clamp(dot, 0.0, 1.0);
+}
+
+void DotSimilarity::ComputeBatch(const double* query,
+                                 const BlockedAttributes& points,
+                                 simd::FpMode fp, double* out) const {
+  GEACC_STATS_ADD("simd.batched_evals", points.rows());
+  simd::BatchDotSimilarity(simd::ActiveLevel(), fp, query, points.data(),
+                           points.dim(), points.rows(), out);
 }
 
 std::unique_ptr<SimilarityFunction> DotSimilarity::Clone() const {

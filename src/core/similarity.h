@@ -12,6 +12,27 @@
 // Euclidean distance (IsEuclideanMonotone): for such functions nearest-
 // neighbor-by-distance equals nearest-neighbor-by-similarity, which lets
 // Greedy-GEACC use spatial indexes (kd-tree) for its NN cursors.
+//
+// ## Per-pair vs batch evaluation
+//
+// Compute() scores one pair in O(dim). ComputeBatch() scores one query
+// against a whole BlockedAttributes mirror in O(rows × dim) with the
+// SIMD kernels of src/simd/ — same results, bit-for-bit, in the default
+// strict FP mode (the full contract, including when FpMode::kFast may
+// deviate, lives in simd/kernels.h and DESIGN.md §15). Hot callers
+// (pair-cost construction, NN-cursor refill, search tables) batch;
+// everything else may keep calling Compute().
+//
+// ## Non-finite inputs
+//
+// All functions assume finite inputs and then return finite values in
+// [0, 1]; the io layer enforces finiteness at every untrusted boundary,
+// so attribute data reaching these functions is finite by invariant
+// (attributes.h). NaN inputs would propagate (Compute can return NaN) —
+// there is deliberately no per-call isnan defense on this innermost loop.
+//
+// Thread-safety: all similarity objects are immutable after construction;
+// Compute/ComputeBatch are const and safe to call concurrently.
 
 #ifndef GEACC_CORE_SIMILARITY_H_
 #define GEACC_CORE_SIMILARITY_H_
@@ -19,14 +40,38 @@
 #include <memory>
 #include <string>
 
+#include "simd/kernels.h"
+
 namespace geacc {
+
+class BlockedAttributes;
 
 class SimilarityFunction {
  public:
   virtual ~SimilarityFunction() = default;
 
   // Similarity of two length-`dim` attribute vectors; must lie in [0, 1].
+  // O(dim), no allocation.
   virtual double Compute(const double* a, const double* b, int dim) const = 0;
+
+  // Writes out[i] = Compute(query, row i of points, points.dim()) for all
+  // i ∈ [0, points.rows()). `query` must have points.dim() entries; `out`
+  // must hold points.rows() doubles (no alignment requirement — the
+  // aligned data is inside `points`). O(rows × dim), no allocation.
+  //
+  // In FpMode::kStrict (the default everywhere) results are bit-identical
+  // to per-pair Compute() at every dispatch level; kFast permits FMA
+  // contraction in the reductions and may differ in the last ulp — only
+  // the solver-internal table/pair-cost builds opt in, and only when
+  // SolverOptions::fp_mode == "fast" (see simd/kernels.h).
+  //
+  // The base implementation is a per-pair Compute() loop (counted as
+  // simd.scalar_evals); the four built-ins override it with the batched
+  // kernels (counted as simd.batched_evals). Custom similarities get
+  // correct batch behavior for free and can override for speed.
+  virtual void ComputeBatch(const double* query,
+                            const BlockedAttributes& points,
+                            simd::FpMode fp, double* out) const;
 
   // True iff Compute is a strictly decreasing function of the Euclidean
   // distance between a and b (given fixed dim).
@@ -47,6 +92,8 @@ class EuclideanSimilarity final : public SimilarityFunction {
   explicit EuclideanSimilarity(double max_attribute);
 
   double Compute(const double* a, const double* b, int dim) const override;
+  void ComputeBatch(const double* query, const BlockedAttributes& points,
+                    simd::FpMode fp, double* out) const override;
   bool IsEuclideanMonotone() const override { return true; }
   std::string Name() const override { return "euclidean"; }
   double Param() const override { return max_attribute_; }
@@ -64,22 +111,29 @@ class EuclideanSimilarity final : public SimilarityFunction {
 
 // Cosine similarity clamped to [0, 1] (attributes are non-negative, so the
 // raw value is already in range; the clamp guards rounding). Zero vectors
-// have similarity 0 with everything.
+// have similarity 0 with everything (the kernels blend the 0/0 case to 0
+// before it can surface as NaN).
 class CosineSimilarity final : public SimilarityFunction {
  public:
   double Compute(const double* a, const double* b, int dim) const override;
+  void ComputeBatch(const double* query, const BlockedAttributes& points,
+                    simd::FpMode fp, double* out) const override;
   bool IsEuclideanMonotone() const override { return false; }
   std::string Name() const override { return "cosine"; }
   std::unique_ptr<SimilarityFunction> Clone() const override;
 };
 
 // Gaussian kernel exp(-||a-b||^2 / (2 * bandwidth^2)); strictly positive,
-// so every pair is matchable — useful for stress tests.
+// so every pair is matchable — useful for stress tests. The batch path
+// vectorizes the distance and keeps std::exp per element, so it stays
+// bit-identical to Compute at every level.
 class RbfSimilarity final : public SimilarityFunction {
  public:
   explicit RbfSimilarity(double bandwidth);
 
   double Compute(const double* a, const double* b, int dim) const override;
+  void ComputeBatch(const double* query, const BlockedAttributes& points,
+                    simd::FpMode fp, double* out) const override;
   bool IsEuclideanMonotone() const override { return true; }
   std::string Name() const override { return "rbf"; }
   double Param() const override { return bandwidth_; }
@@ -97,6 +151,8 @@ class RbfSimilarity final : public SimilarityFunction {
 class DotSimilarity final : public SimilarityFunction {
  public:
   double Compute(const double* a, const double* b, int dim) const override;
+  void ComputeBatch(const double* query, const BlockedAttributes& points,
+                    simd::FpMode fp, double* out) const override;
   bool IsEuclideanMonotone() const override { return false; }
   std::string Name() const override { return "dot"; }
   std::unique_ptr<SimilarityFunction> Clone() const override;

@@ -30,7 +30,18 @@ std::string ValidateSolverOptions(const SolverOptions& options) {
         "unknown flow_algorithm '%s' (expected dijkstra or spfa)",
         flow.c_str());
   }
+  if (options.fp_mode != "strict" && options.fp_mode != "fast") {
+    return StrFormat("unknown fp_mode '%s' (expected strict or fast)",
+                     options.fp_mode.c_str());
+  }
   return "";
+}
+
+simd::FpMode ResolveFpMode(const SolverOptions& options) {
+  if (options.fp_mode == "fast") return simd::FpMode::kFast;
+  GEACC_CHECK_EQ(options.fp_mode, std::string("strict"))
+      << "unvalidated fp_mode";
+  return simd::FpMode::kStrict;
 }
 
 }  // namespace geacc

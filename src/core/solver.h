@@ -34,6 +34,7 @@
 #include <string>
 
 #include "core/arrangement.h"
+#include "simd/kernels.h"
 
 namespace geacc {
 
@@ -88,12 +89,27 @@ struct SolverOptions {
   // return the best matching found so far) after this many Search-GEACC
   // invocations. 0 = unlimited.
   int64_t max_search_invocations = 0;
+
+  // Floating-point policy for the batched similarity kernels (DESIGN.md
+  // §15.3): "strict" (default) keeps every batched result bit-identical
+  // to the per-pair scalar path, so solver output is invariant under the
+  // SIMD dispatch level; "fast" permits FMA contraction in the
+  // solver-internal bulk evaluations (MinCostFlow pair-cost matrix,
+  // Prune search tables) — last-ulp similarity differences there can
+  // shift tie-breaks, so "fast" trades the bit-identity guarantee for a
+  // little throughput. NN-cursor enumeration (Greedy) always runs
+  // strict regardless of this knob.
+  std::string fp_mode = "strict";
 };
+
+// The simd::FpMode for `options.fp_mode`; CHECK-fails on names that
+// ValidateSolverOptions would reject.
+simd::FpMode ResolveFpMode(const SolverOptions& options);
 
 // Checks the string-valued fields of `options` against the known backend
 // names (`index` ∈ {linear, kdtree, vafile, idistance}, `flow_algorithm` ∈
-// {dijkstra, spfa}) and that `threads` is non-negative. Returns an empty
-// string when valid, else a description
+// {dijkstra, spfa}, `fp_mode` ∈ {strict, fast}) and that `threads` is
+// non-negative. Returns an empty string when valid, else a description
 // of the first bad field. CreateSolver() CHECK-fails on a non-empty result
 // so that typos fail fast instead of surfacing mid-solve (or never, for
 // solvers that ignore the field).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/stats.h"
+#include "util/arena.h"
 
 namespace geacc {
 namespace {
@@ -64,9 +65,16 @@ class BatchedLinearCursor final : public NnCursor {
     const auto best_first = [](const Neighbor& a, const Neighbor& b) {
       return MoreSimilar(a, b);
     };
+    // Score the whole scan in one batched-kernel call (strict mode: bit-
+    // identical to the old per-pair loop — similarity args are symmetric),
+    // into this worker's scratch arena instead of a per-refill vector.
+    Arena& arena = GetScratchArena();
+    ScratchScope scratch(arena);
+    double* sims = arena.Alloc<double>(points_.rows());
+    similarity_.ComputeBatch(query_, points_.Blocked(), simd::FpMode::kStrict,
+                             sims);
     for (int i = 0; i < points_.rows(); ++i) {
-      const Neighbor candidate{
-          i, similarity_.Compute(points_.Row(i), query_, points_.dim())};
+      const Neighbor candidate{i, sims[i]};
       if (have_threshold_ && !MoreSimilar(last_returned_, candidate)) {
         continue;  // already emitted in an earlier batch
       }
@@ -112,10 +120,12 @@ LinearScanIndex::LinearScanIndex(const AttributeMatrix& points,
 std::vector<Neighbor> LinearScanIndex::ScanAll(const double* query) const {
   std::vector<Neighbor> all;
   all.reserve(points_.rows());
-  for (int i = 0; i < points_.rows(); ++i) {
-    all.push_back(
-        {i, similarity_.Compute(points_.Row(i), query, points_.dim())});
-  }
+  Arena& arena = GetScratchArena();
+  ScratchScope scratch(arena);
+  double* sims = arena.Alloc<double>(points_.rows());
+  similarity_.ComputeBatch(query, points_.Blocked(), simd::FpMode::kStrict,
+                           sims);
+  for (int i = 0; i < points_.rows(); ++i) all.push_back({i, sims[i]});
   return all;
 }
 

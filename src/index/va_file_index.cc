@@ -4,6 +4,9 @@
 #include <queue>
 
 #include "obs/stats.h"
+#include "simd/kernels.h"
+#include "simd/simd.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/memory.h"
 
@@ -35,9 +38,15 @@ class VaFileCursor final : public NnCursor {
   VaFileCursor(const VaFileIndex& index, const double* query)
       : index_(index), query_(query) {
     // Phase 1: one scan of the signatures seeds the queue with lower
-    // bounds (this is the sequential approximation-file scan).
-    for (int i = 0; i < index_.num_points(); ++i) {
-      queue_.push({index_.CellLowerBoundSq(query_, i), false, i});
+    // bounds (this is the sequential approximation-file scan), batched
+    // through the SIMD table scan into this worker's scratch arena.
+    const int n = index_.num_points();
+    Arena& arena = GetScratchArena();
+    ScratchScope scratch(arena);
+    double* bounds = arena.Alloc<double>(n);
+    index_.BatchedLowerBounds(query_, bounds);
+    for (int i = 0; i < n; ++i) {
+      queue_.push({bounds[i], false, i});
     }
   }
 
@@ -124,6 +133,23 @@ VaFileIndex::VaFileIndex(const AttributeMatrix& points,
       signature[j] = static_cast<uint8_t>(cell);
     }
   }
+
+  // Blocked mirror for the batched scan; padded lanes stay cell 0 (always
+  // a valid table index).
+  const int64_t num_blocks = simd::NumBlocks(points.rows());
+  sig_blocked_.assign(
+      static_cast<size_t>(num_blocks) * dim * simd::kBlockRows, 0);
+  for (int i = 0; i < points.rows(); ++i) {
+    const uint8_t* signature = signatures_.data() + static_cast<size_t>(i) * dim;
+    const int64_t block = i / simd::kBlockRows;
+    const int64_t lane = i % simd::kBlockRows;
+    uint8_t* dst =
+        sig_blocked_.data() +
+        (block * static_cast<int64_t>(dim)) * simd::kBlockRows + lane;
+    for (int j = 0; j < dim; ++j) {
+      dst[static_cast<int64_t>(j) * simd::kBlockRows] = signature[j];
+    }
+  }
 }
 
 double VaFileIndex::CellLowerBoundSq(const double* query, int i) const {
@@ -143,6 +169,41 @@ double VaFileIndex::CellLowerBoundSq(const double* query, int i) const {
     sum += diff * diff;
   }
   return sum;
+}
+
+// The table entry for (dimension j, cell c) is computed with exactly the
+// arithmetic CellLowerBoundSq uses for a point sitting in that cell, and
+// the batched kernel accumulates entries in the same ascending-j order
+// (degenerate dims contribute +0.0, which cannot change a non-negative
+// sum), so the batched bounds are bit-identical to the per-point loop.
+void VaFileIndex::BatchedLowerBounds(const double* query, double* out) const {
+  const int dim = points_.dim();
+  const int64_t n = num_points();
+  if (n == 0) return;
+  Arena& arena = GetScratchArena();
+  ScratchScope scratch(arena);
+  double* table = arena.Alloc<double>(static_cast<size_t>(dim) * cells_);
+  for (int j = 0; j < dim; ++j) {
+    double* row = table + static_cast<size_t>(j) * cells_;
+    if (cell_width_[j] <= 0.0) {
+      std::fill(row, row + cells_, 0.0);
+      continue;
+    }
+    for (int c = 0; c < cells_; ++c) {
+      const double lo = box_min_[j] + c * cell_width_[j];
+      const double hi = lo + cell_width_[j];
+      double diff = 0.0;
+      if (query[j] < lo) {
+        diff = lo - query[j];
+      } else if (query[j] > hi) {
+        diff = query[j] - hi;
+      }
+      row[c] = diff * diff;
+    }
+  }
+  GEACC_STATS_ADD("index.vafile.batched_bounds", n);
+  simd::BatchVaLowerBound(simd::ActiveLevel(), table, cells_,
+                          sig_blocked_.data(), dim, n, out);
 }
 
 std::vector<Neighbor> VaFileIndex::Query(const double* query, int k) const {
@@ -165,8 +226,12 @@ std::vector<Neighbor> VaFileIndex::Query(const double* query, int k) const {
   };
   std::vector<Exact> best;  // max-heap by `worse` (worst kept on top)
   int refined = 0;
+  Arena& arena = GetScratchArena();
+  ScratchScope scratch(arena);
+  double* bounds = arena.Alloc<double>(num_points());
+  BatchedLowerBounds(query, bounds);
   for (int i = 0; i < num_points(); ++i) {
-    const double bound = CellLowerBoundSq(query, i);
+    const double bound = bounds[i];
     if (static_cast<int>(best.size()) == k &&
         bound > best.front().distance_sq) {
       continue;  // cannot beat the current k-th nearest
@@ -200,8 +265,8 @@ std::unique_ptr<NnCursor> VaFileIndex::CreateCursor(
 }
 
 uint64_t VaFileIndex::ByteEstimate() const {
-  return VectorBytes(signatures_) + VectorBytes(box_min_) +
-         VectorBytes(cell_width_);
+  return VectorBytes(signatures_) + VectorBytes(sig_blocked_) +
+         VectorBytes(box_min_) + VectorBytes(cell_width_);
 }
 
 }  // namespace geacc

@@ -45,7 +45,15 @@ class VaFileIndex final : public KnnIndex {
   friend class VaFileCursor;
 
   // Squared lower-bound distance from `query` to point i's cell box.
+  // O(dim); the per-pair reference for the batched scan below.
   double CellLowerBoundSq(const double* query, int i) const;
+
+  // Batched signature scan: out[i] = CellLowerBoundSq(query, i) for all
+  // points, bit-identical (simd/kernels.h §VA) but via one per-query
+  // dim × 2^bits contribution table + the blocked signature mirror, so
+  // the scan is O(n × dim) table loads instead of O(n × dim) branches.
+  // `out` must hold num_points() doubles. O(dim × 2^bits) setup.
+  void BatchedLowerBounds(const double* query, double* out) const;
 
   const AttributeMatrix& points_;
   const SimilarityFunction& similarity_;
@@ -53,7 +61,11 @@ class VaFileIndex final : public KnnIndex {
   int cells_;                     // 2^bits
   std::vector<double> box_min_;   // per dim
   std::vector<double> cell_width_;  // per dim (0 for degenerate dims)
-  std::vector<uint8_t> signatures_;  // n × dim cell ids
+  std::vector<uint8_t> signatures_;  // n × dim cell ids, row-major
+  // Blocked mirror of signatures_ (simd::kBlockRows rows per block,
+  // dimension-major within a block, padded lanes hold cell 0) for the
+  // batched scan. Bytes, so no alignment requirement.
+  std::vector<uint8_t> sig_blocked_;
   mutable double last_refinement_ = 0.0;
 };
 

@@ -126,6 +126,34 @@ bool ValidatePoint(const JsonValue& point, size_t index, std::string* error) {
       }
     }
   }
+  if (const JsonValue* kernels = point.Find("kernels"); kernels != nullptr) {
+    const std::string kernels_where = where + ".kernels";
+    if (!kernels->is_object()) {
+      return Violation(error, kernels_where + ": not an object");
+    }
+    if (!RequireMember(*kernels, "dispatch", JsonValue::Type::kString,
+                       &member, error, kernels_where)) {
+      return false;
+    }
+    const std::string& dispatch = member->AsString();
+    if (dispatch != "scalar" && dispatch != "avx2") {
+      return Violation(error, kernels_where + ": unknown dispatch \"" +
+                                  dispatch + "\"");
+    }
+    for (const char* key : {"block", "batched_evals", "scalar_evals"}) {
+      if (!RequireMember(*kernels, key, JsonValue::Type::kInt, &member, error,
+                         kernels_where)) {
+        return false;
+      }
+      if (member->AsInt() < 0) {
+        return Violation(error,
+                         kernels_where + ": negative " + std::string(key));
+      }
+    }
+    if (kernels->Find("block")->AsInt() == 0) {
+      return Violation(error, kernels_where + ": zero block");
+    }
+  }
   return true;
 }
 
@@ -180,6 +208,14 @@ JsonValue BenchReport::ToJson() const {
       storage.Set("flushes", point.storage.flushes);
       entry.Set("storage", std::move(storage));
     }
+    if (point.has_kernels) {
+      JsonValue kernels = JsonValue::Object();
+      kernels.Set("dispatch", point.kernels.dispatch);
+      kernels.Set("block", point.kernels.block);
+      kernels.Set("batched_evals", point.kernels.batched_evals);
+      kernels.Set("scalar_evals", point.kernels.scalar_evals);
+      entry.Set("kernels", std::move(kernels));
+    }
     point_array.Append(std::move(entry));
   }
   root.Set("points", std::move(point_array));
@@ -229,6 +265,13 @@ bool BenchReport::FromJson(const JsonValue& json, std::string* error) {
       point.storage.faults = storage->Find("faults")->AsInt();
       point.storage.evictions = storage->Find("evictions")->AsInt();
       point.storage.flushes = storage->Find("flushes")->AsInt();
+    }
+    if (const JsonValue* kernels = entry.Find("kernels"); kernels != nullptr) {
+      point.has_kernels = true;
+      point.kernels.dispatch = kernels->Find("dispatch")->AsString();
+      point.kernels.block = kernels->Find("block")->AsInt();
+      point.kernels.batched_evals = kernels->Find("batched_evals")->AsInt();
+      point.kernels.scalar_evals = kernels->Find("scalar_evals")->AsInt();
     }
     points.push_back(std::move(point));
   }

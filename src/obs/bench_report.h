@@ -28,6 +28,12 @@
 //           "budget_bytes": 8388608, "page_size": 4096,
 //           "file_bytes": 33554432,
 //           "hits": 91824, "faults": 8112, "evictions": 8100, "flushes": 0
+//         },
+//         "kernels": {                      // optional: SIMD-kernel points
+//           "dispatch": "avx2",             // level the point actually ran
+//           "block": 8,                     // simd::kBlockRows of the build
+//           "batched_evals": 1048576,       // rows scored by blocked kernels
+//           "scalar_evals": 0               // rows scored per-pair
 //         }
 //       }, ...
 //     ]
@@ -80,6 +86,18 @@ struct StorageSummary {
   int64_t flushes = 0;
 };
 
+// SIMD-kernel activity for points exercising the batched similarity
+// layer (DESIGN.md §15). Optional within v1 — absent means the point
+// didn't separate kernel traffic. `dispatch` is the level the point ran
+// ("avx2" / "scalar"), `block` the build's simd::kBlockRows; the eval
+// counts mirror the simd.batched_evals / simd.scalar_evals counters.
+struct KernelsSummary {
+  std::string dispatch;
+  int64_t block = 0;
+  int64_t batched_evals = 0;
+  int64_t scalar_evals = 0;
+};
+
 // One measured (sweep point × solver) cell.
 struct BenchPoint {
   std::string label;
@@ -96,6 +114,9 @@ struct BenchPoint {
   // Serialized as a "storage" object only when has_storage is set.
   bool has_storage = false;
   StorageSummary storage;
+  // Serialized as a "kernels" object only when has_kernels is set.
+  bool has_kernels = false;
+  KernelsSummary kernels;
 };
 
 struct BenchReport {

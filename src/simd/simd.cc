@@ -1,0 +1,71 @@
+#include "simd/simd.h"
+
+#include <atomic>
+
+namespace geacc::simd {
+namespace {
+
+// -1 = no override; else a Level value.
+std::atomic<int> g_override{-1};
+
+Level BestSupportedLevel() {
+  return CpuSupportsAvx2() ? Level::kAvx2 : Level::kScalar;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(GEACC_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Level ActiveLevel() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level best = BestSupportedLevel();
+  return best;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+bool SetDispatchOverride(const std::string& mode, std::string* error) {
+  if (mode == "auto" || mode.empty()) {
+    g_override.store(-1, std::memory_order_relaxed);
+    return true;
+  }
+  if (mode == "scalar") {
+    g_override.store(static_cast<int>(Level::kScalar),
+                     std::memory_order_relaxed);
+    return true;
+  }
+  if (mode == "avx2") {
+    if (!CpuSupportsAvx2()) {
+      if (error != nullptr) {
+        *error = "--simd=avx2 requested but this binary/CPU has no AVX2";
+      }
+      return false;
+    }
+    g_override.store(static_cast<int>(Level::kAvx2),
+                     std::memory_order_relaxed);
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown simd mode '" + mode +
+             "' (expected auto, avx2, or scalar)";
+  }
+  return false;
+}
+
+}  // namespace geacc::simd

@@ -1,0 +1,56 @@
+// Runtime SIMD dispatch for the batched similarity kernels (DESIGN.md §15).
+//
+// The kernel layer (simd/kernels.h) ships one implementation per
+// instruction-set *level*; the level actually used is picked once per
+// process: the highest level the CPU supports, unless overridden by
+// `--simd={auto,avx2,scalar}` (benches) or SetDispatchOverride (tests).
+// Dispatch is a single relaxed atomic load on the hot path — kernels are
+// fetched per *batch*, never per element.
+//
+// Levels:
+//  * kScalar — portable C++ over the blocked layout. Always available.
+//    The compiler may auto-vectorize it; that is safe because the blocked
+//    kernels are written so every floating-point result is bit-identical
+//    to the per-pair scalar path regardless of lane width (see
+//    kernels.h for the exact FP contract).
+//  * kAvx2 — AVX2 intrinsics (4 × f64 lanes), compiled into the binary
+//    only when the toolchain supports -mavx2 (GEACC_HAVE_AVX2) and
+//    selected at startup only when cpuid reports AVX2.
+//
+// Thread-safety: ActiveLevel() is safe from any thread at any time.
+// SetDispatchOverride is for process startup / test setup — it must not
+// race with in-flight batch calls (the override is a plain atomic store,
+// so a race is benign but the affected batch may split levels).
+
+#ifndef GEACC_SIMD_SIMD_H_
+#define GEACC_SIMD_SIMD_H_
+
+#include <string>
+
+namespace geacc::simd {
+
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+// True iff this binary contains the AVX2 kernels *and* the CPU reports
+// AVX2 support.
+bool CpuSupportsAvx2();
+
+// The level batch calls dispatch to: the override if one was set, else
+// the best supported level.
+Level ActiveLevel();
+
+// "scalar" or "avx2".
+const char* LevelName(Level level);
+
+// Applies `--simd=MODE`: "auto" clears the override (hardware pick),
+// "scalar" forces the portable kernels, "avx2" forces AVX2. Returns
+// false with *error set (if non-null) when MODE is unknown or requests a
+// level this binary/CPU cannot run — forcing never silently degrades.
+bool SetDispatchOverride(const std::string& mode, std::string* error);
+
+}  // namespace geacc::simd
+
+#endif  // GEACC_SIMD_SIMD_H_

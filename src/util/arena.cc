@@ -1,0 +1,84 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace geacc {
+
+// Requests are rounded up to kAlignment, so `used_` is always a multiple
+// of kAlignment and every returned pointer inherits the chunk base's
+// alignment.
+void* Arena::AllocBytes(std::size_t bytes) {
+  bytes = (std::max<std::size_t>(bytes, 1) + kAlignment - 1) &
+          ~(kAlignment - 1);
+  if (current_ < chunks_.size() && used_ + bytes <= chunks_[current_].size) {
+    void* p = chunks_[current_].base + used_;
+    used_ += bytes;
+    return p;
+  }
+  return AllocSlow(bytes);
+}
+
+void* Arena::AllocSlow(std::size_t bytes) {
+  // Reuse a retained later chunk if one fits; chunks that are too small
+  // for this request are skipped (their space returns at the next Rewind
+  // past them).
+  while (current_ + 1 < chunks_.size()) {
+    ++current_;
+    used_ = 0;
+    if (bytes <= chunks_[current_].size) {
+      used_ = bytes;
+      return chunks_[current_].base;
+    }
+  }
+  std::size_t size = chunks_.empty()
+                         ? kMinChunkBytes
+                         : std::min(chunks_.back().size * 2, kMaxChunkBytes);
+  size = std::max(size, bytes);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size + kAlignment);
+  const auto raw = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+  const auto aligned = (raw + kAlignment - 1) & ~(kAlignment - 1);
+  chunk.base = reinterpret_cast<std::byte*>(aligned);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  used_ = bytes;
+  return chunks_[current_].base;
+}
+
+void Arena::Rewind(Mark m) {
+  GEACC_CHECK(m.chunk < current_ ||
+              (m.chunk == current_ && m.used <= used_) || chunks_.empty())
+      << "arena Rewind to a mark newer than the top";
+  current_ = m.chunk;
+  used_ = m.used;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  used_ = 0;
+}
+
+std::size_t Arena::BytesUsed() const {
+  std::size_t total = 0;
+  // Chunks before the current one count in full (skipped slack included).
+  for (std::size_t i = 0; i < current_ && i < chunks_.size(); ++i) {
+    total += chunks_[i].size;
+  }
+  return total + used_;
+}
+
+std::size_t Arena::BytesReserved() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+Arena& GetScratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace geacc

@@ -1,0 +1,125 @@
+// Bump-pointer scratch arena for hot solver/cursor paths (DESIGN.md §10,
+// §15.4).
+//
+// The batched similarity kernels turned several per-refill `new`/`vector`
+// allocations (NN-cursor score buffers, pair-cost rows) into the dominant
+// remaining cost on small batches. An Arena replaces them with a pointer
+// bump into reused chunks:
+//
+//  * Alloc<T>(n)    — uninitialized, suitably-aligned storage for n Ts
+//                     (trivially destructible Ts only; nothing is ever
+//                     destroyed). O(1) amortized; a new chunk is malloc'd
+//                     only when the current one is exhausted, with chunk
+//                     sizes doubling up to a cap so steady state makes
+//                     zero system allocations.
+//  * Mark()/Rewind  — watermark stack discipline: Rewind(m) releases
+//                     everything allocated since Mark() returned m,
+//                     keeping the chunks for reuse. Rewinding to a mark
+//                     from an earlier chunk walks back across chunks.
+//  * Reset()        — rewind to empty, keeping all chunks.
+//  * ScratchScope   — RAII Mark/Rewind.
+//
+// Ownership & threading: an Arena is single-threaded by design — no
+// locks, no atomics. The intended pattern (used by the index cursors and
+// solvers) is one arena per worker thread via GetScratchArena(), which
+// returns this thread's lazily-created thread_local arena. Cursors and
+// solver loops allocate from the calling thread's arena inside a
+// ScratchScope, so parallel workers never share scratch and the pool's
+// worker model (DESIGN.md §10) needs no changes. Never store a scratch
+// pointer beyond the enclosing scope, and never hand one to another
+// thread.
+
+#ifndef GEACC_UTIL_ARENA_H_
+#define GEACC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace geacc {
+
+class Arena {
+ public:
+  // Default chunk geometry: first chunk 64 KiB, doubling to 8 MiB max.
+  static constexpr std::size_t kMinChunkBytes = 64 << 10;
+  static constexpr std::size_t kMaxChunkBytes = 8 << 20;
+  // Every allocation is aligned to this (cache line), so kernel batch
+  // buffers from the arena satisfy simd::kBlockAlignment for free.
+  static constexpr std::size_t kAlignment = 64;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Opaque watermark; valid until a Rewind to an earlier mark or Reset.
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  // Uninitialized storage for `count` Ts, kAlignment-aligned. T must be
+  // trivially destructible — the arena never runs destructors.
+  template <typename T>
+  T* Alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destroyed");
+    return reinterpret_cast<T*>(AllocBytes(count * sizeof(T)));
+  }
+
+  // Raw kAlignment-aligned storage.
+  void* AllocBytes(std::size_t bytes);
+
+  Mark Top() const { return Mark{current_, used_}; }
+
+  // Releases everything allocated after `m` (chunks are kept for reuse).
+  // `m` must have come from Top() on this arena, with no earlier-mark
+  // Rewind/Reset in between.
+  void Rewind(Mark m);
+
+  // Rewind to empty; chunks are retained.
+  void Reset();
+
+  // Bytes currently handed out (live allocations, including alignment
+  // padding) and bytes held in chunks (for ByteEstimate-style reporting).
+  std::size_t BytesUsed() const;
+  std::size_t BytesReserved() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::byte* base = nullptr;  // kAlignment-aligned pointer into data
+    std::size_t size = 0;       // usable bytes from base
+  };
+
+  // Slow path: advance to (or allocate) a chunk that fits `bytes`.
+  void* AllocSlow(std::size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // index into chunks_ (== chunks_.size() if none)
+  std::size_t used_ = 0;     // bytes consumed in chunks_[current_]
+};
+
+// RAII Mark/Rewind: everything allocated from `arena` while the scope is
+// alive is released at scope exit.
+class ScratchScope {
+ public:
+  explicit ScratchScope(Arena& arena) : arena_(arena), mark_(arena.Top()) {}
+  ~ScratchScope() { arena_.Rewind(mark_); }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+// This thread's scratch arena (lazily created, lives until thread exit).
+// The per-worker ownership model above makes this safe to use from pool
+// workers and the caller lane alike.
+Arena& GetScratchArena();
+
+}  // namespace geacc
+
+#endif  // GEACC_UTIL_ARENA_H_

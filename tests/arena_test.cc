@@ -1,0 +1,181 @@
+// Tests for the scratch arena (src/util/arena.h): alignment, watermark
+// discipline, chunk reuse across Reset, ScratchScope nesting, and a
+// randomized Mark/alloc/Rewind fuzz with pattern verification.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+bool IsAligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % Arena::kAlignment == 0;
+}
+
+TEST(Arena, EveryAllocationIsCacheLineAligned) {
+  Arena arena;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto bytes = static_cast<std::size_t>(rng.UniformInt(1, 4096));
+    EXPECT_TRUE(IsAligned(arena.AllocBytes(bytes))) << "alloc " << i;
+  }
+  // Typed allocations inherit the same alignment (what the kernels need).
+  EXPECT_TRUE(IsAligned(arena.Alloc<double>(17)));
+}
+
+TEST(Arena, BytesUsedGrowsAndResetKeepsChunks) {
+  Arena arena;
+  EXPECT_EQ(arena.BytesUsed(), 0u);
+  double* first = arena.Alloc<double>(100);
+  const std::size_t used_one = arena.BytesUsed();
+  EXPECT_GE(used_one, 100 * sizeof(double));
+  arena.Alloc<double>(100);
+  EXPECT_GT(arena.BytesUsed(), used_one);
+  const std::size_t reserved = arena.BytesReserved();
+  EXPECT_GT(reserved, 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.BytesUsed(), 0u);
+  // Chunks are retained: same reservation, and the first allocation after
+  // a Reset reuses the original chunk (bump restarts at its base).
+  EXPECT_EQ(arena.BytesReserved(), reserved);
+  EXPECT_EQ(arena.Alloc<double>(100), first);
+}
+
+TEST(Arena, GrowsPastChunkBoundariesAndOversizedRequests) {
+  Arena arena;
+  // Force growth beyond the 64 KiB first chunk …
+  char* a = arena.Alloc<char>(Arena::kMinChunkBytes);
+  char* b = arena.Alloc<char>(Arena::kMinChunkBytes);
+  std::memset(a, 0xAB, Arena::kMinChunkBytes);
+  std::memset(b, 0xCD, Arena::kMinChunkBytes);
+  EXPECT_EQ(static_cast<unsigned char>(a[Arena::kMinChunkBytes - 1]), 0xAB);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xCD);
+  // … and past the doubling cap: a request larger than kMaxChunkBytes
+  // still succeeds with a dedicated chunk.
+  const std::size_t huge = Arena::kMaxChunkBytes + (1 << 20);
+  char* c = arena.Alloc<char>(huge);
+  c[0] = 1;
+  c[huge - 1] = 2;
+  EXPECT_GE(arena.BytesReserved(), huge);
+}
+
+TEST(Arena, RewindReleasesOnlyAllocationsAfterTheMark) {
+  Arena arena;
+  int32_t* keep = arena.Alloc<int32_t>(64);
+  for (int i = 0; i < 64; ++i) keep[i] = i;
+
+  const Arena::Mark mark = arena.Top();
+  const std::size_t used_at_mark = arena.BytesUsed();
+  int32_t* scratch = arena.Alloc<int32_t>(1024);  // stays in this chunk
+  for (int i = 0; i < 1024; ++i) scratch[i] = -1;
+  int32_t* spill = arena.Alloc<int32_t>(1 << 16);  // spills into chunk 2
+  for (int i = 0; i < (1 << 16); ++i) spill[i] = -2;
+  arena.Rewind(mark);  // walks back across the chunk boundary
+
+  EXPECT_EQ(arena.BytesUsed(), used_at_mark);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(keep[i], i) << "pre-mark allocation clobbered at " << i;
+  }
+  // The released space is handed out again.
+  EXPECT_EQ(arena.Alloc<int32_t>(16), scratch);
+}
+
+TEST(Arena, ScratchScopeNests) {
+  Arena arena;
+  arena.Alloc<char>(10);
+  const std::size_t outer_used = arena.BytesUsed();
+  {
+    ScratchScope outer(arena);
+    arena.Alloc<char>(1000);
+    const std::size_t mid_used = arena.BytesUsed();
+    {
+      ScratchScope inner(arena);
+      arena.Alloc<char>(100000);
+      EXPECT_GT(arena.BytesUsed(), mid_used);
+    }
+    EXPECT_EQ(arena.BytesUsed(), mid_used);
+  }
+  EXPECT_EQ(arena.BytesUsed(), outer_used);
+}
+
+TEST(Arena, GetScratchArenaIsStableWithinAThread) {
+  Arena& a = GetScratchArena();
+  Arena& b = GetScratchArena();
+  EXPECT_EQ(&a, &b);
+  ScratchScope scope(a);
+  EXPECT_TRUE(IsAligned(a.Alloc<double>(33)));
+}
+
+// Randomized watermark fuzz: a stack of (mark, live allocations), where
+// each allocation is stamped with a deterministic byte pattern. Rewinds
+// pop the stack; surviving allocations must keep their patterns — this
+// is what catches a Rewind that walks chunks back incorrectly.
+TEST(Arena, MarkRewindFuzz) {
+  Arena arena;
+  Rng rng(20260807);
+
+  struct Alloc {
+    unsigned char* ptr;
+    std::size_t bytes;
+    unsigned char stamp;
+  };
+  struct Frame {
+    Arena::Mark mark;
+    std::vector<Alloc> allocs;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({arena.Top(), {}});
+  unsigned char next_stamp = 1;
+
+  auto verify_live = [&] {
+    for (const Frame& frame : stack) {
+      for (const Alloc& alloc : frame.allocs) {
+        for (std::size_t k = 0; k < alloc.bytes; ++k) {
+          ASSERT_EQ(alloc.ptr[k], alloc.stamp)
+              << "stamp " << static_cast<int>(alloc.stamp)
+              << " clobbered at byte " << k;
+        }
+      }
+    }
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const int64_t op = rng.UniformInt(0, 9);
+    if (op <= 5) {  // allocate + stamp
+      // Sizes biased small with occasional chunk-crossing spikes.
+      const std::size_t bytes = static_cast<std::size_t>(
+          op == 0 ? rng.UniformInt(1, 200000) : rng.UniformInt(1, 512));
+      auto* p = static_cast<unsigned char*>(arena.AllocBytes(bytes));
+      ASSERT_TRUE(IsAligned(p));
+      std::memset(p, next_stamp, bytes);
+      stack.back().allocs.push_back({p, bytes, next_stamp});
+      next_stamp = static_cast<unsigned char>(next_stamp == 255 ? 1
+                                                                : next_stamp +
+                                                                      1);
+    } else if (op <= 7) {  // push a mark
+      stack.push_back({arena.Top(), {}});
+    } else if (stack.size() > 1) {  // pop: rewind to the newest mark
+      arena.Rewind(stack.back().mark);
+      stack.pop_back();
+      verify_live();
+    }
+  }
+  verify_live();
+  while (stack.size() > 1) {
+    arena.Rewind(stack.back().mark);
+    stack.pop_back();
+  }
+  verify_live();
+  arena.Reset();
+  EXPECT_EQ(arena.BytesUsed(), 0u);
+}
+
+}  // namespace
+}  // namespace geacc
