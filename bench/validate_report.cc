@@ -3,7 +3,7 @@
 // test the report pipeline.
 //
 //   build/bench/validate_report [--require-storage] [--require-kernels] \
-//       out.json
+//       [--require-shards] out.json
 //
 // --require-storage additionally demands at least one point carrying a
 // "storage" section with sane buffer-pool numbers (budget and page size
@@ -14,6 +14,11 @@
 // "kernels" section with sane numbers (a known dispatch level, the
 // build's block size, and at least one batched or scalar eval) — CI runs
 // micro_similarity under this flag.
+//
+// --require-shards demands at least one point carrying a "shards" section
+// with sane topology numbers (positive shard count and fleet width, one
+// per_shard entry per shard with monotone percentiles) — CI runs the
+// loadgen fleet smoke under this flag.
 
 #include <cstdint>
 #include <cstdio>
@@ -62,17 +67,52 @@ bool KernelsSane(const geacc::obs::KernelsSummary& kernels,
   return true;
 }
 
+bool ShardsSane(const geacc::obs::ShardsSummary& shards, std::string* error) {
+  if (shards.shard_count <= 0) {
+    *error = "shards.shard_count is not positive";
+    return false;
+  }
+  if (shards.fleet <= 0) {
+    *error = "shards.fleet is not positive";
+    return false;
+  }
+  if (shards.per_shard.size() != static_cast<size_t>(shards.shard_count)) {
+    *error = "shards.per_shard size disagrees with shard_count";
+    return false;
+  }
+  int64_t total_rpcs = 0;
+  for (const geacc::obs::ShardLatency& shard : shards.per_shard) {
+    if (shard.shard < 0 || shard.shard >= shards.shard_count) {
+      *error = "shards.per_shard entry with out-of-range shard id";
+      return false;
+    }
+    if (shard.p50_ms > shard.p95_ms || shard.p95_ms > shard.p99_ms) {
+      *error = "shards.per_shard entry with non-monotone percentiles";
+      return false;
+    }
+    total_rpcs += shard.requests;
+  }
+  if (total_rpcs == 0) {
+    *error = "shards section with zero shard RPCs";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool require_storage = false;
   bool require_kernels = false;
+  bool require_shards = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-storage") == 0) {
       require_storage = true;
     } else if (std::strcmp(argv[i], "--require-kernels") == 0) {
       require_kernels = true;
+    } else if (std::strcmp(argv[i], "--require-shards") == 0) {
+      require_shards = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -83,7 +123,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: %s [--require-storage] [--require-kernels] "
-                 "REPORT.json\n",
+                 "[--require-shards] REPORT.json\n",
                  argv[0]);
     return 2;
   }
@@ -114,6 +154,7 @@ int main(int argc, char** argv) {
 
   size_t storage_points = 0;
   size_t kernel_points = 0;
+  size_t shard_points = 0;
   for (const geacc::obs::BenchPoint& point : report.points) {
     if (point.has_storage) {
       ++storage_points;
@@ -148,6 +189,23 @@ int main(int argc, char** argv) {
           static_cast<long long>(point.kernels.batched_evals),
           static_cast<long long>(point.kernels.scalar_evals));
     }
+    if (point.has_shards) {
+      ++shard_points;
+      if (!ShardsSane(point.shards, &error)) {
+        std::fprintf(stderr, "%s: point '%s': %s\n", path, point.label.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      std::printf("  shards[%s]: shard_count=%d fleet=%d qps=%.0f\n",
+                  point.label.c_str(), point.shards.shard_count,
+                  point.shards.fleet, point.shards.qps);
+      for (const geacc::obs::ShardLatency& shard : point.shards.per_shard) {
+        std::printf("    shard %d: %lld rpcs, p50=%.3fms p95=%.3fms "
+                    "p99=%.3fms\n",
+                    shard.shard, static_cast<long long>(shard.requests),
+                    shard.p50_ms, shard.p95_ms, shard.p99_ms);
+      }
+    }
   }
   if (require_storage && storage_points == 0) {
     std::fprintf(stderr, "%s: --require-storage: no point carries a storage "
@@ -159,11 +217,17 @@ int main(int argc, char** argv) {
                  "section\n", path);
     return 1;
   }
+  if (require_shards && shard_points == 0) {
+    std::fprintf(stderr, "%s: --require-shards: no point carries a shards "
+                 "section\n", path);
+    return 1;
+  }
 
   std::printf("%s: valid geacc-bench v%d report — bench '%s', rev %s, %zu "
-              "point(s), %zu with storage, %zu with kernels\n",
+              "point(s), %zu with storage, %zu with kernels, %zu with "
+              "shards\n",
               path, geacc::obs::kBenchReportVersion, report.bench.c_str(),
               report.git_rev.c_str(), report.points.size(), storage_points,
-              kernel_points);
+              kernel_points, shard_points);
   return 0;
 }

@@ -156,6 +156,7 @@ bool IncrementalArranger::ConflictsWithAssigned(EventId v, UserId u) const {
 }
 
 void IncrementalArranger::FillUser(UserId u) {
+  if (!options_.refill) return;
   if (user_remaining_[u] <= 0 || !instance_->user_active(u)) return;
   RefreshIndexes();
   const std::unique_ptr<NnCursor> cursor =
@@ -180,6 +181,7 @@ void IncrementalArranger::FillUser(UserId u) {
 }
 
 void IncrementalArranger::FillEvent(EventId v) {
+  if (!options_.refill) return;
   if (event_remaining_[v] <= 0 || !instance_->event_active(v)) return;
   RefreshIndexes();
   const std::unique_ptr<NnCursor> cursor =
@@ -312,6 +314,7 @@ void IncrementalArranger::ApplySetUserCapacity(const Mutation& mutation) {
 }
 
 void IncrementalArranger::MaybeFullResolve() {
+  if (!options_.refill) return;
   if (options_.drift_threshold <= 0.0) return;
   if (drift_ <= options_.drift_threshold * std::max(1.0, max_sum_)) return;
   FullResolve();
@@ -383,6 +386,28 @@ void IncrementalArranger::ResetToEmpty() {
         instance_->user_active(u) ? instance_->user_capacity(u) : 0;
   }
   observed_epoch_ = instance_->epoch();
+}
+
+std::string IncrementalArranger::InstallArrangement(
+    const std::vector<std::pair<EventId, UserId>>& pairs,
+    uint64_t max_sum_bits) {
+  // Reuse the RestoreState machinery: rebuild both adjacency views in the
+  // given admission order so a restart replays to the same internal state.
+  ArrangerState state;
+  state.user_events.resize(instance_->user_slots());
+  state.event_users.resize(instance_->event_slots());
+  for (const auto& [v, u] : pairs) {
+    if (v < 0 || v >= instance_->event_slots() || u < 0 ||
+        u >= instance_->user_slots()) {
+      ResetToEmpty();
+      return StrFormat("installed pair {%d,%d} out of range", v, u);
+    }
+    state.user_events[u].push_back(v);
+    state.event_users[v].push_back(u);
+  }
+  state.max_sum_bits = max_sum_bits;
+  state.drift_bits = 0;
+  return RestoreState(state);
 }
 
 std::string IncrementalArranger::RestoreState(const ArrangerState& state) {

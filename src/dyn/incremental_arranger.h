@@ -78,6 +78,14 @@ struct RepairOptions {
   // tests/parallel_determinism_test), so this trades full-resolve latency
   // only — repair results never depend on it.
   int threads = 1;
+
+  // When false the arranger never *adds* pairs on its own: repairs evict
+  // whatever a mutation made infeasible but skip the greedy refill and the
+  // drift-triggered full re-solve. Shard replicas run in this mode — their
+  // arrangement is owned by the coordinator's epoch repair pass
+  // (src/shard/, DESIGN.md §16) and installed via InstallArrangement();
+  // autonomous refill would diverge from the global admission order.
+  bool refill = true;
 };
 
 // Cumulative counters; repair latencies are per-Apply.
@@ -150,6 +158,16 @@ class IncrementalArranger {
   // the instance first). Returns "" on success; on failure the arranger is
   // left empty and the caller should fall back to a full re-solve.
   std::string RestoreState(const ArrangerState& state);
+
+  // Replaces the maintained arrangement with exactly `pairs` (admission
+  // order preserved per user and per event) and adopts `max_sum_bits` as
+  // the maintained sum. The shard write path lands coordinator-computed
+  // arrangements through this: the pairs must be feasible for the current
+  // instance and the sum must match a recomputation to double precision.
+  // Returns "" on success; on failure the arranger is left empty.
+  std::string InstallArrangement(
+      const std::vector<std::pair<EventId, UserId>>& pairs,
+      uint64_t max_sum_bits);
 
  private:
   // RestoreState body; on failure the arrangement may be partial — the

@@ -154,6 +154,67 @@ bool ValidatePoint(const JsonValue& point, size_t index, std::string* error) {
       return Violation(error, kernels_where + ": zero block");
     }
   }
+  if (const JsonValue* shards = point.Find("shards"); shards != nullptr) {
+    const std::string shards_where = where + ".shards";
+    if (!shards->is_object()) {
+      return Violation(error, shards_where + ": not an object");
+    }
+    if (!RequireMember(*shards, "shard_count", JsonValue::Type::kInt, &member,
+                       error, shards_where)) {
+      return false;
+    }
+    if (member->AsInt() <= 0) {
+      return Violation(error, shards_where + ": non-positive shard_count");
+    }
+    if (!RequireMember(*shards, "fleet", JsonValue::Type::kInt, &member, error,
+                       shards_where)) {
+      return false;
+    }
+    if (member->AsInt() <= 0) {
+      return Violation(error, shards_where + ": non-positive fleet");
+    }
+    if (!RequireMember(*shards, "qps", JsonValue::Type::kDouble, &member,
+                       error, shards_where)) {
+      return false;
+    }
+    if (member->AsDouble() < 0.0) {
+      return Violation(error, shards_where + ": negative qps");
+    }
+    if (!RequireMember(*shards, "per_shard", JsonValue::Type::kArray, &member,
+                       error, shards_where)) {
+      return false;
+    }
+    const auto& entries = member->items();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const std::string entry_where =
+          shards_where + ".per_shard[" + std::to_string(i) + "]";
+      const JsonValue& entry = entries[i];
+      if (!entry.is_object()) {
+        return Violation(error, entry_where + ": not an object");
+      }
+      const JsonValue* field = nullptr;
+      for (const char* key : {"shard", "requests"}) {
+        if (!RequireMember(entry, key, JsonValue::Type::kInt, &field, error,
+                           entry_where)) {
+          return false;
+        }
+        if (field->AsInt() < 0) {
+          return Violation(error,
+                           entry_where + ": negative " + std::string(key));
+        }
+      }
+      for (const char* key : {"p50_ms", "p95_ms", "p99_ms"}) {
+        if (!RequireMember(entry, key, JsonValue::Type::kDouble, &field,
+                           error, entry_where)) {
+          return false;
+        }
+        if (field->AsDouble() < 0.0) {
+          return Violation(error,
+                           entry_where + ": negative " + std::string(key));
+        }
+      }
+    }
+  }
   return true;
 }
 
@@ -216,6 +277,25 @@ JsonValue BenchReport::ToJson() const {
       kernels.Set("scalar_evals", point.kernels.scalar_evals);
       entry.Set("kernels", std::move(kernels));
     }
+    if (point.has_shards) {
+      JsonValue shards = JsonValue::Object();
+      shards.Set("shard_count",
+                 static_cast<int64_t>(point.shards.shard_count));
+      shards.Set("fleet", static_cast<int64_t>(point.shards.fleet));
+      shards.Set("qps", point.shards.qps);
+      JsonValue per_shard = JsonValue::Array();
+      for (const ShardLatency& shard : point.shards.per_shard) {
+        JsonValue item = JsonValue::Object();
+        item.Set("shard", static_cast<int64_t>(shard.shard));
+        item.Set("requests", shard.requests);
+        item.Set("p50_ms", shard.p50_ms);
+        item.Set("p95_ms", shard.p95_ms);
+        item.Set("p99_ms", shard.p99_ms);
+        per_shard.Append(std::move(item));
+      }
+      shards.Set("per_shard", std::move(per_shard));
+      entry.Set("shards", std::move(shards));
+    }
     point_array.Append(std::move(entry));
   }
   root.Set("points", std::move(point_array));
@@ -272,6 +352,22 @@ bool BenchReport::FromJson(const JsonValue& json, std::string* error) {
       point.kernels.block = kernels->Find("block")->AsInt();
       point.kernels.batched_evals = kernels->Find("batched_evals")->AsInt();
       point.kernels.scalar_evals = kernels->Find("scalar_evals")->AsInt();
+    }
+    if (const JsonValue* shards = entry.Find("shards"); shards != nullptr) {
+      point.has_shards = true;
+      point.shards.shard_count =
+          static_cast<int32_t>(shards->Find("shard_count")->AsInt());
+      point.shards.fleet = static_cast<int32_t>(shards->Find("fleet")->AsInt());
+      point.shards.qps = shards->Find("qps")->AsDouble();
+      for (const JsonValue& item : shards->Find("per_shard")->items()) {
+        ShardLatency shard;
+        shard.shard = static_cast<int32_t>(item.Find("shard")->AsInt());
+        shard.requests = item.Find("requests")->AsInt();
+        shard.p50_ms = item.Find("p50_ms")->AsDouble();
+        shard.p95_ms = item.Find("p95_ms")->AsDouble();
+        shard.p99_ms = item.Find("p99_ms")->AsDouble();
+        point.shards.per_shard.push_back(shard);
+      }
     }
     points.push_back(std::move(point));
   }

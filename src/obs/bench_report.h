@@ -34,6 +34,14 @@
 //           "block": 8,                     // simd::kBlockRows of the build
 //           "batched_evals": 1048576,       // rows scored by blocked kernels
 //           "scalar_evals": 0               // rows scored per-pair
+//         },
+//         "shards": {                       // optional: sharded-topology runs
+//           "shard_count": 3, "fleet": 4,   // topology width, client procs
+//           "qps": 18234.5,                 // end-to-end fleet throughput
+//           "per_shard": [                  // coordinator-side RPC view
+//             {"shard": 0, "requests": 4821,
+//              "p50_ms": 0.05, "p95_ms": 0.21, "p99_ms": 0.6}, ...
+//           ]
 //         }
 //       }, ...
 //     ]
@@ -98,6 +106,28 @@ struct KernelsSummary {
   int64_t scalar_evals = 0;
 };
 
+// Per-shard RPC latency as seen by the coordinator (DESIGN.md §16).
+struct ShardLatency {
+  int32_t shard = 0;
+  int64_t requests = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// Sharded-topology summary, attached by loadgen fleet runs against a
+// geacc_coord front-end (DESIGN.md §16). Optional within v1 — absent
+// means the point ran against a single-node service. `fleet` is the
+// number of client processes whose latency samples were unioned into the
+// point's end-to-end percentiles; `per_shard` is the coordinator's own
+// shard-RPC view pulled over kShardStats.
+struct ShardsSummary {
+  int32_t shard_count = 0;
+  int32_t fleet = 0;
+  double qps = 0.0;
+  std::vector<ShardLatency> per_shard;
+};
+
 // One measured (sweep point × solver) cell.
 struct BenchPoint {
   std::string label;
@@ -117,6 +147,9 @@ struct BenchPoint {
   // Serialized as a "kernels" object only when has_kernels is set.
   bool has_kernels = false;
   KernelsSummary kernels;
+  // Serialized as a "shards" object only when has_shards is set.
+  bool has_shards = false;
+  ShardsSummary shards;
 };
 
 struct BenchReport {

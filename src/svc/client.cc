@@ -116,6 +116,39 @@ RpcStatus InProcessClient::Mutate(const Mutation& mutation, int64_t* ticket) {
   }
 }
 
+RpcStatus InProcessClient::Candidates(UserId first_user, int user_count,
+                                      std::vector<ScoredCandidate>* out) {
+  if (service_->Candidates(first_user, user_count, out) != SvcStatus::kOk) {
+    last_error_ = StrFormat("bad candidates query (first %d, count %d)",
+                            first_user, user_count);
+    return RpcStatus::kServerError;
+  }
+  return RpcStatus::kOk;
+}
+
+RpcStatus InProcessClient::InstallArrangement(
+    const std::vector<std::pair<EventId, UserId>>& pairs,
+    uint64_t max_sum_bits, int64_t* ticket) {
+  const SubmitResult result = service_->SubmitInstall(pairs, max_sum_bits);
+  switch (result.status) {
+    case SvcStatus::kOk:
+      if (ticket != nullptr) *ticket = result.ticket;
+      return RpcStatus::kOk;
+    case SvcStatus::kOverloaded:
+      last_error_ = "service overloaded";
+      return RpcStatus::kOverloaded;
+    default:
+      last_error_ = std::string("install failed: ") +
+                    SvcStatusName(result.status);
+      return RpcStatus::kServerError;
+  }
+}
+
+RpcStatus InProcessClient::GetShardStats(ShardTopologyStats* /*out*/) {
+  last_error_ = "shard stats: not a coordinator";
+  return RpcStatus::kServerError;
+}
+
 // ----- SocketClient -----
 
 SocketClient::~SocketClient() { Disconnect(); }
@@ -171,6 +204,12 @@ RpcStatus SocketClient::RoundTrip(const WireRequest& request,
     return RpcStatus::kNetworkError;
   }
   const std::string frame = EncodeRequestFrame(request);
+  if (frame.size() > kMaxFrameBytes + 4) {
+    last_error_ = StrFormat("request frame of %zu bytes exceeds the %u-byte "
+                            "wire cap", frame.size(),
+                            static_cast<unsigned>(kMaxFrameBytes));
+    return RpcStatus::kProtocolError;
+  }
   if (!WriteFull(fd_, frame.data(), frame.size())) {
     last_error_ = "write failed";
     Disconnect();
@@ -307,6 +346,56 @@ RpcStatus SocketClient::Mutate(const Mutation& mutation, int64_t* ticket) {
     return UnexpectedReply(response.type, &last_error_);
   }
   if (ticket != nullptr) *ticket = response.ticket;
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::Candidates(UserId first_user, int user_count,
+                                   std::vector<ScoredCandidate>* out) {
+  WireRequest request;
+  request.type = MsgType::kCandidates;
+  request.id = first_user;
+  request.k = user_count;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type != MsgType::kCandidateList) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  *out = std::move(response.candidates);
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::InstallArrangement(
+    const std::vector<std::pair<EventId, UserId>>& pairs,
+    uint64_t max_sum_bits, int64_t* ticket) {
+  WireRequest request;
+  request.type = MsgType::kInstallArrangement;
+  request.pairs = pairs;
+  request.max_sum_bits = max_sum_bits;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type == MsgType::kOverloaded) {
+    last_error_ = "service overloaded";
+    return RpcStatus::kOverloaded;
+  }
+  if (response.type != MsgType::kMutateAck) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  if (ticket != nullptr) *ticket = response.ticket;
+  return RpcStatus::kOk;
+}
+
+RpcStatus SocketClient::GetShardStats(ShardTopologyStats* out) {
+  WireRequest request;
+  request.type = MsgType::kShardStats;
+  WireResponse response;
+  const RpcStatus status = RoundTrip(request, &response);
+  if (status != RpcStatus::kOk) return status;
+  if (response.type != MsgType::kShardStatsReply) {
+    return UnexpectedReply(response.type, &last_error_);
+  }
+  *out = std::move(response.shard_stats);
   return RpcStatus::kOk;
 }
 

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dyn/mutation.h"
@@ -33,6 +34,7 @@ namespace geacc::svc {
 
 struct WireRequest;
 struct WireResponse;
+struct ShardTopologyStats;
 
 enum class RpcStatus {
   kOk = 0,
@@ -60,6 +62,22 @@ class ServiceClient {
   // ArrangementService::WaitForTicket).
   virtual RpcStatus Mutate(const Mutation& mutation, int64_t* ticket) = 0;
 
+  // ----- shard protocol (src/shard/, DESIGN.md §16) -----
+
+  // Unfiltered scoring edges for users in [first_user, first_user +
+  // user_count) of the server's slot space (clamped server-side).
+  virtual RpcStatus Candidates(UserId first_user, int user_count,
+                               std::vector<ScoredCandidate>* out) = 0;
+
+  // Replaces the server's arrangement with `pairs` (slot ids, admission
+  // order) and `max_sum_bits` as the maintained sum; `*ticket` as Mutate.
+  virtual RpcStatus InstallArrangement(
+      const std::vector<std::pair<EventId, UserId>>& pairs,
+      uint64_t max_sum_bits, int64_t* ticket) = 0;
+
+  // Coordinator-only: per-shard breakdown. A plain shard replies kError.
+  virtual RpcStatus GetShardStats(ShardTopologyStats* out) = 0;
+
   // Diagnostic for the most recent non-kOk result.
   const std::string& last_error() const { return last_error_; }
 
@@ -80,6 +98,12 @@ class InProcessClient : public ServiceClient {
                        std::vector<ScoredEvent>* out) override;
   RpcStatus GetStats(ServiceStatsView* out) override;
   RpcStatus Mutate(const Mutation& mutation, int64_t* ticket) override;
+  RpcStatus Candidates(UserId first_user, int user_count,
+                       std::vector<ScoredCandidate>* out) override;
+  RpcStatus InstallArrangement(
+      const std::vector<std::pair<EventId, UserId>>& pairs,
+      uint64_t max_sum_bits, int64_t* ticket) override;
+  RpcStatus GetShardStats(ShardTopologyStats* out) override;
 
  private:
   ArrangementService* service_;
@@ -107,6 +131,12 @@ class SocketClient : public ServiceClient {
                        std::vector<ScoredEvent>* out) override;
   RpcStatus GetStats(ServiceStatsView* out) override;
   RpcStatus Mutate(const Mutation& mutation, int64_t* ticket) override;
+  RpcStatus Candidates(UserId first_user, int user_count,
+                       std::vector<ScoredCandidate>* out) override;
+  RpcStatus InstallArrangement(
+      const std::vector<std::pair<EventId, UserId>>& pairs,
+      uint64_t max_sum_bits, int64_t* ticket) override;
+  RpcStatus GetShardStats(ShardTopologyStats* out) override;
 
  private:
   // Sends `request` and decodes the reply into `response`; translates

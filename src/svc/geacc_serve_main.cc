@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   std::string fallback = "greedy";
   int64_t repair_budget = 0;
   double drift_threshold = 0.1;
+  bool score_only = false;
   int duration_s = 0;
 
   geacc::FlagSet flags;
@@ -85,6 +86,10 @@ int main(int argc, char** argv) {
                "cursor steps per repair (0 = unlimited)");
   flags.AddDouble("drift_threshold", &drift_threshold,
                   "full-resolve trigger (<= 0 disables)");
+  flags.AddBool("score_only", &score_only,
+                "shard-replica mode (DESIGN.md §16): no bootstrap solve and "
+                "no repair refill — the coordinator owns the arrangement "
+                "and pushes it via install");
   flags.AddInt("duration_s", &duration_s, "exit after this long (0 = forever)");
   flags.Parse(argc, argv);
 
@@ -101,6 +106,10 @@ int main(int argc, char** argv) {
   options.repair.fallback_solver = fallback;
   options.repair.repair_budget = repair_budget;
   options.repair.drift_threshold = drift_threshold;
+  if (score_only) {
+    options.bootstrap_full_resolve = false;
+    options.repair.refill = false;
+  }
 
   // An existing WAL wins over the synthetic knobs: restarting with the
   // same --wal resumes the logged state instead of regenerating (and

@@ -62,12 +62,15 @@ WireResponse ErrorResponse(std::string message) {
 
 }  // namespace
 
-ServiceServer::ServiceServer(ArrangementService* service)
-    : service_(service) {}
+WireServer::WireServer(Dispatcher dispatcher)
+    : WireServer(std::move(dispatcher), Options()) {}
 
-ServiceServer::~ServiceServer() { Stop(); }
+WireServer::WireServer(Dispatcher dispatcher, Options options)
+    : dispatcher_(std::move(dispatcher)), options_(options) {}
 
-bool ServiceServer::Start(int port, std::string* error) {
+WireServer::~WireServer() { Stop(); }
+
+bool WireServer::Start(int port, std::string* error) {
   const auto fail = [&](const std::string& what) {
     if (error != nullptr) *error = what + ": " + std::strerror(errno);
     if (listen_fd_ >= 0) {
@@ -102,7 +105,7 @@ bool ServiceServer::Start(int port, std::string* error) {
   return true;
 }
 
-void ServiceServer::Stop() {
+void WireServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
@@ -122,7 +125,7 @@ void ServiceServer::Stop() {
   }
 }
 
-void ServiceServer::AcceptLoop() {
+void WireServer::AcceptLoop() {
   for (;;) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -132,24 +135,53 @@ void ServiceServer::AcceptLoop() {
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      close(fd);
-      return;
+    std::thread finished;  // joined outside the lock
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        close(fd);
+        return;
+      }
+      // Reclaim a finished slot (its ConnectionLoop set the fd to -1) so
+      // a long-lived server doesn't accrete one dead thread per client.
+      size_t slot = connection_fds_.size();
+      for (size_t i = 0; i < connection_fds_.size(); ++i) {
+        if (connection_fds_[i] < 0) {
+          slot = i;
+          break;
+        }
+      }
+      int live = 0;
+      for (const int conn_fd : connection_fds_) {
+        if (conn_fd >= 0) ++live;
+      }
+      if (options_.max_connections > 0 && live >= options_.max_connections) {
+        // Full house: refuse with a clean, parseable frame instead of
+        // spawning an unbounded thread. The client sees kOverloaded and
+        // retries or sheds, exactly as it would for queue backpressure.
+        GEACC_STATS_ADD("svc.net.overloaded_conns", 1);
+        WireResponse overloaded;
+        overloaded.type = MsgType::kOverloaded;
+        SendResponse(fd, overloaded);
+        close(fd);
+        continue;
+      }
+      if (slot < connection_fds_.size()) {
+        finished = std::move(connection_threads_[slot]);
+        connection_fds_[slot] = fd;
+        connection_threads_[slot] =
+            std::thread([this, slot, fd] { ConnectionLoop(slot, fd); });
+      } else {
+        connection_fds_.push_back(fd);
+        connection_threads_.emplace_back(
+            [this, slot, fd] { ConnectionLoop(slot, fd); });
+      }
     }
-    const size_t slot = connection_fds_.size();
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back(
-        [this, slot] { ConnectionLoop(slot); });
+    if (finished.joinable()) finished.join();
   }
 }
 
-void ServiceServer::ConnectionLoop(size_t slot) {
-  int fd;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    fd = connection_fds_[slot];
-  }
+void WireServer::ConnectionLoop(size_t slot, int fd) {
   for (;;) {
     uint8_t prefix[4];
     if (!ReadFull(fd, prefix, sizeof(prefix))) break;
@@ -173,7 +205,7 @@ void ServiceServer::ConnectionLoop(size_t slot) {
   connection_fds_[slot] = -1;
 }
 
-bool ServiceServer::HandleFrame(const std::string& frame_body, int fd) {
+bool WireServer::HandleFrame(const std::string& frame_body, int fd) {
   GEACC_STATS_ADD("svc.net.requests", 1);
   WireRequest request;
   std::string decode_error;
@@ -183,8 +215,14 @@ bool ServiceServer::HandleFrame(const std::string& frame_body, int fd) {
     SendResponse(fd, ErrorResponse("bad frame: " + decode_error));
     return false;  // framing is broken — do not trust the byte stream
   }
-  return SendResponse(fd, Dispatch(request));
+  return SendResponse(fd, dispatcher_(request));
 }
+
+ServiceServer::ServiceServer(ArrangementService* service,
+                             WireServer::Options options)
+    : service_(service),
+      server_([this](const WireRequest& request) { return Dispatch(request); },
+              options) {}
 
 WireResponse ServiceServer::Dispatch(const WireRequest& request) {
   WireResponse response;
@@ -253,6 +291,39 @@ WireResponse ServiceServer::Dispatch(const WireRequest& request) {
                                SvcStatusName(result.status));
       }
     }
+    case MsgType::kCandidates: {
+      if (service_->Candidates(request.id, request.k, &response.candidates) !=
+          SvcStatus::kOk) {
+        return ErrorResponse(StrFormat(
+            "bad candidates query (first %d, count %d)", request.id,
+            request.k));
+      }
+      response.type = MsgType::kCandidateList;
+      return response;
+    }
+    case MsgType::kInstallArrangement: {
+      std::vector<std::pair<EventId, UserId>> pairs;
+      pairs.reserve(request.pairs.size());
+      for (const auto& [event, user] : request.pairs) {
+        pairs.emplace_back(event, user);
+      }
+      const SubmitResult result =
+          service_->SubmitInstall(std::move(pairs), request.max_sum_bits);
+      switch (result.status) {
+        case SvcStatus::kOk:
+          response.type = MsgType::kMutateAck;
+          response.ticket = result.ticket;
+          return response;
+        case SvcStatus::kOverloaded:
+          response.type = MsgType::kOverloaded;
+          return response;
+        default:
+          return ErrorResponse(std::string("install failed: ") +
+                               SvcStatusName(result.status));
+      }
+    }
+    case MsgType::kShardStats:
+      return ErrorResponse("shard stats: not a coordinator");
     default:
       return ErrorResponse("unexpected message type");
   }

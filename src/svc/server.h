@@ -1,28 +1,43 @@
-// TCP front-end for an ArrangementService (DESIGN.md §11).
+// TCP front-ends speaking the svc/wire framing (DESIGN.md §11, §16).
 //
-// ServiceServer listens on 127.0.0.1 (loopback only — exposing an
-// arrangement store beyond the host is a deployment decision, not a
-// library default) and speaks the svc/wire framing: one accept thread,
-// one thread per connection, synchronous request/response per frame.
-// That model is deliberately simple — the service underneath is the
-// concurrent part (lock-free snapshot reads, single writer), so
-// connection threads spend their time in decode/dispatch/encode and
-// never block each other.
+// WireServer is the transport half: it listens on 127.0.0.1 (loopback
+// only — exposing an arrangement store beyond the host is a deployment
+// decision, not a library default), runs one accept thread and one thread
+// per connection, and hands every well-framed request to a caller-supplied
+// dispatcher, synchronously, one request/response per frame. That model
+// is deliberately simple — the service underneath is the concurrent part
+// (lock-free snapshot reads, single writer), so connection threads spend
+// their time in decode/dispatch/encode and never block each other.
+//
+// Admission control: live connections are capped (Options::max_connections)
+// because a shard coordinator's fan-out plus a loadgen fleet can otherwise
+// spawn one thread per socket without bound. An over-limit connect is
+// answered with a single kOverloaded frame and closed — a clean, parseable
+// refusal the client maps to RpcStatus::kOverloaded — and finished
+// connection slots are reclaimed for new peers.
 //
 // Protocol discipline: a malformed frame (bad length, version, type, or
 // body) gets one kError reply when possible, then the connection is
 // closed — a peer that cannot frame correctly cannot be resynchronized.
 // Valid requests never close the connection; invalid *arguments* (bad
 // ids, unparsable mutation lines) are kError replies on a healthy
-// connection. Counters: svc.net.requests, svc.net.protocol_errors.
+// connection. Counters: svc.net.requests, svc.net.protocol_errors,
+// svc.net.overloaded_conns.
+//
+// ServiceServer binds a WireServer to an ArrangementService — the
+// single-node (or single-shard) deployment. The shard coordinator
+// (src/shard/coordinator.h) builds its own dispatcher on the same
+// transport.
 //
 // Thread-safety: Start/Stop from one controlling thread; Stop() (or the
 // destructor) shuts down the listener and every live connection, then
-// joins all threads. The ArrangementService must outlive the server.
+// joins all threads. The dispatcher runs on connection threads and must
+// be thread-safe. The ArrangementService must outlive the server.
 
 #ifndef GEACC_SVC_SERVER_H_
 #define GEACC_SVC_SERVER_H_
 
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -33,14 +48,24 @@
 
 namespace geacc::svc {
 
-class ServiceServer {
+class WireServer {
  public:
-  // `service` must outlive the server.
-  explicit ServiceServer(ArrangementService* service);
-  ~ServiceServer();
+  // Maps one decoded request to its response; called concurrently from
+  // connection threads.
+  using Dispatcher = std::function<WireResponse(const WireRequest&)>;
 
-  ServiceServer(const ServiceServer&) = delete;
-  ServiceServer& operator=(const ServiceServer&) = delete;
+  struct Options {
+    // Live-connection cap; connects past it get one kOverloaded frame and
+    // an immediate close. 0 means unlimited (tests only).
+    int max_connections = 256;
+  };
+
+  explicit WireServer(Dispatcher dispatcher);
+  WireServer(Dispatcher dispatcher, Options options);
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
 
   // Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back via
   // port()) and starts accepting. False with a diagnostic on bind/listen
@@ -56,12 +81,12 @@ class ServiceServer {
 
  private:
   void AcceptLoop();
-  void ConnectionLoop(size_t slot);
+  void ConnectionLoop(size_t slot, int fd);
   // One request in, one response out. False ⇒ close the connection.
   bool HandleFrame(const std::string& frame_body, int fd);
-  WireResponse Dispatch(const WireRequest& request);
 
-  ArrangementService* service_;
+  Dispatcher dispatcher_;
+  Options options_;
   int listen_fd_ = -1;
   int port_ = -1;
   std::thread accept_thread_;
@@ -70,6 +95,28 @@ class ServiceServer {
   bool stopping_ = false;
   std::vector<int> connection_fds_;  // -1 once its thread finished
   std::vector<std::thread> connection_threads_;
+};
+
+class ServiceServer {
+ public:
+  // `service` must outlive the server.
+  explicit ServiceServer(ArrangementService* service,
+                         WireServer::Options options = {});
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  bool Start(int port, std::string* error = nullptr) {
+    return server_.Start(port, error);
+  }
+  int port() const { return server_.port(); }
+  void Stop() { server_.Stop(); }
+
+ private:
+  WireResponse Dispatch(const WireRequest& request);
+
+  ArrangementService* service_;
+  WireServer server_;
 };
 
 }  // namespace geacc::svc

@@ -325,6 +325,27 @@ SubmitResult ArrangementService::Submit(Mutation mutation) {
   return {SvcStatus::kOk, ticket};
 }
 
+SubmitResult ArrangementService::SubmitInstall(
+    std::vector<std::pair<EventId, UserId>> pairs, uint64_t max_sum_bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return {SvcStatus::kShuttingDown, -1};
+  if (static_cast<int>(queue_.size()) >= options_.queue_depth) {
+    ++overloads_;
+    GEACC_STATS_ADD("svc.overloads", 1);
+    return {SvcStatus::kOverloaded, -1};
+  }
+  const int64_t ticket = ++next_ticket_;
+  PendingMutation pending;
+  pending.ticket = ticket;
+  pending.is_install = true;
+  pending.install_pairs = std::move(pairs);
+  pending.install_max_sum_bits = max_sum_bits;
+  queue_.push_back(std::move(pending));
+  GEACC_STATS_ADD("svc.installs", 1);
+  queue_cv_.notify_one();
+  return {SvcStatus::kOk, ticket};
+}
+
 SvcStatus ArrangementService::WaitForTicket(int64_t ticket) {
   std::unique_lock<std::mutex> lock(mu_);
   if (ticket < 1 || ticket > next_ticket_) return SvcStatus::kInvalidArgument;
@@ -384,6 +405,21 @@ void ArrangementService::ApplyBatch(std::vector<PendingMutation> batch) {
   {
     GEACC_PHASE_TIMER("svc.batch_apply");
     for (PendingMutation& pending : batch) {
+      if (pending.is_install) {
+        // Whole-arrangement swap. Not an instance mutation (epoch and WAL
+        // untouched): the coordinator re-derives and re-installs after
+        // any recovery, so durability rides on the mutation log alone.
+        const std::string problem = arranger_->InstallArrangement(
+            pending.install_pairs, pending.install_max_sum_bits);
+        if (!problem.empty()) {
+          rejected_now.push_back(pending.ticket);
+          GEACC_STATS_ADD("svc.installs_rejected", 1);
+          GEACC_LOG(WARNING) << "arrangement install rejected: " << problem;
+        } else {
+          GEACC_STATS_ADD("svc.installs_applied", 1);
+        }
+        continue;
+      }
       const std::string problem =
           ValidateMutation(*instance_, pending.mutation);
       if (!problem.empty()) {
@@ -455,6 +491,15 @@ SvcStatus ArrangementService::TopKEvents(UserId user, int k,
   const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
   if (!snap->user_in_range(user) || k < 0) return SvcStatus::kInvalidArgument;
   *out = snap->TopKEvents(user, k);
+  return SvcStatus::kOk;
+}
+
+SvcStatus ArrangementService::Candidates(
+    UserId first_user, int user_count,
+    std::vector<ScoredCandidate>* out) const {
+  if (first_user < 0 || user_count < 0) return SvcStatus::kInvalidArgument;
+  const std::shared_ptr<const ServiceSnapshot> snap = snapshot();
+  *out = snap->Candidates(first_user, user_count);
   return SvcStatus::kOk;
 }
 

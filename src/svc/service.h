@@ -161,6 +161,16 @@ class ArrangementService {
   // writer.
   SubmitResult Submit(Mutation mutation);
 
+  // Enqueues a whole-arrangement replacement (shard coordinator install,
+  // DESIGN.md §16): the writer swaps the maintained arrangement for
+  // exactly `pairs` (slot ids, admission order) and adopts
+  // `max_sum_bits` as the maintained sum. Serialized with mutations via
+  // the same queue and ticket space; infeasible installs reject their
+  // ticket and leave the arrangement empty. Installs are NOT WAL-logged —
+  // after recovery the coordinator's next repair pass re-installs.
+  SubmitResult SubmitInstall(std::vector<std::pair<EventId, UserId>> pairs,
+                             uint64_t max_sum_bits);
+
   // Blocks until `ticket`'s batch is applied and its snapshot published.
   // Returns kOk, kRejected (failed validation), or kInvalidArgument for a
   // ticket never issued.
@@ -191,6 +201,12 @@ class ArrangementService {
   // Top-k candidate events for `user` (see ServiceSnapshot::TopKEvents).
   SvcStatus TopKEvents(UserId user, int k, std::vector<ScoredEvent>* out) const;
 
+  // Unfiltered scoring edges for users in [first_user, first_user +
+  // user_count) (see ServiceSnapshot::Candidates). kInvalidArgument on
+  // negative arguments; the range itself is clamped to the slot space.
+  SvcStatus Candidates(UserId first_user, int user_count,
+                       std::vector<ScoredCandidate>* out) const;
+
   ServiceStatsView Stats() const;
 
   // Writes a compacted dense instance+arrangement checkpoint of the
@@ -203,6 +219,11 @@ class ArrangementService {
   struct PendingMutation {
     Mutation mutation;
     int64_t ticket = 0;
+    // Arrangement install op (SubmitInstall): when set, `mutation` is
+    // ignored and the writer replaces the arrangement wholesale.
+    bool is_install = false;
+    std::vector<std::pair<EventId, UserId>> install_pairs;
+    uint64_t install_max_sum_bits = 0;
   };
 
   // Builds instance_/arranger_ (and, when `fresh_wal`, creates the WAL);

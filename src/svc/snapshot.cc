@@ -48,6 +48,24 @@ std::vector<std::vector<ScoredEvent>> ServiceSnapshot::TopKEventsBatch(
   return results;
 }
 
+std::vector<ScoredCandidate> ServiceSnapshot::Candidates(
+    UserId first_user, int user_count) const {
+  std::vector<ScoredCandidate> edges;
+  const UserId begin = std::max<UserId>(first_user, 0);
+  const UserId end = std::min<UserId>(
+      user_slots(), begin + std::max(user_count, 0));
+  for (UserId u = begin; u < end; ++u) {
+    if (!user_active_[u]) continue;
+    for (EventId v = 0; v < event_slots(); ++v) {
+      if (!event_active_[v]) continue;
+      const double sim = Similarity(v, u);
+      if (sim <= 0.0) continue;
+      edges.push_back({u, v, sim});
+    }
+  }
+  return edges;
+}
+
 Instance ServiceSnapshot::ToDenseInstance(
     std::vector<EventId>* dense_to_event,
     std::vector<UserId>* dense_to_user) const {

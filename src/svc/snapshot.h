@@ -47,6 +47,16 @@ struct ScoredEvent {
   bool operator==(const ScoredEvent&) const = default;
 };
 
+// One (user, event) scoring edge as streamed to the shard coordinator's
+// epoch repair pass (src/shard/, DESIGN.md §16).
+struct ScoredCandidate {
+  UserId user = -1;
+  EventId event = kInvalidEvent;
+  double similarity = 0.0;
+
+  bool operator==(const ScoredCandidate&) const = default;
+};
+
 class ServiceSnapshot {
  public:
   // ----- identity -----
@@ -105,6 +115,15 @@ class ServiceSnapshot {
   // (result order matches `users`; each id must be in range).
   std::vector<std::vector<ScoredEvent>> TopKEventsBatch(
       const std::vector<UserId>& users, int k, int threads) const;
+
+  // Every positive-similarity edge between an active user in the slot
+  // range [first_user, first_user + user_count) and an active event,
+  // ordered (user asc, event asc). Unlike TopKEvents this does NOT filter
+  // out pairs already assigned — the coordinator's repair pass re-derives
+  // the global arrangement from scratch each epoch, so held pairs must
+  // stay in the stream. The range is clamped to the slot space.
+  std::vector<ScoredCandidate> Candidates(UserId first_user,
+                                          int user_count) const;
 
   // Compacts the snapshot into a dense immutable Instance + Arrangement
   // over the active entities (checkpoint/export path). Dense ids are

@@ -156,6 +156,12 @@ const char* MsgTypeName(MsgType type) {
       return "stats";
     case MsgType::kMutate:
       return "mutate";
+    case MsgType::kCandidates:
+      return "candidates";
+    case MsgType::kInstallArrangement:
+      return "install_arrangement";
+    case MsgType::kShardStats:
+      return "shard_stats";
     case MsgType::kPong:
       return "pong";
     case MsgType::kIdList:
@@ -170,6 +176,10 @@ const char* MsgTypeName(MsgType type) {
       return "overloaded";
     case MsgType::kError:
       return "error";
+    case MsgType::kCandidateList:
+      return "candidate_list";
+    case MsgType::kShardStatsReply:
+      return "shard_stats_reply";
   }
   return "unknown";
 }
@@ -192,6 +202,20 @@ std::string EncodeRequestFrame(const WireRequest& request) {
       break;
     case MsgType::kMutate:
       PutBytes(&body, request.payload);
+      break;
+    case MsgType::kCandidates:
+      PutI32(&body, request.id);
+      PutI32(&body, request.k);
+      break;
+    case MsgType::kInstallArrangement:
+      PutU64(&body, request.max_sum_bits);
+      PutU32(&body, static_cast<uint32_t>(request.pairs.size()));
+      for (const auto& [event, user] : request.pairs) {
+        PutI32(&body, event);
+        PutI32(&body, user);
+      }
+      break;
+    case MsgType::kShardStats:
       break;
     default:
       GEACC_CHECK(false) << "not a request type: "
@@ -237,6 +261,45 @@ std::string EncodeResponseFrame(const WireResponse& response) {
     case MsgType::kError:
       PutBytes(&body, response.message);
       break;
+    case MsgType::kCandidateList:
+      PutU32(&body, static_cast<uint32_t>(response.candidates.size()));
+      for (const ScoredCandidate& c : response.candidates) {
+        PutI32(&body, c.user);
+        PutI32(&body, c.event);
+        PutF64(&body, c.similarity);
+      }
+      break;
+    case MsgType::kShardStatsReply: {
+      const ShardTopologyStats& ts = response.shard_stats;
+      PutI32(&body, ts.shard_count);
+      PutI64(&body, ts.repair_epoch);
+      PutF64(&body, ts.global_max_sum);
+      PutI64(&body, ts.repair_candidates);
+      PutI64(&body, ts.repair_admitted);
+      PutI64(&body, ts.repair_rejected_capacity);
+      PutI64(&body, ts.repair_rejected_conflict);
+      PutI64(&body, ts.cross_edge_rejects);
+      PutU32(&body, static_cast<uint32_t>(ts.shards.size()));
+      for (const ShardStatsEntry& entry : ts.shards) {
+        PutI32(&body, entry.shard);
+        PutI64(&body, entry.stats.epoch);
+        PutI64(&body, entry.stats.applied_seq);
+        PutI64(&body, entry.stats.pairs);
+        PutI32(&body, entry.stats.active_events);
+        PutI32(&body, entry.stats.active_users);
+        PutI32(&body, entry.stats.event_slots);
+        PutI32(&body, entry.stats.user_slots);
+        PutF64(&body, entry.stats.max_sum);
+        PutI32(&body, entry.stats.queued);
+        PutI64(&body, entry.stats.overloads);
+        PutI64(&body, entry.rpc_requests);
+        PutI64(&body, entry.rpc_errors);
+        PutF64(&body, entry.rpc_p50_ms);
+        PutF64(&body, entry.rpc_p95_ms);
+        PutF64(&body, entry.rpc_p99_ms);
+      }
+      break;
+    }
     default:
       GEACC_CHECK(false) << "not a response type: "
                          << static_cast<int>(response.type);
@@ -258,9 +321,10 @@ bool DecodeHeader(Reader* reader, bool want_request, MsgType* type,
   uint8_t raw;
   if (!reader->ReadU8(&raw)) return Fail(error, "truncated frame");
   const bool is_request = raw >= static_cast<uint8_t>(MsgType::kPing) &&
-                          raw <= static_cast<uint8_t>(MsgType::kMutate);
-  const bool is_response = raw >= static_cast<uint8_t>(MsgType::kPong) &&
-                           raw <= static_cast<uint8_t>(MsgType::kError);
+                          raw <= static_cast<uint8_t>(MsgType::kShardStats);
+  const bool is_response =
+      raw >= static_cast<uint8_t>(MsgType::kPong) &&
+      raw <= static_cast<uint8_t>(MsgType::kShardStatsReply);
   if (want_request ? !is_request : !is_response) {
     return Fail(error, StrFormat("unexpected message type %d",
                                  static_cast<int>(raw)));
@@ -303,6 +367,31 @@ bool DecodeRequest(const uint8_t* data, size_t size, WireRequest* out,
       if (!reader.ReadBytes(&out->payload)) {
         return Fail(error, "truncated mutation payload");
       }
+      break;
+    case MsgType::kCandidates:
+      if (!reader.ReadI32(&out->id) || !reader.ReadI32(&out->k)) {
+        return Fail(error, "truncated body");
+      }
+      break;
+    case MsgType::kInstallArrangement: {
+      if (!reader.ReadU64(&out->max_sum_bits)) {
+        return Fail(error, "truncated body");
+      }
+      uint32_t count;
+      if (!reader.ReadU32(&count)) return Fail(error, "truncated body");
+      if (count > reader.remaining() / 8) {
+        return Fail(error, "pair count exceeds body size");
+      }
+      out->pairs.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!reader.ReadI32(&out->pairs[i].first) ||
+            !reader.ReadI32(&out->pairs[i].second)) {
+          return Fail(error, "truncated pair");
+        }
+      }
+      break;
+    }
+    case MsgType::kShardStats:
       break;
     default:
       return Fail(error, "unexpected message type");
@@ -372,6 +461,64 @@ bool DecodeResponse(const uint8_t* data, size_t size, WireResponse* out,
         return Fail(error, "truncated error body");
       }
       break;
+    case MsgType::kCandidateList: {
+      uint32_t count;
+      if (!reader.ReadU32(&count)) return Fail(error, "truncated body");
+      if (count > reader.remaining() / 16) {
+        return Fail(error, "candidate count exceeds body size");
+      }
+      out->candidates.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!reader.ReadI32(&out->candidates[i].user) ||
+            !reader.ReadI32(&out->candidates[i].event) ||
+            !reader.ReadF64(&out->candidates[i].similarity)) {
+          return Fail(error, "truncated candidate");
+        }
+      }
+      break;
+    }
+    case MsgType::kShardStatsReply: {
+      ShardTopologyStats& ts = out->shard_stats;
+      if (!reader.ReadI32(&ts.shard_count) ||
+          !reader.ReadI64(&ts.repair_epoch) ||
+          !reader.ReadF64(&ts.global_max_sum) ||
+          !reader.ReadI64(&ts.repair_candidates) ||
+          !reader.ReadI64(&ts.repair_admitted) ||
+          !reader.ReadI64(&ts.repair_rejected_capacity) ||
+          !reader.ReadI64(&ts.repair_rejected_conflict) ||
+          !reader.ReadI64(&ts.cross_edge_rejects)) {
+        return Fail(error, "truncated shard stats body");
+      }
+      uint32_t count;
+      if (!reader.ReadU32(&count)) return Fail(error, "truncated body");
+      // Each entry is at least 96 bytes of fixed-width fields.
+      if (count > reader.remaining() / 96) {
+        return Fail(error, "shard count exceeds body size");
+      }
+      ts.shards.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        ShardStatsEntry& entry = ts.shards[i];
+        if (!reader.ReadI32(&entry.shard) ||
+            !reader.ReadI64(&entry.stats.epoch) ||
+            !reader.ReadI64(&entry.stats.applied_seq) ||
+            !reader.ReadI64(&entry.stats.pairs) ||
+            !reader.ReadI32(&entry.stats.active_events) ||
+            !reader.ReadI32(&entry.stats.active_users) ||
+            !reader.ReadI32(&entry.stats.event_slots) ||
+            !reader.ReadI32(&entry.stats.user_slots) ||
+            !reader.ReadF64(&entry.stats.max_sum) ||
+            !reader.ReadI32(&entry.stats.queued) ||
+            !reader.ReadI64(&entry.stats.overloads) ||
+            !reader.ReadI64(&entry.rpc_requests) ||
+            !reader.ReadI64(&entry.rpc_errors) ||
+            !reader.ReadF64(&entry.rpc_p50_ms) ||
+            !reader.ReadF64(&entry.rpc_p95_ms) ||
+            !reader.ReadF64(&entry.rpc_p99_ms)) {
+          return Fail(error, "truncated shard entry");
+        }
+      }
+      break;
+    }
     default:
       return Fail(error, "unexpected message type");
   }

@@ -47,6 +47,14 @@ enum class MsgType : uint8_t {
   kTopK = 4,            // body: i32 user, i32 k
   kStats = 5,
   kMutate = 6,  // body: u32 len, trace_io mutation line (no newline)
+  // Shard protocol (DESIGN.md §16). kCandidates streams a shard's scoring
+  // edges to the coordinator's repair pass; kInstallArrangement pushes the
+  // globally admitted slice back; kShardStats asks a coordinator for its
+  // per-shard breakdown (a plain shard answers kError).
+  kCandidates = 7,           // body: i32 first_user, i32 user_count
+  kInstallArrangement = 8,   // body: u64 max_sum_bits, u32 count,
+                             //       count × (i32 event, i32 user)
+  kShardStats = 9,
 
   // Responses.
   kPong = 64,
@@ -56,23 +64,58 @@ enum class MsgType : uint8_t {
   kMutateAck = 68,   // body: i64 ticket
   kOverloaded = 69,  // queue full — retry later
   kError = 70,       // body: u32 len, diagnostic bytes
+  kCandidateList = 71,   // body: u32 count, count × (i32 user, i32 event,
+                         //       f64 similarity)
+  kShardStatsReply = 72, // body: ShardTopologyStats, fixed layout
 };
 
 const char* MsgTypeName(MsgType type);
 
+// Per-shard line of a coordinator's kShardStatsReply: the shard's own
+// ServiceStatsView plus the coordinator-observed RPC traffic to it.
+struct ShardStatsEntry {
+  int32_t shard = 0;
+  ServiceStatsView stats;
+  int64_t rpc_requests = 0;
+  int64_t rpc_errors = 0;
+  double rpc_p50_ms = 0.0;
+  double rpc_p95_ms = 0.0;
+  double rpc_p99_ms = 0.0;
+};
+
+// Coordinator-level stats for kShardStatsReply: global repair-pass
+// counters plus one ShardStatsEntry per shard.
+struct ShardTopologyStats {
+  int32_t shard_count = 0;
+  int64_t repair_epoch = 0;        // completed repair passes
+  double global_max_sum = 0.0;     // Σ sim admitted by the last pass
+  int64_t repair_candidates = 0;   // edges scanned, cumulative
+  int64_t repair_admitted = 0;
+  int64_t repair_rejected_capacity = 0;
+  int64_t repair_rejected_conflict = 0;
+  // Conflict rejections attributed to an edge whose owner shard (lowest
+  // endpoint home) differs from the candidate user's shard.
+  int64_t cross_edge_rejects = 0;
+  std::vector<ShardStatsEntry> shards;
+};
+
 // One decoded request. Only the fields for `type` are meaningful: `id`
-// for GetAssignments/GetAttendees/TopK, `k` for TopK, `payload` (the
-// mutation line) for Mutate.
+// for GetAssignments/GetAttendees/TopK (and first_user for Candidates),
+// `k` for TopK (user_count for Candidates), `payload` (the mutation line)
+// for Mutate, `pairs`/`max_sum_bits` for InstallArrangement.
 struct WireRequest {
   MsgType type = MsgType::kPing;
   int32_t id = -1;
   int32_t k = 0;
   std::string payload;
+  std::vector<std::pair<int32_t, int32_t>> pairs;  // (event, user)
+  uint64_t max_sum_bits = 0;
 };
 
 // One decoded response; per-type fields as in WireRequest. `stats` for
 // kStatsReply, `ids` for kIdList, `scored` for kScoredList, `ticket` for
-// kMutateAck, `message` for kError.
+// kMutateAck, `message` for kError, `candidates` for kCandidateList,
+// `shard_stats` for kShardStatsReply.
 struct WireResponse {
   MsgType type = MsgType::kPong;
   std::vector<int32_t> ids;
@@ -80,6 +123,8 @@ struct WireResponse {
   ServiceStatsView stats;
   int64_t ticket = -1;
   std::string message;
+  std::vector<ScoredCandidate> candidates;
+  ShardTopologyStats shard_stats;
 };
 
 // Serialize a full frame, length prefix included, ready for write().

@@ -178,6 +178,9 @@ int main(int argc, char** argv) {
   flags.AddInt("paged_period", &config.paged_period,
                "run the paged-vs-in-memory greedy differential every k "
                "instances (0 = never)");
+  flags.AddInt("shard_period", &config.shard_period,
+               "run the sharded-vs-single-node differential (N = 2, 3 "
+               "in-process shards) every k instances (0 = never)");
   flags.AddBool("shrink", &config.shrink,
                 "delta-debug failing instances to minimal repros");
   flags.AddInt("shrink_calls", &config.shrink_options.max_predicate_calls,

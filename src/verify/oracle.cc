@@ -17,6 +17,8 @@
 #include "gen/synthetic.h"
 #include "gen/trace_gen.h"
 #include "io/instance_io.h"
+#include "shard/coordinator.h"
+#include "svc/client.h"
 #include "svc/service.h"
 #include "svc/snapshot.h"
 #include "util/rng.h"
@@ -179,6 +181,77 @@ std::string CheckPagedIdentity(const CampaignConfig& config,
     return StrFormat("greedy MaxSum differs: idistance %.17g vs "
                      "idistance-paged %.17g",
                      inmem_sum, paged_sum);
+  }
+  return "";
+}
+
+// Sharded-topology differential (DESIGN.md §16): a ShardCoordinator over
+// `num_shards` in-process score-only shard services, seeded with
+// `instance`, must repair to the bit-identical greedy-sortall arrangement
+// — the distributed admission loop is *specified* to be that solver run
+// over the union of shard-local candidate streams.
+std::string CheckShardedIdentity(const CampaignConfig& config,
+                                 const Instance& instance, int num_shards) {
+  // Empty score-only shards sharing the instance's similarity function.
+  svc::ServiceOptions shard_options;
+  shard_options.bootstrap_full_resolve = false;
+  shard_options.repair.refill = false;
+  std::vector<std::unique_ptr<svc::ArrangementService>> services;
+  std::vector<std::unique_ptr<svc::InProcessClient>> owned_clients;
+  std::vector<svc::ServiceClient*> clients;
+  for (int s = 0; s < num_shards; ++s) {
+    Instance empty(AttributeMatrix(0, instance.dim()), {},
+                   AttributeMatrix(0, instance.dim()), {}, ConflictGraph(0),
+                   instance.similarity().Clone());
+    services.push_back(std::make_unique<svc::ArrangementService>(
+        std::move(empty), shard_options));
+    owned_clients.push_back(
+        std::make_unique<svc::InProcessClient>(services.back().get()));
+    clients.push_back(owned_clients.back().get());
+  }
+  const auto stop_all = [&services] {
+    for (auto& service : services) service->Stop();
+  };
+
+  shard::ShardCoordinator coordinator(clients, instance.dim(),
+                                      instance.similarity().Clone());
+  std::string error = coordinator.ApplyInstance(instance);
+  if (error.empty()) error = coordinator.RepairPass();
+  if (!error.empty()) {
+    stop_all();
+    return StrFormat("N=%d coordinator: %s", num_shards, error.c_str());
+  }
+
+  SolverOptions options;
+  options.seed = config.seed;
+  const SolveResult reference =
+      CreateSolver("greedy-sortall", options)->Solve(instance);
+  const auto reference_pairs = reference.arrangement.SortedPairs();
+
+  Arrangement merged(instance.num_events(), instance.num_users());
+  double admission_order_sum = 0.0;
+  for (const auto& [event, user] : coordinator.arrangement()) {
+    merged.Add(event, user);
+    admission_order_sum += instance.Similarity(event, user);
+  }
+  stop_all();
+
+  if (merged.SortedPairs() != reference_pairs) {
+    return StrFormat(
+        "N=%d sharded arrangement (%zu pairs) != greedy-sortall (%zu pairs)",
+        num_shards, coordinator.arrangement().size(), reference_pairs.size());
+  }
+  // Same admission order ⇒ the coordinator's accumulated MaxSum must be
+  // bit-identical to re-accumulating the mirror-side similarities.
+  if (coordinator.global_max_sum() != admission_order_sum) {
+    return StrFormat(
+        "N=%d sharded MaxSum %.17g != admission-order reference %.17g",
+        num_shards, coordinator.global_max_sum(), admission_order_sum);
+  }
+  const AuditReport audit = AuditArrangement(instance, merged);
+  if (!audit.ok()) {
+    return StrFormat("N=%d merged arrangement audit failed:\n%s", num_shards,
+                     audit.Summary().c_str());
   }
   return "";
 }
@@ -445,6 +518,17 @@ CampaignResult RunCampaign(const CampaignConfig& config, std::ostream* log) {
       std::string detail = CheckPagedIdentity(config, instance);
       if (!detail.empty()) {
         record_failure("paged/greedy", std::move(detail), index, &instance);
+      }
+    }
+    if (config.shard_period > 0 && i % config.shard_period == 0) {
+      for (const int num_shards : {2, 3}) {
+        ++result.checks;
+        std::string detail =
+            CheckShardedIdentity(config, instance, num_shards);
+        if (!detail.empty()) {
+          record_failure(StrFormat("sharded/N=%d", num_shards),
+                         std::move(detail), index, &instance);
+        }
       }
     }
 

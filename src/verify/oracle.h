@@ -36,6 +36,13 @@
 //                          its write path, then recovered from its WAL,
 //                          lands on a bit-identical snapshot (MaxSum and
 //                          pair set)
+//   * sharded/N=2,
+//     sharded/N=3          a ShardCoordinator over N in-process score-only
+//                          shard services, seeded with the same instance,
+//                          repairs to the bit-identical greedy-sortall
+//                          arrangement (same pair set, same MaxSum bits)
+//                          and its merged arrangement passes the auditor
+//                          (DESIGN.md §16)
 //
 // Failing instance-level checks are (optionally) minimized with the
 // delta-debugging shrinker before being serialized into the failure
@@ -84,6 +91,12 @@ struct CampaignConfig {
   // greedy over the in-memory "idistance" backend — same SortedPairs,
   // same MaxSum bits (DESIGN.md §14).
   int paged_period = 25;
+
+  // Run the sharded-topology differential every k-th iteration (0 =
+  // never): a ShardCoordinator over N ∈ {2, 3} in-process score-only
+  // shards, fed this iteration's instance, must repair to the
+  // bit-identical greedy-sortall arrangement (DESIGN.md §16).
+  int shard_period = 20;
 
   // Minimize failing instances with ShrinkInstance before recording.
   bool shrink = false;

@@ -1,0 +1,271 @@
+// Tests for the shard coordinator (shard/coordinator.h): deterministic
+// read-merge tie-breaks, routing determinism across coordinator
+// incarnations, cross-shard conflict admission/rejection accounting, and
+// the headline contract — a sharded repair pass is bit-identical to the
+// single-node greedy-sortall solve of the same instance (DESIGN.md §16).
+
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/solvers.h"
+#include "core/arrangement.h"
+#include "core/attributes.h"
+#include "core/conflict_graph.h"
+#include "core/instance.h"
+#include "gen/synthetic.h"
+#include "shard/partition.h"
+#include "svc/client.h"
+#include "svc/service.h"
+#include "svc/wire.h"
+#include "verify/audit.h"
+
+namespace geacc::shard {
+namespace {
+
+using svc::ScoredEvent;
+
+// An in-process N-shard topology: empty score-only shard services behind
+// InProcessClients, plus a coordinator over them. The same construction
+// the verify campaign's sharded differential uses.
+class Topology {
+ public:
+  Topology(int num_shards, const Instance& instance) {
+    svc::ServiceOptions shard_options;
+    shard_options.bootstrap_full_resolve = false;
+    shard_options.repair.refill = false;
+    for (int s = 0; s < num_shards; ++s) {
+      Instance empty(AttributeMatrix(0, instance.dim()), {},
+                     AttributeMatrix(0, instance.dim()), {}, ConflictGraph(0),
+                     instance.similarity().Clone());
+      services_.push_back(std::make_unique<svc::ArrangementService>(
+          std::move(empty), shard_options));
+      clients_.push_back(
+          std::make_unique<svc::InProcessClient>(services_.back().get()));
+      raw_clients_.push_back(clients_.back().get());
+    }
+    coordinator_ = std::make_unique<ShardCoordinator>(
+        raw_clients_, instance.dim(), instance.similarity().Clone());
+  }
+
+  ~Topology() {
+    for (auto& service : services_) service->Stop();
+  }
+
+  ShardCoordinator& coordinator() { return *coordinator_; }
+
+ private:
+  std::vector<std::unique_ptr<svc::ArrangementService>> services_;
+  std::vector<std::unique_ptr<svc::InProcessClient>> clients_;
+  std::vector<svc::ServiceClient*> raw_clients_;
+  std::unique_ptr<ShardCoordinator> coordinator_;
+};
+
+TEST(MergeScoredLists, OrdersBySimilarityThenEventId) {
+  const std::vector<std::vector<ScoredEvent>> lists = {
+      {{5, 0.9}, {3, 0.5}},
+      {{2, 0.9}, {7, 0.1}},
+  };
+  const std::vector<ScoredEvent> merged =
+      ShardCoordinator::MergeScoredLists(lists, 10);
+  const std::vector<ScoredEvent> expected = {
+      {2, 0.9}, {5, 0.9}, {3, 0.5}, {7, 0.1}};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(MergeScoredLists, HonorsKAndDropsDuplicateEvents) {
+  const std::vector<std::vector<ScoredEvent>> lists = {
+      {{4, 0.8}, {1, 0.3}},
+      {{4, 0.8}, {9, 0.6}, {1, 0.3}},
+  };
+  // Event 4 and event 1 each appear in both lists; the merge keeps one
+  // entry per event.
+  const std::vector<ScoredEvent> full =
+      ShardCoordinator::MergeScoredLists(lists, 10);
+  const std::vector<ScoredEvent> expected = {{4, 0.8}, {9, 0.6}, {1, 0.3}};
+  EXPECT_EQ(full, expected);
+
+  const std::vector<ScoredEvent> top2 =
+      ShardCoordinator::MergeScoredLists(lists, 2);
+  const std::vector<ScoredEvent> expected2 = {{4, 0.8}, {9, 0.6}};
+  EXPECT_EQ(top2, expected2);
+
+  EXPECT_TRUE(ShardCoordinator::MergeScoredLists({}, 5).empty());
+  EXPECT_TRUE(ShardCoordinator::MergeScoredLists(lists, 0).empty());
+}
+
+TEST(MergeScoredLists, StableUnderListPermutation) {
+  const std::vector<ScoredEvent> a = {{3, 0.7}, {0, 0.7}, {8, 0.2}};
+  const std::vector<ScoredEvent> b = {{1, 0.7}, {5, 0.4}};
+  const std::vector<ScoredEvent> forward =
+      ShardCoordinator::MergeScoredLists({a, b}, 10);
+  const std::vector<ScoredEvent> backward =
+      ShardCoordinator::MergeScoredLists({b, a}, 10);
+  EXPECT_EQ(forward, backward);
+  // Ties at 0.7 break on event id ascending, regardless of source list.
+  const std::vector<ScoredEvent> expected = {
+      {0, 0.7}, {1, 0.7}, {3, 0.7}, {5, 0.4}, {8, 0.2}};
+  EXPECT_EQ(forward, expected);
+}
+
+Instance SmallInstance(uint64_t seed, int events, int users) {
+  SyntheticConfig config;
+  config.num_events = events;
+  config.num_users = users;
+  config.dim = 4;
+  config.conflict_density = 0.3;
+  config.event_capacity = DistributionSpec::Uniform(1.0, 4.0);
+  config.user_capacity = DistributionSpec::Uniform(1.0, 3.0);
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+TEST(ShardCoordinator, RoutingIsDeterministicAcrossIncarnations) {
+  const Instance instance = SmallInstance(/*seed=*/7, /*events=*/8,
+                                          /*users=*/30);
+  Topology first(3, instance);
+  Topology second(3, instance);
+  for (ShardCoordinator* coordinator :
+       {&first.coordinator(), &second.coordinator()}) {
+    ASSERT_EQ(coordinator->ApplyInstance(instance), "");
+    ASSERT_EQ(coordinator->RepairPass(), "");
+  }
+  // Identical admission order, not merely identical pair sets — routing,
+  // candidate collection, and the global sort are all deterministic.
+  EXPECT_EQ(first.coordinator().arrangement(),
+            second.coordinator().arrangement());
+  EXPECT_EQ(first.coordinator().global_max_sum(),
+            second.coordinator().global_max_sum());
+}
+
+TEST(ShardCoordinator, CrossShardConflictRejectionIsChargedToEdgeOwner) {
+  constexpr int kShards = 2;
+  // Two conflicting events, both wanted by user 0 (capacity 2): greedy
+  // admits the better-scored event, then rejects the other on the
+  // conflict edge. User 1 sits close to event 1, so the edge still
+  // admits a different user — conflicts are per-user, not global.
+  InstanceBuilder builder;
+  const EventId a = builder.AddEvent({0.0, 0.0}, 1);
+  const EventId b = builder.AddEvent({10.0, 10.0}, 2);
+  const UserId contested = builder.AddUser({1.0, 1.0}, 2);
+  const UserId other = builder.AddUser({9.0, 9.0}, 1);
+  builder.AddConflict(a, b);
+  const Instance instance = builder.Build();
+  ASSERT_GT(instance.Similarity(a, contested),
+            instance.Similarity(b, contested));
+
+  Topology topology(kShards, instance);
+  ShardCoordinator& coordinator = topology.coordinator();
+  ASSERT_EQ(coordinator.ApplyInstance(instance), "");
+  ASSERT_EQ(coordinator.RepairPass(), "");
+
+  Arrangement merged(instance.num_events(), instance.num_users());
+  for (const auto& [event, user] : coordinator.arrangement()) {
+    merged.Add(event, user);
+  }
+  const auto pairs = merged.SortedPairs();
+  const std::vector<std::pair<EventId, UserId>> expected = {{a, contested},
+                                                           {b, other}};
+  EXPECT_EQ(pairs, expected);
+
+  const svc::ShardTopologyStats stats = coordinator.Stats();
+  EXPECT_EQ(stats.shard_count, kShards);
+  EXPECT_EQ(stats.repair_admitted, 2);
+  // (a, other) dies on event a's capacity; (b, contested) survives the
+  // capacity checks (b has a free slot) and dies on the conflict edge.
+  EXPECT_EQ(stats.repair_rejected_capacity, 1);
+  EXPECT_EQ(stats.repair_rejected_conflict, 1);
+  // The (b, contested) rejection is charged to the edge's owner shard; it
+  // counts as a cross-edge reject exactly when that owner differs from
+  // the contested user's home shard.
+  const int64_t expected_cross =
+      EdgeOwnerShard(a, b, kShards) != HomeShard(contested, kShards) ? 1 : 0;
+  EXPECT_EQ(stats.cross_edge_rejects, expected_cross);
+}
+
+TEST(ShardCoordinator, ReadsMatchTheRepairedArrangement) {
+  const Instance instance = SmallInstance(/*seed=*/11, /*events=*/6,
+                                          /*users=*/20);
+  Topology topology(3, instance);
+  ShardCoordinator& coordinator = topology.coordinator();
+  ASSERT_EQ(coordinator.ApplyInstance(instance), "");
+  ASSERT_EQ(coordinator.RepairPass(), "");
+
+  Arrangement merged(instance.num_events(), instance.num_users());
+  std::vector<std::vector<UserId>> attendees(instance.num_events());
+  for (const auto& [event, user] : coordinator.arrangement()) {
+    merged.Add(event, user);
+    attendees[event].push_back(user);
+  }
+  for (auto& users : attendees) std::sort(users.begin(), users.end());
+  for (UserId user = 0; user < instance.num_users(); ++user) {
+    std::vector<EventId> events;
+    ASSERT_EQ(coordinator.GetAssignments(user, &events), "");
+    EXPECT_EQ(events, merged.EventsOf(user)) << "user " << user;
+  }
+  for (EventId event = 0; event < instance.num_events(); ++event) {
+    std::vector<UserId> users;
+    ASSERT_EQ(coordinator.GetAttendees(event, &users), "");
+    EXPECT_EQ(users, attendees[event]) << "event " << event;
+  }
+  // TopKEvents fans out and merges: descending similarity, event-id
+  // tie-break, no duplicates, at most k entries.
+  for (UserId user = 0; user < instance.num_users(); ++user) {
+    std::vector<ScoredEvent> ranked;
+    ASSERT_EQ(coordinator.TopKEvents(user, 4, &ranked), "");
+    EXPECT_LE(ranked.size(), 4u);
+    for (size_t i = 1; i < ranked.size(); ++i) {
+      const bool ordered =
+          ranked[i - 1].similarity > ranked[i].similarity ||
+          (ranked[i - 1].similarity == ranked[i].similarity &&
+           ranked[i - 1].event < ranked[i].event);
+      EXPECT_TRUE(ordered) << "user " << user << " position " << i;
+    }
+  }
+}
+
+TEST(ShardCoordinator, ShardedRepairMatchesSingleNodeGreedySortAll) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const Instance instance = SmallInstance(seed, /*events=*/10,
+                                            /*users=*/40);
+    SolverOptions options;
+    const SolveResult reference =
+        CreateSolver("greedy-sortall", options)->Solve(instance);
+    const auto reference_pairs = reference.arrangement.SortedPairs();
+
+    for (const int num_shards : {2, 3}) {
+      Topology topology(num_shards, instance);
+      ShardCoordinator& coordinator = topology.coordinator();
+      ASSERT_EQ(coordinator.ApplyInstance(instance), "");
+      ASSERT_EQ(coordinator.RepairPass(), "");
+
+      Arrangement merged(instance.num_events(), instance.num_users());
+      double admission_order_sum = 0.0;
+      for (const auto& [event, user] : coordinator.arrangement()) {
+        merged.Add(event, user);
+        admission_order_sum += instance.Similarity(event, user);
+      }
+      EXPECT_EQ(merged.SortedPairs(), reference_pairs)
+          << "seed " << seed << " N=" << num_shards;
+      // Bit-identical, not approximately equal: the coordinator admits in
+      // the same order the single-node solver does.
+      EXPECT_EQ(coordinator.global_max_sum(), admission_order_sum)
+          << "seed " << seed << " N=" << num_shards;
+
+      const verify::AuditReport audit =
+          verify::AuditArrangement(instance, merged);
+      EXPECT_TRUE(audit.ok())
+          << "seed " << seed << " N=" << num_shards << "\n"
+          << audit.Summary();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geacc::shard

@@ -112,6 +112,160 @@ TEST(Wire, ResponseRoundTripsEveryType) {
   }
 }
 
+TEST(Wire, ShardRequestsRoundTrip) {
+  WireRequest candidates;
+  candidates.type = MsgType::kCandidates;
+  candidates.id = 128;
+  candidates.k = 1024;
+  WireRequest install;
+  install.type = MsgType::kInstallArrangement;
+  install.pairs = {{3, 0}, {1, 7}, {0, 2}};
+  install.max_sum_bits = 0x400921FB54442D18ULL;  // π's bit pattern
+  WireRequest shard_stats;
+  shard_stats.type = MsgType::kShardStats;
+
+  for (const WireRequest& request : {candidates, install, shard_stats}) {
+    const std::string frame = EncodeRequestFrame(request);
+    ASSERT_EQ(PrefixOf(frame), frame.size() - 4)
+        << MsgTypeName(request.type);
+    const std::vector<uint8_t> body = Payload(frame);
+    WireRequest decoded;
+    std::string error;
+    ASSERT_TRUE(DecodeRequest(body.data(), body.size(), &decoded, &error))
+        << MsgTypeName(request.type) << ": " << error;
+    EXPECT_EQ(decoded.type, request.type);
+    EXPECT_EQ(decoded.id, request.id) << MsgTypeName(request.type);
+    EXPECT_EQ(decoded.k, request.k) << MsgTypeName(request.type);
+    EXPECT_EQ(decoded.pairs, request.pairs) << MsgTypeName(request.type);
+    EXPECT_EQ(decoded.max_sum_bits, request.max_sum_bits)
+        << MsgTypeName(request.type);
+  }
+}
+
+TEST(Wire, ShardResponsesRoundTrip) {
+  WireResponse candidates;
+  candidates.type = MsgType::kCandidateList;
+  candidates.candidates = {{0, 3, 0.875}, {0, 1, 0.5}, {2, 0, 0.0625}};
+
+  WireResponse topology;
+  topology.type = MsgType::kShardStatsReply;
+  ShardTopologyStats& ts = topology.shard_stats;
+  ts.shard_count = 2;
+  ts.repair_epoch = 17;
+  ts.global_max_sum = 123.456;
+  ts.repair_candidates = 900;
+  ts.repair_admitted = 140;
+  ts.repair_rejected_capacity = 700;
+  ts.repair_rejected_conflict = 60;
+  ts.cross_edge_rejects = 13;
+  for (int shard = 0; shard < 2; ++shard) {
+    ShardStatsEntry entry;
+    entry.shard = shard;
+    entry.stats.epoch = 100 + shard;
+    entry.stats.applied_seq = 200 + shard;
+    entry.stats.pairs = 70 + shard;
+    entry.stats.max_sum = 61.75 + shard;
+    entry.rpc_requests = 5000 + shard;
+    entry.rpc_errors = shard;
+    entry.rpc_p50_ms = 0.05;
+    entry.rpc_p95_ms = 0.21;
+    entry.rpc_p99_ms = 0.9;
+    ts.shards.push_back(entry);
+  }
+
+  for (const WireResponse& response : {candidates, topology}) {
+    const std::string frame = EncodeResponseFrame(response);
+    ASSERT_EQ(PrefixOf(frame), frame.size() - 4)
+        << MsgTypeName(response.type);
+    const std::vector<uint8_t> body = Payload(frame);
+    WireResponse decoded;
+    std::string error;
+    ASSERT_TRUE(DecodeResponse(body.data(), body.size(), &decoded, &error))
+        << MsgTypeName(response.type) << ": " << error;
+    EXPECT_EQ(decoded.type, response.type);
+    EXPECT_EQ(decoded.candidates, response.candidates);
+    const ShardTopologyStats& got = decoded.shard_stats;
+    const ShardTopologyStats& want = response.shard_stats;
+    EXPECT_EQ(got.shard_count, want.shard_count);
+    EXPECT_EQ(got.repair_epoch, want.repair_epoch);
+    EXPECT_EQ(got.global_max_sum, want.global_max_sum);
+    EXPECT_EQ(got.repair_candidates, want.repair_candidates);
+    EXPECT_EQ(got.repair_admitted, want.repair_admitted);
+    EXPECT_EQ(got.repair_rejected_capacity, want.repair_rejected_capacity);
+    EXPECT_EQ(got.repair_rejected_conflict, want.repair_rejected_conflict);
+    EXPECT_EQ(got.cross_edge_rejects, want.cross_edge_rejects);
+    ASSERT_EQ(got.shards.size(), want.shards.size());
+    for (size_t i = 0; i < want.shards.size(); ++i) {
+      EXPECT_EQ(got.shards[i].shard, want.shards[i].shard);
+      EXPECT_EQ(got.shards[i].stats.epoch, want.shards[i].stats.epoch);
+      EXPECT_EQ(got.shards[i].stats.pairs, want.shards[i].stats.pairs);
+      EXPECT_EQ(got.shards[i].stats.max_sum, want.shards[i].stats.max_sum);
+      EXPECT_EQ(got.shards[i].rpc_requests, want.shards[i].rpc_requests);
+      EXPECT_EQ(got.shards[i].rpc_errors, want.shards[i].rpc_errors);
+      EXPECT_EQ(got.shards[i].rpc_p50_ms, want.shards[i].rpc_p50_ms);
+      EXPECT_EQ(got.shards[i].rpc_p95_ms, want.shards[i].rpc_p95_ms);
+      EXPECT_EQ(got.shards[i].rpc_p99_ms, want.shards[i].rpc_p99_ms);
+    }
+  }
+}
+
+TEST(Wire, ShardFrameTruncationFailsCleanly) {
+  WireRequest install;
+  install.type = MsgType::kInstallArrangement;
+  install.pairs = {{0, 0}, {5, 9}};
+  install.max_sum_bits = 42;
+  WireResponse candidates;
+  candidates.type = MsgType::kCandidateList;
+  candidates.candidates = {{1, 2, 0.75}};
+  WireResponse topology;
+  topology.type = MsgType::kShardStatsReply;
+  topology.shard_stats.shard_count = 1;
+  topology.shard_stats.shards.emplace_back();
+
+  const std::vector<uint8_t> request_body = Payload(EncodeRequestFrame(install));
+  for (size_t cut = 0; cut < request_body.size(); ++cut) {
+    WireRequest decoded;
+    EXPECT_FALSE(DecodeRequest(request_body.data(), cut, &decoded))
+        << "install accepted a " << cut << "-byte prefix";
+  }
+  for (const WireResponse& response : {candidates, topology}) {
+    const std::vector<uint8_t> body = Payload(EncodeResponseFrame(response));
+    for (size_t cut = 0; cut < body.size(); ++cut) {
+      WireResponse decoded;
+      EXPECT_FALSE(DecodeResponse(body.data(), cut, &decoded))
+          << MsgTypeName(response.type) << " accepted a " << cut
+          << "-byte prefix";
+    }
+  }
+}
+
+TEST(Wire, HostilePairAndShardCountsCannotForceAllocation) {
+  // An install claiming 2^29 pairs in a tiny body must fail before any
+  // allocation sized by the claim; same for a shard-stats reply claiming
+  // 2^20 shard entries.
+  std::vector<uint8_t> install = {kWireVersion,
+                                  static_cast<uint8_t>(
+                                      MsgType::kInstallArrangement)};
+  install.insert(install.end(), 8, 0);  // max_sum_bits
+  const uint32_t claimed = 1u << 29;
+  for (int i = 0; i < 4; ++i) {
+    install.push_back(static_cast<uint8_t>((claimed >> (8 * i)) & 0xFF));
+  }
+  install.insert(install.end(), 16, 0);  // far fewer pairs than claimed
+  WireRequest request;
+  EXPECT_FALSE(DecodeRequest(install.data(), install.size(), &request));
+
+  std::vector<uint8_t> stats = {kWireVersion,
+                                static_cast<uint8_t>(MsgType::kShardStatsReply)};
+  stats.insert(stats.end(), 60, 0);  // header zeros
+  const uint32_t shards = 1u << 20;
+  for (int i = 0; i < 4; ++i) {
+    stats.push_back(static_cast<uint8_t>((shards >> (8 * i)) & 0xFF));
+  }
+  WireResponse response;
+  EXPECT_FALSE(DecodeResponse(stats.data(), stats.size(), &response));
+}
+
 TEST(Wire, TruncationAtEveryByteFailsCleanly) {
   WireRequest mutate;
   mutate.type = MsgType::kMutate;
