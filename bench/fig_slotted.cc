@@ -1,0 +1,165 @@
+// Joint slot + participant arrangement bench (DESIGN.md §17).
+//
+// Sweeps the event count of a seeded slotted family (slot/slotted_gen)
+// through the three joint solvers — slot-greedy, slot-mcf-sweep,
+// slot-exact — and reports wall time, the joint MaxSum, and the search
+// accounting (slottings considered vs leaf solves, i.e. how much the
+// dominance pruning and the slot-aware bound cut). Sizes stay small:
+// both sweep solvers are exponential in |V| through the slotting space.
+//
+//   fig_slotted [--reps N] [--seed S] [--users U] [--slots S]
+//               [--allow P] [--events 3,4,5] [--paper] [--selfcheck]
+//               [--json out.json]
+//
+// The --json report carries one point per (|V|, solver) with the
+// geacc-bench v1 "slots" section (obs/bench_report.h);
+// `validate_report --require-slots` gates it in CI. --selfcheck audits
+// every joint result with slot::AuditSlotted and aborts on violation.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "slot/slot_solvers.h"
+#include "slot/slotted.h"
+#include "slot/slotted_gen.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using geacc::bench::CommonFlags;
+using geacc::bench::ReportContext;
+
+geacc::slot::SlottedGenConfig MakeConfig(int num_events, int64_t num_users,
+                                         int64_t num_slots, double allow,
+                                         uint64_t seed) {
+  geacc::slot::SlottedGenConfig config;
+  config.num_events = num_events;
+  config.num_users = static_cast<int>(num_users);
+  config.dim = 4;
+  config.max_attribute = 100.0;
+  config.num_slots = static_cast<int>(num_slots);
+  config.allow_probability = allow;
+  config.availability_count =
+      geacc::DistributionSpec::Uniform(1.0, static_cast<double>(num_slots));
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommonFlags common;
+  int64_t num_users = 10;
+  int64_t num_slots = 4;
+  double allow = 0.5;
+
+  std::string events_csv;
+
+  geacc::FlagSet flags;
+  common.Register(flags);
+  flags.AddInt("users", &num_users, "user count per instance");
+  flags.AddInt("slots", &num_slots, "time-slot count S");
+  flags.AddDouble("allow", &allow,
+                  "per-(event, slot) allow probability beyond the one "
+                  "forced slot");
+  flags.AddString("events", &events_csv,
+                  "comma-separated |V| sweep values (default 3,4,5; "
+                  "--paper 4,5,6 — both sweep solvers are exponential in "
+                  "|V|, so grow this with care)");
+  flags.Parse(argc, argv);
+
+  ReportContext report("fig_slotted", flags, common);
+
+  std::vector<int> sizes =
+      common.paper ? std::vector<int>{4, 5, 6} : std::vector<int>{3, 4, 5};
+  if (!events_csv.empty()) {
+    sizes.clear();
+    for (const std::string& token : geacc::Split(events_csv, ',')) {
+      const auto value = geacc::ParseInt(token);
+      GEACC_CHECK(value.has_value() && *value > 0)
+          << "bad --events entry '" << token << "'";
+      sizes.push_back(static_cast<int>(*value));
+    }
+  }
+  const std::vector<std::string> solvers = common.SolverList(
+      {"slot-greedy", "slot-mcf-sweep", "slot-exact"});
+
+  geacc::SolverOptions options;
+  options.seed = static_cast<uint64_t>(common.seed);
+  options.threads = common.threads;
+  common.ApplySolverOptions(&options);
+
+  std::printf("%-14s %6s %12s %14s %12s %10s %10s\n", "solver", "|V|",
+              "wall_s", "joint_max_sum", "slottings", "leaves", "scheduled");
+  for (const int size : sizes) {
+    for (const std::string& name : solvers) {
+      const auto solver = geacc::slot::CreateSlotSolver(name, options);
+      GEACC_CHECK(solver != nullptr) << "unknown slot solver '" << name << "'";
+
+      geacc::obs::BenchPoint point;
+      point.label = geacc::StrFormat("slotted/|V|=%d", size);
+      point.solver = name;
+      point.has_slots = true;
+      point.slots.num_slots = num_slots;
+      double scheduled_sum = 0.0;
+      for (int rep = 0; rep < common.reps; ++rep) {
+        const geacc::slot::SlottedGenConfig config = MakeConfig(
+            size, num_users, num_slots, allow,
+            static_cast<uint64_t>(common.seed) + 1000u * rep + size);
+        const geacc::slot::SlottedInstance slotted =
+            geacc::slot::GenerateSlotted(config);
+
+        geacc::CpuTimer cpu;
+        const geacc::slot::SlotSolveResult result = solver->Solve(slotted);
+        point.cpu_seconds += cpu.Seconds();
+        point.wall_seconds += result.stats.wall_seconds;
+        point.max_sum += result.max_sum;
+        point.slots.slottings_considered += result.slottings_considered;
+        point.slots.leaf_solves += result.leaf_solves;
+        int scheduled = 0;
+        for (const geacc::SlotId s : result.slotting) {
+          if (s != geacc::kInvalidSlot) ++scheduled;
+        }
+        scheduled_sum += scheduled;
+
+        if (common.selfcheck) {
+          const std::string audit = geacc::slot::AuditSlotted(
+              slotted, result.slotting, result.arrangement);
+          GEACC_CHECK(audit.empty())
+              << name << " |V|=" << size << " rep=" << rep
+              << " failed the joint audit: " << audit;
+        }
+      }
+      const double n = static_cast<double>(common.reps);
+      point.wall_seconds /= n;
+      point.cpu_seconds /= n;
+      point.max_sum /= n;
+      point.slots.slottings_considered = static_cast<int64_t>(
+          static_cast<double>(point.slots.slottings_considered) / n + 0.5);
+      point.slots.leaf_solves = static_cast<int64_t>(
+          static_cast<double>(point.slots.leaf_solves) / n + 0.5);
+      point.slots.scheduled_events =
+          static_cast<int64_t>(scheduled_sum / n + 0.5);
+      point.slots.joint_max_sum = point.max_sum;
+      point.counters["slot.slottings_considered"] =
+          point.slots.slottings_considered;
+      point.counters["slot.leaf_solves"] = point.slots.leaf_solves;
+
+      std::printf("%-14s %6d %12.6f %14.6f %12" PRId64 " %10" PRId64
+                  " %10" PRId64 "\n",
+                  name.c_str(), size, point.wall_seconds, point.max_sum,
+                  point.slots.slottings_considered, point.slots.leaf_solves,
+                  point.slots.scheduled_events);
+      report.AddPoint(std::move(point));
+    }
+  }
+  if (common.selfcheck) {
+    std::printf("selfcheck: all joint results passed AuditSlotted\n");
+  }
+  report.Write();
+  return 0;
+}

@@ -3,7 +3,7 @@
 // test the report pipeline.
 //
 //   build/bench/validate_report [--require-storage] [--require-kernels] \
-//       [--require-shards] out.json
+//       [--require-shards] [--require-slots] out.json
 //
 // --require-storage additionally demands at least one point carrying a
 // "storage" section with sane buffer-pool numbers (budget and page size
@@ -19,6 +19,11 @@
 // with sane topology numbers (positive shard count and fleet width, one
 // per_shard entry per shard with monotone percentiles) — CI runs the
 // loadgen fleet smoke under this flag.
+//
+// --require-slots demands at least one point carrying a "slots" section
+// with sane joint-solve numbers (positive slot count, scheduled events
+// and leaf solves consistent with the search accounting) — CI runs
+// fig_slotted under this flag.
 
 #include <cstdint>
 #include <cstdio>
@@ -99,12 +104,37 @@ bool ShardsSane(const geacc::obs::ShardsSummary& shards, std::string* error) {
   return true;
 }
 
+bool SlotsSane(const geacc::obs::SlotsSummary& slots, std::string* error) {
+  if (slots.num_slots <= 0) {
+    *error = "slots.num_slots is not positive";
+    return false;
+  }
+  if (slots.scheduled_events < 0) {
+    *error = "slots.scheduled_events is negative";
+    return false;
+  }
+  if (slots.slottings_considered <= 0) {
+    *error = "slots.slottings_considered is not positive";
+    return false;
+  }
+  if (slots.leaf_solves > slots.slottings_considered) {
+    *error = "slots.leaf_solves exceeds slottings_considered";
+    return false;
+  }
+  if (slots.joint_max_sum < 0.0) {
+    *error = "slots.joint_max_sum is negative";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool require_storage = false;
   bool require_kernels = false;
   bool require_shards = false;
+  bool require_slots = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-storage") == 0) {
@@ -113,6 +143,8 @@ int main(int argc, char** argv) {
       require_kernels = true;
     } else if (std::strcmp(argv[i], "--require-shards") == 0) {
       require_shards = true;
+    } else if (std::strcmp(argv[i], "--require-slots") == 0) {
+      require_slots = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -123,7 +155,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: %s [--require-storage] [--require-kernels] "
-                 "[--require-shards] REPORT.json\n",
+                 "[--require-shards] [--require-slots] REPORT.json\n",
                  argv[0]);
     return 2;
   }
@@ -155,6 +187,7 @@ int main(int argc, char** argv) {
   size_t storage_points = 0;
   size_t kernel_points = 0;
   size_t shard_points = 0;
+  size_t slot_points = 0;
   for (const geacc::obs::BenchPoint& point : report.points) {
     if (point.has_storage) {
       ++storage_points;
@@ -206,6 +239,22 @@ int main(int argc, char** argv) {
                     shard.p50_ms, shard.p95_ms, shard.p99_ms);
       }
     }
+    if (point.has_slots) {
+      ++slot_points;
+      if (!SlotsSane(point.slots, &error)) {
+        std::fprintf(stderr, "%s: point '%s': %s\n", path, point.label.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      std::printf(
+          "  slots[%s]: num_slots=%lld scheduled=%lld considered=%lld "
+          "leaves=%lld joint_max_sum=%.6g\n",
+          point.label.c_str(), static_cast<long long>(point.slots.num_slots),
+          static_cast<long long>(point.slots.scheduled_events),
+          static_cast<long long>(point.slots.slottings_considered),
+          static_cast<long long>(point.slots.leaf_solves),
+          point.slots.joint_max_sum);
+    }
   }
   if (require_storage && storage_points == 0) {
     std::fprintf(stderr, "%s: --require-storage: no point carries a storage "
@@ -222,12 +271,17 @@ int main(int argc, char** argv) {
                  "section\n", path);
     return 1;
   }
+  if (require_slots && slot_points == 0) {
+    std::fprintf(stderr, "%s: --require-slots: no point carries a slots "
+                 "section\n", path);
+    return 1;
+  }
 
   std::printf("%s: valid geacc-bench v%d report — bench '%s', rev %s, %zu "
               "point(s), %zu with storage, %zu with kernels, %zu with "
-              "shards\n",
+              "shards, %zu with slots\n",
               path, geacc::obs::kBenchReportVersion, report.bench.c_str(),
               report.git_rev.c_str(), report.points.size(), storage_points,
-              kernel_points, shard_points);
+              kernel_points, shard_points, slot_points);
   return 0;
 }

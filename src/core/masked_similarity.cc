@@ -1,0 +1,86 @@
+#include "core/masked_similarity.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace geacc {
+
+MaskedSimilarity::MaskedSimilarity(std::unique_ptr<SimilarityFunction> base,
+                                   int base_dim, int num_users,
+                                   std::vector<uint8_t> allowed)
+    : base_(std::move(base)),
+      base_dim_(base_dim),
+      num_users_(num_users),
+      allowed_(std::move(allowed)) {
+  GEACC_CHECK(base_ != nullptr);
+  GEACC_CHECK_GE(base_dim_, 0);
+  GEACC_CHECK_GE(num_users_, 0);
+}
+
+double MaskedSimilarity::Compute(const double* a, const double* b,
+                                 int dim) const {
+  GEACC_DCHECK(dim == base_dim_ + 1);
+  // The trailing column encodes the side: events carry +v, users carry
+  // -(u+1), so the lookup works for either argument order.
+  const double tag_a = a[dim - 1];
+  const double tag_b = b[dim - 1];
+  const double event_tag = tag_a >= 0.0 ? tag_a : tag_b;
+  const double user_tag = tag_a >= 0.0 ? tag_b : tag_a;
+  GEACC_DCHECK(event_tag >= 0.0 && user_tag < 0.0);
+  const int v = static_cast<int>(event_tag);
+  const int u = static_cast<int>(-user_tag) - 1;
+  const size_t index =
+      static_cast<size_t>(v) * static_cast<size_t>(num_users_) +
+      static_cast<size_t>(u);
+  GEACC_DCHECK(index < allowed_.size());
+  if (allowed_[index] == 0) return 0.0;
+  return base_->Compute(a, b, base_dim_);
+}
+
+std::unique_ptr<SimilarityFunction> MaskedSimilarity::Clone() const {
+  return std::make_unique<MaskedSimilarity>(base_->Clone(), base_dim_,
+                                            num_users_, allowed_);
+}
+
+Instance MaskInstance(const Instance& instance,
+                      const std::vector<uint8_t>& allowed) {
+  const int dim = instance.dim();
+  const int events = instance.num_events();
+  const int users = instance.num_users();
+  GEACC_CHECK_EQ(static_cast<int64_t>(allowed.size()),
+                 static_cast<int64_t>(events) * users);
+
+  AttributeMatrix event_attributes(events, dim + 1);
+  std::vector<int> event_capacities(events);
+  for (EventId v = 0; v < events; ++v) {
+    const double* source = instance.event_attributes().Row(v);
+    double* target = event_attributes.MutableRow(v);
+    for (int j = 0; j < dim; ++j) target[j] = source[j];
+    target[dim] = static_cast<double>(v);
+    event_capacities[v] = instance.event_capacity(v);
+  }
+  AttributeMatrix user_attributes(users, dim + 1);
+  std::vector<int> user_capacities(users);
+  for (UserId u = 0; u < users; ++u) {
+    const double* source = instance.user_attributes().Row(u);
+    double* target = user_attributes.MutableRow(u);
+    for (int j = 0; j < dim; ++j) target[j] = source[j];
+    target[dim] = -static_cast<double>(u) - 1.0;
+    user_capacities[u] = instance.user_capacity(u);
+  }
+
+  ConflictGraph conflicts(events);
+  for (EventId v = 0; v < events; ++v) {
+    for (const EventId w : instance.conflicts().ConflictsOf(v)) {
+      if (w > v) conflicts.AddConflict(v, w);
+    }
+  }
+  return Instance(std::move(event_attributes), std::move(event_capacities),
+                  std::move(user_attributes), std::move(user_capacities),
+                  std::move(conflicts),
+                  std::make_unique<MaskedSimilarity>(
+                      instance.similarity().Clone(), dim, users, allowed));
+}
+
+}  // namespace geacc

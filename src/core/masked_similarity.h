@@ -1,0 +1,66 @@
+// Per-pair admission masks expressed through the similarity contract.
+//
+// Several layers need to forbid specific (event, user) pairs while
+// reusing solvers that only know capacities, conflicts, and similarity:
+// the slotted scenario (src/slot/) excludes users unavailable in an
+// event's time slot, and the dynamic repair engine's full re-solve must
+// respect the same availability annotations. Since every solver and the
+// auditor already treat sim ≤ 0 as "unmatchable" (the positive-similarity
+// feasibility rule), a masked instance encodes forbidden pairs as
+// similarity 0 and allowed pairs bit-identically to the base function —
+// no solver changes needed.
+//
+// Mechanics: MaskInstance() appends one trailing attribute column that
+// carries the row's identity (events store +v, users store -(u+1), so
+// Compute can tell the sides apart regardless of argument order), and
+// wraps the base similarity in MaskedSimilarity, which scores the first
+// dim-1 coordinates with the base function and returns 0.0 when the
+// (event, user) bit is off in the mask. Masked instances are in-memory
+// artifacts only — they are never serialized (Name() "masked" has no
+// MakeSimilarity entry) and report IsEuclideanMonotone() = false so
+// distance-indexed NN cursors are never consulted about them.
+
+#ifndef GEACC_CORE_MASKED_SIMILARITY_H_
+#define GEACC_CORE_MASKED_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/similarity.h"
+
+namespace geacc {
+
+class MaskedSimilarity final : public SimilarityFunction {
+ public:
+  // `allowed` is row-major over (event, user): allowed[v * num_users + u]
+  // ≠ 0 permits the pair. `base_dim` is the wrapped function's
+  // dimensionality (one less than the masked instance's dim()).
+  MaskedSimilarity(std::unique_ptr<SimilarityFunction> base, int base_dim,
+                   int num_users, std::vector<uint8_t> allowed);
+
+  double Compute(const double* a, const double* b, int dim) const override;
+  bool IsEuclideanMonotone() const override { return false; }
+  std::string Name() const override { return "masked:" + base_->Name(); }
+  double Param() const override { return base_->Param(); }
+  std::unique_ptr<SimilarityFunction> Clone() const override;
+
+ private:
+  std::unique_ptr<SimilarityFunction> base_;
+  int base_dim_;
+  int num_users_;
+  std::vector<uint8_t> allowed_;
+};
+
+// Materializes a copy of `instance` whose similarity is 0 for every pair
+// with allowed[v * num_users + u] == 0 and bit-identical to the base
+// similarity otherwise. Capacities and conflicts carry over unchanged;
+// dim() grows by one (the identity column). Arrangement ids are
+// unaffected — row order is preserved — so solve results map back 1:1.
+Instance MaskInstance(const Instance& instance,
+                      const std::vector<uint8_t>& allowed);
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_MASKED_SIMILARITY_H_

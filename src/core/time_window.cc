@@ -1,0 +1,21 @@
+#include "core/time_window.h"
+
+#include <cmath>
+
+namespace geacc {
+
+bool WindowsConflict(const TimeWindow& a, const TimeWindow& b,
+                     double speed_kmph) {
+  // Interval overlap ([start, end) semantics: touching endpoints do not
+  // overlap).
+  if (a.start_hours < b.end_hours && b.start_hours < a.end_hours) return true;
+  if (speed_kmph <= 0.0) return false;
+  // Gap between the earlier window's end and the later window's start.
+  const TimeWindow& first = a.end_hours <= b.start_hours ? a : b;
+  const TimeWindow& second = a.end_hours <= b.start_hours ? b : a;
+  const double gap_hours = second.start_hours - first.end_hours;
+  const double distance_km = std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
+  return distance_km / speed_kmph > gap_hours;
+}
+
+}  // namespace geacc

@@ -1,0 +1,33 @@
+// The interval-overlap / travel-gap conflict predicate (paper Definition
+// 3's motivation), shared by every consumer that derives conflicts from
+// concrete times and venues: gen/schedule.h (timetable → ConflictGraph),
+// slot/ (slot-overlap conflicts for the joint scheduling scenario), and
+// dyn/ (re-deriving an event's conflicts when its slot changes).
+//
+// A TimeWindow is a half-open interval [start, end) in hours plus a venue
+// position in km. Two windows conflict when the intervals overlap, or
+// when the gap between them is too short to travel between the venues at
+// `speed_kmph`. A non-positive speed disables the travel rule.
+
+#ifndef GEACC_CORE_TIME_WINDOW_H_
+#define GEACC_CORE_TIME_WINDOW_H_
+
+namespace geacc {
+
+struct TimeWindow {
+  double start_hours = 0.0;  // e.g. hours since Sunday 00:00
+  double end_hours = 0.0;
+  double x_km = 0.0;  // venue position
+  double y_km = 0.0;
+};
+
+// Conflict iff intervals [start, end) overlap (touching endpoints do not
+// overlap), or the inter-window gap is shorter than straight-line
+// distance / speed_kmph. A non-positive speed disables the travel rule
+// (pure timetable overlap).
+bool WindowsConflict(const TimeWindow& a, const TimeWindow& b,
+                     double speed_kmph);
+
+}  // namespace geacc
+
+#endif  // GEACC_CORE_TIME_WINDOW_H_

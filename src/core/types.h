@@ -17,6 +17,22 @@ using UserId = int32_t;
 inline constexpr EventId kInvalidEvent = -1;
 inline constexpr UserId kInvalidUser = -1;
 
+// Discrete time slots for the slotted scheduling scenario (src/slot/,
+// DESIGN.md §17). Slot ids are dense 0-based indices into a slot table;
+// kInvalidSlot marks an unscheduled event. kMaxTimeSlots bounds every
+// per-entity availability bitmask to one 64-bit word and lets the io
+// layer reject out-of-range slot ids structurally, before any instance
+// state is consulted.
+using SlotId = int32_t;
+
+inline constexpr SlotId kInvalidSlot = -1;
+inline constexpr int kMaxTimeSlots = 32;
+
+// Availability mask with every slot bit set — the default for users that
+// never stated an availability.
+inline constexpr int64_t kFullSlotAvailability =
+    (int64_t{1} << kMaxTimeSlots) - 1;
+
 // Packs an (event, user) pair into a hashable 64-bit key.
 inline uint64_t PairKey(EventId v, UserId u) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 32) |

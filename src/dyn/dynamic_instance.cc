@@ -43,6 +43,8 @@ DynamicInstance::DynamicInstance(const Instance& instance)
     user_active_.push_back(true);
   }
   num_active_users_ = instance.num_users();
+  event_time_slots_.assign(instance.num_events(), kInvalidSlot);
+  user_availability_.assign(instance.num_users(), kFullSlotAvailability);
 }
 
 UserId DynamicInstance::AddUser(const std::vector<double>& attributes,
@@ -52,6 +54,7 @@ UserId DynamicInstance::AddUser(const std::vector<double>& attributes,
   user_attributes_.AppendRow(attributes);
   user_capacities_.push_back(capacity);
   user_active_.push_back(true);
+  user_availability_.push_back(kFullSlotAvailability);
   ++num_active_users_;
   ++epoch_;
   return static_cast<UserId>(user_slots() - 1);
@@ -64,6 +67,7 @@ EventId DynamicInstance::AddEvent(const std::vector<double>& attributes,
   event_attributes_.AppendRow(attributes);
   event_capacities_.push_back(capacity);
   event_active_.push_back(true);
+  event_time_slots_.push_back(kInvalidSlot);
   conflicts_.Resize(event_slots());
   ++num_active_events_;
   ++epoch_;
@@ -112,6 +116,56 @@ void DynamicInstance::SetUserCapacity(UserId u, int capacity) {
   ++epoch_;
 }
 
+void DynamicInstance::AttachSlotTable(std::vector<TimeWindow> windows,
+                                      double speed_kmph) {
+  GEACC_CHECK_LE(static_cast<int>(windows.size()), kMaxTimeSlots);
+  for (const TimeWindow& window : windows) {
+    GEACC_CHECK_LE(window.start_hours, window.end_hours)
+        << "slot window ends before it starts";
+  }
+  for (const SlotId slot : event_time_slots_) {
+    GEACC_CHECK(slot < static_cast<SlotId>(windows.size()))
+        << "event already scheduled past the new table";
+  }
+  slot_windows_ = std::move(windows);
+  slot_speed_kmph_ = speed_kmph;
+}
+
+void DynamicInstance::SetEventSlot(EventId v, SlotId slot) {
+  GEACC_CHECK(v >= 0 && v < event_slots()) << "event id out of range: " << v;
+  GEACC_CHECK(event_active_[v]) << "event " << v << " is removed";
+  GEACC_CHECK(slot >= 0 && slot < num_time_slots())
+      << "slot id out of range: " << slot;
+  event_time_slots_[v] = slot;
+  has_slot_constraints_ = true;
+  if (!slot_windows_.empty()) {
+    // With a table attached the moved event's conflict edges are a pure
+    // function of the slotting: drop them all (including any static edges
+    // it started with) and re-derive against every other scheduled event.
+    conflicts_.RemoveConflictsOf(v);
+    for (EventId w = 0; w < event_slots(); ++w) {
+      if (w == v || !event_active_[w]) continue;
+      const SlotId other = event_time_slots_[w];
+      if (other < 0) continue;
+      if (WindowsConflict(slot_windows_[slot], slot_windows_[other],
+                          slot_speed_kmph_)) {
+        conflicts_.AddConflict(v, w);
+      }
+    }
+  }
+  ++epoch_;
+}
+
+void DynamicInstance::SetUserAvailability(UserId u, int64_t mask) {
+  GEACC_CHECK(u >= 0 && u < user_slots()) << "user id out of range: " << u;
+  GEACC_CHECK(user_active_[u]) << "user " << u << " is removed";
+  GEACC_CHECK(mask >= 0 && mask <= kFullSlotAvailability)
+      << "availability mask out of range: " << mask;
+  user_availability_[u] = mask;
+  has_slot_constraints_ = true;
+  ++epoch_;
+}
+
 int32_t DynamicInstance::Apply(const Mutation& mutation) {
   switch (mutation.kind) {
     case Mutation::Kind::kAddUser:
@@ -132,6 +186,12 @@ int32_t DynamicInstance::Apply(const Mutation& mutation) {
       return -1;
     case Mutation::Kind::kSetUserCapacity:
       SetUserCapacity(mutation.id, mutation.capacity);
+      return -1;
+    case Mutation::Kind::kSetEventSlot:
+      SetEventSlot(mutation.id, mutation.other);
+      return -1;
+    case Mutation::Kind::kSetUserAvailability:
+      SetUserAvailability(mutation.id, mutation.mask);
       return -1;
   }
   GEACC_CHECK(false) << "unknown mutation kind";
@@ -204,6 +264,10 @@ DynamicInstance::SlotState DynamicInstance::ExportSlotState() const {
       if (w > v) state.conflicts.emplace_back(v, w);
     }
   }
+  if (has_slot_constraints_) {
+    state.event_time_slots = event_time_slots_;
+    state.user_availability = user_availability_;
+  }
   return state;
 }
 
@@ -260,6 +324,29 @@ std::optional<DynamicInstance> DynamicInstance::FromSlotState(
       return fail("conflict pair references a tombstoned event");
     }
     instance.conflicts_.AddConflict(a, b);
+  }
+  // Time-slot annotations: empty = defaults (pre-slot state), otherwise
+  // both vectors must match the slot space exactly.
+  instance.event_time_slots_.assign(events, kInvalidSlot);
+  instance.user_availability_.assign(users, kFullSlotAvailability);
+  if (!state.event_time_slots.empty() || !state.user_availability.empty()) {
+    if (static_cast<int>(state.event_time_slots.size()) != events ||
+        static_cast<int>(state.user_availability.size()) != users) {
+      return fail("time-slot vectors disagree with entity slot counts");
+    }
+    for (const SlotId slot : state.event_time_slots) {
+      if (slot < kInvalidSlot || slot >= kMaxTimeSlots) {
+        return fail("event time slot out of range");
+      }
+    }
+    for (const int64_t mask : state.user_availability) {
+      if (mask < 0 || mask > kFullSlotAvailability) {
+        return fail("user availability mask out of range");
+      }
+    }
+    instance.event_time_slots_ = std::move(state.event_time_slots);
+    instance.user_availability_ = std::move(state.user_availability);
+    instance.has_slot_constraints_ = true;
   }
   instance.epoch_ = state.epoch;
   return instance;

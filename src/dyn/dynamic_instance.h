@@ -34,6 +34,7 @@
 #include "core/conflict_graph.h"
 #include "core/instance.h"
 #include "core/similarity.h"
+#include "core/time_window.h"
 #include "core/types.h"
 #include "dyn/mutation.h"
 
@@ -73,6 +74,28 @@ class DynamicInstance {
   // The entity must be active; capacity must be ≥ 1.
   void SetEventCapacity(EventId v, int capacity);
   void SetUserCapacity(UserId u, int capacity);
+
+  // ----- time slots (slotted scheduling scenario, DESIGN.md §17) -----
+  //
+  // Every instance carries per-event time-slot annotations (kInvalidSlot =
+  // unscheduled) and per-user availability bitmasks (default: available in
+  // every slot). They constrain pair admission via PairAllowed() and are
+  // mutated by kSetEventSlot / kSetUserAvailability.
+
+  // Configures slot-overlap conflict derivation: when a table is attached,
+  // SetEventSlot rewires the moved event's conflict edges from the
+  // windows' overlap/travel rule (core/time_window.h) instead of leaving
+  // the conflict graph untouched. Configuration, not a mutation: no epoch
+  // bump. At most kMaxTimeSlots windows.
+  void AttachSlotTable(std::vector<TimeWindow> windows, double speed_kmph);
+
+  // The event must be active; slot must be in [0, num_time_slots()).
+  // With a slot table attached, drops the event's conflict edges and
+  // re-derives them against every other active slot-assigned event.
+  void SetEventSlot(EventId v, SlotId slot);
+
+  // The user must be active; mask must be in [0, 2^kMaxTimeSlots).
+  void SetUserAvailability(UserId u, int64_t mask);
 
   // Applies a trace mutation. Returns the assigned slot id for adds,
   // kInvalidEvent/kInvalidUser-style -1 otherwise.
@@ -116,6 +139,38 @@ class DynamicInstance {
                                 user_attributes_.Row(u), dim_);
   }
 
+  // Slot-id space: the attached table's size, or kMaxTimeSlots when no
+  // table is attached (annotations-only mode).
+  int num_time_slots() const {
+    return slot_windows_.empty() ? kMaxTimeSlots
+                                 : static_cast<int>(slot_windows_.size());
+  }
+
+  // kInvalidSlot when unscheduled. In-range slot id required (tombstones
+  // report their last value, like capacities).
+  SlotId event_time_slot(EventId v) const {
+    GEACC_DCHECK(v >= 0 && v < event_slots());
+    return event_time_slots_[v];
+  }
+  int64_t user_availability(UserId u) const {
+    GEACC_DCHECK(u >= 0 && u < user_slots());
+    return user_availability_[u];
+  }
+
+  // False only when `v` is scheduled in a slot `u` is unavailable for;
+  // unscheduled events admit everyone. Capacity/conflict/similarity
+  // feasibility is the caller's concern.
+  bool PairAllowed(EventId v, UserId u) const {
+    const SlotId slot = event_time_slots_[v];
+    if (slot < 0) return true;
+    return (user_availability_[u] >> slot) & 1;
+  }
+
+  // True once any slot/availability mutation has been applied — i.e. when
+  // consumers solving over Snapshot() must mask forbidden pairs
+  // (core/masked_similarity.h) to stay feasible.
+  bool has_slot_constraints() const { return has_slot_constraints_; }
+
   // Attribute matrices span all slots (tombstoned rows keep their last
   // value); k-NN indexes built over them must filter by *_active().
   const AttributeMatrix& event_attributes() const { return event_attributes_; }
@@ -153,6 +208,11 @@ class DynamicInstance {
     std::vector<uint8_t> event_active;  // 0/1 per slot
     std::vector<uint8_t> user_active;
     std::vector<std::pair<EventId, EventId>> conflicts;  // a < b, sorted
+    // Time-slot annotations. Empty vectors mean "all defaults" (no event
+    // scheduled, every user fully available) so pre-slot states restore
+    // unchanged; otherwise sizes must match the entity slot counts.
+    std::vector<SlotId> event_time_slots;
+    std::vector<int64_t> user_availability;
   };
 
   SlotState ExportSlotState() const;
@@ -182,6 +242,14 @@ class DynamicInstance {
   int num_active_events_ = 0;
   int num_active_users_ = 0;
   ConflictGraph conflicts_;
+
+  // Time-slot annotations (one entry per entity slot, like capacities).
+  std::vector<SlotId> event_time_slots_;
+  std::vector<int64_t> user_availability_;
+  bool has_slot_constraints_ = false;
+  // Optional slot table for conflict derivation (empty = detached).
+  std::vector<TimeWindow> slot_windows_;
+  double slot_speed_kmph_ = 0.0;
 };
 
 }  // namespace geacc

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "algo/solvers.h"
+#include "core/masked_similarity.h"
 #include "index/idistance_paged.h"
 #include "obs/stats.h"
 #include "util/check.h"
@@ -77,6 +78,12 @@ int64_t IncrementalArranger::Apply(const Mutation& mutation) {
       break;
     case Mutation::Kind::kSetUserCapacity:
       ApplySetUserCapacity(mutation);
+      break;
+    case Mutation::Kind::kSetEventSlot:
+      ApplySetEventSlot(mutation);
+      break;
+    case Mutation::Kind::kSetUserAvailability:
+      ApplySetUserAvailability(mutation);
       break;
   }
 
@@ -174,6 +181,7 @@ void IncrementalArranger::FillUser(UserId u) {
     if (!next || next->similarity <= 0.0) return;
     const EventId v = next->id;
     if (!instance_->event_active(v) || event_remaining_[v] <= 0) continue;
+    if (!instance_->PairAllowed(v, u)) continue;
     if (arrangement_.Contains(v, u)) continue;
     if (ConflictsWithAssigned(v, u)) continue;
     AddPair(v, u, next->similarity);
@@ -199,6 +207,7 @@ void IncrementalArranger::FillEvent(EventId v) {
     if (!next || next->similarity <= 0.0) return;
     const UserId u = next->id;
     if (!instance_->user_active(u) || user_remaining_[u] <= 0) continue;
+    if (!instance_->PairAllowed(v, u)) continue;
     if (arrangement_.Contains(v, u)) continue;
     if (ConflictsWithAssigned(v, u)) continue;
     AddPair(v, u, next->similarity);
@@ -313,6 +322,76 @@ void IncrementalArranger::ApplySetUserCapacity(const Mutation& mutation) {
   drift_ += std::max(0.0, before - max_sum_);
 }
 
+void IncrementalArranger::ApplySetEventSlot(const Mutation& mutation) {
+  const EventId v = mutation.id;
+  instance_->SetEventSlot(v, mutation.other);
+  // Two eviction causes, handled in id order for determinism: users now
+  // unavailable in the event's slot, and users whose other events conflict
+  // with the rewired edges (keep the more similar side, ties keep the
+  // smaller id — the kAddConflict rule).
+  std::vector<UserId> roster = event_users_[v];
+  std::sort(roster.begin(), roster.end());
+  const double before = max_sum_;
+  std::vector<UserId> displaced;
+  std::vector<EventId> freed;
+  for (const UserId u : roster) {
+    if (!instance_->PairAllowed(v, u)) {
+      RemovePair(v, u);
+      displaced.push_back(u);
+      continue;
+    }
+    // The rewiring can put v at odds with several of u's other events;
+    // resolve pairwise until u's set is conflict-free again or v itself
+    // got evicted.
+    const ConflictGraph& conflicts = instance_->conflicts();
+    bool holds_v = true;
+    bool any_evicted = false;
+    while (holds_v) {
+      EventId blocking = kInvalidEvent;
+      for (const EventId w : arrangement_.EventsOf(u)) {
+        if (w != v && conflicts.AreConflicting(v, w)) {
+          blocking = w;
+          break;
+        }
+      }
+      if (blocking == kInvalidEvent) break;
+      const double sim_v = instance_->Similarity(v, u);
+      const double sim_w = instance_->Similarity(blocking, u);
+      const EventId evict =
+          (sim_v < sim_w || (sim_v == sim_w && v > blocking)) ? v : blocking;
+      RemovePair(evict, u);
+      any_evicted = true;
+      if (evict == v) {
+        holds_v = false;
+      } else {
+        freed.push_back(evict);
+      }
+    }
+    if (any_evicted) displaced.push_back(u);
+  }
+  for (const UserId u : displaced) FillUser(u);
+  FillEvent(v);
+  for (const EventId w : freed) FillEvent(w);
+  drift_ += std::max(0.0, before - max_sum_);
+}
+
+void IncrementalArranger::ApplySetUserAvailability(const Mutation& mutation) {
+  const UserId u = mutation.id;
+  instance_->SetUserAvailability(u, mutation.mask);
+  std::vector<EventId> held = arrangement_.EventsOf(u);
+  std::sort(held.begin(), held.end());
+  const double before = max_sum_;
+  std::vector<EventId> freed;
+  for (const EventId v : held) {
+    if (instance_->PairAllowed(v, u)) continue;
+    RemovePair(v, u);
+    freed.push_back(v);
+  }
+  FillUser(u);
+  for (const EventId v : freed) FillEvent(v);
+  drift_ += std::max(0.0, before - max_sum_);
+}
+
 void IncrementalArranger::MaybeFullResolve() {
   if (!options_.refill) return;
   if (options_.drift_threshold <= 0.0) return;
@@ -324,7 +403,24 @@ void IncrementalArranger::FullResolve() {
   GEACC_PHASE_TIMER("dyn.full_resolve");
   GEACC_STATS_ADD("dyn.full_resolves", 1);
   DynamicInstance::SnapshotMap map;
-  const Instance snapshot = instance_->Snapshot(&map);
+  Instance snapshot = instance_->Snapshot(&map);
+  if (instance_->has_slot_constraints()) {
+    // Snapshot() is slot-agnostic; mask slot-forbidden pairs to sim 0 so
+    // the slot-blind fallback solver cannot admit them
+    // (core/masked_similarity.h).
+    std::vector<uint8_t> allowed(
+        static_cast<size_t>(snapshot.num_events()) * snapshot.num_users(), 1);
+    for (int dense_v = 0; dense_v < snapshot.num_events(); ++dense_v) {
+      const EventId v = map.dense_to_event[dense_v];
+      for (int dense_u = 0; dense_u < snapshot.num_users(); ++dense_u) {
+        if (!instance_->PairAllowed(v, map.dense_to_user[dense_u])) {
+          allowed[static_cast<size_t>(dense_v) * snapshot.num_users() +
+                  dense_u] = 0;
+        }
+      }
+    }
+    snapshot = MaskInstance(snapshot, allowed);
+  }
   const SolveResult result = fallback_->Solve(snapshot);
 
   arrangement_ = Arrangement(instance_->event_slots(),
@@ -501,6 +597,10 @@ std::string IncrementalArranger::Validate() const {
       }
       if (instance_->Similarity(events[i], u) <= 0.0) {
         return StrFormat("pair {%d,%d} has non-positive similarity",
+                         events[i], u);
+      }
+      if (!instance_->PairAllowed(events[i], u)) {
+        return StrFormat("pair {%d,%d} violates slot availability",
                          events[i], u);
       }
       for (size_t j = i + 1; j < events.size(); ++j) {

@@ -198,6 +198,8 @@ class IncrementalArranger {
   void ApplyAddConflict(const Mutation& mutation);
   void ApplySetEventCapacity(const Mutation& mutation);
   void ApplySetUserCapacity(const Mutation& mutation);
+  void ApplySetEventSlot(const Mutation& mutation);
+  void ApplySetUserAvailability(const Mutation& mutation);
 
   void MaybeFullResolve();
 

@@ -60,6 +60,22 @@ Mutation Mutation::SetUserCapacity(UserId u, int capacity) {
   return m;
 }
 
+Mutation Mutation::SetEventSlot(EventId v, SlotId slot) {
+  Mutation m;
+  m.kind = Kind::kSetEventSlot;
+  m.id = v;
+  m.other = slot;
+  return m;
+}
+
+Mutation Mutation::SetUserAvailability(UserId u, int64_t mask) {
+  Mutation m;
+  m.kind = Kind::kSetUserAvailability;
+  m.id = u;
+  m.mask = mask;
+  return m;
+}
+
 const char* MutationKindName(Mutation::Kind kind) {
   switch (kind) {
     case Mutation::Kind::kAddUser:
@@ -76,6 +92,10 @@ const char* MutationKindName(Mutation::Kind kind) {
       return "set_event_capacity";
     case Mutation::Kind::kSetUserCapacity:
       return "set_user_capacity";
+    case Mutation::Kind::kSetEventSlot:
+      return "set_event_slot";
+    case Mutation::Kind::kSetUserAvailability:
+      return "set_user_availability";
   }
   return "unknown";
 }
@@ -95,6 +115,11 @@ std::string Mutation::DebugString() const {
     case Kind::kSetUserCapacity:
       return StrFormat("%s(%d, capacity=%d)", MutationKindName(kind), id,
                        capacity);
+    case Kind::kSetEventSlot:
+      return StrFormat("%s(%d, slot=%d)", MutationKindName(kind), id, other);
+    case Kind::kSetUserAvailability:
+      return StrFormat("%s(%d, mask=%lld)", MutationKindName(kind), id,
+                       (long long)mask);
   }
   return "mutation(?)";
 }

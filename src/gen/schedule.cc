@@ -1,7 +1,6 @@
 #include "gen/schedule.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/check.h"
 
@@ -9,16 +8,7 @@ namespace geacc {
 
 bool EventsConflict(const ScheduledEvent& a, const ScheduledEvent& b,
                     double speed_kmph) {
-  // Interval overlap ([start, end) semantics: touching endpoints do not
-  // overlap).
-  if (a.start_hours < b.end_hours && b.start_hours < a.end_hours) return true;
-  if (speed_kmph <= 0.0) return false;
-  // Gap between the earlier event's end and the later event's start.
-  const ScheduledEvent& first = a.end_hours <= b.start_hours ? a : b;
-  const ScheduledEvent& second = a.end_hours <= b.start_hours ? b : a;
-  const double gap_hours = second.start_hours - first.end_hours;
-  const double distance_km = std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
-  return distance_km / speed_kmph > gap_hours;
+  return WindowsConflict(a, b, speed_kmph);
 }
 
 ConflictGraph ConflictsFromSchedule(const std::vector<ScheduledEvent>& events,

@@ -12,16 +12,15 @@
 #include <vector>
 
 #include "core/conflict_graph.h"
+#include "core/time_window.h"
 #include "util/rng.h"
 
 namespace geacc {
 
-struct ScheduledEvent {
-  double start_hours = 0.0;  // e.g. hours since Sunday 00:00
-  double end_hours = 0.0;
-  double x_km = 0.0;  // venue position
-  double y_km = 0.0;
-};
+// The overlap/travel predicate itself lives in core/time_window.h so that
+// slot::DeriveConflicts and the dynamic slot-change repair share one
+// implementation with this module; a scheduled event *is* a time window.
+using ScheduledEvent = TimeWindow;
 
 // Conflict iff intervals [start, end) overlap, or the inter-event gap is
 // shorter than straight-line distance / speed_kmph. A non-positive speed

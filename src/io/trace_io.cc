@@ -97,6 +97,31 @@ std::optional<Mutation> ParseMutationTokens(
       mutation.id = static_cast<int32_t>(operands[0]);
       mutation.capacity = static_cast<int>(operands[1]);
     }
+  } else if (keyword == "set_event_slot") {
+    mutation.kind = Mutation::Kind::kSetEventSlot;
+    std::vector<int64_t> operands(2);
+    // Slot ids are structurally bounded by kMaxTimeSlots; anything larger
+    // is an unknown slot regardless of instance state.
+    ok = ParseIntOperands(tokens, operands) && operands[1] < kMaxTimeSlots;
+    if (ok) {
+      mutation.id = static_cast<int32_t>(operands[0]);
+      mutation.other = static_cast<int32_t>(operands[1]);
+    }
+  } else if (keyword == "set_user_availability") {
+    mutation.kind = Mutation::Kind::kSetUserAvailability;
+    // The mask operand exceeds ParseIntOperands' INT32_MAX ceiling (it is
+    // a kMaxTimeSlots-bit word), so it gets its own parse: non-negative —
+    // a leading '-' never parses — and < 2^kMaxTimeSlots.
+    if (tokens.size() == 3) {
+      const auto id = ParseInt(tokens[1]);
+      const auto mask = ParseInt(tokens[2]);
+      ok = id && *id >= 0 && *id <= INT32_MAX && mask && *mask >= 0 &&
+           *mask < (int64_t{1} << kMaxTimeSlots);
+      if (ok) {
+        mutation.id = static_cast<int32_t>(*id);
+        mutation.mask = *mask;
+      }
+    }
   } else {
     Fail(error, "unknown mutation '" + keyword + "'");
     return std::nullopt;
@@ -130,6 +155,12 @@ void WriteMutationLine(const Mutation& mutation, std::ostream& os) {
     case Mutation::Kind::kSetEventCapacity:
     case Mutation::Kind::kSetUserCapacity:
       os << " " << mutation.id << " " << mutation.capacity;
+      break;
+    case Mutation::Kind::kSetEventSlot:
+      os << " " << mutation.id << " " << mutation.other;
+      break;
+    case Mutation::Kind::kSetUserAvailability:
+      os << " " << mutation.id << " " << mutation.mask;
       break;
   }
   os << "\n";

@@ -15,11 +15,14 @@
 //   add_conflict <event_a> <event_b>
 //   set_event_capacity <event> <capacity>
 //   set_user_capacity <user> <capacity>
+//   set_event_slot <event> <slot>
+//   set_user_availability <user> <mask>
 //
 // Attributes round-trip bit-exactly (%.17g, as instance_io). The reader
 // validates structure only (kinds, arity, numeric ranges ≥ 0, capacities
-// ≥ 1, attribute arity = dim); whether an id is alive at its epoch is a
-// replay-time property checked by DynamicInstance. Like the other
+// ≥ 1, attribute arity = dim, slot ids < kMaxTimeSlots, availability
+// masks in [0, 2^kMaxTimeSlots)); whether an id is alive at its epoch is
+// a replay-time property checked by DynamicInstance. Like the other
 // readers, malformed input returns std::nullopt with a diagnostic rather
 // than aborting.
 

@@ -215,6 +215,36 @@ bool ValidatePoint(const JsonValue& point, size_t index, std::string* error) {
       }
     }
   }
+  if (const JsonValue* slots = point.Find("slots"); slots != nullptr) {
+    const std::string slots_where = where + ".slots";
+    if (!slots->is_object()) {
+      return Violation(error, slots_where + ": not an object");
+    }
+    if (!RequireMember(*slots, "num_slots", JsonValue::Type::kInt, &member,
+                       error, slots_where)) {
+      return false;
+    }
+    if (member->AsInt() <= 0) {
+      return Violation(error, slots_where + ": non-positive num_slots");
+    }
+    for (const char* key :
+         {"scheduled_events", "slottings_considered", "leaf_solves"}) {
+      if (!RequireMember(*slots, key, JsonValue::Type::kInt, &member, error,
+                         slots_where)) {
+        return false;
+      }
+      if (member->AsInt() < 0) {
+        return Violation(error, slots_where + ": negative " + std::string(key));
+      }
+    }
+    if (!RequireMember(*slots, "joint_max_sum", JsonValue::Type::kDouble,
+                       &member, error, slots_where)) {
+      return false;
+    }
+    if (member->AsDouble() < 0.0) {
+      return Violation(error, slots_where + ": negative joint_max_sum");
+    }
+  }
   return true;
 }
 
@@ -296,6 +326,15 @@ JsonValue BenchReport::ToJson() const {
       shards.Set("per_shard", std::move(per_shard));
       entry.Set("shards", std::move(shards));
     }
+    if (point.has_slots) {
+      JsonValue slots = JsonValue::Object();
+      slots.Set("num_slots", point.slots.num_slots);
+      slots.Set("scheduled_events", point.slots.scheduled_events);
+      slots.Set("slottings_considered", point.slots.slottings_considered);
+      slots.Set("leaf_solves", point.slots.leaf_solves);
+      slots.Set("joint_max_sum", point.slots.joint_max_sum);
+      entry.Set("slots", std::move(slots));
+    }
     point_array.Append(std::move(entry));
   }
   root.Set("points", std::move(point_array));
@@ -368,6 +407,16 @@ bool BenchReport::FromJson(const JsonValue& json, std::string* error) {
         shard.p99_ms = item.Find("p99_ms")->AsDouble();
         point.shards.per_shard.push_back(shard);
       }
+    }
+    if (const JsonValue* slots = entry.Find("slots"); slots != nullptr) {
+      point.has_slots = true;
+      point.slots.num_slots = slots->Find("num_slots")->AsInt();
+      point.slots.scheduled_events =
+          slots->Find("scheduled_events")->AsInt();
+      point.slots.slottings_considered =
+          slots->Find("slottings_considered")->AsInt();
+      point.slots.leaf_solves = slots->Find("leaf_solves")->AsInt();
+      point.slots.joint_max_sum = slots->Find("joint_max_sum")->AsDouble();
     }
     points.push_back(std::move(point));
   }

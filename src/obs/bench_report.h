@@ -42,6 +42,13 @@
 //             {"shard": 0, "requests": 4821,
 //              "p50_ms": 0.05, "p95_ms": 0.21, "p99_ms": 0.6}, ...
 //           ]
+//         },
+//         "slots": {                        // optional: slotted joint solves
+//           "num_slots": 6,                 // S of the slotted instance
+//           "scheduled_events": 20,         // events with an assigned slot
+//           "slottings_considered": 81,     // search-space accounting
+//           "leaf_solves": 12,              // per-slotting solver runs
+//           "joint_max_sum": 41.7           // best joint objective
 //         }
 //       }, ...
 //     ]
@@ -128,6 +135,19 @@ struct ShardsSummary {
   std::vector<ShardLatency> per_shard;
 };
 
+// Slotted joint-solve summary, attached by bench/fig_slotted points
+// (DESIGN.md §17). Optional within v1 — absent means the point solved a
+// plain (un-slotted) instance. The search counters mirror
+// slot::SlotSolveResult: `slottings_considered` includes pruned
+// slottings, `leaf_solves` counts per-slotting solver runs.
+struct SlotsSummary {
+  int64_t num_slots = 0;
+  int64_t scheduled_events = 0;
+  int64_t slottings_considered = 0;
+  int64_t leaf_solves = 0;
+  double joint_max_sum = 0.0;
+};
+
 // One measured (sweep point × solver) cell.
 struct BenchPoint {
   std::string label;
@@ -150,6 +170,9 @@ struct BenchPoint {
   // Serialized as a "shards" object only when has_shards is set.
   bool has_shards = false;
   ShardsSummary shards;
+  // Serialized as a "slots" object only when has_slots is set.
+  bool has_slots = false;
+  SlotsSummary slots;
 };
 
 struct BenchReport {

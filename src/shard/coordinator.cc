@@ -297,7 +297,8 @@ std::string ShardCoordinator::ApplyLocked(const Mutation& mutation,
       break;
     }
     case Mutation::Kind::kRemoveUser:
-    case Mutation::Kind::kSetUserCapacity: {
+    case Mutation::Kind::kSetUserCapacity:
+    case Mutation::Kind::kSetUserAvailability: {
       const ShardMap::Placement placement = map_.UserHome(mutation.id);
       mirror_.Apply(mutation);
       Mutation local = mutation;
@@ -311,7 +312,8 @@ std::string ShardCoordinator::ApplyLocked(const Mutation& mutation,
         error = SendMutation(shard, mutation);
       }
       break;
-    default:  // remove_event, add_conflict, set_event_capacity: replicated
+    default:  // remove_event, add_conflict, set_event_capacity,
+              // set_event_slot: event-side state is replicated
       mirror_.Apply(mutation);
       for (int shard = 0; shard < num_shards() && error.empty(); ++shard) {
         error = SendMutation(shard, mutation);
@@ -547,6 +549,10 @@ std::string ShardCoordinator::RepairPassLocked() {
           return StrFormat("shard %d reported unknown local user %d", shard,
                            candidate.user);
         }
+        // Slot-availability gate: a pair forbidden by the mirror's
+        // time-slot annotations must never reach admission — the shard's
+        // arranger would reject the install as infeasible.
+        if (!mirror_.PairAllowed(candidate.event, global)) continue;
         candidates.push_back({candidate.similarity, candidate.event, global});
       }
     }

@@ -1,0 +1,149 @@
+#include "slot/slotted.h"
+
+#include <utility>
+
+#include "core/masked_similarity.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace geacc {
+namespace slot {
+
+bool SlotTable::Conflicting(SlotId a, SlotId b) const {
+  GEACC_DCHECK(a >= 0 && a < size());
+  GEACC_DCHECK(b >= 0 && b < size());
+  return WindowsConflict(windows[a], windows[b], speed_kmph);
+}
+
+std::string SlottedInstance::Validate() const {
+  const int num_slots = slots.size();
+  if (num_slots < 1 || num_slots > kMaxTimeSlots) {
+    return StrFormat("slot count %d outside [1, %d]", num_slots,
+                     kMaxTimeSlots);
+  }
+  for (int s = 0; s < num_slots; ++s) {
+    if (slots.windows[s].start_hours > slots.windows[s].end_hours) {
+      return StrFormat("slot %d window has start > end", s);
+    }
+  }
+  const uint32_t mask_limit =
+      num_slots == 32 ? 0xffffffffu : ((uint32_t{1} << num_slots) - 1);
+  if (static_cast<int>(event_allowed.size()) != base.num_events()) {
+    return StrFormat("event_allowed has %zu entries for %d events",
+                     event_allowed.size(), base.num_events());
+  }
+  for (EventId v = 0; v < base.num_events(); ++v) {
+    if (event_allowed[v] == 0) {
+      return StrFormat("event %d has no allowed slots", v);
+    }
+    if ((event_allowed[v] & ~mask_limit) != 0) {
+      return StrFormat("event %d allowed mask references slots >= %d", v,
+                       num_slots);
+    }
+  }
+  if (static_cast<int>(user_availability.size()) != base.num_users()) {
+    return StrFormat("user_availability has %zu entries for %d users",
+                     user_availability.size(), base.num_users());
+  }
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    if ((user_availability[u] & ~mask_limit) != 0) {
+      return StrFormat("user %d availability references slots >= %d", u,
+                       num_slots);
+    }
+  }
+  return base.Validate();
+}
+
+ConflictGraph DeriveConflicts(const SlottedInstance& slotted,
+                              const Slotting& slotting) {
+  const int num_events = slotted.base.num_events();
+  GEACC_CHECK_EQ(static_cast<int>(slotting.size()), num_events);
+  ConflictGraph graph(num_events);
+  for (EventId v = 0; v < num_events; ++v) {
+    if (slotting[v] == kInvalidSlot) continue;
+    for (EventId w = v + 1; w < num_events; ++w) {
+      if (slotting[w] == kInvalidSlot) continue;
+      if (slotted.slots.Conflicting(slotting[v], slotting[w])) {
+        graph.AddConflict(v, w);
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<uint8_t> PairMask(const SlottedInstance& slotted,
+                              const Slotting& slotting) {
+  const int num_events = slotted.base.num_events();
+  const int num_users = slotted.base.num_users();
+  GEACC_CHECK_EQ(static_cast<int>(slotting.size()), num_events);
+  std::vector<uint8_t> allowed(
+      static_cast<size_t>(num_events) * static_cast<size_t>(num_users), 0);
+  for (EventId v = 0; v < num_events; ++v) {
+    const SlotId s = slotting[v];
+    if (s == kInvalidSlot) continue;
+    for (UserId u = 0; u < num_users; ++u) {
+      if ((slotted.user_availability[u] >> s) & 1u) {
+        allowed[static_cast<size_t>(v) * num_users + u] = 1;
+      }
+    }
+  }
+  return allowed;
+}
+
+Instance MakeSubInstance(const SlottedInstance& slotted,
+                         const Slotting& slotting) {
+  const Instance& base = slotted.base;
+  std::vector<int> event_capacities(base.num_events());
+  for (EventId v = 0; v < base.num_events(); ++v) {
+    event_capacities[v] = base.event_capacity(v);
+  }
+  std::vector<int> user_capacities(base.num_users());
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    user_capacities[u] = base.user_capacity(u);
+  }
+  Instance with_conflicts(base.event_attributes(), std::move(event_capacities),
+                          base.user_attributes(), std::move(user_capacities),
+                          DeriveConflicts(slotted, slotting),
+                          base.similarity().Clone());
+  return MaskInstance(with_conflicts, PairMask(slotted, slotting));
+}
+
+std::string AuditSlotted(const SlottedInstance& slotted,
+                         const Slotting& slotting,
+                         const Arrangement& arrangement) {
+  const int num_events = slotted.base.num_events();
+  if (static_cast<int>(slotting.size()) != num_events) {
+    return StrFormat("slotting has %zu entries for %d events",
+                     slotting.size(), num_events);
+  }
+  for (EventId v = 0; v < num_events; ++v) {
+    const SlotId s = slotting[v];
+    if (s == kInvalidSlot) {
+      if (arrangement.EventLoad(v) > 0) {
+        return StrFormat("unscheduled event %d has matched users", v);
+      }
+      continue;
+    }
+    if (s < 0 || s >= slotted.num_slots()) {
+      return StrFormat("event %d scheduled into unknown slot %d", v, s);
+    }
+    if (((slotted.event_allowed[v] >> s) & 1u) == 0) {
+      return StrFormat("event %d scheduled into disallowed slot %d", v, s);
+    }
+  }
+  for (UserId u = 0; u < slotted.base.num_users(); ++u) {
+    for (const EventId v : arrangement.EventsOf(u)) {
+      const SlotId s = slotting[v];
+      if (s >= 0 && ((slotted.user_availability[u] >> s) & 1u) == 0) {
+        return StrFormat("user %d matched to event %d in unavailable slot %d",
+                         u, v, s);
+      }
+    }
+  }
+  // Capacity / derived-conflict / positivity / duplicate checks against
+  // the induced plain instance.
+  return arrangement.Validate(MakeSubInstance(slotted, slotting));
+}
+
+}  // namespace slot
+}  // namespace geacc

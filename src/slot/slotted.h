@@ -1,0 +1,103 @@
+// Time-slotted GEACC instances: joint slot + participant arrangement.
+//
+// A SlottedInstance extends a base Instance with S discrete time slots
+// (each a TimeWindow on the shared horizon), a per-event set of allowed
+// slots, and a per-user availability bitmask. Conflicts are no longer
+// part of the input: they are *derived* from a slotting — two scheduled
+// events conflict iff their slot windows overlap or are too far apart to
+// travel between (core/time_window.h, the same predicate the schedule
+// generator and the dynamic slot-change repair use).
+//
+// A Slotting maps each event to one of its allowed slots (or kInvalidSlot
+// when unscheduled). Given a slotting the joint problem collapses to a
+// plain GEACC instance: DeriveConflicts() yields the conflict graph and
+// MakeSubInstance() additionally masks every (event, user) pair the
+// slotting forbids — unscheduled events and users whose availability mask
+// lacks the event's slot — so any registry solver can price it. The
+// joint solvers in slot/slot_solvers.h search over slottings on top of
+// these primitives.
+
+#ifndef GEACC_SLOT_SLOTTED_H_
+#define GEACC_SLOT_SLOTTED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arrangement.h"
+#include "core/conflict_graph.h"
+#include "core/instance.h"
+#include "core/time_window.h"
+#include "core/types.h"
+
+namespace geacc {
+namespace slot {
+
+// The shared slot grid: window s is the time/venue block every event
+// scheduled into slot s occupies. speed_kmph feeds the travel rule of
+// WindowsConflict (non-positive disables it).
+struct SlotTable {
+  std::vector<TimeWindow> windows;
+  double speed_kmph = 0.0;
+
+  int size() const { return static_cast<int>(windows.size()); }
+
+  // True iff events scheduled into slots `a` and `b` conflict. A slot
+  // always conflicts with itself when its window is non-degenerate.
+  bool Conflicting(SlotId a, SlotId b) const;
+};
+
+// Base instance + slot structure. Move-only, like Instance. The base
+// instance's own conflict graph is ignored by the joint problem (the
+// generator leaves it empty); conflicts come from the slotting.
+struct SlottedInstance {
+  Instance base;
+  SlotTable slots;
+  // Per event: bitmask over [0, slots.size()) of slots it may occupy.
+  std::vector<uint32_t> event_allowed;
+  // Per user: bitmask over [0, slots.size()) of slots they can attend.
+  std::vector<uint32_t> user_availability;
+
+  int num_slots() const { return slots.size(); }
+
+  // Structural checks: 1 ≤ S ≤ kMaxTimeSlots, well-formed windows,
+  // mask vectors sized to the base instance, event masks non-empty and
+  // in range, user masks in range, valid base. Empty string when OK.
+  std::string Validate() const;
+};
+
+// slotting[v] = the slot event v occupies, or kInvalidSlot when v is
+// left unscheduled (it then admits no participants).
+using Slotting = std::vector<SlotId>;
+
+// Conflict graph induced by `slotting`: edge {v, w} iff both are
+// scheduled and their slot windows conflict. Unscheduled events get no
+// edges (they are excluded from matching by the pair mask instead).
+ConflictGraph DeriveConflicts(const SlottedInstance& slotted,
+                              const Slotting& slotting);
+
+// Row-major (v * num_users + u) admissibility flags under `slotting`:
+// 1 iff v is scheduled into a slot the user's availability mask allows.
+std::vector<uint8_t> PairMask(const SlottedInstance& slotted,
+                              const Slotting& slotting);
+
+// The plain GEACC instance a fixed `slotting` induces: base attributes
+// and capacities, DeriveConflicts() as the conflict graph, and the
+// similarity masked to 0 on inadmissible pairs (core/masked_similarity.h)
+// so every solver's positive-similarity rule excludes them.
+Instance MakeSubInstance(const SlottedInstance& slotted,
+                         const Slotting& slotting);
+
+// Empty string iff (slotting, arrangement) is jointly feasible:
+// scheduled slots are allowed for their events, every matched event is
+// scheduled, matched pairs respect user availability, and the
+// arrangement is feasible for MakeSubInstance() (capacities, derived
+// conflict-freeness per user, positive similarity, no duplicates).
+std::string AuditSlotted(const SlottedInstance& slotted,
+                         const Slotting& slotting,
+                         const Arrangement& arrangement);
+
+}  // namespace slot
+}  // namespace geacc
+
+#endif  // GEACC_SLOT_SLOTTED_H_

@@ -1,0 +1,87 @@
+#include "slot/slotted_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "gen/schedule.h"
+#include "gen/synthetic.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace slot {
+
+SlottedInstance GenerateSlotted(const SlottedGenConfig& config) {
+  GEACC_CHECK_GE(config.num_slots, 1);
+  GEACC_CHECK_LE(config.num_slots, kMaxTimeSlots);
+
+  SyntheticConfig base_config;
+  base_config.num_events = config.num_events;
+  base_config.num_users = config.num_users;
+  base_config.dim = config.dim;
+  base_config.max_attribute = config.max_attribute;
+  base_config.event_attribute =
+      DistributionSpec::Uniform(0.0, config.max_attribute);
+  base_config.user_attribute =
+      DistributionSpec::Uniform(0.0, config.max_attribute);
+  base_config.event_capacity = config.event_capacity;
+  base_config.user_capacity = config.user_capacity;
+  base_config.conflict_density = 0.0;  // conflicts come from the slotting
+  base_config.similarity = config.similarity;
+  base_config.seed = config.seed;
+
+  SlottedInstance slotted{GenerateSynthetic(base_config), SlotTable{}, {}, {}};
+
+  // Independent streams so the slot structure does not shift when the
+  // base shape changes its draw count.
+  const Rng root(config.seed);
+  Rng window_rng = root.Fork(1);
+  Rng allowed_rng = root.Fork(2);
+  Rng availability_rng = root.Fork(3);
+
+  slotted.slots.windows = RandomSchedule(
+      config.num_slots, config.horizon_hours, config.min_duration_hours,
+      config.max_duration_hours, config.city_km, window_rng);
+  slotted.slots.speed_kmph = config.travel_speed_kmph;
+
+  const int num_slots = config.num_slots;
+  slotted.event_allowed.resize(config.num_events);
+  for (EventId v = 0; v < config.num_events; ++v) {
+    const SlotId forced =
+        static_cast<SlotId>(allowed_rng.UniformInt(0, num_slots - 1));
+    uint32_t mask = uint32_t{1} << forced;
+    for (SlotId s = 0; s < num_slots; ++s) {
+      if (s != forced && allowed_rng.Bernoulli(config.allow_probability)) {
+        mask |= uint32_t{1} << s;
+      }
+    }
+    slotted.event_allowed[v] = mask;
+  }
+
+  Sampler count_sampler(config.availability_count);
+  std::vector<SlotId> slot_ids(num_slots);
+  slotted.user_availability.resize(config.num_users);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    const int count = std::min(num_slots,
+                               count_sampler.SampleCapacity(availability_rng));
+    // Partial Fisher–Yates: the first `count` entries are a uniform
+    // distinct sample of the slot ids.
+    std::iota(slot_ids.begin(), slot_ids.end(), 0);
+    uint32_t mask = 0;
+    for (int i = 0; i < count; ++i) {
+      const int j = static_cast<int>(
+          availability_rng.UniformInt(i, num_slots - 1));
+      std::swap(slot_ids[i], slot_ids[j]);
+      mask |= uint32_t{1} << slot_ids[i];
+    }
+    slotted.user_availability[u] = mask;
+  }
+
+  GEACC_CHECK(slotted.Validate().empty());
+  return slotted;
+}
+
+}  // namespace slot
+}  // namespace geacc

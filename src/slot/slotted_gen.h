@@ -1,0 +1,66 @@
+// Seeded slotted-instance generator (gen/ extension for src/slot/).
+//
+// Layers slot structure over the synthetic generator: the base instance
+// comes from gen/synthetic (with an empty conflict graph — conflicts are
+// derived from slottings), the slot grid from gen/schedule's
+// RandomSchedule (random windows + venues on a shared horizon), allowed
+// slots from per-(event, slot) coin flips with one always-forced slot,
+// and per-user availability as a sampled count of available slots
+// (uniform or zipf — zipf skews toward users free in only a slot or two)
+// followed by a uniform choice of which distinct slots those are.
+//
+// Determinism: everything is a function of `seed` (util/rng.h), so
+// campaign failures replay bit-for-bit from (config, seed).
+
+#ifndef GEACC_SLOT_SLOTTED_GEN_H_
+#define GEACC_SLOT_SLOTTED_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gen/distributions.h"
+#include "slot/slotted.h"
+
+namespace geacc {
+namespace slot {
+
+struct SlottedGenConfig {
+  // Base instance shape (see gen/synthetic.h for field semantics).
+  int num_events = 20;
+  int num_users = 100;
+  int dim = 4;
+  double max_attribute = 100.0;
+  DistributionSpec event_capacity = DistributionSpec::Uniform(1.0, 5.0);
+  DistributionSpec user_capacity = DistributionSpec::Uniform(1.0, 3.0);
+  std::string similarity = "euclidean";
+
+  // Slot grid: `num_slots` random windows over [0, horizon_hours] with
+  // durations in [min, max] and venues in a city_km square;
+  // travel_speed_kmph feeds the WindowsConflict travel rule (≤ 0 =
+  // overlap only).
+  int num_slots = 6;
+  double horizon_hours = 12.0;
+  double min_duration_hours = 1.0;
+  double max_duration_hours = 3.0;
+  double city_km = 30.0;
+  double travel_speed_kmph = 30.0;
+
+  // Each event allows one uniformly chosen slot plus every other slot
+  // independently with this probability.
+  double allow_probability = 0.5;
+
+  // Draw of each user's count of available slots, clamped to [1,
+  // num_slots]; which slots are available is then uniform without
+  // replacement. Uniform(1, S) and Zipf(skew, S) are the campaign's two
+  // regimes.
+  DistributionSpec availability_count = DistributionSpec::Uniform(1.0, 6.0);
+
+  uint64_t seed = 42;
+};
+
+SlottedInstance GenerateSlotted(const SlottedGenConfig& config);
+
+}  // namespace slot
+}  // namespace geacc
+
+#endif  // GEACC_SLOT_SLOTTED_GEN_H_

@@ -119,6 +119,23 @@ std::string EncodeServiceState(const ServiceState& state) {
   for (const auto& [a, b] : slot.conflicts) {
     out += StrFormat("conflict %d %d\n", a, b);
   }
+  // Time-slot annotations are emitted only when present (ExportSlotState
+  // leaves both vectors empty until the first slot mutation), so pre-slot
+  // checkpoints stay byte-identical to the original format.
+  if (!slot.event_time_slots.empty() || !slot.user_availability.empty()) {
+    out += StrFormat("event_time_slots %d",
+                     static_cast<int>(slot.event_time_slots.size()));
+    for (const SlotId s : slot.event_time_slots) {
+      out += StrFormat(" %d", s);
+    }
+    out += "\n";
+    out += StrFormat("user_availability %d",
+                     static_cast<int>(slot.user_availability.size()));
+    for (const int64_t mask : slot.user_availability) {
+      out += StrFormat(" %lld", static_cast<long long>(mask));
+    }
+    out += "\n";
+  }
   const IncrementalArranger::ArrangerState& arranger = state.arranger;
   out += "arranger\n";
   for (const std::vector<EventId>& events : arranger.user_events) {
@@ -243,6 +260,36 @@ bool DecodeServiceState(const std::string& text, ServiceState* state,
   }
 
   if (!decoder.NextTokens(&tokens)) return false;
+  slot.event_time_slots.clear();
+  slot.user_availability.clear();
+  if (!tokens.empty() && tokens[0] == "event_time_slots") {
+    const auto count = tokens.size() >= 2 ? ParseInt(tokens[1]) : std::nullopt;
+    if (!count || *count < 0 ||
+        tokens.size() != static_cast<size_t>(*count) + 2) {
+      return decoder.Fail("bad 'event_time_slots' count");
+    }
+    slot.event_time_slots.reserve(*count);
+    for (int64_t i = 0; i < *count; ++i) {
+      const auto s = ParseInt(tokens[2 + i]);
+      if (!s) return decoder.Fail("bad event time slot");
+      slot.event_time_slots.push_back(static_cast<SlotId>(*s));
+    }
+    if (!decoder.NextTokens(&tokens)) return false;
+    const auto users = tokens.size() >= 2 && tokens[0] == "user_availability"
+                           ? ParseInt(tokens[1])
+                           : std::nullopt;
+    if (!users || *users < 0 ||
+        tokens.size() != static_cast<size_t>(*users) + 2) {
+      return decoder.Fail("expected 'user_availability <count> <masks...>'");
+    }
+    slot.user_availability.reserve(*users);
+    for (int64_t i = 0; i < *users; ++i) {
+      const auto mask = ParseInt(tokens[2 + i]);
+      if (!mask) return decoder.Fail("bad availability mask");
+      slot.user_availability.push_back(*mask);
+    }
+    if (!decoder.NextTokens(&tokens)) return false;
+  }
   if (tokens.size() != 1 || tokens[0] != "arranger") {
     return decoder.Fail("expected 'arranger'");
   }

@@ -94,6 +94,24 @@ std::string ValidateMutationImpl(int dim, const EventOk& event_ok,
         return StrFormat("capacity must be >= 1, got %d", mutation.capacity);
       }
       return "";
+    case Mutation::Kind::kSetEventSlot:
+      if (!event_ok(mutation.id)) {
+        return StrFormat("no active event %d", mutation.id);
+      }
+      if (mutation.other < 0 || mutation.other >= kMaxTimeSlots) {
+        return StrFormat("slot must be in [0, %d), got %d", kMaxTimeSlots,
+                         mutation.other);
+      }
+      return "";
+    case Mutation::Kind::kSetUserAvailability:
+      if (!user_ok(mutation.id)) {
+        return StrFormat("no active user %d", mutation.id);
+      }
+      if (mutation.mask < 0 || mutation.mask > kFullSlotAvailability) {
+        return StrFormat("availability mask out of range: %lld",
+                         static_cast<long long>(mutation.mask));
+      }
+      return "";
   }
   return "unknown mutation kind";
 }

@@ -181,6 +181,10 @@ int main(int argc, char** argv) {
   flags.AddInt("shard_period", &config.shard_period,
                "run the sharded-vs-single-node differential (N = 2, 3 "
                "in-process shards) every k instances (0 = never)");
+  flags.AddInt("slot_period", &config.slot_period,
+               "run the slotted joint-solver differentials (slot-greedy "
+               "audit, slot-exact vs exhaustive slottings) every k "
+               "instances (0 = never)");
   flags.AddBool("shrink", &config.shrink,
                 "delta-debug failing instances to minimal repros");
   flags.AddInt("shrink_calls", &config.shrink_options.max_predicate_calls,

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -17,7 +18,12 @@
 #include "gen/synthetic.h"
 #include "gen/trace_gen.h"
 #include "io/instance_io.h"
+#include "algo/prune_solver.h"
+#include "core/time_window.h"
 #include "shard/coordinator.h"
+#include "slot/slot_solvers.h"
+#include "slot/slotted.h"
+#include "slot/slotted_gen.h"
 #include "svc/client.h"
 #include "svc/service.h"
 #include "svc/snapshot.h"
@@ -424,6 +430,153 @@ std::string CheckWalRecovery(const CampaignConfig& config, uint64_t index) {
   return detail;
 }
 
+// The slotted campaign family: small enough that the full slotting space
+// (≤ 3^4 slottings × tiny exact leaf solves) stays cheap, varied enough
+// to hit both availability regimes and both travel-rule settings.
+slot::SlottedGenConfig SlottedConfigFor(const CampaignConfig& config,
+                                        uint64_t index) {
+  Rng rng(config.seed * 0xda942042e4dd58b5ULL + index);
+  slot::SlottedGenConfig slotted;
+  slotted.num_events = static_cast<int>(rng.UniformInt(2, 4));
+  slotted.num_users = static_cast<int>(rng.UniformInt(3, 6));
+  slotted.dim = 3;
+  slotted.max_attribute = 100.0;
+  slotted.event_capacity = DistributionSpec::Uniform(1.0, 3.0);
+  slotted.user_capacity = DistributionSpec::Uniform(1.0, 2.0);
+  slotted.num_slots = static_cast<int>(rng.UniformInt(2, 3));
+  slotted.horizon_hours = 8.0;
+  slotted.min_duration_hours = 1.0;
+  slotted.max_duration_hours = 4.0;
+  slotted.city_km = 20.0;
+  slotted.travel_speed_kmph = rng.Bernoulli(0.5) ? 25.0 : 0.0;
+  slotted.allow_probability = 0.5;
+  slotted.availability_count =
+      rng.Bernoulli(0.5)
+          ? DistributionSpec::Uniform(
+                1.0, static_cast<double>(slotted.num_slots))
+          : DistributionSpec::Zipf(
+                1.3, static_cast<double>(slotted.num_slots));
+  slotted.seed = rng.NextUint64();
+  return slotted;
+}
+
+// Shared deterministic re-sum: sorted pairs, base similarity (identical
+// to the slot solvers' own accumulation order).
+double SlottedMaxSum(const Arrangement& arrangement, const Instance& base) {
+  double sum = 0.0;
+  for (const auto& [v, u] : arrangement.SortedPairs()) {
+    sum += base.Similarity(v, u);
+  }
+  return sum;
+}
+
+// slot-greedy differential: joint feasibility via AuditSlotted, derived
+// conflicts consistent with the WindowsConflict predicate, and the
+// reported MaxSum bit-identical to a from-scratch re-sum.
+std::string CheckSlottedGreedy(const CampaignConfig& config, uint64_t index) {
+  const slot::SlottedInstance slotted =
+      slot::GenerateSlotted(SlottedConfigFor(config, index));
+  SolverOptions options;
+  options.seed = config.seed;
+  const slot::SlotSolveResult result =
+      slot::CreateSlotSolver("slot-greedy", options)->Solve(slotted);
+
+  const std::string audit =
+      slot::AuditSlotted(slotted, result.slotting, result.arrangement);
+  if (!audit.empty()) return "joint audit failed: " + audit;
+
+  const ConflictGraph derived =
+      slot::DeriveConflicts(slotted, result.slotting);
+  for (EventId v = 0; v < slotted.base.num_events(); ++v) {
+    if (result.slotting[v] == kInvalidSlot) continue;
+    for (EventId w = v + 1; w < slotted.base.num_events(); ++w) {
+      if (result.slotting[w] == kInvalidSlot) continue;
+      const bool expect = WindowsConflict(
+          slotted.slots.windows[result.slotting[v]],
+          slotted.slots.windows[result.slotting[w]], slotted.slots.speed_kmph);
+      if (derived.AreConflicting(v, w) != expect) {
+        return StrFormat(
+            "DeriveConflicts(%d,%d) = %d inconsistent with WindowsConflict",
+            v, w, derived.AreConflicting(v, w) ? 1 : 0);
+      }
+    }
+  }
+
+  const double recomputed = SlottedMaxSum(result.arrangement, slotted.base);
+  if (recomputed != result.max_sum) {  // same summation order ⇒ bit-equal
+    return StrFormat("slot-greedy MaxSum %.17g != recomputed %.17g",
+                     result.max_sum, recomputed);
+  }
+  return "";
+}
+
+// slot-exact differential: the branch-and-bound must match brute-force
+// enumeration of every complete slotting (same lexicographic order, same
+// exact leaf solver, strict-improvement incumbent) bit for bit.
+std::string CheckSlottedExact(const CampaignConfig& config, uint64_t index) {
+  const slot::SlottedInstance slotted =
+      slot::GenerateSlotted(SlottedConfigFor(config, index));
+  SolverOptions options;
+  options.seed = config.seed;
+  const slot::SlotSolveResult result =
+      slot::CreateSlotSolver("slot-exact", options)->Solve(slotted);
+
+  const std::string audit =
+      slot::AuditSlotted(slotted, result.slotting, result.arrangement);
+  if (!audit.empty()) return "joint audit failed: " + audit;
+
+  const int num_events = slotted.base.num_events();
+  std::vector<std::vector<SlotId>> choices(num_events);
+  for (EventId v = 0; v < num_events; ++v) {
+    for (SlotId s = 0; s < slotted.num_slots(); ++s) {
+      if ((slotted.event_allowed[v] >> s) & 1u) choices[v].push_back(s);
+    }
+  }
+  const PruneSolver leaf_solver(options);
+  slot::Slotting best_slotting;
+  Arrangement best_arrangement;
+  double best_sum = -std::numeric_limits<double>::infinity();
+  std::vector<size_t> cursor(num_events, 0);
+  slot::Slotting slotting(num_events, kInvalidSlot);
+  bool done = false;
+  while (!done) {
+    for (EventId v = 0; v < num_events; ++v) {
+      slotting[v] = choices[v][cursor[v]];
+    }
+    const Instance sub = slot::MakeSubInstance(slotted, slotting);
+    SolveResult leaf = leaf_solver.Solve(sub);
+    const double sum = SlottedMaxSum(leaf.arrangement, sub);
+    if (sum > best_sum) {
+      best_sum = sum;
+      best_slotting = slotting;
+      best_arrangement = std::move(leaf.arrangement);
+    }
+    done = true;
+    for (int v = num_events - 1; v >= 0; --v) {
+      if (++cursor[v] < choices[v].size()) {
+        done = false;
+        break;
+      }
+      cursor[v] = 0;
+    }
+  }
+
+  if (result.slotting != best_slotting) {
+    return "slot-exact slotting differs from exhaustive enumeration";
+  }
+  if (result.arrangement.SortedPairs() != best_arrangement.SortedPairs()) {
+    return StrFormat(
+        "slot-exact arrangement (%zu pairs) != exhaustive (%zu pairs)",
+        result.arrangement.SortedPairs().size(),
+        best_arrangement.SortedPairs().size());
+  }
+  if (result.max_sum != best_sum) {  // bit-identical by construction
+    return StrFormat("slot-exact MaxSum %.17g != exhaustive %.17g",
+                     result.max_sum, best_sum);
+  }
+  return "";
+}
+
 }  // namespace
 
 Instance MakeCampaignInstance(const CampaignConfig& config, uint64_t index) {
@@ -529,6 +682,18 @@ CampaignResult RunCampaign(const CampaignConfig& config, std::ostream* log) {
           record_failure(StrFormat("sharded/N=%d", num_shards),
                          std::move(detail), index, &instance);
         }
+      }
+    }
+    if (config.slot_period > 0 && i % config.slot_period == 0) {
+      ++result.checks;
+      std::string detail = CheckSlottedGreedy(config, index);
+      if (!detail.empty()) {
+        record_failure("slotted/greedy", std::move(detail), index, nullptr);
+      }
+      ++result.checks;
+      detail = CheckSlottedExact(config, index);
+      if (!detail.empty()) {
+        record_failure("slotted/exact", std::move(detail), index, nullptr);
       }
     }
 

@@ -43,6 +43,15 @@
 //                          arrangement (same pair set, same MaxSum bits)
 //                          and its merged arrangement passes the auditor
 //                          (DESIGN.md §16)
+//   * slotted/greedy       slot-greedy's joint (slotting, arrangement) on
+//                          a seeded slotted instance passes AuditSlotted,
+//                          its derived conflict graph matches pairwise
+//                          WindowsConflict recomputation, and its MaxSum
+//                          matches a from-scratch re-sum bit-for-bit
+//   * slotted/exact        slot-exact's branch-and-bound is bit-identical
+//                          (slotting, pair set, MaxSum bits) to exhaustive
+//                          enumeration of every complete slotting with the
+//                          same exact leaf solver (DESIGN.md §17)
 //
 // Failing instance-level checks are (optionally) minimized with the
 // delta-debugging shrinker before being serialized into the failure
@@ -97,6 +106,15 @@ struct CampaignConfig {
   // shards, fed this iteration's instance, must repair to the
   // bit-identical greedy-sortall arrangement (DESIGN.md §16).
   int shard_period = 20;
+
+  // Run the slotted joint-solver differentials every k-th iteration (0 =
+  // never) over a seeded slotted family (S ≤ 3, |V| ≤ 4, |U| ≤ 6, so the
+  // slotting space stays enumerable): slot-greedy's result passes
+  // AuditSlotted with DeriveConflicts-consistent conflicts, and
+  // slot-exact is bit-identical — slotting, pair set, and MaxSum bits —
+  // to exhaustive slotting enumeration with the same exact leaf solver
+  // (DESIGN.md §17).
+  int slot_period = 15;
 
   // Minimize failing instances with ShrinkInstance before recording.
   bool shrink = false;

@@ -1,0 +1,139 @@
+// Tests for the shared interval-overlap / travel-gap conflict predicate
+// (core/time_window.h) and its timetable front-end (gen/schedule.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/time_window.h"
+#include "gen/schedule.h"
+#include "util/rng.h"
+
+namespace geacc {
+namespace {
+
+TimeWindow Window(double start, double end, double x = 0.0, double y = 0.0) {
+  return TimeWindow{start, end, x, y};
+}
+
+TEST(WindowsConflict, OverlappingIntervalsConflict) {
+  EXPECT_TRUE(WindowsConflict(Window(1.0, 3.0), Window(2.0, 4.0), 0.0));
+  EXPECT_TRUE(WindowsConflict(Window(2.0, 4.0), Window(1.0, 3.0), 0.0));
+  // Containment is overlap too.
+  EXPECT_TRUE(WindowsConflict(Window(0.0, 10.0), Window(4.0, 5.0), 0.0));
+}
+
+TEST(WindowsConflict, SharedEndpointDoesNotOverlap) {
+  // Intervals are half-open [start, end): back-to-back events at the same
+  // venue are attendable.
+  EXPECT_FALSE(WindowsConflict(Window(1.0, 3.0), Window(3.0, 5.0), 0.0));
+  EXPECT_FALSE(WindowsConflict(Window(3.0, 5.0), Window(1.0, 3.0), 0.0));
+}
+
+TEST(WindowsConflict, DegenerateWindowActsAsAnInstant) {
+  // A zero-length [t, t) window behaves like the instant t: it conflicts
+  // when strictly inside another interval, but not when it sits on a
+  // boundary or coincides with another instant.
+  EXPECT_TRUE(WindowsConflict(Window(2.0, 2.0), Window(1.0, 3.0), 0.0));
+  EXPECT_FALSE(WindowsConflict(Window(2.0, 2.0), Window(2.0, 2.0), 0.0));
+  EXPECT_FALSE(WindowsConflict(Window(2.0, 2.0), Window(2.0, 4.0), 0.0));
+}
+
+TEST(WindowsConflict, TravelRuleBridgesShortGaps) {
+  // 10 km apart, 1 h gap: needs ≥ 10 km/h to make it.
+  const TimeWindow a = Window(0.0, 2.0, 0.0, 0.0);
+  const TimeWindow b = Window(3.0, 5.0, 10.0, 0.0);
+  EXPECT_TRUE(WindowsConflict(a, b, 5.0));    // too slow: conflict
+  EXPECT_FALSE(WindowsConflict(a, b, 20.0));  // fast enough
+  EXPECT_TRUE(WindowsConflict(b, a, 5.0));    // symmetric
+}
+
+TEST(WindowsConflict, NonPositiveSpeedDisablesTravelRule) {
+  // Same venues and gap as above; with the rule off only pure interval
+  // overlap counts, so neither zero nor negative speed conflicts.
+  const TimeWindow a = Window(0.0, 2.0, 0.0, 0.0);
+  const TimeWindow b = Window(3.0, 5.0, 10.0, 0.0);
+  EXPECT_FALSE(WindowsConflict(a, b, 0.0));
+  EXPECT_FALSE(WindowsConflict(a, b, -30.0));
+}
+
+TEST(WindowsConflict, SharedEndpointSameVenueWithTravelRule) {
+  // Back-to-back at the same venue: gap is 0 but distance is 0 too.
+  const TimeWindow a = Window(1.0, 3.0, 5.0, 5.0);
+  const TimeWindow b = Window(3.0, 5.0, 5.0, 5.0);
+  EXPECT_FALSE(WindowsConflict(a, b, 30.0));
+}
+
+TEST(EventsConflict, DelegatesToWindowsConflict) {
+  // gen/schedule.h's ScheduledEvent is an alias of TimeWindow and the
+  // predicate must agree with the shared implementation.
+  Rng rng(7);
+  const std::vector<ScheduledEvent> events =
+      RandomSchedule(12, 24.0, 1.0, 3.0, 20.0, rng);
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      for (const double speed : {0.0, 15.0, 60.0}) {
+        EXPECT_EQ(EventsConflict(events[i], events[j], speed),
+                  WindowsConflict(events[i], events[j], speed))
+            << "pair (" << i << ", " << j << ") speed " << speed;
+      }
+    }
+  }
+}
+
+TEST(RandomSchedule, RespectsDurationAndHorizonBounds) {
+  Rng rng(11);
+  const double horizon = 12.0, min_dur = 1.0, max_dur = 3.0, city = 30.0;
+  const std::vector<ScheduledEvent> events =
+      RandomSchedule(200, horizon, min_dur, max_dur, city, rng);
+  ASSERT_EQ(events.size(), 200u);
+  for (const ScheduledEvent& e : events) {
+    EXPECT_GE(e.start_hours, 0.0);
+    EXPECT_LE(e.start_hours, horizon);
+    const double duration = e.end_hours - e.start_hours;
+    EXPECT_GE(duration, min_dur);
+    EXPECT_LE(duration, max_dur);
+    EXPECT_GE(e.x_km, 0.0);
+    EXPECT_LE(e.x_km, city);
+    EXPECT_GE(e.y_km, 0.0);
+    EXPECT_LE(e.y_km, city);
+  }
+}
+
+TEST(RandomSchedule, IsDeterministicPerSeed) {
+  Rng a(3), b(3), c(4);
+  const auto first = RandomSchedule(20, 24.0, 1.0, 2.0, 10.0, a);
+  const auto second = RandomSchedule(20, 24.0, 1.0, 2.0, 10.0, b);
+  const auto third = RandomSchedule(20, 24.0, 1.0, 2.0, 10.0, c);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].start_hours, second[i].start_hours) << i;
+    EXPECT_EQ(first[i].end_hours, second[i].end_hours) << i;
+    EXPECT_EQ(first[i].x_km, second[i].x_km) << i;
+    EXPECT_EQ(first[i].y_km, second[i].y_km) << i;
+  }
+  bool any_different = false;
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (first[i].start_hours != third[i].start_hours) any_different = true;
+  }
+  EXPECT_TRUE(any_different) << "seed 4 produced seed 3's schedule";
+}
+
+TEST(ConflictsFromSchedule, MatchesPairwisePredicate) {
+  Rng rng(5);
+  const std::vector<ScheduledEvent> events =
+      RandomSchedule(15, 10.0, 1.0, 4.0, 25.0, rng);
+  const double speed = 25.0;
+  const ConflictGraph graph =
+      ConflictsFromSchedule(events, speed);
+  for (int i = 0; i < static_cast<int>(events.size()); ++i) {
+    for (int j = i + 1; j < static_cast<int>(events.size()); ++j) {
+      EXPECT_EQ(graph.AreConflicting(i, j),
+                EventsConflict(events[i], events[j], speed))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geacc

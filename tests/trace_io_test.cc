@@ -31,6 +31,7 @@ void ExpectMutationsEqual(const MutationTrace& a, const MutationTrace& b) {
     EXPECT_EQ(x.id, y.id) << "mutation " << i;
     EXPECT_EQ(x.other, y.other) << "mutation " << i;
     EXPECT_EQ(x.capacity, y.capacity) << "mutation " << i;
+    EXPECT_EQ(x.mask, y.mask) << "mutation " << i;
     ASSERT_EQ(x.attributes.size(), y.attributes.size()) << "mutation " << i;
     for (size_t j = 0; j < x.attributes.size(); ++j) {
       EXPECT_EQ(x.attributes[j], y.attributes[j])
@@ -151,6 +152,57 @@ TEST(TraceIo, RejectsWrongAttributeArity) {
   std::string error;
   EXPECT_FALSE(ReadTrace(stream, &error).has_value());
   EXPECT_NE(error.find("add_user"), std::string::npos);
+}
+
+TEST(TraceIo, RoundTripSlotMutations) {
+  MutationTrace trace{geacc::testing::PaperTableIExample(), {}};
+  trace.mutations.push_back(Mutation::SetEventSlot(1, 2));
+  trace.mutations.push_back(Mutation::SetEventSlot(0, kMaxTimeSlots - 1));
+  trace.mutations.push_back(Mutation::SetUserAvailability(3, 0b101));
+  trace.mutations.push_back(Mutation::SetUserAvailability(0, 0));
+  trace.mutations.push_back(
+      Mutation::SetUserAvailability(2, kFullSlotAvailability));
+  std::stringstream stream;
+  WriteTrace(trace, stream);
+  std::string error;
+  const auto loaded = ReadTrace(stream, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ExpectMutationsEqual(trace, *loaded);
+}
+
+TEST(TraceIo, RejectsUnknownSlotId) {
+  // Slot ids are structurally bounded by kMaxTimeSlots at parse time.
+  std::stringstream stream(ValidPrefix() + "mutations 1\nset_event_slot 0 " +
+                           std::to_string(kMaxTimeSlots) + "\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("set_event_slot"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsNegativeSlotId) {
+  std::stringstream stream(ValidPrefix() + "mutations 1\nset_event_slot 0 -1\n");
+  EXPECT_FALSE(ReadTrace(stream).has_value());
+}
+
+TEST(TraceIo, RejectsNegativeAvailabilityMask) {
+  std::stringstream stream(
+      ValidPrefix() + "mutations 1\nset_user_availability 0 -1\n");
+  std::string error;
+  EXPECT_FALSE(ReadTrace(stream, &error).has_value());
+  EXPECT_NE(error.find("set_user_availability"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsOverwideAvailabilityMask) {
+  // 2^kMaxTimeSlots is one past the widest representable mask.
+  std::stringstream stream(
+      ValidPrefix() + "mutations 1\nset_user_availability 0 " +
+      std::to_string(int64_t{1} << kMaxTimeSlots) + "\n");
+  EXPECT_FALSE(ReadTrace(stream).has_value());
+}
+
+TEST(TraceIo, RejectsSlotMutationArity) {
+  std::stringstream stream(ValidPrefix() + "mutations 1\nset_event_slot 0\n");
+  EXPECT_FALSE(ReadTrace(stream).has_value());
 }
 
 TEST(TraceIo, RejectsTruncatedMutationList) {
