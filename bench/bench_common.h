@@ -14,6 +14,8 @@
 //                 buffer-pool memory (page files in --storage_dir)
 //   --simd MODE   batched-kernel dispatch: auto (default), avx2, scalar
 //   --fp MODE     kernel FP policy: strict (default) or fast
+//   --bound NAME  exact-solver pruning bound: lemma6, clique (default),
+//                 or clique-lp (DESIGN.md §18)
 
 #ifndef GEACC_BENCH_BENCH_COMMON_H_
 #define GEACC_BENCH_BENCH_COMMON_H_
@@ -59,6 +61,8 @@ struct CommonFlags {
   // the batched similarity kernels, --fp picks the solver FP policy.
   std::string simd = "auto";
   std::string fp = "strict";
+  // Exact-solver bound hierarchy (algo/bounds.h, DESIGN.md §18).
+  std::string bound = "clique";
 
   void Register(FlagSet& flags) {
     flags.AddInt("reps", &reps, "repetitions per sweep point");
@@ -96,6 +100,10 @@ struct CommonFlags {
                     "kernel FP policy: strict (bit-identical to per-pair, "
                     "default) or fast (FMA contraction in solver-internal "
                     "batches)");
+    flags.AddString("bound", &bound,
+                    "exact-solver pruning bound: lemma6, clique (default), "
+                    "or clique-lp; results are bit-identical across levels, "
+                    "only search effort changes");
   }
 
   // Copies the storage/kernel flags into a solver-options struct; benches
@@ -109,6 +117,7 @@ struct CommonFlags {
         static_cast<uint64_t>(storage_budget_mb) << 20;
     options->storage_dir = storage_dir;
     options->fp_mode = fp;
+    options->bound = bound;
     std::string error;
     if (!simd::SetDispatchOverride(simd, &error)) {
       std::fprintf(stderr, "--simd: %s\n", error.c_str());

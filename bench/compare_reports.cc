@@ -8,8 +8,13 @@
 // Compare mode — diff a freshly measured report (merged the same way)
 // against the committed baseline:
 //
-//   compare_reports BENCH_baseline.json current.json \
+//   compare_reports BENCH_baseline.json current.json
 //       [--tolerance 0.25] [--min_seconds 0.02]
+//
+// Compare mode can additionally gate named search-effort counters:
+// --counters prune.nodes_visited[,...] with --counter_tolerance (allowed
+// fractional growth) and --min_count (baseline floor below which a
+// counter is never gated).
 //
 // Points are keyed by (label, solver). For each key present in both
 // reports the wall- and CPU-second deltas are tabulated; a point regresses
@@ -91,7 +96,9 @@ std::string Key(const geacc::obs::BenchPoint& point) {
 }
 
 int Compare(const std::string& baseline_path, const std::string& current_path,
-            double tolerance, double min_seconds) {
+            double tolerance, double min_seconds,
+            const std::vector<std::string>& gated_counters,
+            double counter_tolerance, int64_t min_count) {
   geacc::obs::BenchReport baseline, current;
   if (!LoadReport(baseline_path, &baseline) ||
       !LoadReport(current_path, &current)) {
@@ -126,6 +133,8 @@ int Compare(const std::string& baseline_path, const std::string& current_path,
     geacc::bench::GatePolicy policy;
     policy.tolerance = tolerance;
     policy.min_seconds = min_seconds;
+    policy.counter_tolerance = counter_tolerance;
+    policy.min_count = min_count;
     const bool wall_bad =
         geacc::bench::Regressed(base.wall_seconds, point.wall_seconds, policy);
     const bool cpu_bad =
@@ -141,6 +150,28 @@ int Compare(const std::string& baseline_path, const std::string& current_path,
          geacc::StrFormat("%+.1f", delta_pct(base.cpu_seconds,
                                              point.cpu_seconds)),
          wall_bad || cpu_bad ? "REGRESSED" : "ok"});
+
+    // Gated search-effort counters: regress when a counter named in
+    // --counters grows beyond --counter_tolerance (baseline at or above
+    // --min_count; a counter missing on either side is skipped — the
+    // missing-key warnings below already cover bench drift).
+    for (const std::string& name : gated_counters) {
+      const auto base_it = base.counters.find(name);
+      const auto now_it = point.counters.find(name);
+      if (base_it == base.counters.end() || now_it == point.counters.end()) {
+        continue;
+      }
+      const bool counter_bad = geacc::bench::CounterRegressed(
+          base_it->second, now_it->second, policy);
+      if (counter_bad) ++regressions;
+      std::printf("counter %s @ %s: %lld -> %lld (%+.1f%%) %s\n",
+                  name.c_str(), Key(point).c_str(),
+                  static_cast<long long>(base_it->second),
+                  static_cast<long long>(now_it->second),
+                  delta_pct(static_cast<double>(base_it->second),
+                            static_cast<double>(now_it->second)),
+                  counter_bad ? "REGRESSED" : "ok");
+    }
   }
   table.Print(std::cout);
 
@@ -168,6 +199,9 @@ int main(int argc, char** argv) {
   std::string merge_out;
   double tolerance = 0.25;
   double min_seconds = 0.02;
+  std::string counters_csv;
+  double counter_tolerance = 0.25;
+  int64_t min_count = 100;
   geacc::FlagSet flags;
   flags.AddString("merge", &merge_out,
                   "merge mode: write the concatenation of all positional "
@@ -177,6 +211,14 @@ int main(int argc, char** argv) {
   flags.AddDouble("min_seconds", &min_seconds,
                   "noise floor: gate a point only when both the baseline "
                   "and current measurement are at least this many seconds");
+  flags.AddString("counters", &counters_csv,
+                  "comma-separated counter names to gate in addition to "
+                  "wall/cpu time (e.g. prune.nodes_visited)");
+  flags.AddDouble("counter_tolerance", &counter_tolerance,
+                  "fractional growth allowed on a gated counter");
+  flags.AddInt("min_count", &min_count,
+               "gate a counter only when its baseline value is at least "
+               "this large");
   flags.Parse(argc, argv);
 
   if (!merge_out.empty()) {
@@ -189,10 +231,17 @@ int main(int argc, char** argv) {
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: %s BASELINE.json CURRENT.json [--tolerance F] "
-                 "[--min_seconds S]\n   or: %s --merge OUT.json IN.json...\n",
+                 "[--min_seconds S] [--counters A,B] [--counter_tolerance F] "
+                 "[--min_count N]\n   or: %s --merge OUT.json IN.json...\n",
                  argv[0], argv[0]);
     return 2;
   }
+  std::vector<std::string> gated_counters;
+  if (!counters_csv.empty()) {
+    for (const std::string& name : geacc::Split(counters_csv, ',')) {
+      if (!name.empty()) gated_counters.push_back(name);
+    }
+  }
   return Compare(flags.positional()[0], flags.positional()[1], tolerance,
-                 min_seconds);
+                 min_seconds, gated_counters, counter_tolerance, min_count);
 }

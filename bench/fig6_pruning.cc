@@ -56,13 +56,15 @@ int main(int argc, char** argv) {
       max_cu));
   depth_table.SetHeader({"rho", "|V|=5,|U|=10", "|V|=5,|U|=15"});
 
-  // ---- Fig 6b-d: prune vs exhaustive on (5,10). ----
+  // ---- Fig 6b-d: prune (clique bound vs lemma6) vs exhaustive on
+  // (5,10). The "prune-lemma6" series isolates the conflict-aware
+  // tightening (algo/bounds.h): same solver, bound="lemma6". ----
   geacc::Table time_table("Fig 6b: running time (s), |V|=5, |U|=10");
   geacc::Table complete_table("Fig 6c: # complete searches");
   geacc::Table invocation_table("Fig 6d: # Search-GEACC invocations");
   for (geacc::Table* table : {&time_table, &complete_table,
                               &invocation_table}) {
-    table->SetHeader({"rho", "prune", "exhaustive"});
+    table->SetHeader({"rho", "prune", "prune-lemma6", "exhaustive"});
   }
 
   // --threads feeds the solvers' internal fan-out (arrangements and
@@ -71,11 +73,14 @@ int main(int argc, char** argv) {
   geacc::SolverOptions prune_options;
   prune_options.threads = common.threads;
   common.ApplySolverOptions(&prune_options);
+  geacc::SolverOptions lemma6_options = prune_options;
+  lemma6_options.bound = "lemma6";
   geacc::SolverOptions exhaustive_options;
   exhaustive_options.threads = common.threads;
   common.ApplySolverOptions(&exhaustive_options);
   exhaustive_options.max_search_invocations = max_invocations;
   const auto prune = geacc::CreateSolver("prune", prune_options);
+  const auto lemma6 = geacc::CreateSolver("prune", lemma6_options);
   const auto exhaustive =
       geacc::CreateSolver("exhaustive", exhaustive_options);
 
@@ -112,65 +117,57 @@ int main(int argc, char** argv) {
     }
     depth_table.AddRow(depth_row);
 
-    // 6b–d on (5,10), prune vs exhaustive.
-    double prune_time = 0.0, exhaustive_time = 0.0;
-    double prune_cpu = 0.0, exhaustive_cpu = 0.0;
-    double prune_sum = 0.0, exhaustive_sum = 0.0;
-    double prune_complete = 0.0, exhaustive_complete = 0.0;
-    double prune_invocations = 0.0, exhaustive_invocations = 0.0;
-    std::map<std::string, int64_t> prune_counters, exhaustive_counters;
+    // 6b–d on (5,10): prune (clique) vs prune-lemma6 vs exhaustive.
+    struct Accum {
+      const char* report_name;
+      const geacc::Solver* solver;
+      double time = 0.0, cpu = 0.0, sum = 0.0;
+      double complete = 0.0, invocations = 0.0;
+      std::map<std::string, int64_t> counters;
+    };
+    Accum series[] = {{"prune", prune.get(), 0.0, 0.0, 0.0, 0.0, 0.0, {}},
+                      {"prune-lemma6", lemma6.get(), 0.0, 0.0, 0.0, 0.0, 0.0,
+                       {}},
+                      {"exhaustive", exhaustive.get(), 0.0, 0.0, 0.0, 0.0,
+                       0.0, {}}};
     for (int rep = 0; rep < common.reps; ++rep) {
       const geacc::Instance instance =
           make_instance({5, 10}, density, rep);
-      const geacc::RunRecord p =
-          geacc::RunSolver(*prune, instance, common.selfcheck);
-      const geacc::RunRecord e =
-          geacc::RunSolver(*exhaustive, instance, common.selfcheck);
-      prune_time += p.seconds;
-      exhaustive_time += e.seconds;
-      prune_cpu += p.cpu_seconds;
-      exhaustive_cpu += e.cpu_seconds;
-      prune_sum += p.max_sum;
-      exhaustive_sum += e.max_sum;
-      prune_complete += static_cast<double>(p.stats.complete_searches);
-      exhaustive_complete += static_cast<double>(e.stats.complete_searches);
-      prune_invocations += static_cast<double>(p.stats.search_invocations);
-      exhaustive_invocations +=
-          static_cast<double>(e.stats.search_invocations);
-      for (const auto& [name, value] : p.counters) {
-        prune_counters[name] += value;
+      for (Accum& a : series) {
+        const geacc::RunRecord r =
+            geacc::RunSolver(*a.solver, instance, common.selfcheck);
+        a.time += r.seconds;
+        a.cpu += r.cpu_seconds;
+        a.sum += r.max_sum;
+        a.complete += static_cast<double>(r.stats.complete_searches);
+        a.invocations += static_cast<double>(r.stats.search_invocations);
+        for (const auto& [name, value] : r.counters) {
+          a.counters[name] += value;
+        }
+        any_truncated |= r.stats.search_truncated;
       }
-      for (const auto& [name, value] : e.counters) {
-        exhaustive_counters[name] += value;
-      }
-      any_truncated |= e.stats.search_truncated;
     }
     const double n = common.reps;
-    time_table.AddRow({label, geacc::StrFormat("%.5f", prune_time / n),
-                       geacc::StrFormat("%.5f", exhaustive_time / n)});
+    time_table.AddRow({label, geacc::StrFormat("%.5f", series[0].time / n),
+                       geacc::StrFormat("%.5f", series[1].time / n),
+                       geacc::StrFormat("%.5f", series[2].time / n)});
     complete_table.AddRow(
-        {label, geacc::StrFormat("%.0f", prune_complete / n),
-         geacc::StrFormat("%.0f", exhaustive_complete / n)});
+        {label, geacc::StrFormat("%.0f", series[0].complete / n),
+         geacc::StrFormat("%.0f", series[1].complete / n),
+         geacc::StrFormat("%.0f", series[2].complete / n)});
     invocation_table.AddRow(
-        {label, geacc::StrFormat("%.0f", prune_invocations / n),
-         geacc::StrFormat("%.0f", exhaustive_invocations / n)});
+        {label, geacc::StrFormat("%.0f", series[0].invocations / n),
+         geacc::StrFormat("%.0f", series[1].invocations / n),
+         geacc::StrFormat("%.0f", series[2].invocations / n)});
 
-    struct Series {
-      const char* solver;
-      double wall, cpu, sum;
-      const std::map<std::string, int64_t>* counters;
-    };
-    for (const Series& series :
-         {Series{"prune", prune_time, prune_cpu, prune_sum, &prune_counters},
-          Series{"exhaustive", exhaustive_time, exhaustive_cpu,
-                 exhaustive_sum, &exhaustive_counters}}) {
+    for (const Accum& a : series) {
       geacc::obs::BenchPoint point;
       point.label = "rho=" + label;
-      point.solver = series.solver;
-      point.wall_seconds = series.wall / n;
-      point.cpu_seconds = series.cpu / n;
-      point.max_sum = series.sum / n;
-      for (const auto& [counter, total] : *series.counters) {
+      point.solver = a.report_name;
+      point.wall_seconds = a.time / n;
+      point.cpu_seconds = a.cpu / n;
+      point.max_sum = a.sum / n;
+      for (const auto& [counter, total] : a.counters) {
         point.counters[counter] = total / common.reps;
       }
       report.AddPoint(std::move(point));

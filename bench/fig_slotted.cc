@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
       point.has_slots = true;
       point.slots.num_slots = num_slots;
       double scheduled_sum = 0.0;
+      int64_t clique_cuts = 0;
       for (int rep = 0; rep < common.reps; ++rep) {
         const geacc::slot::SlottedGenConfig config = MakeConfig(
             size, num_users, num_slots, allow,
@@ -120,6 +121,7 @@ int main(int argc, char** argv) {
         point.max_sum += result.max_sum;
         point.slots.slottings_considered += result.slottings_considered;
         point.slots.leaf_solves += result.leaf_solves;
+        clique_cuts += result.stats.bound_clique_cuts;
         int scheduled = 0;
         for (const geacc::SlotId s : result.slotting) {
           if (s != geacc::kInvalidSlot) ++scheduled;
@@ -148,6 +150,10 @@ int main(int argc, char** argv) {
       point.counters["slot.slottings_considered"] =
           point.slots.slottings_considered;
       point.counters["slot.leaf_solves"] = point.slots.leaf_solves;
+      if (name == "slot-exact") {
+        point.counters["slot.bound.clique_cuts"] = static_cast<int64_t>(
+            static_cast<double>(clique_cuts) / n + 0.5);
+      }
 
       std::printf("%-14s %6d %12.6f %14.6f %12" PRId64 " %10" PRId64
                   " %10" PRId64 "\n",

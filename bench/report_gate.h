@@ -13,6 +13,7 @@
 #define GEACC_BENCH_REPORT_GATE_H_
 
 #include <algorithm>
+#include <cstdint>
 
 namespace geacc::bench {
 
@@ -21,6 +22,13 @@ struct GatePolicy {
   double tolerance = 0.25;
   // Noise floor in seconds; a point is gated only when both sides reach it.
   double min_seconds = 0.02;
+  // Fractional growth allowed on a gated search-effort counter (e.g.
+  // prune.nodes_visited) before it regresses.
+  double counter_tolerance = 0.25;
+  // Counter floor: a counter is gated only when the baseline value
+  // reaches it — percentage growth on a near-zero count is as
+  // meaningless as a ratio of two jittery sub-floor timings.
+  int64_t min_count = 100;
 };
 
 inline bool Regressed(double baseline_seconds, double current_seconds,
@@ -29,6 +37,17 @@ inline bool Regressed(double baseline_seconds, double current_seconds,
     return false;
   }
   return current_seconds > baseline_seconds * (1.0 + policy.tolerance);
+}
+
+// Deterministic-counter variant: unlike wall time a counter has no
+// scheduler jitter (at threads=1 the search counters are exact), so only
+// the baseline side needs the floor — a current value of any size against
+// a sub-floor baseline is growth from noise-scale work, not a regression.
+inline bool CounterRegressed(int64_t baseline, int64_t current,
+                             const GatePolicy& policy) {
+  if (baseline < policy.min_count) return false;
+  return static_cast<double>(current) >
+         static_cast<double>(baseline) * (1.0 + policy.counter_tolerance);
 }
 
 }  // namespace geacc::bench

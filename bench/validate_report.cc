@@ -128,6 +128,44 @@ bool SlotsSane(const geacc::obs::SlotsSummary& slots, std::string* error) {
   return true;
 }
 
+// Bound-layer counters (algo/bounds.h) carried in the free-form counter
+// map: clique cuts are a subset of the prunes they are credited against,
+// so each must stay within its enclosing search counter when both appear.
+bool BoundCountersSane(const geacc::obs::BenchPoint& point,
+                       std::string* error) {
+  const auto counter = [&](const char* name, int64_t* out) {
+    const auto it = point.counters.find(name);
+    if (it == point.counters.end()) return false;
+    *out = it->second;
+    return true;
+  };
+  int64_t cuts = 0;
+  if (counter("prune.bound.clique_cuts", &cuts)) {
+    if (cuts < 0) {
+      *error = "prune.bound.clique_cuts is negative";
+      return false;
+    }
+    int64_t pruned = 0;
+    if (counter("prune.nodes_pruned", &pruned) && cuts > pruned) {
+      *error = "prune.bound.clique_cuts exceeds prune.nodes_pruned";
+      return false;
+    }
+  }
+  if (counter("slot.bound.clique_cuts", &cuts)) {
+    if (cuts < 0) {
+      *error = "slot.bound.clique_cuts is negative";
+      return false;
+    }
+    int64_t considered = 0;
+    if (counter("slot.slottings_considered", &considered) &&
+        cuts > considered) {
+      *error = "slot.bound.clique_cuts exceeds slot.slottings_considered";
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,6 +227,11 @@ int main(int argc, char** argv) {
   size_t shard_points = 0;
   size_t slot_points = 0;
   for (const geacc::obs::BenchPoint& point : report.points) {
+    if (!BoundCountersSane(point, &error)) {
+      std::fprintf(stderr, "%s: point '%s': %s\n", path, point.label.c_str(),
+                   error.c_str());
+      return 1;
+    }
     if (point.has_storage) {
       ++storage_points;
       if (!StorageSane(point.storage, &error)) {

@@ -1,0 +1,126 @@
+// Conflict-aware admissible bounds for the exact solvers (DESIGN.md §18).
+//
+// Prune-GEACC's Lemma 6 bound sums each remaining event's solo potential
+// s_v·c_v and ignores the conflict graph entirely; slot-exact's
+// per-(event, slot) mass bound had the same gap for events forced into
+// overlapping slots. Conflict/clique cuts are the classical fix
+// (Montemanni & Smith, arXiv:2503.19685 / arXiv:2506.04274): events that
+// pairwise conflict compete for the *same* users — each user can attend
+// at most one event of a clique — so a clique's joint contribution is
+// capped well below the sum of its members' solo potentials.
+//
+// The bounds hierarchy, loosest to tightest (every level admissible):
+//
+//   Lemma 6      Σ_v  event_bound[v]               (solo potentials)
+//   clique-cover Σ_Q  min(Σ_{v∈Q} event_bound[v],  (greedy clique
+//                      TopK per-user best sims)     partition Q of the
+//                                                   conflict graph)
+//   LP           min(clique-cover, max-weight      (conflict-free
+//                 conflict-free b-matching value)   b-matching = the LP
+//                                                   relaxation optimum,
+//                                                   constraint matrix is
+//                                                   totally unimodular)
+//
+// All three are *suffix* bounds: for a branch-and-bound visiting events
+// in a fixed order L, suffix[k] bounds the total contribution of events
+// L[k..) in ANY feasible completion (already-consumed user capacity is
+// ignored, which only overestimates — admissibility is preserved).
+//
+// Bound-vs-incumbent contract (shared by PruneSolver and slot-exact): a
+// subtree is pruned only when its admissible bound falls more than
+// kBoundEps below the incumbent (`bound + kBoundEps < incumbent`). The
+// slack absorbs floating-point reassociation — the bound accumulates in
+// a different order than the leaf sums, so an exactly-optimal subtree's
+// computed bound can sit a few ulps below its true value — while the
+// incumbent-update rule stays strict `>`, so a subtree whose bound merely
+// ties the incumbent may be descended but can never replace it: returned
+// arrangements and MaxSum values are bit-identical to the exhaustive
+// oracle's.
+//
+// Determinism: the clique partition is a serial first-fit over events in
+// id order, and every bound is a pure function of (instance, mode) —
+// identical across thread counts and platforms.
+
+#ifndef GEACC_ALGO_BOUNDS_H_
+#define GEACC_ALGO_BOUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/conflict_graph.h"
+#include "core/types.h"
+
+namespace geacc {
+namespace algo {
+
+// Slack for the bound-vs-incumbent comparison in the exact solvers (see
+// the contract above). Matches the verify campaign's similarity epsilon.
+inline constexpr double kBoundEps = 1e-9;
+
+// Admissible bound family, selected by SolverOptions::bound.
+enum class BoundMode {
+  kLemma6,    // "lemma6": per-event solo potentials only
+  kClique,    // "clique": + clique-cover caps (default)
+  kCliqueLp,  // "clique-lp": + LP-relaxation (b-matching) cap per suffix
+};
+
+// Parses SolverOptions::bound; CHECK-fails on names ValidateSolverOptions
+// would reject.
+BoundMode ParseBoundMode(const std::string& name);
+
+// A partition of [0, num_events) into cliques of the conflict graph:
+// every pair within a clique conflicts. Greedy first-fit over events in
+// id order (event v joins the first clique it conflicts with entirely,
+// else opens a new one), so the partition is deterministic and cliques
+// hold ascending ids in creation order.
+struct CliquePartition {
+  std::vector<std::vector<EventId>> cliques;
+  std::vector<int> clique_of;  // event id -> index into `cliques`
+
+  int num_cliques() const { return static_cast<int>(cliques.size()); }
+};
+
+CliquePartition GreedyCliquePartition(const ConflictGraph& conflicts);
+
+// Inputs for the suffix-bound computation. All pointers borrowed; rows of
+// `sim` are events, entries ≤ 0 are unmatchable (the solvers never admit
+// non-positive-similarity pairs).
+struct BoundInputs {
+  int num_events = 0;
+  int num_users = 0;
+  const double* sim = nullptr;  // row-major |V|×|U|
+  // Admissible cap on each event's solo contribution: Lemma 6's s_v·c_v
+  // for the flat problem, the capacity-clipped best slot mass for
+  // slot-exact. The degenerate-case guarantee (empty conflict graph ⇒
+  // bound ≡ Lemma 6) is stated against exactly these values.
+  const double* event_bound = nullptr;
+  const int* event_capacity = nullptr;
+  // Required for kCliqueLp (the b-matching respects user capacities);
+  // ignored by the other modes.
+  const int* user_capacity = nullptr;
+  const ConflictGraph* conflicts = nullptr;
+  // Event visit order L of the branch-and-bound; suffix k covers
+  // order[k..num_events).
+  const EventId* order = nullptr;
+};
+
+// suffix[k] = admissible upper bound on the total contribution of events
+// order[k..num_events) in any feasible arrangement (size num_events + 1,
+// suffix[num_events] = 0). kClique with an empty conflict graph is
+// bit-identical to the Lemma 6 suffix sums; kClique and kCliqueLp are
+// everywhere ≤ the Lemma 6 value by construction.
+std::vector<double> ComputeSuffixBounds(const BoundInputs& inputs,
+                                        BoundMode mode,
+                                        const CliquePartition& partition);
+
+// Max-weight conflict-free b-matching value over events
+// order[suffix_start..) — the LP-relaxation optimum of the remaining
+// subproblem with the conflict constraints dropped (the bipartite
+// b-matching polytope is integral). Exposed for the admissibility tests;
+// ComputeSuffixBounds(kCliqueLp) calls this per suffix.
+double BMatchingBound(const BoundInputs& inputs, int suffix_start);
+
+}  // namespace algo
+}  // namespace geacc
+
+#endif  // GEACC_ALGO_BOUNDS_H_

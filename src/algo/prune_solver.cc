@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "algo/bounds.h"
 #include "algo/greedy_solver.h"
 #include "obs/stats.h"
 #include "util/memory.h"
@@ -68,7 +69,45 @@ struct SearchTables {
       const EventId v = event_order[k];
       initial_sum_remain += BestSim(v) * instance.event_capacity(v);
     }
+
+    // Conflict-aware suffix bounds (algo/bounds.h): suffix_tight[k] caps
+    // the joint contribution of event_order[k..) via clique-cover (and
+    // optionally LP) cuts. Serial on purpose — the partition and every
+    // suffix are pure functions of the instance, so the table is
+    // identical at any thread count. An empty conflict graph yields only
+    // singleton cliques (the table would equal the Lemma 6 sums), so the
+    // layer is skipped entirely and pruning reduces exactly to Lemma 6.
+    if (options.enable_pruning && num_events > 0 && num_users > 0 &&
+        !instance.conflicts().empty()) {
+      const algo::BoundMode mode = algo::ParseBoundMode(options.bound);
+      if (mode != algo::BoundMode::kLemma6) {
+        std::vector<double> event_bound(num_events);
+        std::vector<int> event_caps(num_events);
+        std::vector<int> user_caps(num_users);
+        for (EventId v = 0; v < num_events; ++v) {
+          event_bound[v] = BestSim(v) * instance.event_capacity(v);
+          event_caps[v] = instance.event_capacity(v);
+        }
+        for (UserId u = 0; u < num_users; ++u) {
+          user_caps[u] = instance.user_capacity(u);
+        }
+        const algo::CliquePartition partition =
+            algo::GreedyCliquePartition(instance.conflicts());
+        algo::BoundInputs inputs;
+        inputs.num_events = num_events;
+        inputs.num_users = num_users;
+        inputs.sim = sim.data();
+        inputs.event_bound = event_bound.data();
+        inputs.event_capacity = event_caps.data();
+        inputs.user_capacity = user_caps.data();
+        inputs.conflicts = &instance.conflicts();
+        inputs.order = event_order.data();
+        suffix_tight = algo::ComputeSuffixBounds(inputs, mode, partition);
+      }
+    }
   }
+
+  bool use_tight_bound() const { return !suffix_tight.empty(); }
 
   size_t Flat(EventId v, int j) const {
     return static_cast<size_t>(v) * num_users + j;
@@ -82,7 +121,7 @@ struct SearchTables {
 
   uint64_t ByteEstimate() const {
     return VectorBytes(sim) + VectorBytes(sorted_users) +
-           VectorBytes(event_order);
+           VectorBytes(event_order) + VectorBytes(suffix_tight);
   }
 
   const int num_events;
@@ -91,6 +130,10 @@ struct SearchTables {
   std::vector<UserId> sorted_users;  // per event, users by sim desc
   std::vector<EventId> event_order;  // L
   double initial_sum_remain = 0.0;
+  // Conflict-aware suffix bounds over event_order (size num_events + 1);
+  // empty when the Lemma 6 bound is all there is (bound="lemma6", pruning
+  // off, or no conflicts).
+  std::vector<double> suffix_tight;
 };
 
 // A frozen DFS prefix: everything needed to resume the recursion at pair
@@ -231,16 +274,23 @@ class SearchContext {
     }
   }
 
-  // Whether the Lemma 6 bound `sum_max` justifies descending. The local
-  // test against best_sum_ is the serial rule (deterministic); the shared
-  // test is strictly <, so a branch whose admissible bound still equals
-  // the incumbent — which an optimal leaf's branch always does — is never
-  // cut, no matter what other tasks have published.
+  // Whether the admissible bound `sum_max` justifies descending, under
+  // the shared bound-vs-incumbent contract of algo/bounds.h: prune only
+  // when the bound falls more than kBoundEps below the incumbent. The
+  // slack absorbs the conflict-aware bounds' floating-point reassociation
+  // (they accumulate in a different order than the leaf sums); incumbent
+  // updates stay strict `>` in MaybeUpdateBest, so a subtree whose bound
+  // merely ties the incumbent is descended but can never displace it. The
+  // local test against best_sum_ is the serial rule (deterministic); the
+  // shared test only adds strictly-below cuts, so a branch whose bound
+  // still reaches the incumbent — which an optimal leaf's branch always
+  // does — is never cut, no matter what other tasks have published.
   bool ShouldDescend(double sum_max) const {
     if (!options_.enable_pruning) return true;
-    if (!(sum_max > best_sum_)) return false;
+    if (sum_max + algo::kBoundEps < best_sum_) return false;
     if (shared_best_ != nullptr &&
-        sum_max < shared_best_->load(std::memory_order_relaxed)) {
+        sum_max + algo::kBoundEps <
+            shared_best_->load(std::memory_order_relaxed)) {
       return false;
     }
     return true;
@@ -248,7 +298,10 @@ class SearchContext {
 
   // Shared tail of both branches (Algorithm 4 lines 6–17): after fixing
   // the state of the pair at (event_pos, user_pos), descend to the next
-  // pair, applying Lemma 6's bound before each descent.
+  // pair, applying the admissible bound before each descent. The bound is
+  // Lemma 6's sum_remain_ tightened (outer min, so it can only prune
+  // more) by the conflict-aware suffix table when one was built; a prune
+  // that only the tightening achieved is credited to bound_clique_cuts.
   void Advance(int event_pos, int user_pos) {
     const EventId v = tables_.event_order[event_pos];
     if (user_pos + 1 >= num_users_ || remaining_event_capacity_[v] == 0) {
@@ -257,7 +310,13 @@ class SearchContext {
         MaybeUpdateBest();  // all pairs enumerated (lines 7–9)
         return;
       }
-      if (ShouldDescend(current_sum_ + sum_remain_)) {
+      const double lemma_bound = current_sum_ + sum_remain_;
+      double bound = lemma_bound;
+      if (tables_.use_tight_bound()) {
+        bound = std::min(bound,
+                         current_sum_ + tables_.suffix_tight[event_pos + 1]);
+      }
+      if (ShouldDescend(bound)) {
         const EventId next_event = tables_.event_order[event_pos + 1];
         const double next_term =
             tables_.BestSim(next_event) * instance_.event_capacity(next_event);
@@ -266,17 +325,32 @@ class SearchContext {
         sum_remain_ += next_term;  // line 13
       } else {
         RecordPrune(event_pos, user_pos);
+        if (bound != lemma_bound && ShouldDescend(lemma_bound)) {
+          ++stats_->bound_clique_cuts;
+        }
       }
       return;
     }
-    // Stay on v, move to its next NN (lines 14–17).
+    // Stay on v, move to its next NN (lines 14–17). The suffix table
+    // covers events after v; v's own remaining seats are bounded by its
+    // next-NN term either way.
     const UserId next_user = tables_.sorted_users[Flat(v, user_pos + 1)];
     const double bound_term =
         tables_.sim[Flat(v, next_user)] * remaining_event_capacity_[v];
-    if (ShouldDescend(current_sum_ + sum_remain_ + bound_term)) {
+    const double lemma_bound = current_sum_ + sum_remain_ + bound_term;
+    double bound = lemma_bound;
+    if (tables_.use_tight_bound()) {
+      bound = std::min(bound, current_sum_ +
+                                  tables_.suffix_tight[event_pos + 1] +
+                                  bound_term);
+    }
+    if (ShouldDescend(bound)) {
       Search(event_pos, user_pos + 1);
     } else {
       RecordPrune(event_pos, user_pos);
+      if (bound != lemma_bound && ShouldDescend(lemma_bound)) {
+        ++stats_->bound_clique_cuts;
+      }
     }
   }
 
@@ -389,6 +463,7 @@ void MergeStats(const SolverStats& task, SolverStats* total) {
   total->complete_searches += task.complete_searches;
   total->prune_events += task.prune_events;
   total->branches_matched += task.branches_matched;
+  total->bound_clique_cuts += task.bound_clique_cuts;
   total->sum_prune_depth += task.sum_prune_depth;
   total->max_depth = std::max(total->max_depth, task.max_depth);
   total->search_truncated = total->search_truncated || task.search_truncated;
@@ -500,6 +575,7 @@ SolveResult PruneSolver::Solve(const Instance& instance) const {
   GEACC_STATS_ADD("prune.nodes_pruned", stats.prune_events);
   GEACC_STATS_ADD("prune.complete_searches", stats.complete_searches);
   GEACC_STATS_ADD("prune.branches_matched", stats.branches_matched);
+  GEACC_STATS_ADD("prune.bound.clique_cuts", stats.bound_clique_cuts);
   stats.logical_peak_bytes = tables.ByteEstimate() + context_bytes +
                              best.ByteEstimate();
   stats.wall_seconds = timer.Seconds();

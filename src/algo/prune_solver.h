@@ -8,7 +8,22 @@
 //   sum_max = MaxSum(M_visited) + sum_remain + sim(v, u_next)·c_v_remain
 //
 // is compared against the best complete matching found so far (seeded with
-// Greedy-GEACC's result); branches that cannot beat it are pruned.
+// Greedy-GEACC's result); branches that cannot beat it are pruned. When
+// the conflict graph is non-empty and SolverOptions::bound requests it,
+// sum_remain is tightened (outer min) by the conflict-aware suffix bounds
+// of algo/bounds.h — clique-cover caps over a greedy clique partition,
+// optionally an LP-relaxation b-matching cap.
+//
+// Bound-vs-incumbent contract (shared with slot-exact; algo/bounds.h): a
+// branch is pruned only when its admissible bound falls more than
+// algo::kBoundEps (1e-9) below the incumbent. The slack absorbs the
+// conflict-aware bounds' floating-point reassociation; the incumbent
+// update stays strict `>`, so a branch whose bound merely ties the
+// incumbent may be descended but can never displace it — with
+// enable_greedy_seed=false the returned arrangement and MaxSum are
+// bit-identical to the exhaustive search's, and with the seed the value
+// matches to the arrangement level (a seed that already attains the
+// optimum is kept as-is).
 //
 // SolverOptions toggles:
 //   enable_pruning=false        → the "exhaustive search without pruning"
@@ -16,9 +31,11 @@
 //                                 feasibility, never prunes on the bound);
 //   enable_greedy_seed=false    → start from the empty matching;
 //   enable_event_ordering=false → visit events in id order (ablation);
+//   bound                       → "lemma6" | "clique" | "clique-lp"
+//                                 (admissible bound family; solver.h);
 //   max_search_invocations      → safety valve for the exponential search.
 //
-// Guarantee: exact — the Lemma 6 bound is admissible (it never
+// Guarantee: exact — every bound level is admissible (it never
 // underestimates the best completion of a branch), so pruning cannot cut
 // every optimal leaf and the returned arrangement attains the optimum
 // MaxSum (Section IV). Complexity: O(2^P) branch nodes worst case over
@@ -29,7 +46,9 @@
 // Thread-safety: Solve() is const and re-entrant; the mutable search
 // context lives on the call stack. Counters reported:
 // prune.nodes_visited, prune.nodes_pruned, prune.complete_searches,
-// prune.branches_matched (exhaustive mode reports the same set).
+// prune.branches_matched, prune.bound.clique_cuts (prunes only the
+// conflict-aware tightening achieved; exhaustive mode reports the same
+// set).
 //
 // Statistics (search invocations, complete searches, prune events with
 // depth, max depth) feed the Fig. 6 benches.

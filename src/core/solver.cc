@@ -34,6 +34,12 @@ std::string ValidateSolverOptions(const SolverOptions& options) {
     return StrFormat("unknown fp_mode '%s' (expected strict or fast)",
                      options.fp_mode.c_str());
   }
+  const std::string& bound = options.bound;
+  if (bound != "lemma6" && bound != "clique" && bound != "clique-lp") {
+    return StrFormat(
+        "unknown bound '%s' (expected lemma6, clique, or clique-lp)",
+        bound.c_str());
+  }
   return "";
 }
 

@@ -90,6 +90,17 @@ struct SolverOptions {
   // invocations. 0 = unlimited.
   int64_t max_search_invocations = 0;
 
+  // Admissible bound family for the exact solvers' branch-and-bound
+  // pruning (Prune-GEACC and slot-exact; algo/bounds.h, DESIGN.md §18):
+  // "lemma6" (per-event solo potentials only — the paper's bound),
+  // "clique" (default: + clique-cover caps over a greedy clique partition
+  // of the conflict graph), or "clique-lp" (+ an LP-relaxation b-matching
+  // cap per suffix — tightest, costs one small flow solve per suffix
+  // position at setup). Every mode is admissible, so the returned
+  // arrangement and MaxSum are identical across modes; only the search
+  // effort (nodes visited / leaf solves) changes.
+  std::string bound = "clique";
+
   // Floating-point policy for the batched similarity kernels (DESIGN.md
   // §15.3): "strict" (default) keeps every batched result bit-identical
   // to the per-pair scalar path, so solver output is invariant under the
@@ -108,8 +119,8 @@ simd::FpMode ResolveFpMode(const SolverOptions& options);
 
 // Checks the string-valued fields of `options` against the known backend
 // names (`index` ∈ {linear, kdtree, vafile, idistance}, `flow_algorithm` ∈
-// {dijkstra, spfa}, `fp_mode` ∈ {strict, fast}) and that `threads` is
-// non-negative. Returns an empty string when valid, else a description
+// {dijkstra, spfa}, `fp_mode` ∈ {strict, fast}, `bound` ∈ {lemma6, clique,
+// clique-lp}) and that `threads` is non-negative. Returns an empty string when valid, else a description
 // of the first bad field. CreateSolver() CHECK-fails on a non-empty result
 // so that typos fail fast instead of surfacing mid-solve (or never, for
 // solvers that ignore the field).
@@ -138,6 +149,9 @@ struct SolverStats {
   int64_t complete_searches = 0;
   int64_t prune_events = 0;
   int64_t branches_matched = 0;  // branch-1 descents (pair taken)
+  // Prunes that only the conflict-aware bound achieved — the Lemma 6 /
+  // per-slot-mass bound alone would have descended (algo/bounds.h).
+  int64_t bound_clique_cuts = 0;
   int64_t sum_prune_depth = 0;  // mean = sum / prune_events
   int64_t max_depth = 0;        // deepest recursion reached
   bool search_truncated = false;

@@ -7,10 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include "algo/bounds.h"
 #include "algo/min_cost_flow_solver.h"
 #include "algo/prune_solver.h"
 #include "core/instance.h"
 #include "core/types.h"
+#include "obs/stats.h"
 #include "util/check.h"
 #include "util/memory.h"
 #include "util/timer.h"
@@ -19,9 +21,11 @@ namespace geacc {
 namespace slot {
 namespace {
 
-// Bound slack for the branch-and-bound incumbent comparison; matches the
-// auditor's similarity epsilon scale.
-constexpr double kBoundEps = 1e-9;
+// Bound slack for the branch-and-bound incumbent comparison — the shared
+// bound-vs-incumbent contract of algo/bounds.h: prune only when the
+// admissible bound falls more than this below the incumbent, while the
+// incumbent itself updates with strict `>`.
+constexpr double kBoundEps = algo::kBoundEps;
 
 // Ascending slot ids set in `mask`.
 std::vector<SlotId> SlotsOf(uint32_t mask) {
@@ -350,20 +354,103 @@ class SlotExactSolver final : public SlotSolver {
                             : below * width;
     }
 
+    // suffix_plain[v] = Σ_{w ≥ v} max_mass[w]: the per-event-mass bound on
+    // the unassigned suffix (events are visited in id order).
+    std::vector<double> suffix_plain(num_events + 1, 0.0);
+    for (int v = num_events - 1; v >= 0; --v) {
+      suffix_plain[v] = suffix_plain[v + 1] + max_mass[v];
+    }
+
+    // Conflict-aware tightening (algo/bounds.h): two events whose allowed
+    // slots pairwise conflict end up in conflicting slots under EVERY
+    // completion, so no user attends both — yet suffix_plain admits both
+    // events' full top-user sets. Build the forced-conflict graph (v ~ w
+    // iff every allowed-slot pair conflicts), clique-partition it, and cap
+    // each clique via the per-user effective similarities (positive sim
+    // AND some allowed slot where the user is available). The result is
+    // an admissible suffix table ≤ suffix_plain; Descend takes the min.
+    std::vector<double> suffix_tight;
+    const algo::BoundMode bound_mode = algo::ParseBoundMode(options_.bound);
+    if (bound_mode != algo::BoundMode::kLemma6 && num_events > 0 &&
+        base.num_users() > 0) {
+      ConflictGraph forced(num_events);
+      for (EventId v = 0; v < num_events; ++v) {
+        for (EventId w = v + 1; w < num_events; ++w) {
+          bool always = true;
+          for (const SlotId s : choices[v]) {
+            for (const SlotId t : choices[w]) {
+              if (!slotted.slots.Conflicting(s, t)) {
+                always = false;
+                break;
+              }
+            }
+            if (!always) break;
+          }
+          if (always) forced.AddConflict(v, w);
+        }
+      }
+      if (!forced.empty()) {
+        const int num_users = base.num_users();
+        std::vector<double> eff_sim(
+            static_cast<size_t>(num_events) * num_users, 0.0);
+        std::vector<double> event_bound(num_events);
+        std::vector<int> event_caps(num_events);
+        std::vector<int> user_caps(num_users);
+        std::vector<EventId> order(num_events);
+        for (EventId v = 0; v < num_events; ++v) {
+          order[v] = v;
+          event_bound[v] = max_mass[v];
+          event_caps[v] = base.event_capacity(v);
+          uint32_t reachable = 0;
+          for (const SlotId s : choices[v]) reachable |= 1u << s;
+          for (UserId u = 0; u < num_users; ++u) {
+            if ((reachable & slotted.user_availability[u]) == 0) continue;
+            const double sim = base.Similarity(v, u);
+            if (sim > 0.0) {
+              eff_sim[static_cast<size_t>(v) * num_users + u] = sim;
+            }
+          }
+        }
+        for (UserId u = 0; u < num_users; ++u) {
+          user_caps[u] = base.user_capacity(u);
+        }
+        const algo::CliquePartition partition =
+            algo::GreedyCliquePartition(forced);
+        algo::BoundInputs inputs;
+        inputs.num_events = num_events;
+        inputs.num_users = num_users;
+        inputs.sim = eff_sim.data();
+        inputs.event_bound = event_bound.data();
+        inputs.event_capacity = event_caps.data();
+        inputs.user_capacity = user_caps.data();
+        inputs.conflicts = &forced;
+        inputs.order = order.data();
+        suffix_tight = algo::ComputeSuffixBounds(inputs, bound_mode, partition);
+      }
+    }
+
     SlotSolveResult result;
     result.slotting.assign(num_events, kInvalidSlot);
     result.arrangement = Arrangement(num_events, base.num_users());
 
-    Context ctx{slotted, mass, max_mass, choices, suffix_count, result,
-                -std::numeric_limits<double>::infinity(), 0};
-    double root_bound = 0.0;
-    for (EventId v = 0; v < num_events; ++v) root_bound += max_mass[v];
+    Context ctx{slotted,
+                mass,
+                max_mass,
+                choices,
+                suffix_count,
+                suffix_plain,
+                suffix_tight.empty() ? nullptr : &suffix_tight,
+                result,
+                -std::numeric_limits<double>::infinity(),
+                0};
     Slotting partial(num_events, kInvalidSlot);
-    Descend(ctx, partial, 0, root_bound);
+    Descend(ctx, partial, 0, /*assigned=*/0.0);
 
     result.max_sum = ctx.best_sum;
+    GEACC_STATS_ADD("slot.bound.clique_cuts", result.stats.bound_clique_cuts);
     result.stats.logical_peak_bytes =
         ctx.peak_bytes + VectorBytes(max_mass) + VectorBytes(suffix_count) +
+        VectorBytes(suffix_plain) + VectorBytes(suffix_tight) +
         static_cast<uint64_t>(num_events) * num_slots * sizeof(double);
     result.stats.wall_seconds = timer.Seconds();
     return result;
@@ -376,6 +463,8 @@ class SlotExactSolver final : public SlotSolver {
     const std::vector<double>& max_mass;
     const std::vector<std::vector<SlotId>>& choices;
     const std::vector<int64_t>& suffix_count;
+    const std::vector<double>& suffix_plain;
+    const std::vector<double>* suffix_tight;  // null = per-event mass only
     SlotSolveResult& result;
     double best_sum;
     uint64_t peak_bytes;
@@ -384,11 +473,13 @@ class SlotExactSolver final : public SlotSolver {
   // DFS over events in id order, slots ascending — the same lexicographic
   // order the exhaustive oracle enumerates, so with the strict-improvement
   // incumbent the returned slotting is bit-identical to brute force.
-  // `bound` is the admissible upper bound over all completions of
-  // `partial`: assigned events contribute mass[v][slot], unassigned ones
-  // their best allowed mass.
+  // `assigned` is Σ mass[w][slot_w] over the assigned prefix; each child's
+  // admissible bound adds the unassigned suffix's per-event masses,
+  // tightened (outer min) by the forced-conflict clique caps when those
+  // were built. A prune that only the tightening achieved is credited to
+  // bound_clique_cuts.
   void Descend(Context& ctx, Slotting& partial, EventId v,
-               double bound) const {
+               double assigned) const {
     const int num_events = ctx.slotted.base.num_events();
     if (v == num_events) {
       ++ctx.result.slottings_considered;
@@ -410,7 +501,13 @@ class SlotExactSolver final : public SlotSolver {
       return;
     }
     for (const SlotId s : ctx.choices[v]) {
-      const double child_bound = bound - ctx.max_mass[v] + ctx.mass[v][s];
+      const double child_assigned = assigned + ctx.mass[v][s];
+      const double plain_bound = child_assigned + ctx.suffix_plain[v + 1];
+      double child_bound = plain_bound;
+      if (ctx.suffix_tight != nullptr) {
+        child_bound = std::min(
+            child_bound, child_assigned + (*ctx.suffix_tight)[v + 1]);
+      }
       if (child_bound + kBoundEps < ctx.best_sum) {
         // Every leaf below scores ≤ child_bound < the incumbent; skip the
         // subtree but account its slottings (saturating).
@@ -421,10 +518,14 @@ class SlotExactSolver final : public SlotSolver {
                 ? std::numeric_limits<int64_t>::max()
                 : considered + below;
         ++ctx.result.stats.prune_events;
+        if (child_bound != plain_bound &&
+            !(plain_bound + kBoundEps < ctx.best_sum)) {
+          ++ctx.result.stats.bound_clique_cuts;
+        }
         continue;
       }
       partial[v] = s;
-      Descend(ctx, partial, v + 1, child_bound);
+      Descend(ctx, partial, v + 1, child_assigned);
       partial[v] = kInvalidSlot;
     }
   }

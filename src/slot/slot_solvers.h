@@ -19,14 +19,27 @@
 //    order, slots ascending) with an admissible slot-aware upper bound:
 //    Σ_v (capacity-clipped sum of the top positive similarities among
 //    users available in v's slot — maximized over allowed slots while v
-//    is unassigned). Leaves are solved exactly with Prune-GEACC, so the
-//    returned (slotting, arrangement) attains the joint optimum.
+//    is unassigned), tightened by forced-conflict clique caps
+//    (algo/bounds.h) unless SolverOptions::bound = "lemma6": events whose
+//    allowed slots pairwise conflict land in conflicting slots under
+//    every completion, so a clique of them cannot all fill their top
+//    users — the per-event masses alone were over-admissive there.
+//    Leaves are solved exactly with Prune-GEACC, so the returned
+//    (slotting, arrangement) attains the joint optimum.
+//
+// Bound-vs-incumbent contract (shared with PruneSolver; algo/bounds.h): a
+// subtree is pruned only when its admissible bound falls more than
+// algo::kBoundEps (1e-9) below the incumbent; the incumbent updates with
+// strict `>`, so a subtree whose bound merely ties the incumbent may be
+// descended but never displaces it — the returned slotting and
+// arrangement stay bit-identical to the exhaustive enumeration's at every
+// bound level.
 //
 // Determinism: identical (instance, options) → identical result; all tie
 // breaks are fixed (first-best under strict improvement in enumeration
 // order). SolverOptions carries the per-leaf solver configuration
-// (threads, flow_algorithm, fp_mode, ...); slot solvers validate it the
-// same way CreateSolver does.
+// (threads, flow_algorithm, fp_mode, bound, ...); slot solvers validate
+// it the same way CreateSolver does.
 
 #ifndef GEACC_SLOT_SLOT_SOLVERS_H_
 #define GEACC_SLOT_SLOT_SOLVERS_H_

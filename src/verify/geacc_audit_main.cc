@@ -108,6 +108,8 @@ JsonValue CampaignJson(const CampaignConfig& config,
   json.Set("instances", result.instances);
   json.Set("checks", result.checks);
   json.Set("seed", static_cast<int64_t>(config.seed));
+  json.Set("bound", config.bound);
+  json.Set("conflict_density", config.conflict_density);
   json.Set("inject", config.inject);
   JsonValue failures = JsonValue::Array();
   for (const CampaignFailure& failure : result.failures) {
@@ -169,6 +171,12 @@ int main(int argc, char** argv) {
   flags.AddInt("seed", &seed, "campaign base seed");
   flags.AddInt("max_events", &config.max_events, "campaign family max |V|");
   flags.AddInt("max_users", &config.max_users, "campaign family max |U|");
+  flags.AddDouble("conflict_density", &config.conflict_density,
+                  "force every campaign instance to this conflict density "
+                  "(< 0 = draw from the mixed family {0, 0.25, 0.5, 1})");
+  flags.AddString("bound", &config.bound,
+                  "exact-solver bound mode for the whole matrix: lemma6, "
+                  "clique, or clique-lp");
   flags.AddInt("threads", &config.threads,
                "lane count for the serial-vs-threaded identity check");
   flags.AddInt("repair_period", &config.repair_period,

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -36,6 +37,63 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
+// Shared solver configuration for the whole matrix: the campaign's bound
+// mode must hold everywhere (non-exact solvers ignore it).
+SolverOptions BaseOptions(const CampaignConfig& config) {
+  SolverOptions options;
+  options.seed = config.seed;
+  options.bound = config.bound;
+  return options;
+}
+
+// Memoizes solver runs within one instance's check sweep. The
+// exponential oracles (brute force, unpruned exhaustive search)
+// dominate campaign cost, and several checks want the same solve —
+// without the cache each instance pays for them three times over.
+// Results are keyed by (instance address, cache key); RunCampaign
+// invalidates at every instance and shrink-candidate boundary, and a
+// mismatched address invalidates defensively.
+class OracleCache {
+ public:
+  void Invalidate() {
+    instance_ = nullptr;
+    results_.clear();
+  }
+
+  const SolveResult& Solve(const std::string& key, const std::string& solver,
+                           const SolverOptions& options,
+                           const Instance& instance) {
+    if (&instance != instance_) {
+      Invalidate();
+      instance_ = &instance;
+    }
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+      it = results_
+               .emplace(key, CreateSolver(solver, options)->Solve(instance))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  const Instance* instance_ = nullptr;
+  std::map<std::string, SolveResult> results_;
+};
+
+// The campaign's canonical exhaustive-oracle run: warm start and
+// pruning both off, so the returned arrangement is the DFS-first
+// optimal leaf the bit-identity check compares against. Shared by
+// audit/exhaustive, exact/exhaustive, and exact/bitwise.
+const SolveResult& ExhaustiveOracle(OracleCache& cache,
+                                    const CampaignConfig& config,
+                                    const Instance& instance) {
+  SolverOptions options = BaseOptions(config);
+  options.enable_greedy_seed = false;
+  options.enable_pruning = false;
+  return cache.Solve("exhaustive", "exhaustive", options, instance);
+}
+
 std::string Serialize(const Instance& instance) {
   std::ostringstream os;
   WriteInstance(instance, os);
@@ -60,35 +118,40 @@ bool InjectExtraPair(const Instance& instance, Arrangement* arrangement) {
 }
 
 // "" when `name`'s arrangement passes the auditor on `instance`.
-std::string CheckSolverAudit(const CampaignConfig& config,
+std::string CheckSolverAudit(const CampaignConfig& config, OracleCache& cache,
                              const std::string& name,
                              const Instance& instance) {
-  SolverOptions options;
-  options.seed = config.seed;
-  SolveResult result = CreateSolver(name, options)->Solve(instance);
+  // The exhaustive solver audits its canonical (seedless, unpruned)
+  // oracle run so the expensive solve is shared with the exact/* checks;
+  // every other solver runs under the campaign's base options. The
+  // arrangement is copied because fault injection mutates it.
+  Arrangement arrangement =
+      name == "exhaustive"
+          ? ExhaustiveOracle(cache, config, instance).arrangement
+          : cache.Solve(name, name, BaseOptions(config), instance).arrangement;
   if (config.inject == "extra-pair" && name == "greedy") {
-    InjectExtraPair(instance, &result.arrangement);
+    InjectExtraPair(instance, &arrangement);
   }
   AuditOptions audit;
   audit.check_maximality = SolverGuaranteesMaximality(name);
-  const AuditReport report =
-      AuditArrangement(instance, result.arrangement, audit);
+  const AuditReport report = AuditArrangement(instance, arrangement, audit);
   return report.Summary();
 }
 
 double MaxSumOf(const std::string& name, const Instance& instance,
-                uint64_t seed) {
-  SolverOptions options;
-  options.seed = seed;
-  return CreateSolver(name, options)
-      ->Solve(instance)
+                const CampaignConfig& config, OracleCache& cache) {
+  if (name == "exhaustive") {
+    return ExhaustiveOracle(cache, config, instance)
+        .arrangement.MaxSum(instance);
+  }
+  return cache.Solve(name, name, BaseOptions(config), instance)
       .arrangement.MaxSum(instance);
 }
 
-std::string CheckExact(const CampaignConfig& config, const std::string& name,
-                       const Instance& instance) {
-  const double oracle = MaxSumOf("bruteforce", instance, config.seed);
-  const double got = MaxSumOf(name, instance, config.seed);
+std::string CheckExact(const CampaignConfig& config, OracleCache& cache,
+                       const std::string& name, const Instance& instance) {
+  const double oracle = MaxSumOf("bruteforce", instance, config, cache);
+  const double got = MaxSumOf(name, instance, config, cache);
   if (std::fabs(got - oracle) > kEps) {
     return StrFormat("%s MaxSum %.12g != brute-force optimum %.12g",
                      name.c_str(), got, oracle);
@@ -96,10 +159,35 @@ std::string CheckExact(const CampaignConfig& config, const std::string& name,
   return "";
 }
 
-std::string CheckGreedyBound(const CampaignConfig& config,
+// Bit-identity differential for the tightened pruning (algo/bounds.h):
+// without the greedy warm start, Prune-GEACC's incumbent trajectory is
+// exactly the exhaustive search's improvement sequence, so the pruned
+// search must return the same arrangement pair-for-pair — at every bound
+// level. A bound that ever cut the DFS-first optimal leaf (e.g. an
+// inadmissible clique cap) diverges here even when the value happens to
+// tie.
+std::string CheckExactBitwise(const CampaignConfig& config,
+                              OracleCache& cache, const Instance& instance) {
+  SolverOptions seedless = BaseOptions(config);
+  seedless.enable_greedy_seed = false;
+  const auto pruned_pairs =
+      cache.Solve("prune#seedless", "prune", seedless, instance)
+          .arrangement.SortedPairs();
+  const auto exhaustive_pairs =
+      ExhaustiveOracle(cache, config, instance).arrangement.SortedPairs();
+  if (pruned_pairs != exhaustive_pairs) {
+    return StrFormat(
+        "seedless prune arrangement (%zu pairs, bound=%s) != exhaustive "
+        "(%zu pairs)",
+        pruned_pairs.size(), config.bound.c_str(), exhaustive_pairs.size());
+  }
+  return "";
+}
+
+std::string CheckGreedyBound(const CampaignConfig& config, OracleCache& cache,
                              const Instance& instance) {
-  const double optimum = MaxSumOf("prune", instance, config.seed);
-  const double greedy = MaxSumOf("greedy", instance, config.seed);
+  const double optimum = MaxSumOf("prune", instance, config, cache);
+  const double greedy = MaxSumOf("greedy", instance, config, cache);
   const int alpha = instance.max_user_capacity();
   if (greedy + kEps < optimum / (1.0 + alpha)) {
     return StrFormat(
@@ -114,9 +202,10 @@ std::string CheckGreedyBound(const CampaignConfig& config,
 }
 
 std::string CheckMinCostFlowBound(const CampaignConfig& config,
+                                  OracleCache& cache,
                                   const Instance& instance) {
-  const double optimum = MaxSumOf("prune", instance, config.seed);
-  const double mcf = MaxSumOf("mincostflow", instance, config.seed);
+  const double optimum = MaxSumOf("prune", instance, config, cache);
+  const double mcf = MaxSumOf("mincostflow", instance, config, cache);
   const int alpha = instance.max_user_capacity();
   if (alpha > 0 && mcf + kEps < optimum / alpha) {
     return StrFormat(
@@ -136,16 +225,16 @@ std::string CheckMinCostFlowBound(const CampaignConfig& config,
 }
 
 std::string CheckThreadIdentity(const CampaignConfig& config,
-                                const std::string& name,
+                                OracleCache& cache, const std::string& name,
                                 const Instance& instance) {
-  SolverOptions serial;
-  serial.seed = config.seed;
+  const SolverOptions serial = BaseOptions(config);
   SolverOptions threaded = serial;
   threaded.threads = config.threads;
-  const auto serial_pairs =
-      CreateSolver(name, serial)->Solve(instance).arrangement.SortedPairs();
+  const auto serial_pairs = cache.Solve(name, name, serial, instance)
+                                .arrangement.SortedPairs();
   const auto threaded_pairs =
-      CreateSolver(name, threaded)->Solve(instance).arrangement.SortedPairs();
+      cache.Solve(name + "#threads", name, threaded, instance)
+          .arrangement.SortedPairs();
   if (serial_pairs != threaded_pairs) {
     return StrFormat(
         "%s arrangement differs between threads=1 (%zu pairs) and "
@@ -265,29 +354,34 @@ std::string CheckShardedIdentity(const CampaignConfig& config,
 using InstanceCheck = std::function<std::string(const Instance&)>;
 
 std::vector<std::pair<std::string, InstanceCheck>> BuildInstanceChecks(
-    const CampaignConfig& config) {
+    const CampaignConfig& config, OracleCache& cache) {
   std::vector<std::pair<std::string, InstanceCheck>> checks;
   for (const std::string& name : SolverNames()) {
-    checks.emplace_back("audit/" + name, [&config, name](const Instance& i) {
-      return CheckSolverAudit(config, name, i);
-    });
+    checks.emplace_back("audit/" + name,
+                        [&config, &cache, name](const Instance& i) {
+                          return CheckSolverAudit(config, cache, name, i);
+                        });
   }
   for (const char* name : {"prune", "exhaustive"}) {
     checks.emplace_back(std::string("exact/") + name,
-                        [&config, name](const Instance& i) {
-                          return CheckExact(config, name, i);
+                        [&config, &cache, name](const Instance& i) {
+                          return CheckExact(config, cache, name, i);
                         });
   }
-  checks.emplace_back("bounds/greedy", [&config](const Instance& i) {
-    return CheckGreedyBound(config, i);
+  checks.emplace_back("exact/bitwise", [&config, &cache](const Instance& i) {
+    return CheckExactBitwise(config, cache, i);
   });
-  checks.emplace_back("bounds/mincostflow", [&config](const Instance& i) {
-    return CheckMinCostFlowBound(config, i);
+  checks.emplace_back("bounds/greedy", [&config, &cache](const Instance& i) {
+    return CheckGreedyBound(config, cache, i);
   });
+  checks.emplace_back("bounds/mincostflow",
+                      [&config, &cache](const Instance& i) {
+                        return CheckMinCostFlowBound(config, cache, i);
+                      });
   for (const char* name : {"greedy", "mincostflow", "prune"}) {
     checks.emplace_back(std::string("threads/") + name,
-                        [&config, name](const Instance& i) {
-                          return CheckThreadIdentity(config, name, i);
+                        [&config, &cache, name](const Instance& i) {
+                          return CheckThreadIdentity(config, cache, name, i);
                         });
   }
   return checks;
@@ -476,8 +570,7 @@ double SlottedMaxSum(const Arrangement& arrangement, const Instance& base) {
 std::string CheckSlottedGreedy(const CampaignConfig& config, uint64_t index) {
   const slot::SlottedInstance slotted =
       slot::GenerateSlotted(SlottedConfigFor(config, index));
-  SolverOptions options;
-  options.seed = config.seed;
+  const SolverOptions options = BaseOptions(config);
   const slot::SlotSolveResult result =
       slot::CreateSlotSolver("slot-greedy", options)->Solve(slotted);
 
@@ -516,8 +609,7 @@ std::string CheckSlottedGreedy(const CampaignConfig& config, uint64_t index) {
 std::string CheckSlottedExact(const CampaignConfig& config, uint64_t index) {
   const slot::SlottedInstance slotted =
       slot::GenerateSlotted(SlottedConfigFor(config, index));
-  SolverOptions options;
-  options.seed = config.seed;
+  const SolverOptions options = BaseOptions(config);
   const slot::SlotSolveResult result =
       slot::CreateSlotSolver("slot-exact", options)->Solve(slotted);
 
@@ -594,14 +686,17 @@ Instance MakeCampaignInstance(const CampaignConfig& config, uint64_t index) {
   synth.user_capacity = DistributionSpec::Uniform(
       1.0, static_cast<double>(rng.UniformInt(1, 3)));
   const double densities[] = {0.0, 0.25, 0.5, 1.0};
-  synth.conflict_density = densities[rng.UniformInt(0, 3)];
+  synth.conflict_density = config.conflict_density >= 0.0
+                               ? config.conflict_density
+                               : densities[rng.UniformInt(0, 3)];
   synth.seed = rng.NextUint64();
   return GenerateSynthetic(synth);
 }
 
 CampaignResult RunCampaign(const CampaignConfig& config, std::ostream* log) {
   CampaignResult result;
-  const auto checks = BuildInstanceChecks(config);
+  OracleCache cache;
+  const auto checks = BuildInstanceChecks(config, cache);
 
   auto record_failure = [&](std::string check, std::string detail,
                             uint64_t seed, const Instance* instance) {
@@ -626,6 +721,7 @@ CampaignResult RunCampaign(const CampaignConfig& config, std::ostream* log) {
     }
     const uint64_t index = static_cast<uint64_t>(i);
     const Instance instance = MakeCampaignInstance(config, index);
+    cache.Invalidate();
     ++result.instances;
 
     for (const auto& [name, check] : checks) {
@@ -636,12 +732,17 @@ CampaignResult RunCampaign(const CampaignConfig& config, std::ostream* log) {
       CampaignFailure& failure = result.failures.back();
       if (config.shrink) {
         const auto& fn = check;
+        // Shrink candidates come and go at reused addresses, so the
+        // per-instance cache must be dropped at every candidate (and
+        // again afterwards, before the next check reuses `instance`).
         const Instance shrunk = ShrinkInstance(
             instance,
-            [&fn](const Instance& candidate) {
+            [&fn, &cache](const Instance& candidate) {
+              cache.Invalidate();
               return !fn(candidate).empty();
             },
             config.shrink_options, &failure.shrink_stats);
+        cache.Invalidate();
         failure.shrunk_instance_text = Serialize(shrunk);
         if (log != nullptr) {
           *log << "  shrunk to |V|=" << shrunk.num_events()

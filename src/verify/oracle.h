@@ -5,14 +5,21 @@
 // comparison against exact oracles on seeded instance families; the
 // paper's own theorems give checkable approximation certificates. This
 // driver sweeps a deterministic family of small instances (exact solvers
-// stay tractable at |V| ≤ 5, |U| ≤ 8) and asserts, per instance:
+// stay tractable at |V| ≤ 6, |U| ≤ 8) and asserts, per instance:
 //
 //   * audit/<solver>       every registry solver's arrangement passes
 //                          AuditArrangement (maximality included where the
 //                          solver guarantees it)
 //   * exact/prune,
 //     exact/exhaustive     Prune-GEACC ≡ exhaustive ≡ brute force (exact
-//                          optimum, Section IV)
+//                          optimum, Section IV) under the configured
+//                          bound mode
+//   * exact/bitwise        seedless Prune-GEACC (clique-cover bounds
+//                          active, greedy warm start off) returns the
+//                          bit-identical arrangement — same SortedPairs —
+//                          as the exhaustive search: the tightened
+//                          pruning removed no DFS-first optimal leaf
+//                          (algo/bounds.h contract)
 //   * bounds/greedy        MaxSum(Greedy) ≥ OPT / (1 + max c_u), ≤ OPT
 //                          (Theorem 3 certificate)
 //   * bounds/mincostflow   MaxSum(MCF) ≥ OPT / max c_u, ≤ OPT (Theorem 2),
@@ -82,9 +89,27 @@ struct CampaignConfig {
 
   // Family size bounds; the exact oracles (brute force / exhaustive) cap
   // what is tractable. Events are drawn from [3, max_events] so an
-  // injected extra pair always exists, users from [2, max_users].
-  int max_events = 5;
+  // injected extra pair always exists, users from [2, max_users]. The
+  // conflict-aware bounds (algo/bounds.h) keep the clique-bounded exact
+  // solvers cheap well past the former 5×8 family, so the default matrix
+  // now stretches to 6×8 — the binding cost is the unbounded brute-force
+  // and exhaustive oracles themselves (memoized across checks by the
+  // campaign's OracleCache, but still exponential): worst-case
+  // low-density draws blow up ~30× per extra user past |U| = 8
+  // (measured; a single 6×9 tail instance runs for minutes, so the
+  // extra-user sweep stays opt-in via --max_users).
+  int max_events = 6;
   int max_users = 8;
+
+  // Conflict-density override for the family: < 0 draws each instance's
+  // density from the mixed set {0, 0.25, 0.5, 1.0}; ≥ 0 forces every
+  // instance to that density (the CI dense-conflict pass uses 1.0).
+  double conflict_density = -1.0;
+
+  // SolverOptions::bound for every exact solver in the matrix ("lemma6",
+  // "clique", or "clique-lp") — the whole check list must hold at every
+  // level, so CI sweeps this.
+  std::string bound = "clique";
 
   // Lane count for the serial-vs-threaded bit-identity check.
   int threads = 3;
